@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Ablation study of the BSA hardware parameters (the design choices
+ * recorded in DESIGN.md, and the "varying core and accelerator
+ * parameters" extension the paper's Section 5.5 calls out): sweeps
+ * the NS-DF writeback-bus width and operand window, the Trace-P
+ * window, and the DP-CGRA issue width and configuration cost, and
+ * reports the resulting single-BSA ExoCore benefit.
+ */
+
+#include <functional>
+
+#include "bench_util.hh"
+
+using namespace prism;
+using namespace prism::bench;
+
+namespace
+{
+
+/** Geomean single-BSA speedup/energy on OOO2 over some workloads. */
+PerfEnergy
+evalWith(std::vector<Entry> &entries, BsaKind bsa,
+         const std::function<void(PipelineConfig &)> &tweak)
+{
+    std::vector<double> perf;
+    std::vector<double> energy;
+    for (Entry &e : entries) {
+        PipelineConfig cfg;
+        cfg.core = coreConfig(CoreKind::OOO2);
+        tweak(cfg);
+        const BenchmarkModel bm(e.tdg(), CoreKind::OOO2, cfg);
+        const ExoResult res = bm.evaluate(bsaBit(bsa));
+        perf.push_back(static_cast<double>(bm.baseline().cycles) /
+                       static_cast<double>(res.cycles));
+        energy.push_back(bm.baseline().energy / res.energy);
+    }
+    return {geomean(perf), geomean(energy)};
+}
+
+std::vector<Entry>
+pick(const std::vector<const char *> &names)
+{
+    std::vector<Entry> out;
+    for (const WorkloadSpec &spec : allWorkloads()) {
+        for (const char *n : names) {
+            if (spec.name == std::string(n))
+                out.emplace_back(spec);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation: BSA hardware parameters (OOO2 host, geomean "
+           "single-BSA speedup / energy-efficiency)");
+
+    // NS-DF knobs on loops it targets well.
+    auto nsdf_set = pick({"cutcp", "mm", "tpacf", "445.gobmk"});
+    {
+        std::printf("\n-- NS-DF writeback-bus width --\n");
+        Table t({"wb bus", "speedup", "energy eff."});
+        for (unsigned wb : {1u, 2u, 3u, 4u, 6u}) {
+            const PerfEnergy pe = evalWith(
+                nsdf_set, BsaKind::Nsdf,
+                [wb](PipelineConfig &c) { c.nsdf.wbBusWidth = wb; });
+            t.addRow({std::to_string(wb), fmt(pe.perf, 2),
+                      fmt(pe.energy, 2)});
+        }
+        std::printf("%s", t.render().c_str());
+    }
+    {
+        std::printf("\n-- NS-DF operand window --\n");
+        Table t({"window", "speedup", "energy eff."});
+        for (unsigned w : {16u, 32u, 64u, 128u, 256u}) {
+            const PerfEnergy pe = evalWith(
+                nsdf_set, BsaKind::Nsdf,
+                [w](PipelineConfig &c) { c.nsdf.window = w; });
+            t.addRow({std::to_string(w), fmt(pe.perf, 2),
+                      fmt(pe.energy, 2)});
+        }
+        std::printf("%s", t.render().c_str());
+    }
+
+    // Trace-P window on hot-trace loops.
+    auto tracep_set = pick({"tpch1", "vr", "444.namd"});
+    {
+        std::printf("\n-- Trace-P operand window --\n");
+        Table t({"window", "speedup", "energy eff."});
+        for (unsigned w : {16u, 32u, 64u, 128u}) {
+            const PerfEnergy pe = evalWith(
+                tracep_set, BsaKind::Tracep,
+                [w](PipelineConfig &c) { c.tracep.window = w; });
+            t.addRow({std::to_string(w), fmt(pe.perf, 2),
+                      fmt(pe.energy, 2)});
+        }
+        std::printf("%s", t.render().c_str());
+    }
+
+    // DP-CGRA knobs on data-parallel loops.
+    auto cgra_set = pick({"conv", "mm", "kmeans", "h263enc"});
+    {
+        std::printf("\n-- DP-CGRA issue width --\n");
+        Table t({"issue", "speedup", "energy eff."});
+        for (unsigned iw : {2u, 4u, 8u, 16u}) {
+            const PerfEnergy pe = evalWith(
+                cgra_set, BsaKind::DpCgra,
+                [iw](PipelineConfig &c) {
+                    c.cgra.issueWidth = iw;
+                });
+            t.addRow({std::to_string(iw), fmt(pe.perf, 2),
+                      fmt(pe.energy, 2)});
+        }
+        std::printf("%s", t.render().c_str());
+    }
+    {
+        std::printf("\n-- DP-CGRA vector output-bus width --\n");
+        Table t({"wb bus", "speedup", "energy eff."});
+        for (unsigned wb : {1u, 2u, 4u, 8u}) {
+            const PerfEnergy pe = evalWith(
+                cgra_set, BsaKind::DpCgra,
+                [wb](PipelineConfig &c) { c.cgra.wbBusWidth = wb; });
+            t.addRow({std::to_string(wb), fmt(pe.perf, 2),
+                      fmt(pe.energy, 2)});
+        }
+        std::printf("%s", t.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates Figure 10: geometric-mean performance/energy tradeoff
+ * curves across all workloads. Each curve is one accelerator
+ * configuration (general core only, one single BSA, or the full
+ * ExoCore); each point on a curve is one general core (IO2, OOO2,
+ * OOO4, OOO6). All values are relative to the IO2 core alone.
+ */
+
+#include "bench_util.hh"
+
+using namespace prism;
+using namespace prism::bench;
+
+int
+main()
+{
+    banner("Figure 10: ExoCore Tradeoffs Across All Workloads");
+
+    auto suite = loadSuite();
+
+    struct Line
+    {
+        const char *label;
+        unsigned mask;
+    };
+    const Line lines[] = {
+        {"Gen. Core Only", 0},
+        {"SIMD", bsaBit(BsaKind::Simd)},
+        {"DP-CGRA", bsaBit(BsaKind::DpCgra)},
+        {"NS-DF", bsaBit(BsaKind::Nsdf)},
+        {"TRACE-P", bsaBit(BsaKind::Tracep)},
+        {"ExoCore", kFullBsaMask},
+    };
+
+    Table t({"config", "core", "rel. performance", "rel. energy"});
+    std::map<std::pair<std::string, CoreKind>, PerfEnergy> results;
+
+    for (const Line &line : lines) {
+        for (CoreKind core : kTable4Cores) {
+            std::vector<double> perf;
+            std::vector<double> energy;
+            for (Entry &e : suite) {
+                const PerfEnergy pe =
+                    evalConfig(e, core, line.mask, CoreKind::IO2);
+                perf.push_back(pe.perf);
+                energy.push_back(pe.energy);
+            }
+            PerfEnergy pe;
+            pe.perf = geomean(perf);
+            pe.energy = geomean(energy);
+            results[{line.label, core}] = pe;
+            t.addRow({line.label, coreConfig(core).name,
+                      fmt(pe.perf, 2), fmt(pe.energy, 2)});
+        }
+        t.addSeparator();
+    }
+    std::printf("%s", t.render().c_str());
+
+    // Headline claims of Section 5.1.
+    const auto &exo2 = results[{"ExoCore", CoreKind::OOO2}];
+    const auto &gpp2 = results[{"Gen. Core Only", CoreKind::OOO2}];
+    const auto &exo6 = results[{"ExoCore", CoreKind::OOO6}];
+    const auto &gpp6 = results[{"Gen. Core Only", CoreKind::OOO6}];
+    std::printf("\nOOO2 ExoCore vs OOO2 core : %s performance, "
+                "%s energy benefit (paper: ~2.4x / 2.4x)\n",
+                fmtX(exo2.perf / gpp2.perf).c_str(),
+                fmtX(gpp2.energy / exo2.energy).c_str());
+    std::printf("OOO6 ExoCore vs OOO6 core : %s performance, "
+                "%s energy benefit (paper: up to 1.9x / 2.4x)\n",
+                fmtX(exo6.perf / gpp6.perf).c_str(),
+                fmtX(gpp6.energy / exo6.energy).c_str());
+    return 0;
+}

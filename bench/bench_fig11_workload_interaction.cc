@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Regenerates Figure 11: the Figure 10 tradeoff curves split by
+ * workload regularity class — regular (TPT, Parboil), semi-regular
+ * (Mediabench, TPCH, SPECfp), and irregular (SPECint) — showing BSAs
+ * retain potential even on irregular codes.
+ */
+
+#include "bench_util.hh"
+
+using namespace prism;
+using namespace prism::bench;
+
+int
+main()
+{
+    banner("Figure 11: Interaction between Accelerator, General Core,"
+           " and Workloads");
+
+    auto suite = loadSuite();
+
+    struct Line
+    {
+        const char *label;
+        unsigned mask;
+    };
+    const Line lines[] = {
+        {"Gen. Core Only", 0},
+        {"SIMD", bsaBit(BsaKind::Simd)},
+        {"DP-CGRA", bsaBit(BsaKind::DpCgra)},
+        {"NS-DF", bsaBit(BsaKind::Nsdf)},
+        {"TRACE-P", bsaBit(BsaKind::Tracep)},
+        {"ExoCore", kFullBsaMask},
+    };
+    const SuiteClass classes[] = {SuiteClass::Regular,
+                                  SuiteClass::SemiRegular,
+                                  SuiteClass::Irregular};
+
+    std::map<std::tuple<SuiteClass, std::string, CoreKind>,
+             PerfEnergy>
+        results;
+
+    for (SuiteClass cls : classes) {
+        std::printf("\n-- %s workloads --\n", suiteClassName(cls));
+        Table t({"config", "core", "rel. performance",
+                 "rel. energy"});
+        for (const Line &line : lines) {
+            for (CoreKind core : kTable4Cores) {
+                std::vector<double> perf;
+                std::vector<double> energy;
+                for (Entry &e : suite) {
+                    if (e.spec().cls != cls)
+                        continue;
+                    const PerfEnergy pe = evalConfig(
+                        e, core, line.mask, CoreKind::IO2);
+                    perf.push_back(pe.perf);
+                    energy.push_back(pe.energy);
+                }
+                PerfEnergy pe;
+                pe.perf = geomean(perf);
+                pe.energy = geomean(energy);
+                results[{cls, line.label, core}] = pe;
+                t.addRow({line.label, coreConfig(core).name,
+                          fmt(pe.perf, 2), fmt(pe.energy, 2)});
+            }
+            t.addSeparator();
+        }
+        std::printf("%s", t.render().c_str());
+    }
+
+    // Section 5.1 claims about the irregular class.
+    const auto &exo2 = results[{SuiteClass::Irregular, "ExoCore",
+                                CoreKind::OOO2}];
+    const auto &simd2 = results[{SuiteClass::Irregular, "SIMD",
+                                 CoreKind::OOO2}];
+    std::printf("\nIrregular workloads, full OOO2 ExoCore vs OOO2 "
+                "with SIMD:\n  %s performance, %s energy benefit "
+                "(paper: ~1.6x / 1.6x)\n",
+                fmtX(exo2.perf / simd2.perf).c_str(),
+                fmtX(simd2.energy / exo2.energy).c_str());
+    const auto &reg_exo2 = results[{SuiteClass::Regular, "ExoCore",
+                                    CoreKind::OOO2}];
+    const auto &reg_gpp2 = results[{SuiteClass::Regular,
+                                    "Gen. Core Only",
+                                    CoreKind::OOO2}];
+    std::printf("Regular workloads, full OOO2 ExoCore vs OOO2:\n"
+                "  %s performance, %s energy benefit "
+                "(paper: ~3.5x / 3x)\n",
+                fmtX(reg_exo2.perf / reg_gpp2.perf).c_str(),
+                fmtX(reg_gpp2.energy / reg_exo2.energy).c_str());
+    return 0;
+}

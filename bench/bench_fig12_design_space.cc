@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Regenerates Figure 12: the full design-space characterization — all
+ * 64 combinations of {IO2, OOO2, OOO4, OOO6} x 16 BSA subsets.
+ * Prints speedup, energy efficiency, and area relative to the IO2
+ * core, sorted by speedup (the paper's x-axis ordering), then checks
+ * the quantitative bullets of Section 5.2.
+ */
+
+#include <algorithm>
+
+#include "bench_util.hh"
+
+#include "common/logging.hh"
+
+using namespace prism;
+using namespace prism::bench;
+
+namespace
+{
+
+struct DesignPoint
+{
+    CoreKind core;
+    unsigned mask;
+    std::string name;
+    double speedup = 1.0;   ///< vs IO2 core alone
+    double energyEff = 1.0; ///< IO2 energy / energy
+    double area = 1.0;      ///< vs IO2 core area
+};
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 12: Design-Space Characterization (64 points; "
+           "S: SIMD, D: DP-CGRA, N: NS-DF, T: Trace-P)");
+
+    auto suite = loadSuite();
+
+    std::vector<DesignPoint> points;
+    for (CoreKind core : kTable4Cores) {
+        for (unsigned mask = 0; mask < 16; ++mask) {
+            DesignPoint dp;
+            dp.core = core;
+            dp.mask = mask;
+            dp.name = configName(core, mask);
+            std::vector<double> perf;
+            std::vector<double> eff;
+            for (Entry &e : suite) {
+                const PerfEnergy pe =
+                    evalConfig(e, core, mask, CoreKind::IO2);
+                perf.push_back(pe.perf);
+                eff.push_back(1.0 / pe.energy);
+            }
+            dp.speedup = geomean(perf);
+            dp.energyEff = geomean(eff);
+            dp.area = exoCoreArea(core, mask) /
+                      coreArea(CoreKind::IO2);
+            points.push_back(dp);
+        }
+    }
+
+    std::sort(points.begin(), points.end(),
+              [](const DesignPoint &a, const DesignPoint &b) {
+                  return a.speedup > b.speedup;
+              });
+
+    Table t({"config", "speedup", "energy eff.", "area"});
+    for (const DesignPoint &dp : points) {
+        t.addRow({dp.name, fmt(dp.speedup, 2), fmt(dp.energyEff, 2),
+                  fmt(dp.area, 2)});
+    }
+    std::printf("%s", t.render().c_str());
+
+    auto find = [&points](const std::string &name) -> DesignPoint & {
+        for (DesignPoint &dp : points) {
+            if (dp.name == name)
+                return dp;
+        }
+        fatal("missing design point %s", name.c_str());
+    };
+
+    banner("Section 5.2 design-choice checks");
+    const DesignPoint &ooo6s = find("OOO6-S"); // OOO6 + SIMD baseline
+    const DesignPoint &ooo2s = find("OOO2-S");
+    const DesignPoint &ooo6 = find("OOO6");
+
+    // [Performance] ExoCores matching OOO6-SIMD with less area.
+    int ooo2_match = 0;
+    int ooo4_match = 0;
+    for (const DesignPoint &dp : points) {
+        if (dp.speedup < ooo6s.speedup)
+            continue;
+        if (dp.core == CoreKind::OOO2 && dp.mask != 0)
+            ++ooo2_match;
+        if (dp.core == CoreKind::OOO4 && dp.mask != 0)
+            ++ooo4_match;
+    }
+    std::printf("OOO2 ExoCores matching OOO6-SIMD performance: %d "
+                "(paper: 4)\n",
+                ooo2_match);
+    std::printf("OOO4 ExoCores matching OOO6-SIMD performance: %d "
+                "(paper: 9)\n",
+                ooo4_match);
+
+    // [Performance] best in-order point vs OOO6.
+    double best_io = 0;
+    for (const DesignPoint &dp : points) {
+        if (dp.core == CoreKind::IO2)
+            best_io = std::max(best_io, dp.speedup);
+    }
+    std::printf("Best IO2 ExoCore reaches %s of OOO6 performance "
+                "(paper: 88%%)\n",
+                fmtPct(best_io / ooo6.speedup, 0).c_str());
+
+    // [Energy] points beating the OOO2-SIMD energy efficiency.
+    int io_beat = 0;
+    int ooo4_beat = 0;
+    for (const DesignPoint &dp : points) {
+        if (dp.energyEff <= ooo2s.energyEff)
+            continue;
+        if (dp.core == CoreKind::IO2 && dp.mask != 0)
+            ++io_beat;
+        if (dp.core == CoreKind::OOO4 && dp.mask != 0)
+            ++ooo4_beat;
+    }
+    std::printf("In-order ExoCores beating OOO2-SIMD energy "
+                "efficiency: %d (paper: 12)\n",
+                io_beat);
+    std::printf("OOO4 ExoCores beating OOO2-SIMD energy efficiency: "
+                "%d (paper: 5)\n",
+                ooo4_beat);
+
+    // [Full ExoCores] orderings.
+    const DesignPoint &full_io2 = find("IO2-SDNT");
+    const DesignPoint &full_ooo4 = find("OOO4-SDNT");
+    const DesignPoint &full_ooo6 = find("OOO6-SDNT");
+    double best_eff = 0;
+    std::string best_eff_name;
+    double best_perf = 0;
+    std::string best_perf_name;
+    for (const DesignPoint &dp : points) {
+        if (dp.energyEff > best_eff) {
+            best_eff = dp.energyEff;
+            best_eff_name = dp.name;
+        }
+        if (dp.speedup > best_perf) {
+            best_perf = dp.speedup;
+            best_perf_name = dp.name;
+        }
+    }
+    std::printf("Most energy-efficient design: %s (paper: full IO2 "
+                "ExoCore); full IO2 ExoCore eff = %s\n",
+                best_eff_name.c_str(),
+                fmt(full_io2.energyEff, 2).c_str());
+    std::printf("Best-performing design: %s (paper: full OOO6 "
+                "ExoCore)\n",
+                best_perf_name.c_str());
+    std::printf("Full OOO4 vs full OOO6 ExoCore: %s performance, "
+                "%s energy, %s area (paper: 10%% lower perf, 1.25x "
+                "lower energy, 1.36x lower area)\n",
+                fmtPct(full_ooo4.speedup / full_ooo6.speedup, 0)
+                    .c_str(),
+                fmtX(full_ooo6.energyEff > 0
+                         ? full_ooo4.energyEff / full_ooo6.energyEff
+                         : 0)
+                    .c_str(),
+                fmtX(full_ooo6.area / full_ooo4.area).c_str());
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates Figure 15: Oracle versus Amdahl-Tree scheduler on the
+ * challenging Mediabench applications (multi-BSA within a single
+ * application), with per-unit breakdowns, plus the paper's aggregate
+ * comparison over all workloads (Amdahl-Tree: ~1.21x geomean energy
+ * efficiency, ~0.89x of the Oracle's performance).
+ */
+
+#include "bench_util.hh"
+
+using namespace prism;
+using namespace prism::bench;
+
+int
+main()
+{
+    banner("Figure 15: Oracle versus Amdahl Tree Scheduler "
+           "(OOO2 ExoCore, baseline = OOO2 alone)");
+
+    auto suite = loadSuite();
+    const char *shown[] = {"cjpeg-1", "djpeg-1", "gsmdecode",
+                           "gsmencode", "jpg2000dec", "jpg2000enc",
+                           "mpeg2dec", "mpeg2enc"};
+
+    Table t({"benchmark", "sched", "time", "GPP", "SIMD", "DP-CGRA",
+             "NS-DF", "Trace-P", "energy"});
+    for (const char *name : shown) {
+        for (SchedulerKind sched : {SchedulerKind::Oracle,
+                                    SchedulerKind::AmdahlTree}) {
+            Entry *entry = nullptr;
+            for (Entry &e : suite) {
+                if (e.name() == name)
+                    entry = &e;
+            }
+            if (entry == nullptr)
+                continue;
+            BenchmarkModel &bm = entry->model(CoreKind::OOO2);
+            const ExoResult res = bm.evaluate(kFullBsaMask, sched);
+            const ExoResult &base = bm.baseline();
+            std::vector<std::string> row{
+                name,
+                sched == SchedulerKind::Oracle ? "Oracle"
+                                               : "Amdahl",
+                fmt(static_cast<double>(res.cycles) /
+                        static_cast<double>(base.cycles),
+                    2)};
+            for (int u = 0; u < kNumUnits; ++u)
+                row.push_back(fmtPct(res.unitCycleFraction(u), 0));
+            row.push_back(fmt(res.energy / base.energy, 2));
+            t.addRow(row);
+        }
+        t.addSeparator();
+    }
+    std::printf("%s", t.render().c_str());
+
+    // Aggregate comparison over all workloads (Section 5.4).
+    std::vector<double> perf_ratio;
+    std::vector<double> eff_ratio;
+    for (Entry &e : suite) {
+        BenchmarkModel &bm = e.model(CoreKind::OOO2);
+        const ExoResult o =
+            bm.evaluate(kFullBsaMask, SchedulerKind::Oracle);
+        const ExoResult a =
+            bm.evaluate(kFullBsaMask, SchedulerKind::AmdahlTree);
+        perf_ratio.push_back(static_cast<double>(o.cycles) /
+                             static_cast<double>(a.cycles));
+        eff_ratio.push_back(o.energy / a.energy);
+    }
+    std::printf("\nAcross all benchmarks, the Amdahl-Tree scheduler "
+                "achieves %s geomean energy-efficiency improvement "
+                "over the Oracle's schedule (paper: 1.21x)\nand %s "
+                "of the Oracle scheduler's performance (paper: "
+                "0.89x).\n",
+                fmtX(geomean(eff_ratio)).c_str(),
+                fmtX(geomean(perf_ratio)).c_str());
+    return 0;
+}

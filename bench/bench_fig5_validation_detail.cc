@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Regenerates Figure 5: the per-workload validation scatter data.
+ * For each architecture row of the figure, prints (workload,
+ * projected, reference) pairs for performance and energy — the
+ * coordinates of the paper's scatter plots, where distance from the
+ * unit line is the modeling error.
+ */
+
+#include "validation_common.hh"
+
+using namespace prism;
+using namespace prism::bench;
+
+namespace
+{
+
+void
+printPoints(const char *title, const char *metric,
+            const std::vector<ValPoint> &pts)
+{
+    std::printf("\n-- %s: %s (projected vs reference) --\n", title,
+                metric);
+    Table t({"workload", "projected", "reference", "err"});
+    for (const ValPoint &p : pts) {
+        t.addRow({p.name, fmt(p.projected, 3), fmt(p.reference, 3),
+                  fmtPct(p.relError(), 1)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("avg error: %s\n",
+                fmtPct(avgError(pts), 1).c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 5: Prism Validation (scatter data)");
+
+    auto micro = loadMicrobenchmarks();
+    {
+        const CoreValidation v1 = validateCore(micro, CoreKind::OOO1);
+        printPoints("OOO8->OOO1 Model", "IPC (uops/cycle)", v1.ipc);
+        printPoints("OOO8->OOO1 Model", "IPE (uops/unit energy)",
+                    v1.ipe);
+        const CoreValidation v8 = validateCore(micro, CoreKind::OOO8);
+        printPoints("OOO1->OOO8 Model", "IPC (uops/cycle)", v8.ipc);
+        printPoints("OOO1->OOO8 Model", "IPE (uops/unit energy)",
+                    v8.ipe);
+    }
+
+    auto suite = loadSuite();
+    struct Row
+    {
+        const char *label;
+        BsaKind bsa;
+    };
+    const Row rows[] = {
+        {"Conservation Cores (NS-DF model)", BsaKind::Nsdf},
+        {"BERET (Trace-P model)", BsaKind::Tracep},
+        {"SIMD", BsaKind::Simd},
+        {"DySER (DP-CGRA model)", BsaKind::DpCgra},
+    };
+    for (const Row &row : rows) {
+        const BsaValidation v =
+            validateBsa(suite, row.bsa, validationBase(row.bsa),
+                        validationSet(row.bsa));
+        printPoints(row.label, "Speedup over Base", v.speedup);
+        printPoints(row.label, "Energy Reduction", v.energy);
+    }
+    return 0;
+}

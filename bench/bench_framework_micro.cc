@@ -1,0 +1,147 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the framework itself: trace
+ * generation, TDG construction, µDG timing, transform application,
+ * and the discrete-event reference simulator — the practicality
+ * argument of Section 2 (a TDG model is cheap enough for large
+ * design-space exploration).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/trace_gen.hh"
+#include "tdg/analyzer.hh"
+#include "tdg/bsa/bsa.hh"
+#include "tdg/constructor.hh"
+#include "tdg/reference/ref_models.hh"
+#include "uarch/pipeline_model.hh"
+#include "workloads/kernel_util.hh"
+#include "workloads/suite.hh"
+
+namespace prism
+{
+namespace
+{
+
+/** Shared fixture state: one mid-size workload, loaded once. */
+struct Fixture
+{
+    std::unique_ptr<LoadedWorkload> lw;
+    MStream baseline;
+
+    Fixture()
+    {
+        lw = LoadedWorkload::load(findWorkload("conv"));
+        baseline = buildCoreStream(lw->tdg().trace());
+    }
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const WorkloadSpec &spec = findWorkload("conv");
+    for (auto _ : state) {
+        ProgramBuilder pb;
+        SimMemory mem;
+        std::vector<std::int64_t> args;
+        spec.build(pb, mem, args);
+        const Program prog = pb.build();
+        Trace trace(&prog);
+        TraceGenConfig cfg;
+        cfg.maxInsts = 100'000;
+        generateTrace(prog, mem, args, trace, cfg);
+        benchmark::DoNotOptimize(trace.size());
+        state.SetItemsProcessed(state.items_processed() +
+                                trace.size());
+    }
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+void
+BM_TdgConstruction(benchmark::State &state)
+{
+    const Program &prog = fixture().lw->program();
+    const Trace &src = fixture().lw->tdg().trace();
+    for (auto _ : state) {
+        Trace copy(&prog);
+        copy.reserve(src.size());
+        for (const DynInst &di : src.insts())
+            copy.push(di);
+        const Tdg tdg(prog, std::move(copy));
+        benchmark::DoNotOptimize(tdg.loops().numLoops());
+        state.SetItemsProcessed(state.items_processed() +
+                                src.size());
+    }
+}
+BENCHMARK(BM_TdgConstruction)->Unit(benchmark::kMillisecond);
+
+void
+BM_PipelineTiming(benchmark::State &state)
+{
+    PipelineConfig cfg;
+    cfg.core = coreConfig(CoreKind::OOO2);
+    const PipelineModel model(cfg);
+    const MStream &stream = fixture().baseline;
+    for (auto _ : state) {
+        const PipelineResult res = model.run(stream);
+        benchmark::DoNotOptimize(res.cycles);
+        state.SetItemsProcessed(state.items_processed() +
+                                stream.size());
+    }
+}
+BENCHMARK(BM_PipelineTiming)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimdTransform(benchmark::State &state)
+{
+    const Tdg &tdg = fixture().lw->tdg();
+    const TdgAnalyzer an(tdg);
+    for (auto _ : state) {
+        SimdTransform tf(tdg, an);
+        for (const Loop &loop : tdg.loops().loops()) {
+            if (!tf.canTarget(loop.id))
+                continue;
+            const TransformOutput out =
+                tf.transformLoop(loop.id,
+                                 tdg.occurrencesOf(loop.id));
+            benchmark::DoNotOptimize(out.stream.size());
+        }
+    }
+}
+BENCHMARK(BM_SimdTransform)->Unit(benchmark::kMillisecond);
+
+void
+BM_AnalyzerPasses(benchmark::State &state)
+{
+    const Tdg &tdg = fixture().lw->tdg();
+    for (auto _ : state) {
+        const TdgAnalyzer an(tdg);
+        benchmark::DoNotOptimize(&an);
+    }
+}
+BENCHMARK(BM_AnalyzerPasses)->Unit(benchmark::kMillisecond);
+
+void
+BM_CycleAccurateReference(benchmark::State &state)
+{
+    const CycleCoreSim sim(coreConfig(CoreKind::OOO2));
+    const MStream &stream = fixture().baseline;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim.run(stream));
+        state.SetItemsProcessed(state.items_processed() +
+                                stream.size());
+    }
+}
+BENCHMARK(BM_CycleAccurateReference)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace prism
+
+BENCHMARK_MAIN();

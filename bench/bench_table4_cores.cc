@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates Table 4: general core configurations, plus the derived
+ * area and per-cycle leakage of each design point.
+ */
+
+#include "bench_util.hh"
+
+#include "energy/area_model.hh"
+#include "energy/energy_model.hh"
+
+using namespace prism;
+using namespace prism::bench;
+
+int
+main()
+{
+    banner("Table 4: General Core Configurations");
+
+    Table t({"Parameter", "IO2", "OOO2", "OOO4", "OOO6"});
+    auto row = [&t](const char *name, auto fn) {
+        std::vector<std::string> cells{name};
+        for (CoreKind k : kTable4Cores)
+            cells.push_back(fn(coreConfig(k)));
+        t.addRow(cells);
+    };
+    row("Fetch/Dispatch/Issue/WB width", [](const CoreConfig &c) {
+        return std::to_string(c.width);
+    });
+    row("ROB size", [](const CoreConfig &c) {
+        return c.inorder ? std::string("-")
+                         : std::to_string(c.robSize);
+    });
+    row("Instr. window", [](const CoreConfig &c) {
+        return c.inorder ? std::string("-")
+                         : std::to_string(c.instWindow);
+    });
+    row("DCache ports", [](const CoreConfig &c) {
+        return std::to_string(c.dcachePorts);
+    });
+    row("FUs (ALU,Mul/Div,FP)", [](const CoreConfig &c) {
+        return std::to_string(c.numAlu) + "," +
+               std::to_string(c.numMulDiv) + "," +
+               std::to_string(c.numFp);
+    });
+    t.addSeparator();
+    row("Area (mm^2 @22nm, +L1)", [](const CoreConfig &c) {
+        return fmt(coreArea(coreKindFromName(c.name)), 1);
+    });
+    row("Leakage (pJ/cycle)", [](const CoreConfig &c) {
+        const EnergyModel m(c);
+        return fmt(m.table().coreLeakage, 1);
+    });
+    std::printf("%s", t.render().c_str());
+
+    std::printf("\nCommon: 2-way 32KiB I$ + 64KiB L1D$ (4-cycle), "
+                "8-way 2MB L2$ (22-cycle hit), 256-bit SIMD.\n");
+
+    banner("BSA hardware parameters (Section 3.1)");
+    Table a({"BSA", "issue", "window", "mem ports", "WB bus",
+             "config cyc", "area mm^2"});
+    auto arow = [&a](const char *name, const AccelParams &p,
+                     BsaKind kind) {
+        a.addRow({name, std::to_string(p.issueWidth),
+                  std::to_string(p.window),
+                  std::to_string(p.memPorts),
+                  std::to_string(p.wbBusWidth),
+                  std::to_string(p.configCycles),
+                  fmt(bsaArea(kind), 2)});
+    };
+    a.addRow({"SIMD (vector datapath on core)", "-", "-", "-", "-",
+              "0", fmt(bsaArea(BsaKind::Simd), 2)});
+    arow("DP-CGRA", dpCgraParams(), BsaKind::DpCgra);
+    arow("NS-DF", nsdfParams(), BsaKind::Nsdf);
+    arow("Trace-P", tracepParams(), BsaKind::Tracep);
+    std::printf("%s", a.render().c_str());
+    return 0;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Shared infrastructure for the paper-reproduction benchmark
+ * binaries: workload loading, (workload x core) model caching, and
+ * aggregate helpers. Each bench binary regenerates one table or
+ * figure of the paper (see DESIGN.md's per-experiment index).
+ */
+
+#ifndef PRISM_BENCH_BENCH_UTIL_HH
+#define PRISM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "tdg/exocore.hh"
+#include "workloads/suite.hh"
+
+namespace prism::bench
+{
+
+/** One workload with lazily built per-core models. */
+class Entry
+{
+  public:
+    explicit Entry(const WorkloadSpec &spec) : spec_(&spec) {}
+
+    const WorkloadSpec &spec() const { return *spec_; }
+    const std::string name() const { return spec_->name; }
+
+    const Tdg &
+    tdg()
+    {
+        ensureLoaded();
+        return lw_->tdg();
+    }
+
+    BenchmarkModel &
+    model(CoreKind core)
+    {
+        ensureLoaded();
+        auto it = models_.find(core);
+        if (it == models_.end()) {
+            it = models_
+                     .emplace(core, std::make_unique<BenchmarkModel>(
+                                        lw_->tdg(), core))
+                     .first;
+        }
+        return *it->second;
+    }
+
+  private:
+    void
+    ensureLoaded()
+    {
+        if (!lw_)
+            lw_ = LoadedWorkload::load(*spec_);
+    }
+
+    const WorkloadSpec *spec_;
+    std::unique_ptr<LoadedWorkload> lw_;
+    std::map<CoreKind, std::unique_ptr<BenchmarkModel>> models_;
+};
+
+/** All Table 3 workloads as bench entries. */
+inline std::vector<Entry>
+loadSuite()
+{
+    std::vector<Entry> entries;
+    for (const WorkloadSpec &spec : allWorkloads())
+        entries.emplace_back(spec);
+    return entries;
+}
+
+/** The vertical microbenchmarks as bench entries. */
+inline std::vector<Entry>
+loadMicrobenchmarks()
+{
+    std::vector<Entry> entries;
+    for (const WorkloadSpec &spec : microbenchmarks())
+        entries.emplace_back(spec);
+    return entries;
+}
+
+/** Result pair used throughout the figures. */
+struct PerfEnergy
+{
+    double perf = 1.0;   ///< relative performance (higher better)
+    double energy = 1.0; ///< relative energy (lower better)
+};
+
+/**
+ * Evaluate one ExoCore configuration for one workload, normalized to
+ * a reference (core, no-BSA) baseline.
+ */
+inline PerfEnergy
+evalConfig(Entry &e, CoreKind core, unsigned mask, CoreKind ref_core,
+           SchedulerKind sched = SchedulerKind::Oracle)
+{
+    const ExoResult res = e.model(core).evaluate(mask, sched);
+    const ExoResult &ref = e.model(ref_core).baseline();
+    PerfEnergy pe;
+    pe.perf = static_cast<double>(ref.cycles) /
+              static_cast<double>(res.cycles);
+    pe.energy = res.energy / ref.energy;
+    return pe;
+}
+
+/** Geometric mean of a metric over entries. */
+template <typename Fn>
+double
+geomeanOver(std::vector<Entry> &entries, Fn fn)
+{
+    std::vector<double> xs;
+    xs.reserve(entries.size());
+    for (Entry &e : entries)
+        xs.push_back(fn(e));
+    return geomean(xs);
+}
+
+/** Figure 12 style configuration name, e.g. "OOO2-SDN". */
+inline std::string
+configName(CoreKind core, unsigned mask)
+{
+    std::string name = coreConfig(core).name;
+    if (mask != 0) {
+        name += "-";
+        for (std::size_t i = 0; i < kAllBsas.size(); ++i) {
+            if (mask & (1u << i))
+                name += bsaLetter(kAllBsas[i]);
+        }
+    }
+    return name;
+}
+
+/** Print a section header for bench output. */
+inline void
+banner(const char *title)
+{
+    std::printf("\n==== %s ====\n\n", title);
+}
+
+} // namespace prism::bench
+
+#endif // PRISM_BENCH_BENCH_UTIL_HH

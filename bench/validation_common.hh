@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Shared logic for the Table 1 / Figure 5 validation experiments.
+ *
+ * Core validation: the µDG longest-path timing of baseline streams is
+ * compared against the discrete-event reference simulator at the
+ * 1-wide and 8-wide OOO extremes (the paper's cross-validation).
+ *
+ * BSA validation: for each accelerator, the TDG transform is applied
+ * to every loop its analysis accepts; the *same* rewritten streams
+ * are then timed by (a) the µDG longest-path model (the projection)
+ * and (b) the discrete-event simulator (the reference). The compared
+ * quantities are relative speedup and energy reduction over a common
+ * baseline core, exactly as in the paper's Table 1.
+ */
+
+#ifndef PRISM_BENCH_VALIDATION_COMMON_HH
+#define PRISM_BENCH_VALIDATION_COMMON_HH
+
+#include <functional>
+
+#include "bench_util.hh"
+
+#include "energy/energy_model.hh"
+#include "tdg/constructor.hh"
+#include "tdg/reference/ref_models.hh"
+#include "uarch/pipeline_model.hh"
+
+namespace prism::bench
+{
+
+/** Projected-vs-reference pair for one workload. */
+struct ValPoint
+{
+    std::string name;
+    double projected = 0;
+    double reference = 0;
+
+    double
+    relError() const
+    {
+        return reference != 0
+                   ? std::abs(projected / reference - 1.0)
+                   : 0.0;
+    }
+};
+
+/** Core-model validation: µDG IPC/IPE vs discrete-event simulation. */
+struct CoreValidation
+{
+    std::vector<ValPoint> ipc;
+    std::vector<ValPoint> ipe; ///< instructions per unit energy
+};
+
+inline CoreValidation
+validateCore(std::vector<Entry> &entries, CoreKind core)
+{
+    CoreValidation val;
+    const CoreConfig &cfg = coreConfig(core);
+    PipelineConfig pcfg;
+    pcfg.core = cfg;
+    const PipelineModel model(pcfg);
+    const CycleCoreSim sim(pcfg);
+    const EnergyModel em(cfg);
+
+    for (Entry &e : entries) {
+        const MStream stream = buildCoreStream(e.tdg().trace());
+        const PipelineResult proj = model.run(stream);
+        const Cycle ref_cycles = sim.run(stream);
+        const double n = static_cast<double>(stream.size());
+
+        ValPoint p;
+        p.name = e.name();
+        p.projected = n / static_cast<double>(proj.cycles);
+        p.reference = n / static_cast<double>(ref_cycles);
+        val.ipc.push_back(p);
+
+        // Same events either way; energies differ through leakage.
+        ValPoint q;
+        q.name = e.name();
+        q.projected = n / em.energy(proj.events, proj.cycles);
+        q.reference = n / em.energy(proj.events, ref_cycles);
+        val.ipe.push_back(q);
+    }
+    return val;
+}
+
+/** Timing executor: either the µDG model or the reference sim. */
+using Executor = std::function<Cycle(const MStream &)>;
+
+/** Speedup + energy-reduction of "accelerate every analyzable
+ *  region" under a given timing executor. */
+struct SideEval
+{
+    bool applicable = false;
+    double speedup = 1.0;
+    double energyReduction = 1.0;
+};
+
+inline SideEval
+evalSide(BenchmarkModel &bm, const Tdg &tdg, BsaKind bsa,
+         const Executor &exec, const EnergyModel &em)
+{
+    SideEval out;
+    const TdgAnalyzer &an = bm.analyzer();
+    const int u_is_offload =
+        (bsa == BsaKind::Nsdf || bsa == BsaKind::Tracep) ? 1 : 0;
+
+    const MStream base_stream = buildCoreStream(tdg.trace());
+    const Cycle base_cycles = exec(base_stream);
+    const EventCounts base_ev = tallyEvents(base_stream);
+    const double base_energy = em.energy(base_ev, base_cycles);
+
+    double cycles = static_cast<double>(base_cycles);
+    double energy = base_energy;
+
+    auto transform = makeTransform(bsa, tdg, *const_cast<TdgAnalyzer *>(&an));
+    for (const Loop &loop : tdg.loops().loops()) {
+        if (!an.usable(bsa, loop.id))
+            continue;
+        if (bsa == BsaKind::Nsdf && loop.parent >= 0 &&
+            an.usable(bsa, loop.parent)) {
+            continue; // take the outermost usable nest only
+        }
+        const auto occs = tdg.occurrencesOf(loop.id);
+        if (occs.empty())
+            continue;
+
+        // Region baseline: the loop's occurrences, concatenated.
+        std::vector<std::pair<DynId, DynId>> ranges;
+        for (const LoopOccurrence *occ : occs)
+            ranges.emplace_back(occ->begin, occ->end);
+        std::vector<std::size_t> bounds;
+        const MStream core_region =
+            buildCoreStreamRanges(tdg.trace(), ranges, bounds);
+        const Cycle base_region = exec(core_region);
+        const EventCounts core_ev = tallyEvents(core_region);
+
+        // Region accelerated: the transformed stream.
+        const TransformOutput tf_out =
+            transform->transformLoop(loop.id, occs);
+        if (tf_out.stream.empty())
+            continue;
+        const Cycle accel_region = exec(tf_out.stream);
+        const EventCounts accel_ev = tallyEvents(tf_out.stream);
+
+        Cycle gated = 0;
+        if (u_is_offload) {
+            const double frac =
+                static_cast<double>(
+                    accel_ev.unitInsts[static_cast<std::size_t>(
+                        bsa == BsaKind::Nsdf ? ExecUnit::Nsdf
+                                             : ExecUnit::Tracep)]) /
+                static_cast<double>(tf_out.stream.size());
+            gated = static_cast<Cycle>(
+                static_cast<double>(accel_region) * frac);
+        }
+
+        out.applicable = true;
+        cycles += static_cast<double>(accel_region) -
+                  static_cast<double>(base_region);
+        energy += em.energy(accel_ev, accel_region, gated) -
+                  em.energy(core_ev, base_region);
+    }
+    if (!out.applicable)
+        return out;
+    out.speedup =
+        static_cast<double>(base_cycles) / std::max(1.0, cycles);
+    out.energyReduction = base_energy / std::max(1.0, energy);
+    return out;
+}
+
+/** Validation rows for one BSA over a benchmark list. */
+struct BsaValidation
+{
+    std::vector<ValPoint> speedup;
+    std::vector<ValPoint> energy; ///< energy reduction
+};
+
+inline BsaValidation
+validateBsa(std::vector<Entry> &entries, BsaKind bsa, CoreKind base,
+            const std::vector<std::string> &names)
+{
+    BsaValidation val;
+    PipelineConfig pcfg;
+    pcfg.core = coreConfig(base);
+    const PipelineModel model(pcfg);
+    const CycleCoreSim sim(pcfg);
+    const EnergyModel em(pcfg.core,
+                         static_cast<unsigned>(kAllBsas.size()));
+
+    const Executor proj_exec = [&model](const MStream &s) {
+        return model.run(s).cycles;
+    };
+    const Executor ref_exec = [&sim](const MStream &s) {
+        return sim.run(s);
+    };
+
+    for (Entry &e : entries) {
+        if (!names.empty() &&
+            std::find(names.begin(), names.end(), e.name()) ==
+                names.end()) {
+            continue;
+        }
+        BenchmarkModel &bm = e.model(base);
+        const SideEval proj =
+            evalSide(bm, e.tdg(), bsa, proj_exec, em);
+        const SideEval ref = evalSide(bm, e.tdg(), bsa, ref_exec, em);
+        if (!proj.applicable || !ref.applicable)
+            continue;
+        ValPoint s;
+        s.name = e.name();
+        s.projected = proj.speedup;
+        s.reference = ref.speedup;
+        val.speedup.push_back(s);
+        ValPoint en;
+        en.name = e.name();
+        en.projected = proj.energyReduction;
+        en.reference = ref.energyReduction;
+        val.energy.push_back(en);
+    }
+    return val;
+}
+
+/** Average |relative error| over points. */
+inline double
+avgError(const std::vector<ValPoint> &pts)
+{
+    if (pts.empty())
+        return 0.0;
+    double acc = 0;
+    for (const ValPoint &p : pts)
+        acc += p.relError();
+    return acc / static_cast<double>(pts.size());
+}
+
+/** "lo - hi" range string of the reference metric. */
+inline std::string
+rangeOf(const std::vector<ValPoint> &pts)
+{
+    if (pts.empty())
+        return "-";
+    double lo = pts.front().reference;
+    double hi = lo;
+    for (const ValPoint &p : pts) {
+        lo = std::min(lo, p.reference);
+        hi = std::max(hi, p.reference);
+    }
+    return fmt(lo, 2) + " - " + fmt(hi, 2);
+}
+
+/** The per-BSA validation benchmark lists (paper Section 2.5). */
+inline std::vector<std::string>
+validationSet(BsaKind bsa)
+{
+    switch (bsa) {
+      case BsaKind::Nsdf: // stands in for Conservation Cores
+        return {"djpeg-2", "cjpeg-2", "175.vpr", "429.mcf",
+                "401.bzip2", "256.bzip2"};
+      case BsaKind::Tracep: // stands in for BERET
+        return {"181.mcf", "429.mcf", "164.gzip", "175.vpr",
+                "197.parser", "256.bzip2", "cjpeg-2", "gsmdecode",
+                "gsmencode"};
+      case BsaKind::Simd:
+        return {"conv", "merge", "nbody", "radar", "treesearch",
+                "vr", "cutcp", "fft", "kmeans", "lbm", "mm",
+                "needle", "spmv", "stencil"};
+      case BsaKind::DpCgra: // stands in for DySER
+        return {"conv", "merge", "nbody", "radar", "treesearch",
+                "vr", "cutcp", "fft", "kmeans", "lbm", "mm",
+                "needle", "spmv", "stencil"};
+    }
+    return {};
+}
+
+/** The paper's baseline core for each validated accelerator. */
+inline CoreKind
+validationBase(BsaKind bsa)
+{
+    switch (bsa) {
+      case BsaKind::Nsdf:
+      case BsaKind::Tracep:
+        return CoreKind::IO2; // C-Cores/BERET used IO2 bases
+      default:
+        return CoreKind::OOO4; // SIMD/DySER used OOO4
+    }
+}
+
+} // namespace prism::bench
+
+#endif // PRISM_BENCH_VALIDATION_COMMON_HH

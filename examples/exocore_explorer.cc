@@ -1,0 +1,109 @@
+/**
+ * @file
+ * ExoCore design-space explorer for one workload.
+ *
+ * Usage: exocore_explorer [workload-name]
+ *
+ * Evaluates all 64 (core x BSA-subset) design points for the chosen
+ * workload, prints the table, and extracts the Pareto frontier over
+ * (performance, energy) — a per-workload version of the paper's
+ * Figures 3 and 12.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "energy/area_model.hh"
+#include "tdg/exocore.hh"
+#include "workloads/suite.hh"
+
+using namespace prism;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "mm";
+    std::printf("Exploring ExoCore design space for '%s'...\n\n",
+                name.c_str());
+    const auto lw = LoadedWorkload::load(findWorkload(name));
+
+    struct Point
+    {
+        std::string name;
+        double perf;    // vs IO2 core
+        double energy;  // vs IO2 core
+        double area;    // mm^2
+        bool pareto = false;
+    };
+    std::vector<Point> points;
+
+    // Reference: the IO2 core alone.
+    const BenchmarkModel io2(lw->tdg(), CoreKind::IO2);
+    const double ref_cycles =
+        static_cast<double>(io2.baseline().cycles);
+    const double ref_energy = io2.baseline().energy;
+
+    for (CoreKind core : kTable4Cores) {
+        const BenchmarkModel bm(lw->tdg(), core);
+        for (unsigned mask = 0; mask < 16; ++mask) {
+            const ExoResult res = bm.evaluate(mask);
+            Point p;
+            p.name = coreConfig(core).name;
+            if (mask) {
+                p.name += "-";
+                for (std::size_t i = 0; i < kAllBsas.size(); ++i) {
+                    if (mask & (1u << i))
+                        p.name += bsaLetter(kAllBsas[i]);
+                }
+            }
+            p.perf = ref_cycles / static_cast<double>(res.cycles);
+            p.energy = res.energy / ref_energy;
+            p.area = exoCoreArea(core, mask);
+            points.push_back(p);
+        }
+    }
+
+    // Pareto frontier: no other point is faster AND lower-energy.
+    for (Point &p : points) {
+        p.pareto = true;
+        for (const Point &q : points) {
+            if (q.perf > p.perf && q.energy < p.energy) {
+                p.pareto = false;
+                break;
+            }
+        }
+    }
+
+    std::sort(points.begin(), points.end(),
+              [](const Point &a, const Point &b) {
+                  return a.perf > b.perf;
+              });
+    Table t({"design", "rel. perf", "rel. energy", "area mm^2",
+             "frontier"});
+    for (const Point &p : points) {
+        t.addRow({p.name, fmt(p.perf, 2), fmt(p.energy, 2),
+                  fmt(p.area, 1), p.pareto ? "*" : ""});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\n(*) = on the performance/energy Pareto frontier\n");
+
+    int frontier_exo = 0;
+    int frontier_bare = 0;
+    for (const Point &p : points) {
+        if (!p.pareto)
+            continue;
+        if (p.name.find('-') != std::string::npos)
+            ++frontier_exo;
+        else
+            ++frontier_bare;
+    }
+    std::printf("\nFrontier composition: %d ExoCore designs, %d bare "
+                "cores — BSAs %s the frontier for this workload.\n",
+                frontier_exo, frontier_bare,
+                frontier_exo > frontier_bare ? "dominate"
+                                             : "do not dominate");
+    return 0;
+}

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * prism_cli — command-line inspector for the Prism library, the tool
+ * a downstream user reaches for first:
+ *
+ *   prism_cli list                      all registered workloads
+ *   prism_cli disasm  <workload>        guest-program disassembly
+ *   prism_cli stats   <workload>        trace + memory statistics
+ *   prism_cli loops   <workload>        loop forest with profiles
+ *   prism_cli plans   <workload>        per-loop BSA analysis verdicts
+ *   prism_cli eval    <workload> <core> [SDNT]
+ *                                       one ExoCore design point
+ *   prism_cli record  <workload> <file> save the trace to disk
+ *   prism_cli replay  <workload> <file> evaluate from a saved trace
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "tdg/constructor.hh"
+#include "tdg/exocore.hh"
+#include "trace/serialize.hh"
+#include "trace/trace_stats.hh"
+#include "uarch/pipeline_model.hh"
+#include "workloads/suite.hh"
+
+using namespace prism;
+
+namespace
+{
+
+int
+cmdList()
+{
+    Table t({"name", "suite", "class", "max insts"});
+    for (const WorkloadSpec &w : allWorkloads()) {
+        t.addRow({w.name, w.suite, suiteClassName(w.cls),
+                  std::to_string(w.maxInsts)});
+    }
+    t.addSeparator();
+    for (const WorkloadSpec &w : microbenchmarks()) {
+        t.addRow({w.name, w.suite, suiteClassName(w.cls),
+                  std::to_string(w.maxInsts)});
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdDisasm(const std::string &name)
+{
+    const auto lw = LoadedWorkload::load(findWorkload(name), 1000);
+    std::printf("%s", lw->program().disassemble().c_str());
+    return 0;
+}
+
+int
+cmdStats(const std::string &name)
+{
+    const auto lw = LoadedWorkload::load(findWorkload(name));
+    const TraceStats st = computeStats(lw->tdg().trace());
+    std::printf("%s\n", st.toString().c_str());
+    std::printf("L1D miss rate %.1f%%, L2 miss rate %.1f%%\n",
+                lw->genResult().l1dMissRate * 100,
+                lw->genResult().l2MissRate * 100);
+    std::printf("branch fraction %.1f%%, mispredict rate %.1f%%\n",
+                st.branchFraction() * 100, st.mispredictRate() * 100);
+    // Top opcodes.
+    Table t({"opcode", "count", "share"});
+    for (int rank = 0; rank < 8; ++rank) {
+        std::size_t best = 0;
+        std::uint64_t best_count = 0;
+        static std::array<bool, kNumOpcodes> used{};
+        if (rank == 0)
+            used.fill(false);
+        for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+            if (!used[i] && st.opCounts[i] > best_count) {
+                best = i;
+                best_count = st.opCounts[i];
+            }
+        }
+        if (best_count == 0)
+            break;
+        used[best] = true;
+        t.addRow({std::string(opName(static_cast<Opcode>(best))),
+                  std::to_string(best_count),
+                  fmtPct(static_cast<double>(best_count) /
+                             static_cast<double>(st.numInsts),
+                         1)});
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdLoops(const std::string &name)
+{
+    const auto lw = LoadedWorkload::load(findWorkload(name));
+    const Tdg &tdg = lw->tdg();
+    Table t({"loop", "func", "depth", "static", "dyn insts",
+             "avg trip", "paths", "loop-back", "hot path"});
+    for (const Loop &loop : tdg.loops().loops()) {
+        const PathProfile &pp = tdg.pathProfile(loop.id);
+        const auto occs = tdg.occurrencesOf(loop.id);
+        std::uint64_t iters = 0;
+        for (const LoopOccurrence *occ : occs)
+            iters += occ->numIters();
+        t.addRow({std::to_string(loop.id),
+                  tdg.program().function(loop.func).name,
+                  std::to_string(loop.depth),
+                  std::to_string(loop.numStaticInstrs),
+                  std::to_string(tdg.dynInstsOf(loop.id)),
+                  occs.empty() ? "-"
+                               : fmt(static_cast<double>(iters) /
+                                         static_cast<double>(
+                                             occs.size()),
+                                     1),
+                  std::to_string(pp.numStaticPaths),
+                  fmtPct(pp.loopBackProbability(), 0),
+                  fmtPct(pp.hotPathFraction(), 0)});
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdPlans(const std::string &name)
+{
+    const auto lw = LoadedWorkload::load(findWorkload(name));
+    const Tdg &tdg = lw->tdg();
+    const TdgAnalyzer an(tdg);
+    Table t({"loop", "SIMD", "DP-CGRA", "NS-DF", "Trace-P"});
+    for (const Loop &loop : tdg.loops().loops()) {
+        auto verdict = [&](BsaKind b) -> std::string {
+            if (an.usable(b, loop.id))
+                return "yes";
+            switch (b) {
+              case BsaKind::Simd: return an.simd(loop.id).reason;
+              case BsaKind::DpCgra: return an.cgra(loop.id).reason;
+              case BsaKind::Nsdf: return an.nsdf(loop.id).reason;
+              case BsaKind::Tracep:
+                return an.tracep(loop.id).reason;
+            }
+            return "?";
+        };
+        t.addRow({std::to_string(loop.id), verdict(BsaKind::Simd),
+                  verdict(BsaKind::DpCgra), verdict(BsaKind::Nsdf),
+                  verdict(BsaKind::Tracep)});
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdCritpath(const std::string &name, const std::string &core_name)
+{
+    const auto lw = LoadedWorkload::load(findWorkload(name));
+    PipelineConfig cfg;
+    cfg.core = coreConfig(coreKindFromName(core_name));
+    const MStream stream = buildCoreStream(lw->tdg().trace());
+    const PipelineResult res = PipelineModel(cfg).run(stream);
+    std::printf("%s on %s: %llu cycles (IPC %.2f)\n", name.c_str(),
+                cfg.core.name.c_str(),
+                static_cast<unsigned long long>(res.cycles),
+                res.ipc(stream.size()));
+    std::printf("issue-time binding (which µDG edge class was "
+                "critical per instruction):\n");
+    Table t({"constraint", "insts", "share"});
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(BindKind::NumKinds); ++k) {
+        const auto kind = static_cast<BindKind>(k);
+        if (res.binding.counts[k] == 0)
+            continue;
+        t.addRow({bindKindName(kind),
+                  std::to_string(res.binding.counts[k]),
+                  fmtPct(res.binding.fraction(kind), 1)});
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+unsigned
+parseMask(const char *letters)
+{
+    unsigned mask = 0;
+    for (const char *p = letters; *p; ++p) {
+        bool found = false;
+        for (std::size_t i = 0; i < kAllBsas.size(); ++i) {
+            if (bsaLetter(kAllBsas[i]) == std::toupper(*p)) {
+                mask |= 1u << i;
+                found = true;
+            }
+        }
+        if (!found)
+            fatal("unknown BSA letter '%c' (use S/D/N/T)", *p);
+    }
+    return mask;
+}
+
+int
+cmdEval(const std::string &name, const std::string &core_name,
+        const char *letters)
+{
+    const auto lw = LoadedWorkload::load(findWorkload(name));
+    const CoreKind core = coreKindFromName(core_name);
+    const unsigned mask = letters ? parseMask(letters) : kFullBsaMask;
+    const BenchmarkModel bm(lw->tdg(), core);
+    const ExoResult res = bm.evaluate(mask);
+    const ExoResult &base = bm.baseline();
+    std::printf("%s on %s with mask 0x%X:\n", name.c_str(),
+                coreConfig(core).name.c_str(), mask);
+    std::printf("  baseline : %llu cycles, %.2f uJ\n",
+                static_cast<unsigned long long>(base.cycles),
+                base.energy / 1e6);
+    std::printf("  exocore  : %llu cycles, %.2f uJ  (%.2fx speedup, "
+                "%.2fx energy efficiency)\n",
+                static_cast<unsigned long long>(res.cycles),
+                res.energy / 1e6,
+                static_cast<double>(base.cycles) /
+                    static_cast<double>(res.cycles),
+                base.energy / res.energy);
+    for (const ExoChoice &c : res.choices)
+        std::printf("  loop %d -> %s\n", c.loopId, unitName(c.unit));
+    return 0;
+}
+
+int
+cmdRecord(const std::string &name, const std::string &path)
+{
+    const auto lw = LoadedWorkload::load(findWorkload(name));
+    saveTrace(lw->tdg().trace(), path);
+    std::printf("recorded %zu dynamic instructions to %s\n",
+                lw->tdg().trace().size(), path.c_str());
+    return 0;
+}
+
+int
+cmdReplay(const std::string &name, const std::string &path)
+{
+    // Rebuild the program (cheap), then reuse the recorded trace.
+    const WorkloadSpec &spec = findWorkload(name);
+    ProgramBuilder pb;
+    SimMemory mem;
+    std::vector<std::int64_t> args;
+    spec.build(pb, mem, args);
+    const Program prog = pb.build();
+    if (!traceFileMatches(prog, path))
+        fatal("'%s' does not match workload '%s'", path.c_str(),
+              name.c_str());
+    Trace trace = loadTrace(prog, path);
+    std::printf("replaying %zu instructions from %s\n", trace.size(),
+                path.c_str());
+    const Tdg tdg(prog, std::move(trace));
+    const BenchmarkModel bm(tdg, CoreKind::OOO2);
+    const ExoResult res = bm.evaluate(kFullBsaMask);
+    std::printf("OOO2 full ExoCore: %.2fx speedup, %.2fx energy "
+                "efficiency\n",
+                static_cast<double>(bm.baseline().cycles) /
+                    static_cast<double>(res.cycles),
+                bm.baseline().energy / res.energy);
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage:\n"
+        "  prism_cli list\n"
+        "  prism_cli disasm|stats|loops|plans <workload>\n"
+        "  prism_cli critpath <workload> [core]\n"
+        "  prism_cli eval <workload> <IO2|OOO2|OOO4|OOO6> [SDNT]\n"
+        "  prism_cli record|replay <workload> <trace-file>\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList();
+    if (argc < 3) {
+        usage();
+        return 1;
+    }
+    const std::string workload = argv[2];
+    if (cmd == "disasm")
+        return cmdDisasm(workload);
+    if (cmd == "stats")
+        return cmdStats(workload);
+    if (cmd == "loops")
+        return cmdLoops(workload);
+    if (cmd == "plans")
+        return cmdPlans(workload);
+    if (cmd == "critpath")
+        return cmdCritpath(workload,
+                           argc >= 4 ? argv[3] : "OOO2");
+    if (cmd == "eval" && argc >= 4)
+        return cmdEval(workload, argv[3], argc >= 5 ? argv[4] : nullptr);
+    if (cmd == "record" && argc >= 4)
+        return cmdRecord(workload, argv[3]);
+    if (cmd == "replay" && argc >= 4)
+        return cmdReplay(workload, argv[3]);
+    usage();
+    return 1;
+}

@@ -1,0 +1,103 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace prism
+{
+
+namespace
+{
+LogLevel g_level = LogLevel::Warn;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+namespace detail
+{
+
+std::string
+vformat(const char *fmt, std::va_list ap)
+{
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+void
+assertFail(const char *cond, const char *file, int line, const char *fmt,
+           ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    const std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d: %s\n",
+                 cond, file, line, msg.c_str());
+    std::abort();
+}
+
+} // namespace detail
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    const std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    const std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Warn)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    const std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Inform)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    const std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace prism

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic, fatal, warn, inform.
+ *
+ * panic()  - an internal Prism invariant was violated (a bug in Prism).
+ * fatal()  - the user asked for something impossible (bad config/input).
+ * warn()   - something is approximated or partially implemented.
+ * inform() - plain status output.
+ */
+
+#ifndef PRISM_COMMON_LOGGING_HH
+#define PRISM_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace prism
+{
+
+/** Verbosity filter for inform()/warn(); messages below are dropped. */
+enum class LogLevel { Silent, Warn, Inform };
+
+/** Set the process-wide log level (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** Current process-wide log level. */
+LogLevel logLevel();
+
+/** Abort with a formatted message; use for internal invariant violations. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message; use for user errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning about approximated or suspicious behavior. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Helpers used by the macros below. */
+namespace detail
+{
+std::string vformat(const char *fmt, std::va_list ap);
+
+/** Implementation of prism_assert's failure path. */
+[[noreturn]] void assertFail(const char *cond, const char *file, int line,
+                             const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+} // namespace detail
+
+} // namespace prism
+
+/** Assert an internal invariant with a message; compiled in all builds. */
+#define prism_assert(cond, ...)                                            \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::prism::detail::assertFail(#cond, __FILE__, __LINE__,         \
+                                        __VA_ARGS__);                      \
+        }                                                                  \
+    } while (0)
+
+#endif // PRISM_COMMON_LOGGING_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic xorshift128+ RNG. Workload input generation must be
+ * reproducible across runs and platforms, so we avoid std::mt19937's
+ * distribution-implementation variance by generating everything here.
+ */
+
+#ifndef PRISM_COMMON_RNG_HH
+#define PRISM_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+/** Deterministic, seedable pseudo-random generator (xorshift128+). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // SplitMix64 seeding so nearby seeds give unrelated streams.
+        auto next = [&seed]() {
+            seed += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            return z ^ (z >> 31);
+        };
+        s0_ = next();
+        s1_ = next();
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        prism_assert(bound != 0, "Rng::below(0)");
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi], inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        prism_assert(hi >= lo, "Rng::range bounds inverted");
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace prism
+
+#endif // PRISM_COMMON_RNG_HH

@@ -1,0 +1,124 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        prism_assert(x > 0.0, "geomean requires positive values");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+harmonicMean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double inv_sum = 0.0;
+    for (double x : xs) {
+        prism_assert(x > 0.0, "harmonic mean requires positive values");
+        inv_sum += 1.0 / x;
+    }
+    return static_cast<double>(xs.size()) / inv_sum;
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double
+meanAbsRelError(std::span<const double> projected,
+                std::span<const double> reference)
+{
+    prism_assert(projected.size() == reference.size(),
+                 "error vectors must align");
+    if (projected.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < projected.size(); ++i) {
+        prism_assert(reference[i] != 0.0, "reference value must be nonzero");
+        acc += std::abs(projected[i] / reference[i] - 1.0);
+    }
+    return acc / static_cast<double>(projected.size());
+}
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    prism_assert(hi > lo && buckets > 0, "bad histogram shape");
+}
+
+void
+Histogram::add(double x)
+{
+    const double frac = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::int64_t>(
+        frac * static_cast<double>(counts_.size()));
+    idx = std::clamp<std::int64_t>(
+        idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+        static_cast<double>(counts_.size());
+}
+
+} // namespace prism

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Small statistics helpers used by the evaluation harness: running
+ * moments, geometric means, and fixed-bucket histograms.
+ */
+
+#ifndef PRISM_COMMON_STATS_HH
+#define PRISM_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace prism
+{
+
+/** Arithmetic mean of a sequence; 0 for an empty sequence. */
+double mean(std::span<const double> xs);
+
+/**
+ * Geometric mean of a sequence of strictly positive values; the paper
+ * reports geomean speedups and energy ratios. Returns 0 for empty input.
+ */
+double geomean(std::span<const double> xs);
+
+/** Harmonic mean of strictly positive values; 0 for empty input. */
+double harmonicMean(std::span<const double> xs);
+
+/** Population standard deviation; 0 for fewer than two samples. */
+double stddev(std::span<const double> xs);
+
+/**
+ * Mean absolute relative error between projections and references:
+ * mean(|proj/ref - 1|). Used for Table 1 style validation summaries.
+ */
+double meanAbsRelError(std::span<const double> projected,
+                       std::span<const double> reference);
+
+/**
+ * Incremental accumulator of count/mean/min/max/variance without
+ * storing samples (Welford's algorithm).
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Population variance; 0 with fewer than two samples. */
+    double variance() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Histogram over [lo, hi) with uniformly sized buckets; samples outside
+ * the range are clamped into the first/last bucket.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double x);
+
+    std::size_t numBuckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_.at(i); }
+    std::uint64_t total() const { return total_; }
+
+    /** Inclusive lower edge of bucket i. */
+    double bucketLo(std::size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace prism
+
+#endif // PRISM_COMMON_STATS_HH

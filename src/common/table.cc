@@ -1,0 +1,93 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    prism_assert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    prism_assert(cells.size() == headers_.size(),
+                 "row width mismatches header");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back(); // empty row encodes a separator
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto rule = [&widths]() {
+        std::string s;
+        for (std::size_t w : widths)
+            s += "+" + std::string(w + 2, '-');
+        s += "+\n";
+        return s;
+    };
+    auto line = [&widths](const std::vector<std::string> &cells) {
+        std::string s;
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            s += "| " + cell + std::string(widths[c] - cell.size() + 1, ' ');
+        }
+        s += "|\n";
+        return s;
+    };
+
+    std::string out = rule();
+    out += line(headers_);
+    out += rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            out += rule();
+        else
+            out += line(row);
+    }
+    out += rule();
+    return out;
+}
+
+std::string
+fmt(double v, int places)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", places, v);
+    return buf;
+}
+
+std::string
+fmtX(double v, int places)
+{
+    return fmt(v, places) + "x";
+}
+
+std::string
+fmtPct(double frac, int places)
+{
+    return fmt(frac * 100.0, places) + "%";
+}
+
+} // namespace prism

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plain-text table formatting used by the benchmark harness to print
+ * paper-style tables and figure series to stdout.
+ */
+
+#ifndef PRISM_COMMON_TABLE_HH
+#define PRISM_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace prism
+{
+
+/**
+ * A simple left/right-aligned ASCII table. Columns are sized to fit.
+ * Numeric cells should be pre-formatted by the caller (see fmt()).
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table, including a header rule. */
+    std::string render() const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_; // empty row == separator
+};
+
+/** Format a double with the given number of decimal places. */
+std::string fmt(double v, int places = 2);
+
+/** Format a ratio as e.g. "2.61x". */
+std::string fmtX(double v, int places = 2);
+
+/** Format a fraction as a percentage, e.g. "40.2%". */
+std::string fmtPct(double frac, int places = 1);
+
+} // namespace prism
+
+#endif // PRISM_COMMON_TABLE_HH

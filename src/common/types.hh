@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fundamental scalar types shared by all Prism modules.
+ */
+
+#ifndef PRISM_COMMON_TYPES_HH
+#define PRISM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace prism
+{
+
+/** A simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** A simulated byte address in guest memory. */
+using Addr = std::uint64_t;
+
+/** Index of a static instruction within a whole Program (global). */
+using StaticId = std::uint32_t;
+
+/** Index of a dynamic instruction within a trace. */
+using DynId = std::uint64_t;
+
+/** A virtual register id, local to a guest Function. */
+using RegId = std::uint32_t;
+
+/** Sentinel for "no register". */
+inline constexpr RegId kNoReg = std::numeric_limits<RegId>::max();
+
+/** Sentinel for "no producing dynamic instruction". */
+inline constexpr std::int64_t kNoProducer = -1;
+
+/** Sentinel for "no static instruction". */
+inline constexpr StaticId kNoStatic = std::numeric_limits<StaticId>::max();
+
+/** Energy in picojoules. */
+using PicoJoule = double;
+
+/** Area in square millimeters (22nm, as in the paper). */
+using MilliMeter2 = double;
+
+} // namespace prism
+
+#endif // PRISM_COMMON_TYPES_HH

@@ -1,0 +1,71 @@
+#include "energy/area_model.hh"
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+char
+bsaLetter(BsaKind b)
+{
+    switch (b) {
+      case BsaKind::Simd: return 'S';
+      case BsaKind::DpCgra: return 'D';
+      case BsaKind::Nsdf: return 'N';
+      case BsaKind::Tracep: return 'T';
+    }
+    panic("bad BSA");
+}
+
+const char *
+bsaName(BsaKind b)
+{
+    switch (b) {
+      case BsaKind::Simd: return "SIMD";
+      case BsaKind::DpCgra: return "DP-CGRA";
+      case BsaKind::Nsdf: return "NS-DF";
+      case BsaKind::Tracep: return "Trace-P";
+    }
+    panic("bad BSA");
+}
+
+MilliMeter2
+coreArea(CoreKind kind)
+{
+    // Core + L1s, 22nm. Magnitudes follow McPAT trends: OOO cost grows
+    // superlinearly with width (rename, bypass, window CAMs).
+    switch (kind) {
+      case CoreKind::IO2: return 1.5;
+      case CoreKind::OOO1: return 1.9;
+      case CoreKind::OOO2: return 2.6;
+      case CoreKind::OOO4: return 5.4;
+      case CoreKind::OOO6: return 8.6;
+      case CoreKind::OOO8: return 12.5;
+    }
+    panic("bad core kind");
+}
+
+MilliMeter2
+bsaArea(BsaKind kind)
+{
+    switch (kind) {
+      case BsaKind::Simd: return 0.6;    // vector RF + 256b datapath
+      case BsaKind::DpCgra: return 0.9;  // 64-FU fabric [17]
+      case BsaKind::Nsdf: return 0.8;    // SEED-like dataflow [36]
+      case BsaKind::Tracep: return 0.7;  // BERET-like engine [18]
+    }
+    panic("bad BSA");
+}
+
+MilliMeter2
+exoCoreArea(CoreKind core, unsigned bsa_mask)
+{
+    MilliMeter2 area = coreArea(core);
+    for (std::size_t i = 0; i < kAllBsas.size(); ++i) {
+        if (bsa_mask & (1u << i))
+            area += bsaArea(kAllBsas[i]);
+    }
+    return area;
+}
+
+} // namespace prism

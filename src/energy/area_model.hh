@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Area model (22nm). Core areas follow McPAT-like magnitudes; BSA
+ * areas follow the respective publications ([17] DySER, [18] BERET,
+ * [36] SEED), as the paper does in Section 4. Areas exclude the
+ * shared L2 (design comparisons in Figure 12 are over core-private
+ * area).
+ */
+
+#ifndef PRISM_ENERGY_AREA_MODEL_HH
+#define PRISM_ENERGY_AREA_MODEL_HH
+
+#include "common/types.hh"
+#include "uarch/core_config.hh"
+
+namespace prism
+{
+
+/** Which BSA, for area/selection purposes. */
+enum class BsaKind { Simd, DpCgra, Nsdf, Tracep };
+
+/** All BSAs, in the paper's S/D/N/T naming order. */
+constexpr std::array<BsaKind, 4> kAllBsas = {
+    BsaKind::Simd, BsaKind::DpCgra, BsaKind::Nsdf, BsaKind::Tracep};
+
+/** One-letter code used in Figure 12 config names (S/D/N/T). */
+char bsaLetter(BsaKind b);
+
+/** Human-readable BSA name. */
+const char *bsaName(BsaKind b);
+
+/** Core area including L1 caches, mm^2 at 22nm. */
+MilliMeter2 coreArea(CoreKind kind);
+
+/** Additional area of one attached BSA, mm^2 at 22nm. */
+MilliMeter2 bsaArea(BsaKind kind);
+
+/** Area of a core plus a set of BSAs (bitmask over kAllBsas order). */
+MilliMeter2 exoCoreArea(CoreKind core, unsigned bsa_mask);
+
+} // namespace prism
+
+#endif // PRISM_ENERGY_AREA_MODEL_HH

@@ -1,0 +1,121 @@
+#include "energy/energy_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "energy/sram_model.hh"
+
+namespace prism
+{
+
+EnergyModel::EnergyModel(const CoreConfig &core,
+                         unsigned num_attached_bsas)
+{
+    EnergyTable &t = table_;
+
+    // Structure scale: wider machines with larger windows pay more
+    // per instruction in rename/wakeup/select/commit (McPAT trend).
+    const double w = static_cast<double>(core.width);
+    const double rob = core.inorder
+                           ? 0.0
+                           : static_cast<double>(core.robSize);
+    const double ooo_scale =
+        core.inorder ? 0.0 : std::sqrt((w * rob) / (2.0 * 64.0));
+
+    // I-cache read share of fetch from the CACTI substitute.
+    const SramEstimate icache =
+        estimateSram({32 * 1024, 2, 64 / 4, 1, 1});
+    t.fetch = icache.readEnergy * 0.6 + 1.0 + 0.4 * w;
+
+    if (core.inorder) {
+        t.dispatch = 1.5;
+        t.issue = 0.5;
+        t.commit = 0.5;
+    } else {
+        t.dispatch = 2.0 + 3.5 * ooo_scale;  // rename + ROB + IQ insert
+        t.issue = 1.0 + 3.0 * ooo_scale;     // wakeup + select
+        t.commit = 0.5 + 1.5 * ooo_scale;    // ROB read + ARF update
+    }
+    t.regRead = 0.8 + 0.25 * w;
+    t.regWrite = 1.2 + 0.35 * w;
+
+    const SramEstimate l1 =
+        estimateSram({64 * 1024, 2, 64, core.dcachePorts, 1});
+    const SramEstimate l2 = estimateSram({2 * 1024 * 1024, 8, 64, 1, 1});
+    t.l1d = l1.readEnergy;
+    t.l2 = l2.readEnergy;
+    t.dram = 120.0;
+
+    t.branchPredict = 2.0;
+    // Flushing a wider/deeper machine wastes more in-flight work.
+    t.mispredictFlush = core.inorder ? 4.0 : 8.0 + 10.0 * ooo_scale;
+
+    // Leakage: calibrated so per-cycle static energy tracks core size.
+    if (core.inorder) {
+        t.coreLeakage = 8.0;
+        t.coreFrontendLeakage = 3.0;
+    } else {
+        t.coreLeakage = 10.0 + 22.0 * (w * std::sqrt(rob)) / 16.0;
+        t.coreFrontendLeakage = 0.45 * t.coreLeakage;
+    }
+    t.accelLeakage = 3.0 * static_cast<double>(num_attached_bsas);
+}
+
+EnergyBreakdown
+EnergyModel::breakdown(const EventCounts &ev, Cycle cycles,
+                       Cycle gated_cycles) const
+{
+    const EnergyTable &t = table_;
+    EnergyBreakdown b;
+
+    const auto n = [](std::uint64_t v) {
+        return static_cast<double>(v);
+    };
+
+    b.corePipeline = n(ev.coreFetches) * t.fetch +
+                     n(ev.coreDispatches) * t.dispatch +
+                     n(ev.coreIssues) * t.issue +
+                     n(ev.coreCommits) * t.commit +
+                     n(ev.coreRegReads) * t.regRead +
+                     n(ev.coreRegWrites) * t.regWrite;
+
+    const double fu_cost[4] = {t.fuAlu, t.fuMulDiv, t.fuFp, t.fuAgu};
+    double fu = 0.0;
+    double accel_ops = 0.0;
+    for (std::size_t u = 0; u < kNumExecUnits; ++u) {
+        for (std::size_t p = 0; p < 4; ++p)
+            fu += n(ev.fuOps[u][p]) * fu_cost[p];
+        if (u != static_cast<std::size_t>(ExecUnit::Core))
+            accel_ops += n(ev.unitInsts[u]);
+    }
+    b.functionalUnits = fu;
+
+    b.memory = n(ev.loads + ev.stores) * t.l1d +
+               n(ev.l2Accesses) * t.l2 + n(ev.memAccesses) * t.dram;
+
+    b.control = n(ev.branches) * t.branchPredict +
+                n(ev.mispredicts) * t.mispredictFlush;
+
+    b.accelerator = accel_ops * t.accelOpOverhead +
+                    n(ev.accelConfigs) * t.accelConfig +
+                    n(ev.accelComms) * t.accelComm +
+                    n(ev.dfSwitches) * t.dfSwitch +
+                    n(ev.accelWbBusXfers) * t.wbBusXfer +
+                    n(ev.storeBufWrites) * t.storeBufWrite;
+
+    prism_assert(gated_cycles <= cycles, "gated cycles exceed total");
+    b.leakage = static_cast<double>(cycles) *
+                    (t.coreLeakage + t.accelLeakage) -
+                static_cast<double>(gated_cycles) *
+                    t.coreFrontendLeakage;
+    return b;
+}
+
+PicoJoule
+EnergyModel::energy(const EventCounts &ev, Cycle cycles,
+                    Cycle gated_cycles) const
+{
+    return breakdown(ev, cycles, gated_cycles).total();
+}
+
+} // namespace prism

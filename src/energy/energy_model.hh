@@ -1,0 +1,115 @@
+/**
+ * @file
+ * McPAT-substitute event-based energy model. The pipeline model
+ * tallies energy events (EventCounts); this module converts them to
+ * energy, with per-structure costs scaled by the core configuration
+ * (wider cores pay more per instruction in rename/issue/commit
+ * structures) and leakage proportional to cycles. NS-DF and Trace-P
+ * offload regions may power-gate the core front-end (paper 3.1), which
+ * callers express through `gatedCycles`.
+ *
+ * Absolute joules are synthetic; all results in the evaluation are
+ * relative energies, as in the paper's own validation methodology.
+ */
+
+#ifndef PRISM_ENERGY_ENERGY_MODEL_HH
+#define PRISM_ENERGY_ENERGY_MODEL_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "uarch/core_config.hh"
+#include "uarch/udg.hh"
+
+namespace prism
+{
+
+/** Per-event energy table for one machine configuration (pJ). */
+struct EnergyTable
+{
+    // Core pipeline, per event
+    double fetch = 0;
+    double dispatch = 0;
+    double issue = 0;
+    double commit = 0;
+    double regRead = 0;
+    double regWrite = 0;
+
+    // Functional units, per op (by Table 4 pool)
+    double fuAlu = 2.0;
+    double fuMulDiv = 6.0;
+    double fuFp = 8.0;
+    double fuAgu = 2.0;
+
+    // Memory hierarchy, per access
+    double l1d = 8.0;
+    double l2 = 25.0;
+    double dram = 120.0;
+
+    // Control
+    double branchPredict = 2.0;
+    double mispredictFlush = 0;
+
+    // Accelerator structures
+    double accelOpOverhead = 1.5; ///< dataflow tag match / routing
+    double accelConfig = 200.0;
+    double accelComm = 3.0;
+    double dfSwitch = 1.0;
+    double wbBusXfer = 1.0;
+    double storeBufWrite = 2.0;
+
+    // Leakage, per cycle
+    double coreLeakage = 0;
+    double coreFrontendLeakage = 0; ///< gateable share of coreLeakage
+    double accelLeakage = 3.0;      ///< per attached BSA
+};
+
+/** Energy broken into coarse components (diagnostics/plots). */
+struct EnergyBreakdown
+{
+    PicoJoule corePipeline = 0;
+    PicoJoule functionalUnits = 0;
+    PicoJoule memory = 0;
+    PicoJoule control = 0;
+    PicoJoule accelerator = 0;
+    PicoJoule leakage = 0;
+
+    PicoJoule total() const
+    {
+        return corePipeline + functionalUnits + memory + control +
+               accelerator + leakage;
+    }
+};
+
+/**
+ * Event-to-energy conversion for a given core. Instances are cheap;
+ * build one per core configuration.
+ */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const CoreConfig &core,
+                         unsigned num_attached_bsas = 0);
+
+    /**
+     * Total energy of a run.
+     * @param cycles total execution cycles (leakage)
+     * @param gated_cycles cycles during which the core front-end was
+     *        power-gated (offload-engine regions)
+     */
+    PicoJoule energy(const EventCounts &ev, Cycle cycles,
+                     Cycle gated_cycles = 0) const;
+
+    /** Component-wise version of energy(). */
+    EnergyBreakdown breakdown(const EventCounts &ev, Cycle cycles,
+                              Cycle gated_cycles = 0) const;
+
+    const EnergyTable &table() const { return table_; }
+
+  private:
+    EnergyTable table_;
+};
+
+} // namespace prism
+
+#endif // PRISM_ENERGY_ENERGY_MODEL_HH

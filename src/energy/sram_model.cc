@@ -1,0 +1,35 @@
+#include "energy/sram_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+SramEstimate
+estimateSram(const SramConfig &cfg)
+{
+    prism_assert(cfg.sizeBytes > 0 && cfg.assoc > 0, "bad SRAM shape");
+
+    // Calibration anchors (22nm, CACTI-like magnitudes):
+    //   64KiB 2-way cache: ~8 pJ/read, ~0.12 mm^2, ~2 pJ/cyc leakage.
+    const double kb = static_cast<double>(cfg.sizeBytes) / 1024.0;
+    const double size_scale = std::sqrt(kb / 64.0);
+    const double assoc_scale =
+        1.0 + 0.15 * (static_cast<double>(cfg.assoc) - 2.0);
+    const double port_scale =
+        0.5 * static_cast<double>(cfg.readPorts + cfg.writePorts);
+    const double line_scale =
+        std::sqrt(static_cast<double>(cfg.lineBytes) / 64.0);
+
+    SramEstimate est;
+    est.readEnergy =
+        8.0 * size_scale * assoc_scale * line_scale;
+    est.writeEnergy = est.readEnergy * 1.2;
+    est.leakagePerCycle = 2.0 * (kb / 64.0) * port_scale;
+    est.area = 0.12 * (kb / 64.0) * (0.7 + 0.3 * port_scale);
+    return est;
+}
+
+} // namespace prism

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * CACTI-substitute analytical SRAM model (22nm). Provides access
+ * energy, leakage power, and area for cache-like and buffer-like
+ * structures. The absolute values are calibrated to published 22nm
+ * magnitudes; the model's purpose — consistent *relative* scaling of
+ * structure cost with capacity, associativity, and port count — is
+ * what the paper's methodology needs.
+ */
+
+#ifndef PRISM_ENERGY_SRAM_MODEL_HH
+#define PRISM_ENERGY_SRAM_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace prism
+{
+
+/** Geometry of an SRAM structure. */
+struct SramConfig
+{
+    std::uint64_t sizeBytes = 64 * 1024;
+    unsigned assoc = 2;       ///< 1 for RAM-style buffers
+    unsigned lineBytes = 64;  ///< access granularity
+    unsigned readPorts = 1;
+    unsigned writePorts = 1;
+};
+
+/** Derived cost estimates for an SRAM structure. */
+struct SramEstimate
+{
+    PicoJoule readEnergy = 0;   ///< per access
+    PicoJoule writeEnergy = 0;  ///< per access
+    PicoJoule leakagePerCycle = 0;
+    MilliMeter2 area = 0;
+};
+
+/**
+ * Estimate the cost of an SRAM structure at 22nm. Energy scales with
+ * sqrt(capacity) (bitline/wordline length) and associativity (parallel
+ * tag+data read); leakage and area scale linearly with capacity and
+ * port count.
+ */
+SramEstimate estimateSram(const SramConfig &cfg);
+
+} // namespace prism
+
+#endif // PRISM_ENERGY_SRAM_MODEL_HH

@@ -1,0 +1,94 @@
+#include "ir/cfg.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+Cfg
+Cfg::reconstruct(const Program &prog, std::int32_t func)
+{
+    prism_assert(prog.finalized(), "program must be finalized");
+    const Function &fn = prog.function(func);
+
+    Cfg cfg;
+    cfg.func_ = func;
+    cfg.nodes_.resize(fn.blocks.size());
+
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+        const BasicBlock &bb = fn.blocks[b];
+        CfgNode &node = cfg.nodes_[b];
+        node.block = static_cast<std::int32_t>(b);
+        node.firstSid = bb.instrs.front().sid;
+        node.lastSid = bb.instrs.back().sid;
+
+        const Instr *term = bb.terminator();
+        prism_assert(term != nullptr, "unterminated block reached CFG");
+        switch (term->op) {
+          case Opcode::Br:
+            node.succs.push_back(term->target);
+            if (bb.fallthrough != term->target)
+                node.succs.push_back(bb.fallthrough);
+            break;
+          case Opcode::Jmp:
+            node.succs.push_back(term->target);
+            break;
+          case Opcode::Ret:
+            break;
+          default:
+            panic("unexpected terminator");
+        }
+    }
+
+    for (std::size_t b = 0; b < cfg.nodes_.size(); ++b) {
+        for (std::int32_t s : cfg.nodes_[b].succs)
+            cfg.nodes_[s].preds.push_back(static_cast<std::int32_t>(b));
+    }
+
+    // Iterative DFS to compute postorder, then reverse it.
+    std::vector<std::int32_t> postorder;
+    std::vector<std::uint8_t> state(cfg.nodes_.size(), 0); // 0/1/2
+    std::vector<std::pair<std::int32_t, std::size_t>> stack;
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    while (!stack.empty()) {
+        auto &[n, edge] = stack.back();
+        const CfgNode &node = cfg.nodes_[n];
+        if (edge < node.succs.size()) {
+            const std::int32_t s = node.succs[edge++];
+            if (state[s] == 0) {
+                state[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            state[n] = 2;
+            postorder.push_back(n);
+            stack.pop_back();
+        }
+    }
+    cfg.rpo_.assign(postorder.rbegin(), postorder.rend());
+    cfg.rpoIndex_.assign(cfg.nodes_.size(), -1);
+    for (std::size_t i = 0; i < cfg.rpo_.size(); ++i)
+        cfg.rpoIndex_[cfg.rpo_[i]] = static_cast<std::int32_t>(i);
+
+    return cfg;
+}
+
+std::string
+Cfg::toDot() const
+{
+    std::ostringstream os;
+    os << "digraph cfg_f" << func_ << " {\n";
+    for (const CfgNode &n : nodes_) {
+        os << "  bb" << n.block << ";\n";
+        for (std::int32_t s : n.succs)
+            os << "  bb" << n.block << " -> bb" << s << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace prism

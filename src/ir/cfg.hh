@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Control-flow graph reconstruction. The paper's TDG constructor
+ * rebuilds a Program IR (CFG + DFG + loop nests) from the binary and
+ * the instruction stream; this module is that reconstruction, working
+ * from the flattened binary-like view of a guest Program.
+ */
+
+#ifndef PRISM_IR_CFG_HH
+#define PRISM_IR_CFG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prog/program.hh"
+
+namespace prism
+{
+
+/** One CFG node (a basic block of one function). */
+struct CfgNode
+{
+    std::int32_t block = -1;            ///< block index in the function
+    std::vector<std::int32_t> succs;    ///< successor block indices
+    std::vector<std::int32_t> preds;    ///< predecessor block indices
+    StaticId firstSid = kNoStatic;
+    StaticId lastSid = kNoStatic;
+};
+
+/** The CFG of a single function. Node i corresponds to block i. */
+class Cfg
+{
+  public:
+    /** Rebuild the CFG of `func` from terminators in the flat view. */
+    static Cfg reconstruct(const Program &prog, std::int32_t func);
+
+    std::int32_t funcId() const { return func_; }
+    std::size_t numNodes() const { return nodes_.size(); }
+    const CfgNode &node(std::int32_t i) const { return nodes_.at(i); }
+    std::int32_t entry() const { return 0; }
+
+    /** Reverse postorder from the entry (unreachable blocks absent). */
+    const std::vector<std::int32_t> &rpo() const { return rpo_; }
+
+    /** Position of each block in rpo(); -1 when unreachable. */
+    std::int32_t rpoIndex(std::int32_t block) const
+    {
+        return rpoIndex_.at(block);
+    }
+
+    /** Graphviz dump for debugging. */
+    std::string toDot() const;
+
+  private:
+    std::int32_t func_ = -1;
+    std::vector<CfgNode> nodes_;
+    std::vector<std::int32_t> rpo_;
+    std::vector<std::int32_t> rpoIndex_;
+};
+
+} // namespace prism
+
+#endif // PRISM_IR_CFG_HH

@@ -1,0 +1,95 @@
+#include "ir/dfg.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+const std::vector<StaticId> Dfg::kEmpty{};
+
+Dfg
+Dfg::build(const Program &prog, std::int32_t func)
+{
+    Dfg dfg;
+    dfg.func_ = func;
+    const Function &fn = prog.function(func);
+    dfg.defs_.resize(fn.numRegs);
+    dfg.uses_.resize(fn.numRegs);
+
+    for (const BasicBlock &bb : fn.blocks) {
+        for (const Instr &in : bb.instrs) {
+            if (in.dst != kNoReg)
+                dfg.defs_[in.dst].push_back(in.sid);
+            for (RegId s : in.src) {
+                if (s != kNoReg)
+                    dfg.uses_[s].push_back(in.sid);
+            }
+        }
+    }
+    return dfg;
+}
+
+const std::vector<StaticId> &
+Dfg::defsOf(RegId r) const
+{
+    if (r >= defs_.size())
+        return kEmpty;
+    return defs_[r];
+}
+
+const std::vector<StaticId> &
+Dfg::usesOf(RegId r) const
+{
+    if (r >= uses_.size())
+        return kEmpty;
+    return uses_[r];
+}
+
+bool
+Dfg::invariantIn(const Program &prog, RegId r, const Loop &loop) const
+{
+    for (StaticId sid : defsOf(r)) {
+        const InstrRef &ref = prog.locate(sid);
+        if (ref.func == loop.func && loop.containsBlock(ref.block))
+            return false;
+    }
+    return true;
+}
+
+std::vector<StaticId>
+Dfg::backwardSlice(const Program &prog,
+                   const std::vector<std::int32_t> &blocks,
+                   const std::vector<StaticId> &seeds) const
+{
+    std::set<std::int32_t> block_set(blocks.begin(), blocks.end());
+    auto in_region = [&](StaticId sid) {
+        const InstrRef &ref = prog.locate(sid);
+        return ref.func == func_ && block_set.count(ref.block) != 0;
+    };
+
+    std::set<StaticId> slice;
+    std::vector<StaticId> work;
+    for (StaticId s : seeds) {
+        if (in_region(s) && slice.insert(s).second)
+            work.push_back(s);
+    }
+    while (!work.empty()) {
+        const StaticId sid = work.back();
+        work.pop_back();
+        const Instr &in = prog.instr(sid);
+        for (RegId r : in.src) {
+            if (r == kNoReg)
+                continue;
+            for (StaticId def : defsOf(r)) {
+                if (in_region(def) && slice.insert(def).second)
+                    work.push_back(def);
+            }
+        }
+    }
+    return {slice.begin(), slice.end()};
+}
+
+} // namespace prism

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Static data-flow facts reconstructed from the binary view: register
+ * definition sites per function, and loop-invariance queries used by
+ * the induction/reduction classifier and the DP-CGRA slicer.
+ */
+
+#ifndef PRISM_IR_DFG_HH
+#define PRISM_IR_DFG_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/loops.hh"
+#include "prog/program.hh"
+
+namespace prism
+{
+
+/** Per-function def/use index. */
+class Dfg
+{
+  public:
+    /** Build for one function. */
+    static Dfg build(const Program &prog, std::int32_t func);
+
+    std::int32_t funcId() const { return func_; }
+
+    /** Static ids of instructions writing register r. */
+    const std::vector<StaticId> &defsOf(RegId r) const;
+
+    /** Static ids of instructions reading register r. */
+    const std::vector<StaticId> &usesOf(RegId r) const;
+
+    /** True if r has no definition inside the given loop's body. */
+    bool invariantIn(const Program &prog, RegId r,
+                     const Loop &loop) const;
+
+    /**
+     * Backward slice within a block set: starting from `seeds`,
+     * repeatedly add in-set instructions that define registers the
+     * slice reads. Returns the slice as a set of static ids (sorted).
+     */
+    std::vector<StaticId> backwardSlice(
+        const Program &prog, const std::vector<std::int32_t> &blocks,
+        const std::vector<StaticId> &seeds) const;
+
+  private:
+    std::int32_t func_ = -1;
+    std::vector<std::vector<StaticId>> defs_; // per reg
+    std::vector<std::vector<StaticId>> uses_; // per reg
+    static const std::vector<StaticId> kEmpty;
+};
+
+} // namespace prism
+
+#endif // PRISM_IR_DFG_HH

@@ -1,0 +1,74 @@
+#include "ir/dominators.hh"
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+Dominators
+Dominators::compute(const Cfg &cfg)
+{
+    const std::size_t n = cfg.numNodes();
+    Dominators dom;
+    dom.idom_.assign(n, -1);
+
+    const auto &rpo = cfg.rpo();
+    const std::int32_t entry = cfg.entry();
+    dom.idom_[entry] = entry;
+
+    auto intersect = [&](std::int32_t a, std::int32_t b) {
+        while (a != b) {
+            while (cfg.rpoIndex(a) > cfg.rpoIndex(b))
+                a = dom.idom_[a];
+            while (cfg.rpoIndex(b) > cfg.rpoIndex(a))
+                b = dom.idom_[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::int32_t b : rpo) {
+            if (b == entry)
+                continue;
+            std::int32_t new_idom = -1;
+            for (std::int32_t p : cfg.node(b).preds) {
+                if (dom.idom_[p] == -1)
+                    continue; // pred not yet processed / unreachable
+                new_idom = new_idom == -1 ? p : intersect(p, new_idom);
+            }
+            if (new_idom != -1 && dom.idom_[b] != new_idom) {
+                dom.idom_[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    dom.depth_.assign(n, -1);
+    dom.depth_[entry] = 0;
+    // rpo order guarantees idom precedes its children in depth calc.
+    for (std::int32_t b : rpo) {
+        if (b == entry || dom.idom_[b] == -1)
+            continue;
+        dom.depth_[b] = dom.depth_[dom.idom_[b]] + 1;
+    }
+    return dom;
+}
+
+bool
+Dominators::dominates(std::int32_t a, std::int32_t b) const
+{
+    if (idom_.at(b) == -1 || idom_.at(a) == -1)
+        return false; // unreachable
+    while (true) {
+        if (a == b)
+            return true;
+        const std::int32_t up = idom_[b];
+        if (up == b)
+            return false; // reached entry
+        b = up;
+    }
+}
+
+} // namespace prism

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Dominator-tree computation (Cooper-Harvey-Kennedy iterative
+ * algorithm). Needed to identify natural loops for the loop-nest tree
+ * the paper's analyses operate over.
+ */
+
+#ifndef PRISM_IR_DOMINATORS_HH
+#define PRISM_IR_DOMINATORS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/cfg.hh"
+
+namespace prism
+{
+
+/** Immediate-dominator table for one CFG. */
+class Dominators
+{
+  public:
+    /** Compute dominators; unreachable blocks get idom -1. */
+    static Dominators compute(const Cfg &cfg);
+
+    /** Immediate dominator of `block`; entry's idom is itself. */
+    std::int32_t idom(std::int32_t block) const
+    {
+        return idom_.at(block);
+    }
+
+    /** True if a dominates b (reflexive). */
+    bool dominates(std::int32_t a, std::int32_t b) const;
+
+    /** Depth of a block in the dominator tree (entry = 0). */
+    std::int32_t depth(std::int32_t block) const
+    {
+        return depth_.at(block);
+    }
+
+  private:
+    std::vector<std::int32_t> idom_;
+    std::vector<std::int32_t> depth_;
+};
+
+} // namespace prism
+
+#endif // PRISM_IR_DOMINATORS_HH

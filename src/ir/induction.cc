@@ -1,0 +1,194 @@
+#include "ir/induction.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.hh"
+#include "ir/dominators.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+bool
+contains(const std::vector<StaticId> &v, StaticId s)
+{
+    return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+/** dst is also one of the sources: the self-update idiom. */
+bool
+isSelfDep(const Instr &in)
+{
+    if (in.dst == kNoReg)
+        return false;
+    for (RegId s : in.src) {
+        if (s != kNoReg && s == in.dst)
+            return true;
+    }
+    return false;
+}
+
+/** The non-dst operand of a self-dep instruction (kNoReg if none). */
+RegId
+otherOperand(const Instr &in)
+{
+    for (RegId s : in.src) {
+        if (s != kNoReg && s != in.dst)
+            return s;
+    }
+    return kNoReg;
+}
+
+bool
+isReductionOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fmul:
+      case Opcode::Fma:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+bool
+LoopDepProfile::isInduction(StaticId sid) const
+{
+    return contains(inductions, sid);
+}
+
+bool
+LoopDepProfile::isReduction(StaticId sid) const
+{
+    return contains(reductions, sid);
+}
+
+std::vector<Dfg>
+buildAllDfgs(const Program &prog)
+{
+    std::vector<Dfg> dfgs;
+    dfgs.reserve(prog.functions().size());
+    for (std::size_t f = 0; f < prog.functions().size(); ++f)
+        dfgs.push_back(Dfg::build(prog, static_cast<std::int32_t>(f)));
+    return dfgs;
+}
+
+std::vector<LoopDepProfile>
+profileDeps(const Program &prog, const Trace &trace,
+            const LoopForest &forest, const TraceLoopMap &map,
+            const std::vector<Dfg> &dfgs)
+{
+    std::vector<LoopDepProfile> profiles(forest.numLoops());
+    for (const Loop &loop : forest.loops())
+        profiles[loop.id].loopId = loop.id;
+
+    // Dominator info per function, for the once-per-iteration check.
+    std::vector<std::unique_ptr<Dominators>> doms(
+        prog.functions().size());
+    std::vector<std::unique_ptr<Cfg>> cfgs(prog.functions().size());
+    auto dom_of = [&](std::int32_t func) -> const Dominators & {
+        if (!doms[func]) {
+            cfgs[func] = std::make_unique<Cfg>(
+                Cfg::reconstruct(prog, func));
+            doms[func] = std::make_unique<Dominators>(
+                Dominators::compute(*cfgs[func]));
+        }
+        return *doms[func];
+    };
+
+    // Pass 1: statically classify self-dependent updates per loop.
+    // A valid induction/reduction must execute exactly once per
+    // iteration: its block has to dominate every latch (conditional
+    // updates, as in a merge loop's index advances, disqualify).
+    for (const Loop &loop : forest.loops()) {
+        if (!loop.innermost)
+            continue;
+        LoopDepProfile &prof = profiles[loop.id];
+        const Function &fn = prog.function(loop.func);
+        const Dfg &dfg = dfgs.at(loop.func);
+        const Dominators &dom = dom_of(loop.func);
+        for (std::int32_t b : loop.blocks) {
+            bool every_iteration = true;
+            for (std::int32_t latch : loop.latches)
+                every_iteration &= dom.dominates(b, latch);
+            if (!every_iteration)
+                continue;
+            for (const Instr &in : fn.blocks[b].instrs) {
+                if (!isSelfDep(in))
+                    continue;
+                const RegId other = otherOperand(in);
+                const bool other_inv =
+                    other == kNoReg ||
+                    dfg.invariantIn(prog, other, loop);
+                if ((in.op == Opcode::Add || in.op == Opcode::Sub) &&
+                    other_inv) {
+                    prof.inductions.push_back(in.sid);
+                } else if (isReductionOp(in.op)) {
+                    prof.reductions.push_back(in.sid);
+                }
+                // Self-dep with a non-arithmetic op is handled in
+                // pass 2 as an observed recurrence.
+            }
+        }
+    }
+
+    // Pass 2: walk dynamic carried dependences; anything whose
+    // producer is not an induction and that is not itself a
+    // classified self-update is a disqualifying recurrence.
+    for (const LoopOccurrence &occ : map.occurrences) {
+        const Loop &loop = forest.loop(occ.loopId);
+        if (!loop.innermost)
+            continue;
+        LoopDepProfile &prof = profiles[loop.id];
+
+        auto iter_of = [&occ](DynId idx) -> std::int64_t {
+            const auto it = std::upper_bound(occ.iterStarts.begin(),
+                                             occ.iterStarts.end(), idx);
+            return static_cast<std::int64_t>(
+                       it - occ.iterStarts.begin()) - 1;
+        };
+
+        for (DynId i = occ.begin; i < occ.end; ++i) {
+            const DynInst &di = trace[i];
+            const InstrRef &ref = prog.locate(di.sid);
+            if (ref.func != loop.func || !loop.containsBlock(ref.block))
+                continue;
+            const std::int64_t my_iter = iter_of(i);
+            for (std::int64_t p : di.srcProd) {
+                if (p == kNoProducer ||
+                    static_cast<DynId>(p) < occ.begin ||
+                    static_cast<DynId>(p) >= i) {
+                    continue;
+                }
+                const std::int64_t prod_iter =
+                    iter_of(static_cast<DynId>(p));
+                if (prod_iter < 0 || prod_iter >= my_iter)
+                    continue; // same-iteration dependence
+                ++prof.carriedDeps;
+
+                const StaticId prod_sid = trace[p].sid;
+                if (prof.isInduction(prod_sid))
+                    continue; // reading an induction is benign
+                if (prod_sid == di.sid &&
+                    (prof.isInduction(di.sid) ||
+                     prof.isReduction(di.sid))) {
+                    continue; // the classified self-update itself
+                }
+                prof.otherRecurrence = true;
+            }
+        }
+    }
+    return profiles;
+}
+
+} // namespace prism

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Loop-carried register-dependence classification: induction
+ * variables, reductions, and disqualifying recurrences. The SIMD
+ * analysis excludes loops whose inter-iteration data dependences are
+ * not inductions or reductions (paper Section 3.2).
+ */
+
+#ifndef PRISM_IR_INDUCTION_HH
+#define PRISM_IR_INDUCTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/dfg.hh"
+#include "ir/loops.hh"
+#include "prog/program.hh"
+#include "trace/dyn_inst.hh"
+
+namespace prism
+{
+
+/** Loop-carried register dependence summary for one innermost loop. */
+struct LoopDepProfile
+{
+    std::int32_t loopId = -1;
+    std::uint64_t carriedDeps = 0;        ///< dynamic carried edges seen
+    std::vector<StaticId> inductions;     ///< i = i + invariant
+    std::vector<StaticId> reductions;     ///< acc = acc (+|*) x
+    bool otherRecurrence = false;         ///< disqualifying recurrence
+
+    bool isInduction(StaticId sid) const;
+    bool isReduction(StaticId sid) const;
+
+    /** All carried dependences are vectorizable idioms. */
+    bool vectorizableDeps() const { return !otherRecurrence; }
+};
+
+/**
+ * Classify loop-carried register dependences of every innermost loop
+ * from the trace. `dfgs` must hold one Dfg per function (indexed by
+ * function id). Indexed by loop id.
+ */
+std::vector<LoopDepProfile> profileDeps(const Program &prog,
+                                        const Trace &trace,
+                                        const LoopForest &forest,
+                                        const TraceLoopMap &map,
+                                        const std::vector<Dfg> &dfgs);
+
+/** Convenience: build per-function Dfgs for profileDeps. */
+std::vector<Dfg> buildAllDfgs(const Program &prog);
+
+} // namespace prism
+
+#endif // PRISM_IR_INDUCTION_HH

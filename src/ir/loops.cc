@@ -1,0 +1,297 @@
+#include "ir/loops.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+bool
+Loop::containsBlock(std::int32_t block) const
+{
+    return std::binary_search(blocks.begin(), blocks.end(), block);
+}
+
+LoopForest
+LoopForest::build(const Program &prog)
+{
+    LoopForest forest;
+    forest.innermost_.resize(prog.functions().size());
+
+    for (std::size_t fi = 0; fi < prog.functions().size(); ++fi) {
+        const Function &fn = prog.functions()[fi];
+        forest.innermost_[fi].assign(fn.blocks.size(), -1);
+
+        const Cfg cfg = Cfg::reconstruct(prog,
+                                         static_cast<std::int32_t>(fi));
+        const Dominators dom = Dominators::compute(cfg);
+
+        // Collect back edges grouped by header.
+        std::map<std::int32_t, std::vector<std::int32_t>> latches_of;
+        for (std::size_t b = 0; b < cfg.numNodes(); ++b) {
+            for (std::int32_t s : cfg.node(b).succs) {
+                if (dom.dominates(s, static_cast<std::int32_t>(b))) {
+                    latches_of[s].push_back(
+                        static_cast<std::int32_t>(b));
+                }
+            }
+        }
+
+        std::vector<Loop> fn_loops;
+        for (const auto &[header, latches] : latches_of) {
+            Loop loop;
+            loop.func = static_cast<std::int32_t>(fi);
+            loop.header = header;
+            loop.latches = latches;
+
+            // Natural loop body: reverse reachability from latches,
+            // stopping at the header.
+            std::set<std::int32_t> body{header};
+            std::vector<std::int32_t> work(latches.begin(),
+                                           latches.end());
+            while (!work.empty()) {
+                const std::int32_t b = work.back();
+                work.pop_back();
+                if (!body.insert(b).second)
+                    continue;
+                for (std::int32_t p : cfg.node(b).preds)
+                    work.push_back(p);
+            }
+            loop.blocks.assign(body.begin(), body.end());
+
+            for (std::int32_t b : loop.blocks) {
+                for (std::int32_t s : cfg.node(b).succs) {
+                    if (!body.count(s)) {
+                        loop.exitBlocks.push_back(b);
+                        break;
+                    }
+                }
+                const BasicBlock &bb = fn.blocks[b];
+                loop.numStaticInstrs +=
+                    static_cast<std::uint32_t>(bb.instrs.size());
+                for (const Instr &in : bb.instrs) {
+                    if (opInfo(in.op).isCall)
+                        loop.containsCall = true;
+                }
+            }
+            fn_loops.push_back(std::move(loop));
+        }
+
+        // Nesting: parent = the smallest strictly-containing loop.
+        for (std::size_t i = 0; i < fn_loops.size(); ++i) {
+            std::int32_t best = -1;
+            std::size_t best_size = SIZE_MAX;
+            for (std::size_t j = 0; j < fn_loops.size(); ++j) {
+                if (i == j)
+                    continue;
+                const Loop &outer = fn_loops[j];
+                if (outer.blocks.size() <= fn_loops[i].blocks.size())
+                    continue;
+                if (outer.containsBlock(fn_loops[i].header) &&
+                    std::includes(outer.blocks.begin(),
+                                  outer.blocks.end(),
+                                  fn_loops[i].blocks.begin(),
+                                  fn_loops[i].blocks.end()) &&
+                    outer.blocks.size() < best_size) {
+                    best = static_cast<std::int32_t>(j);
+                    best_size = outer.blocks.size();
+                }
+            }
+            fn_loops[i].parent = best; // local index for now
+        }
+
+        // Assign global ids and fix up parent/children links.
+        const std::int32_t base =
+            static_cast<std::int32_t>(forest.loops_.size());
+        for (std::size_t i = 0; i < fn_loops.size(); ++i) {
+            fn_loops[i].id = base + static_cast<std::int32_t>(i);
+            if (fn_loops[i].parent >= 0)
+                fn_loops[i].parent += base;
+        }
+        for (auto &loop : fn_loops)
+            forest.loops_.push_back(std::move(loop));
+        for (std::int32_t id = base;
+             id < static_cast<std::int32_t>(forest.loops_.size());
+             ++id) {
+            Loop &loop = forest.loops_[id];
+            if (loop.parent >= 0) {
+                forest.loops_[loop.parent].children.push_back(id);
+                forest.loops_[loop.parent].innermost = false;
+            }
+        }
+        // Depth: walk up parents.
+        for (std::int32_t id = base;
+             id < static_cast<std::int32_t>(forest.loops_.size());
+             ++id) {
+            Loop &loop = forest.loops_[id];
+            loop.depth = 1;
+            std::int32_t p = loop.parent;
+            while (p >= 0) {
+                ++loop.depth;
+                p = forest.loops_[p].parent;
+            }
+        }
+        // Innermost lookup: deepest loop containing each block.
+        for (std::int32_t id = base;
+             id < static_cast<std::int32_t>(forest.loops_.size());
+             ++id) {
+            const Loop &loop = forest.loops_[id];
+            for (std::int32_t b : loop.blocks) {
+                std::int32_t &slot = forest.innermost_[fi][b];
+                if (slot == -1 ||
+                    forest.loops_[slot].depth < loop.depth) {
+                    slot = id;
+                }
+            }
+        }
+    }
+    return forest;
+}
+
+std::int32_t
+LoopForest::innermostAt(std::int32_t func, std::int32_t block) const
+{
+    return innermost_.at(func).at(block);
+}
+
+std::int32_t
+LoopForest::innermostAtSid(const Program &prog, StaticId sid) const
+{
+    const InstrRef &ref = prog.locate(sid);
+    return innermostAt(ref.func, ref.block);
+}
+
+std::vector<std::int32_t>
+LoopForest::roots() const
+{
+    std::vector<std::int32_t> r;
+    for (const Loop &loop : loops_) {
+        if (loop.parent == -1)
+            r.push_back(loop.id);
+    }
+    return r;
+}
+
+bool
+LoopForest::nestedIn(std::int32_t inner, std::int32_t outer) const
+{
+    while (inner != -1) {
+        if (inner == outer)
+            return true;
+        inner = loops_.at(inner).parent;
+    }
+    return false;
+}
+
+TraceLoopMap
+mapTraceToLoops(const Program &prog, const Trace &trace,
+                const LoopForest &forest)
+{
+    TraceLoopMap map;
+    map.loopOf.assign(trace.size(), -1);
+    map.occOf.assign(trace.size(), -1);
+
+    struct Active
+    {
+        std::int32_t loopId;
+        std::int32_t occIndex;
+        unsigned entryDepth;
+    };
+    std::vector<Active> stack;
+    unsigned depth = 0;
+
+    auto close_top = [&](DynId end) {
+        map.occurrences[stack.back().occIndex].end = end;
+        stack.pop_back();
+    };
+
+    for (DynId i = 0; i < trace.size(); ++i) {
+        const DynInst &di = trace[i];
+        const InstrRef &ref = prog.locate(di.sid);
+
+        // Pop loops whose frame has returned.
+        while (!stack.empty() && depth < stack.back().entryDepth)
+            close_top(i);
+
+        const bool inherited =
+            !stack.empty() && depth > stack.back().entryDepth;
+
+        if (!inherited) {
+            // Compute the chain of loops containing this block,
+            // outermost first.
+            std::vector<std::int32_t> chain;
+            for (std::int32_t l = forest.innermostAt(ref.func,
+                                                     ref.block);
+                 l != -1; l = forest.loop(l).parent) {
+                chain.push_back(l);
+            }
+            std::reverse(chain.begin(), chain.end());
+
+            // Pop stack entries (at this depth) not in the chain.
+            while (!stack.empty() &&
+                   stack.back().entryDepth == depth) {
+                const std::int32_t top = stack.back().loopId;
+                const bool keep =
+                    std::find(chain.begin(), chain.end(), top) !=
+                    chain.end();
+                if (keep)
+                    break;
+                close_top(i);
+            }
+
+            // Push chain entries not yet on the stack.
+            std::size_t matched = 0;
+            for (const Active &a : stack) {
+                if (a.entryDepth == depth && matched < chain.size() &&
+                    a.loopId == chain[matched]) {
+                    ++matched;
+                }
+            }
+            for (std::size_t c = matched; c < chain.size(); ++c) {
+                LoopOccurrence occ;
+                occ.loopId = chain[c];
+                occ.begin = i;
+                occ.end = i; // finalized on close
+                map.occurrences.push_back(occ);
+                stack.push_back(Active{
+                    chain[c],
+                    static_cast<std::int32_t>(map.occurrences.size()) -
+                        1,
+                    depth});
+            }
+
+            // Header-entry instructions begin iterations.
+            if (!stack.empty() && ref.index == 0) {
+                for (const Active &a : stack) {
+                    const Loop &loop = forest.loop(a.loopId);
+                    if (loop.func == ref.func &&
+                        loop.header == ref.block) {
+                        map.occurrences[a.occIndex].iterStarts
+                            .push_back(i);
+                    }
+                }
+            }
+        }
+
+        if (!stack.empty()) {
+            map.loopOf[i] = stack.back().loopId;
+            map.occOf[i] = stack.back().occIndex;
+        }
+
+        if (opInfo(di.op).isCall)
+            ++depth;
+        else if (opInfo(di.op).isRet && depth > 0)
+            --depth;
+    }
+
+    const DynId end = trace.size();
+    while (!stack.empty())
+        close_top(end);
+
+    return map;
+}
+
+} // namespace prism

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Natural-loop detection and the program-wide loop forest, plus the
+ * mapping between the dynamic trace and loop structure (occurrences
+ * and iteration boundaries). BSA candidate regions in the paper are
+ * loops/loop nests; schedulers and transforms operate on this forest.
+ */
+
+#ifndef PRISM_IR_LOOPS_HH
+#define PRISM_IR_LOOPS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/cfg.hh"
+#include "ir/dominators.hh"
+#include "trace/dyn_inst.hh"
+
+namespace prism
+{
+
+/** One natural loop. Ids are global across all functions. */
+struct Loop
+{
+    std::int32_t id = -1;
+    std::int32_t func = -1;
+    std::int32_t header = -1;             ///< header block index
+    std::vector<std::int32_t> blocks;     ///< body incl. header, sorted
+    std::vector<std::int32_t> latches;    ///< blocks with back edges
+    std::vector<std::int32_t> exitBlocks; ///< in-loop blocks w/ exit arc
+    std::int32_t parent = -1;             ///< enclosing loop id or -1
+    std::vector<std::int32_t> children;   ///< directly nested loop ids
+    std::int32_t depth = 1;               ///< 1 = outermost
+    bool innermost = true;
+    bool containsCall = false;            ///< has Call instructions
+    std::uint32_t numStaticInstrs = 0;    ///< static size of the body
+
+    /** True if `block` belongs to this loop's body. */
+    bool containsBlock(std::int32_t block) const;
+};
+
+/**
+ * All natural loops of a program, with per-(func,block) innermost-loop
+ * lookup. Loops with shared headers are merged, per convention.
+ */
+class LoopForest
+{
+  public:
+    /** Detect loops in every function of the program. */
+    static LoopForest build(const Program &prog);
+
+    std::size_t numLoops() const { return loops_.size(); }
+    const Loop &loop(std::int32_t id) const { return loops_.at(id); }
+    const std::vector<Loop> &loops() const { return loops_; }
+
+    /** Innermost loop containing (func, block), or -1. */
+    std::int32_t innermostAt(std::int32_t func,
+                             std::int32_t block) const;
+
+    /** Innermost loop containing a static instruction, or -1. */
+    std::int32_t innermostAtSid(const Program &prog, StaticId sid) const;
+
+    /** Ids of loops with no parent (outermost), in id order. */
+    std::vector<std::int32_t> roots() const;
+
+    /** True if `inner` is `outer` or nested (at any depth) inside it. */
+    bool nestedIn(std::int32_t inner, std::int32_t outer) const;
+
+  private:
+    std::vector<Loop> loops_;
+    // innermost loop id per function per block; -1 if none
+    std::vector<std::vector<std::int32_t>> innermost_;
+};
+
+/**
+ * One contiguous execution of a loop in the trace: from entering the
+ * header until leaving the loop body (or trace end). `iterStarts`
+ * records the dynamic index of each header execution.
+ */
+struct LoopOccurrence
+{
+    std::int32_t loopId = -1;
+    DynId begin = 0;                 ///< first dyn index inside
+    DynId end = 0;                   ///< one past last dyn index inside
+    std::vector<DynId> iterStarts;   ///< header entries (ascending)
+
+    std::uint64_t numIters() const { return iterStarts.size(); }
+    std::uint64_t numInsts() const { return end - begin; }
+};
+
+/**
+ * Segment a trace into *innermost*-loop occurrences plus the dynamic
+ * loop id of every instruction (outermost-to-innermost nesting is
+ * recoverable through the forest). Instructions outside any loop have
+ * loop id -1. A call inside a loop keeps attribution to that loop
+ * (callee instructions inherit the caller's active loop), matching
+ * how offload regions subsume inlined callees.
+ */
+struct TraceLoopMap
+{
+    std::vector<std::int32_t> loopOf;      ///< per dyn index, or -1
+    std::vector<LoopOccurrence> occurrences;
+
+    /** Occurrence index per dyn index, or -1. */
+    std::vector<std::int32_t> occOf;
+};
+
+/** Build the loop <-> trace mapping. */
+TraceLoopMap mapTraceToLoops(const Program &prog, const Trace &trace,
+                             const LoopForest &forest);
+
+} // namespace prism
+
+#endif // PRISM_IR_LOOPS_HH

@@ -1,0 +1,153 @@
+#include "ir/mem_profile.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+const MemAccessPattern *
+LoopMemProfile::find(StaticId sid) const
+{
+    for (const MemAccessPattern &p : accesses) {
+        if (p.sid == sid)
+            return &p;
+    }
+    return nullptr;
+}
+
+double
+LoopMemProfile::contiguousFraction() const
+{
+    if (accesses.empty())
+        return 0.0;
+    std::uint64_t total = 0;
+    std::uint64_t contig = 0;
+    for (const MemAccessPattern &p : accesses) {
+        total += p.count;
+        if (p.contiguous())
+            contig += p.count;
+    }
+    return total ? static_cast<double>(contig) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+std::vector<LoopMemProfile>
+profileMemory(const Program &prog, const Trace &trace,
+              const LoopForest &forest, const TraceLoopMap &map)
+{
+    std::vector<LoopMemProfile> profiles(forest.numLoops());
+    for (const Loop &loop : forest.loops())
+        profiles[loop.id].loopId = loop.id;
+
+    // Scratch per static access: last address + current stride state.
+    struct Scratch
+    {
+        Addr lastAddr = 0;
+        bool seen = false;
+        bool strideSet = false;
+        std::int64_t stride = 0;
+        bool inconsistent = false;
+        std::uint64_t count = 0;
+    };
+
+    for (const LoopOccurrence &occ : map.occurrences) {
+        const Loop &loop = forest.loop(occ.loopId);
+        if (!loop.innermost)
+            continue;
+        LoopMemProfile &prof = profiles[loop.id];
+        prof.itersObserved += occ.numIters();
+
+        std::unordered_map<StaticId, Scratch> scratch;
+        std::size_t iter_cursor = 0;
+
+        auto iter_of = [&occ](DynId idx) -> std::int64_t {
+            // Index of the iteration containing dyn idx (binary search).
+            const auto it = std::upper_bound(occ.iterStarts.begin(),
+                                             occ.iterStarts.end(), idx);
+            return static_cast<std::int64_t>(
+                       it - occ.iterStarts.begin()) - 1;
+        };
+
+        for (DynId i = occ.begin; i < occ.end; ++i) {
+            while (iter_cursor < occ.iterStarts.size() &&
+                   occ.iterStarts[iter_cursor] <= i) {
+                ++iter_cursor;
+            }
+            const DynInst &di = trace[i];
+            const OpInfo &oi = opInfo(di.op);
+            if (!oi.isLoad && !oi.isStore)
+                continue;
+            const InstrRef &ref = prog.locate(di.sid);
+            if (ref.func != loop.func || !loop.containsBlock(ref.block))
+                continue; // inherited callee instruction
+
+            Scratch &s = scratch[di.sid];
+            ++s.count;
+            if (s.seen) {
+                const std::int64_t delta =
+                    static_cast<std::int64_t>(di.effAddr) -
+                    static_cast<std::int64_t>(s.lastAddr);
+                if (!s.strideSet) {
+                    s.stride = delta;
+                    s.strideSet = true;
+                } else if (delta != s.stride) {
+                    s.inconsistent = true;
+                }
+            }
+            s.seen = true;
+            s.lastAddr = di.effAddr;
+
+            // Loop-carried store-to-load dependence check.
+            if (oi.isLoad && di.memProd != kNoProducer &&
+                static_cast<DynId>(di.memProd) >= occ.begin &&
+                static_cast<DynId>(di.memProd) < i) {
+                const std::int64_t prod_iter =
+                    iter_of(static_cast<DynId>(di.memProd));
+                const std::int64_t my_iter = iter_of(i);
+                if (prod_iter >= 0 && prod_iter < my_iter)
+                    prof.loopCarriedStoreToLoad = true;
+            }
+        }
+
+        // Merge occurrence-local scratch into the loop profile.
+        for (const auto &[sid, s] : scratch) {
+            MemAccessPattern *p = nullptr;
+            for (MemAccessPattern &cand : prof.accesses) {
+                if (cand.sid == sid) {
+                    p = &cand;
+                    break;
+                }
+            }
+            if (p == nullptr) {
+                MemAccessPattern np;
+                np.sid = sid;
+                const Instr &in = prog.instr(sid);
+                np.isLoad = opInfo(in.op).isLoad;
+                np.memSize = in.memSize;
+                np.strideKnown = true; // refined below
+                prof.accesses.push_back(np);
+                p = &prof.accesses.back();
+            }
+            p->count += s.count;
+            if (s.inconsistent || !s.strideSet) {
+                // One execution gives no stride evidence; keep known
+                // only if a stride was consistently observed.
+                if (s.inconsistent)
+                    p->strideKnown = false;
+            } else if (p->strideKnown) {
+                if (p->count == s.count) {
+                    p->stride = s.stride; // first occurrence
+                } else if (p->stride != s.stride) {
+                    p->strideKnown = false;
+                }
+            }
+        }
+    }
+    return profiles;
+}
+
+} // namespace prism

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Dynamic memory profiling per innermost loop: per-static-access
+ * stride detection (contiguity for SIMD), and detection of
+ * loop-carried store-to-load dependences, which the paper's SIMD
+ * analysis uses to (optimistically) decide vectorization legality
+ * from the trace (Section 2.7).
+ */
+
+#ifndef PRISM_IR_MEM_PROFILE_HH
+#define PRISM_IR_MEM_PROFILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/loops.hh"
+#include "prog/program.hh"
+#include "trace/dyn_inst.hh"
+
+namespace prism
+{
+
+/** Observed dynamic address pattern of one static memory access. */
+struct MemAccessPattern
+{
+    StaticId sid = kNoStatic;
+    bool isLoad = false;
+    std::uint8_t memSize = 0;
+    std::uint64_t count = 0;     ///< dynamic executions inside the loop
+
+    bool strideKnown = false;    ///< a consistent stride was observed
+    std::int64_t stride = 0;     ///< bytes between consecutive accesses
+
+    /** Unit-stride access (stride == access size): vectorizable
+     *  without packing. */
+    bool contiguous() const
+    {
+        return strideKnown && stride == static_cast<std::int64_t>(memSize);
+    }
+
+    /** Address is invariant across iterations. */
+    bool invariantAddress() const { return strideKnown && stride == 0; }
+};
+
+/** Memory behavior of one innermost loop. */
+struct LoopMemProfile
+{
+    std::int32_t loopId = -1;
+    std::uint64_t itersObserved = 0;
+    bool loopCarriedStoreToLoad = false;
+    std::vector<MemAccessPattern> accesses;
+
+    /** Pattern for a static access, or nullptr. */
+    const MemAccessPattern *find(StaticId sid) const;
+
+    /** Fraction of accesses that are unit-stride. */
+    double contiguousFraction() const;
+};
+
+/**
+ * Profile all innermost loops over a trace. Indexed by loop id;
+ * non-innermost loops get a default-constructed profile.
+ */
+std::vector<LoopMemProfile> profileMemory(const Program &prog,
+                                          const Trace &trace,
+                                          const LoopForest &forest,
+                                          const TraceLoopMap &map);
+
+} // namespace prism
+
+#endif // PRISM_IR_MEM_PROFILE_HH

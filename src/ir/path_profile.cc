@@ -1,0 +1,237 @@
+#include "ir/path_profile.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+BallLarusDag::BallLarusDag(const Program &prog, const Cfg &cfg,
+                           const Loop &loop)
+    : loop_(loop), header_(loop.header)
+{
+    // DAG successor lists: body edges stay, edges to the header (back
+    // edges) and out of the body become EXIT edges.
+    for (std::int32_t b : loop.blocks) {
+        auto &out = succs_[b];
+        for (std::int32_t s : cfg.node(b).succs) {
+            DagEdge e;
+            e.cfgTo = s;
+            e.to = (s != header_ && loop.containsBlock(s)) ? s : -1;
+            e.value = 0;
+            out.push_back(e);
+        }
+        (void)prog;
+    }
+
+    // Reverse topological order via DFS over body edges.
+    std::vector<std::int32_t> order;
+    std::map<std::int32_t, std::uint8_t> state;
+    std::vector<std::pair<std::int32_t, std::size_t>> stack;
+    stack.emplace_back(header_, 0);
+    state[header_] = 1;
+    while (!stack.empty()) {
+        auto &[n, edge] = stack.back();
+        auto &out = succs_[n];
+        if (edge < out.size()) {
+            const DagEdge &e = out[edge++];
+            if (e.to != -1 && state[e.to] == 0) {
+                state[e.to] = 1;
+                stack.emplace_back(e.to, 0);
+            }
+        } else {
+            order.push_back(n);
+            stack.pop_back();
+        }
+    }
+
+    // numPathsFrom in postorder (children before parents), and edge
+    // values as running prefix sums.
+    for (std::int32_t b : order) {
+        std::uint64_t sum = 0;
+        for (DagEdge &e : succs_[b]) {
+            e.value = sum;
+            sum += e.to == -1 ? 1 : numPathsFrom_.at(e.to);
+        }
+        numPathsFrom_[b] = sum;
+    }
+    numPaths_ = numPathsFrom_.count(header_) ? numPathsFrom_[header_]
+                                             : 0;
+}
+
+std::int64_t
+BallLarusDag::edgeValue(std::int32_t from, std::int32_t to) const
+{
+    const auto it = succs_.find(from);
+    if (it == succs_.end())
+        return -1;
+    for (const DagEdge &e : it->second) {
+        if (e.to == to && e.to != -1)
+            return static_cast<std::int64_t>(e.value);
+    }
+    return -1;
+}
+
+std::int64_t
+BallLarusDag::exitValue(std::int32_t from, std::int32_t to) const
+{
+    const auto it = succs_.find(from);
+    if (it == succs_.end())
+        return -1;
+    for (const DagEdge &e : it->second) {
+        if (e.to == -1 && e.cfgTo == to)
+            return static_cast<std::int64_t>(e.value);
+    }
+    return -1;
+}
+
+std::vector<std::int32_t>
+BallLarusDag::decode(std::uint64_t path_id) const
+{
+    std::vector<std::int32_t> blocks{header_};
+    std::int32_t cur = header_;
+    std::uint64_t rem = path_id;
+
+    while (true) {
+        const auto it = succs_.find(cur);
+        prism_assert(it != succs_.end(), "decode walked out of loop");
+        // Choose the last edge whose value is <= rem.
+        const DagEdge *chosen = nullptr;
+        for (const DagEdge &e : it->second) {
+            if (e.value <= rem)
+                chosen = &e;
+        }
+        prism_assert(chosen != nullptr, "bad path id");
+        rem -= chosen->value;
+        if (chosen->to == -1)
+            return blocks;
+        cur = chosen->to;
+        blocks.push_back(cur);
+    }
+}
+
+double
+PathProfile::loopBackProbability() const
+{
+    return totalIters ? static_cast<double>(backEdgeTaken) /
+                            static_cast<double>(totalIters)
+                      : 0.0;
+}
+
+double
+PathProfile::hotPathFraction() const
+{
+    const PathInfo *h = hottest();
+    return h && totalIters ? static_cast<double>(h->count) /
+                                 static_cast<double>(totalIters)
+                           : 0.0;
+}
+
+const PathProfile::PathInfo *
+PathProfile::hottest() const
+{
+    return paths.empty() ? nullptr : &paths.front();
+}
+
+std::vector<PathProfile>
+profilePaths(const Program &prog, const Trace &trace,
+             const LoopForest &forest, const TraceLoopMap &map)
+{
+    std::vector<PathProfile> profiles(forest.numLoops());
+    std::vector<std::unique_ptr<BallLarusDag>> dags(forest.numLoops());
+    std::vector<std::map<std::uint64_t, std::uint64_t>> counts(
+        forest.numLoops());
+
+    // Build DAGs for innermost loops (one Cfg per function, lazily).
+    std::vector<std::unique_ptr<Cfg>> cfgs(prog.functions().size());
+    for (const Loop &loop : forest.loops()) {
+        profiles[loop.id].loopId = loop.id;
+        if (!loop.innermost)
+            continue;
+        if (!cfgs[loop.func]) {
+            cfgs[loop.func] = std::make_unique<Cfg>(
+                Cfg::reconstruct(prog, loop.func));
+        }
+        dags[loop.id] =
+            std::make_unique<BallLarusDag>(prog, *cfgs[loop.func], loop);
+        profiles[loop.id].numStaticPaths = dags[loop.id]->numPaths();
+    }
+
+    for (const LoopOccurrence &occ : map.occurrences) {
+        const Loop &loop = forest.loop(occ.loopId);
+        if (!loop.innermost)
+            continue;
+        const BallLarusDag &dag = *dags[loop.id];
+        PathProfile &prof = profiles[loop.id];
+
+        std::uint64_t path_sum = 0;
+        bool in_path = false;
+        for (DynId i = occ.begin; i < occ.end; ++i) {
+            const DynInst &di = trace[i];
+            const InstrRef &ref = prog.locate(di.sid);
+            if (ref.func != loop.func ||
+                !loop.containsBlock(ref.block)) {
+                continue; // inherited callee instruction
+            }
+            if (ref.block == loop.header && ref.index == 0) {
+                in_path = true;
+                path_sum = 0;
+            }
+            if (!in_path)
+                continue;
+
+            const Instr &in = prog.instr(di.sid);
+            const bool is_term =
+                in.op == Opcode::Br || in.op == Opcode::Jmp;
+            if (!is_term)
+                continue;
+
+            const std::int32_t next =
+                in.op == Opcode::Jmp
+                    ? in.target
+                    : (di.branchTaken
+                           ? in.target
+                           : prog.function(ref.func)
+                                 .blocks[ref.block]
+                                 .fallthrough);
+
+            if (next != loop.header && loop.containsBlock(next)) {
+                const std::int64_t v = dag.edgeValue(ref.block, next);
+                prism_assert(v >= 0, "missing BL edge");
+                path_sum += static_cast<std::uint64_t>(v);
+            } else {
+                const std::int64_t v = dag.exitValue(ref.block, next);
+                prism_assert(v >= 0, "missing BL exit edge");
+                ++prof.totalIters;
+                if (next == loop.header)
+                    ++prof.backEdgeTaken;
+                ++counts[loop.id][path_sum +
+                                  static_cast<std::uint64_t>(v)];
+                in_path = false;
+                path_sum = 0;
+            }
+        }
+    }
+
+    for (const Loop &loop : forest.loops()) {
+        if (!loop.innermost)
+            continue;
+        PathProfile &prof = profiles[loop.id];
+        for (const auto &[id, count] : counts[loop.id]) {
+            PathProfile::PathInfo pi;
+            pi.id = id;
+            pi.count = count;
+            pi.blocks = dags[loop.id]->decode(id);
+            prof.paths.push_back(std::move(pi));
+        }
+        std::sort(prof.paths.begin(), prof.paths.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.count > b.count;
+                  });
+    }
+    return profiles;
+}
+
+} // namespace prism

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ball-Larus path profiling over innermost loops. The Trace-P BSA
+ * uses this to identify hot traces (the paper cites Ball-Larus [4]
+ * and requires loop-back probability > 80%); SIMD uses the per-path
+ * instruction counts for its if-conversion profitability estimate.
+ */
+
+#ifndef PRISM_IR_PATH_PROFILE_HH
+#define PRISM_IR_PATH_PROFILE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ir/loops.hh"
+#include "prog/program.hh"
+#include "trace/dyn_inst.hh"
+
+namespace prism
+{
+
+/**
+ * Ball-Larus numbering of the acyclic paths of one innermost loop's
+ * body (back edges removed; every edge leaving the body or returning
+ * to the header terminates a path).
+ */
+class BallLarusDag
+{
+  public:
+    /** Build the numbering for an innermost loop. */
+    BallLarusDag(const Program &prog, const Cfg &cfg, const Loop &loop);
+
+    /** Total number of distinct acyclic paths through the body. */
+    std::uint64_t numPaths() const { return numPaths_; }
+
+    /**
+     * Path-sum increment for the in-body transition from block `from`
+     * to block `to`; -1 if there is no such DAG edge.
+     */
+    std::int64_t edgeValue(std::int32_t from, std::int32_t to) const;
+
+    /**
+     * Increment for the path-terminating edge out of `from` (back
+     * edge to the header or loop exit toward `to`; `to` may be any
+     * non-body block or the header).
+     */
+    std::int64_t exitValue(std::int32_t from, std::int32_t to) const;
+
+    /** Recover the block sequence of a path id (starts at header). */
+    std::vector<std::int32_t> decode(std::uint64_t path_id) const;
+
+  private:
+    struct DagEdge
+    {
+        std::int32_t to;      ///< body block, or -1 for EXIT
+        std::int32_t cfgTo;   ///< underlying CFG successor
+        std::uint64_t value;
+    };
+
+    const Loop &loop_;
+    std::int32_t header_;
+    std::map<std::int32_t, std::vector<DagEdge>> succs_; // per block
+    std::map<std::int32_t, std::uint64_t> numPathsFrom_;
+    std::uint64_t numPaths_ = 0;
+};
+
+/** Execution-frequency profile of one loop's acyclic paths. */
+struct PathProfile
+{
+    std::int32_t loopId = -1;
+    std::uint64_t totalIters = 0;   ///< completed path instances
+    std::uint64_t backEdgeTaken = 0;///< iterations continuing the loop
+    std::uint64_t numStaticPaths = 0;
+
+    struct PathInfo
+    {
+        std::uint64_t id = 0;
+        std::uint64_t count = 0;
+        std::vector<std::int32_t> blocks;
+    };
+    std::vector<PathInfo> paths;    ///< sorted by count, descending
+
+    /** Probability an iteration loops back rather than exits. */
+    double loopBackProbability() const;
+
+    /** Fraction of iterations following the hottest path. */
+    double hotPathFraction() const;
+
+    /** The most frequent path, or nullptr if never executed. */
+    const PathInfo *hottest() const;
+};
+
+/**
+ * Profile every innermost loop of the program over a trace.
+ * Returned vector is indexed by loop id (non-innermost loops get an
+ * empty profile with numStaticPaths == 0).
+ */
+std::vector<PathProfile> profilePaths(const Program &prog,
+                                      const Trace &trace,
+                                      const LoopForest &forest,
+                                      const TraceLoopMap &map);
+
+} // namespace prism
+
+#endif // PRISM_IR_PATH_PROFILE_HH

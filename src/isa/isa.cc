@@ -1,0 +1,273 @@
+#include "isa/isa.hh"
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+FuPool
+fuPoolOf(FuClass c)
+{
+    switch (c) {
+      case FuClass::IntAlu:
+      case FuClass::Branch:
+        return FuPool::Alu;
+      case FuClass::IntMul:
+      case FuClass::IntDiv:
+        return FuPool::MulDiv;
+      case FuClass::FpAlu:
+      case FuClass::FpMul:
+      case FuClass::FpDiv:
+        return FuPool::Fp;
+      case FuClass::Mem:
+        return FuPool::MemPort;
+      case FuClass::None:
+        return FuPool::None;
+    }
+    panic("unknown FuClass %d", static_cast<int>(c));
+}
+
+namespace
+{
+
+// Shorthand constructors for the opcode table.
+struct Op
+{
+    static constexpr OpInfo
+    alu(std::string_view n, std::uint8_t srcs = 2, std::uint8_t lat = 1)
+    {
+        OpInfo o;
+        o.name = n;
+        o.fu = FuClass::IntAlu;
+        o.latency = lat;
+        o.numSrcs = srcs;
+        return o;
+    }
+
+    static constexpr OpInfo
+    fp(std::string_view n, FuClass fu, std::uint8_t lat,
+       std::uint8_t srcs = 2)
+    {
+        OpInfo o;
+        o.name = n;
+        o.fu = fu;
+        o.latency = lat;
+        o.numSrcs = srcs;
+        o.isFp = true;
+        return o;
+    }
+};
+
+constexpr std::array<OpInfo, kNumOpcodes>
+makeOpTable()
+{
+    std::array<OpInfo, kNumOpcodes> t{};
+    auto set = [&t](Opcode op, OpInfo info) {
+        t[static_cast<std::size_t>(op)] = info;
+    };
+
+    set(Opcode::Add, Op::alu("add"));
+    set(Opcode::Sub, Op::alu("sub"));
+    set(Opcode::And, Op::alu("and"));
+    set(Opcode::Or, Op::alu("or"));
+    set(Opcode::Xor, Op::alu("xor"));
+    set(Opcode::Shl, Op::alu("shl"));
+    set(Opcode::Shr, Op::alu("shr"));
+    set(Opcode::Mov, Op::alu("mov", 1));
+    set(Opcode::Movi, Op::alu("movi", 0));
+    set(Opcode::CmpEq, Op::alu("cmpeq"));
+    set(Opcode::CmpLt, Op::alu("cmplt"));
+    set(Opcode::CmpLe, Op::alu("cmple"));
+    set(Opcode::Sel, Op::alu("sel", 3));
+
+    {
+        OpInfo o = Op::alu("mul", 2, 3);
+        o.fu = FuClass::IntMul;
+        set(Opcode::Mul, o);
+        o = Op::alu("div", 2, 12);
+        o.fu = FuClass::IntDiv;
+        set(Opcode::Div, o);
+        o = Op::alu("rem", 2, 12);
+        o.fu = FuClass::IntDiv;
+        set(Opcode::Rem, o);
+    }
+
+    set(Opcode::Fadd, Op::fp("fadd", FuClass::FpAlu, 3));
+    set(Opcode::Fsub, Op::fp("fsub", FuClass::FpAlu, 3));
+    set(Opcode::Fmul, Op::fp("fmul", FuClass::FpMul, 3));
+    set(Opcode::Fdiv, Op::fp("fdiv", FuClass::FpDiv, 12));
+    set(Opcode::Fsqrt, Op::fp("fsqrt", FuClass::FpDiv, 16, 1));
+    set(Opcode::Fma, Op::fp("fma", FuClass::FpMul, 4, 3));
+    set(Opcode::FcmpLt, Op::fp("fcmplt", FuClass::FpAlu, 2));
+    set(Opcode::FcmpEq, Op::fp("fcmpeq", FuClass::FpAlu, 2));
+    set(Opcode::CvtIF, Op::fp("cvtif", FuClass::FpAlu, 2, 1));
+    set(Opcode::CvtFI, Op::fp("cvtfi", FuClass::FpAlu, 2, 1));
+
+    {
+        OpInfo o;
+        o.name = "ld";
+        o.fu = FuClass::Mem;
+        o.latency = 4; // L1 hit; the trace overrides with dynamic latency
+        o.numSrcs = 1; // base register
+        o.isLoad = true;
+        set(Opcode::Ld, o);
+
+        o = OpInfo{};
+        o.name = "st";
+        o.fu = FuClass::Mem;
+        o.latency = 1;
+        o.numSrcs = 2; // base, value
+        o.writesDst = false;
+        o.isStore = true;
+        set(Opcode::St, o);
+    }
+
+    {
+        OpInfo o;
+        o.name = "br";
+        o.fu = FuClass::Branch;
+        o.numSrcs = 1;
+        o.writesDst = false;
+        o.isBranch = true;
+        o.isCondBranch = true;
+        set(Opcode::Br, o);
+
+        o = OpInfo{};
+        o.name = "jmp";
+        o.fu = FuClass::Branch;
+        o.numSrcs = 0;
+        o.writesDst = false;
+        o.isBranch = true;
+        set(Opcode::Jmp, o);
+
+        o = OpInfo{};
+        o.name = "call";
+        o.fu = FuClass::Branch;
+        o.numSrcs = 0;
+        o.writesDst = false;
+        o.isBranch = true;
+        o.isCall = true;
+        set(Opcode::Call, o);
+
+        o = OpInfo{};
+        o.name = "ret";
+        o.fu = FuClass::Branch;
+        o.numSrcs = 1; // return value (optional)
+        o.writesDst = false;
+        o.isBranch = true;
+        o.isRet = true;
+        set(Opcode::Ret, o);
+    }
+
+    {
+        OpInfo o;
+        o.name = "nop";
+        o.fu = FuClass::None;
+        o.numSrcs = 0;
+        o.writesDst = false;
+        set(Opcode::Nop, o);
+    }
+
+    // ---- Synthetic (transform-only) opcodes ----
+    auto synth = [](std::string_view n, FuClass fu, std::uint8_t lat,
+                    std::uint8_t srcs, bool vec) {
+        OpInfo o;
+        o.name = n;
+        o.fu = fu;
+        o.latency = lat;
+        o.numSrcs = srcs;
+        o.isSynthetic = true;
+        o.isVector = vec;
+        return o;
+    };
+
+    set(Opcode::Vadd, synth("vadd", FuClass::IntAlu, 1, 2, true));
+    set(Opcode::Vsub, synth("vsub", FuClass::IntAlu, 1, 2, true));
+    set(Opcode::Vmul, synth("vmul", FuClass::IntMul, 3, 2, true));
+    set(Opcode::Vdiv, synth("vdiv", FuClass::IntDiv, 12, 2, true));
+    set(Opcode::Vfadd, synth("vfadd", FuClass::FpAlu, 3, 2, true));
+    set(Opcode::Vfsub, synth("vfsub", FuClass::FpAlu, 3, 2, true));
+    set(Opcode::Vfmul, synth("vfmul", FuClass::FpMul, 3, 2, true));
+    set(Opcode::Vfdiv, synth("vfdiv", FuClass::FpDiv, 14, 2, true));
+    set(Opcode::Vfma, synth("vfma", FuClass::FpMul, 4, 3, true));
+    set(Opcode::Vcmp, synth("vcmp", FuClass::IntAlu, 1, 2, true));
+    set(Opcode::Vsel, synth("vsel", FuClass::IntAlu, 1, 3, true));
+
+    {
+        OpInfo o = synth("vld", FuClass::Mem, 4, 1, true);
+        o.isLoad = true;
+        set(Opcode::Vld, o);
+        o = synth("vst", FuClass::Mem, 1, 2, true);
+        o.isStore = true;
+        o.writesDst = false;
+        set(Opcode::Vst, o);
+    }
+
+    set(Opcode::Vpack, synth("vpack", FuClass::IntAlu, 1, 2, true));
+    set(Opcode::Vunpack, synth("vunpack", FuClass::IntAlu, 1, 1, true));
+    set(Opcode::Vmask, synth("vmask", FuClass::IntAlu, 1, 3, true));
+    set(Opcode::Vmov, synth("vmov", FuClass::IntAlu, 1, 1, true));
+
+    set(Opcode::AccelCfg, synth("accel.cfg", FuClass::None, 1, 0, false));
+    set(Opcode::AccelSend, synth("accel.send", FuClass::IntAlu, 1, 1,
+                                 false));
+    set(Opcode::AccelRecv, synth("accel.recv", FuClass::IntAlu, 1, 1,
+                                 false));
+    set(Opcode::DfSwitch, synth("df.switch", FuClass::IntAlu, 1, 2,
+                                false));
+    set(Opcode::CfuOp, synth("cfu.op", FuClass::IntAlu, 1, 3, false));
+
+    return t;
+}
+
+constexpr auto g_op_table = makeOpTable();
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    const auto idx = static_cast<std::size_t>(op);
+    prism_assert(idx < kNumOpcodes, "opcode out of range");
+    return g_op_table[idx];
+}
+
+std::string_view
+opName(Opcode op)
+{
+    return opInfo(op).name;
+}
+
+Opcode
+vectorFormOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return Opcode::Vadd;
+      case Opcode::Sub: return Opcode::Vsub;
+      case Opcode::And: return Opcode::Vadd; // logical ops share vadd cost
+      case Opcode::Or: return Opcode::Vadd;
+      case Opcode::Xor: return Opcode::Vadd;
+      case Opcode::Shl: return Opcode::Vadd;
+      case Opcode::Shr: return Opcode::Vadd;
+      case Opcode::Mov: return Opcode::Vmov;
+      case Opcode::Movi: return Opcode::Vmov;
+      case Opcode::Mul: return Opcode::Vmul;
+      case Opcode::Div: return Opcode::Vdiv;
+      case Opcode::Fadd: return Opcode::Vfadd;
+      case Opcode::Fsub: return Opcode::Vfsub;
+      case Opcode::Fmul: return Opcode::Vfmul;
+      case Opcode::Fdiv: return Opcode::Vfdiv;
+      case Opcode::Fma: return Opcode::Vfma;
+      case Opcode::CmpEq: return Opcode::Vcmp;
+      case Opcode::CmpLt: return Opcode::Vcmp;
+      case Opcode::CmpLe: return Opcode::Vcmp;
+      case Opcode::FcmpLt: return Opcode::Vcmp;
+      case Opcode::FcmpEq: return Opcode::Vcmp;
+      case Opcode::Sel: return Opcode::Vsel;
+      case Opcode::Ld: return Opcode::Vld;
+      case Opcode::St: return Opcode::Vst;
+      default: return Opcode::Nop;
+    }
+}
+
+} // namespace prism

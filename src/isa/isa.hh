@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The Prism guest ISA: a small load/store RISC instruction set rich
+ * enough to express the paper's benchmark behaviors (integer/FP
+ * compute, memory access with explicit addressing, compare-and-branch
+ * control flow, calls), plus the synthetic opcodes that TDG transforms
+ * insert (vector ops, masking, accelerator config/communication).
+ *
+ * This module is the substitute for the paper's x86/Alpha binaries: the
+ * functional simulator in src/sim executes these instructions and
+ * produces the dynamic traces the TDG is constructed from.
+ */
+
+#ifndef PRISM_ISA_ISA_HH
+#define PRISM_ISA_ISA_HH
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace prism
+{
+
+/** Functional-unit class an operation executes on. */
+enum class FuClass : std::uint8_t
+{
+    IntAlu,   ///< simple integer / logical / compare
+    IntMul,   ///< integer multiply
+    IntDiv,   ///< integer divide / remainder
+    FpAlu,    ///< FP add/sub/compare/convert
+    FpMul,    ///< FP multiply and fused multiply-add
+    FpDiv,    ///< FP divide / sqrt
+    Mem,      ///< load/store (occupies a data-cache port)
+    Branch,   ///< control transfer
+    None,     ///< consumes no FU (e.g. nop/config bookkeeping)
+};
+
+/** Coarse FU pools matching Table 4's "FUs (ALU, Mul/Div, FP)". */
+enum class FuPool : std::uint8_t { Alu, MulDiv, Fp, MemPort, None };
+
+/** Map a fine-grained FU class onto its Table 4 pool. */
+FuPool fuPoolOf(FuClass c);
+
+/**
+ * Guest opcodes. The first section is what guest programs may contain;
+ * opcodes from Vadd onward are synthetic: they never appear in guest
+ * binaries and are only created by TDG transforms.
+ */
+enum class Opcode : std::uint8_t
+{
+    // Integer ALU
+    Add, Sub, And, Or, Xor, Shl, Shr, Mov, Movi,
+    CmpEq, CmpLt, CmpLe, Sel,
+    // Integer mul/div
+    Mul, Div, Rem,
+    // Floating point (registers hold raw bit patterns of doubles)
+    Fadd, Fsub, Fmul, Fdiv, Fsqrt, Fma, FcmpLt, FcmpEq,
+    CvtIF, CvtFI,
+    // Memory
+    Ld, St,
+    // Control
+    Br, Jmp, Call, Ret,
+    Nop,
+
+    // ---- Synthetic opcodes (TDG-transform output only) ----
+    Vadd, Vsub, Vmul, Vdiv, Vfadd, Vfsub, Vfmul, Vfdiv, Vfma,
+    Vcmp, Vsel,
+    Vld, Vst,       ///< contiguous vector memory access
+    Vpack, Vunpack, ///< gather/scatter emulation for strided access
+    Vmask,          ///< merge along if-converted control paths
+    Vmov,           ///< scalar<->vector transfer
+    AccelCfg,       ///< accelerator configuration load
+    AccelSend,      ///< GPP -> accelerator operand transfer (DP-CGRA)
+    AccelRecv,      ///< accelerator -> GPP result transfer (DP-CGRA)
+    DfSwitch,       ///< dataflow control "switch" (NS-DF)
+    CfuOp,          ///< compound-functional-unit operation (NS-DF/Trace-P)
+
+    NumOpcodes,
+};
+
+/** Count of opcodes, usable for static tables. */
+inline constexpr std::size_t kNumOpcodes =
+    static_cast<std::size_t>(Opcode::NumOpcodes);
+
+/** Static properties of an opcode. */
+struct OpInfo
+{
+    std::string_view name;
+    FuClass fu = FuClass::IntAlu;
+    std::uint8_t latency = 1;   ///< execute->complete latency in cycles
+    std::uint8_t numSrcs = 2;   ///< register sources read
+    bool writesDst = true;
+    bool isLoad = false;
+    bool isStore = false;
+    bool isBranch = false;      ///< any control transfer
+    bool isCondBranch = false;
+    bool isCall = false;
+    bool isRet = false;
+    bool isFp = false;
+    bool isSynthetic = false;   ///< transform-inserted only
+    bool isVector = false;
+};
+
+/** Look up the static properties of an opcode. */
+const OpInfo &opInfo(Opcode op);
+
+/** Short mnemonic, e.g. "fadd". */
+std::string_view opName(Opcode op);
+
+/** True if the opcode touches memory. */
+inline bool
+isMemOp(Opcode op)
+{
+    const OpInfo &oi = opInfo(op);
+    return oi.isLoad || oi.isStore;
+}
+
+/** Scalar -> vector opcode mapping for the SIMD transform; Nop if the
+ *  opcode has no vector form. */
+Opcode vectorFormOf(Opcode op);
+
+} // namespace prism
+
+#endif // PRISM_ISA_ISA_HH

@@ -1,0 +1,301 @@
+#include "prog/builder.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "prog/verifier.hh"
+
+namespace prism
+{
+
+FunctionBuilder::FunctionBuilder(ProgramBuilder *owner, std::int32_t id,
+                                 std::string name, std::uint8_t num_args)
+    : owner_(owner), id_(id)
+{
+    (void)owner_;
+    fn_.name = std::move(name);
+    fn_.numArgs = num_args;
+    fn_.numRegs = num_args;
+    newBlock();
+    setBlock(0);
+}
+
+RegId
+FunctionBuilder::arg(int i) const
+{
+    prism_assert(i >= 0 && i < fn_.numArgs, "argument index out of range");
+    return static_cast<RegId>(i);
+}
+
+RegId
+FunctionBuilder::reg()
+{
+    return fn_.numRegs++;
+}
+
+std::int32_t
+FunctionBuilder::newBlock()
+{
+    fn_.blocks.emplace_back();
+    return static_cast<std::int32_t>(fn_.blocks.size()) - 1;
+}
+
+void
+FunctionBuilder::setBlock(std::int32_t b)
+{
+    prism_assert(b >= 0 &&
+                 b < static_cast<std::int32_t>(fn_.blocks.size()),
+                 "no such block");
+    cur_ = b;
+}
+
+BasicBlock &
+FunctionBuilder::curBlock()
+{
+    prism_assert(cur_ >= 0, "no current block");
+    BasicBlock &bb = fn_.blocks[cur_];
+    prism_assert(bb.terminator() == nullptr,
+                 "emitting into terminated block %d", cur_);
+    return bb;
+}
+
+RegId
+FunctionBuilder::emitDst(Opcode op, RegId a, RegId b, RegId c,
+                         std::int64_t imm)
+{
+    const RegId d = reg();
+    emitTo(op, d, a, b, c, imm);
+    return d;
+}
+
+void
+FunctionBuilder::emitTo(Opcode op, RegId d, RegId a, RegId b, RegId c,
+                        std::int64_t imm)
+{
+    Instr in;
+    in.op = op;
+    in.dst = d;
+    in.src = {a, b, c};
+    in.imm = imm;
+    curBlock().instrs.push_back(in);
+}
+
+void
+FunctionBuilder::emit(Instr in)
+{
+    curBlock().instrs.push_back(in);
+}
+
+// ---- integer ----
+
+RegId
+FunctionBuilder::movi(std::int64_t imm)
+{
+    return emitDst(Opcode::Movi, kNoReg, kNoReg, kNoReg, imm);
+}
+
+RegId FunctionBuilder::mov(RegId a) { return emitDst(Opcode::Mov, a); }
+RegId FunctionBuilder::add(RegId a, RegId b)
+{ return emitDst(Opcode::Add, a, b); }
+
+RegId
+FunctionBuilder::addi(RegId a, std::int64_t imm)
+{
+    return add(a, movi(imm));
+}
+
+RegId FunctionBuilder::sub(RegId a, RegId b)
+{ return emitDst(Opcode::Sub, a, b); }
+RegId FunctionBuilder::and_(RegId a, RegId b)
+{ return emitDst(Opcode::And, a, b); }
+RegId FunctionBuilder::or_(RegId a, RegId b)
+{ return emitDst(Opcode::Or, a, b); }
+RegId FunctionBuilder::xor_(RegId a, RegId b)
+{ return emitDst(Opcode::Xor, a, b); }
+RegId FunctionBuilder::shl(RegId a, RegId b)
+{ return emitDst(Opcode::Shl, a, b); }
+RegId FunctionBuilder::shr(RegId a, RegId b)
+{ return emitDst(Opcode::Shr, a, b); }
+RegId FunctionBuilder::mul(RegId a, RegId b)
+{ return emitDst(Opcode::Mul, a, b); }
+RegId FunctionBuilder::div(RegId a, RegId b)
+{ return emitDst(Opcode::Div, a, b); }
+RegId FunctionBuilder::rem(RegId a, RegId b)
+{ return emitDst(Opcode::Rem, a, b); }
+RegId FunctionBuilder::cmpeq(RegId a, RegId b)
+{ return emitDst(Opcode::CmpEq, a, b); }
+RegId FunctionBuilder::cmplt(RegId a, RegId b)
+{ return emitDst(Opcode::CmpLt, a, b); }
+RegId FunctionBuilder::cmple(RegId a, RegId b)
+{ return emitDst(Opcode::CmpLe, a, b); }
+RegId FunctionBuilder::sel(RegId c, RegId a, RegId b)
+{ return emitDst(Opcode::Sel, c, a, b); }
+
+// ---- floating point ----
+
+RegId
+FunctionBuilder::fmovi(double v)
+{
+    return emitDst(Opcode::Movi, kNoReg, kNoReg, kNoReg,
+                   std::bit_cast<std::int64_t>(v));
+}
+
+RegId FunctionBuilder::fadd(RegId a, RegId b)
+{ return emitDst(Opcode::Fadd, a, b); }
+RegId FunctionBuilder::fsub(RegId a, RegId b)
+{ return emitDst(Opcode::Fsub, a, b); }
+RegId FunctionBuilder::fmul(RegId a, RegId b)
+{ return emitDst(Opcode::Fmul, a, b); }
+RegId FunctionBuilder::fdiv(RegId a, RegId b)
+{ return emitDst(Opcode::Fdiv, a, b); }
+RegId FunctionBuilder::fsqrt(RegId a)
+{ return emitDst(Opcode::Fsqrt, a); }
+RegId FunctionBuilder::fma(RegId a, RegId b, RegId acc)
+{ return emitDst(Opcode::Fma, a, b, acc); }
+RegId FunctionBuilder::fcmplt(RegId a, RegId b)
+{ return emitDst(Opcode::FcmpLt, a, b); }
+RegId FunctionBuilder::fcmpeq(RegId a, RegId b)
+{ return emitDst(Opcode::FcmpEq, a, b); }
+RegId FunctionBuilder::cvtif(RegId a)
+{ return emitDst(Opcode::CvtIF, a); }
+RegId FunctionBuilder::cvtfi(RegId a)
+{ return emitDst(Opcode::CvtFI, a); }
+
+// ---- in-place ----
+
+void
+FunctionBuilder::moviTo(RegId d, std::int64_t imm)
+{
+    emitTo(Opcode::Movi, d, kNoReg, kNoReg, kNoReg, imm);
+}
+
+void
+FunctionBuilder::fmoviTo(RegId d, double v)
+{
+    emitTo(Opcode::Movi, d, kNoReg, kNoReg, kNoReg,
+           std::bit_cast<std::int64_t>(v));
+}
+
+void FunctionBuilder::movTo(RegId d, RegId a)
+{ emitTo(Opcode::Mov, d, a); }
+void FunctionBuilder::addTo(RegId d, RegId a, RegId b)
+{ emitTo(Opcode::Add, d, a, b); }
+void FunctionBuilder::subTo(RegId d, RegId a, RegId b)
+{ emitTo(Opcode::Sub, d, a, b); }
+void FunctionBuilder::mulTo(RegId d, RegId a, RegId b)
+{ emitTo(Opcode::Mul, d, a, b); }
+void FunctionBuilder::faddTo(RegId d, RegId a, RegId b)
+{ emitTo(Opcode::Fadd, d, a, b); }
+void FunctionBuilder::fmulTo(RegId d, RegId a, RegId b)
+{ emitTo(Opcode::Fmul, d, a, b); }
+void FunctionBuilder::selTo(RegId d, RegId c, RegId a, RegId b)
+{ emitTo(Opcode::Sel, d, c, a, b); }
+
+// ---- memory ----
+
+RegId
+FunctionBuilder::ld(RegId base, std::int64_t off, std::uint8_t size,
+                    bool spill)
+{
+    const RegId d = reg();
+    Instr in;
+    in.op = Opcode::Ld;
+    in.dst = d;
+    in.src = {base, kNoReg, kNoReg};
+    in.imm = off;
+    in.memSize = size;
+    in.isSpill = spill;
+    curBlock().instrs.push_back(in);
+    return d;
+}
+
+void
+FunctionBuilder::st(RegId base, std::int64_t off, RegId val,
+                    std::uint8_t size, bool spill)
+{
+    Instr in;
+    in.op = Opcode::St;
+    in.src = {base, val, kNoReg};
+    in.imm = off;
+    in.memSize = size;
+    in.isSpill = spill;
+    curBlock().instrs.push_back(in);
+}
+
+// ---- control ----
+
+void
+FunctionBuilder::br(RegId cond, std::int32_t taken, std::int32_t ft)
+{
+    Instr in;
+    in.op = Opcode::Br;
+    in.src = {cond, kNoReg, kNoReg};
+    in.target = taken;
+    BasicBlock &bb = curBlock();
+    bb.instrs.push_back(in);
+    bb.fallthrough = ft;
+}
+
+void
+FunctionBuilder::jmp(std::int32_t target)
+{
+    Instr in;
+    in.op = Opcode::Jmp;
+    in.target = target;
+    curBlock().instrs.push_back(in);
+}
+
+void
+FunctionBuilder::ret(RegId v)
+{
+    Instr in;
+    in.op = Opcode::Ret;
+    in.src = {v, kNoReg, kNoReg};
+    curBlock().instrs.push_back(in);
+}
+
+void
+FunctionBuilder::retVoid()
+{
+    Instr in;
+    in.op = Opcode::Ret;
+    curBlock().instrs.push_back(in);
+}
+
+RegId
+FunctionBuilder::call(std::int32_t callee, const std::vector<RegId> &args)
+{
+    prism_assert(args.size() <= 3, "call supports at most 3 arguments");
+    Instr in;
+    in.op = Opcode::Call;
+    in.dst = reg();
+    for (std::size_t i = 0; i < args.size(); ++i)
+        in.src[i] = args[i];
+    in.target = callee;
+    curBlock().instrs.push_back(in);
+    return in.dst;
+}
+
+// ---- ProgramBuilder ----
+
+FunctionBuilder &
+ProgramBuilder::func(const std::string &name, std::uint8_t num_args)
+{
+    const auto id = static_cast<std::int32_t>(funcs_.size());
+    funcs_.push_back(FunctionBuilder(this, id, name, num_args));
+    return funcs_.back();
+}
+
+Program
+ProgramBuilder::build()
+{
+    Program p;
+    for (auto &fb : funcs_)
+        p.addFunction(std::move(fb.fn_));
+    funcs_.clear();
+    p.finalize();
+    verify(p);
+    return p;
+}
+
+} // namespace prism

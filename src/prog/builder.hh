@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Fluent construction API for guest programs. Workload kernels are
+ * written against FunctionBuilder; it takes the place of the compiler
+ * front-end in the paper's toolchain.
+ *
+ * Conventions:
+ *  - every basic block must end in an explicit terminator
+ *    (br / jmp / ret); br names both the taken and fallthrough blocks;
+ *  - value-producing emitters allocate and return a fresh virtual
+ *    register; the *To variants write a caller-chosen register (used
+ *    for loop-carried values);
+ *  - function arguments occupy registers 0..numArgs-1.
+ */
+
+#ifndef PRISM_PROG_BUILDER_HH
+#define PRISM_PROG_BUILDER_HH
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "prog/program.hh"
+
+namespace prism
+{
+
+class ProgramBuilder;
+
+/** Builds one guest function; obtained from ProgramBuilder::func(). */
+class FunctionBuilder
+{
+  public:
+    /** Register holding argument i. */
+    RegId arg(int i) const;
+
+    /** Allocate a fresh virtual register. */
+    RegId reg();
+
+    /** Create a new (empty) basic block; returns its index. */
+    std::int32_t newBlock();
+
+    /** Redirect emission to the given block. */
+    void setBlock(std::int32_t b);
+
+    /** Block currently being emitted into. */
+    std::int32_t currentBlock() const { return cur_; }
+
+    /** Index of this function within the program. */
+    std::int32_t id() const { return id_; }
+
+    // ---- integer ----
+    RegId movi(std::int64_t imm);
+    RegId mov(RegId a);
+    RegId add(RegId a, RegId b);
+    RegId addi(RegId a, std::int64_t imm); ///< add immediate (movi+add)
+    RegId sub(RegId a, RegId b);
+    RegId and_(RegId a, RegId b);
+    RegId or_(RegId a, RegId b);
+    RegId xor_(RegId a, RegId b);
+    RegId shl(RegId a, RegId b);
+    RegId shr(RegId a, RegId b);
+    RegId mul(RegId a, RegId b);
+    RegId div(RegId a, RegId b);
+    RegId rem(RegId a, RegId b);
+    RegId cmpeq(RegId a, RegId b);
+    RegId cmplt(RegId a, RegId b);
+    RegId cmple(RegId a, RegId b);
+    RegId sel(RegId c, RegId a, RegId b); ///< c ? a : b
+
+    // ---- floating point (raw double bits in registers) ----
+    RegId fmovi(double v);
+    RegId fadd(RegId a, RegId b);
+    RegId fsub(RegId a, RegId b);
+    RegId fmul(RegId a, RegId b);
+    RegId fdiv(RegId a, RegId b);
+    RegId fsqrt(RegId a);
+    RegId fma(RegId a, RegId b, RegId acc); ///< a*b + acc
+    RegId fcmplt(RegId a, RegId b);
+    RegId fcmpeq(RegId a, RegId b);
+    RegId cvtif(RegId a);
+    RegId cvtfi(RegId a);
+
+    // ---- in-place variants for loop-carried registers ----
+    void moviTo(RegId d, std::int64_t imm);
+    void fmoviTo(RegId d, double v);
+    void movTo(RegId d, RegId a);
+    void addTo(RegId d, RegId a, RegId b);
+    void subTo(RegId d, RegId a, RegId b);
+    void mulTo(RegId d, RegId a, RegId b);
+    void faddTo(RegId d, RegId a, RegId b);
+    void fmulTo(RegId d, RegId a, RegId b);
+    void selTo(RegId d, RegId c, RegId a, RegId b);
+
+    // ---- memory ----
+    RegId ld(RegId base, std::int64_t off, std::uint8_t size = 8,
+             bool spill = false);
+    void st(RegId base, std::int64_t off, RegId val,
+            std::uint8_t size = 8, bool spill = false);
+
+    // ---- control ----
+    /** Conditional terminator: goto taken if cond != 0, else ft. */
+    void br(RegId cond, std::int32_t taken, std::int32_t ft);
+    /** Unconditional terminator. */
+    void jmp(std::int32_t target);
+    /** Return with a value. */
+    void ret(RegId v);
+    /** Return without a value. */
+    void retVoid();
+    /** Call another function (<=3 args); returns result register. */
+    RegId call(std::int32_t callee, const std::vector<RegId> &args);
+
+    /** Raw emission escape hatch. */
+    void emit(Instr in);
+
+  private:
+    friend class ProgramBuilder;
+    FunctionBuilder(ProgramBuilder *owner, std::int32_t id,
+                    std::string name, std::uint8_t num_args);
+
+    BasicBlock &curBlock();
+    RegId emitDst(Opcode op, RegId a = kNoReg, RegId b = kNoReg,
+                  RegId c = kNoReg, std::int64_t imm = 0);
+    void emitTo(Opcode op, RegId d, RegId a = kNoReg, RegId b = kNoReg,
+                RegId c = kNoReg, std::int64_t imm = 0);
+
+    ProgramBuilder *owner_;
+    Function fn_;
+    std::int32_t id_;
+    std::int32_t cur_ = -1;
+};
+
+/** Builds a whole guest program. */
+class ProgramBuilder
+{
+  public:
+    /**
+     * Create a function; `num_args` arguments arrive in registers
+     * 0..num_args-1. An initial block 0 is created and selected.
+     */
+    FunctionBuilder &func(const std::string &name,
+                          std::uint8_t num_args = 0);
+
+    /**
+     * Move all functions into a finalized, verified Program.
+     * The builder is left empty.
+     */
+    Program build();
+
+  private:
+    std::deque<FunctionBuilder> funcs_;
+};
+
+} // namespace prism
+
+#endif // PRISM_PROG_BUILDER_HH

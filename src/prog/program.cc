@@ -1,0 +1,162 @@
+#include "prog/program.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+int
+Instr::numSrcRegs() const
+{
+    int n = 0;
+    for (RegId r : src) {
+        if (r != kNoReg)
+            ++n;
+    }
+    return n;
+}
+
+const Instr *
+BasicBlock::terminator() const
+{
+    if (instrs.empty())
+        return nullptr;
+    const Instr &last = instrs.back();
+    return opInfo(last.op).isBranch && !opInfo(last.op).isCall ? &last
+                                                               : nullptr;
+}
+
+std::size_t
+Function::numInstrs() const
+{
+    std::size_t n = 0;
+    for (const auto &bb : blocks)
+        n += bb.instrs.size();
+    return n;
+}
+
+std::int32_t
+Program::addFunction(Function f)
+{
+    prism_assert(!finalized_, "program already finalized");
+    const auto id = static_cast<std::int32_t>(functions_.size());
+    f.id = id;
+    functions_.push_back(std::move(f));
+    return id;
+}
+
+void
+Program::finalize()
+{
+    prism_assert(!finalized_, "program already finalized");
+    prism_assert(!functions_.empty(), "program has no functions");
+
+    flat_.clear();
+    funcBlockStart_.clear();
+    funcBlockStart_.resize(functions_.size());
+
+    StaticId sid = 0;
+    for (std::size_t fi = 0; fi < functions_.size(); ++fi) {
+        Function &fn = functions_[fi];
+        prism_assert(!fn.blocks.empty(), "function '%s' has no blocks",
+                     fn.name.c_str());
+        funcBlockStart_[fi].reserve(fn.blocks.size());
+        for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+            BasicBlock &bb = fn.blocks[bi];
+            bb.id = static_cast<std::int32_t>(bi);
+            funcBlockStart_[fi].push_back(sid);
+            prism_assert(!bb.instrs.empty(),
+                         "empty block %zu in '%s'", bi, fn.name.c_str());
+            for (std::size_t ii = 0; ii < bb.instrs.size(); ++ii) {
+                bb.instrs[ii].sid = sid;
+                flat_.push_back(InstrRef{
+                    static_cast<std::int32_t>(fi),
+                    static_cast<std::int32_t>(bi),
+                    static_cast<std::int32_t>(ii)});
+                ++sid;
+            }
+        }
+    }
+    finalized_ = true;
+}
+
+std::int32_t
+Program::entryFunction() const
+{
+    for (std::size_t i = 0; i < functions_.size(); ++i) {
+        if (functions_[i].name == "main")
+            return static_cast<std::int32_t>(i);
+    }
+    return 0;
+}
+
+const Instr &
+Program::instr(StaticId sid) const
+{
+    const InstrRef &ref = flat_.at(sid);
+    return functions_[ref.func].blocks[ref.block].instrs[ref.index];
+}
+
+StaticId
+Program::blockStart(std::int32_t func, std::int32_t block) const
+{
+    return funcBlockStart_.at(func).at(block);
+}
+
+StaticId
+Program::funcStart(std::int32_t func) const
+{
+    return funcBlockStart_.at(func).at(0);
+}
+
+std::string
+Program::disassemble(const Instr &in) const
+{
+    std::ostringstream os;
+    os << opName(in.op);
+    if (in.dst != kNoReg)
+        os << " r" << in.dst;
+    for (RegId s : in.src) {
+        if (s != kNoReg)
+            os << " r" << s;
+    }
+    const OpInfo &oi = opInfo(in.op);
+    if (in.op == Opcode::Movi || oi.isLoad || oi.isStore) {
+        os << " #" << in.imm;
+    }
+    if (oi.isCall) {
+        os << " @" << functions_.at(in.target).name;
+    } else if (oi.isBranch && !oi.isRet && in.target >= 0) {
+        os << " ->bb" << in.target;
+    }
+    if (in.isSpill)
+        os << " ;spill";
+    return os.str();
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream os;
+    for (const Function &fn : functions_) {
+        os << fn.name << ": (" << static_cast<int>(fn.numArgs)
+           << " args, " << fn.numRegs << " regs)\n";
+        for (const BasicBlock &bb : fn.blocks) {
+            os << "  bb" << bb.id;
+            if (bb.fallthrough >= 0)
+                os << " (ft->bb" << bb.fallthrough << ")";
+            os << ":\n";
+            for (const Instr &in : bb.instrs) {
+                os << "    ";
+                if (in.sid != kNoStatic)
+                    os << "[" << in.sid << "] ";
+                os << disassemble(in) << "\n";
+            }
+        }
+    }
+    return os.str();
+}
+
+} // namespace prism

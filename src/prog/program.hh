@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Guest program representation: Program / Function / BasicBlock / Instr.
+ *
+ * A Program is Prism's stand-in for the paper's compiled benchmark
+ * binary. Workload kernels construct Programs through ProgramBuilder;
+ * the functional simulator executes them; the IR module *reconstructs*
+ * a CFG/DFG from the flattened ("binary") view, exactly as the paper
+ * reconstructs its Program IR from the binary plus the trace.
+ */
+
+#ifndef PRISM_PROG_PROGRAM_HH
+#define PRISM_PROG_PROGRAM_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace prism
+{
+
+/** One static instruction. */
+struct Instr
+{
+    Opcode op = Opcode::Nop;
+    RegId dst = kNoReg;
+    std::array<RegId, 3> src = {kNoReg, kNoReg, kNoReg};
+    std::int64_t imm = 0;
+
+    /**
+     * Control target: successor block index (same function) for Br/Jmp,
+     * callee function index for Call; unused otherwise.
+     */
+    std::int32_t target = -1;
+
+    std::uint8_t memSize = 8;  ///< access size in bytes for Ld/St
+    bool isSpill = false;      ///< builder-marked register spill (2.7)
+
+    /** Global static id; assigned by Program::finalize(). */
+    StaticId sid = kNoStatic;
+
+    /** Number of register sources actually used. */
+    int numSrcRegs() const;
+};
+
+/**
+ * A basic block: straight-line instructions ending in an (optional)
+ * terminator. `fallthrough` is the successor taken when the terminator
+ * is a not-taken conditional branch, or when there is no terminator.
+ */
+struct BasicBlock
+{
+    std::vector<Instr> instrs;
+    std::int32_t fallthrough = -1; ///< block index, -1 = none (Ret/Jmp)
+    std::int32_t id = -1;
+
+    /** The terminator instruction, or nullptr if none. */
+    const Instr *terminator() const;
+};
+
+/** A guest function with its own virtual register space. */
+struct Function
+{
+    std::string name;
+    std::vector<BasicBlock> blocks;
+    RegId numRegs = 0;     ///< virtual registers used (args occupy 0..n-1)
+    std::uint8_t numArgs = 0;
+    std::int32_t id = -1;
+
+    /** Total static instruction count. */
+    std::size_t numInstrs() const;
+};
+
+/** Locates a static instruction inside the program structure. */
+struct InstrRef
+{
+    std::int32_t func = -1;
+    std::int32_t block = -1;
+    std::int32_t index = -1; ///< within block
+};
+
+/**
+ * A whole guest program. After finalize(), every instruction carries a
+ * global StaticId and the program exposes a flattened, binary-like view
+ * used by trace generation and IR reconstruction.
+ */
+class Program
+{
+  public:
+    /** Append a function; returns its index. */
+    std::int32_t addFunction(Function f);
+
+    /**
+     * Assign StaticIds in (function, block, instruction) order, build
+     * the flat index, and sanity-check structural invariants. Must be
+     * called once, after which the program is immutable.
+     */
+    void finalize();
+
+    bool finalized() const { return finalized_; }
+
+    const std::vector<Function> &functions() const { return functions_; }
+    Function &function(std::int32_t i) { return functions_.at(i); }
+    const Function &function(std::int32_t i) const
+    {
+        return functions_.at(i);
+    }
+
+    /** Index of the entry function ("main" by convention, else 0). */
+    std::int32_t entryFunction() const;
+
+    /** Total static instructions across all functions. */
+    std::size_t numInstrs() const { return flat_.size(); }
+
+    /** Structural location of a static instruction. */
+    const InstrRef &locate(StaticId sid) const { return flat_.at(sid); }
+
+    /** The instruction with the given global id. */
+    const Instr &instr(StaticId sid) const;
+
+    /** First StaticId of a block. */
+    StaticId blockStart(std::int32_t func, std::int32_t block) const;
+
+    /** First StaticId of a function. */
+    StaticId funcStart(std::int32_t func) const;
+
+    /** Function containing the given instruction. */
+    std::int32_t funcOf(StaticId sid) const { return locate(sid).func; }
+
+    /** Block index (within its function) containing the instruction. */
+    std::int32_t blockOf(StaticId sid) const { return locate(sid).block; }
+
+    /** Human-readable disassembly of the whole program. */
+    std::string disassemble() const;
+
+    /** Disassemble one instruction. */
+    std::string disassemble(const Instr &in) const;
+
+  private:
+    std::vector<Function> functions_;
+    std::vector<InstrRef> flat_;
+    std::vector<std::vector<StaticId>> funcBlockStart_;
+    bool finalized_ = false;
+};
+
+} // namespace prism
+
+#endif // PRISM_PROG_PROGRAM_HH

@@ -1,0 +1,129 @@
+#include "prog/verifier.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+void
+checkInstr(const Program &p, const Function &fn, const BasicBlock &bb,
+           std::size_t idx, const Instr &in,
+           std::vector<std::string> &errs)
+{
+    const OpInfo &oi = opInfo(in.op);
+    auto err = [&](const std::string &msg) {
+        std::ostringstream os;
+        os << fn.name << "/bb" << bb.id << "[" << idx
+           << "] (" << opName(in.op) << "): " << msg;
+        errs.push_back(os.str());
+    };
+
+    if (oi.isSynthetic)
+        err("synthetic opcode in guest program");
+
+    if (oi.writesDst && in.dst == kNoReg)
+        err("missing destination register");
+    if (!oi.writesDst && !oi.isCall && in.dst != kNoReg)
+        err("unexpected destination register");
+
+    auto check_reg = [&](RegId r) {
+        if (r != kNoReg && r >= fn.numRegs)
+            err("register out of range");
+    };
+    check_reg(in.dst);
+    for (RegId s : in.src)
+        check_reg(s);
+
+    if (oi.isLoad || oi.isStore) {
+        if (in.memSize != 1 && in.memSize != 2 && in.memSize != 4 &&
+            in.memSize != 8) {
+            err("bad memory access size");
+        }
+        if (in.src[0] == kNoReg)
+            err("memory op missing base register");
+        if (oi.isStore && in.src[1] == kNoReg)
+            err("store missing value register");
+    }
+
+    if (oi.isCall) {
+        if (in.target < 0 ||
+            in.target >= static_cast<std::int32_t>(p.functions().size())) {
+            err("call target out of range");
+        } else {
+            const Function &callee = p.functions()[in.target];
+            int given = 0;
+            for (RegId s : in.src) {
+                if (s != kNoReg)
+                    ++given;
+            }
+            if (given != callee.numArgs)
+                err("call argument count mismatches callee");
+        }
+    } else if (oi.isBranch && !oi.isRet) {
+        if (in.target < 0 ||
+            in.target >= static_cast<std::int32_t>(fn.blocks.size())) {
+            err("branch target out of range");
+        }
+    }
+
+    if (in.op == Opcode::Br && in.src[0] == kNoReg)
+        err("conditional branch missing condition register");
+}
+
+} // namespace
+
+std::vector<std::string>
+check(const Program &p)
+{
+    std::vector<std::string> errs;
+    prism_assert(p.finalized(), "verify requires a finalized program");
+
+    for (const Function &fn : p.functions()) {
+        for (const BasicBlock &bb : fn.blocks) {
+            if (bb.instrs.empty()) {
+                errs.push_back(fn.name + ": empty block");
+                continue;
+            }
+            // Terminators must be last and unique.
+            for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
+                const OpInfo &oi = opInfo(bb.instrs[i].op);
+                const bool is_term = oi.isBranch && !oi.isCall;
+                if (is_term && i + 1 != bb.instrs.size()) {
+                    errs.push_back(fn.name + ": terminator not at end of bb"
+                                   + std::to_string(bb.id));
+                }
+                checkInstr(p, fn, bb, i, bb.instrs[i], errs);
+            }
+            const Instr *term = bb.terminator();
+            if (term == nullptr) {
+                errs.push_back(fn.name + ": bb" + std::to_string(bb.id) +
+                               " lacks a terminator");
+            } else if (term->op == Opcode::Br) {
+                if (bb.fallthrough < 0 ||
+                    bb.fallthrough >=
+                        static_cast<std::int32_t>(fn.blocks.size())) {
+                    errs.push_back(fn.name + ": bb" +
+                                   std::to_string(bb.id) +
+                                   " conditional branch without valid "
+                                   "fallthrough");
+                }
+            }
+        }
+    }
+    return errs;
+}
+
+void
+verify(const Program &p)
+{
+    const auto errs = check(p);
+    if (!errs.empty())
+        panic("program verification failed: %s", errs.front().c_str());
+}
+
+} // namespace prism

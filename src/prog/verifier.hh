@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Structural verification of guest programs. Catches malformed
+ * workloads at build time instead of as mysterious trace artifacts.
+ */
+
+#ifndef PRISM_PROG_VERIFIER_HH
+#define PRISM_PROG_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "prog/program.hh"
+
+namespace prism
+{
+
+/**
+ * Check structural invariants of a finalized program and return the
+ * list of violations (empty = valid):
+ *  - every block ends in exactly one terminator, at the end;
+ *  - branch/jump/fallthrough targets are in-range blocks;
+ *  - call targets are in-range functions;
+ *  - register ids are within the function's register space;
+ *  - instruction operand shapes match their opcode (dst presence,
+ *    memory size sanity);
+ *  - no synthetic (transform-only) opcodes appear.
+ */
+std::vector<std::string> check(const Program &p);
+
+/** Run check() and panic with the first violation, if any. */
+void verify(const Program &p);
+
+} // namespace prism
+
+#endif // PRISM_PROG_VERIFIER_HH

@@ -1,0 +1,139 @@
+#include "sim/branch_pred.hh"
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+/** 2-bit saturating counter helpers; >=2 means predicted taken. */
+inline bool counterTaken(std::uint8_t c) { return c >= 2; }
+
+inline std::uint8_t
+counterUpdate(std::uint8_t c, bool taken)
+{
+    if (taken)
+        return c < 3 ? c + 1 : 3;
+    return c > 0 ? c - 1 : 0;
+}
+
+} // namespace
+
+// ---- Bimodal ----
+
+BimodalPredictor::BimodalPredictor(unsigned table_bits)
+    : table_(std::size_t{1} << table_bits, 2),
+      mask_((1u << table_bits) - 1)
+{
+    prism_assert(table_bits > 0 && table_bits < 28, "bad table size");
+}
+
+bool
+BimodalPredictor::predict(StaticId pc) const
+{
+    return counterTaken(table_[pc & mask_]);
+}
+
+void
+BimodalPredictor::update(StaticId pc, bool taken)
+{
+    std::uint8_t &c = table_[pc & mask_];
+    c = counterUpdate(c, taken);
+}
+
+void
+BimodalPredictor::reset()
+{
+    for (auto &c : table_)
+        c = 2;
+}
+
+// ---- Gshare ----
+
+GsharePredictor::GsharePredictor(unsigned table_bits,
+                                 unsigned history_bits)
+    : table_(std::size_t{1} << table_bits, 2),
+      mask_((1u << table_bits) - 1),
+      historyMask_((1u << history_bits) - 1)
+{
+    prism_assert(table_bits > 0 && table_bits < 28, "bad table size");
+    prism_assert(history_bits <= table_bits, "history exceeds index");
+}
+
+std::size_t
+GsharePredictor::index(StaticId pc) const
+{
+    return (pc ^ history_) & mask_;
+}
+
+bool
+GsharePredictor::predict(StaticId pc) const
+{
+    return counterTaken(table_[index(pc)]);
+}
+
+void
+GsharePredictor::update(StaticId pc, bool taken)
+{
+    std::uint8_t &c = table_[index(pc)];
+    c = counterUpdate(c, taken);
+    history_ = ((history_ << 1) | (taken ? 1u : 0u)) & historyMask_;
+}
+
+void
+GsharePredictor::reset()
+{
+    for (auto &c : table_)
+        c = 2;
+    history_ = 0;
+}
+
+// ---- Tournament ----
+
+TournamentPredictor::TournamentPredictor(unsigned table_bits)
+    : bimodal_(table_bits),
+      gshare_(table_bits, table_bits - 2),
+      chooser_(std::size_t{1} << table_bits, 2),
+      mask_((1u << table_bits) - 1)
+{
+}
+
+bool
+TournamentPredictor::predict(StaticId pc) const
+{
+    const bool use_gshare = counterTaken(chooser_[pc & mask_]);
+    return use_gshare ? gshare_.predict(pc) : bimodal_.predict(pc);
+}
+
+void
+TournamentPredictor::update(StaticId pc, bool taken)
+{
+    const bool bim = bimodal_.predict(pc);
+    const bool gsh = gshare_.predict(pc);
+    if (bim != gsh) {
+        // Train the chooser toward the component that was right.
+        std::uint8_t &c = chooser_[pc & mask_];
+        c = counterUpdate(c, gsh == taken);
+    }
+    bimodal_.update(pc, taken);
+    gshare_.update(pc, taken);
+}
+
+void
+TournamentPredictor::reset()
+{
+    bimodal_.reset();
+    gshare_.reset();
+    for (auto &c : chooser_)
+        c = 2;
+}
+
+std::unique_ptr<BranchPredictor>
+makeDefaultPredictor()
+{
+    return std::make_unique<TournamentPredictor>();
+}
+
+} // namespace prism

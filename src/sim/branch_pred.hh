@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Branch-direction predictors. Prediction outcomes are embedded into
+ * the trace as mispredict events, which the µDG turns into fetch
+ * redirect edges. Targets are always known in the guest ISA, so only
+ * direction prediction is modeled (returns use an implicit RAS).
+ */
+
+#ifndef PRISM_SIM_BRANCH_PRED_HH
+#define PRISM_SIM_BRANCH_PRED_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace prism
+{
+
+/** Direction-predictor interface. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predicted direction for the branch at `pc` (no state change). */
+    virtual bool predict(StaticId pc) const = 0;
+
+    /** Train with the real outcome. */
+    virtual void update(StaticId pc, bool taken) = 0;
+
+    /** Clear all state. */
+    virtual void reset() = 0;
+
+    /**
+     * Predict, then train with the real outcome.
+     * @return true if the prediction was correct.
+     */
+    bool
+    predictAndUpdate(StaticId pc, bool taken)
+    {
+        const bool correct = predict(pc) == taken;
+        update(pc, taken);
+        return correct;
+    }
+};
+
+/** Always-taken baseline (useful as a pessimistic reference). */
+class StaticTakenPredictor : public BranchPredictor
+{
+  public:
+    bool predict(StaticId) const override { return true; }
+    void update(StaticId, bool) override {}
+    void reset() override {}
+};
+
+/** Classic bimodal table of 2-bit saturating counters. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(unsigned table_bits = 12);
+
+    bool predict(StaticId pc) const override;
+    void update(StaticId pc, bool taken) override;
+    void reset() override;
+
+  private:
+    std::vector<std::uint8_t> table_;
+    unsigned mask_;
+};
+
+/** Gshare: global history XOR pc indexing a 2-bit counter table. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    explicit GsharePredictor(unsigned table_bits = 14,
+                             unsigned history_bits = 12);
+
+    bool predict(StaticId pc) const override;
+    void update(StaticId pc, bool taken) override;
+    void reset() override;
+
+  private:
+    std::size_t index(StaticId pc) const;
+
+    std::vector<std::uint8_t> table_;
+    unsigned mask_;
+    unsigned historyMask_;
+    unsigned history_ = 0;
+};
+
+/**
+ * Tournament predictor: a chooser table selects between a bimodal and
+ * a gshare component (an approximation of the Alpha 21264 style
+ * predictor the paper's baseline cores descend from).
+ */
+class TournamentPredictor : public BranchPredictor
+{
+  public:
+    explicit TournamentPredictor(unsigned table_bits = 13);
+
+    bool predict(StaticId pc) const override;
+    void update(StaticId pc, bool taken) override;
+    void reset() override;
+
+  private:
+    BimodalPredictor bimodal_;
+    GsharePredictor gshare_;
+    std::vector<std::uint8_t> chooser_;
+    unsigned mask_;
+};
+
+/** Construct the default predictor used for trace generation. */
+std::unique_ptr<BranchPredictor> makeDefaultPredictor();
+
+} // namespace prism
+
+#endif // PRISM_SIM_BRANCH_PRED_HH

@@ -1,0 +1,140 @@
+#include "sim/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+unsigned
+log2Exact(std::uint64_t v)
+{
+    prism_assert(v != 0 && (v & (v - 1)) == 0, "value must be power of 2");
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &cfg) : cfg_(cfg)
+{
+    prism_assert(cfg.assoc > 0, "associativity must be positive");
+    const std::uint64_t num_lines = cfg.sizeBytes / cfg.lineBytes;
+    prism_assert(num_lines % cfg.assoc == 0, "geometry mismatch");
+    numSets_ = static_cast<unsigned>(num_lines / cfg.assoc);
+    prism_assert((numSets_ & (numSets_ - 1)) == 0,
+                 "set count must be a power of two");
+    lineShift_ = log2Exact(cfg.lineBytes);
+    lines_.resize(static_cast<std::size_t>(numSets_) * cfg.assoc);
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<std::size_t>((addr >> lineShift_) & (numSets_ - 1));
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift_;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    const std::size_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[set * cfg_.assoc];
+    ++stamp_;
+
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = stamp_;
+            ++hits_;
+            return true;
+        }
+    }
+
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        Line &line = base[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (victim == nullptr || line.lruStamp < victim->lruStamp)
+            victim = &line;
+    }
+
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lruStamp = stamp_;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const std::size_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *base = &lines_[set * cfg_.assoc];
+    for (unsigned w = 0; w < cfg_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+double
+Cache::missRate() const
+{
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(misses_) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+void
+Cache::reset()
+{
+    for (Line &line : lines_)
+        line = Line{};
+    stamp_ = hits_ = misses_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &cfg)
+    : cfg_(cfg), l1d_(cfg.l1d), l2_(cfg.l2)
+{
+}
+
+unsigned
+CacheHierarchy::load(Addr addr)
+{
+    if (l1d_.access(addr))
+        return cfg_.l1d.hitLatency;
+    if (l2_.access(addr))
+        return cfg_.l1d.hitLatency + cfg_.l2.hitLatency;
+    return cfg_.l1d.hitLatency + cfg_.l2.hitLatency + cfg_.memLatency;
+}
+
+void
+CacheHierarchy::store(Addr addr)
+{
+    if (!l1d_.access(addr))
+        l2_.access(addr);
+}
+
+void
+CacheHierarchy::reset()
+{
+    l1d_.reset();
+    l2_.reset();
+}
+
+} // namespace prism

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement, composed into the
+ * two-level hierarchy of the paper's methodology (Section 4): 64KiB
+ * 2-way L1D / 32KiB 2-way L1I with 4-cycle latency, 2MB 8-way L2 with
+ * 22-cycle hit latency. Load latencies produced here are embedded in
+ * the trace, making the TDG input-dependent.
+ */
+
+#ifndef PRISM_SIM_CACHE_HH
+#define PRISM_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace prism
+{
+
+/** Geometry and timing of one cache level. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 64 * 1024;
+    unsigned assoc = 2;
+    unsigned lineBytes = 64;
+    unsigned hitLatency = 4;
+};
+
+/** One level of set-associative, write-allocate, LRU cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /** Access a line; returns true on hit and updates LRU/contents. */
+    bool access(Addr addr);
+
+    /** True if the line is currently resident (no state change). */
+    bool probe(Addr addr) const;
+
+    const CacheConfig &config() const { return cfg_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    /** Fraction of accesses that missed. */
+    double missRate() const;
+
+    /** Drop all contents and statistics. */
+    void reset();
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheConfig cfg_;
+    unsigned numSets_;
+    unsigned lineShift_;
+    std::vector<Line> lines_; // numSets_ x assoc, row-major
+    std::uint64_t stamp_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/** Timing parameters of the full hierarchy. */
+struct HierarchyConfig
+{
+    CacheConfig l1d{64 * 1024, 2, 64, 4};
+    CacheConfig l2{2 * 1024 * 1024, 8, 64, 22};
+    unsigned memLatency = 100;
+};
+
+/**
+ * Two-level data hierarchy. Returns full load-use latency for loads;
+ * stores update cache state but retire through the store buffer.
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const HierarchyConfig &cfg = {});
+
+    /** Perform a load; returns its load-use latency in cycles. */
+    unsigned load(Addr addr);
+
+    /** Perform a store (write-allocate; no latency contribution). */
+    void store(Addr addr);
+
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+
+    void reset();
+
+  private:
+    HierarchyConfig cfg_;
+    Cache l1d_;
+    Cache l2_;
+};
+
+} // namespace prism
+
+#endif // PRISM_SIM_CACHE_HH

@@ -1,0 +1,84 @@
+#include "sim/memory.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+std::uint8_t
+SimMemory::readByte(Addr addr) const
+{
+    const auto it = pages_.find(addr >> kPageBits);
+    if (it == pages_.end())
+        return 0;
+    return it->second[addr & kPageMask];
+}
+
+void
+SimMemory::writeByte(Addr addr, std::uint8_t v)
+{
+    Page &page = pages_[addr >> kPageBits];
+    if (page.empty())
+        page.resize(kPageSize, 0);
+    page[addr & kPageMask] = v;
+}
+
+std::uint64_t
+SimMemory::read(Addr addr, unsigned size) const
+{
+    prism_assert(size == 1 || size == 2 || size == 4 || size == 8,
+                 "bad access size %u", size);
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < size; ++i)
+        v |= static_cast<std::uint64_t>(readByte(addr + i)) << (8 * i);
+    return v;
+}
+
+void
+SimMemory::write(Addr addr, std::uint64_t value, unsigned size)
+{
+    prism_assert(size == 1 || size == 2 || size == 4 || size == 8,
+                 "bad access size %u", size);
+    for (unsigned i = 0; i < size; ++i)
+        writeByte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+std::int64_t
+SimMemory::readI64(Addr addr) const
+{
+    return static_cast<std::int64_t>(read(addr, 8));
+}
+
+void
+SimMemory::writeI64(Addr addr, std::int64_t v)
+{
+    write(addr, static_cast<std::uint64_t>(v), 8);
+}
+
+double
+SimMemory::readF64(Addr addr) const
+{
+    return std::bit_cast<double>(read(addr, 8));
+}
+
+void
+SimMemory::writeF64(Addr addr, double v)
+{
+    write(addr, std::bit_cast<std::uint64_t>(v), 8);
+}
+
+std::int32_t
+SimMemory::readI32(Addr addr) const
+{
+    return static_cast<std::int32_t>(read(addr, 4));
+}
+
+void
+SimMemory::writeI32(Addr addr, std::int32_t v)
+{
+    write(addr, static_cast<std::uint32_t>(v), 4);
+}
+
+} // namespace prism

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Sparse byte-addressed guest memory for the functional simulator,
+ * with typed host-side accessors workloads use to stage input data.
+ */
+
+#ifndef PRISM_SIM_MEMORY_HH
+#define PRISM_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace prism
+{
+
+/**
+ * Sparse paged memory. Reads of untouched memory return zero, like a
+ * fresh BSS segment. Unaligned accesses are supported (they cross
+ * pages transparently).
+ */
+class SimMemory
+{
+  public:
+    /** Read `size` (1/2/4/8) bytes, zero-extended into 64 bits. */
+    std::uint64_t read(Addr addr, unsigned size) const;
+
+    /** Write the low `size` bytes of value. */
+    void write(Addr addr, std::uint64_t value, unsigned size);
+
+    // Typed conveniences for staging workload inputs.
+    std::int64_t readI64(Addr addr) const;
+    void writeI64(Addr addr, std::int64_t v);
+    double readF64(Addr addr) const;
+    void writeF64(Addr addr, double v);
+    std::int32_t readI32(Addr addr) const;
+    void writeI32(Addr addr, std::int32_t v);
+
+    /** Number of allocated pages (test/diagnostic aid). */
+    std::size_t numPages() const { return pages_.size(); }
+
+  private:
+    static constexpr Addr kPageBits = 12;
+    static constexpr Addr kPageSize = Addr{1} << kPageBits;
+    static constexpr Addr kPageMask = kPageSize - 1;
+
+    using Page = std::vector<std::uint8_t>;
+
+    std::uint8_t readByte(Addr addr) const;
+    void writeByte(Addr addr, std::uint8_t v);
+
+    std::unordered_map<Addr, Page> pages_;
+};
+
+} // namespace prism
+
+#endif // PRISM_SIM_MEMORY_HH

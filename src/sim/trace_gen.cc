@@ -1,0 +1,62 @@
+#include "sim/trace_gen.hh"
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+std::unique_ptr<BranchPredictor>
+makePredictor(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::Tournament:
+        return std::make_unique<TournamentPredictor>();
+      case PredictorKind::Gshare:
+        return std::make_unique<GsharePredictor>();
+      case PredictorKind::Bimodal:
+        return std::make_unique<BimodalPredictor>();
+      case PredictorKind::AlwaysTaken:
+        return std::make_unique<StaticTakenPredictor>();
+    }
+    panic("unknown predictor kind");
+}
+
+TraceGenResult
+generateTrace(const Program &prog, SimMemory &mem,
+              const std::vector<std::int64_t> &args, Trace &out,
+              const TraceGenConfig &cfg)
+{
+    CacheHierarchy caches(cfg.hierarchy);
+    auto pred = makePredictor(cfg.predictor);
+
+    Interpreter interp(prog, mem);
+    RunLimits limits;
+    limits.maxInsts = cfg.maxInsts;
+
+    auto sink = [&](DynInst &di) {
+        const OpInfo &oi = opInfo(di.op);
+        if (oi.isLoad) {
+            di.memLat =
+                static_cast<std::uint16_t>(caches.load(di.effAddr));
+        } else if (oi.isStore) {
+            caches.store(di.effAddr);
+            di.memLat = 1;
+        }
+        if (oi.isCondBranch) {
+            di.mispredicted =
+                !pred->predictAndUpdate(di.sid, di.branchTaken);
+        }
+        out.push(di);
+    };
+
+    const RunResult rr = interp.run(args, sink, limits);
+
+    TraceGenResult res;
+    res.returnValue = rr.returnValue;
+    res.hitInstLimit = rr.hitInstLimit;
+    res.l1dMissRate = caches.l1d().missRate();
+    res.l2MissRate = caches.l2().missRate();
+    return res;
+}
+
+} // namespace prism

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Trace generation: functional execution plus microarchitectural
+ * annotation (cache-model load latencies, branch-predictor outcomes).
+ * The result is the original, untransformed trace from which
+ * TDG(GPP, none) is constructed — the paper's Figure 2 left edge.
+ */
+
+#ifndef PRISM_SIM_TRACE_GEN_HH
+#define PRISM_SIM_TRACE_GEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/branch_pred.hh"
+#include "sim/cache.hh"
+#include "sim/interpreter.hh"
+#include "trace/dyn_inst.hh"
+
+namespace prism
+{
+
+/** Which direction predictor annotates the trace. */
+enum class PredictorKind { Tournament, Gshare, Bimodal, AlwaysTaken };
+
+/** Trace-generation parameters. */
+struct TraceGenConfig
+{
+    HierarchyConfig hierarchy{};
+    PredictorKind predictor = PredictorKind::Tournament;
+    std::uint64_t maxInsts = 2'000'000;
+};
+
+/** Outcome of trace generation. */
+struct TraceGenResult
+{
+    std::int64_t returnValue = 0;
+    bool hitInstLimit = false;
+    double l1dMissRate = 0.0;
+    double l2MissRate = 0.0;
+};
+
+/** Construct the predictor selected by `kind`. */
+std::unique_ptr<BranchPredictor> makePredictor(PredictorKind kind);
+
+/**
+ * Execute the program's entry function with `args` against `mem`,
+ * appending annotated dynamic instructions to `out`.
+ */
+TraceGenResult generateTrace(const Program &prog, SimMemory &mem,
+                             const std::vector<std::int64_t> &args,
+                             Trace &out,
+                             const TraceGenConfig &cfg = {});
+
+} // namespace prism
+
+#endif // PRISM_SIM_TRACE_GEN_HH

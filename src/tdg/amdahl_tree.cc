@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Amdahl-Tree speedup/energy estimates (paper Figure 9): quick
+ * per-(loop, BSA) predictions from static and profile information,
+ * used by the Amdahl-Tree scheduler instead of measured values. The
+ * estimates are intentionally optimistic about BSA benefits — the
+ * paper reports its scheduler is "slightly over-calibrated towards
+ * using the BSAs rather than the general core".
+ */
+
+#include "tdg/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+/** Fraction of a loop's static body that is control flow. */
+double
+controlFraction(const Tdg &tdg, const Loop &loop)
+{
+    const Function &fn = tdg.program().function(loop.func);
+    double branches = 0;
+    double total = 0;
+    for (std::int32_t b : loop.blocks) {
+        for (const Instr &in : fn.blocks[b].instrs) {
+            total += 1.0;
+            if (opInfo(in.op).isCondBranch)
+                branches += 1.0;
+        }
+    }
+    return total > 0 ? branches / total : 0.0;
+}
+
+} // namespace
+
+double
+amdahlSpeedupEstimate(const BenchmarkModel &bm, const Tdg &tdg,
+                      std::int32_t loop_id, BsaKind bsa)
+{
+    const TdgAnalyzer &an = bm.analyzer();
+    const Loop &loop = tdg.loops().loop(loop_id);
+    constexpr double kOptimism = 1.15;
+
+    switch (bsa) {
+      case BsaKind::Simd: {
+        const SimdPlan &plan = an.simd(loop_id);
+        if (!plan.usable() || plan.groupInsts <= 0)
+            return 0.0;
+        const double ratio =
+            static_cast<double>(kVectorLen) * plan.avgIterInsts /
+            plan.groupInsts;
+        return kOptimism * std::clamp(ratio, 0.5, 4.0);
+      }
+      case BsaKind::DpCgra: {
+        const CgraPlan &plan = an.cgra(loop_id);
+        if (!plan.usable())
+            return 0.0;
+        const double body = static_cast<double>(
+            plan.computeSlice.size() + plan.accessSlice.size());
+        const double residual =
+            static_cast<double>(plan.accessSlice.size() +
+                                plan.sendCount + plan.recvCount);
+        if (residual <= 0)
+            return kOptimism * 4.0;
+        return kOptimism *
+               std::clamp(body / (residual / 1.5), 0.5, 4.0);
+      }
+      case BsaKind::Nsdf: {
+        const NsdfPlan &plan = an.nsdf(loop_id);
+        if (!plan.usable())
+            return 0.0;
+        // Cheap issue width + large window help until control
+        // dominates the critical path.
+        const double ctl = controlFraction(tdg, loop);
+        return kOptimism * std::clamp(1.5 - 2.5 * ctl, 0.7, 1.5);
+      }
+      case BsaKind::Tracep: {
+        const TracepPlan &plan = an.tracep(loop_id);
+        if (!plan.usable())
+            return 0.0;
+        return kOptimism *
+               std::clamp(0.4 + 1.4 * plan.loopBackProb *
+                                    plan.hotFraction,
+                          0.5, 2.0);
+      }
+    }
+    panic("bad bsa");
+}
+
+double
+amdahlEnergyEstimate(BsaKind bsa)
+{
+    switch (bsa) {
+      case BsaKind::Simd: return 0.55;
+      case BsaKind::DpCgra: return 0.50;
+      case BsaKind::Nsdf: return 0.38;
+      case BsaKind::Tracep: return 0.45;
+    }
+    panic("bad bsa");
+}
+
+} // namespace prism

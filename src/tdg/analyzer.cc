@@ -1,0 +1,336 @@
+#include "tdg/analyzer.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+bool
+TracepPlan::onHotPath(std::int32_t block) const
+{
+    return std::find(hotBlocks.begin(), hotBlocks.end(), block) !=
+           hotBlocks.end();
+}
+
+TdgAnalyzer::TdgAnalyzer(const Tdg &tdg) : tdg_(&tdg)
+{
+    const std::size_t n = tdg.loops().numLoops();
+    simd_.resize(n);
+    cgra_.resize(n);
+    nsdf_.resize(n);
+    tracep_.resize(n);
+    for (const Loop &loop : tdg.loops().loops()) {
+        analyzeSimd(loop);
+        analyzeCgra(loop);
+        analyzeNsdf(loop);
+        analyzeTracep(loop);
+    }
+}
+
+bool
+TdgAnalyzer::usable(BsaKind bsa, std::int32_t loop) const
+{
+    switch (bsa) {
+      case BsaKind::Simd: return simd(loop).usable();
+      case BsaKind::DpCgra: return cgra(loop).usable();
+      case BsaKind::Nsdf: return nsdf(loop).usable();
+      case BsaKind::Tracep: return tracep(loop).usable();
+    }
+    panic("bad bsa");
+}
+
+double
+TdgAnalyzer::avgTripCount(const Loop &loop) const
+{
+    std::uint64_t occs = 0;
+    std::uint64_t iters = 0;
+    for (const LoopOccurrence &occ : tdg_->loopMap().occurrences) {
+        if (occ.loopId == loop.id) {
+            ++occs;
+            iters += occ.numIters();
+        }
+    }
+    return occs ? static_cast<double>(iters) /
+                      static_cast<double>(occs)
+                : 0.0;
+}
+
+namespace
+{
+
+/** Body blocks of a loop in reverse postorder of the function CFG. */
+std::vector<std::int32_t>
+bodyRpoOrder(const Program &prog, const Loop &loop)
+{
+    const Cfg cfg = Cfg::reconstruct(prog, loop.func);
+    std::vector<std::int32_t> body = loop.blocks;
+    std::sort(body.begin(), body.end(),
+              [&cfg](std::int32_t a, std::int32_t b) {
+                  return cfg.rpoIndex(a) < cfg.rpoIndex(b);
+              });
+    return body;
+}
+
+/** Static instruction count of a sequence of blocks. */
+double
+pathInstCount(const Function &fn, const std::vector<std::int32_t> &blocks)
+{
+    double n = 0;
+    for (std::int32_t b : blocks)
+        n += static_cast<double>(fn.blocks[b].instrs.size());
+    return n;
+}
+
+} // namespace
+
+void
+TdgAnalyzer::analyzeSimd(const Loop &loop)
+{
+    SimdPlan &plan = simd_[loop.id];
+    auto reject = [&plan](const char *why) { plan.reason = why; };
+
+    if (!loop.innermost)
+        return reject("not innermost");
+    if (loop.containsCall)
+        return reject("contains call");
+
+    const LoopDepProfile &deps = tdg_->depProfile(loop.id);
+    if (!deps.vectorizableDeps())
+        return reject("non-induction/reduction recurrence");
+
+    const LoopMemProfile &mem = tdg_->memProfile(loop.id);
+    if (mem.loopCarriedStoreToLoad)
+        return reject("loop-carried memory dependence");
+
+    const double trip = avgTripCount(loop);
+    if (trip < static_cast<double>(kVectorLen))
+        return reject("trip count below vector length");
+
+    plan.legal = true;
+    plan.bodyRpo = bodyRpoOrder(tdg_->program(), loop);
+
+    // Path-weighted dynamic instructions per original iteration.
+    const PathProfile &paths = tdg_->pathProfile(loop.id);
+    const Function &fn = tdg_->program().function(loop.func);
+    double weighted = 0;
+    std::uint64_t counted = 0;
+    for (const auto &pi : paths.paths) {
+        weighted += static_cast<double>(pi.count) *
+                    pathInstCount(fn, pi.blocks);
+        counted += pi.count;
+    }
+    plan.avgIterInsts =
+        counted ? weighted / static_cast<double>(counted)
+                : static_cast<double>(loop.numStaticInstrs);
+
+    // Estimated cost of one vectorized group (kVectorLen iterations):
+    // every body instruction once (if-converted), packing for
+    // non-contiguous memory, one mask per conditional branch, and the
+    // scalar loop control.
+    const LoopMemProfile &memprof = mem;
+    double group = 0;
+    for (std::int32_t b : plan.bodyRpo) {
+        for (const Instr &in : fn.blocks[b].instrs) {
+            const OpInfo &oi = opInfo(in.op);
+            if (oi.isCondBranch) {
+                ++plan.numBranches;
+                group += 1.0; // the mask/blend op replacing it
+                continue;
+            }
+            if (in.op == Opcode::Jmp)
+                continue;
+            if (oi.isLoad || oi.isStore) {
+                const MemAccessPattern *p = memprof.find(in.sid);
+                const bool contiguous = p && p->contiguous();
+                const bool invariant = p && p->invariantAddress();
+                if (contiguous || invariant) {
+                    group += 1.0;
+                } else {
+                    group += static_cast<double>(kVectorLen) + 1.0;
+                }
+                continue;
+            }
+            group += 1.0;
+        }
+    }
+    group += 2.0; // scalar induction + loop-back branch per group
+    plan.groupInsts = group;
+
+    const double converted_per_iter =
+        group / static_cast<double>(kVectorLen);
+    plan.profitable = converted_per_iter <= 2.0 * plan.avgIterInsts;
+    if (!plan.profitable)
+        plan.reason = "if-conversion blowup exceeds 2x";
+}
+
+void
+TdgAnalyzer::analyzeCgra(const Loop &loop)
+{
+    CgraPlan &plan = cgra_[loop.id];
+    auto reject = [&plan](const char *why) { plan.reason = why; };
+
+    if (!loop.innermost)
+        return reject("not innermost");
+    if (loop.containsCall)
+        return reject("contains call");
+
+    const LoopDepProfile &deps = tdg_->depProfile(loop.id);
+    if (!deps.vectorizableDeps())
+        return reject("non-induction/reduction recurrence");
+    const LoopMemProfile &mem = tdg_->memProfile(loop.id);
+    if (mem.loopCarriedStoreToLoad)
+        return reject("loop-carried memory dependence");
+    if (avgTripCount(loop) < static_cast<double>(kVectorLen))
+        return reject("trip count below pipeline depth");
+
+    const Program &prog = tdg_->program();
+    const Function &fn = prog.function(loop.func);
+    const Dfg &dfg = tdg_->dfg(loop.func);
+
+    // Access slice: memory operations, control, and inductions —
+    // plus everything transitively feeding their *address/condition*
+    // operands. A store's value operand is deliberately not
+    // followed: producing stored values is exactly the computation
+    // DySER offloads.
+    std::set<StaticId> access_set;
+    std::vector<StaticId> work;
+    auto push_defs = [&](RegId r) {
+        if (r == kNoReg)
+            return;
+        for (StaticId def : dfg.defsOf(r)) {
+            const InstrRef &dref = prog.locate(def);
+            if (dref.func == loop.func &&
+                loop.containsBlock(dref.block)) {
+                work.push_back(def);
+            }
+        }
+    };
+    for (std::int32_t b : loop.blocks) {
+        for (const Instr &in : fn.blocks[b].instrs) {
+            const OpInfo &oi = opInfo(in.op);
+            if (oi.isLoad || oi.isStore) {
+                access_set.insert(in.sid);
+                push_defs(in.src[0]); // address base only
+            } else if (oi.isBranch) {
+                access_set.insert(in.sid);
+                push_defs(in.src[0]); // condition (if any)
+            }
+        }
+    }
+    for (StaticId s : deps.inductions)
+        work.push_back(s);
+    while (!work.empty()) {
+        const StaticId sid = work.back();
+        work.pop_back();
+        if (!access_set.insert(sid).second)
+            continue;
+        const Instr &in = prog.instr(sid);
+        for (RegId r : in.src)
+            push_defs(r);
+    }
+
+    std::vector<StaticId> compute;
+    for (std::int32_t b : loop.blocks) {
+        for (const Instr &in : fn.blocks[b].instrs) {
+            if (!access_set.count(in.sid))
+                compute.push_back(in.sid);
+        }
+    }
+
+    if (compute.size() < 2)
+        return reject("no separable computation");
+
+    // Communication edges: access-slice values read by the compute
+    // slice (sends) and compute values read by the access slice
+    // (receives, e.g. store values).
+    std::set<StaticId> compute_set(compute.begin(), compute.end());
+    std::set<StaticId> send_srcs;
+    std::set<StaticId> recv_srcs;
+    for (std::int32_t b : loop.blocks) {
+        for (const Instr &in : fn.blocks[b].instrs) {
+            const bool in_compute = compute_set.count(in.sid) != 0;
+            for (RegId r : in.src) {
+                if (r == kNoReg)
+                    continue;
+                for (StaticId def : dfg.defsOf(r)) {
+                    const InstrRef &dref = prog.locate(def);
+                    if (dref.func != loop.func ||
+                        !loop.containsBlock(dref.block)) {
+                        continue;
+                    }
+                    const bool def_compute =
+                        compute_set.count(def) != 0;
+                    if (in_compute && !def_compute)
+                        send_srcs.insert(def);
+                    else if (!in_compute && def_compute)
+                        recv_srcs.insert(def);
+                }
+            }
+        }
+    }
+    plan.sendCount = static_cast<unsigned>(send_srcs.size());
+    plan.recvCount = static_cast<unsigned>(recv_srcs.size());
+    plan.sendSrcs.assign(send_srcs.begin(), send_srcs.end());
+    plan.recvSrcs.assign(recv_srcs.begin(), recv_srcs.end());
+
+    if (plan.sendCount + plan.recvCount > compute.size())
+        return reject("more communication than computation");
+
+    plan.computeSlice = std::move(compute);
+    plan.accessSlice.assign(access_set.begin(), access_set.end());
+    plan.vectorized = true;
+    plan.legal = true;
+}
+
+void
+TdgAnalyzer::analyzeNsdf(const Loop &loop)
+{
+    NsdfPlan &plan = nsdf_[loop.id];
+    auto reject = [&plan](const char *why) { plan.reason = why; };
+
+    if (loop.containsCall)
+        return reject("not fully inlinable (calls)");
+
+    // Include nested loops' sizes: blocks already cover the nest.
+    plan.staticInsts = loop.numStaticInstrs;
+    if (plan.staticInsts > 256)
+        return reject("exceeds 256 static compound instructions");
+    plan.legal = true;
+}
+
+void
+TdgAnalyzer::analyzeTracep(const Loop &loop)
+{
+    TracepPlan &plan = tracep_[loop.id];
+    auto reject = [&plan](const char *why) { plan.reason = why; };
+
+    if (!loop.innermost)
+        return reject("not an inner loop");
+    if (loop.containsCall)
+        return reject("contains call");
+
+    const PathProfile &paths = tdg_->pathProfile(loop.id);
+    plan.loopBackProb = paths.loopBackProbability();
+    plan.hotFraction = paths.hotPathFraction();
+    if (plan.loopBackProb <= 0.80)
+        return reject("loop-back probability <= 80%");
+    const PathProfile::PathInfo *hot = paths.hottest();
+    // Below two-thirds conformance, replay costs swamp the benefit.
+    if (hot == nullptr || plan.hotFraction < 2.0 / 3.0)
+        return reject("no dominant hot path");
+
+    const Function &fn = tdg_->program().function(loop.func);
+    double hot_insts = 0;
+    for (std::int32_t b : hot->blocks)
+        hot_insts += static_cast<double>(fn.blocks[b].instrs.size());
+    if (hot_insts > 128)
+        return reject("hot trace exceeds configuration size");
+
+    plan.hotBlocks = hot->blocks;
+    plan.legal = true;
+}
+
+} // namespace prism

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * TDG analysis: decides which loops each BSA can legally and
+ * profitably target, and computes the per-loop transformation "plan"
+ * (paper Figure 2/4(c)). Plans combine static IR facts (slices, body
+ * order, static sizes) with trace-derived profiles (memory strides,
+ * carried dependences, path frequencies).
+ */
+
+#ifndef PRISM_TDG_ANALYZER_HH
+#define PRISM_TDG_ANALYZER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/area_model.hh"
+#include "tdg/tdg.hh"
+
+namespace prism
+{
+
+/** Vector length modeled for 256-bit SIMD over 64-bit lanes. */
+inline constexpr unsigned kVectorLen = 4;
+
+/** Plan for auto-vectorizing one innermost loop (SIMD BSA). */
+struct SimdPlan
+{
+    bool legal = false;        ///< dependences & trip count permit
+    bool profitable = false;   ///< if-conversion blowup within 2x
+    std::string reason;        ///< first disqualifier (diagnostics)
+
+    std::vector<std::int32_t> bodyRpo; ///< body blocks, reverse postorder
+    double avgIterInsts = 0;   ///< path-weighted dynamic insts/iter
+    double groupInsts = 0;     ///< est. insts per vectorized group
+    unsigned numBranches = 0;  ///< conditional branches in the body
+
+    bool usable() const { return legal && profitable; }
+};
+
+/** Plan for offloading compute to the DP-CGRA. */
+struct CgraPlan
+{
+    bool legal = false;
+    std::string reason;
+
+    std::vector<StaticId> computeSlice; ///< offloaded to the fabric
+    std::vector<StaticId> accessSlice;  ///< stays on the core
+    std::vector<StaticId> sendSrcs;     ///< access defs sent to CGRA
+    std::vector<StaticId> recvSrcs;     ///< compute defs received back
+    unsigned sendCount = 0;  ///< core->CGRA operand edges per iter
+    unsigned recvCount = 0;  ///< CGRA->core result edges per iter
+    bool vectorized = false; ///< SIMD-style grouping applies
+
+    bool usable() const { return legal; }
+};
+
+/** Plan for non-speculative dataflow offload (whole loop nests). */
+struct NsdfPlan
+{
+    bool legal = false;
+    std::string reason;
+    std::uint32_t staticInsts = 0;
+
+    bool usable() const { return legal; }
+};
+
+/** Plan for trace-speculative execution of a hot loop path. */
+struct TracepPlan
+{
+    bool legal = false;
+    std::string reason;
+
+    std::vector<std::int32_t> hotBlocks; ///< the speculated trace
+    double hotFraction = 0;
+    double loopBackProb = 0;
+
+    /** True if `block` lies on the hot path. */
+    bool onHotPath(std::int32_t block) const;
+
+    bool usable() const { return legal; }
+};
+
+/**
+ * Runs all BSA analyses over a Tdg; plans are indexed by loop id.
+ */
+class TdgAnalyzer
+{
+  public:
+    explicit TdgAnalyzer(const Tdg &tdg);
+
+    const SimdPlan &simd(std::int32_t loop) const
+    {
+        return simd_.at(loop);
+    }
+    const CgraPlan &cgra(std::int32_t loop) const
+    {
+        return cgra_.at(loop);
+    }
+    const NsdfPlan &nsdf(std::int32_t loop) const
+    {
+        return nsdf_.at(loop);
+    }
+    const TracepPlan &tracep(std::int32_t loop) const
+    {
+        return tracep_.at(loop);
+    }
+
+    /** Whether the given BSA can target the given loop. */
+    bool usable(BsaKind bsa, std::int32_t loop) const;
+
+    const Tdg &tdg() const { return *tdg_; }
+
+  private:
+    void analyzeSimd(const Loop &loop);
+    void analyzeCgra(const Loop &loop);
+    void analyzeNsdf(const Loop &loop);
+    void analyzeTracep(const Loop &loop);
+
+    /** Mean iterations per occurrence of a loop. */
+    double avgTripCount(const Loop &loop) const;
+
+    const Tdg *tdg_;
+    std::vector<SimdPlan> simd_;
+    std::vector<CgraPlan> cgra_;
+    std::vector<NsdfPlan> nsdf_;
+    std::vector<TracepPlan> tracep_;
+};
+
+} // namespace prism
+
+#endif // PRISM_TDG_ANALYZER_HH

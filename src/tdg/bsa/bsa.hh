@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The concrete BSA models of the ExoCore study (paper Table 2 and
+ * Section 3.2), plus the paper's running fused-multiply-add example
+ * (Figure 4). Each class implements the analysis-plan consumption and
+ * graph-rewriting transform for one accelerator.
+ */
+
+#ifndef PRISM_TDG_BSA_BSA_HH
+#define PRISM_TDG_BSA_BSA_HH
+
+#include <set>
+#include <vector>
+
+#include "tdg/transform.hh"
+
+namespace prism
+{
+
+/**
+ * Short-vector SIMD (auto-vectorization of independent-iteration
+ * inner loops): if-conversion with masking, packing/unpacking for
+ * non-contiguous memory, scalar residual iterations, horizontal
+ * reduction epilogue. Vector instructions execute on the core.
+ */
+class SimdTransform : public BsaTransform
+{
+  public:
+    using BsaTransform::BsaTransform;
+
+    BsaKind kind() const override { return BsaKind::Simd; }
+    bool canTarget(std::int32_t loop) const override;
+    TransformOutput transformLoop(
+        std::int32_t loop,
+        const std::vector<const LoopOccurrence *> &occs) override;
+};
+
+/**
+ * Data-Parallel CGRA (DySER/Morphosys-like): the compute slice is
+ * offloaded to a pipelined fabric; the access slice (memory, control,
+ * induction) stays on the core, exchanging operands over explicit
+ * send/receive instructions. Keeps a small configuration cache.
+ */
+class DpCgraTransform : public BsaTransform
+{
+  public:
+    using BsaTransform::BsaTransform;
+
+    BsaKind kind() const override { return BsaKind::DpCgra; }
+    bool canTarget(std::int32_t loop) const override;
+    TransformOutput transformLoop(
+        std::int32_t loop,
+        const std::vector<const LoopOccurrence *> &occs) override;
+    void reset() override { configured_.clear(); }
+
+  private:
+    std::set<std::int32_t> configured_; ///< config-cache contents
+};
+
+/**
+ * Non-speculative dataflow (SEED-like): whole loop nests execute as
+ * dataflow with compound functional units; control becomes explicit
+ * switch dependences; the core front-end is power-gated meanwhile.
+ */
+class NsdfTransform : public BsaTransform
+{
+  public:
+    using BsaTransform::BsaTransform;
+
+    BsaKind kind() const override { return BsaKind::Nsdf; }
+    bool canTarget(std::int32_t loop) const override;
+    TransformOutput transformLoop(
+        std::int32_t loop,
+        const std::vector<const LoopOccurrence *> &occs) override;
+    void reset() override { configured_.clear(); }
+
+  private:
+    std::set<std::int32_t> configured_;
+};
+
+/**
+ * Trace-speculative processor (BERET-like with dataflow issue):
+ * iterations conforming to the hot path run speculatively with
+ * cross-control CFUs and an iteration-versioned store buffer;
+ * diverging iterations replay on the general core.
+ */
+class TracepTransform : public BsaTransform
+{
+  public:
+    using BsaTransform::BsaTransform;
+
+    BsaKind kind() const override { return BsaKind::Tracep; }
+    bool canTarget(std::int32_t loop) const override;
+    TransformOutput transformLoop(
+        std::int32_t loop,
+        const std::vector<const LoopOccurrence *> &occs) override;
+    void reset() override { configured_.clear(); }
+
+  private:
+    std::set<std::int32_t> configured_;
+};
+
+/**
+ * The paper's running example (Figure 4): transparently fuse a
+ * single-use fmul feeding an fadd into one fma instruction. Operates
+ * on whole streams at basic-block granularity rather than on loop
+ * regions; used by the quickstart example and framework tests.
+ */
+class FmaTransform
+{
+  public:
+    explicit FmaTransform(const Tdg &tdg);
+
+    /** Number of (fmul, fadd) pairs the analysis planned to fuse. */
+    std::size_t plannedPairs() const { return fmulToFadd_.size(); }
+
+    /** Rewrite the whole trace with fma fusion applied. */
+    MStream transform() const;
+
+  private:
+    const Tdg *tdg_;
+    // fmul sid -> dependent fadd sid (the fusion plan)
+    std::unordered_map<StaticId, StaticId> fmulToFadd_;
+    std::set<StaticId> fusedFadds_;
+};
+
+} // namespace prism
+
+#endif // PRISM_TDG_BSA_BSA_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The paper's running example (Figure 4): transparent fused
+ * multiply-add specialization. The analysis scans basic blocks for an
+ * fadd whose fmul operand has a single use; the transform retypes the
+ * fmul to fma (latency 4), elides the fadd, and re-attaches the
+ * fadd's remaining input dependences to the fma.
+ */
+
+#include "tdg/bsa/bsa.hh"
+
+#include "common/logging.hh"
+#include "tdg/constructor.hh"
+
+namespace prism
+{
+
+FmaTransform::FmaTransform(const Tdg &tdg) : tdg_(&tdg)
+{
+    const Program &prog = tdg.program();
+
+    // Analysis (paper Figure 4(c)): for each basic block, find fadd
+    // instructions with a single-use fmul dependence in the same
+    // block.
+    for (std::size_t f = 0; f < prog.functions().size(); ++f) {
+        const Function &fn = prog.functions()[f];
+        const Dfg &dfg = tdg.dfg(static_cast<std::int32_t>(f));
+        for (const BasicBlock &bb : fn.blocks) {
+            for (const Instr &in : bb.instrs) {
+                if (in.op != Opcode::Fadd)
+                    continue;
+                for (RegId r : in.src) {
+                    if (r == kNoReg)
+                        continue;
+                    const auto &defs = dfg.defsOf(r);
+                    if (defs.size() != 1)
+                        continue;
+                    const Instr &def = prog.instr(defs.front());
+                    if (def.op != Opcode::Fmul)
+                        continue;
+                    if (prog.blockOf(def.sid) != bb.id ||
+                        prog.funcOf(def.sid) !=
+                            static_cast<std::int32_t>(f)) {
+                        continue;
+                    }
+                    if (dfg.usesOf(r).size() != 1)
+                        continue; // fmul result must be single-use
+                    if (fmulToFadd_.count(def.sid) ||
+                        fusedFadds_.count(in.sid)) {
+                        continue;
+                    }
+                    fmulToFadd_[def.sid] = in.sid;
+                    fusedFadds_.insert(in.sid);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+MStream
+FmaTransform::transform() const
+{
+    const Trace &trace = tdg_->trace();
+    MStream out;
+    out.reserve(trace.size());
+    xform::DynToIdx dyn_to_idx;
+
+    for (DynId i = 0; i < trace.size(); ++i) {
+        const DynInst &di = trace[i];
+
+        auto resolve = [&](std::int64_t p) -> std::int64_t {
+            if (p == kNoProducer)
+                return -1;
+            const auto it = dyn_to_idx.find(static_cast<DynId>(p));
+            return it == dyn_to_idx.end() ? -1 : it->second;
+        };
+
+        if (fmulToFadd_.count(di.sid)) {
+            // Retype the multiply as the fused op.
+            MInst mi = MInst::core(Opcode::Fma);
+            mi.sid = di.sid;
+            for (int s = 0; s < 3; ++s)
+                mi.dep[s] = resolve(di.srcProd[s]);
+            dyn_to_idx[i] = static_cast<std::int64_t>(out.size());
+            out.push_back(std::move(mi));
+            continue;
+        }
+
+        if (fusedFadds_.count(di.sid)) {
+            // Elide the add: attach its other input dependences to
+            // the dynamic fma it consumed.
+            std::int64_t fma_idx = -1;
+            for (std::int64_t p : di.srcProd) {
+                if (p == kNoProducer)
+                    continue;
+                if (fmulToFadd_.count(
+                        trace[static_cast<DynId>(p)].sid)) {
+                    fma_idx = resolve(p);
+                    break;
+                }
+            }
+            // The fadd's other inputs must precede the fma in the
+            // stream for the rewiring to remain a DAG.
+            std::vector<std::int64_t> extra;
+            bool fusable = fma_idx >= 0;
+            if (fusable) {
+                for (std::int64_t p : di.srcProd) {
+                    if (p == kNoProducer)
+                        continue;
+                    if (fmulToFadd_.count(
+                            trace[static_cast<DynId>(p)].sid)) {
+                        continue; // the fused multiply itself
+                    }
+                    const std::int64_t dep = resolve(p);
+                    if (dep >= fma_idx) {
+                        fusable = false;
+                        break;
+                    }
+                    if (dep >= 0)
+                        extra.push_back(dep);
+                }
+            }
+            if (!fusable) {
+                // Keep the add unfused (producer outside the window
+                // or input ordered after the multiply).
+                MInst mi = toCoreInst(di);
+                for (int s = 0; s < 3; ++s)
+                    mi.dep[s] = resolve(di.srcProd[s]);
+                dyn_to_idx[i] =
+                    static_cast<std::int64_t>(out.size());
+                out.push_back(std::move(mi));
+                continue;
+            }
+            MInst &fma = out[fma_idx];
+            for (std::int64_t dep : extra)
+                fma.extraDeps.push_back({dep, 0});
+            // Consumers of the fadd now read the fma.
+            dyn_to_idx[i] = fma_idx;
+            continue;
+        }
+
+        MInst mi = toCoreInst(di);
+        for (int s = 0; s < 3; ++s)
+            mi.dep[s] = resolve(di.srcProd[s]);
+        if (mi.isLoad && di.memProd != kNoProducer)
+            mi.memDep = resolve(di.memProd);
+        dyn_to_idx[i] = static_cast<std::int64_t>(out.size());
+        out.push_back(std::move(mi));
+    }
+    return out;
+}
+
+} // namespace prism

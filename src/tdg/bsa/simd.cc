@@ -1,0 +1,267 @@
+/**
+ * @file
+ * SIMD (loop auto-vectorization) TDG transform — paper Section 3.2.
+ *
+ * µDG nodes from kVectorLen iterations are buffered; the first
+ * iteration becomes the vectorized version with if-converted
+ * not-taken-path instructions, masks along merging control paths,
+ * scalarized non-contiguous memory with pack/unpack, and dynamic
+ * memory latencies re-mapped onto the vector iteration. Remaining
+ * iterations are elided; residual iterations below the vector length
+ * run unmodified on the core.
+ */
+
+#include "tdg/bsa/bsa.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "tdg/constructor.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+using Instances = std::unordered_map<StaticId, std::vector<DynId>>;
+
+/** Max dynamic load latency among a static load's group instances. */
+std::uint16_t
+groupMemLat(const Trace &trace, const Instances &inst, StaticId sid,
+            std::uint16_t fallback)
+{
+    const auto it = inst.find(sid);
+    if (it == inst.end() || it->second.empty())
+        return fallback;
+    std::uint16_t lat = 0;
+    for (DynId d : it->second)
+        lat = std::max(lat, trace[d].memLat);
+    return lat;
+}
+
+/** Redirect every elided group instance of `sid` to stream idx. */
+void
+mapInstances(const Instances &inst, StaticId sid, std::int64_t idx,
+             xform::DynToIdx &dyn_to_idx)
+{
+    const auto it = inst.find(sid);
+    if (it == inst.end())
+        return;
+    for (DynId d : it->second)
+        dyn_to_idx[d] = idx;
+}
+
+} // namespace
+
+bool
+SimdTransform::canTarget(std::int32_t loop) const
+{
+    return analyzer_->simd(loop).usable();
+}
+
+TransformOutput
+SimdTransform::transformLoop(
+    std::int32_t loop_id,
+    const std::vector<const LoopOccurrence *> &occs)
+{
+    const SimdPlan &plan = analyzer_->simd(loop_id);
+    prism_assert(plan.usable(), "SIMD transform on unplanned loop");
+    const Loop &loop = tdg_->loops().loop(loop_id);
+    const LoopDepProfile &deps = tdg_->depProfile(loop_id);
+    const LoopMemProfile &mem = tdg_->memProfile(loop_id);
+    const Program &prog = tdg_->program();
+    const Function &fn = prog.function(loop.func);
+    const Trace &trace = tdg_->trace();
+    const unsigned V = kVectorLen;
+
+    TransformOutput out;
+    MStream &s = out.stream;
+
+    // Emits one vectorized iteration covering a group of V iterations.
+    auto emit_group = [&](const Instances &inst, xform::RegDefMap &regs,
+                          xform::DynToIdx &dyn_to_idx, bool last_group) {
+        for (std::int32_t b : plan.bodyRpo) {
+            for (const Instr &in : fn.blocks[b].instrs) {
+                const OpInfo &oi = opInfo(in.op);
+                const auto idx_of = [&s]() {
+                    return static_cast<std::int64_t>(s.size());
+                };
+                auto push = [&](MInst mi) {
+                    const std::int64_t idx = idx_of();
+                    s.push_back(std::move(mi));
+                    mapInstances(inst, in.sid, idx, dyn_to_idx);
+                    return idx;
+                };
+                auto dep_of = [&](RegId r) {
+                    return r == kNoReg ? -1 : regs.lookup(r);
+                };
+
+                if (in.op == Opcode::Jmp)
+                    continue;
+
+                if (oi.isCondBranch) {
+                    const bool exits_or_latches =
+                        in.target == loop.header ||
+                        !loop.containsBlock(in.target) ||
+                        fn.blocks[b].fallthrough == loop.header ||
+                        !loop.containsBlock(fn.blocks[b].fallthrough);
+                    if (exits_or_latches) {
+                        // Scalar loop control, once per group.
+                        MInst mi = MInst::core(Opcode::Br);
+                        mi.sid = in.sid;
+                        mi.takenBranch = true; // back edge
+                        mi.dep[0] = dep_of(in.src[0]);
+                        push(std::move(mi));
+                    } else {
+                        // Internal control becomes a mask/blend op.
+                        MInst mi = MInst::core(Opcode::Vmask);
+                        mi.sid = in.sid;
+                        mi.lanes = static_cast<std::uint8_t>(V);
+                        mi.dep[0] = dep_of(in.src[0]);
+                        push(std::move(mi));
+                    }
+                    continue;
+                }
+
+                if (deps.isInduction(in.sid)) {
+                    // One scalar update per group (stride scaled).
+                    MInst mi = MInst::core(in.op);
+                    mi.sid = in.sid;
+                    for (int k = 0; k < 3; ++k)
+                        mi.dep[k] = dep_of(in.src[k]);
+                    const std::int64_t idx = push(std::move(mi));
+                    if (in.dst != kNoReg)
+                        regs.def(in.dst, idx);
+                    continue;
+                }
+
+                if (oi.isLoad || oi.isStore) {
+                    const MemAccessPattern *pat = mem.find(in.sid);
+                    const bool vec_ok =
+                        pat && (pat->contiguous() ||
+                                pat->invariantAddress());
+                    if (vec_ok) {
+                        MInst mi = MInst::core(
+                            oi.isLoad ? Opcode::Vld : Opcode::Vst);
+                        mi.sid = in.sid;
+                        mi.dep[0] = dep_of(in.src[0]);
+                        if (oi.isStore)
+                            mi.dep[1] = dep_of(in.src[1]);
+                        if (oi.isLoad) {
+                            mi.memLat = groupMemLat(trace, inst,
+                                                    in.sid, 4);
+                        }
+                        const std::int64_t idx = push(std::move(mi));
+                        if (oi.isLoad)
+                            regs.def(in.dst, idx);
+                        continue;
+                    }
+                    // Non-contiguous: scalarize + pack/unpack.
+                    if (oi.isLoad) {
+                        std::vector<std::int64_t> parts;
+                        const auto it = inst.find(in.sid);
+                        for (unsigned k = 0; k < V; ++k) {
+                            MInst mi = MInst::core(Opcode::Ld);
+                            mi.sid = in.sid;
+                            mi.dep[0] = dep_of(in.src[0]);
+                            mi.memLat =
+                                (it != inst.end() &&
+                                 k < it->second.size())
+                                    ? trace[it->second[k]].memLat
+                                    : 4;
+                            parts.push_back(
+                                static_cast<std::int64_t>(s.size()));
+                            s.push_back(std::move(mi));
+                        }
+                        MInst pack = MInst::core(Opcode::Vpack);
+                        pack.sid = in.sid;
+                        pack.lanes = static_cast<std::uint8_t>(V);
+                        for (std::size_t k = 0; k < parts.size(); ++k) {
+                            if (k < 3)
+                                pack.dep[k] = parts[k];
+                            else
+                                pack.extraDeps.push_back(
+                                    {parts[k], 0});
+                        }
+                        const std::int64_t idx = push(std::move(pack));
+                        regs.def(in.dst, idx);
+                    } else {
+                        MInst un = MInst::core(Opcode::Vunpack);
+                        un.sid = in.sid;
+                        un.lanes = static_cast<std::uint8_t>(V);
+                        un.dep[0] = dep_of(in.src[1]); // value vector
+                        const std::int64_t un_idx = push(std::move(un));
+                        for (unsigned k = 0; k < V; ++k) {
+                            MInst mi = MInst::core(Opcode::St);
+                            mi.sid = in.sid;
+                            mi.dep[0] = dep_of(in.src[0]);
+                            mi.dep[1] = un_idx;
+                            s.push_back(std::move(mi));
+                        }
+                    }
+                    continue;
+                }
+
+                // Default: the vector form of the operation. The
+                // reduction's loop-carried input flows through the
+                // register map, serializing groups realistically.
+                Opcode vop = vectorFormOf(in.op);
+                MInst mi = MInst::core(vop == Opcode::Nop ? in.op
+                                                          : vop);
+                mi.sid = in.sid;
+                if (vop != Opcode::Nop)
+                    mi.lanes = static_cast<std::uint8_t>(V);
+                for (int k = 0; k < 3; ++k)
+                    mi.dep[k] = dep_of(in.src[k]);
+                const std::int64_t idx = push(std::move(mi));
+                if (in.dst != kNoReg)
+                    regs.def(in.dst, idx);
+            }
+        }
+        (void)last_group;
+    };
+
+    for (const LoopOccurrence *occ : occs) {
+        out.occBoundaries.push_back(s.size());
+        const std::size_t occ_start = s.size();
+        xform::RegDefMap regs;
+        xform::DynToIdx dyn_to_idx;
+        const auto &its = occ->iterStarts;
+
+        std::size_t g = 0;
+        while (g + V <= its.size()) {
+            const DynId gb = its[g];
+            const DynId ge =
+                (g + V < its.size()) ? its[g + V] : occ->end;
+            const Instances inst =
+                xform::collectInstances(trace, gb, ge);
+            const bool last = g + V >= its.size();
+            emit_group(inst, regs, dyn_to_idx, last);
+            g += V;
+        }
+        if (g < its.size()) {
+            xform::appendCoreInsts(trace, its[g], occ->end, s,
+                                   dyn_to_idx);
+        }
+
+        // Horizontal reduction epilogue (log2(V) steps).
+        for (StaticId rsid : deps.reductions) {
+            const Instr &rin = prog.instr(rsid);
+            std::int64_t acc = regs.lookup(rin.dst);
+            for (unsigned step = 0; step < 2 && acc >= 0; ++step) {
+                MInst mi = MInst::core(rin.op);
+                mi.sid = rsid;
+                mi.dep[0] = acc;
+                acc = static_cast<std::int64_t>(s.size());
+                s.push_back(std::move(mi));
+            }
+        }
+
+        if (s.size() > occ_start)
+            s[occ_start].startRegion = true;
+    }
+    return out;
+}
+
+} // namespace prism

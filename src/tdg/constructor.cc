@@ -1,0 +1,146 @@
+#include "tdg/constructor.hh"
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+MInst
+toCoreInst(const DynInst &di)
+{
+    MInst mi = MInst::core(di.op);
+    mi.memLat = di.memLat;
+    mi.mispredicted = di.mispredicted;
+    mi.takenBranch = opInfo(di.op).isBranch && di.branchTaken;
+    mi.sid = di.sid;
+    return mi;
+}
+
+namespace
+{
+
+void
+appendRange(const Trace &trace, DynId begin, DynId end, MStream &out)
+{
+    const std::size_t base = out.size();
+    for (DynId i = begin; i < end; ++i) {
+        const DynInst &di = trace[i];
+        MInst mi = toCoreInst(di);
+        for (int s = 0; s < 3; ++s) {
+            const std::int64_t p = di.srcProd[s];
+            if (p != kNoProducer && static_cast<DynId>(p) >= begin &&
+                static_cast<DynId>(p) < i) {
+                mi.dep[s] = static_cast<std::int64_t>(
+                    base + (static_cast<DynId>(p) - begin));
+            }
+        }
+        const std::int64_t mp = di.memProd;
+        if (mi.isLoad && mp != kNoProducer &&
+            static_cast<DynId>(mp) >= begin &&
+            static_cast<DynId>(mp) < i) {
+            mi.memDep = static_cast<std::int64_t>(
+                base + (static_cast<DynId>(mp) - begin));
+        }
+        out.push_back(std::move(mi));
+    }
+}
+
+} // namespace
+
+MStream
+buildCoreStream(const Trace &trace, DynId begin, DynId end)
+{
+    prism_assert(end <= trace.size() && begin <= end, "bad range");
+    MStream out;
+    out.reserve(end - begin);
+    appendRange(trace, begin, end, out);
+    return out;
+}
+
+MStream
+buildCoreStream(const Trace &trace)
+{
+    return buildCoreStream(trace, 0, trace.size());
+}
+
+MStream
+buildCoreStreamRanges(
+    const Trace &trace,
+    const std::vector<std::pair<DynId, DynId>> &ranges,
+    std::vector<std::size_t> &boundaries)
+{
+    MStream out;
+    boundaries.clear();
+    std::size_t total = 0;
+    for (const auto &[b, e] : ranges)
+        total += e - b;
+    out.reserve(total);
+    for (const auto &[b, e] : ranges) {
+        boundaries.push_back(out.size());
+        appendRange(trace, b, e, out);
+        if (!out.empty() && boundaries.back() < out.size())
+            out[boundaries.back()].startRegion = true;
+    }
+    return out;
+}
+
+EventCounts
+tallyEvents(const MStream &stream, unsigned l1_hit, unsigned l2_hit)
+{
+    EventCounts ev;
+    for (const MInst &mi : stream) {
+        if (mi.unit == ExecUnit::Core) {
+            ++ev.coreFetches;
+            ++ev.coreDispatches;
+            ++ev.coreIssues;
+            ++ev.coreCommits;
+            const OpInfo &oi = opInfo(mi.op);
+            ev.coreRegReads += oi.numSrcs;
+            if (oi.writesDst)
+                ++ev.coreRegWrites;
+            if (mi.fu != FuClass::None) {
+                ev.fuOps[static_cast<std::size_t>(ExecUnit::Core)]
+                        [fuPoolIndex(mi.fu)] += mi.lanes;
+            }
+            ++ev.unitInsts[static_cast<std::size_t>(ExecUnit::Core)];
+        } else {
+            if (mi.fu != FuClass::None) {
+                ev.fuOps[static_cast<std::size_t>(mi.unit)]
+                        [fuPoolIndex(mi.fu)] += mi.lanes;
+            }
+            ++ev.unitInsts[static_cast<std::size_t>(mi.unit)];
+            if (mi.op == Opcode::CfuOp)
+                ++ev.cfuOps;
+            if (mi.op == Opcode::DfSwitch)
+                ++ev.dfSwitches;
+            if (mi.isStore && mi.unit == ExecUnit::Tracep)
+                ++ev.storeBufWrites;
+            const OpInfo &oi = opInfo(mi.op);
+            if (oi.writesDst)
+                ++ev.accelWbBusXfers;
+        }
+        switch (mi.op) {
+          case Opcode::AccelCfg: ++ev.accelConfigs; break;
+          case Opcode::AccelSend:
+          case Opcode::AccelRecv: ++ev.accelComms; break;
+          default: break;
+        }
+        if (mi.isLoad) {
+            ++ev.loads;
+            if (mi.memLat > l1_hit)
+                ++ev.l2Accesses;
+            if (mi.memLat > l1_hit + l2_hit)
+                ++ev.memAccesses;
+        }
+        if (mi.isStore)
+            ++ev.stores;
+        if (mi.isCondBranch) {
+            ++ev.branches;
+            if (mi.mispredicted)
+                ++ev.mispredicts;
+        }
+    }
+    return ev;
+}
+
+} // namespace prism

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * µDG stream construction: converts recorded DynInsts into MInst
+ * timing streams with dependences remapped to stream indices. This is
+ * the untransformed TDG(GPP, none) — the starting point every BSA
+ * transform rewrites.
+ */
+
+#ifndef PRISM_TDG_CONSTRUCTOR_HH
+#define PRISM_TDG_CONSTRUCTOR_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "trace/dyn_inst.hh"
+#include "uarch/udg.hh"
+
+namespace prism
+{
+
+/** Convert one DynInst to its core-context MInst (deps unset). */
+MInst toCoreInst(const DynInst &di);
+
+/**
+ * Build the core stream for trace range [begin, end). Dependences on
+ * producers outside the range become absent (kNoProducer semantics).
+ */
+MStream buildCoreStream(const Trace &trace, DynId begin, DynId end);
+
+/** Whole-trace convenience. */
+MStream buildCoreStream(const Trace &trace);
+
+/**
+ * Build one stream by concatenating several trace ranges, separated
+ * by region boundaries (startRegion on each range's first inst).
+ * @param boundaries out: stream index of each range's first MInst.
+ */
+MStream buildCoreStreamRanges(
+    const Trace &trace,
+    const std::vector<std::pair<DynId, DynId>> &ranges,
+    std::vector<std::size_t> &boundaries);
+
+/**
+ * Tally the energy events of a stream without running the timing
+ * model (identical accounting to PipelineModel::run; used for
+ * baseline region energy attribution).
+ */
+EventCounts tallyEvents(const MStream &stream, unsigned l1_hit = 4,
+                        unsigned l2_hit = 26);
+
+} // namespace prism
+
+#endif // PRISM_TDG_CONSTRUCTOR_HH

@@ -1,0 +1,244 @@
+#include "tdg/exocore.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "tdg/constructor.hh"
+#include "tdg/scheduler.hh"
+
+namespace prism
+{
+
+int
+unitIndex(BsaKind b)
+{
+    switch (b) {
+      case BsaKind::Simd: return 1;
+      case BsaKind::DpCgra: return 2;
+      case BsaKind::Nsdf: return 3;
+      case BsaKind::Tracep: return 4;
+    }
+    panic("bad bsa");
+}
+
+const char *
+unitName(int unit)
+{
+    switch (unit) {
+      case 0: return "GPP";
+      case 1: return "SIMD";
+      case 2: return "DP-CGRA";
+      case 3: return "NS-DF";
+      case 4: return "Trace-P";
+    }
+    panic("bad unit");
+}
+
+unsigned
+bsaBit(BsaKind b)
+{
+    for (std::size_t i = 0; i < kAllBsas.size(); ++i) {
+        if (kAllBsas[i] == b)
+            return 1u << i;
+    }
+    panic("bad bsa");
+}
+
+double
+ExoResult::unitCycleFraction(int unit) const
+{
+    return cycles ? static_cast<double>(unitCycles.at(unit)) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+}
+
+BenchmarkModel::BenchmarkModel(const Tdg &tdg, CoreKind core)
+    : BenchmarkModel(tdg, core,
+                     PipelineConfig{.core = coreConfig(core)})
+{
+}
+
+BenchmarkModel::BenchmarkModel(const Tdg &tdg, CoreKind core,
+                               const PipelineConfig &cfg)
+    : tdg_(&tdg), core_(core), pcfg_(cfg)
+{
+    analyzer_ = std::make_unique<TdgAnalyzer>(tdg);
+    energyModel_ = std::make_unique<EnergyModel>(
+        pcfg_.core, static_cast<unsigned>(kAllBsas.size()));
+    evaluateBaseline();
+    evaluateBsas();
+}
+
+Cycle
+BenchmarkModel::gppLoopCycles(std::int32_t loop) const
+{
+    return loopEvals_.at(loop).unit[0].cycles;
+}
+
+PicoJoule
+BenchmarkModel::gppLoopEnergy(std::int32_t loop) const
+{
+    return loopEvals_.at(loop).unit[0].energy;
+}
+
+void
+BenchmarkModel::evaluateBaseline()
+{
+    const Trace &trace = tdg_->trace();
+    const MStream stream = buildCoreStream(trace);
+    const PipelineModel model(pcfg_);
+    const PipelineResult res = model.run(stream, true);
+
+    baseline_.cycles = res.cycles;
+    baseline_.energy = energyModel_->energy(res.events, res.cycles);
+    baseline_.unitCycles[0] = res.cycles;
+    baseline_.unitEnergy[0] = baseline_.energy;
+
+    // Per-occurrence attribution from commit-time deltas.
+    const auto &occs = tdg_->loopMap().occurrences;
+    occBaseStart_.resize(occs.size());
+    occBaseCycles_.resize(occs.size());
+    occBaseEnergy_.resize(occs.size());
+    for (std::size_t k = 0; k < occs.size(); ++k) {
+        const LoopOccurrence &occ = occs[k];
+        if (occ.end <= occ.begin) {
+            occBaseStart_[k] = occBaseCycles_[k] = 0;
+            occBaseEnergy_[k] = 0;
+            continue;
+        }
+        const Cycle start =
+            occ.begin > 0 ? res.commitAt[occ.begin - 1] : 0;
+        const Cycle end = res.commitAt[occ.end - 1];
+        occBaseStart_[k] = start;
+        occBaseCycles_[k] = end > start ? end - start : 0;
+        const EventCounts ev =
+            tallyEvents(buildCoreStream(trace, occ.begin, occ.end),
+                        pcfg_.l1HitLatency, pcfg_.l2HitLatency);
+        occBaseEnergy_[k] =
+            energyModel_->energy(ev, occBaseCycles_[k]);
+    }
+
+    // Fill each loop's GPP evaluation.
+    loopEvals_.resize(tdg_->loops().numLoops());
+    for (const Loop &loop : tdg_->loops().loops()) {
+        LoopEval &le = loopEvals_[loop.id];
+        le.loopId = loop.id;
+        le.dynInsts = tdg_->dynInstsOf(loop.id);
+        RegionUnitEval &gpp = le.unit[0];
+        gpp.feasible = true;
+        for (std::size_t k = 0; k < occs.size(); ++k) {
+            if (occs[k].loopId != loop.id)
+                continue;
+            gpp.cycles += occBaseCycles_[k];
+            gpp.energy += occBaseEnergy_[k];
+            gpp.occCycles.push_back(occBaseCycles_[k]);
+        }
+    }
+}
+
+void
+BenchmarkModel::evaluateBsas()
+{
+    const PipelineModel model(pcfg_);
+    for (BsaKind bsa : kAllBsas) {
+        auto transform = makeTransform(bsa, *tdg_, *analyzer_);
+        const int u = unitIndex(bsa);
+        for (const Loop &loop : tdg_->loops().loops()) {
+            if (!transform->canTarget(loop.id))
+                continue;
+            const auto occs = tdg_->occurrencesOf(loop.id);
+            if (occs.empty())
+                continue;
+            TransformOutput out =
+                transform->transformLoop(loop.id, occs);
+            if (out.stream.empty())
+                continue;
+            const PipelineResult res = model.run(out.stream, true);
+
+            RegionUnitEval &ev = loopEvals_[loop.id].unit[u];
+            ev.feasible = true;
+            ev.cycles = res.cycles;
+
+            // Fraction of work on the engine approximates the
+            // front-end power-gating opportunity (offload BSAs only).
+            Cycle gated = 0;
+            if (bsa == BsaKind::Nsdf || bsa == BsaKind::Tracep) {
+                const double frac =
+                    out.stream.empty()
+                        ? 0.0
+                        : static_cast<double>(
+                              res.events.unitInsts[static_cast<
+                                  std::size_t>(
+                                  bsa == BsaKind::Nsdf
+                                      ? ExecUnit::Nsdf
+                                      : ExecUnit::Tracep)]) /
+                              static_cast<double>(out.stream.size());
+                gated = static_cast<Cycle>(
+                    static_cast<double>(res.cycles) * frac);
+            }
+            ev.gatedCycles = gated;
+            ev.energy =
+                energyModel_->energy(res.events, res.cycles, gated);
+
+            // Per-occurrence cycles from the boundary commit deltas.
+            ev.occCycles.reserve(out.occBoundaries.size());
+            for (std::size_t k = 0; k < out.occBoundaries.size();
+                 ++k) {
+                const std::size_t b = out.occBoundaries[k];
+                const std::size_t e =
+                    k + 1 < out.occBoundaries.size()
+                        ? out.occBoundaries[k + 1]
+                        : out.stream.size();
+                if (e <= b) {
+                    ev.occCycles.push_back(0);
+                    continue;
+                }
+                const Cycle start =
+                    b > 0 ? res.commitAt[b - 1] : 0;
+                const Cycle end = res.commitAt[e - 1];
+                ev.occCycles.push_back(end > start ? end - start
+                                                   : 0);
+            }
+        }
+    }
+}
+
+ExoResult
+BenchmarkModel::evaluate(unsigned bsa_mask, SchedulerKind sched) const
+{
+    return scheduleExoCore(*this, *tdg_, bsa_mask, sched);
+}
+
+std::vector<TimelinePoint>
+BenchmarkModel::timeline(unsigned bsa_mask, SchedulerKind sched) const
+{
+    const ExoResult res = evaluate(bsa_mask, sched);
+    std::vector<TimelinePoint> points;
+    const auto &all_occs = tdg_->loopMap().occurrences;
+
+    for (const ExoChoice &choice : res.choices) {
+        const RegionUnitEval &ev =
+            loopEvals_.at(choice.loopId).unit[choice.unit];
+        std::size_t occ_idx = 0;
+        for (std::size_t k = 0; k < all_occs.size(); ++k) {
+            if (all_occs[k].loopId != choice.loopId)
+                continue;
+            TimelinePoint tp;
+            tp.baseStart = occBaseStart_[k];
+            tp.baseCycles = occBaseCycles_[k];
+            tp.exoCycles = occ_idx < ev.occCycles.size()
+                               ? ev.occCycles[occ_idx]
+                               : occBaseCycles_[k];
+            tp.unit = choice.unit;
+            points.push_back(tp);
+            ++occ_idx;
+        }
+    }
+    std::sort(points.begin(), points.end(),
+              [](const TimelinePoint &a, const TimelinePoint &b) {
+                  return a.baseStart < b.baseStart;
+              });
+    return points;
+}
+
+} // namespace prism

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * ExoCore modeling: composition of a general-purpose core with a
+ * subset of the four BSAs (paper Section 3), region-level accelerator
+ * selection (Oracle and Amdahl-Tree schedulers, Sections 3.3/4), and
+ * aggregate performance/energy accounting.
+ *
+ * Evaluation strategy: the untransformed TDG is timed once per core
+ * (full run, with per-instruction commit times for region
+ * attribution); every (candidate loop, BSA) pair is timed standalone
+ * over the concatenation of the loop's occurrences of the transformed
+ * stream. A scheduler then picks a non-overlapping set of regions
+ * over the loop tree, and program-level metrics compose from the
+ * attributed pieces.
+ */
+
+#ifndef PRISM_TDG_EXOCORE_HH
+#define PRISM_TDG_EXOCORE_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "energy/energy_model.hh"
+#include "tdg/analyzer.hh"
+#include "tdg/tdg.hh"
+#include "tdg/transform.hh"
+#include "uarch/pipeline_model.hh"
+
+namespace prism
+{
+
+/** Unit indices: 0 = GPP; 1..4 = SIMD, DP-CGRA, NS-DF, Trace-P. */
+inline constexpr int kNumUnits = 5;
+
+/** Unit index of a BSA (1-based; 0 is the general core). */
+int unitIndex(BsaKind b);
+
+/** Unit display name ("GPP", "SIMD", ...). */
+const char *unitName(int unit);
+
+/** Bitmask with all four BSAs attached. */
+inline constexpr unsigned kFullBsaMask = 0xF;
+
+/** Bit for one BSA within a bsa mask (kAllBsas order: S,D,N,T). */
+unsigned bsaBit(BsaKind b);
+
+/** Evaluation of one loop on one execution unit. */
+struct RegionUnitEval
+{
+    bool feasible = false;
+    Cycle cycles = 0;             ///< summed over all occurrences
+    PicoJoule energy = 0;
+    Cycle gatedCycles = 0;        ///< core front-end power-gated
+    std::vector<Cycle> occCycles; ///< per-occurrence cycles
+};
+
+/** All unit evaluations of one loop. */
+struct LoopEval
+{
+    std::int32_t loopId = -1;
+    std::uint64_t dynInsts = 0;
+    std::array<RegionUnitEval, kNumUnits> unit;
+};
+
+/** One region-to-unit assignment in a schedule. */
+struct ExoChoice
+{
+    std::int32_t loopId = -1;
+    int unit = 0; ///< 1..4
+};
+
+/** Composite metrics for one ExoCore configuration on one workload. */
+struct ExoResult
+{
+    Cycle cycles = 0;
+    PicoJoule energy = 0;
+    std::array<Cycle, kNumUnits> unitCycles{};
+    std::array<PicoJoule, kNumUnits> unitEnergy{};
+    std::vector<ExoChoice> choices;
+
+    /** Fraction of execution cycles spent on each unit. */
+    double unitCycleFraction(int unit) const;
+};
+
+/** Region-selection policy. */
+enum class SchedulerKind
+{
+    Oracle,     ///< measured energy-delay, <=10% slowdown allowance
+    AmdahlTree, ///< profile-estimate Amdahl's-law tree traversal
+};
+
+/** A point on the Figure 14 dynamic-switching timeline. */
+struct TimelinePoint
+{
+    Cycle baseStart = 0;  ///< baseline-time position of the region
+    Cycle baseCycles = 0; ///< baseline cycles of this occurrence
+    Cycle exoCycles = 0;  ///< accelerated cycles of this occurrence
+    int unit = 0;
+};
+
+/**
+ * Evaluates one (workload TDG, general core) pair against all BSAs
+ * and composes ExoCore configurations. Construction performs all
+ * timing runs; evaluate() is cheap and can be called for all 16 BSA
+ * subsets.
+ */
+class BenchmarkModel
+{
+  public:
+    BenchmarkModel(const Tdg &tdg, CoreKind core);
+
+    /**
+     * As above, but with explicit machine parameters (accelerator
+     * ablations; cfg.core must match coreConfig(core)'s kind).
+     */
+    BenchmarkModel(const Tdg &tdg, CoreKind core,
+                   const PipelineConfig &cfg);
+
+    CoreKind core() const { return core_; }
+    const TdgAnalyzer &analyzer() const { return *analyzer_; }
+
+    /** Per-loop, per-unit evaluations (indexed by loop id). */
+    const LoopEval &loopEval(std::int32_t loop) const
+    {
+        return loopEvals_.at(loop);
+    }
+
+    /** The general-core-only result. */
+    const ExoResult &baseline() const { return baseline_; }
+
+    /** Compose an ExoCore with the given BSA subset and scheduler. */
+    ExoResult evaluate(unsigned bsa_mask,
+                       SchedulerKind sched = SchedulerKind::Oracle)
+        const;
+
+    /** Occurrence-level switching timeline for a configuration. */
+    std::vector<TimelinePoint>
+    timeline(unsigned bsa_mask,
+             SchedulerKind sched = SchedulerKind::Oracle) const;
+
+    /** GPP cycles attributed to a loop (all occurrences). */
+    Cycle gppLoopCycles(std::int32_t loop) const;
+    /** GPP energy attributed to a loop (all occurrences). */
+    PicoJoule gppLoopEnergy(std::int32_t loop) const;
+
+  private:
+    friend class OracleScheduler;
+    friend class AmdahlTreeScheduler;
+
+    void evaluateBaseline();
+    void evaluateBsas();
+
+    const Tdg *tdg_;
+    CoreKind core_;
+    PipelineConfig pcfg_;
+    std::unique_ptr<TdgAnalyzer> analyzer_;
+    std::unique_ptr<EnergyModel> energyModel_;
+
+    ExoResult baseline_;
+    std::vector<LoopEval> loopEvals_;
+
+    // Per-occurrence baseline attribution (indexed like
+    // loopMap().occurrences).
+    std::vector<Cycle> occBaseStart_;
+    std::vector<Cycle> occBaseCycles_;
+    std::vector<PicoJoule> occBaseEnergy_;
+};
+
+} // namespace prism
+
+#endif // PRISM_TDG_EXOCORE_HH

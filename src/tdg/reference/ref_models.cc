@@ -1,0 +1,272 @@
+#include "tdg/reference/ref_models.hh"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+Cycle
+CycleCoreSim::run(const MStream &stream) const
+{
+    if (stream.empty())
+        return 0;
+    const std::size_t n = stream.size();
+
+    enum class St : std::uint8_t { Waiting, Issued };
+    struct Entry
+    {
+        std::size_t idx;
+        St state = St::Waiting;
+        Cycle doneAt = 0;
+    };
+
+    const unsigned rob_cap = core_.inorder ? 2 * core_.width
+                                           : core_.robSize;
+    const unsigned iq_cap = core_.inorder ? core_.width
+                                          : core_.instWindow;
+
+    std::vector<Cycle> done_at(n, 0);
+    std::vector<bool> done(n, false);
+
+    // Core structures.
+    std::deque<Entry> rob;
+    std::deque<std::size_t> fetch_buf;
+    const std::size_t fetch_buf_cap = 3 * core_.width;
+    std::int64_t blocking_branch = -1;
+    Cycle fetch_allowed_at = 0;
+
+    std::array<std::vector<Cycle>, 4> fus;
+    fus[0].assign(core_.numAlu, 0);
+    fus[1].assign(core_.numMulDiv, 0);
+    fus[2].assign(core_.numFp, 0);
+    fus[3].assign(core_.dcachePorts, 0);
+
+    // Accelerator engines: one dataflow pool per unit.
+    struct Engine
+    {
+        const AccelParams *params = nullptr;
+        std::deque<Entry> pool;
+    };
+    Engine engines[3];
+    engines[0].params = &cgra_;
+    engines[1].params = &nsdf_;
+    engines[2].params = &tracep_;
+    auto engine_of = [&engines](ExecUnit u) -> Engine & {
+        switch (u) {
+          case ExecUnit::Cgra: return engines[0];
+          case ExecUnit::Nsdf: return engines[1];
+          case ExecUnit::Tracep: return engines[2];
+          default: panic("not an engine unit");
+        }
+    };
+
+    std::size_t next_intake = 0;
+    std::size_t prefix_done = 0; // first index not yet done
+    std::size_t remaining = n;
+    Cycle now = 0;
+
+    auto deps_ready = [&](const MInst &mi) {
+        for (std::int64_t d : mi.dep) {
+            if (d >= 0 && !(done[d] && done_at[d] <= now))
+                return false;
+        }
+        if (mi.memDep >= 0 &&
+            !(done[mi.memDep] && done_at[mi.memDep] <= now)) {
+            return false;
+        }
+        for (const ExtraDep &xd : mi.extraDeps) {
+            if (xd.idx >= 0 &&
+                !(done[xd.idx] && done_at[xd.idx] + xd.lat <= now)) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    const Cycle hard_limit = static_cast<Cycle>(n) * 600 + 100000;
+
+    while (remaining > 0) {
+        prism_assert(now < hard_limit, "cycle sim deadlock");
+
+        // ---- Completion / writeback ----
+        for (Entry &e : rob) {
+            if (e.state == St::Issued && !done[e.idx] &&
+                e.doneAt <= now) {
+                done[e.idx] = true;
+                done_at[e.idx] = e.doneAt;
+                if (static_cast<std::int64_t>(e.idx) ==
+                    blocking_branch) {
+                    blocking_branch = -1;
+                    fetch_allowed_at =
+                        e.doneAt + core_.mispredictPenalty;
+                }
+            }
+        }
+        for (Engine &eng : engines) {
+            unsigned wb_used = 0;
+            for (Entry &e : eng.pool) {
+                if (e.state != St::Issued || e.doneAt > now)
+                    continue;
+                const MInst &mi = stream[e.idx];
+                const bool needs_wb =
+                    opInfo(mi.op).writesDst &&
+                    eng.params->wbBusWidth > 0;
+                if (needs_wb && wb_used >= eng.params->wbBusWidth)
+                    continue; // bus full; retry next cycle
+                if (needs_wb)
+                    ++wb_used;
+                done[e.idx] = true;
+                done_at[e.idx] = now;
+                --remaining;
+            }
+            eng.pool.erase(
+                std::remove_if(eng.pool.begin(), eng.pool.end(),
+                               [&done](const Entry &e) {
+                                   return done[e.idx];
+                               }),
+                eng.pool.end());
+        }
+
+        // ---- Core commit ----
+        for (unsigned k = 0; k < core_.width && !rob.empty(); ++k) {
+            if (!done[rob.front().idx])
+                break;
+            rob.pop_front();
+            --remaining;
+        }
+
+        // ---- Core issue ----
+        unsigned issued = 0;
+        unsigned iq_scanned = 0;
+        for (Entry &e : rob) {
+            if (issued >= core_.width)
+                break;
+            if (e.state != St::Waiting)
+                continue;
+            if (++iq_scanned > iq_cap)
+                break;
+            const MInst &mi = stream[e.idx];
+            if (!deps_ready(mi)) {
+                if (core_.inorder)
+                    break;
+                continue;
+            }
+            Cycle *unit = nullptr;
+            if (mi.fu != FuClass::None) {
+                auto &pool = fus[fuPoolIndex(mi.fu)];
+                for (Cycle &u : pool) {
+                    if (u <= now) {
+                        unit = &u;
+                        break;
+                    }
+                }
+                if (unit == nullptr) {
+                    if (core_.inorder)
+                        break;
+                    continue;
+                }
+            }
+            const Cycle lat = std::max<Cycle>(
+                mi.isLoad ? mi.memLat : mi.lat, 1);
+            e.state = St::Issued;
+            e.doneAt = now + lat;
+            if (unit != nullptr)
+                *unit = now + 1;
+            ++issued;
+        }
+
+        // ---- Engine issue ----
+        for (Engine &eng : engines) {
+            unsigned eng_issued = 0;
+            unsigned mem_issued = 0;
+            for (Entry &e : eng.pool) {
+                if (eng_issued >= eng.params->issueWidth)
+                    break;
+                if (e.state != St::Waiting)
+                    continue;
+                const MInst &mi = stream[e.idx];
+                const bool is_mem = mi.isLoad || mi.isStore;
+                if (is_mem && eng.params->memPorts > 0 &&
+                    mem_issued >= eng.params->memPorts) {
+                    continue;
+                }
+                if (!deps_ready(mi))
+                    continue;
+                const Cycle lat = std::max<Cycle>(
+                    mi.isLoad ? mi.memLat : mi.lat, 1);
+                e.state = St::Issued;
+                e.doneAt = now + lat;
+                ++eng_issued;
+                if (is_mem)
+                    ++mem_issued;
+            }
+        }
+
+        // ---- Core dispatch (gated by ROB and IQ occupancy) ----
+        unsigned waiting = 0;
+        if (!core_.inorder) {
+            for (const Entry &e : rob)
+                waiting += e.state == St::Waiting;
+        }
+        for (unsigned k = 0;
+             k < core_.width && !fetch_buf.empty() &&
+             rob.size() < rob_cap &&
+             (core_.inorder || waiting < iq_cap);
+             ++k) {
+            Entry e;
+            e.idx = fetch_buf.front();
+            fetch_buf.pop_front();
+            rob.push_back(e);
+            ++waiting;
+        }
+
+        // ---- Unified intake (fetch / engine injection) ----
+        while (prefix_done < n && done[prefix_done])
+            ++prefix_done;
+        unsigned fetched = 0;
+        while (next_intake < n) {
+            const MInst &mi = stream[next_intake];
+            if (mi.startRegion && prefix_done < next_intake)
+                break; // region boundary drains the machine
+            if (mi.unit == ExecUnit::Core) {
+                if (blocking_branch != -1 || now < fetch_allowed_at)
+                    break;
+                if (fetched >= core_.width ||
+                    fetch_buf.size() >= fetch_buf_cap) {
+                    break;
+                }
+                fetch_buf.push_back(next_intake);
+                ++fetched;
+                if (mi.isCondBranch && mi.mispredicted) {
+                    blocking_branch =
+                        static_cast<std::int64_t>(next_intake);
+                }
+                ++next_intake;
+                if (blocking_branch != -1)
+                    break;
+                if (mi.takenBranch) {
+                    // Fetch group ends at a taken branch.
+                    fetched = core_.width;
+                    break;
+                }
+            } else {
+                Engine &eng = engine_of(mi.unit);
+                if (eng.pool.size() >= eng.params->window)
+                    break;
+                Entry e;
+                e.idx = next_intake;
+                eng.pool.push_back(e);
+                ++next_intake;
+            }
+        }
+
+        ++now;
+    }
+    return now;
+}
+
+} // namespace prism

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Independent reference model used to validate the TDG (paper
+ * Table 1 / Figure 5). The paper validates its graph-transformation
+ * models against an independent source of truth (published results /
+ * detailed simulation); Prism substitutes a **discrete-event,
+ * structure-accurate cycle simulator** built with entirely different
+ * machinery than the µDG's streaming longest-path computation:
+ *
+ *  - core-context instructions flow through an explicit fetch buffer
+ *    (gated by unresolved mispredicted branches), ROB, issue-queue
+ *    scan, FU/port busy tracking and in-order commit;
+ *  - accelerator-context operations enter a per-engine dataflow pool
+ *    bounded by the engine's operand window, issue when operands
+ *    arrive subject to per-cycle issue/memory-port limits, and
+ *    retire through a bandwidth-limited writeback bus;
+ *  - region boundaries (MInst::startRegion) drain the whole machine.
+ *
+ * Both the baseline and every transformed core+accelerator stream
+ * can be executed by this simulator, so each BSA model's projected
+ * speedup/energy is validated against event-driven execution of the
+ * same rewritten graph (the validation recipe of Appendix A).
+ */
+
+#ifndef PRISM_TDG_REFERENCE_REF_MODELS_HH
+#define PRISM_TDG_REFERENCE_REF_MODELS_HH
+
+#include "uarch/core_config.hh"
+#include "uarch/pipeline_model.hh"
+#include "uarch/udg.hh"
+
+namespace prism
+{
+
+/**
+ * Discrete-event cycle-level simulation of a core plus attached
+ * accelerator engines over an MInst stream.
+ */
+class CycleCoreSim
+{
+  public:
+    explicit CycleCoreSim(const CoreConfig &cfg) : core_(cfg) {}
+
+    /** Full machine configuration (cores + engines). */
+    explicit CycleCoreSim(const PipelineConfig &cfg)
+        : core_(cfg.core), cgra_(cfg.cgra), nsdf_(cfg.nsdf),
+          tracep_(cfg.tracep)
+    {
+    }
+
+    /** Simulate the stream; returns total cycles. */
+    Cycle run(const MStream &stream) const;
+
+  private:
+    CoreConfig core_;
+    AccelParams cgra_ = dpCgraParams();
+    AccelParams nsdf_ = nsdfParams();
+    AccelParams tracep_ = tracepParams();
+};
+
+} // namespace prism
+
+#endif // PRISM_TDG_REFERENCE_REF_MODELS_HH

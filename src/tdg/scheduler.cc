@@ -1,0 +1,160 @@
+#include "tdg/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+/** DP value for one subtree: actual composition + decision metrics. */
+struct DpOut
+{
+    Cycle cycles = 0;
+    PicoJoule energy = 0;
+    std::array<Cycle, kNumUnits> unitCycles{};
+    std::array<PicoJoule, kNumUnits> unitEnergy{};
+    std::vector<ExoChoice> choices;
+
+    // What the scheduler *believes* (equals actuals for the oracle).
+    double decCycles = 0;
+    double decEnergy = 0;
+
+    double score() const { return decCycles * decEnergy; } // EDP
+};
+
+struct Dp
+{
+    const BenchmarkModel &bm;
+    const Tdg &tdg;
+    unsigned mask;
+    SchedulerKind sched;
+
+    DpOut
+    solve(std::int32_t loop_id) const
+    {
+        const Loop &loop = tdg.loops().loop(loop_id);
+        const Cycle gpp_c = bm.gppLoopCycles(loop_id);
+        const PicoJoule gpp_e = bm.gppLoopEnergy(loop_id);
+
+        // Option B: this level on the GPP, children scheduled.
+        DpOut descend;
+        descend.cycles = gpp_c;
+        descend.energy = gpp_e;
+        descend.unitCycles[0] = gpp_c;
+        descend.unitEnergy[0] = gpp_e;
+        descend.decCycles = static_cast<double>(gpp_c);
+        descend.decEnergy = gpp_e;
+        for (std::int32_t c : loop.children) {
+            const DpOut sc = solve(c);
+            const Cycle c_gpp_c = bm.gppLoopCycles(c);
+            const PicoJoule c_gpp_e = bm.gppLoopEnergy(c);
+            descend.cycles += sc.cycles;
+            descend.cycles -= std::min(descend.cycles, c_gpp_c);
+            descend.energy += sc.energy - c_gpp_e;
+            descend.unitCycles[0] -=
+                std::min(descend.unitCycles[0], c_gpp_c);
+            descend.unitEnergy[0] -= c_gpp_e;
+            for (int u = 0; u < kNumUnits; ++u) {
+                descend.unitCycles[u] += sc.unitCycles[u];
+                descend.unitEnergy[u] += sc.unitEnergy[u];
+            }
+            descend.choices.insert(descend.choices.end(),
+                                   sc.choices.begin(),
+                                   sc.choices.end());
+            descend.decCycles +=
+                sc.decCycles - static_cast<double>(c_gpp_c);
+            descend.decEnergy += sc.decEnergy - c_gpp_e;
+        }
+
+        DpOut best = descend;
+
+        // Option A: offload this whole loop to one BSA.
+        for (std::size_t bi = 0; bi < kAllBsas.size(); ++bi) {
+            if (!(mask & (1u << bi)))
+                continue;
+            const BsaKind bsa = kAllBsas[bi];
+            const int u = unitIndex(bsa);
+            const RegionUnitEval &ev =
+                bm.loopEval(loop_id).unit[u];
+            if (!ev.feasible || gpp_c == 0)
+                continue;
+
+            DpOut cand;
+            cand.cycles = ev.cycles;
+            cand.energy = ev.energy;
+            cand.unitCycles[u] = ev.cycles;
+            cand.unitEnergy[u] = ev.energy;
+            cand.choices.push_back(ExoChoice{loop_id, u});
+
+            if (sched == SchedulerKind::Oracle) {
+                // Measured metrics; <=10% slowdown allowance.
+                if (static_cast<double>(ev.cycles) >
+                    1.10 * static_cast<double>(gpp_c)) {
+                    continue;
+                }
+                cand.decCycles = static_cast<double>(ev.cycles);
+                cand.decEnergy = ev.energy;
+            } else {
+                // Profile-estimate beliefs (optimistic toward BSAs).
+                const double est_speedup =
+                    amdahlSpeedupEstimate(bm, tdg, loop_id, bsa);
+                if (est_speedup < 0.95)
+                    continue;
+                cand.decCycles =
+                    static_cast<double>(gpp_c) / est_speedup;
+                cand.decEnergy = gpp_e * amdahlEnergyEstimate(bsa);
+            }
+
+            if (cand.score() < best.score())
+                best = std::move(cand);
+        }
+        return best;
+    }
+};
+
+} // namespace
+
+ExoResult
+scheduleExoCore(const BenchmarkModel &bm, const Tdg &tdg,
+                unsigned bsa_mask, SchedulerKind sched)
+{
+    const ExoResult &base = bm.baseline();
+    ExoResult res;
+    res.cycles = base.cycles;
+    res.energy = base.energy;
+    res.unitCycles[0] = base.cycles;
+    res.unitEnergy[0] = base.energy;
+
+    if (bsa_mask == 0)
+        return res;
+
+    const Dp dp{bm, tdg, bsa_mask, sched};
+    for (std::int32_t root : tdg.loops().roots()) {
+        const DpOut out = dp.solve(root);
+        const Cycle gpp_c = bm.gppLoopCycles(root);
+        const PicoJoule gpp_e = bm.gppLoopEnergy(root);
+        // Replace the root's GPP contribution with its schedule.
+        res.cycles = res.cycles + out.cycles -
+                     std::min(res.cycles, gpp_c);
+        res.energy += out.energy - gpp_e;
+        res.unitCycles[0] -= std::min(res.unitCycles[0], gpp_c);
+        res.unitEnergy[0] -= gpp_e;
+        for (int u = 0; u < kNumUnits; ++u) {
+            res.unitCycles[u] += out.unitCycles[u];
+            res.unitEnergy[u] += out.unitEnergy[u];
+        }
+        res.choices.insert(res.choices.end(), out.choices.begin(),
+                           out.choices.end());
+    }
+    if (res.cycles == 0)
+        res.cycles = 1;
+    if (res.energy <= 0)
+        res.energy = 1;
+    return res;
+}
+
+} // namespace prism

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Region scheduling: picks a non-overlapping set of (loop, BSA)
+ * assignments over the loop tree and composes program-level metrics.
+ *
+ * The Oracle scheduler (paper Section 4) selects by *measured*
+ * energy-delay with a 10% per-region slowdown allowance. The
+ * Amdahl-Tree scheduler (Section 3.3, Figure 9) labels each tree node
+ * with per-BSA speedup *estimates* from static/profile information
+ * and applies Amdahl's law bottom-up; it is deliberately optimistic
+ * about BSA benefits, reproducing the paper's observation that it
+ * over-selects accelerators relative to the oracle (Figure 15).
+ */
+
+#ifndef PRISM_TDG_SCHEDULER_HH
+#define PRISM_TDG_SCHEDULER_HH
+
+#include "tdg/exocore.hh"
+
+namespace prism
+{
+
+/** Compose an ExoCore result for a BSA subset under a scheduler. */
+ExoResult scheduleExoCore(const BenchmarkModel &bm, const Tdg &tdg,
+                          unsigned bsa_mask, SchedulerKind sched);
+
+/**
+ * Amdahl-Tree speedup estimate of running `loop` entirely on `bsa`
+ * (static/profile-based; used by the Amdahl scheduler and exposed for
+ * tests/examples).
+ */
+double amdahlSpeedupEstimate(const BenchmarkModel &bm, const Tdg &tdg,
+                             std::int32_t loop, BsaKind bsa);
+
+/** Amdahl-Tree relative-energy estimate (accelerated / GPP). */
+double amdahlEnergyEstimate(BsaKind bsa);
+
+} // namespace prism
+
+#endif // PRISM_TDG_SCHEDULER_HH

@@ -1,0 +1,41 @@
+#include "tdg/tdg.hh"
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+Tdg::Tdg(const Program &prog, Trace trace)
+    : prog_(&prog), trace_(std::move(trace)),
+      loops_(LoopForest::build(prog)),
+      loopMap_(mapTraceToLoops(prog, trace_, loops_)),
+      dfgs_(buildAllDfgs(prog)),
+      pathProfiles_(profilePaths(prog, trace_, loops_, loopMap_)),
+      memProfiles_(profileMemory(prog, trace_, loops_, loopMap_)),
+      depProfiles_(profileDeps(prog, trace_, loops_, loopMap_, dfgs_))
+{
+}
+
+std::vector<const LoopOccurrence *>
+Tdg::occurrencesOf(std::int32_t loop) const
+{
+    std::vector<const LoopOccurrence *> occs;
+    for (const LoopOccurrence &occ : loopMap_.occurrences) {
+        if (occ.loopId == loop)
+            occs.push_back(&occ);
+    }
+    return occs;
+}
+
+std::uint64_t
+Tdg::dynInstsOf(std::int32_t loop) const
+{
+    std::uint64_t n = 0;
+    for (const LoopOccurrence &occ : loopMap_.occurrences) {
+        if (occ.loopId == loop)
+            n += occ.numInsts();
+    }
+    return n;
+}
+
+} // namespace prism

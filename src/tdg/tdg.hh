@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The Transformable Dependence Graph: the paper's central artifact.
+ *
+ * A Tdg couples (a) the µDG — the dynamic instruction stream with
+ * embedded microarchitectural events, realized as DynInsts convertible
+ * to MInst timing streams — with (b) the reconstructed Program IR
+ * (CFG, DFG, loop forest) in one-to-one correspondence through static
+ * instruction ids. TDG analyses (analyzer.hh) compute acceleration
+ * plans over it; TDG transforms (transform.hh) rewrite its µDG to
+ * model core+accelerator execution.
+ */
+
+#ifndef PRISM_TDG_TDG_HH
+#define PRISM_TDG_TDG_HH
+
+#include <memory>
+#include <vector>
+
+#include "ir/dfg.hh"
+#include "ir/induction.hh"
+#include "ir/loops.hh"
+#include "ir/mem_profile.hh"
+#include "ir/path_profile.hh"
+#include "prog/program.hh"
+#include "trace/dyn_inst.hh"
+
+namespace prism
+{
+
+/**
+ * The TDG for one traced execution. Construction runs all the IR
+ * reconstruction and profiling passes (paper Figure 2's "TDG
+ * Constructor"). The referenced Program must outlive the Tdg.
+ */
+class Tdg
+{
+  public:
+    /** Build the TDG from a program and its recorded trace. */
+    Tdg(const Program &prog, Trace trace);
+
+    const Program &program() const { return *prog_; }
+    const Trace &trace() const { return trace_; }
+
+    const LoopForest &loops() const { return loops_; }
+    const TraceLoopMap &loopMap() const { return loopMap_; }
+    const std::vector<Dfg> &dfgs() const { return dfgs_; }
+    const Dfg &dfg(std::int32_t func) const { return dfgs_.at(func); }
+
+    /** Per-loop profiles, indexed by loop id. */
+    const PathProfile &pathProfile(std::int32_t loop) const
+    {
+        return pathProfiles_.at(loop);
+    }
+    const LoopMemProfile &memProfile(std::int32_t loop) const
+    {
+        return memProfiles_.at(loop);
+    }
+    const LoopDepProfile &depProfile(std::int32_t loop) const
+    {
+        return depProfiles_.at(loop);
+    }
+
+    /** Occurrences (trace intervals) of a loop, in trace order. */
+    std::vector<const LoopOccurrence *>
+    occurrencesOf(std::int32_t loop) const;
+
+    /** Dynamic instructions attributed to a loop (all occurrences). */
+    std::uint64_t dynInstsOf(std::int32_t loop) const;
+
+  private:
+    const Program *prog_;
+    Trace trace_;
+    LoopForest loops_;
+    TraceLoopMap loopMap_;
+    std::vector<Dfg> dfgs_;
+    std::vector<PathProfile> pathProfiles_;
+    std::vector<LoopMemProfile> memProfiles_;
+    std::vector<LoopDepProfile> depProfiles_;
+};
+
+} // namespace prism
+
+#endif // PRISM_TDG_TDG_HH

@@ -1,0 +1,133 @@
+#include "tdg/transform.hh"
+
+#include "common/logging.hh"
+#include "tdg/bsa/bsa.hh"
+#include "tdg/constructor.hh"
+
+namespace prism
+{
+
+std::unique_ptr<BsaTransform>
+makeTransform(BsaKind kind, const Tdg &tdg, const TdgAnalyzer &analyzer)
+{
+    switch (kind) {
+      case BsaKind::Simd:
+        return std::make_unique<SimdTransform>(tdg, analyzer);
+      case BsaKind::DpCgra:
+        return std::make_unique<DpCgraTransform>(tdg, analyzer);
+      case BsaKind::Nsdf:
+        return std::make_unique<NsdfTransform>(tdg, analyzer);
+      case BsaKind::Tracep:
+        return std::make_unique<TracepTransform>(tdg, analyzer);
+    }
+    panic("bad bsa kind");
+}
+
+namespace xform
+{
+
+void
+appendCoreInsts(const Trace &trace, DynId b, DynId e, MStream &out,
+                DynToIdx &dyn_to_idx)
+{
+    for (DynId i = b; i < e; ++i) {
+        const DynInst &di = trace[i];
+        MInst mi = toCoreInst(di);
+        for (int s = 0; s < 3; ++s) {
+            const std::int64_t p = di.srcProd[s];
+            if (p == kNoProducer)
+                continue;
+            const auto it = dyn_to_idx.find(static_cast<DynId>(p));
+            if (it != dyn_to_idx.end())
+                mi.dep[s] = it->second;
+        }
+        if (mi.isLoad && di.memProd != kNoProducer) {
+            const auto it =
+                dyn_to_idx.find(static_cast<DynId>(di.memProd));
+            if (it != dyn_to_idx.end())
+                mi.memDep = it->second;
+        }
+        dyn_to_idx[i] = static_cast<std::int64_t>(out.size());
+        out.push_back(std::move(mi));
+    }
+}
+
+std::int64_t
+CfuBuilder::emitOp(Opcode op, const std::vector<std::int64_t> &deps,
+                   std::int64_t control_dep)
+{
+    const OpInfo &oi = opInfo(op);
+    const FuPool pool = fuPoolOf(oi.fu);
+
+    // Compound units serialize their members, so only short-latency
+    // operations may join one; a long-latency op on a loop-carried
+    // recurrence would otherwise stretch the recurrence by the whole
+    // compound's latency.
+    const bool mergeable = oi.latency <= 3;
+
+    // Merge into the open CFU if this op depends on it, shares its FU
+    // pool, and there is room (both in op count and total latency).
+    if (mergeable && curIdx_ >= 0 && curOps_ < maxOps_ &&
+        pool == curPool_ && (*out_)[curIdx_].lat + oi.latency <= 6) {
+        bool depends = false;
+        bool orderable = true;
+        for (std::int64_t d : deps) {
+            if (d == curIdx_)
+                depends = true;
+            // Merging must not create forward edges: every external
+            // dependence has to precede the open CFU.
+            if (d > curIdx_)
+                orderable = false;
+        }
+        if (depends && orderable) {
+            MInst &cfu = (*out_)[curIdx_];
+            cfu.lat = static_cast<std::uint8_t>(
+                std::min<unsigned>(cfu.lat + oi.latency, 255));
+            cfu.lanes = static_cast<std::uint8_t>(cfu.lanes + 1);
+            // External dependences of the member join the CFU.
+            for (std::int64_t d : deps) {
+                if (d >= 0 && d != curIdx_)
+                    cfu.extraDeps.push_back({d, 0});
+            }
+            ++curOps_;
+            return curIdx_;
+        }
+    }
+
+    MInst mi;
+    mi.op = Opcode::CfuOp;
+    mi.unit = unit_;
+    mi.fu = oi.fu;
+    mi.lat = oi.latency;
+    mi.lanes = 1;
+    int slot = 0;
+    for (std::int64_t d : deps) {
+        if (d < 0)
+            continue;
+        if (slot < 3)
+            mi.dep[slot++] = d;
+        else
+            mi.extraDeps.push_back({d, 0});
+    }
+    if (control_dep >= 0)
+        mi.extraDeps.push_back({control_dep, 0});
+
+    curIdx_ = static_cast<std::int64_t>(out_->size());
+    curOps_ = 1;
+    curPool_ = pool;
+    out_->push_back(std::move(mi));
+    return curIdx_;
+}
+
+std::unordered_map<StaticId, std::vector<DynId>>
+collectInstances(const Trace &trace, DynId b, DynId e)
+{
+    std::unordered_map<StaticId, std::vector<DynId>> m;
+    for (DynId i = b; i < e; ++i)
+        m[trace[i].sid].push_back(i);
+    return m;
+}
+
+} // namespace xform
+
+} // namespace prism

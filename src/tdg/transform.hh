@@ -1,0 +1,153 @@
+/**
+ * @file
+ * TDG transform framework. A BsaTransform rewrites the µDG of a
+ * loop's occurrences into the combined core+accelerator stream
+ * (paper Figure 4(d)/(e)): eliding instructions, converting opcodes,
+ * inserting synthetic operations (masks, packing, communication,
+ * configuration), and re-wiring dependence edges.
+ *
+ * Transforms are stateful across occurrences of a run (e.g. the
+ * DP-CGRA configuration cache), so one instance models one attached
+ * accelerator over one traced execution.
+ */
+
+#ifndef PRISM_TDG_TRANSFORM_HH
+#define PRISM_TDG_TRANSFORM_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "energy/area_model.hh"
+#include "tdg/analyzer.hh"
+#include "tdg/tdg.hh"
+#include "uarch/udg.hh"
+
+namespace prism
+{
+
+/** Result of transforming the occurrences of one loop. */
+struct TransformOutput
+{
+    MStream stream;
+    /** Stream index of each occurrence's first instruction. */
+    std::vector<std::size_t> occBoundaries;
+};
+
+/** Base class of all BSA models. */
+class BsaTransform
+{
+  public:
+    BsaTransform(const Tdg &tdg, const TdgAnalyzer &analyzer)
+        : tdg_(&tdg), analyzer_(&analyzer)
+    {
+    }
+    virtual ~BsaTransform() = default;
+
+    /** Which accelerator this transform models. */
+    virtual BsaKind kind() const = 0;
+
+    /** Whether this BSA can target the loop (from the analysis plan). */
+    virtual bool canTarget(std::int32_t loop) const = 0;
+
+    /**
+     * Rewrite all given occurrences of `loop` (in trace order) into
+     * one accelerated stream. Each occurrence's first instruction is
+     * marked startRegion; the harness times the stream standalone.
+     */
+    virtual TransformOutput transformLoop(
+        std::int32_t loop,
+        const std::vector<const LoopOccurrence *> &occs) = 0;
+
+    /** Reset inter-occurrence state (e.g. configuration caches). */
+    virtual void reset() {}
+
+  protected:
+    const Tdg *tdg_;
+    const TdgAnalyzer *analyzer_;
+};
+
+/** Instantiate the model for a BSA kind. */
+std::unique_ptr<BsaTransform> makeTransform(BsaKind kind, const Tdg &tdg,
+                                            const TdgAnalyzer &analyzer);
+
+// ---- Shared transform utilities ----
+
+namespace xform
+{
+
+/** Map from absolute dynamic index to output-stream index. */
+using DynToIdx = std::unordered_map<DynId, std::int64_t>;
+
+/**
+ * Append trace range [b, e) as core-context instructions, resolving
+ * register/memory dependences through (and updating) `dyn_to_idx`.
+ */
+void appendCoreInsts(const Trace &trace, DynId b, DynId e, MStream &out,
+                     DynToIdx &dyn_to_idx);
+
+/** Latest definition site per register within an emitted stream. */
+class RegDefMap
+{
+  public:
+    /** Stream index of r's latest def, or -1. */
+    std::int64_t
+    lookup(RegId r) const
+    {
+        const auto it = map_.find(r);
+        return it == map_.end() ? -1 : it->second;
+    }
+
+    void def(RegId r, std::int64_t idx) { map_[r] = idx; }
+    void clear() { map_.clear(); }
+
+  private:
+    std::unordered_map<RegId, std::int64_t> map_;
+};
+
+/**
+ * Greedy compound-functional-unit builder: merges dependent same-pool
+ * ALU/FP operations (up to `max_ops`) into single CfuOp instructions
+ * with serialized latency, as in BERET/SEED's size-based CFUs.
+ */
+class CfuBuilder
+{
+  public:
+    CfuBuilder(MStream &out, ExecUnit unit, unsigned max_ops)
+        : out_(&out), unit_(unit), maxOps_(max_ops)
+    {
+    }
+
+    /**
+     * Emit (or merge) one computational op with the given resolved
+     * dependences. Returns the stream index holding the op.
+     */
+    std::int64_t emitOp(Opcode op, const std::vector<std::int64_t> &deps,
+                        std::int64_t control_dep);
+
+    /** Forget the open group (call at block/region boundaries). */
+    void barrier() { curIdx_ = -1; }
+
+  private:
+    MStream *out_;
+    ExecUnit unit_;
+    unsigned maxOps_;
+    std::int64_t curIdx_ = -1; ///< open CFU stream index
+    unsigned curOps_ = 0;
+    FuPool curPool_ = FuPool::Alu;
+};
+
+/**
+ * Dynamic-instruction indices per static instruction within a trace
+ * range (used to re-map memory latencies onto vectorized iterations
+ * and to redirect residual-iteration dependences at elided producers).
+ */
+std::unordered_map<StaticId, std::vector<DynId>>
+collectInstances(const Trace &trace, DynId b, DynId e);
+
+} // namespace xform
+
+} // namespace prism
+
+#endif // PRISM_TDG_TRANSFORM_HH

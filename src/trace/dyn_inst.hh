@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Dynamic instruction records: the trace the TDG is constructed from.
+ *
+ * Each DynInst carries both architectural facts (opcode, operands'
+ * producing instructions, effective address, branch direction) and the
+ * embedded microarchitectural events the paper's constructor records
+ * (dynamic memory latency from the cache hierarchy, branch predictor
+ * outcome). This makes the TDG input-dependent, as in the paper.
+ */
+
+#ifndef PRISM_TRACE_DYN_INST_HH
+#define PRISM_TRACE_DYN_INST_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+#include "prog/program.hh"
+
+namespace prism
+{
+
+/** One dynamic instruction in a trace. */
+struct DynInst
+{
+    StaticId sid = kNoStatic;  ///< static instruction this executes
+    Opcode op = Opcode::Nop;   ///< cached opcode
+    std::uint8_t memSize = 0;
+
+    bool branchTaken = false;
+    bool mispredicted = false;
+
+    /** Load-use latency from the cache model (loads only). */
+    std::uint16_t memLat = 0;
+
+    Addr effAddr = 0;          ///< effective address (memory ops)
+
+    /**
+     * Producing dynamic-instruction index for each register source
+     * slot; kNoProducer when the value predates the trace window.
+     */
+    std::array<std::int64_t, 3> srcProd = {kNoProducer, kNoProducer,
+                                           kNoProducer};
+
+    /** Dynamic index of the most recent store to this load's address. */
+    std::int64_t memProd = kNoProducer;
+
+    /** Architectural result (debug / analysis aid). */
+    std::int64_t value = 0;
+};
+
+/**
+ * A full recorded execution: the dynamic instruction stream plus the
+ * program it came from. Analyses take (program, trace) pairs.
+ */
+class Trace
+{
+  public:
+    explicit Trace(const Program *prog) : prog_(prog) {}
+
+    const Program &program() const { return *prog_; }
+
+    void push(const DynInst &di) { insts_.push_back(di); }
+
+    std::size_t size() const { return insts_.size(); }
+    bool empty() const { return insts_.empty(); }
+
+    const DynInst &operator[](DynId i) const { return insts_[i]; }
+    DynInst &operator[](DynId i) { return insts_[i]; }
+
+    const std::vector<DynInst> &insts() const { return insts_; }
+
+    void reserve(std::size_t n) { insts_.reserve(n); }
+
+  private:
+    const Program *prog_;
+    std::vector<DynInst> insts_;
+};
+
+} // namespace prism
+
+#endif // PRISM_TRACE_DYN_INST_HH

@@ -1,0 +1,171 @@
+#include "trace/serialize.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+constexpr std::uint64_t kMagic = 0x5052534D54524331ull; // "PRSMTRC1"
+
+void
+writeU64(std::ostream &os, std::uint64_t v)
+{
+    char buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<char>(v >> (8 * i));
+    os.write(buf, 8);
+}
+
+std::uint64_t
+readU64(std::istream &is)
+{
+    char buf[8];
+    is.read(buf, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(buf[i]))
+             << (8 * i);
+    }
+    return v;
+}
+
+/** FNV-1a over a byte. */
+void
+mix(std::uint64_t &h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFF;
+        h *= 0x100000001B3ull;
+    }
+}
+
+struct PackedDyn
+{
+    // Fixed 64-byte record, little-endian fields.
+    std::uint64_t fields[8];
+};
+
+PackedDyn
+pack(const DynInst &di)
+{
+    PackedDyn p{};
+    p.fields[0] = (static_cast<std::uint64_t>(di.sid)) |
+                  (static_cast<std::uint64_t>(di.op) << 32) |
+                  (static_cast<std::uint64_t>(di.memSize) << 40) |
+                  (static_cast<std::uint64_t>(di.branchTaken) << 48) |
+                  (static_cast<std::uint64_t>(di.mispredicted) << 49);
+    p.fields[1] = di.memLat;
+    p.fields[2] = di.effAddr;
+    p.fields[3] = static_cast<std::uint64_t>(di.srcProd[0]);
+    p.fields[4] = static_cast<std::uint64_t>(di.srcProd[1]);
+    p.fields[5] = static_cast<std::uint64_t>(di.srcProd[2]);
+    p.fields[6] = static_cast<std::uint64_t>(di.memProd);
+    p.fields[7] = static_cast<std::uint64_t>(di.value);
+    return p;
+}
+
+DynInst
+unpack(const PackedDyn &p)
+{
+    DynInst di;
+    di.sid = static_cast<StaticId>(p.fields[0] & 0xFFFFFFFF);
+    di.op = static_cast<Opcode>((p.fields[0] >> 32) & 0xFF);
+    di.memSize =
+        static_cast<std::uint8_t>((p.fields[0] >> 40) & 0xFF);
+    di.branchTaken = (p.fields[0] >> 48) & 1;
+    di.mispredicted = (p.fields[0] >> 49) & 1;
+    di.memLat = static_cast<std::uint16_t>(p.fields[1]);
+    di.effAddr = p.fields[2];
+    di.srcProd[0] = static_cast<std::int64_t>(p.fields[3]);
+    di.srcProd[1] = static_cast<std::int64_t>(p.fields[4]);
+    di.srcProd[2] = static_cast<std::int64_t>(p.fields[5]);
+    di.memProd = static_cast<std::int64_t>(p.fields[6]);
+    di.value = static_cast<std::int64_t>(p.fields[7]);
+    return di;
+}
+
+} // namespace
+
+std::uint64_t
+programFingerprint(const Program &prog)
+{
+    prism_assert(prog.finalized(), "fingerprint needs finalization");
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    mix(h, prog.numInstrs());
+    for (StaticId s = 0; s < prog.numInstrs(); ++s) {
+        const Instr &in = prog.instr(s);
+        mix(h, static_cast<std::uint64_t>(in.op));
+        mix(h, in.dst);
+        mix(h, in.src[0]);
+        mix(h, in.src[1]);
+        mix(h, in.src[2]);
+        mix(h, static_cast<std::uint64_t>(in.imm));
+        mix(h, static_cast<std::uint64_t>(in.target));
+    }
+    return h;
+}
+
+void
+saveTrace(const Trace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    writeU64(os, kMagic);
+    writeU64(os, programFingerprint(trace.program()));
+    writeU64(os, trace.size());
+    for (DynId i = 0; i < trace.size(); ++i) {
+        const PackedDyn p = pack(trace[i]);
+        for (std::uint64_t f : p.fields)
+            writeU64(os, f);
+    }
+    if (!os)
+        fatal("short write to '%s'", path.c_str());
+}
+
+Trace
+loadTrace(const Program &prog, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open trace file '%s'", path.c_str());
+    if (readU64(is) != kMagic)
+        fatal("'%s' is not a Prism trace file", path.c_str());
+    if (readU64(is) != programFingerprint(prog)) {
+        fatal("trace '%s' was recorded from a different program",
+              path.c_str());
+    }
+    const std::uint64_t n = readU64(is);
+    Trace trace(&prog);
+    trace.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        PackedDyn p;
+        for (std::uint64_t &f : p.fields)
+            f = readU64(is);
+        if (!is)
+            fatal("truncated trace file '%s'", path.c_str());
+        trace.push(unpack(p));
+    }
+    return trace;
+}
+
+bool
+traceFileMatches(const Program &prog, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    if (readU64(is) != kMagic)
+        return false;
+    return static_cast<bool>(is) &&
+           readU64(is) == programFingerprint(prog);
+}
+
+} // namespace prism

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Trace serialization. Generating a TDG "first requires TDG
+ * generation through a conventional simulator" (paper Section 2.6);
+ * the generated trace can then be reused to explore many core and
+ * accelerator configurations. This module persists recorded traces
+ * so exploration runs skip regeneration.
+ *
+ * The format is a compact little-endian binary: a header with a
+ * program fingerprint (so a trace is never replayed against the
+ * wrong binary), then one packed record per dynamic instruction.
+ */
+
+#ifndef PRISM_TRACE_SERIALIZE_HH
+#define PRISM_TRACE_SERIALIZE_HH
+
+#include <string>
+
+#include "trace/dyn_inst.hh"
+
+namespace prism
+{
+
+/**
+ * Structural fingerprint of a program (instruction count, opcodes,
+ * operand shape). Stable across process runs; changes whenever the
+ * program's instructions change.
+ */
+std::uint64_t programFingerprint(const Program &prog);
+
+/** Write a trace to `path`; fatal on I/O failure. */
+void saveTrace(const Trace &trace, const std::string &path);
+
+/**
+ * Read a trace previously written with saveTrace. Fatal if the file
+ * is missing/corrupt or was recorded from a different program.
+ */
+Trace loadTrace(const Program &prog, const std::string &path);
+
+/** True if `path` holds a trace matching `prog` (no exceptions). */
+bool traceFileMatches(const Program &prog, const std::string &path);
+
+} // namespace prism
+
+#endif // PRISM_TRACE_SERIALIZE_HH

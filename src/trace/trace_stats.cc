@@ -1,0 +1,74 @@
+#include "trace/trace_stats.hh"
+
+#include <sstream>
+
+namespace prism
+{
+
+double
+TraceStats::mispredictRate() const
+{
+    return numBranches ? static_cast<double>(numMispredicted) /
+                             static_cast<double>(numBranches)
+                       : 0.0;
+}
+
+double
+TraceStats::branchFraction() const
+{
+    return numInsts ? static_cast<double>(numBranches) /
+                          static_cast<double>(numInsts)
+                    : 0.0;
+}
+
+double
+TraceStats::avgLoadLatency() const
+{
+    return numLoads ? static_cast<double>(numMemLatTotal) /
+                          static_cast<double>(numLoads)
+                    : 0.0;
+}
+
+std::string
+TraceStats::toString() const
+{
+    std::ostringstream os;
+    os << "insts=" << numInsts
+       << " loads=" << numLoads
+       << " stores=" << numStores
+       << " branches=" << numBranches
+       << " taken=" << numTaken
+       << " mispred=" << numMispredicted
+       << " fp=" << numFp
+       << " avgLoadLat=" << avgLoadLatency();
+    return os.str();
+}
+
+TraceStats
+computeStats(const Trace &trace)
+{
+    TraceStats s;
+    for (const DynInst &di : trace.insts()) {
+        ++s.numInsts;
+        ++s.opCounts[static_cast<std::size_t>(di.op)];
+        const OpInfo &oi = opInfo(di.op);
+        if (oi.isLoad) {
+            ++s.numLoads;
+            s.numMemLatTotal += di.memLat;
+        }
+        if (oi.isStore)
+            ++s.numStores;
+        if (oi.isCondBranch) {
+            ++s.numBranches;
+            if (di.branchTaken)
+                ++s.numTaken;
+            if (di.mispredicted)
+                ++s.numMispredicted;
+        }
+        if (oi.isFp)
+            ++s.numFp;
+    }
+    return s;
+}
+
+} // namespace prism

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Aggregate statistics over a trace: opcode mix, branch behavior,
+ * memory behavior. Used by tests, workload characterization, and the
+ * behavior-space classification of Figure 6.
+ */
+
+#ifndef PRISM_TRACE_TRACE_STATS_HH
+#define PRISM_TRACE_TRACE_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "trace/dyn_inst.hh"
+
+namespace prism
+{
+
+/** Summary statistics of a dynamic trace. */
+struct TraceStats
+{
+    std::uint64_t numInsts = 0;
+    std::uint64_t numLoads = 0;
+    std::uint64_t numStores = 0;
+    std::uint64_t numBranches = 0;      ///< conditional only
+    std::uint64_t numTaken = 0;
+    std::uint64_t numMispredicted = 0;
+    std::uint64_t numFp = 0;
+    std::uint64_t numMemLatTotal = 0;   ///< sum of load latencies
+
+    std::array<std::uint64_t, kNumOpcodes> opCounts{};
+
+    /** Fraction of conditional branches mispredicted. */
+    double mispredictRate() const;
+
+    /** Fraction of instructions that are conditional branches. */
+    double branchFraction() const;
+
+    /** Mean load-use latency. */
+    double avgLoadLatency() const;
+
+    /** Multi-line human-readable rendering. */
+    std::string toString() const;
+};
+
+/** Compute statistics over an entire trace. */
+TraceStats computeStats(const Trace &trace);
+
+} // namespace prism
+
+#endif // PRISM_TRACE_TRACE_STATS_HH

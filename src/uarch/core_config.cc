@@ -1,0 +1,123 @@
+#include "uarch/core_config.hh"
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+unsigned
+CoreConfig::fuCount(FuPool pool) const
+{
+    switch (pool) {
+      case FuPool::Alu: return numAlu;
+      case FuPool::MulDiv: return numMulDiv;
+      case FuPool::Fp: return numFp;
+      case FuPool::MemPort: return dcachePorts;
+      case FuPool::None: return 0;
+    }
+    panic("bad FU pool");
+}
+
+namespace
+{
+
+CoreConfig
+makeCore(const char *name, bool inorder, unsigned width, unsigned rob,
+         unsigned window, unsigned ports, unsigned alu, unsigned muldiv,
+         unsigned fp, unsigned frontend)
+{
+    CoreConfig c;
+    c.name = name;
+    c.inorder = inorder;
+    c.width = width;
+    c.robSize = rob;
+    c.instWindow = window;
+    c.dcachePorts = ports;
+    c.numAlu = alu;
+    c.numMulDiv = muldiv;
+    c.numFp = fp;
+    // Wider machines need deeper front-ends (more rename/steer
+    // stages), which also deepens the mispredict redirect loop.
+    c.frontendDepth = frontend;
+    c.mispredictPenalty = frontend + 4;
+    return c;
+}
+
+// Table 4, plus the 1- and 8-wide OOO points used for the paper's
+// cross-validation experiment (Section 2.5).
+const CoreConfig kIO2 =
+    makeCore("IO2", true, 2, 0, 0, 1, 2, 1, 1, 4);
+const CoreConfig kOOO1 =
+    makeCore("OOO1", false, 1, 32, 16, 1, 1, 1, 1, 4);
+const CoreConfig kOOO2 =
+    makeCore("OOO2", false, 2, 64, 32, 1, 2, 1, 1, 5);
+const CoreConfig kOOO4 =
+    makeCore("OOO4", false, 4, 168, 48, 2, 3, 2, 2, 6);
+const CoreConfig kOOO6 =
+    makeCore("OOO6", false, 6, 192, 52, 3, 4, 2, 3, 7);
+const CoreConfig kOOO8 =
+    makeCore("OOO8", false, 8, 224, 64, 4, 6, 3, 4, 8);
+
+} // namespace
+
+const CoreConfig &
+coreConfig(CoreKind kind)
+{
+    switch (kind) {
+      case CoreKind::IO2: return kIO2;
+      case CoreKind::OOO1: return kOOO1;
+      case CoreKind::OOO2: return kOOO2;
+      case CoreKind::OOO4: return kOOO4;
+      case CoreKind::OOO6: return kOOO6;
+      case CoreKind::OOO8: return kOOO8;
+    }
+    panic("bad core kind");
+}
+
+CoreKind
+coreKindFromName(const std::string &name)
+{
+    for (CoreKind k : kAllCoreKinds) {
+        if (coreConfig(k).name == name)
+            return k;
+    }
+    fatal("unknown core '%s'", name.c_str());
+}
+
+AccelParams
+dpCgraParams()
+{
+    AccelParams p;
+    p.issueWidth = 8;    // 64 FUs but dataflow-limited issue
+    p.window = 64;       // FU fabric capacity
+    p.memPorts = 0;      // memory stays on the general core
+    p.wbBusWidth = 4;    // wide vector output interface
+    p.configCycles = 64; // config cache fill
+    return p;
+}
+
+AccelParams
+nsdfParams()
+{
+    AccelParams p;
+    p.issueWidth = 6;    // distributed dataflow units
+    p.window = 128;      // operand storage
+    p.memPorts = 2;      // own cache interface
+    p.wbBusWidth = 3;    // writeback bus
+    p.configCycles = 32;
+    return p;
+}
+
+AccelParams
+tracepParams()
+{
+    AccelParams p;
+    p.issueWidth = 6;
+    p.window = 64;       // half of NS-DF's operand storage (paper 3.1)
+    p.memPorts = 2;
+    p.wbBusWidth = 3;
+    p.configCycles = 32;
+    return p;
+}
+
+} // namespace prism

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * General-purpose core configurations (paper Table 4) and accelerator
+ * hardware parameters. The common memory system: 2-way 32KiB I$ and
+ * 64KiB L1D$ (4-cycle), 8-way 2MB L2$ (22-cycle hit).
+ */
+
+#ifndef PRISM_UARCH_CORE_CONFIG_HH
+#define PRISM_UARCH_CORE_CONFIG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "isa/isa.hh"
+
+namespace prism
+{
+
+/** Identifiers for the cores studied in the paper. */
+enum class CoreKind { IO2, OOO1, OOO2, OOO4, OOO6, OOO8 };
+
+/** All core kinds in Table 4 order (plus the validation-only ones). */
+constexpr std::array<CoreKind, 6> kAllCoreKinds = {
+    CoreKind::IO2, CoreKind::OOO1, CoreKind::OOO2,
+    CoreKind::OOO4, CoreKind::OOO6, CoreKind::OOO8};
+
+/** The four cores of the design-space exploration (Table 4). */
+constexpr std::array<CoreKind, 4> kTable4Cores = {
+    CoreKind::IO2, CoreKind::OOO2, CoreKind::OOO4, CoreKind::OOO6};
+
+/** Microarchitectural parameters of a general-purpose core. */
+struct CoreConfig
+{
+    std::string name;
+    bool inorder = false;
+    unsigned width = 2;            ///< fetch/dispatch/issue/WB width
+    unsigned robSize = 64;         ///< 0 for in-order
+    unsigned instWindow = 32;      ///< scheduler entries (OOO)
+    unsigned dcachePorts = 1;
+    unsigned numAlu = 2;
+    unsigned numMulDiv = 1;
+    unsigned numFp = 1;
+    unsigned frontendDepth = 5;    ///< fetch-to-dispatch stages
+    unsigned mispredictPenalty = 8;///< redirect bubble beyond resolve
+    unsigned simdLanes = 4;        ///< 256-bit SIMD over 64-bit lanes
+
+    /** Capacity of the Table 4 FU pool. */
+    unsigned fuCount(FuPool pool) const;
+};
+
+/** The configuration for a core kind (Table 4 parameters). */
+const CoreConfig &coreConfig(CoreKind kind);
+
+/** Parse "IO2"/"OOO2"/... (fatal on unknown). */
+CoreKind coreKindFromName(const std::string &name);
+
+/** Hardware parameters of an offload/accelerator engine. */
+struct AccelParams
+{
+    unsigned issueWidth = 4;   ///< ops beginning execution per cycle
+    unsigned window = 64;      ///< operand storage / in-flight ops
+    unsigned memPorts = 1;     ///< own cache interface ports
+    unsigned wbBusWidth = 2;   ///< results written back per cycle
+    unsigned configCycles = 64;///< cost to (re)configure
+};
+
+/** DP-CGRA: 64 FUs, vector interface, config cache (paper 3.1). */
+AccelParams dpCgraParams();
+/** NS-DF: SEED-like distributed dataflow, 256 compound insts. */
+AccelParams nsdfParams();
+/** Trace-P: BERET-like trace processor with dataflow issue. */
+AccelParams tracepParams();
+
+} // namespace prism
+
+#endif // PRISM_UARCH_CORE_CONFIG_HH

@@ -1,0 +1,400 @@
+#include "uarch/pipeline_model.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hh"
+#include "uarch/resource_table.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+/** Ring of recent stream indices for width/occupancy edges. */
+class IndexRing
+{
+  public:
+    explicit IndexRing(std::size_t capacity)
+        : buf_(std::max<std::size_t>(capacity, 1),
+               std::int64_t{-1}),
+          cap_(std::max<std::size_t>(capacity, 1))
+    {
+    }
+
+    void
+    push(std::int64_t idx)
+    {
+        buf_[head_ % cap_] = idx;
+        ++head_;
+    }
+
+    /** Index pushed `back` entries ago (1 = most recent); -1 if none. */
+    std::int64_t
+    nthBack(std::size_t back) const
+    {
+        if (back == 0 || back > cap_ || back > head_)
+            return -1;
+        return buf_[(head_ - back) % cap_];
+    }
+
+  private:
+    std::vector<std::int64_t> buf_;
+    std::size_t cap_;
+    std::size_t head_ = 0;
+};
+
+struct AccelState
+{
+    explicit AccelState(const AccelParams &p)
+        : params(p), issue(p.issueWidth), memPorts(p.memPorts),
+          wbBus(p.wbBusWidth)
+    {
+    }
+
+    AccelParams params;
+    ResourceTable issue;
+    ResourceTable memPorts;
+    ResourceTable wbBus;
+
+    /**
+     * Operand-storage occupancy with out-of-order freeing: an op may
+     * enter the engine once fewer than `window` older ops are still
+     * incomplete, i.e. no earlier than the window-th largest
+     * completion time seen so far (min-heap of the largest P's).
+     */
+    std::priority_queue<Cycle, std::vector<Cycle>,
+                        std::greater<Cycle>>
+        windowTop;
+};
+
+} // namespace
+
+const char *
+bindKindName(BindKind k)
+{
+    switch (k) {
+      case BindKind::Frontend: return "frontend";
+      case BindKind::DataDep: return "data-dep";
+      case BindKind::MemDep: return "mem-dep";
+      case BindKind::Transform: return "transform-edge";
+      case BindKind::InOrder: return "in-order";
+      case BindKind::FuBusy: return "fu/port";
+      case BindKind::Window: return "window/rob";
+      case BindKind::Issue: return "accel-issue";
+      case BindKind::Region: return "region";
+      case BindKind::NumKinds: break;
+    }
+    panic("bad bind kind");
+}
+
+double
+BindProfile::fraction(BindKind k) const
+{
+    const std::uint64_t t = total();
+    return t ? static_cast<double>(
+                   counts[static_cast<std::size_t>(k)]) /
+                   static_cast<double>(t)
+             : 0.0;
+}
+
+std::uint64_t
+BindProfile::total() const
+{
+    std::uint64_t t = 0;
+    for (std::uint64_t c : counts)
+        t += c;
+    return t;
+}
+
+PipelineResult
+PipelineModel::run(const MStream &stream, bool keep_per_inst) const
+{
+    const CoreConfig &core = cfg_.core;
+    const std::size_t n = stream.size();
+
+    PipelineResult res;
+    if (n == 0)
+        return res;
+
+    std::vector<Cycle> F(n), D(n), E(n), P(n), C(n);
+
+    // Core structural resources.
+    ResourceTable fu_alu(core.numAlu);
+    ResourceTable fu_muldiv(core.numMulDiv);
+    ResourceTable fu_fp(core.numFp);
+    ResourceTable dports(core.dcachePorts);
+    auto fu_table = [&](FuClass c) -> ResourceTable & {
+        switch (fuPoolOf(c)) {
+          case FuPool::MulDiv: return fu_muldiv;
+          case FuPool::Fp: return fu_fp;
+          case FuPool::MemPort: return dports;
+          default: return fu_alu;
+        }
+    };
+
+    const std::size_t hist_cap =
+        std::max<std::size_t>({core.width, core.robSize,
+                               core.instWindow, 8}) + 1;
+    IndexRing core_hist(hist_cap);
+
+    // Issue-window (scheduler) occupancy with out-of-order entry
+    // freeing: an instruction may dispatch once fewer than
+    // `instWindow` older instructions are still waiting to issue,
+    // i.e. no earlier than the instWindow-th largest issue time seen
+    // so far. A min-heap of the largest issue times tracks that
+    // threshold.
+    std::priority_queue<Cycle, std::vector<Cycle>,
+                        std::greater<Cycle>>
+        iq_top;
+
+    AccelState cgra(cfg_.cgra);
+    AccelState nsdf(cfg_.nsdf);
+    AccelState tracep(cfg_.tracep);
+    auto accel_of = [&](ExecUnit u) -> AccelState & {
+        switch (u) {
+          case ExecUnit::Cgra: return cgra;
+          case ExecUnit::Nsdf: return nsdf;
+          case ExecUnit::Tracep: return tracep;
+          default: panic("not an accelerator unit");
+        }
+    };
+
+    Cycle last_fetch = 0;
+    Cycle pending_fetch_min = 0;
+    bool fetch_group_broken = false; // prev inst was a taken branch
+    Cycle last_core_commit = 0;
+    Cycle last_core_execute = 0; // for in-order issue
+    Cycle region_max_p = 0;      // max completion over all insts
+    Cycle total = 0;
+
+    EventCounts &ev = res.events;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const MInst &mi = stream[i];
+
+        // Gather data-dependence readiness, tracking which edge
+        // class is the latest (the critical incoming edge).
+        Cycle ready = 0;
+        BindKind ready_kind = BindKind::Frontend;
+        for (std::int64_t d : mi.dep) {
+            if (d >= 0) {
+                prism_assert(static_cast<std::size_t>(d) < i,
+                             "forward dependence in stream");
+                if (P[d] > ready) {
+                    ready = P[d];
+                    ready_kind = BindKind::DataDep;
+                }
+            }
+        }
+        if (mi.memDep >= 0 && P[mi.memDep] > ready) {
+            ready = P[mi.memDep];
+            ready_kind = BindKind::MemDep;
+        }
+        for (const ExtraDep &xd : mi.extraDeps) {
+            if (xd.idx >= 0) {
+                prism_assert(static_cast<std::size_t>(xd.idx) < i,
+                             "forward extra dependence");
+                if (P[xd.idx] + xd.lat > ready) {
+                    ready = P[xd.idx] + xd.lat;
+                    ready_kind = BindKind::Transform;
+                }
+            }
+        }
+        BindKind bind = BindKind::Frontend;
+
+        const Cycle region_bound = mi.startRegion ? region_max_p : 0;
+
+        if (mi.unit == ExecUnit::Core) {
+            // ---- Fetch ----
+            Cycle f = std::max({last_fetch, pending_fetch_min,
+                                region_bound});
+            if (fetch_group_broken)
+                f = std::max(f, last_fetch + 1);
+            const std::int64_t w_back = core_hist.nthBack(core.width);
+            if (w_back >= 0)
+                f = std::max(f, F[w_back] + 1);
+            F[i] = f;
+            last_fetch = f;
+            pending_fetch_min = 0;
+            fetch_group_broken = mi.takenBranch;
+
+            // ---- Dispatch ----
+            Cycle d = f + core.frontendDepth;
+            const std::int64_t dw = core_hist.nthBack(core.width);
+            if (dw >= 0)
+                d = std::max(d, D[dw] + 1);
+            bool d_window_bound = false;
+            if (!core.inorder) {
+                const std::int64_t rb =
+                    core_hist.nthBack(core.robSize);
+                if (rb >= 0 && C[rb] + 1 > d) {
+                    d = C[rb] + 1;
+                    d_window_bound = true;
+                }
+                if (iq_top.size() >= core.instWindow &&
+                    iq_top.top() > d) {
+                    d = iq_top.top();
+                    d_window_bound = true;
+                }
+            }
+            D[i] = d;
+
+            // ---- Execute (issue) ----
+            Cycle e = d;
+            if (d_window_bound)
+                bind = BindKind::Window;
+            if (mi.startRegion)
+                bind = BindKind::Region;
+            if (ready > e) {
+                e = ready;
+                bind = ready_kind;
+            }
+            if (core.inorder && last_core_execute > e) {
+                e = last_core_execute;
+                bind = BindKind::InOrder;
+            }
+            if (mi.fu != FuClass::None) {
+                const Cycle got = fu_table(mi.fu).acquire(e);
+                if (got > e)
+                    bind = BindKind::FuBusy;
+                e = got;
+            }
+            ++res.binding.counts[static_cast<std::size_t>(bind)];
+            E[i] = e;
+            last_core_execute = std::max(last_core_execute, e);
+            if (!core.inorder) {
+                iq_top.push(e);
+                if (iq_top.size() > core.instWindow)
+                    iq_top.pop();
+            }
+
+            // ---- Complete ----
+            const Cycle lat = mi.isLoad ? mi.memLat : mi.lat;
+            P[i] = e + std::max<Cycle>(lat, 1);
+
+            // ---- Commit ----
+            Cycle c = std::max(P[i], last_core_commit);
+            const std::int64_t cw = core_hist.nthBack(core.width);
+            if (cw >= 0)
+                c = std::max(c, C[cw] + 1);
+            C[i] = c;
+            last_core_commit = c;
+
+            if (mi.isCondBranch && mi.mispredicted) {
+                pending_fetch_min = std::max(
+                    pending_fetch_min,
+                    P[i] + core.mispredictPenalty);
+            }
+
+            core_hist.push(static_cast<std::int64_t>(i));
+
+            // ---- Events ----
+            ++ev.coreFetches;
+            ++ev.coreDispatches;
+            ++ev.coreIssues;
+            ++ev.coreCommits;
+            const OpInfo &oi = opInfo(mi.op);
+            ev.coreRegReads += oi.numSrcs;
+            if (oi.writesDst)
+                ++ev.coreRegWrites;
+            if (mi.fu != FuClass::None) {
+                ev.fuOps[static_cast<std::size_t>(ExecUnit::Core)]
+                        [fuPoolIndex(mi.fu)] += mi.lanes;
+            }
+            ++ev.unitInsts[static_cast<std::size_t>(ExecUnit::Core)];
+        } else {
+            // ---- Accelerator dataflow op ----
+            AccelState &acc = accel_of(mi.unit);
+            BindKind bind = ready_kind;
+            Cycle e = ready;
+            if (region_bound > e) {
+                e = region_bound;
+                bind = BindKind::Region;
+            }
+            if (acc.windowTop.size() >= acc.params.window &&
+                acc.windowTop.top() > e) {
+                e = acc.windowTop.top();
+                bind = BindKind::Window;
+            }
+            {
+                const Cycle got = acc.issue.acquire(e);
+                if (got > e)
+                    bind = BindKind::Issue;
+                e = got;
+            }
+            if ((mi.isLoad || mi.isStore) &&
+                acc.params.memPorts > 0) {
+                const Cycle got = acc.memPorts.acquire(e);
+                if (got > e)
+                    bind = BindKind::FuBusy;
+                e = got;
+            }
+            ++res.binding
+                  .counts[static_cast<std::size_t>(bind)];
+            E[i] = e;
+            F[i] = D[i] = e;
+
+            const Cycle lat = mi.isLoad ? mi.memLat : mi.lat;
+            Cycle p = e + std::max<Cycle>(lat, 1);
+            const OpInfo &oi = opInfo(mi.op);
+            if (oi.writesDst && acc.params.wbBusWidth > 0) {
+                p = acc.wbBus.acquire(p);
+                ++ev.accelWbBusXfers;
+            }
+            P[i] = p;
+            C[i] = p;
+            acc.windowTop.push(p);
+            if (acc.windowTop.size() > acc.params.window)
+                acc.windowTop.pop();
+
+            // ---- Events ----
+            if (mi.fu != FuClass::None) {
+                ev.fuOps[static_cast<std::size_t>(mi.unit)]
+                        [fuPoolIndex(mi.fu)] += mi.lanes;
+            }
+            ++ev.unitInsts[static_cast<std::size_t>(mi.unit)];
+            if (mi.op == Opcode::CfuOp)
+                ++ev.cfuOps;
+            if (mi.op == Opcode::DfSwitch)
+                ++ev.dfSwitches;
+            if (mi.isStore && mi.unit == ExecUnit::Tracep)
+                ++ev.storeBufWrites;
+        }
+
+        // Shared event classes.
+        switch (mi.op) {
+          case Opcode::AccelCfg: ++ev.accelConfigs; break;
+          case Opcode::AccelSend:
+          case Opcode::AccelRecv: ++ev.accelComms; break;
+          default: break;
+        }
+        if (mi.isLoad) {
+            ++ev.loads;
+            if (mi.memLat > cfg_.l1HitLatency)
+                ++ev.l2Accesses;
+            if (mi.memLat > cfg_.l1HitLatency + cfg_.l2HitLatency)
+                ++ev.memAccesses;
+        }
+        if (mi.isStore)
+            ++ev.stores;
+        if (mi.isCondBranch) {
+            ++ev.branches;
+            if (mi.mispredicted)
+                ++ev.mispredicts;
+        }
+
+        region_max_p = std::max(region_max_p, P[i]);
+        total = std::max(total, C[i]);
+    }
+
+    res.cycles = total;
+    if (keep_per_inst) {
+        res.completeAt = std::move(P);
+        res.commitAt = std::move(C);
+    }
+    return res;
+}
+
+} // namespace prism

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The µDG timing model: a streaming longest-path computation over the
+ * implicit dependence graph of an MInst stream (see udg.hh).
+ *
+ * Core-context instructions traverse Fetch/Dispatch/Execute/Complete/
+ * Commit nodes with edges for fetch/dispatch/commit width, frontend
+ * depth, ROB occupancy, issue-window occupancy, data dependences,
+ * store-to-load forwarding, FU and cache-port contention, and branch
+ * mispredict redirect — the paper's Figure 4 edge set. Accelerator-
+ * context operations traverse Execute/Complete with dataflow issue,
+ * operand-window, memory-port and writeback-bus constraints. Region
+ * boundaries serialize via MInst::startRegion.
+ */
+
+#ifndef PRISM_UARCH_PIPELINE_MODEL_HH
+#define PRISM_UARCH_PIPELINE_MODEL_HH
+
+#include <vector>
+
+#include "uarch/core_config.hh"
+#include "uarch/udg.hh"
+
+namespace prism
+{
+
+/** Full machine configuration for a timing run. */
+struct PipelineConfig
+{
+    CoreConfig core = coreConfig(CoreKind::OOO2);
+    AccelParams cgra = dpCgraParams();
+    AccelParams nsdf = nsdfParams();
+    AccelParams tracep = tracepParams();
+
+    /** Latency thresholds classifying a load as L2 / DRAM access. */
+    unsigned l1HitLatency = 4;
+    unsigned l2HitLatency = 26;
+};
+
+/**
+ * Which dependence-graph edge class determined an instruction's
+ * issue time — the per-node critical-path attribution the paper's
+ * Appendix A recommends inspecting ("examining which edges are on
+ * the critical path for some code region").
+ */
+enum class BindKind : std::uint8_t
+{
+    Frontend,  ///< fetch/dispatch pipeline (width, redirect, depth)
+    DataDep,   ///< register data dependence
+    MemDep,    ///< store-to-load dependence
+    Transform, ///< transform-added edge (pipelining, control, comm)
+    InOrder,   ///< in-order issue constraint (IO cores)
+    FuBusy,    ///< FU / cache-port contention
+    Window,    ///< issue-window or accelerator operand storage
+    Issue,     ///< accelerator issue-width contention
+    Region,    ///< region-boundary serialization
+    NumKinds,
+};
+
+/** Display name of a BindKind. */
+const char *bindKindName(BindKind k);
+
+/** Tally of binding constraints over a run. */
+struct BindProfile
+{
+    std::array<std::uint64_t, static_cast<std::size_t>(
+                                  BindKind::NumKinds)>
+        counts{};
+
+    /** Fraction of instructions bound by `k`. */
+    double fraction(BindKind k) const;
+
+    /** Total instructions profiled. */
+    std::uint64_t total() const;
+};
+
+/** Output of a timing run. */
+struct PipelineResult
+{
+    Cycle cycles = 0;            ///< total execution time
+    EventCounts events;
+
+    /** What bound each instruction's issue (always collected). */
+    BindProfile binding;
+
+    /** Per-instruction completion times (if requested). */
+    std::vector<Cycle> completeAt;
+    /** Per-instruction commit times (if requested). */
+    std::vector<Cycle> commitAt;
+
+    /** Instructions per cycle over the stream. */
+    double ipc(std::size_t num_insts) const
+    {
+        return cycles ? static_cast<double>(num_insts) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/**
+ * Runs the longest-path timing computation. Stateless between run()
+ * calls; one instance may be reused.
+ */
+class PipelineModel
+{
+  public:
+    explicit PipelineModel(const PipelineConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Time an instruction stream.
+     * @param keep_per_inst retain per-instruction complete/commit
+     *        times in the result (needed for region attribution).
+     */
+    PipelineResult run(const MStream &stream,
+                       bool keep_per_inst = false) const;
+
+    const PipelineConfig &config() const { return cfg_; }
+
+  private:
+    PipelineConfig cfg_;
+};
+
+} // namespace prism
+
+#endif // PRISM_UARCH_PIPELINE_MODEL_HH

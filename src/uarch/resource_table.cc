@@ -1,0 +1,71 @@
+#include "uarch/resource_table.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+ResourceTable::ResourceTable(unsigned capacity,
+                             std::size_t window_cycles)
+    : capacity_(capacity), window_(window_cycles),
+      mask_(window_cycles - 1), used_(window_cycles, 0)
+{
+    prism_assert((window_cycles & (window_cycles - 1)) == 0,
+                 "window must be a power of two");
+}
+
+void
+ResourceTable::slideTo(Cycle cycle)
+{
+    if (cycle < base_ + window_)
+        return;
+    const Cycle new_base = cycle - window_ / 2;
+    // Clear slots that leave the window. If the jump exceeds the
+    // window, everything is stale.
+    if (new_base - base_ >= window_) {
+        std::fill(used_.begin(), used_.end(), 0);
+    } else {
+        for (Cycle c = base_; c < new_base; ++c)
+            used_[c & mask_] = 0;
+    }
+    base_ = new_base;
+}
+
+Cycle
+ResourceTable::acquire(Cycle earliest)
+{
+    if (capacity_ == 0)
+        return earliest; // unlimited
+
+    if (earliest < base_)
+        earliest = base_;
+    slideTo(earliest);
+
+    Cycle c = earliest;
+    while (used_[c & mask_] >= capacity_) {
+        ++c;
+        slideTo(c);
+    }
+    ++used_[c & mask_];
+    return c;
+}
+
+Cycle
+ResourceTable::acquireMany(Cycle earliest, unsigned n)
+{
+    Cycle last = earliest;
+    for (unsigned i = 0; i < n; ++i)
+        last = acquire(earliest);
+    return last;
+}
+
+void
+ResourceTable::reset()
+{
+    std::fill(used_.begin(), used_.end(), 0);
+    base_ = 0;
+}
+
+} // namespace prism

@@ -1,0 +1,96 @@
+#include "uarch/udg.hh"
+
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+MInst
+MInst::core(Opcode op_)
+{
+    MInst mi;
+    mi.op = op_;
+    const OpInfo &oi = opInfo(op_);
+    mi.fu = oi.fu;
+    mi.lat = oi.latency;
+    mi.isLoad = oi.isLoad;
+    mi.isStore = oi.isStore;
+    mi.isCondBranch = oi.isCondBranch;
+    return mi;
+}
+
+EventCounts &
+EventCounts::operator+=(const EventCounts &o)
+{
+    coreFetches += o.coreFetches;
+    coreDispatches += o.coreDispatches;
+    coreIssues += o.coreIssues;
+    coreCommits += o.coreCommits;
+    coreRegReads += o.coreRegReads;
+    coreRegWrites += o.coreRegWrites;
+    for (std::size_t u = 0; u < kNumExecUnits; ++u) {
+        for (std::size_t p = 0; p < 4; ++p)
+            fuOps[u][p] += o.fuOps[u][p];
+        unitInsts[u] += o.unitInsts[u];
+    }
+    loads += o.loads;
+    stores += o.stores;
+    l2Accesses += o.l2Accesses;
+    memAccesses += o.memAccesses;
+    branches += o.branches;
+    mispredicts += o.mispredicts;
+    accelConfigs += o.accelConfigs;
+    accelComms += o.accelComms;
+    dfSwitches += o.dfSwitches;
+    cfuOps += o.cfuOps;
+    accelWbBusXfers += o.accelWbBusXfers;
+    storeBufWrites += o.storeBufWrites;
+    return *this;
+}
+
+std::vector<std::string>
+checkStream(const MStream &stream)
+{
+    std::vector<std::string> errs;
+    auto err = [&errs](std::size_t i, const char *msg) {
+        std::ostringstream os;
+        os << "inst " << i << ": " << msg;
+        errs.push_back(os.str());
+    };
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const MInst &mi = stream[i];
+        for (std::int64_t d : mi.dep) {
+            if (d >= static_cast<std::int64_t>(i))
+                err(i, "forward register dependence");
+        }
+        if (mi.memDep >= static_cast<std::int64_t>(i))
+            err(i, "forward memory dependence");
+        for (const ExtraDep &xd : mi.extraDeps) {
+            if (xd.idx >= static_cast<std::int64_t>(i))
+                err(i, "forward extra dependence");
+        }
+        if (mi.isLoad && mi.memLat == 0)
+            err(i, "load without memory latency");
+        if (mi.isLoad && mi.isStore)
+            err(i, "instruction both load and store");
+    }
+    return errs;
+}
+
+std::size_t
+fuPoolIndex(FuClass c)
+{
+    switch (fuPoolOf(c)) {
+      case FuPool::Alu: return 0;
+      case FuPool::MulDiv: return 1;
+      case FuPool::Fp: return 2;
+      case FuPool::MemPort: return 3;
+      case FuPool::None: return 0; // counted nowhere meaningful
+    }
+    panic("bad pool");
+}
+
+} // namespace prism

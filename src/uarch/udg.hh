@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The microarchitectural dependence graph (µDG) instruction stream.
+ *
+ * A modeled execution is a sequence of MInst records. Each MInst
+ * expands to pipeline-stage nodes (Fetch/Dispatch/Execute/Complete/
+ * Commit for core-context instructions; Execute/Complete for
+ * dataflow-context accelerator operations), and its fields encode the
+ * incoming dependence edges: data dependences, memory dependences,
+ * transform-added edges (extraDeps), and region-serialization bounds.
+ * The pipeline model (pipeline_model.hh) performs the longest-path
+ * timing computation over this implicit graph, honoring structural
+ * edges (width, ROB, issue window, FU/port/bus contention) from the
+ * core/accelerator configuration.
+ *
+ * TDG transforms rewrite streams of MInsts: eliding nodes, changing
+ * opcodes/latencies, and adding or removing edges — the graph
+ * re-writing of the paper's Figure 4.
+ */
+
+#ifndef PRISM_UARCH_UDG_HH
+#define PRISM_UARCH_UDG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace prism
+{
+
+/** Which execution engine an instruction runs on. */
+enum class ExecUnit : std::uint8_t
+{
+    Core,   ///< general-purpose pipeline (includes SIMD vector insts)
+    Cgra,   ///< DP-CGRA fabric op (runs concurrently with the core)
+    Nsdf,   ///< non-speculative dataflow op
+    Tracep, ///< trace-processor op
+};
+
+/** Number of ExecUnit values (for fixed-size tallies). */
+inline constexpr std::size_t kNumExecUnits = 4;
+
+/** An extra dependence edge added by a transform. */
+struct ExtraDep
+{
+    std::int64_t idx = -1;  ///< producer index within the stream
+    std::uint16_t lat = 0;  ///< edge latency in cycles
+};
+
+/** One modeled (possibly transformed) instruction. */
+struct MInst
+{
+    Opcode op = Opcode::Nop;
+    ExecUnit unit = ExecUnit::Core;
+    FuClass fu = FuClass::IntAlu;
+    std::uint8_t lat = 1;        ///< execute latency (non-memory)
+    std::uint16_t memLat = 0;    ///< dynamic load latency
+    std::uint8_t lanes = 1;      ///< vector lanes (energy/FU accounting)
+
+    bool isLoad = false;
+    bool isStore = false;
+    bool isCondBranch = false;
+    bool mispredicted = false;
+
+    /**
+     * Any taken control transfer (conditional taken, jump, call,
+     * return): ends the fetch group — cores cannot fetch across a
+     * taken branch in one cycle.
+     */
+    bool takenBranch = false;
+
+    /**
+     * Serialize against everything earlier: execution may not begin
+     * until all prior instructions complete. Set by transforms at
+     * offload-region entry/exit (the paper's "fully switch between a
+     * core and accelerator model").
+     */
+    bool startRegion = false;
+
+    /** Producing stream indices for register sources (-1 = none). */
+    std::array<std::int64_t, 3> dep = {-1, -1, -1};
+
+    /** Producing store's stream index for loads (-1 = none). */
+    std::int64_t memDep = -1;
+
+    /** Transform-added edges (pipelining, communication, ...). */
+    std::vector<ExtraDep> extraDeps;
+
+    /** Originating static instruction (kNoStatic for synthetic). */
+    StaticId sid = kNoStatic;
+
+    /** Convenience: construct a core-context instruction. */
+    static MInst core(Opcode op);
+};
+
+/** A modeled instruction stream (one window or one whole run). */
+using MStream = std::vector<MInst>;
+
+/**
+ * Energy-relevant event tallies accumulated by the pipeline model;
+ * consumed by the McPAT-like energy model.
+ */
+struct EventCounts
+{
+    // Core front-end / back-end
+    std::uint64_t coreFetches = 0;
+    std::uint64_t coreDispatches = 0;   ///< rename+ROB+IQ writes
+    std::uint64_t coreIssues = 0;
+    std::uint64_t coreCommits = 0;
+    std::uint64_t coreRegReads = 0;
+    std::uint64_t coreRegWrites = 0;
+
+    // Functional-unit work, by pool, attributed per execution unit.
+    std::array<std::array<std::uint64_t, 4>, kNumExecUnits> fuOps{};
+
+    // Memory
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t l2Accesses = 0;        ///< approximated from latency
+    std::uint64_t memAccesses = 0;       ///< DRAM accesses (approx.)
+
+    // Control
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+
+    // Accelerator-specific
+    std::uint64_t accelConfigs = 0;
+    std::uint64_t accelComms = 0;        ///< send/recv transfers
+    std::uint64_t dfSwitches = 0;
+    std::uint64_t cfuOps = 0;
+    std::uint64_t accelWbBusXfers = 0;
+    std::uint64_t storeBufWrites = 0;    ///< Trace-P versioned stores
+
+    // Per-unit instruction counts (cycle attribution uses these too).
+    std::array<std::uint64_t, kNumExecUnits> unitInsts{};
+
+    /** Element-wise accumulate. */
+    EventCounts &operator+=(const EventCounts &o);
+};
+
+/** Tally of FU-pool index for an FuClass (0..3). */
+std::size_t fuPoolIndex(FuClass c);
+
+/**
+ * Structural validation of a stream: all dependence indices must
+ * point strictly backwards and loads must carry a latency. Returns
+ * human-readable violations (empty = valid). Transform outputs are
+ * checked with this in tests.
+ */
+std::vector<std::string> checkStream(const MStream &stream);
+
+} // namespace prism
+
+#endif // PRISM_UARCH_UDG_HH

@@ -1,0 +1,99 @@
+#include "workloads/kernel_util.hh"
+
+namespace prism
+{
+
+void
+countedLoop(FunctionBuilder &f, std::int64_t start, std::int64_t end,
+            std::int64_t step, const std::function<void(RegId)> &body)
+{
+    const RegId start_r = f.movi(start);
+    const RegId end_r = f.movi(end);
+    countedLoopR(f, start_r, end_r, step, body);
+}
+
+void
+countedLoopR(FunctionBuilder &f, RegId start, RegId end,
+             std::int64_t step, const std::function<void(RegId)> &body)
+{
+    const RegId i = f.reg();
+    f.movTo(i, start);
+    const RegId step_r = f.movi(step);
+    const std::int32_t loop_b = f.newBlock();
+    const std::int32_t exit_b = f.newBlock();
+    f.jmp(loop_b);
+    f.setBlock(loop_b);
+    body(i);
+    f.addTo(i, i, step_r);
+    const RegId c = f.cmplt(i, end);
+    f.br(c, loop_b, exit_b);
+    f.setBlock(exit_b);
+}
+
+void
+ifElse(FunctionBuilder &f, RegId cond,
+       const std::function<void()> &then_fn,
+       const std::function<void()> &else_fn)
+{
+    const std::int32_t then_b = f.newBlock();
+    const std::int32_t merge_b = f.newBlock();
+    if (else_fn) {
+        const std::int32_t else_b = f.newBlock();
+        f.br(cond, then_b, else_b);
+        f.setBlock(else_b);
+        else_fn();
+        f.jmp(merge_b);
+    } else {
+        f.br(cond, then_b, merge_b);
+    }
+    f.setBlock(then_b);
+    then_fn();
+    f.jmp(merge_b);
+    f.setBlock(merge_b);
+}
+
+void
+whileLoop(FunctionBuilder &f, const std::function<RegId()> &cond_fn,
+          const std::function<void()> &body)
+{
+    const std::int32_t head_b = f.newBlock();
+    const std::int32_t body_b = f.newBlock();
+    const std::int32_t exit_b = f.newBlock();
+    f.jmp(head_b);
+    f.setBlock(head_b);
+    const RegId c = cond_fn();
+    f.br(c, body_b, exit_b);
+    f.setBlock(body_b);
+    body();
+    f.jmp(head_b);
+    f.setBlock(exit_b);
+}
+
+void
+fillF64(SimMemory &mem, Addr base, std::size_t n, Rng &rng, double lo,
+        double hi)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        mem.writeF64(base + i * 8, lo + rng.uniform() * (hi - lo));
+}
+
+void
+fillI64(SimMemory &mem, Addr base, std::size_t n, Rng &rng,
+        std::int64_t lo, std::int64_t hi)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        mem.writeI64(base + i * 8, rng.range(lo, hi));
+}
+
+void
+fillSortedI64(SimMemory &mem, Addr base, std::size_t n, Rng &rng,
+              std::int64_t lo, std::int64_t max_gap)
+{
+    std::int64_t v = lo;
+    for (std::size_t i = 0; i < n; ++i) {
+        v += rng.range(0, max_gap);
+        mem.writeI64(base + i * 8, v);
+    }
+}
+
+} // namespace prism

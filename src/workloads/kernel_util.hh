@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Helpers for writing workload kernels against the guest ISA:
+ * structured loop/conditional emission and input-data staging.
+ */
+
+#ifndef PRISM_WORKLOADS_KERNEL_UTIL_HH
+#define PRISM_WORKLOADS_KERNEL_UTIL_HH
+
+#include <functional>
+
+#include "common/rng.hh"
+#include "prog/builder.hh"
+#include "sim/memory.hh"
+
+namespace prism
+{
+
+/**
+ * Emit a do-while counted loop:
+ *   for (i = start; i < end; i += step) body(i)
+ * The body may create internal control flow; the induction update and
+ * back edge are appended to whatever block the body ends in. Requires
+ * end > start (executes at least once).
+ */
+void countedLoop(FunctionBuilder &f, std::int64_t start,
+                 std::int64_t end, std::int64_t step,
+                 const std::function<void(RegId)> &body);
+
+/** Counted loop with register bounds (still do-while form). */
+void countedLoopR(FunctionBuilder &f, RegId start, RegId end,
+                  std::int64_t step,
+                  const std::function<void(RegId)> &body);
+
+/**
+ * Emit if/else with a merge block. Values assigned inside the arms
+ * must go through caller-allocated registers (movTo/addTo etc.).
+ */
+void ifElse(FunctionBuilder &f, RegId cond,
+            const std::function<void()> &then_fn,
+            const std::function<void()> &else_fn = {});
+
+/**
+ * Emit a while loop: while (cond_fn() != 0) body(). The condition is
+ * evaluated in the header; cond_fn must emit the computation and
+ * return the condition register.
+ */
+void whileLoop(FunctionBuilder &f,
+               const std::function<RegId()> &cond_fn,
+               const std::function<void()> &body);
+
+/** Bump allocator for staging guest arrays. */
+class Arena
+{
+  public:
+    explicit Arena(Addr base = 0x10000) : next_(base) {}
+
+    Addr
+    alloc(std::uint64_t bytes, std::uint64_t align = 64)
+    {
+        next_ = (next_ + align - 1) & ~(align - 1);
+        const Addr a = next_;
+        next_ += bytes;
+        return a;
+    }
+
+  private:
+    Addr next_;
+};
+
+/** Fill guest memory with n random doubles in [lo, hi). */
+void fillF64(SimMemory &mem, Addr base, std::size_t n, Rng &rng,
+             double lo = 0.0, double hi = 1.0);
+
+/** Fill guest memory with n random int64s in [lo, hi]. */
+void fillI64(SimMemory &mem, Addr base, std::size_t n, Rng &rng,
+             std::int64_t lo, std::int64_t hi);
+
+/** Fill guest memory with n sorted random int64s starting at lo. */
+void fillSortedI64(SimMemory &mem, Addr base, std::size_t n, Rng &rng,
+                   std::int64_t lo, std::int64_t max_gap);
+
+} // namespace prism
+
+#endif // PRISM_WORKLOADS_KERNEL_UTIL_HH

@@ -1,0 +1,419 @@
+/**
+ * @file
+ * Mediabench analogues (paper Table 3, "semi-regular"). Media codecs
+ * are multi-phase: a transform phase (DCT-like, data-parallel), a
+ * quantization phase (predicated integer math), an entropy phase
+ * (bit-twiddling with data-dependent control), prediction/SAD phases
+ * (integer data-parallel with reductions) and filter phases with
+ * true recurrences (GSM's LPC). Each benchmark composes these with
+ * its own mix, so different loops of one application prefer
+ * different BSAs — the within-application affinity the paper's
+ * Figures 13-15 study.
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/kernel_util.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+/** DCT-like phase: 8-wide butterflies over `blocks` blocks. */
+void
+emitDct(FunctionBuilder &f, RegId in_b, RegId out_b,
+        std::int64_t blocks)
+{
+    const RegId blksz = f.movi(64); // 8 doubles
+    const RegId c0 = f.fmovi(0.70710678);
+    const RegId c1 = f.fmovi(0.38268343);
+    countedLoop(f, 0, blocks, 1, [&](RegId b) {
+        const RegId po = f.add(in_b, f.mul(b, blksz));
+        const RegId qo = f.add(out_b, f.mul(b, blksz));
+        std::vector<RegId> x;
+        for (int k = 0; k < 8; ++k)
+            x.push_back(f.ld(po, k * 8));
+        for (int k = 0; k < 4; ++k) {
+            const RegId s = f.fadd(x[k], x[7 - k]);
+            const RegId d = f.fsub(x[k], x[7 - k]);
+            const RegId t0 = f.fma(s, c0, f.fmul(d, c1));
+            const RegId t1 = f.fsub(f.fmul(s, c1),
+                                    f.fmul(d, c0));
+            f.st(qo, k * 8, t0);
+            f.st(qo, (7 - k) * 8, t1);
+        }
+    });
+}
+
+/** Quantization phase: divide, clamp via select. */
+void
+emitQuant(FunctionBuilder &f, RegId in_b, RegId out_b, std::int64_t n)
+{
+    const RegId eight = f.movi(8);
+    const RegId qstep = f.movi(13);
+    const RegId maxq = f.movi(255);
+    const RegId minq = f.movi(-255);
+    countedLoop(f, 0, n, 1, [&](RegId i) {
+        const RegId off = f.mul(i, eight);
+        const RegId v = f.ld(f.add(in_b, off), 0);
+        const RegId q = f.div(v, qstep);
+        const RegId hi = f.cmplt(maxq, q);
+        const RegId q1 = f.sel(hi, maxq, q);
+        const RegId lo = f.cmplt(q1, minq);
+        const RegId q2 = f.sel(lo, minq, q1);
+        f.st(f.add(out_b, off), 0, q2);
+    });
+}
+
+/**
+ * Entropy/VLC phase: per-symbol bit emission with value-dependent
+ * branches (irregular control; defeats vectorization).
+ */
+void
+emitVlc(FunctionBuilder &f, RegId in_b, RegId out_b, std::int64_t n)
+{
+    const RegId eight = f.movi(8);
+    const RegId zero = f.movi(0);
+    const RegId one = f.movi(1);
+    const RegId bits = f.reg();
+    const RegId word = f.reg();
+    const RegId outpos = f.reg();
+    f.moviTo(bits, 0);
+    f.moviTo(word, 0);
+    f.moviTo(outpos, 0);
+    const RegId sixteen = f.movi(16);
+    countedLoop(f, 0, n, 1, [&](RegId i) {
+        const RegId v = f.ld(f.add(in_b, f.mul(i, eight)), 0);
+        const RegId isz = f.cmpeq(v, zero);
+        ifElse(
+            f, isz,
+            [&]() {
+                // Zero-run: 1 bit.
+                f.addTo(bits, bits, one);
+            },
+            [&]() {
+                // Magnitude-dependent length: 4 or 9 bits.
+                const RegId neg = f.cmplt(v, zero);
+                const RegId mag = f.sel(neg, f.sub(zero, v), v);
+                const RegId big = f.cmplt(sixteen, mag);
+                ifElse(
+                    f, big,
+                    [&]() {
+                        f.addTo(bits, bits, f.movi(9));
+                        f.addTo(word, word,
+                                f.shl(mag, f.movi(3)));
+                    },
+                    [&]() {
+                        f.addTo(bits, bits, f.movi(4));
+                        f.addTo(word, word, mag);
+                    });
+            });
+        // Flush a 16-bit word when full.
+        const RegId full = f.cmplt(sixteen, bits);
+        ifElse(f, full, [&]() {
+            f.st(f.add(out_b, f.mul(outpos, eight)), 0, word);
+            f.addTo(outpos, outpos, one);
+            f.moviTo(word, 0);
+            f.moviTo(bits, 0);
+        });
+    });
+}
+
+/** Motion/SAD phase: integer absolute-difference reduction. */
+void
+emitSad(FunctionBuilder &f, RegId a_b, RegId b_b, RegId out_b,
+        std::int64_t blocks)
+{
+    const RegId blksz = f.movi(16 * 8);
+    const RegId eight = f.movi(8);
+    const RegId zero = f.movi(0);
+    countedLoop(f, 0, blocks, 1, [&](RegId b) {
+        const RegId po = f.add(a_b, f.mul(b, blksz));
+        const RegId qo = f.add(b_b, f.mul(b, blksz));
+        RegId acc = f.movi(0);
+        for (int k = 0; k < 16; ++k) {
+            const RegId x = f.ld(po, k * 8);
+            const RegId y = f.ld(qo, k * 8);
+            const RegId d = f.sub(x, y);
+            const RegId neg = f.cmplt(d, zero);
+            acc = f.add(acc, f.sel(neg, f.sub(zero, d), d));
+        }
+        f.st(f.add(out_b, f.mul(b, eight)), 0, acc);
+    });
+}
+
+/** LPC/IIR filter phase: a true loop-carried FP recurrence. */
+void
+emitLpc(FunctionBuilder &f, RegId in_b, RegId out_b, std::int64_t n)
+{
+    const RegId eight = f.movi(8);
+    const RegId a1 = f.fmovi(0.6);
+    const RegId a2 = f.fmovi(-0.2);
+    const RegId s1 = f.reg();
+    const RegId s2 = f.reg();
+    f.fmoviTo(s1, 0.0);
+    f.fmoviTo(s2, 0.0);
+    countedLoop(f, 0, n, 1, [&](RegId i) {
+        const RegId off = f.mul(i, eight);
+        const RegId x = f.ld(f.add(in_b, off), 0);
+        const RegId y = f.fadd(x, f.fma(s1, a1, f.fmul(s2, a2)));
+        f.st(f.add(out_b, off), 0, y);
+        f.movTo(s2, s1);
+        f.movTo(s1, y);
+    });
+}
+
+/** Upsample/interpolation phase: regular averaging. */
+void
+emitInterp(FunctionBuilder &f, RegId in_b, RegId out_b,
+           std::int64_t n)
+{
+    const RegId eight = f.movi(8);
+    const RegId half = f.fmovi(0.5);
+    countedLoop(f, 0, n - 1, 1, [&](RegId i) {
+        const RegId off = f.mul(i, eight);
+        const RegId p = f.add(in_b, off);
+        const RegId x0 = f.ld(p, 0);
+        const RegId x1 = f.ld(p, 8);
+        const RegId m = f.fmul(f.fadd(x0, x1), half);
+        f.st(f.add(out_b, off), 0, m);
+    });
+}
+
+/** Shared staging: several numbered buffers. */
+struct MediaBufs
+{
+    Addr buf[6];
+    explicit MediaBufs(Arena &arena, std::int64_t elems)
+    {
+        for (auto &b : buf)
+            b = arena.alloc(elems * 8);
+    }
+};
+
+using Phase = void (*)(FunctionBuilder &, const MediaBufs &,
+                       const std::vector<RegId> &);
+
+/** Common kernel skeleton: stage data, run `frames` outer passes. */
+template <typename EmitBody>
+void
+mediaKernel(ProgramBuilder &pb, SimMemory &mem,
+            std::vector<std::int64_t> &args, std::uint64_t seed,
+            std::int64_t elems, std::int64_t frames,
+            EmitBody emit_body)
+{
+    Rng rng(seed);
+    Arena arena;
+    MediaBufs bufs(arena, elems);
+    fillF64(mem, bufs.buf[0], elems, rng, -1.0, 1.0);
+    fillI64(mem, bufs.buf[1], elems, rng, -40, 40);
+    fillI64(mem, bufs.buf[2], elems, rng, 0, 255);
+    fillF64(mem, bufs.buf[3], elems, rng, -1.0, 1.0);
+
+    auto &f = pb.func("main", 3);
+    const RegId b0 = f.arg(0);
+    const RegId b1 = f.arg(1);
+    const RegId b2 = f.arg(2);
+    // Remaining buffers as immediates.
+    const RegId b3 = f.movi(static_cast<std::int64_t>(bufs.buf[3]));
+    const RegId b4 = f.movi(static_cast<std::int64_t>(bufs.buf[4]));
+    const RegId b5 = f.movi(static_cast<std::int64_t>(bufs.buf[5]));
+    std::vector<RegId> bregs = {b0, b1, b2, b3, b4, b5};
+
+    countedLoop(f, 0, frames, 1,
+                [&](RegId) { emit_body(f, bregs); });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(bufs.buf[0]),
+            static_cast<std::int64_t>(bufs.buf[1]),
+            static_cast<std::int64_t>(bufs.buf[2])};
+}
+
+// --- Benchmarks: each composes phases with its own mix. ---
+
+void
+buildCjpeg(ProgramBuilder &pb, SimMemory &mem,
+           std::vector<std::int64_t> &args)
+{
+    mediaKernel(pb, mem, args, 5001, 2048, 6,
+                [](FunctionBuilder &f, const std::vector<RegId> &b) {
+                    emitDct(f, b[0], b[3], 128);
+                    emitQuant(f, b[1], b[4], 768);
+                    emitVlc(f, b[4], b[5], 512);
+                });
+}
+
+void
+buildDjpeg(ProgramBuilder &pb, SimMemory &mem,
+           std::vector<std::int64_t> &args)
+{
+    mediaKernel(pb, mem, args, 5002, 2048, 6,
+                [](FunctionBuilder &f, const std::vector<RegId> &b) {
+                    emitVlc(f, b[1], b[5], 400);
+                    emitDct(f, b[0], b[3], 128); // IDCT-like
+                    emitInterp(f, b[3], b[4], 1024);
+                });
+}
+
+void
+buildGsmdecode(ProgramBuilder &pb, SimMemory &mem,
+               std::vector<std::int64_t> &args)
+{
+    mediaKernel(pb, mem, args, 5003, 2048, 8,
+                [](FunctionBuilder &f, const std::vector<RegId> &b) {
+                    emitLpc(f, b[0], b[3], 1200);
+                    emitInterp(f, b[3], b[4], 800);
+                });
+}
+
+void
+buildGsmencode(ProgramBuilder &pb, SimMemory &mem,
+               std::vector<std::int64_t> &args)
+{
+    mediaKernel(pb, mem, args, 5004, 2048, 8,
+                [](FunctionBuilder &f, const std::vector<RegId> &b) {
+                    emitLpc(f, b[0], b[3], 1000);
+                    emitQuant(f, b[1], b[4], 900);
+                    emitVlc(f, b[4], b[5], 300);
+                });
+}
+
+void
+buildCjpeg2(ProgramBuilder &pb, SimMemory &mem,
+            std::vector<std::int64_t> &args)
+{
+    mediaKernel(pb, mem, args, 5005, 3072, 5,
+                [](FunctionBuilder &f, const std::vector<RegId> &b) {
+                    emitDct(f, b[0], b[3], 192);
+                    emitDct(f, b[3], b[4], 192); // second pass
+                    emitQuant(f, b[1], b[5], 1024);
+                    emitVlc(f, b[5], b[4], 640);
+                });
+}
+
+void
+buildDjpeg2(ProgramBuilder &pb, SimMemory &mem,
+            std::vector<std::int64_t> &args)
+{
+    mediaKernel(pb, mem, args, 5006, 3072, 5,
+                [](FunctionBuilder &f, const std::vector<RegId> &b) {
+                    emitVlc(f, b[1], b[5], 500);
+                    emitDct(f, b[0], b[3], 160);
+                    emitInterp(f, b[3], b[4], 1500);
+                    emitInterp(f, b[4], b[5], 1500);
+                });
+}
+
+void
+buildH263enc(ProgramBuilder &pb, SimMemory &mem,
+             std::vector<std::int64_t> &args)
+{
+    mediaKernel(pb, mem, args, 5007, 4096, 4,
+                [](FunctionBuilder &f, const std::vector<RegId> &b) {
+                    emitSad(f, b[1], b[2], b[4], 200);
+                    emitDct(f, b[0], b[3], 128);
+                    emitQuant(f, b[4], b[5], 600);
+                    emitVlc(f, b[5], b[4], 320);
+                });
+}
+
+void
+buildH264dec(ProgramBuilder &pb, SimMemory &mem,
+             std::vector<std::int64_t> &args)
+{
+    mediaKernel(pb, mem, args, 5008, 4096, 4,
+                [](FunctionBuilder &f, const std::vector<RegId> &b) {
+                    emitVlc(f, b[1], b[5], 700);  // CABAC-ish
+                    emitInterp(f, b[0], b[3], 1600); // MC filter
+                    emitDct(f, b[3], b[4], 96);   // inverse xform
+                });
+}
+
+void
+buildJpg2000dec(ProgramBuilder &pb, SimMemory &mem,
+                std::vector<std::int64_t> &args)
+{
+    mediaKernel(pb, mem, args, 5009, 4096, 4,
+                [](FunctionBuilder &f, const std::vector<RegId> &b) {
+                    emitVlc(f, b[1], b[5], 400);
+                    // Wavelet lifting ~ interp passes.
+                    emitInterp(f, b[0], b[3], 1800);
+                    emitInterp(f, b[3], b[4], 1800);
+                });
+}
+
+void
+buildJpg2000enc(ProgramBuilder &pb, SimMemory &mem,
+                std::vector<std::int64_t> &args)
+{
+    mediaKernel(pb, mem, args, 5010, 4096, 4,
+                [](FunctionBuilder &f, const std::vector<RegId> &b) {
+                    emitInterp(f, b[0], b[3], 1800);
+                    emitInterp(f, b[3], b[4], 1800);
+                    emitQuant(f, b[1], b[5], 1000);
+                    emitVlc(f, b[5], b[4], 500);
+                });
+}
+
+void
+buildMpeg2dec(ProgramBuilder &pb, SimMemory &mem,
+              std::vector<std::int64_t> &args)
+{
+    mediaKernel(pb, mem, args, 5011, 4096, 4,
+                [](FunctionBuilder &f, const std::vector<RegId> &b) {
+                    emitVlc(f, b[1], b[5], 350);
+                    emitDct(f, b[0], b[3], 144);
+                    emitInterp(f, b[3], b[4], 1200);
+                });
+}
+
+void
+buildMpeg2enc(ProgramBuilder &pb, SimMemory &mem,
+              std::vector<std::int64_t> &args)
+{
+    mediaKernel(pb, mem, args, 5012, 4096, 4,
+                [](FunctionBuilder &f, const std::vector<RegId> &b) {
+                    emitSad(f, b[1], b[2], b[4], 260);
+                    emitDct(f, b[0], b[3], 144);
+                    emitQuant(f, b[4], b[5], 800);
+                    emitVlc(f, b[5], b[4], 400);
+                });
+}
+
+const std::vector<WorkloadSpec> kMediabench = {
+    {"cjpeg-1", "Mediabench", SuiteClass::SemiRegular, buildCjpeg,
+     400'000},
+    {"djpeg-1", "Mediabench", SuiteClass::SemiRegular, buildDjpeg,
+     400'000},
+    {"gsmdecode", "Mediabench", SuiteClass::SemiRegular,
+     buildGsmdecode, 350'000},
+    {"gsmencode", "Mediabench", SuiteClass::SemiRegular,
+     buildGsmencode, 350'000},
+    {"cjpeg-2", "Mediabench", SuiteClass::SemiRegular, buildCjpeg2,
+     400'000},
+    {"djpeg-2", "Mediabench", SuiteClass::SemiRegular, buildDjpeg2,
+     400'000},
+    {"h263enc", "Mediabench", SuiteClass::SemiRegular, buildH263enc,
+     400'000},
+    {"h264dec", "Mediabench", SuiteClass::SemiRegular, buildH264dec,
+     400'000},
+    {"jpg2000dec", "Mediabench", SuiteClass::SemiRegular,
+     buildJpg2000dec, 400'000},
+    {"jpg2000enc", "Mediabench", SuiteClass::SemiRegular,
+     buildJpg2000enc, 400'000},
+    {"mpeg2dec", "Mediabench", SuiteClass::SemiRegular,
+     buildMpeg2dec, 400'000},
+    {"mpeg2enc", "Mediabench", SuiteClass::SemiRegular,
+     buildMpeg2enc, 400'000},
+};
+
+} // namespace
+
+std::span<const WorkloadSpec>
+mediabenchWorkloads()
+{
+    return kMediabench;
+}
+
+} // namespace prism

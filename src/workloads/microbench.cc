@@ -1,0 +1,235 @@
+/**
+ * @file
+ * "Vertical" microbenchmarks (paper Section 2.5): small kernels each
+ * stressing one microarchitectural axis — ILP extremes, memory
+ * behavior extremes, branch-predictability extremes, FP mixes, and
+ * call-heavy code. Used for the OOO1<->OOO8 cross-validation of the
+ * µDG core model against the discrete-event reference simulator.
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/kernel_util.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+void
+buildIlpChain(ProgramBuilder &pb, SimMemory &mem,
+              std::vector<std::int64_t> &args)
+{
+    (void)mem;
+    auto &f = pb.func("main", 0);
+    const RegId acc = f.reg();
+    f.moviTo(acc, 1);
+    const RegId three = f.movi(3);
+    countedLoop(f, 0, 12000, 1, [&](RegId) {
+        // Serial multiply chain: ILP ~= 1/3.
+        f.mulTo(acc, acc, three);
+        f.addTo(acc, acc, three);
+        f.mulTo(acc, acc, three);
+    });
+    f.ret(acc);
+    args = {};
+}
+
+void
+buildIlpWide(ProgramBuilder &pb, SimMemory &mem,
+             std::vector<std::int64_t> &args)
+{
+    (void)mem;
+    auto &f = pb.func("main", 0);
+    std::vector<RegId> accs;
+    for (int k = 0; k < 8; ++k) {
+        accs.push_back(f.reg());
+        f.moviTo(accs[k], k);
+    }
+    const RegId one = f.movi(1);
+    countedLoop(f, 0, 9000, 1, [&](RegId) {
+        for (int k = 0; k < 8; ++k)
+            f.addTo(accs[k], accs[k], one);
+    });
+    f.ret(accs[0]);
+    args = {};
+}
+
+void
+buildMemStream(ProgramBuilder &pb, SimMemory &mem,
+               std::vector<std::int64_t> &args)
+{
+    Rng rng(7003);
+    Arena arena;
+    const std::int64_t n = 24000;
+    const Addr a = arena.alloc(n * 8);
+    const Addr b = arena.alloc(n * 8);
+    fillI64(mem, a, n, rng, 0, 100);
+
+    auto &f = pb.func("main", 2);
+    const RegId a_b = f.arg(0);
+    const RegId b_b = f.arg(1);
+    const RegId eight = f.movi(8);
+    countedLoop(f, 0, n, 1, [&](RegId i) {
+        const RegId off = f.mul(i, eight);
+        const RegId v = f.ld(f.add(a_b, off), 0);
+        f.st(f.add(b_b, off), 0, f.add(v, v));
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(a),
+            static_cast<std::int64_t>(b)};
+}
+
+void
+buildMemRandom(ProgramBuilder &pb, SimMemory &mem,
+               std::vector<std::int64_t> &args)
+{
+    Rng rng(7004);
+    Arena arena;
+    const std::int64_t n = 1 << 18; // 2 MB, larger than L2's sets
+    const Addr a = arena.alloc(n * 8);
+    const Addr idx = arena.alloc(12000 * 8);
+    fillI64(mem, idx, 12000, rng, 0, n - 1);
+
+    auto &f = pb.func("main", 2);
+    const RegId a_b = f.arg(0);
+    const RegId i_b = f.arg(1);
+    const RegId eight = f.movi(8);
+    const RegId acc = f.reg();
+    f.moviTo(acc, 0);
+    countedLoop(f, 0, 12000, 1, [&](RegId i) {
+        const RegId k =
+            f.ld(f.add(i_b, f.mul(i, eight)), 0);
+        const RegId v =
+            f.ld(f.add(a_b, f.mul(k, eight)), 0);
+        f.addTo(acc, acc, v);
+    });
+    f.ret(acc);
+    args = {static_cast<std::int64_t>(a),
+            static_cast<std::int64_t>(idx)};
+}
+
+void
+buildBranchPred(ProgramBuilder &pb, SimMemory &mem,
+                std::vector<std::int64_t> &args)
+{
+    (void)mem;
+    auto &f = pb.func("main", 0);
+    const RegId acc = f.reg();
+    f.moviTo(acc, 0);
+    const RegId one = f.movi(1);
+    const RegId seven = f.movi(7);
+    countedLoop(f, 0, 20000, 1, [&](RegId i) {
+        // Periodic pattern: easily learned by gshare.
+        const RegId c = f.cmpeq(f.and_(i, seven), seven);
+        ifElse(f, c, [&]() { f.addTo(acc, acc, one); });
+    });
+    f.ret(acc);
+    args = {};
+}
+
+void
+buildBranchRand(ProgramBuilder &pb, SimMemory &mem,
+                std::vector<std::int64_t> &args)
+{
+    Rng rng(7006);
+    Arena arena;
+    const std::int64_t n = 20000;
+    const Addr bits = arena.alloc(n * 8);
+    fillI64(mem, bits, n, rng, 0, 1);
+
+    auto &f = pb.func("main", 1);
+    const RegId b_b = f.arg(0);
+    const RegId eight = f.movi(8);
+    const RegId acc = f.reg();
+    f.moviTo(acc, 0);
+    const RegId one = f.movi(1);
+    countedLoop(f, 0, n, 1, [&](RegId i) {
+        const RegId v =
+            f.ld(f.add(b_b, f.mul(i, eight)), 0);
+        ifElse(
+            f, v, [&]() { f.addTo(acc, acc, one); },
+            [&]() { f.addTo(acc, acc, f.movi(2)); });
+    });
+    f.ret(acc);
+    args = {static_cast<std::int64_t>(bits)};
+}
+
+void
+buildFpMix(ProgramBuilder &pb, SimMemory &mem,
+           std::vector<std::int64_t> &args)
+{
+    Rng rng(7007);
+    Arena arena;
+    const std::int64_t n = 8000;
+    const Addr a = arena.alloc(n * 8);
+    fillF64(mem, a, n, rng, 0.5, 2.0);
+
+    auto &f = pb.func("main", 1);
+    const RegId a_b = f.arg(0);
+    const RegId eight = f.movi(8);
+    const RegId acc = f.reg();
+    f.fmoviTo(acc, 1.0);
+    countedLoop(f, 0, n, 1, [&](RegId i) {
+        const RegId v =
+            f.ld(f.add(a_b, f.mul(i, eight)), 0);
+        const RegId s = f.fsqrt(v);
+        const RegId d = f.fdiv(v, f.fadd(s, f.fmovi(0.1)));
+        f.faddTo(acc, acc, d);
+    });
+    f.ret(acc);
+    args = {static_cast<std::int64_t>(a)};
+}
+
+void
+buildCalls(ProgramBuilder &pb, SimMemory &mem,
+           std::vector<std::int64_t> &args)
+{
+    (void)mem;
+    auto &leaf = pb.func("leaf", 2);
+    {
+        const RegId a = leaf.arg(0);
+        const RegId b = leaf.arg(1);
+        const RegId s = leaf.add(a, b);
+        const RegId t = leaf.mul(s, leaf.movi(3));
+        leaf.ret(t);
+    }
+    auto &f = pb.func("main", 0);
+    const RegId acc = f.reg();
+    f.moviTo(acc, 0);
+    countedLoop(f, 0, 8000, 1, [&](RegId i) {
+        const RegId r = f.call(leaf.id(), {acc, i});
+        f.movTo(acc, r);
+    });
+    f.ret(acc);
+    args = {};
+}
+
+const std::vector<WorkloadSpec> kMicro = {
+    {"ilp-chain", "vertical", SuiteClass::Regular, buildIlpChain,
+     120'000},
+    {"ilp-wide", "vertical", SuiteClass::Regular, buildIlpWide,
+     150'000},
+    {"mem-stream", "vertical", SuiteClass::Regular, buildMemStream,
+     200'000},
+    {"mem-random", "vertical", SuiteClass::Irregular, buildMemRandom,
+     120'000},
+    {"branch-pred", "vertical", SuiteClass::Regular, buildBranchPred,
+     200'000},
+    {"branch-rand", "vertical", SuiteClass::Irregular,
+     buildBranchRand, 250'000},
+    {"fp-mix", "vertical", SuiteClass::Regular, buildFpMix, 120'000},
+    {"calls", "vertical", SuiteClass::Irregular, buildCalls,
+     120'000},
+};
+
+} // namespace
+
+std::span<const WorkloadSpec>
+microbenchmarks()
+{
+    return kMicro;
+}
+
+} // namespace prism

@@ -1,0 +1,572 @@
+/**
+ * @file
+ * Parboil analogues (paper Table 3, "regular"): cutcp, fft, kmeans,
+ * lbm, mm, sad, needle, nnw, spmv, stencil, tpacf. The set spans
+ * clean dense loops (mm, stencil, sad), gather patterns (spmv),
+ * cutoff conditionals (cutcp), strided FP (fft), and dynamic-
+ * programming recurrences (needle) and histogramming (tpacf) that
+ * defeat vectorization.
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/kernel_util.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+void
+buildCutcp(ProgramBuilder &pb, SimMemory &mem,
+           std::vector<std::int64_t> &args)
+{
+    Rng rng(2001);
+    Arena arena;
+    const std::int64_t atoms = 220;
+    const std::int64_t grid = 220;
+    const Addr ax = arena.alloc(atoms * 8);
+    const Addr ay = arena.alloc(atoms * 8);
+    const Addr gx = arena.alloc(grid * 8);
+    const Addr pot = arena.alloc(grid * 8);
+    fillF64(mem, ax, atoms, rng, 0.0, 16.0);
+    fillF64(mem, ay, atoms, rng, 0.0, 16.0);
+    fillF64(mem, gx, grid, rng, 0.0, 16.0);
+
+    auto &f = pb.func("main", 4);
+    const RegId ax_b = f.arg(0);
+    const RegId ay_b = f.arg(1);
+    const RegId gx_b = f.arg(2);
+    const RegId pot_b = f.arg(3);
+    const RegId eight = f.movi(8);
+    const RegId cutoff2 = f.fmovi(4.0);
+    const RegId eps = f.fmovi(0.05);
+
+    countedLoop(f, 0, grid, 1, [&](RegId g) {
+        const RegId goff = f.mul(g, eight);
+        const RegId px = f.ld(f.add(gx_b, goff), 0);
+        const RegId acc = f.reg();
+        f.fmoviTo(acc, 0.0);
+        countedLoop(f, 0, atoms, 1, [&](RegId a) {
+            const RegId aoff = f.mul(a, eight);
+            const RegId x = f.ld(f.add(ax_b, aoff), 0);
+            const RegId y = f.ld(f.add(ay_b, aoff), 0);
+            const RegId dx = f.fsub(x, px);
+            const RegId r2 = f.fma(dx, dx, f.fmul(y, eps));
+            // Within cutoff? (if-convertible conditional update)
+            const RegId in = f.fcmplt(r2, cutoff2);
+            const RegId inv = f.fdiv(f.fmovi(1.0),
+                                     f.fadd(r2, eps));
+            const RegId upd = f.fadd(acc, inv);
+            f.selTo(acc, in, upd, acc);
+        });
+        f.st(f.add(pot_b, goff), 0, acc);
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(ax),
+            static_cast<std::int64_t>(ay),
+            static_cast<std::int64_t>(gx),
+            static_cast<std::int64_t>(pot)};
+}
+
+void
+buildFft(ProgramBuilder &pb, SimMemory &mem,
+         std::vector<std::int64_t> &args)
+{
+    Rng rng(2002);
+    Arena arena;
+    const std::int64_t n = 4096;
+    const Addr re = arena.alloc(n * 8);
+    const Addr im = arena.alloc(n * 8);
+    fillF64(mem, re, n, rng, -1.0, 1.0);
+    fillF64(mem, im, n, rng, -1.0, 1.0);
+
+    auto &f = pb.func("main", 2);
+    const RegId re_b = f.arg(0);
+    const RegId im_b = f.arg(1);
+    const RegId eight = f.movi(8);
+    const RegId wr = f.fmovi(0.92387953);
+    const RegId wi = f.fmovi(-0.38268343);
+
+    // Radix-2 stages with fixed twiddle (behavioral stand-in):
+    // butterflies at stride 2^s.
+    for (std::int64_t s = 1; s <= 4; ++s) {
+        const std::int64_t half = std::int64_t{1} << s;
+        countedLoop(f, 0, n - half, half * 2, [&](RegId base) {
+            const RegId boff = f.mul(base, eight);
+            const RegId p0r = f.add(re_b, boff);
+            const RegId p0i = f.add(im_b, boff);
+            const RegId ar = f.ld(p0r, 0);
+            const RegId ai = f.ld(p0i, 0);
+            const RegId br = f.ld(p0r, half * 8);
+            const RegId bi = f.ld(p0i, half * 8);
+            const RegId tr = f.fsub(f.fmul(br, wr),
+                                    f.fmul(bi, wi));
+            const RegId ti = f.fadd(f.fmul(br, wi),
+                                    f.fmul(bi, wr));
+            f.st(p0r, 0, f.fadd(ar, tr));
+            f.st(p0i, 0, f.fadd(ai, ti));
+            f.st(p0r, half * 8, f.fsub(ar, tr));
+            f.st(p0i, half * 8, f.fsub(ai, ti));
+        });
+    }
+    f.retVoid();
+    args = {static_cast<std::int64_t>(re),
+            static_cast<std::int64_t>(im)};
+}
+
+void
+buildKmeans(ProgramBuilder &pb, SimMemory &mem,
+            std::vector<std::int64_t> &args)
+{
+    Rng rng(2003);
+    Arena arena;
+    const std::int64_t points = 1600;
+    const std::int64_t dims = 8;
+    const std::int64_t clusters = 4;
+    const Addr pts = arena.alloc(points * dims * 8);
+    const Addr ctr = arena.alloc(clusters * dims * 8);
+    const Addr assign = arena.alloc(points * 8);
+    fillF64(mem, pts, points * dims, rng);
+    fillF64(mem, ctr, clusters * dims, rng);
+
+    auto &f = pb.func("main", 3);
+    const RegId pts_b = f.arg(0);
+    const RegId ctr_b = f.arg(1);
+    const RegId as_b = f.arg(2);
+    const RegId eight = f.movi(8);
+    const RegId dimsz = f.movi(dims * 8);
+
+    countedLoop(f, 0, points, 1, [&](RegId p) {
+        const RegId po = f.add(pts_b, f.mul(p, dimsz));
+        const RegId best = f.reg();
+        const RegId bestd = f.reg();
+        f.moviTo(best, 0);
+        f.fmoviTo(bestd, 1e30);
+        for (std::int64_t c = 0; c < clusters; ++c) {
+            RegId d = f.fmovi(0.0);
+            for (std::int64_t k = 0; k < dims; ++k) {
+                const RegId x = f.ld(po, k * 8);
+                const RegId y =
+                    f.ld(ctr_b, (c * dims + k) * 8);
+                const RegId diff = f.fsub(x, y);
+                d = f.fma(diff, diff, d);
+            }
+            const RegId lt = f.fcmplt(d, bestd);
+            f.selTo(bestd, lt, d, bestd);
+            const RegId cr = f.movi(c);
+            f.selTo(best, lt, cr, best);
+        }
+        f.st(f.add(as_b, f.mul(p, eight)), 0, best);
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(pts),
+            static_cast<std::int64_t>(ctr),
+            static_cast<std::int64_t>(assign)};
+}
+
+void
+buildLbm(ProgramBuilder &pb, SimMemory &mem,
+         std::vector<std::int64_t> &args)
+{
+    Rng rng(2004);
+    Arena arena;
+    const std::int64_t cells = 2600;
+    const std::int64_t q = 5; // lattice directions
+    const Addr src = arena.alloc(cells * q * 8);
+    const Addr dst = arena.alloc(cells * q * 8);
+    const Addr flags = arena.alloc(cells * 8);
+    fillF64(mem, src, cells * q, rng, 0.0, 0.2);
+    for (std::int64_t i = 0; i < cells; ++i)
+        mem.writeI64(flags + i * 8, rng.chance(0.07) ? 1 : 0);
+
+    auto &f = pb.func("main", 3);
+    const RegId src_b = f.arg(0);
+    const RegId dst_b = f.arg(1);
+    const RegId fl_b = f.arg(2);
+    const RegId eight = f.movi(8);
+    const RegId rowsz = f.movi(q * 8);
+    const RegId omega = f.fmovi(0.6);
+
+    countedLoop(f, 1, cells - 1, 1, [&](RegId c) {
+        const RegId base = f.add(src_b, f.mul(c, rowsz));
+        RegId rho = f.fmovi(0.0);
+        std::vector<RegId> fi;
+        for (std::int64_t d = 0; d < q; ++d) {
+            const RegId v = f.ld(base, d * 8);
+            fi.push_back(v);
+            rho = f.fadd(rho, v);
+        }
+        const RegId flag =
+            f.ld(f.add(fl_b, f.mul(c, eight)), 0);
+        const RegId obst = f.cmpeq(flag, f.movi(1));
+        const RegId out = f.add(dst_b, f.mul(c, rowsz));
+        for (std::int64_t d = 0; d < q; ++d) {
+            // Relax toward equilibrium; bounce back at obstacles.
+            const RegId eq = f.fmul(rho, omega);
+            const RegId relaxed =
+                f.fadd(fi[d], f.fmul(omega, f.fsub(eq, fi[d])));
+            const RegId bounced = fi[(d + 2) % q];
+            const RegId val = f.sel(obst, bounced, relaxed);
+            f.st(out, d * 8, val);
+        }
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(src),
+            static_cast<std::int64_t>(dst),
+            static_cast<std::int64_t>(flags)};
+}
+
+void
+buildMm(ProgramBuilder &pb, SimMemory &mem,
+        std::vector<std::int64_t> &args)
+{
+    Rng rng(2005);
+    Arena arena;
+    const std::int64_t n = 44; // n^3 inner iterations
+    const Addr a = arena.alloc(n * n * 8);
+    const Addr bt = arena.alloc(n * n * 8); // B transposed
+    const Addr c = arena.alloc(n * n * 8);
+    fillF64(mem, a, n * n, rng, -1.0, 1.0);
+    fillF64(mem, bt, n * n, rng, -1.0, 1.0);
+
+    auto &f = pb.func("main", 3);
+    const RegId a_b = f.arg(0);
+    const RegId bt_b = f.arg(1);
+    const RegId c_b = f.arg(2);
+    const RegId eight = f.movi(8);
+    const RegId rowsz = f.movi(n * 8);
+
+    countedLoop(f, 0, n, 1, [&](RegId i) {
+        const RegId arow = f.add(a_b, f.mul(i, rowsz));
+        const RegId crow = f.add(c_b, f.mul(i, rowsz));
+        countedLoop(f, 0, n, 1, [&](RegId j) {
+            const RegId brow = f.add(bt_b, f.mul(j, rowsz));
+            const RegId acc = f.reg();
+            f.fmoviTo(acc, 0.0);
+            countedLoop(f, 0, n, 1, [&](RegId k) {
+                const RegId koff = f.mul(k, eight);
+                const RegId x = f.ld(f.add(arow, koff), 0);
+                const RegId y = f.ld(f.add(brow, koff), 0);
+                const RegId prod = f.fmul(x, y);
+                f.faddTo(acc, acc, prod);
+            });
+            f.st(f.add(crow, f.mul(j, eight)), 0, acc);
+        });
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(a),
+            static_cast<std::int64_t>(bt),
+            static_cast<std::int64_t>(c)};
+}
+
+void
+buildSad(ProgramBuilder &pb, SimMemory &mem,
+         std::vector<std::int64_t> &args)
+{
+    Rng rng(2006);
+    Arena arena;
+    const std::int64_t blocks = 300;
+    const std::int64_t blk = 16;
+    const Addr cur = arena.alloc(blocks * blk * 8);
+    const Addr ref = arena.alloc(blocks * blk * 8);
+    const Addr out = arena.alloc(blocks * 8);
+    fillI64(mem, cur, blocks * blk, rng, 0, 255);
+    fillI64(mem, ref, blocks * blk, rng, 0, 255);
+
+    auto &f = pb.func("main", 3);
+    const RegId cur_b = f.arg(0);
+    const RegId ref_b = f.arg(1);
+    const RegId out_b = f.arg(2);
+    const RegId eight = f.movi(8);
+    const RegId blksz = f.movi(blk * 8);
+    const RegId zero = f.movi(0);
+
+    countedLoop(f, 0, blocks, 1, [&](RegId b) {
+        const RegId co = f.add(cur_b, f.mul(b, blksz));
+        const RegId ro = f.add(ref_b, f.mul(b, blksz));
+        RegId acc = f.movi(0);
+        for (std::int64_t k = 0; k < blk; ++k) {
+            const RegId x = f.ld(co, k * 8);
+            const RegId y = f.ld(ro, k * 8);
+            const RegId d = f.sub(x, y);
+            const RegId neg = f.sub(zero, d);
+            const RegId isneg = f.cmplt(d, zero);
+            const RegId ad = f.sel(isneg, neg, d);
+            acc = f.add(acc, ad);
+        }
+        f.st(f.add(out_b, f.mul(b, eight)), 0, acc);
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(cur),
+            static_cast<std::int64_t>(ref),
+            static_cast<std::int64_t>(out)};
+}
+
+void
+buildNeedle(ProgramBuilder &pb, SimMemory &mem,
+            std::vector<std::int64_t> &args)
+{
+    Rng rng(2007);
+    Arena arena;
+    const std::int64_t n = 360; // DP matrix rows/cols
+    const Addr score = arena.alloc((n + 1) * (n + 1) * 8);
+    const Addr seq1 = arena.alloc(n * 8);
+    const Addr seq2 = arena.alloc(n * 8);
+    fillI64(mem, seq1, n, rng, 0, 3);
+    fillI64(mem, seq2, n, rng, 0, 3);
+
+    auto &f = pb.func("main", 3);
+    const RegId sc_b = f.arg(0);
+    const RegId s1_b = f.arg(1);
+    const RegId s2_b = f.arg(2);
+    const RegId eight = f.movi(8);
+    const RegId rowsz = f.movi((n + 1) * 8);
+    const RegId gap = f.movi(-1);
+    const RegId match = f.movi(2);
+    const RegId mismatch = f.movi(-1);
+
+    countedLoop(f, 1, n + 1, 1, [&](RegId i) {
+        const RegId row = f.add(sc_b, f.mul(i, rowsz));
+        const RegId prow = f.sub(row, rowsz);
+        const RegId c1 =
+            f.ld(f.add(s1_b, f.mul(f.sub(i, f.movi(1)), eight)), 0);
+        countedLoop(f, 1, n + 1, 1, [&](RegId j) {
+            const RegId joff = f.mul(j, eight);
+            const RegId up = f.ld(f.add(prow, joff), 0);
+            const RegId left =
+                f.ld(f.add(row, joff), -8); // score[i][j-1]
+            const RegId diag = f.ld(f.add(prow, joff), -8);
+            const RegId c2 = f.ld(
+                f.add(s2_b, f.mul(f.sub(j, f.movi(1)), eight)),
+                0);
+            const RegId eq = f.cmpeq(c1, c2);
+            const RegId sub = f.sel(eq, match, mismatch);
+            const RegId dscore = f.add(diag, sub);
+            const RegId uscore = f.add(up, gap);
+            const RegId lscore = f.add(left, gap);
+            const RegId m1 =
+                f.sel(f.cmplt(uscore, dscore), dscore, uscore);
+            const RegId m2 =
+                f.sel(f.cmplt(lscore, m1), m1, lscore);
+            f.st(f.add(row, joff), 0, m2);
+        });
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(score),
+            static_cast<std::int64_t>(seq1),
+            static_cast<std::int64_t>(seq2)};
+}
+
+void
+buildNnw(ProgramBuilder &pb, SimMemory &mem,
+         std::vector<std::int64_t> &args)
+{
+    Rng rng(2008);
+    Arena arena;
+    const std::int64_t in_n = 64;
+    const std::int64_t out_n = 48;
+    const std::int64_t batches = 40;
+    const Addr w = arena.alloc(in_n * out_n * 8);
+    const Addr x = arena.alloc(batches * in_n * 8);
+    const Addr y = arena.alloc(batches * out_n * 8);
+    fillF64(mem, w, in_n * out_n, rng, -0.3, 0.3);
+    fillF64(mem, x, batches * in_n, rng, -1.0, 1.0);
+
+    auto &f = pb.func("main", 3);
+    const RegId w_b = f.arg(0);
+    const RegId x_b = f.arg(1);
+    const RegId y_b = f.arg(2);
+    const RegId eight = f.movi(8);
+    const RegId insz = f.movi(in_n * 8);
+    const RegId half = f.fmovi(0.5);
+    const RegId quarter = f.fmovi(0.25);
+
+    countedLoop(f, 0, batches, 1, [&](RegId b) {
+        const RegId xo = f.add(x_b, f.mul(b, insz));
+        countedLoop(f, 0, out_n, 1, [&](RegId o) {
+            const RegId wrow = f.add(w_b, f.mul(o, insz));
+            const RegId acc = f.reg();
+            f.fmoviTo(acc, 0.0);
+            countedLoop(f, 0, in_n, 1, [&](RegId k) {
+                const RegId koff = f.mul(k, eight);
+                const RegId xv = f.ld(f.add(xo, koff), 0);
+                const RegId wv = f.ld(f.add(wrow, koff), 0);
+                const RegId prod = f.fmul(xv, wv);
+                f.faddTo(acc, acc, prod);
+            });
+            // Cheap sigmoid-like activation: 0.5 + 0.25*a
+            const RegId act = f.fma(acc, quarter, half);
+            const RegId oo = f.add(
+                f.add(y_b, f.mul(b, f.movi(out_n * 8))),
+                f.mul(o, eight));
+            f.st(oo, 0, act);
+        });
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(w),
+            static_cast<std::int64_t>(x),
+            static_cast<std::int64_t>(y)};
+}
+
+void
+buildSpmv(ProgramBuilder &pb, SimMemory &mem,
+          std::vector<std::int64_t> &args)
+{
+    Rng rng(2009);
+    Arena arena;
+    const std::int64_t rows = 1400;
+    const std::int64_t nnz_per_row = 12;
+    const std::int64_t cols = 4096;
+    const std::int64_t nnz = rows * nnz_per_row;
+    const Addr rowptr = arena.alloc((rows + 1) * 8);
+    const Addr colidx = arena.alloc(nnz * 8);
+    const Addr vals = arena.alloc(nnz * 8);
+    const Addr x = arena.alloc(cols * 8);
+    const Addr y = arena.alloc(rows * 8);
+    for (std::int64_t r = 0; r <= rows; ++r)
+        mem.writeI64(rowptr + r * 8, r * nnz_per_row);
+    fillI64(mem, colidx, nnz, rng, 0, cols - 1);
+    fillF64(mem, vals, nnz, rng, -1.0, 1.0);
+    fillF64(mem, x, cols, rng, -1.0, 1.0);
+
+    auto &f = pb.func("main", 5);
+    const RegId rp_b = f.arg(0);
+    const RegId ci_b = f.arg(1);
+    const RegId v_b = f.arg(2);
+    const RegId x_b = f.arg(3);
+    const RegId y_b = f.arg(4);
+    const RegId eight = f.movi(8);
+
+    countedLoop(f, 0, rows, 1, [&](RegId r) {
+        const RegId roff = f.mul(r, eight);
+        const RegId lo = f.ld(f.add(rp_b, roff), 0);
+        const RegId hi = f.ld(f.add(rp_b, roff), 8);
+        const RegId acc = f.reg();
+        f.fmoviTo(acc, 0.0);
+        countedLoopR(f, lo, hi, 1, [&](RegId k) {
+            const RegId koff = f.mul(k, eight);
+            const RegId col =
+                f.ld(f.add(ci_b, koff), 0);
+            const RegId v = f.ld(f.add(v_b, koff), 0);
+            const RegId xv =
+                f.ld(f.add(x_b, f.mul(col, eight)), 0);
+            const RegId prod = f.fmul(v, xv);
+            f.faddTo(acc, acc, prod);
+        });
+        f.st(f.add(y_b, roff), 0, acc);
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(rowptr),
+            static_cast<std::int64_t>(colidx),
+            static_cast<std::int64_t>(vals),
+            static_cast<std::int64_t>(x),
+            static_cast<std::int64_t>(y)};
+}
+
+void
+buildStencil(ProgramBuilder &pb, SimMemory &mem,
+             std::vector<std::int64_t> &args)
+{
+    Rng rng(2010);
+    Arena arena;
+    const std::int64_t w = 160;
+    const std::int64_t h = 110;
+    const Addr in = arena.alloc(w * h * 8);
+    const Addr out = arena.alloc(w * h * 8);
+    fillF64(mem, in, w * h, rng, 0.0, 1.0);
+
+    auto &f = pb.func("main", 2);
+    const RegId in_b = f.arg(0);
+    const RegId out_b = f.arg(1);
+    const RegId eight = f.movi(8);
+    const RegId rowsz = f.movi(w * 8);
+    const RegId c0 = f.fmovi(0.5);
+    const RegId c1 = f.fmovi(0.125);
+
+    countedLoop(f, 1, h - 1, 1, [&](RegId y) {
+        const RegId row = f.add(in_b, f.mul(y, rowsz));
+        const RegId orow = f.add(out_b, f.mul(y, rowsz));
+        countedLoop(f, 1, w - 1, 1, [&](RegId x) {
+            const RegId xo = f.mul(x, eight);
+            const RegId p = f.add(row, xo);
+            const RegId ctr = f.ld(p, 0);
+            const RegId left = f.ld(p, -8);
+            const RegId right = f.ld(p, 8);
+            const RegId up = f.ld(p, -w * 8);
+            const RegId down = f.ld(p, w * 8);
+            const RegId sum = f.fadd(f.fadd(left, right),
+                                     f.fadd(up, down));
+            const RegId val = f.fma(sum, c1, f.fmul(ctr, c0));
+            f.st(f.add(orow, xo), 0, val);
+        });
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(in),
+            static_cast<std::int64_t>(out)};
+}
+
+void
+buildTpacf(ProgramBuilder &pb, SimMemory &mem,
+           std::vector<std::int64_t> &args)
+{
+    Rng rng(2011);
+    Arena arena;
+    const std::int64_t points = 420;
+    const std::int64_t bins = 32;
+    const Addr d = arena.alloc(points * 8);
+    const Addr hist = arena.alloc(bins * 8);
+    fillF64(mem, d, points, rng, 0.0, 1.0);
+
+    auto &f = pb.func("main", 2);
+    const RegId d_b = f.arg(0);
+    const RegId h_b = f.arg(1);
+    const RegId eight = f.movi(8);
+    const RegId binscale = f.fmovi(static_cast<double>(bins - 1));
+    const RegId one = f.movi(1);
+
+    countedLoop(f, 0, points, 1, [&](RegId i) {
+        const RegId xi = f.ld(f.add(d_b, f.mul(i, eight)), 0);
+        countedLoop(f, 0, points, 1, [&](RegId j) {
+            const RegId xj =
+                f.ld(f.add(d_b, f.mul(j, eight)), 0);
+            const RegId diff = f.fsub(xi, xj);
+            const RegId a2 = f.fmul(diff, diff);
+            const RegId binf = f.fmul(a2, binscale);
+            const RegId bin = f.cvtfi(binf);
+            // Histogram update: carried memory dependence.
+            const RegId slot = f.add(h_b, f.mul(bin, eight));
+            const RegId cur = f.ld(slot, 0);
+            f.st(slot, 0, f.add(cur, one));
+        });
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(d),
+            static_cast<std::int64_t>(hist)};
+}
+
+const std::vector<WorkloadSpec> kParboil = {
+    {"cutcp", "Parboil", SuiteClass::Regular, buildCutcp, 350'000},
+    {"fft", "Parboil", SuiteClass::Regular, buildFft, 300'000},
+    {"kmeans", "Parboil", SuiteClass::Regular, buildKmeans, 350'000},
+    {"lbm", "Parboil", SuiteClass::Regular, buildLbm, 300'000},
+    {"mm", "Parboil", SuiteClass::Regular, buildMm, 350'000},
+    {"sad", "Parboil", SuiteClass::Regular, buildSad, 300'000},
+    {"needle", "Parboil", SuiteClass::Regular, buildNeedle, 350'000},
+    {"nnw", "Parboil", SuiteClass::Regular, buildNnw, 350'000},
+    {"spmv", "Parboil", SuiteClass::Regular, buildSpmv, 350'000},
+    {"stencil", "Parboil", SuiteClass::Regular, buildStencil,
+     300'000},
+    {"tpacf", "Parboil", SuiteClass::Regular, buildTpacf, 350'000},
+};
+
+} // namespace
+
+std::span<const WorkloadSpec>
+parboilWorkloads()
+{
+    return kParboil;
+}
+
+} // namespace prism

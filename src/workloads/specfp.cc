@@ -1,0 +1,310 @@
+/**
+ * @file
+ * SPECfp analogues (paper Table 3, "semi-regular"): 433.milc,
+ * 444.namd, 450.soplex, 453.povray, 482.sphinx3. Mixed-behavior FP
+ * codes: dense complex algebra (milc), cutoff-gated force loops
+ * (namd), sparse pivoting (soplex), branchy shading (povray), and
+ * Gaussian scoring with pruning (sphinx3).
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/kernel_util.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+void
+buildMilc(ProgramBuilder &pb, SimMemory &mem,
+          std::vector<std::int64_t> &args)
+{
+    Rng rng(3001);
+    Arena arena;
+    const std::int64_t sites = 700;
+    // 3x3 complex matrix per site, stored as 18 doubles.
+    const Addr a = arena.alloc(sites * 18 * 8);
+    const Addr b = arena.alloc(sites * 18 * 8);
+    const Addr c = arena.alloc(sites * 18 * 8);
+    fillF64(mem, a, sites * 18, rng, -1.0, 1.0);
+    fillF64(mem, b, sites * 18, rng, -1.0, 1.0);
+
+    auto &f = pb.func("main", 3);
+    const RegId a_b = f.arg(0);
+    const RegId b_b = f.arg(1);
+    const RegId c_b = f.arg(2);
+    const RegId matsz = f.movi(18 * 8);
+
+    countedLoop(f, 0, sites, 1, [&](RegId s) {
+        const RegId ao = f.add(a_b, f.mul(s, matsz));
+        const RegId bo = f.add(b_b, f.mul(s, matsz));
+        const RegId co = f.add(c_b, f.mul(s, matsz));
+        // One row of the SU(3) multiply per site (unrolled).
+        for (std::int64_t i = 0; i < 3; ++i) {
+            RegId acc_r = f.fmovi(0.0);
+            RegId acc_i = f.fmovi(0.0);
+            for (std::int64_t k = 0; k < 3; ++k) {
+                const RegId ar = f.ld(ao, (i * 6 + k * 2) * 8);
+                const RegId ai =
+                    f.ld(ao, (i * 6 + k * 2 + 1) * 8);
+                const RegId br = f.ld(bo, (k * 6) * 8);
+                const RegId bi = f.ld(bo, (k * 6 + 1) * 8);
+                acc_r = f.fadd(acc_r, f.fsub(f.fmul(ar, br),
+                                             f.fmul(ai, bi)));
+                acc_i = f.fadd(acc_i, f.fadd(f.fmul(ar, bi),
+                                             f.fmul(ai, br)));
+            }
+            f.st(co, (i * 6) * 8, acc_r);
+            f.st(co, (i * 6 + 1) * 8, acc_i);
+        }
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(a),
+            static_cast<std::int64_t>(b),
+            static_cast<std::int64_t>(c)};
+}
+
+void
+buildNamd(ProgramBuilder &pb, SimMemory &mem,
+          std::vector<std::int64_t> &args)
+{
+    Rng rng(3002);
+    Arena arena;
+    const std::int64_t pairs = 9000;
+    const Addr px = arena.alloc(pairs * 8);
+    const Addr py = arena.alloc(pairs * 8);
+    const Addr forces = arena.alloc(pairs * 8);
+    fillF64(mem, px, pairs, rng, 0.0, 8.0);
+    fillF64(mem, py, pairs, rng, 0.0, 8.0);
+
+    auto &f = pb.func("main", 3);
+    const RegId x_b = f.arg(0);
+    const RegId y_b = f.arg(1);
+    const RegId f_b = f.arg(2);
+    const RegId eight = f.movi(8);
+    const RegId cutoff = f.fmovi(9.0);
+    const RegId eps = f.fmovi(0.1);
+
+    countedLoop(f, 0, pairs, 1, [&](RegId p) {
+        const RegId off = f.mul(p, eight);
+        const RegId dx = f.ld(f.add(x_b, off), 0);
+        const RegId dy = f.ld(f.add(y_b, off), 0);
+        const RegId r2 = f.fma(dx, dx, f.fmul(dy, dy));
+        const RegId in = f.fcmplt(r2, cutoff);
+        const RegId fr = f.reg();
+        f.fmoviTo(fr, 0.0);
+        // Branchy cutoff: only ~close pairs compute the expensive
+        // interaction (taken most of the time at this density).
+        ifElse(f, in, [&]() {
+            const RegId rinv = f.fdiv(f.fmovi(1.0),
+                                      f.fadd(r2, eps));
+            const RegId r6 = f.fmul(f.fmul(rinv, rinv), rinv);
+            const RegId lj = f.fmul(r6, f.fsub(r6, f.fmovi(1.0)));
+            f.movTo(fr, lj);
+        });
+        f.st(f.add(f_b, off), 0, fr);
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(px),
+            static_cast<std::int64_t>(py),
+            static_cast<std::int64_t>(forces)};
+}
+
+void
+buildSoplex(ProgramBuilder &pb, SimMemory &mem,
+            std::vector<std::int64_t> &args)
+{
+    Rng rng(3003);
+    Arena arena;
+    const std::int64_t rows = 900;
+    const std::int64_t nnz_per_row = 9;
+    const std::int64_t cols = 2048;
+    const std::int64_t nnz = rows * nnz_per_row;
+    const Addr colidx = arena.alloc(nnz * 8);
+    const Addr vals = arena.alloc(nnz * 8);
+    const Addr x = arena.alloc(cols * 8);
+    const Addr piv = arena.alloc(rows * 8);
+    fillI64(mem, colidx, nnz, rng, 0, cols - 1);
+    fillF64(mem, vals, nnz, rng, -2.0, 2.0);
+    fillF64(mem, x, cols, rng, -1.0, 1.0);
+
+    auto &f = pb.func("main", 4);
+    const RegId ci_b = f.arg(0);
+    const RegId v_b = f.arg(1);
+    const RegId x_b = f.arg(2);
+    const RegId piv_b = f.arg(3);
+    const RegId eight = f.movi(8);
+    const RegId rowsz = f.movi(nnz_per_row * 8);
+    const RegId zero_f = f.fmovi(0.0);
+
+    countedLoop(f, 0, rows, 1, [&](RegId r) {
+        const RegId base = f.mul(r, rowsz);
+        const RegId best = f.reg();
+        f.fmoviTo(best, 0.0);
+        countedLoop(f, 0, nnz_per_row, 1, [&](RegId k) {
+            const RegId koff =
+                f.add(base, f.mul(k, eight));
+            const RegId col = f.ld(f.add(ci_b, koff), 0);
+            const RegId v = f.ld(f.add(v_b, koff), 0);
+            const RegId xv =
+                f.ld(f.add(x_b, f.mul(col, eight)), 0);
+            const RegId prod = f.fmul(v, xv);
+            // Pivot selection: keep the largest magnitude.
+            const RegId neg = f.fsub(zero_f, prod);
+            const RegId isneg = f.fcmplt(prod, zero_f);
+            const RegId mag = f.sel(isneg, neg, prod);
+            const RegId gt = f.fcmplt(best, mag);
+            f.selTo(best, gt, mag, best);
+        });
+        f.st(f.add(piv_b, f.mul(r, eight)), 0, best);
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(colidx),
+            static_cast<std::int64_t>(vals),
+            static_cast<std::int64_t>(x),
+            static_cast<std::int64_t>(piv)};
+}
+
+void
+buildPovray(ProgramBuilder &pb, SimMemory &mem,
+            std::vector<std::int64_t> &args)
+{
+    Rng rng(3004);
+    Arena arena;
+    const std::int64_t rays = 2600;
+    const std::int64_t spheres = 10;
+    const Addr dirs = arena.alloc(rays * 8);
+    const Addr sx = arena.alloc(spheres * 8);
+    const Addr img = arena.alloc(rays * 8);
+    fillF64(mem, dirs, rays, rng, -1.0, 1.0);
+    fillF64(mem, sx, spheres, rng, -1.0, 1.0);
+
+    auto &f = pb.func("main", 3);
+    const RegId d_b = f.arg(0);
+    const RegId s_b = f.arg(1);
+    const RegId img_b = f.arg(2);
+    const RegId eight = f.movi(8);
+    const RegId zero_f = f.fmovi(0.0);
+
+    countedLoop(f, 0, rays, 1, [&](RegId r) {
+        const RegId dir = f.ld(f.add(d_b, f.mul(r, eight)), 0);
+        const RegId hit = f.reg();
+        f.fmoviTo(hit, 0.0);
+        countedLoop(f, 0, spheres, 1, [&](RegId s) {
+            const RegId cx =
+                f.ld(f.add(s_b, f.mul(s, eight)), 0);
+            const RegId b = f.fmul(dir, cx);
+            const RegId disc = f.fma(b, b, f.fmovi(-0.25));
+            const RegId has = f.fcmplt(zero_f, disc);
+            // Data-dependent shading branch (varying direction).
+            ifElse(
+                f, has,
+                [&]() {
+                    const RegId t = f.fsqrt(disc);
+                    const RegId shade =
+                        f.fdiv(f.fmovi(1.0),
+                               f.fadd(t, f.fmovi(0.5)));
+                    f.faddTo(hit, hit, shade);
+                },
+                [&]() {
+                    f.faddTo(hit, hit, f.fmovi(0.01));
+                });
+        });
+        f.st(f.add(img_b, f.mul(r, eight)), 0, hit);
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(dirs),
+            static_cast<std::int64_t>(sx),
+            static_cast<std::int64_t>(img)};
+}
+
+void
+buildSphinx3(ProgramBuilder &pb, SimMemory &mem,
+             std::vector<std::int64_t> &args)
+{
+    Rng rng(3005);
+    Arena arena;
+    const std::int64_t frames = 160;
+    const std::int64_t gaussians = 32;
+    const std::int64_t dims = 8;
+    const Addr feat = arena.alloc(frames * dims * 8);
+    const Addr means = arena.alloc(gaussians * dims * 8);
+    const Addr scores = arena.alloc(frames * 8);
+    fillF64(mem, feat, frames * dims, rng, -1.0, 1.0);
+    fillF64(mem, means, gaussians * dims, rng, -1.0, 1.0);
+
+    auto &f = pb.func("main", 3);
+    const RegId ft_b = f.arg(0);
+    const RegId mn_b = f.arg(1);
+    const RegId sc_b = f.arg(2);
+    const RegId eight = f.movi(8);
+    const RegId dimsz = f.movi(dims * 8);
+    const RegId prune = f.fmovi(4.0);
+
+    countedLoop(f, 0, frames, 1, [&](RegId fr) {
+        const RegId fo = f.add(ft_b, f.mul(fr, dimsz));
+        const RegId best = f.reg();
+        f.fmoviTo(best, 1e30);
+        countedLoop(f, 0, gaussians, 1, [&](RegId g) {
+            const RegId mo = f.add(mn_b, f.mul(g, dimsz));
+            const RegId d = f.reg();
+            f.fmoviTo(d, 0.0);
+            // Pruned scoring: bail out of the dimension loop early
+            // when the partial distance already exceeds the beam.
+            const RegId k = f.reg();
+            f.moviTo(k, 0);
+            const RegId dims_r = f.movi(dims);
+            const RegId one = f.movi(1);
+            whileLoop(
+                f,
+                [&]() {
+                    const RegId more = f.cmplt(k, dims_r);
+                    const RegId ok = f.fcmplt(d, prune);
+                    return f.and_(more, ok);
+                },
+                [&]() {
+                    const RegId koff = f.mul(k, eight);
+                    const RegId x =
+                        f.ld(f.add(fo, koff), 0);
+                    const RegId m =
+                        f.ld(f.add(mo, koff), 0);
+                    const RegId diff = f.fsub(x, m);
+                    const RegId nd = f.fma(diff, diff, d);
+                    f.movTo(d, nd);
+                    f.addTo(k, k, one);
+                });
+            const RegId lt = f.fcmplt(d, best);
+            f.selTo(best, lt, d, best);
+        });
+        f.st(f.add(sc_b, f.mul(fr, eight)), 0, best);
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(feat),
+            static_cast<std::int64_t>(means),
+            static_cast<std::int64_t>(scores)};
+}
+
+const std::vector<WorkloadSpec> kSpecfp = {
+    {"433.milc", "SPECfp", SuiteClass::SemiRegular, buildMilc,
+     350'000},
+    {"444.namd", "SPECfp", SuiteClass::SemiRegular, buildNamd,
+     300'000},
+    {"450.soplex", "SPECfp", SuiteClass::SemiRegular, buildSoplex,
+     350'000},
+    {"453.povray", "SPECfp", SuiteClass::SemiRegular, buildPovray,
+     350'000},
+    {"482.sphinx3", "SPECfp", SuiteClass::SemiRegular, buildSphinx3,
+     350'000},
+};
+
+} // namespace
+
+std::span<const WorkloadSpec>
+specfpWorkloads()
+{
+    return kSpecfp;
+}
+
+} // namespace prism

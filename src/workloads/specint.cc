@@ -1,0 +1,702 @@
+/**
+ * @file
+ * SPECint analogues (paper Table 3, "irregular"): pointer chasing
+ * (mcf), string matching (gzip), dictionary/hash probing (parser),
+ * sorting and move-to-front (bzip2), branchy table dispatch (gcc),
+ * board scans (sjeng, gobmk), heap-based search (astar), Viterbi DP
+ * (hmmer), placement cost evaluation (vpr), and mixed codec loops
+ * (h264ref, which Figure 14 traces).
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/kernel_util.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+void
+buildGzip(ProgramBuilder &pb, SimMemory &mem,
+          std::vector<std::int64_t> &args)
+{
+    Rng rng(6001);
+    Arena arena;
+    const std::int64_t n = 16000;
+    const Addr text = arena.alloc(n * 8);
+    const Addr out = arena.alloc(n * 8);
+    // Low-entropy text so back-reference matches run long (LZ hot
+    // loops iterate many times per match).
+    for (std::int64_t i = 0; i < n; ++i)
+        mem.writeI64(text + i * 8, rng.range(0, 1));
+
+    auto &f = pb.func("main", 2);
+    const RegId t_b = f.arg(0);
+    const RegId o_b = f.arg(1);
+    const RegId eight = f.movi(8);
+    const RegId one = f.movi(1);
+    const RegId n_r = f.movi(n - 64);
+
+    // LZ-style: for each position, extend a match against a fixed
+    // back-reference until mismatch (data-dependent while).
+    const RegId pos = f.reg();
+    f.moviTo(pos, 64);
+    whileLoop(
+        f, [&]() { return f.cmplt(pos, n_r); },
+        [&]() {
+            const RegId len = f.reg();
+            f.moviTo(len, 0);
+            const RegId limit = f.movi(32);
+            whileLoop(
+                f,
+                [&]() {
+                    const RegId off = f.mul(f.add(pos, len), eight);
+                    const RegId a = f.ld(f.add(t_b, off), 0);
+                    const RegId back =
+                        f.mul(f.sub(f.add(pos, len), f.movi(63)),
+                              eight);
+                    const RegId b = f.ld(f.add(t_b, back), 0);
+                    const RegId eq = f.cmpeq(a, b);
+                    const RegId more = f.cmplt(len, limit);
+                    return f.and_(eq, more);
+                },
+                [&]() { f.addTo(len, len, one); });
+            f.st(f.add(o_b, f.mul(pos, eight)), 0, len);
+            f.addTo(pos, pos, f.add(len, one));
+        });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(text),
+            static_cast<std::int64_t>(out)};
+}
+
+void
+buildMcf(ProgramBuilder &pb, SimMemory &mem,
+         std::vector<std::int64_t> &args, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Arena arena;
+    // Arc list: each node points to a pseudo-random successor; costs
+    // updated along chains (pointer chasing, cache-hostile).
+    const std::int64_t nodes = 16384;
+    const Addr next = arena.alloc(nodes * 8);
+    const Addr cost = arena.alloc(nodes * 8);
+    for (std::int64_t i = 0; i < nodes; ++i)
+        mem.writeI64(next + i * 8, rng.range(0, nodes - 1));
+    fillI64(mem, cost, nodes, rng, 0, 100);
+
+    auto &f = pb.func("main", 2);
+    const RegId nx_b = f.arg(0);
+    const RegId c_b = f.arg(1);
+    const RegId eight = f.movi(8);
+    const RegId chains = f.movi(600);
+    const RegId hops = f.movi(40);
+    const RegId one = f.movi(1);
+
+    countedLoop(f, 0, 600, 1, [&](RegId chain) {
+        (void)chains;
+        const RegId node = f.reg();
+        f.movTo(node, f.and_(chain, f.movi(16383)));
+        const RegId h = f.reg();
+        f.moviTo(h, 0);
+        const RegId acc = f.reg();
+        f.moviTo(acc, 0);
+        whileLoop(
+            f, [&]() { return f.cmplt(h, hops); },
+            [&]() {
+                const RegId off = f.mul(node, eight);
+                const RegId c = f.ld(f.add(c_b, off), 0);
+                f.addTo(acc, acc, c);
+                const RegId nn = f.ld(f.add(nx_b, off), 0);
+                f.movTo(node, nn);
+                f.addTo(h, h, one);
+            });
+        // Relax the chain start's cost if the path was cheaper.
+        const RegId off0 = f.mul(f.and_(chain, f.movi(16383)),
+                                 eight);
+        const RegId old = f.ld(f.add(c_b, off0), 0);
+        const RegId lt = f.cmplt(acc, old);
+        const RegId val = f.sel(lt, acc, old);
+        f.st(f.add(c_b, off0), 0, val);
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(next),
+            static_cast<std::int64_t>(cost)};
+}
+
+void
+buildMcf181(ProgramBuilder &pb, SimMemory &mem,
+            std::vector<std::int64_t> &args)
+{
+    buildMcf(pb, mem, args, 6002);
+}
+
+void
+buildMcf429(ProgramBuilder &pb, SimMemory &mem,
+            std::vector<std::int64_t> &args)
+{
+    buildMcf(pb, mem, args, 6003);
+}
+
+void
+buildVpr(ProgramBuilder &pb, SimMemory &mem,
+         std::vector<std::int64_t> &args)
+{
+    Rng rng(6004);
+    Arena arena;
+    const std::int64_t cells = 2200;
+    const Addr x = arena.alloc(cells * 8);
+    const Addr y = arena.alloc(cells * 8);
+    const Addr net = arena.alloc(cells * 8);
+    const Addr cost = arena.alloc(cells * 8);
+    fillI64(mem, x, cells, rng, 0, 63);
+    fillI64(mem, y, cells, rng, 0, 63);
+    fillI64(mem, net, cells, rng, 0, cells - 1);
+
+    auto &f = pb.func("main", 4);
+    const RegId x_b = f.arg(0);
+    const RegId y_b = f.arg(1);
+    const RegId n_b = f.arg(2);
+    const RegId c_b = f.arg(3);
+    const RegId eight = f.movi(8);
+    const RegId zero = f.movi(0);
+
+    countedLoop(f, 0, cells, 1, [&](RegId c) {
+        const RegId off = f.mul(c, eight);
+        const RegId xi = f.ld(f.add(x_b, off), 0);
+        const RegId yi = f.ld(f.add(y_b, off), 0);
+        const RegId peer = f.ld(f.add(n_b, off), 0);
+        const RegId poff = f.mul(peer, eight);
+        const RegId xj = f.ld(f.add(x_b, poff), 0);
+        const RegId yj = f.ld(f.add(y_b, poff), 0);
+        const RegId dx = f.sub(xi, xj);
+        const RegId dy = f.sub(yi, yj);
+        const RegId adx =
+            f.sel(f.cmplt(dx, zero), f.sub(zero, dx), dx);
+        const RegId ady =
+            f.sel(f.cmplt(dy, zero), f.sub(zero, dy), dy);
+        const RegId bb = f.add(adx, ady);
+        // Congestion penalty on long wires (biased branch).
+        const RegId lim = f.movi(48);
+        const RegId over = f.cmplt(lim, bb);
+        const RegId pen = f.reg();
+        f.moviTo(pen, 0);
+        ifElse(f, over, [&]() {
+            f.movTo(pen, f.mul(bb, f.movi(3)));
+        });
+        f.st(f.add(c_b, off), 0, f.add(bb, pen));
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(x),
+            static_cast<std::int64_t>(y),
+            static_cast<std::int64_t>(net),
+            static_cast<std::int64_t>(cost)};
+}
+
+void
+buildParser(ProgramBuilder &pb, SimMemory &mem,
+            std::vector<std::int64_t> &args)
+{
+    Rng rng(6005);
+    Arena arena;
+    const std::int64_t buckets = 1024;
+    const std::int64_t chain = 4;
+    const std::int64_t words = 5000;
+    const Addr table = arena.alloc(buckets * chain * 8);
+    const Addr query = arena.alloc(words * 8);
+    const Addr hits = arena.alloc(words * 8);
+    fillI64(mem, table, buckets * chain, rng, 0, 1 << 16);
+    fillI64(mem, query, words, rng, 0, 1 << 16);
+
+    auto &f = pb.func("main", 3);
+    const RegId t_b = f.arg(0);
+    const RegId q_b = f.arg(1);
+    const RegId h_b = f.arg(2);
+    const RegId eight = f.movi(8);
+    const RegId mask = f.movi(buckets - 1);
+    const RegId chainsz = f.movi(chain * 8);
+    const RegId one = f.movi(1);
+
+    countedLoop(f, 0, words, 1, [&](RegId w) {
+        const RegId key = f.ld(f.add(q_b, f.mul(w, eight)), 0);
+        // Hash: mix and mask.
+        const RegId h1 = f.xor_(key, f.shr(key, f.movi(5)));
+        const RegId bucket = f.and_(h1, mask);
+        const RegId base = f.add(t_b, f.mul(bucket, chainsz));
+        const RegId found = f.reg();
+        const RegId k = f.reg();
+        f.moviTo(found, 0);
+        f.moviTo(k, 0);
+        const RegId chain_r = f.movi(chain);
+        whileLoop(
+            f,
+            [&]() {
+                const RegId more = f.cmplt(k, chain_r);
+                const RegId notf = f.cmpeq(found, f.movi(0));
+                return f.and_(more, notf);
+            },
+            [&]() {
+                const RegId e =
+                    f.ld(f.add(base, f.mul(k, eight)), 0);
+                const RegId eq = f.cmpeq(e, key);
+                f.selTo(found, eq, one, found);
+                f.addTo(k, k, one);
+            });
+        f.st(f.add(h_b, f.mul(w, eight)), 0, found);
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(table),
+            static_cast<std::int64_t>(query),
+            static_cast<std::int64_t>(hits)};
+}
+
+void
+buildBzip2(ProgramBuilder &pb, SimMemory &mem,
+           std::vector<std::int64_t> &args, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Arena arena;
+    const std::int64_t n = 256;
+    const std::int64_t passes = 40;
+    const Addr data = arena.alloc(n * 8);
+    const Addr mtf = arena.alloc(n * 8);
+    fillI64(mem, data, n, rng, 0, 255);
+    for (std::int64_t i = 0; i < n; ++i)
+        mem.writeI64(mtf + i * 8, i);
+
+    auto &f = pb.func("main", 2);
+    const RegId d_b = f.arg(0);
+    const RegId m_b = f.arg(1);
+    const RegId eight = f.movi(8);
+    const RegId one = f.movi(1);
+    const RegId n_r = f.movi(n);
+
+    countedLoop(f, 0, passes, 1, [&](RegId) {
+        // Bubble pass (branch-heavy compare/swap, like the block
+        // sort's inner comparisons).
+        countedLoop(f, 0, n - 1, 1, [&](RegId i) {
+            const RegId off = f.mul(i, eight);
+            const RegId p = f.add(d_b, off);
+            const RegId a = f.ld(p, 0);
+            const RegId b = f.ld(p, 8);
+            const RegId gt = f.cmplt(b, a);
+            ifElse(f, gt, [&]() {
+                f.st(p, 0, b);
+                f.st(p, 8, a);
+            });
+        });
+        // Move-to-front scan with a data-dependent search.
+        countedLoop(f, 0, 64, 1, [&](RegId i) {
+            const RegId v =
+                f.ld(f.add(d_b, f.mul(i, eight)), 0);
+            const RegId j = f.reg();
+            const RegId found = f.reg();
+            f.moviTo(j, 0);
+            f.moviTo(found, 0);
+            whileLoop(
+                f,
+                [&]() {
+                    const RegId more = f.cmplt(j, n_r);
+                    const RegId notf =
+                        f.cmpeq(found, f.movi(0));
+                    return f.and_(more, notf);
+                },
+                [&]() {
+                    const RegId e =
+                        f.ld(f.add(m_b, f.mul(j, eight)), 0);
+                    const RegId eq = f.cmpeq(e, v);
+                    f.selTo(found, eq, one, found);
+                    f.addTo(j, j, one);
+                });
+        });
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(data),
+            static_cast<std::int64_t>(mtf)};
+}
+
+void
+buildBzip2_256(ProgramBuilder &pb, SimMemory &mem,
+               std::vector<std::int64_t> &args)
+{
+    buildBzip2(pb, mem, args, 6006);
+}
+
+void
+buildBzip2_401(ProgramBuilder &pb, SimMemory &mem,
+               std::vector<std::int64_t> &args)
+{
+    buildBzip2(pb, mem, args, 6007);
+}
+
+void
+buildGcc(ProgramBuilder &pb, SimMemory &mem,
+         std::vector<std::int64_t> &args)
+{
+    Rng rng(6008);
+    Arena arena;
+    const std::int64_t insns = 7000;
+    const Addr opcodes = arena.alloc(insns * 8);
+    const Addr operands = arena.alloc(insns * 8);
+    const Addr out = arena.alloc(insns * 8);
+    fillI64(mem, opcodes, insns, rng, 0, 5);
+    fillI64(mem, operands, insns, rng, 0, 1000);
+
+    auto &f = pb.func("main", 3);
+    const RegId op_b = f.arg(0);
+    const RegId or_b = f.arg(1);
+    const RegId out_b = f.arg(2);
+    const RegId eight = f.movi(8);
+
+    // Instruction-dispatch loop: a chain of opcode tests (the jump
+    // table of a compiler's folding pass).
+    countedLoop(f, 0, insns, 1, [&](RegId i) {
+        const RegId off = f.mul(i, eight);
+        const RegId op = f.ld(f.add(op_b, off), 0);
+        const RegId v = f.ld(f.add(or_b, off), 0);
+        const RegId res = f.reg();
+        f.moviTo(res, 0);
+        const RegId is0 = f.cmpeq(op, f.movi(0));
+        ifElse(
+            f, is0,
+            [&]() { f.movTo(res, f.add(v, v)); },
+            [&]() {
+                const RegId is1 = f.cmpeq(op, f.movi(1));
+                ifElse(
+                    f, is1,
+                    [&]() { f.movTo(res, f.mul(v, f.movi(3))); },
+                    [&]() {
+                        const RegId is2 =
+                            f.cmpeq(op, f.movi(2));
+                        ifElse(
+                            f, is2,
+                            [&]() {
+                                f.movTo(res,
+                                        f.shr(v, f.movi(1)));
+                            },
+                            [&]() {
+                                f.movTo(res,
+                                        f.xor_(v, f.movi(85)));
+                            });
+                    });
+            });
+        f.st(f.add(out_b, off), 0, res);
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(opcodes),
+            static_cast<std::int64_t>(operands),
+            static_cast<std::int64_t>(out)};
+}
+
+void
+buildSjeng(ProgramBuilder &pb, SimMemory &mem,
+           std::vector<std::int64_t> &args)
+{
+    Rng rng(6009);
+    Arena arena;
+    const std::int64_t boards = 500;
+    const std::int64_t sq = 64;
+    const Addr board = arena.alloc(boards * sq * 8);
+    const Addr score = arena.alloc(boards * 8);
+    fillI64(mem, board, boards * sq, rng, -6, 6);
+
+    auto &f = pb.func("main", 2);
+    const RegId b_b = f.arg(0);
+    const RegId s_b = f.arg(1);
+    const RegId eight = f.movi(8);
+    const RegId sqsz = f.movi(sq * 8);
+    const RegId zero = f.movi(0);
+
+    countedLoop(f, 0, boards, 1, [&](RegId b) {
+        const RegId base = f.add(b_b, f.mul(b, sqsz));
+        const RegId acc = f.reg();
+        f.moviTo(acc, 0);
+        countedLoop(f, 0, sq, 1, [&](RegId s) {
+            const RegId p =
+                f.ld(f.add(base, f.mul(s, eight)), 0);
+            const RegId occupied =
+                f.cmpeq(f.cmpeq(p, zero), zero);
+            ifElse(f, occupied, [&]() {
+                const RegId mine = f.cmplt(zero, p);
+                ifElse(
+                    f, mine,
+                    [&]() {
+                        f.addTo(acc, acc, f.mul(p, p));
+                    },
+                    [&]() {
+                        f.addTo(acc, acc, p);
+                    });
+            });
+        });
+        f.st(f.add(s_b, f.mul(b, eight)), 0, acc);
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(board),
+            static_cast<std::int64_t>(score)};
+}
+
+void
+buildAstar(ProgramBuilder &pb, SimMemory &mem,
+           std::vector<std::int64_t> &args)
+{
+    Rng rng(6010);
+    Arena arena;
+    const std::int64_t heap_n = 256;
+    const std::int64_t ops = 3000;
+    const Addr heap = arena.alloc(heap_n * 8);
+    const Addr keys = arena.alloc(ops * 8);
+    fillI64(mem, heap, heap_n, rng, 0, 1 << 20);
+    fillI64(mem, keys, ops, rng, 0, 1 << 20);
+
+    auto &f = pb.func("main", 2);
+    const RegId h_b = f.arg(0);
+    const RegId k_b = f.arg(1);
+    const RegId eight = f.movi(8);
+    const RegId one = f.movi(1);
+    const RegId two = f.movi(2);
+    const RegId heap_r = f.movi(heap_n);
+
+    // Sift-down passes: data-dependent descent through the heap.
+    countedLoop(f, 0, ops, 1, [&](RegId o) {
+        const RegId key =
+            f.ld(f.add(k_b, f.mul(o, eight)), 0);
+        const RegId pos = f.reg();
+        f.moviTo(pos, 0);
+        f.st(h_b, 0, key);
+        const RegId going = f.reg();
+        f.moviTo(going, 1);
+        whileLoop(
+            f,
+            [&]() {
+                const RegId l =
+                    f.add(f.mul(pos, two), one);
+                const RegId in = f.cmplt(l, heap_r);
+                return f.and_(in, going);
+            },
+            [&]() {
+                const RegId l =
+                    f.add(f.mul(pos, two), one);
+                const RegId loff = f.mul(l, eight);
+                const RegId lv = f.ld(f.add(h_b, loff), 0);
+                const RegId poff = f.mul(pos, eight);
+                const RegId pv = f.ld(f.add(h_b, poff), 0);
+                const RegId swap = f.cmplt(lv, pv);
+                ifElse(
+                    f, swap,
+                    [&]() {
+                        f.st(f.add(h_b, poff), 0, lv);
+                        f.st(f.add(h_b, loff), 0, pv);
+                        f.movTo(pos, l);
+                    },
+                    [&]() { f.moviTo(going, 0); });
+            });
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(heap),
+            static_cast<std::int64_t>(keys)};
+}
+
+void
+buildHmmer(ProgramBuilder &pb, SimMemory &mem,
+           std::vector<std::int64_t> &args)
+{
+    Rng rng(6011);
+    Arena arena;
+    const std::int64_t states = 64;
+    const std::int64_t seq = 700;
+    const Addr emit = arena.alloc(states * 8);
+    const Addr trans = arena.alloc(states * 8);
+    const Addr dp = arena.alloc(2 * states * 8);
+    fillI64(mem, emit, states, rng, -10, 10);
+    fillI64(mem, trans, states, rng, -5, 0);
+
+    auto &f = pb.func("main", 3);
+    const RegId e_b = f.arg(0);
+    const RegId t_b = f.arg(1);
+    const RegId dp_b = f.arg(2);
+    const RegId eight = f.movi(8);
+    const RegId rowsz = f.movi(states * 8);
+
+    // Viterbi-like DP: per sequence position, per state, a max over
+    // predecessors (sel-heavy, carried across rows through memory).
+    countedLoop(f, 0, seq, 1, [&](RegId pos) {
+        const RegId parity = f.and_(pos, f.movi(1));
+        const RegId cur =
+            f.add(dp_b, f.mul(parity, rowsz));
+        const RegId prev = f.add(
+            dp_b,
+            f.mul(f.xor_(parity, f.movi(1)), rowsz));
+        countedLoop(f, 1, states, 1, [&](RegId s) {
+            const RegId soff = f.mul(s, eight);
+            const RegId stay = f.ld(f.add(prev, soff), 0);
+            const RegId move = f.ld(f.add(prev, soff), -8);
+            const RegId tcost =
+                f.ld(f.add(t_b, soff), 0);
+            const RegId moved = f.add(move, tcost);
+            const RegId better = f.cmplt(stay, moved);
+            const RegId best = f.sel(better, moved, stay);
+            const RegId ecost = f.ld(f.add(e_b, soff), 0);
+            f.st(f.add(cur, soff), 0, f.add(best, ecost));
+        });
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(emit),
+            static_cast<std::int64_t>(trans),
+            static_cast<std::int64_t>(dp)};
+}
+
+void
+buildGobmk(ProgramBuilder &pb, SimMemory &mem,
+           std::vector<std::int64_t> &args)
+{
+    Rng rng(6012);
+    Arena arena;
+    const std::int64_t sz = 19 * 19;
+    const std::int64_t positions = 700;
+    const Addr board = arena.alloc(positions * sz * 8);
+    const Addr lib = arena.alloc(positions * 8);
+    for (std::int64_t i = 0; i < positions * sz; ++i)
+        mem.writeI64(board + i * 8, rng.range(0, 2)); // 0/1/2
+
+    auto &f = pb.func("main", 2);
+    const RegId b_b = f.arg(0);
+    const RegId l_b = f.arg(1);
+    const RegId eight = f.movi(8);
+    const RegId bsz = f.movi(sz * 8);
+    const RegId zero = f.movi(0);
+    const RegId one = f.movi(1);
+
+    countedLoop(f, 0, positions, 1, [&](RegId p) {
+        const RegId base = f.add(b_b, f.mul(p, bsz));
+        const RegId libs = f.reg();
+        f.moviTo(libs, 0);
+        countedLoop(f, 19, sz - 19, 1, [&](RegId s) {
+            const RegId soff = f.mul(s, eight);
+            const RegId v = f.ld(f.add(base, soff), 0);
+            const RegId stone = f.cmpeq(v, one);
+            ifElse(f, stone, [&]() {
+                // Count empty orthogonal neighbors.
+                const RegId nn = f.ld(f.add(base, soff), -19 * 8);
+                const RegId ss = f.ld(f.add(base, soff), 19 * 8);
+                const RegId ww = f.ld(f.add(base, soff), -8);
+                const RegId ee = f.ld(f.add(base, soff), 8);
+                const RegId c1 = f.cmpeq(nn, zero);
+                const RegId c2 = f.cmpeq(ss, zero);
+                const RegId c3 = f.cmpeq(ww, zero);
+                const RegId c4 = f.cmpeq(ee, zero);
+                const RegId sum =
+                    f.add(f.add(c1, c2), f.add(c3, c4));
+                f.addTo(libs, libs, sum);
+            });
+        });
+        f.st(f.add(l_b, f.mul(p, eight)), 0, libs);
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(board),
+            static_cast<std::int64_t>(lib)};
+}
+
+void
+buildH264ref(ProgramBuilder &pb, SimMemory &mem,
+             std::vector<std::int64_t> &args)
+{
+    Rng rng(6013);
+    Arena arena;
+    // Alternating phases like the encoder reference code: SAD-like
+    // motion search (regular), then entropy-ish bit accounting
+    // (irregular), per macroblock row.
+    const std::int64_t mbs = 120;
+    const std::int64_t blk = 16;
+    const Addr cur = arena.alloc(mbs * blk * 8);
+    const Addr ref = arena.alloc(mbs * blk * 8);
+    const Addr bitsv = arena.alloc(mbs * 8);
+    fillI64(mem, cur, mbs * blk, rng, 0, 255);
+    fillI64(mem, ref, mbs * blk, rng, 0, 255);
+
+    auto &f = pb.func("main", 3);
+    const RegId c_b = f.arg(0);
+    const RegId r_b = f.arg(1);
+    const RegId o_b = f.arg(2);
+    const RegId eight = f.movi(8);
+    const RegId blksz = f.movi(blk * 8);
+    const RegId zero = f.movi(0);
+    const RegId one = f.movi(1);
+
+    countedLoop(f, 0, 14, 1, [&](RegId) {
+        // Phase 1: motion SAD over all macroblocks.
+        countedLoop(f, 0, mbs, 1, [&](RegId m) {
+            const RegId co = f.add(c_b, f.mul(m, blksz));
+            const RegId ro = f.add(r_b, f.mul(m, blksz));
+            RegId acc = f.movi(0);
+            for (int k = 0; k < blk; ++k) {
+                const RegId a = f.ld(co, k * 8);
+                const RegId b = f.ld(ro, k * 8);
+                const RegId d = f.sub(a, b);
+                const RegId neg = f.cmplt(d, zero);
+                acc = f.add(acc, f.sel(neg, f.sub(zero, d), d));
+            }
+            f.st(f.add(o_b, f.mul(m, eight)), 0, acc);
+        });
+        // Phase 2: bit-length accounting with value-dependent
+        // control.
+        countedLoop(f, 0, mbs, 1, [&](RegId m) {
+            const RegId sad =
+                f.ld(f.add(o_b, f.mul(m, eight)), 0);
+            const RegId bits = f.reg();
+            const RegId v = f.reg();
+            f.moviTo(bits, 0);
+            f.movTo(v, sad);
+            whileLoop(
+                f, [&]() { return f.cmplt(zero, v); },
+                [&]() {
+                    f.addTo(bits, bits, one);
+                    f.movTo(v, f.shr(v, one));
+                });
+            f.st(f.add(o_b, f.mul(m, eight)), 0, bits);
+        });
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(cur),
+            static_cast<std::int64_t>(ref),
+            static_cast<std::int64_t>(bitsv)};
+}
+
+const std::vector<WorkloadSpec> kSpecint = {
+    {"164.gzip", "SPECint", SuiteClass::Irregular, buildGzip,
+     350'000},
+    {"181.mcf", "SPECint", SuiteClass::Irregular, buildMcf181,
+     300'000},
+    {"175.vpr", "SPECint", SuiteClass::Irregular, buildVpr,
+     300'000},
+    {"197.parser", "SPECint", SuiteClass::Irregular, buildParser,
+     350'000},
+    {"256.bzip2", "SPECint", SuiteClass::Irregular, buildBzip2_256,
+     350'000},
+    {"401.bzip2", "SPECint", SuiteClass::Irregular, buildBzip2_401,
+     350'000},
+    {"429.mcf", "SPECint", SuiteClass::Irregular, buildMcf429,
+     300'000},
+    {"403.gcc", "SPECint", SuiteClass::Irregular, buildGcc,
+     300'000},
+    {"458.sjeng", "SPECint", SuiteClass::Irregular, buildSjeng,
+     350'000},
+    {"473.astar", "SPECint", SuiteClass::Irregular, buildAstar,
+     300'000},
+    {"456.hmmer", "SPECint", SuiteClass::Irregular, buildHmmer,
+     350'000},
+    {"445.gobmk", "SPECint", SuiteClass::Irregular, buildGobmk,
+     350'000},
+    {"464.h264ref", "SPECint", SuiteClass::Irregular, buildH264ref,
+     400'000},
+};
+
+} // namespace
+
+std::span<const WorkloadSpec>
+specintWorkloads()
+{
+    return kSpecint;
+}
+
+} // namespace prism

@@ -1,0 +1,79 @@
+#include "workloads/suite.hh"
+
+#include "common/logging.hh"
+#include "prog/builder.hh"
+
+namespace prism
+{
+
+const char *
+suiteClassName(SuiteClass c)
+{
+    switch (c) {
+      case SuiteClass::Regular: return "regular";
+      case SuiteClass::SemiRegular: return "semi-regular";
+      case SuiteClass::Irregular: return "irregular";
+    }
+    panic("bad suite class");
+}
+
+std::span<const WorkloadSpec>
+allWorkloads()
+{
+    static const std::vector<WorkloadSpec> all = [] {
+        std::vector<WorkloadSpec> v;
+        auto add = [&v](std::span<const WorkloadSpec> s) {
+            v.insert(v.end(), s.begin(), s.end());
+        };
+        add(tptWorkloads());
+        add(parboilWorkloads());
+        add(specfpWorkloads());
+        add(mediabenchWorkloads());
+        add(tpchWorkloads());
+        add(specintWorkloads());
+        return v;
+    }();
+    return all;
+}
+
+const WorkloadSpec &
+findWorkload(const std::string &name)
+{
+    for (const WorkloadSpec &w : allWorkloads()) {
+        if (name == w.name)
+            return w;
+    }
+    for (const WorkloadSpec &w : microbenchmarks()) {
+        if (name == w.name)
+            return w;
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::unique_ptr<LoadedWorkload>
+LoadedWorkload::load(const WorkloadSpec &spec,
+                     std::uint64_t max_insts_override)
+{
+    auto lw = std::unique_ptr<LoadedWorkload>(new LoadedWorkload());
+    lw->spec_ = &spec;
+    lw->name_ = spec.name;
+
+    ProgramBuilder pb;
+    SimMemory mem;
+    std::vector<std::int64_t> args;
+    spec.build(pb, mem, args);
+    lw->prog_ = pb.build();
+
+    TraceGenConfig cfg;
+    cfg.maxInsts =
+        max_insts_override ? max_insts_override : spec.maxInsts;
+    Trace trace(&lw->prog_);
+    trace.reserve(cfg.maxInsts / 4);
+    lw->genResult_ = generateTrace(lw->prog_, mem, args, trace, cfg);
+    prism_assert(!trace.empty(), "workload '%s' produced no trace",
+                 spec.name);
+    lw->tdg_ = std::make_unique<Tdg>(lw->prog_, std::move(trace));
+    return lw;
+}
+
+} // namespace prism

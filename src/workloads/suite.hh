@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The benchmark registry (paper Table 3): ~45 kernels across six
+ * suites, each a behavioral analogue of its namesake (see DESIGN.md's
+ * substitution table), plus the "vertical microbenchmarks" used for
+ * the OOO cross-validation experiment.
+ */
+
+#ifndef PRISM_WORKLOADS_SUITE_HH
+#define PRISM_WORKLOADS_SUITE_HH
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "prog/builder.hh"
+#include "sim/trace_gen.hh"
+#include "tdg/tdg.hh"
+
+namespace prism
+{
+
+/** Workload regularity class (Figure 11's grouping). */
+enum class SuiteClass { Regular, SemiRegular, Irregular };
+
+/** Display name of a suite class. */
+const char *suiteClassName(SuiteClass c);
+
+/** A registered workload kernel. */
+struct WorkloadSpec
+{
+    const char *name;
+    const char *suite;
+    SuiteClass cls;
+    /** Build the guest program and stage its input data/arguments. */
+    void (*build)(ProgramBuilder &pb, SimMemory &mem,
+                  std::vector<std::int64_t> &args);
+    std::uint64_t maxInsts = 400'000;
+};
+
+/** All Table 3 workloads. */
+std::span<const WorkloadSpec> allWorkloads();
+
+/** Vertical microbenchmarks (OOO cross-validation, Section 2.5). */
+std::span<const WorkloadSpec> microbenchmarks();
+
+/** Find a workload (searches both lists); fatal if unknown. */
+const WorkloadSpec &findWorkload(const std::string &name);
+
+// Per-suite registration (implemented one suite per file).
+std::span<const WorkloadSpec> tptWorkloads();
+std::span<const WorkloadSpec> parboilWorkloads();
+std::span<const WorkloadSpec> specfpWorkloads();
+std::span<const WorkloadSpec> mediabenchWorkloads();
+std::span<const WorkloadSpec> tpchWorkloads();
+std::span<const WorkloadSpec> specintWorkloads();
+
+/**
+ * A fully materialized workload: program built, inputs staged, trace
+ * recorded, TDG constructed.
+ */
+class LoadedWorkload
+{
+  public:
+    /** Build + trace + construct the TDG for a workload. */
+    static std::unique_ptr<LoadedWorkload>
+    load(const WorkloadSpec &spec, std::uint64_t max_insts_override = 0);
+
+    const WorkloadSpec &spec() const { return *spec_; }
+    const std::string &name() const { return name_; }
+    const Tdg &tdg() const { return *tdg_; }
+    const Program &program() const { return prog_; }
+    const TraceGenResult &genResult() const { return genResult_; }
+
+  private:
+    LoadedWorkload() = default;
+
+    const WorkloadSpec *spec_ = nullptr;
+    std::string name_;
+    Program prog_;
+    TraceGenResult genResult_;
+    std::unique_ptr<Tdg> tdg_;
+};
+
+} // namespace prism
+
+#endif // PRISM_WORKLOADS_SUITE_HH

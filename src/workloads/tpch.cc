@@ -1,0 +1,143 @@
+/**
+ * @file
+ * TPC-H analogues (paper Table 3, "semi-regular"): query 1 (scan +
+ * predicated aggregation over lineitem-like rows) and query 2
+ * (selective nested-loop join with a rare match). Q1's predicate is
+ * highly biased (Trace-P friendly); Q2 exercises a two-level loop
+ * with an inner probe.
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/kernel_util.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+void
+buildTpchQ1(ProgramBuilder &pb, SimMemory &mem,
+            std::vector<std::int64_t> &args)
+{
+    Rng rng(4001);
+    Arena arena;
+    const std::int64_t rows = 9000;
+    // Columnar layout: shipdate, qty, price, discount.
+    const Addr shipdate = arena.alloc(rows * 8);
+    const Addr qty = arena.alloc(rows * 8);
+    const Addr price = arena.alloc(rows * 8);
+    const Addr disc = arena.alloc(rows * 8);
+    const Addr agg = arena.alloc(4 * 8);
+    fillI64(mem, shipdate, rows, rng, 0, 2500);
+    fillF64(mem, qty, rows, rng, 1.0, 50.0);
+    fillF64(mem, price, rows, rng, 100.0, 1000.0);
+    fillF64(mem, disc, rows, rng, 0.0, 0.1);
+
+    auto &f = pb.func("main", 5);
+    const RegId sd_b = f.arg(0);
+    const RegId q_b = f.arg(1);
+    const RegId p_b = f.arg(2);
+    const RegId d_b = f.arg(3);
+    const RegId agg_b = f.arg(4);
+    const RegId eight = f.movi(8);
+    const RegId datelim = f.movi(2400); // ~96% of rows pass
+    const RegId sum_qty = f.reg();
+    const RegId sum_rev = f.reg();
+    const RegId count = f.reg();
+    f.fmoviTo(sum_qty, 0.0);
+    f.fmoviTo(sum_rev, 0.0);
+    f.moviTo(count, 0);
+    const RegId one = f.movi(1);
+    const RegId onef = f.fmovi(1.0);
+
+    countedLoop(f, 0, rows, 1, [&](RegId r) {
+        const RegId off = f.mul(r, eight);
+        const RegId date = f.ld(f.add(sd_b, off), 0);
+        const RegId pass = f.cmple(date, datelim);
+        // Highly biased predicate: hot path includes the update.
+        ifElse(f, pass, [&]() {
+            const RegId qv = f.ld(f.add(q_b, off), 0);
+            const RegId pv = f.ld(f.add(p_b, off), 0);
+            const RegId dv = f.ld(f.add(d_b, off), 0);
+            const RegId rev = f.fmul(pv, f.fsub(onef, dv));
+            f.faddTo(sum_qty, sum_qty, qv);
+            f.faddTo(sum_rev, sum_rev, rev);
+            f.addTo(count, count, one);
+        });
+    });
+    f.st(agg_b, 0, sum_qty);
+    f.st(agg_b, 8, sum_rev);
+    f.st(agg_b, 16, count);
+    f.retVoid();
+    args = {static_cast<std::int64_t>(shipdate),
+            static_cast<std::int64_t>(qty),
+            static_cast<std::int64_t>(price),
+            static_cast<std::int64_t>(disc),
+            static_cast<std::int64_t>(agg)};
+}
+
+void
+buildTpchQ2(ProgramBuilder &pb, SimMemory &mem,
+            std::vector<std::int64_t> &args)
+{
+    Rng rng(4002);
+    Arena arena;
+    const std::int64_t parts = 600;
+    const std::int64_t suppliers = 130;
+    const Addr pkey = arena.alloc(parts * 8);
+    const Addr skey = arena.alloc(suppliers * 8);
+    const Addr scost = arena.alloc(suppliers * 8);
+    const Addr out = arena.alloc(parts * 8);
+    fillI64(mem, pkey, parts, rng, 0, 255);
+    fillI64(mem, skey, suppliers, rng, 0, 255);
+    fillF64(mem, scost, suppliers, rng, 1.0, 100.0);
+
+    auto &f = pb.func("main", 4);
+    const RegId pk_b = f.arg(0);
+    const RegId sk_b = f.arg(1);
+    const RegId sc_b = f.arg(2);
+    const RegId out_b = f.arg(3);
+    const RegId eight = f.movi(8);
+
+    countedLoop(f, 0, parts, 1, [&](RegId p) {
+        const RegId key =
+            f.ld(f.add(pk_b, f.mul(p, eight)), 0);
+        const RegId best = f.reg();
+        f.fmoviTo(best, 1e30);
+        countedLoop(f, 0, suppliers, 1, [&](RegId s) {
+            const RegId soff = f.mul(s, eight);
+            const RegId sk = f.ld(f.add(sk_b, soff), 0);
+            const RegId match = f.cmpeq(sk, key);
+            // Rare match (~1/256): hot path skips the update.
+            ifElse(f, match, [&]() {
+                const RegId cost =
+                    f.ld(f.add(sc_b, soff), 0);
+                const RegId lt = f.fcmplt(cost, best);
+                f.selTo(best, lt, cost, best);
+            });
+        });
+        f.st(f.add(out_b, f.mul(p, eight)), 0, best);
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(pkey),
+            static_cast<std::int64_t>(skey),
+            static_cast<std::int64_t>(scost),
+            static_cast<std::int64_t>(out)};
+}
+
+const std::vector<WorkloadSpec> kTpch = {
+    {"tpch1", "TPCH", SuiteClass::SemiRegular, buildTpchQ1, 350'000},
+    {"tpch2", "TPCH", SuiteClass::SemiRegular, buildTpchQ2, 350'000},
+};
+
+} // namespace
+
+std::span<const WorkloadSpec>
+tpchWorkloads()
+{
+    return kTpch;
+}
+
+} // namespace prism

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Intel TPT microbenchmark analogues (paper Table 3, "regular"):
+ * conv, merge, nbody, radar, treesearch, vr. Each kernel reproduces
+ * its namesake's behavioral profile: conv/nbody/radar are clean
+ * data-parallel FP loops; merge has data-dependent control; tree-
+ * search is pointer-chasing; vr mixes data-parallel sampling with an
+ * early-exit branch.
+ */
+
+#include "workloads/suite.hh"
+
+#include "workloads/kernel_util.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+void
+buildConv(ProgramBuilder &pb, SimMemory &mem,
+          std::vector<std::int64_t> &args)
+{
+    Rng rng(1001);
+    Arena arena;
+    const std::int64_t n = 6000;
+    const std::int64_t k = 8;
+    const Addr in = arena.alloc((n + k) * 8);
+    const Addr wts = arena.alloc(k * 8);
+    const Addr out = arena.alloc(n * 8);
+    fillF64(mem, in, n + k, rng, -1.0, 1.0);
+    fillF64(mem, wts, k, rng, -0.5, 0.5);
+
+    auto &f = pb.func("main", 3);
+    const RegId in_b = f.arg(0);
+    const RegId w_b = f.arg(1);
+    const RegId out_b = f.arg(2);
+    std::vector<RegId> w;
+    for (std::int64_t t = 0; t < k; ++t)
+        w.push_back(f.ld(w_b, t * 8));
+    const RegId eight = f.movi(8);
+
+    countedLoop(f, 0, n, 1, [&](RegId i) {
+        const RegId off = f.mul(i, eight);
+        const RegId p = f.add(in_b, off);
+        RegId acc = f.fmovi(0.0);
+        for (std::int64_t t = 0; t < k; ++t) {
+            const RegId x = f.ld(p, t * 8);
+            acc = f.fma(x, w[t], acc);
+        }
+        const RegId q = f.add(out_b, off);
+        f.st(q, 0, acc);
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(in),
+            static_cast<std::int64_t>(wts),
+            static_cast<std::int64_t>(out)};
+}
+
+void
+buildMerge(ProgramBuilder &pb, SimMemory &mem,
+           std::vector<std::int64_t> &args)
+{
+    Rng rng(1002);
+    Arena arena;
+    const std::int64_t n = 16000;
+    const Addr a = arena.alloc(n * 8);
+    const Addr b = arena.alloc(n * 8);
+    const Addr out = arena.alloc(2 * n * 8);
+    fillSortedI64(mem, a, n, rng, 0, 9);
+    fillSortedI64(mem, b, n, rng, 0, 9);
+
+    auto &f = pb.func("main", 3);
+    const RegId a_b = f.arg(0);
+    const RegId b_b = f.arg(1);
+    const RegId out_b = f.arg(2);
+    const RegId i = f.reg();
+    const RegId j = f.reg();
+    const RegId kk = f.reg();
+    f.moviTo(i, 0);
+    f.moviTo(j, 0);
+    f.moviTo(kk, 0);
+    const RegId n_r = f.movi(n);
+    const RegId one = f.movi(1);
+    const RegId eight = f.movi(8);
+
+    whileLoop(
+        f,
+        [&]() {
+            const RegId ci = f.cmplt(i, n_r);
+            const RegId cj = f.cmplt(j, n_r);
+            return f.and_(ci, cj);
+        },
+        [&]() {
+            const RegId ai =
+                f.ld(f.add(a_b, f.mul(i, eight)), 0);
+            const RegId bj =
+                f.ld(f.add(b_b, f.mul(j, eight)), 0);
+            const RegId c = f.cmple(ai, bj);
+            const RegId outp = f.add(out_b, f.mul(kk, eight));
+            ifElse(
+                f, c,
+                [&]() {
+                    f.st(outp, 0, ai);
+                    f.addTo(i, i, one);
+                },
+                [&]() {
+                    f.st(outp, 0, bj);
+                    f.addTo(j, j, one);
+                });
+            f.addTo(kk, kk, one);
+        });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(a),
+            static_cast<std::int64_t>(b),
+            static_cast<std::int64_t>(out)};
+}
+
+void
+buildNbody(ProgramBuilder &pb, SimMemory &mem,
+           std::vector<std::int64_t> &args)
+{
+    Rng rng(1003);
+    Arena arena;
+    const std::int64_t n = 96;
+    const Addr x = arena.alloc(n * 8);
+    const Addr y = arena.alloc(n * 8);
+    const Addr fx = arena.alloc(n * 8);
+    fillF64(mem, x, n, rng, -10.0, 10.0);
+    fillF64(mem, y, n, rng, -10.0, 10.0);
+
+    auto &f = pb.func("main", 3);
+    const RegId x_b = f.arg(0);
+    const RegId y_b = f.arg(1);
+    const RegId fx_b = f.arg(2);
+    const RegId eight = f.movi(8);
+    const RegId eps = f.fmovi(0.01);
+
+    countedLoop(f, 0, n, 1, [&](RegId i) {
+        const RegId ioff = f.mul(i, eight);
+        const RegId xi = f.ld(f.add(x_b, ioff), 0);
+        const RegId yi = f.ld(f.add(y_b, ioff), 0);
+        const RegId acc = f.reg();
+        f.fmoviTo(acc, 0.0);
+        countedLoop(f, 0, n, 1, [&](RegId j) {
+            const RegId joff = f.mul(j, eight);
+            const RegId xj = f.ld(f.add(x_b, joff), 0);
+            const RegId yj = f.ld(f.add(y_b, joff), 0);
+            const RegId dx = f.fsub(xj, xi);
+            const RegId dy = f.fsub(yj, yi);
+            const RegId r2a = f.fma(dx, dx, eps);
+            const RegId r2 = f.fma(dy, dy, r2a);
+            const RegId r = f.fsqrt(r2);
+            const RegId r3 = f.fmul(r2, r);
+            const RegId inv = f.fdiv(dx, r3);
+            f.faddTo(acc, acc, inv);
+        });
+        f.st(f.add(fx_b, ioff), 0, acc);
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(x),
+            static_cast<std::int64_t>(y),
+            static_cast<std::int64_t>(fx)};
+}
+
+void
+buildRadar(ProgramBuilder &pb, SimMemory &mem,
+           std::vector<std::int64_t> &args)
+{
+    Rng rng(1004);
+    Arena arena;
+    const std::int64_t n = 4000;
+    const std::int64_t taps = 12;
+    const Addr re = arena.alloc((n + taps) * 8);
+    const Addr im = arena.alloc((n + taps) * 8);
+    const Addr out = arena.alloc(n * 8);
+    fillF64(mem, re, n + taps, rng, -1.0, 1.0);
+    fillF64(mem, im, n + taps, rng, -1.0, 1.0);
+
+    auto &f = pb.func("main", 3);
+    const RegId re_b = f.arg(0);
+    const RegId im_b = f.arg(1);
+    const RegId out_b = f.arg(2);
+    const RegId eight = f.movi(8);
+    const RegId wr = f.fmovi(0.7);
+    const RegId wi = f.fmovi(-0.3);
+
+    countedLoop(f, 0, n, 1, [&](RegId i) {
+        const RegId off = f.mul(i, eight);
+        const RegId pr = f.add(re_b, off);
+        const RegId pi = f.add(im_b, off);
+        RegId acc_r = f.fmovi(0.0);
+        RegId acc_i = f.fmovi(0.0);
+        for (std::int64_t t = 0; t < taps; t += 4) {
+            const RegId xr = f.ld(pr, t * 8);
+            const RegId xi = f.ld(pi, t * 8);
+            // Complex multiply-accumulate with fixed coefficients.
+            const RegId t1 = f.fmul(xr, wr);
+            const RegId t2 = f.fmul(xi, wi);
+            const RegId t3 = f.fmul(xr, wi);
+            const RegId t4 = f.fmul(xi, wr);
+            acc_r = f.fadd(acc_r, f.fsub(t1, t2));
+            acc_i = f.fadd(acc_i, f.fadd(t3, t4));
+        }
+        const RegId mag = f.fma(acc_r, acc_r, f.fmul(acc_i, acc_i));
+        f.st(f.add(out_b, off), 0, mag);
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(re),
+            static_cast<std::int64_t>(im),
+            static_cast<std::int64_t>(out)};
+}
+
+void
+buildTreesearch(ProgramBuilder &pb, SimMemory &mem,
+                std::vector<std::int64_t> &args)
+{
+    Rng rng(1005);
+    Arena arena;
+    // Implicit balanced BST in an array: node i has children 2i+1,
+    // 2i+2; keys laid out so in-order is sorted.
+    const std::int64_t nodes = 4095; // depth 12
+    const std::int64_t queries = 4000;
+    const Addr keys = arena.alloc(nodes * 8);
+    const Addr qs = arena.alloc(queries * 8);
+    const Addr out = arena.alloc(queries * 8);
+    // Heap-ordered keys: parent splits the range.
+    std::function<void(std::int64_t, std::int64_t, std::int64_t)>
+        fill = [&](std::int64_t idx, std::int64_t lo,
+                   std::int64_t hi) {
+            if (idx >= nodes || lo > hi)
+                return;
+            const std::int64_t mid = lo + (hi - lo) / 2;
+            mem.writeI64(keys + idx * 8, mid);
+            fill(2 * idx + 1, lo, mid - 1);
+            fill(2 * idx + 2, mid + 1, hi);
+        };
+    fill(0, 0, 1 << 20);
+    fillI64(mem, qs, queries, rng, 0, 1 << 20);
+
+    auto &f = pb.func("main", 3);
+    const RegId keys_b = f.arg(0);
+    const RegId qs_b = f.arg(1);
+    const RegId out_b = f.arg(2);
+    const RegId eight = f.movi(8);
+    const RegId one = f.movi(1);
+    const RegId two = f.movi(2);
+    const RegId nodes_r = f.movi(nodes);
+
+    countedLoop(f, 0, queries, 1, [&](RegId q) {
+        const RegId qv = f.ld(f.add(qs_b, f.mul(q, eight)), 0);
+        const RegId node = f.reg();
+        const RegId found = f.reg();
+        f.moviTo(node, 0);
+        f.moviTo(found, 0);
+        whileLoop(
+            f, [&]() { return f.cmplt(node, nodes_r); },
+            [&]() {
+                const RegId key =
+                    f.ld(f.add(keys_b, f.mul(node, eight)), 0);
+                const RegId eq = f.cmpeq(key, qv);
+                const RegId sum = f.add(found, key);
+                f.selTo(found, eq, sum, found);
+                const RegId lt = f.cmplt(qv, key);
+                const RegId l =
+                    f.add(f.mul(node, two), one);
+                const RegId r = f.add(l, one);
+                f.selTo(node, lt, l, r);
+            });
+        f.st(f.add(out_b, f.mul(q, eight)), 0, found);
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(keys),
+            static_cast<std::int64_t>(qs),
+            static_cast<std::int64_t>(out)};
+}
+
+void
+buildVr(ProgramBuilder &pb, SimMemory &mem,
+        std::vector<std::int64_t> &args)
+{
+    Rng rng(1006);
+    Arena arena;
+    const std::int64_t rays = 1200;
+    const std::int64_t steps = 64;
+    const Addr volume = arena.alloc(steps * rays * 8);
+    const Addr out = arena.alloc(rays * 8);
+    // Mostly low densities so most rays march far (high loop-back
+    // probability with a rare early exit).
+    for (std::int64_t i = 0; i < steps * rays; ++i) {
+        const double d =
+            rng.chance(0.02) ? 0.5 + rng.uniform() : rng.uniform() * 0.02;
+        mem.writeF64(volume + i * 8, d);
+    }
+
+    auto &f = pb.func("main", 2);
+    const RegId vol_b = f.arg(0);
+    const RegId out_b = f.arg(1);
+    const RegId eight = f.movi(8);
+    const RegId steps_r = f.movi(steps);
+    const RegId one = f.movi(1);
+    const RegId thresh = f.fmovi(0.95);
+    const RegId rays_r = f.movi(rays);
+
+    countedLoop(f, 0, rays, 1, [&](RegId ray) {
+        const RegId opacity = f.reg();
+        const RegId t = f.reg();
+        f.fmoviTo(opacity, 0.0);
+        f.moviTo(t, 0);
+        whileLoop(
+            f,
+            [&]() {
+                const RegId more = f.cmplt(t, steps_r);
+                const RegId below = f.fcmplt(opacity, thresh);
+                return f.and_(more, below);
+            },
+            [&]() {
+                const RegId idx = f.add(f.mul(t, rays_r), ray);
+                const RegId d =
+                    f.ld(f.add(vol_b, f.mul(idx, eight)), 0);
+                // opacity += (1 - opacity) * d
+                const RegId rem =
+                    f.fsub(f.fmovi(1.0), opacity);
+                const RegId contrib = f.fmul(rem, d);
+                f.faddTo(opacity, opacity, contrib);
+                f.addTo(t, t, one);
+            });
+        f.st(f.add(out_b, f.mul(ray, eight)), 0, opacity);
+    });
+    f.retVoid();
+    args = {static_cast<std::int64_t>(volume),
+            static_cast<std::int64_t>(out)};
+}
+
+const std::vector<WorkloadSpec> kTpt = {
+    {"conv", "TPT", SuiteClass::Regular, buildConv, 300'000},
+    {"merge", "TPT", SuiteClass::Regular, buildMerge, 300'000},
+    {"nbody", "TPT", SuiteClass::Regular, buildNbody, 300'000},
+    {"radar", "TPT", SuiteClass::Regular, buildRadar, 300'000},
+    {"treesearch", "TPT", SuiteClass::Regular, buildTreesearch,
+     300'000},
+    {"vr", "TPT", SuiteClass::Regular, buildVr, 300'000},
+};
+
+} // namespace
+
+std::span<const WorkloadSpec>
+tptWorkloads()
+{
+    return kTpt;
+}
+
+} // namespace prism

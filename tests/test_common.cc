@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the common utilities: statistics, RNG, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace prism
+{
+namespace
+{
+
+TEST(Stats, MeanBasics)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, GeomeanMatchesHandComputation)
+{
+    const std::vector<double> xs{1.0, 4.0};
+    EXPECT_DOUBLE_EQ(geomean(xs), 2.0);
+    const std::vector<double> ys{2.0, 2.0, 2.0};
+    EXPECT_NEAR(geomean(ys), 2.0, 1e-12);
+}
+
+TEST(Stats, GeomeanOfSpeedupAndSlowdownCancels)
+{
+    const std::vector<double> xs{2.0, 0.5};
+    EXPECT_NEAR(geomean(xs), 1.0, 1e-12);
+}
+
+TEST(Stats, HarmonicMean)
+{
+    const std::vector<double> xs{1.0, 2.0};
+    EXPECT_NEAR(harmonicMean(xs), 4.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, Stddev)
+{
+    const std::vector<double> xs{2.0, 2.0, 2.0};
+    EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+    const std::vector<double> ys{1.0, 3.0};
+    EXPECT_NEAR(stddev(ys), 1.0, 1e-12);
+}
+
+TEST(Stats, MeanAbsRelError)
+{
+    const std::vector<double> proj{1.1, 0.9};
+    const std::vector<double> ref{1.0, 1.0};
+    EXPECT_NEAR(meanAbsRelError(proj, ref), 0.1, 1e-12);
+}
+
+TEST(Stats, RunningStatMoments)
+{
+    RunningStat rs;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        rs.add(x);
+    EXPECT_EQ(rs.count(), 4u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 4.0);
+    EXPECT_NEAR(rs.variance(), 1.25, 1e-12);
+}
+
+TEST(Stats, HistogramBucketsAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0); // clamps into bucket 0
+    h.add(0.5);
+    h.add(9.9);
+    h.add(100.0); // clamps into last bucket
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(4), 2u);
+    EXPECT_DOUBLE_EQ(h.bucketLo(1), 2.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceIsCalibrated)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Table, RendersAllCells)
+{
+    Table t({"a", "bb"});
+    t.addRow({"1", "2"});
+    t.addSeparator();
+    t.addRow({"333", "4"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("333"), std::string::npos);
+    EXPECT_NE(s.find("bb"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 3u);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmt(1.234, 2), "1.23");
+    EXPECT_EQ(fmtX(2.5, 1), "2.5x");
+    EXPECT_EQ(fmtPct(0.402, 1), "40.2%");
+}
+
+} // namespace
+} // namespace prism

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the energy/area models: SRAM scaling laws, per-core
+ * energy-table ordering, leakage/gating behavior, area composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/area_model.hh"
+#include "energy/energy_model.hh"
+#include "energy/sram_model.hh"
+
+namespace prism
+{
+namespace
+{
+
+TEST(Sram, EnergyScalesWithCapacity)
+{
+    const SramEstimate small = estimateSram({16 * 1024, 2, 64, 1, 1});
+    const SramEstimate big = estimateSram({256 * 1024, 2, 64, 1, 1});
+    EXPECT_LT(small.readEnergy, big.readEnergy);
+    EXPECT_LT(small.leakagePerCycle, big.leakagePerCycle);
+    EXPECT_LT(small.area, big.area);
+}
+
+TEST(Sram, WritesCostMoreThanReads)
+{
+    const SramEstimate e = estimateSram({});
+    EXPECT_GT(e.writeEnergy, e.readEnergy);
+}
+
+TEST(Sram, AssocAndPortsCost)
+{
+    const SramEstimate base = estimateSram({64 * 1024, 2, 64, 1, 1});
+    const SramEstimate assoc8 = estimateSram({64 * 1024, 8, 64, 1, 1});
+    const SramEstimate ported = estimateSram({64 * 1024, 2, 64, 3, 2});
+    EXPECT_GT(assoc8.readEnergy, base.readEnergy);
+    EXPECT_GT(ported.leakagePerCycle, base.leakagePerCycle);
+    EXPECT_GT(ported.area, base.area);
+}
+
+TEST(Energy, PerInstCostGrowsWithCoreSize)
+{
+    // Fixed event profile: bigger cores must pay more per inst.
+    EventCounts ev;
+    ev.coreFetches = ev.coreDispatches = ev.coreIssues =
+        ev.coreCommits = 1000;
+    ev.coreRegReads = 2000;
+    ev.coreRegWrites = 1000;
+    ev.fuOps[0][0] = 1000;
+
+    double prev = 0;
+    for (CoreKind k : {CoreKind::IO2, CoreKind::OOO2, CoreKind::OOO4,
+                       CoreKind::OOO6}) {
+        const EnergyModel m(coreConfig(k));
+        const double e = m.energy(ev, 500);
+        EXPECT_GT(e, prev) << coreConfig(k).name;
+        prev = e;
+    }
+}
+
+TEST(Energy, LeakageProportionalToCycles)
+{
+    const EnergyModel m(coreConfig(CoreKind::OOO2));
+    const EventCounts ev;
+    const double e1 = m.energy(ev, 1000);
+    const double e2 = m.energy(ev, 2000);
+    EXPECT_NEAR(e2, 2 * e1, 1e-9);
+}
+
+TEST(Energy, FrontendGatingReducesEnergy)
+{
+    const EnergyModel m(coreConfig(CoreKind::OOO2));
+    const EventCounts ev;
+    const double all_on = m.energy(ev, 1000, 0);
+    const double gated = m.energy(ev, 1000, 800);
+    EXPECT_LT(gated, all_on);
+    EXPECT_GT(gated, 0.0);
+}
+
+TEST(Energy, BreakdownSumsToTotal)
+{
+    EventCounts ev;
+    ev.coreFetches = 100;
+    ev.loads = 20;
+    ev.branches = 10;
+    ev.mispredicts = 2;
+    ev.accelConfigs = 1;
+    ev.fuOps[1][2] = 30; // CGRA FP ops
+    ev.unitInsts[1] = 30;
+    const EnergyModel m(coreConfig(CoreKind::OOO4), 4);
+    const EnergyBreakdown b = m.breakdown(ev, 500);
+    EXPECT_NEAR(b.total(), m.energy(ev, 500), 1e-9);
+    EXPECT_GT(b.corePipeline, 0.0);
+    EXPECT_GT(b.memory, 0.0);
+    EXPECT_GT(b.control, 0.0);
+    EXPECT_GT(b.accelerator, 0.0);
+    EXPECT_GT(b.leakage, 0.0);
+}
+
+TEST(Energy, AttachedBsasLeak)
+{
+    const EventCounts ev;
+    const EnergyModel bare(coreConfig(CoreKind::OOO2), 0);
+    const EnergyModel full(coreConfig(CoreKind::OOO2), 4);
+    EXPECT_GT(full.energy(ev, 1000), bare.energy(ev, 1000));
+}
+
+TEST(Area, CoreOrdering)
+{
+    EXPECT_LT(coreArea(CoreKind::IO2), coreArea(CoreKind::OOO2));
+    EXPECT_LT(coreArea(CoreKind::OOO2), coreArea(CoreKind::OOO4));
+    EXPECT_LT(coreArea(CoreKind::OOO4), coreArea(CoreKind::OOO6));
+    EXPECT_LT(coreArea(CoreKind::OOO6), coreArea(CoreKind::OOO8));
+}
+
+TEST(Area, BsasAreSmallerThanSmallCores)
+{
+    for (BsaKind b : kAllBsas)
+        EXPECT_LT(bsaArea(b), coreArea(CoreKind::IO2));
+}
+
+TEST(Area, ExoCoreComposition)
+{
+    const double bare = exoCoreArea(CoreKind::OOO2, 0);
+    EXPECT_DOUBLE_EQ(bare, coreArea(CoreKind::OOO2));
+    const double full = exoCoreArea(CoreKind::OOO2, 0xF);
+    double expect = coreArea(CoreKind::OOO2);
+    for (BsaKind b : kAllBsas)
+        expect += bsaArea(b);
+    EXPECT_DOUBLE_EQ(full, expect);
+}
+
+TEST(Area, HeadlineClaimFullOoo2ExoCoreSmallerThanOoo6)
+{
+    // Paper Figure 3 / Section 5.2: an OOO2-based ExoCore with three
+    // BSAs has ~40% lower area than OOO6 with SIMD.
+    const double exo =
+        exoCoreArea(CoreKind::OOO2, 0x7); // S + D + N
+    const double ooo6 = exoCoreArea(CoreKind::OOO6, 0x1); // + SIMD
+    EXPECT_LT(exo, 0.65 * ooo6);
+    EXPECT_GT(exo, 0.40 * ooo6);
+}
+
+TEST(Area, BsaNamesAndLetters)
+{
+    EXPECT_EQ(bsaLetter(BsaKind::Simd), 'S');
+    EXPECT_EQ(bsaLetter(BsaKind::DpCgra), 'D');
+    EXPECT_EQ(bsaLetter(BsaKind::Nsdf), 'N');
+    EXPECT_EQ(bsaLetter(BsaKind::Tracep), 'T');
+    EXPECT_STREQ(bsaName(BsaKind::Nsdf), "NS-DF");
+}
+
+} // namespace
+} // namespace prism

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for ExoCore composition and the schedulers: baseline
+ * consistency, BSA-mask monotonicity properties, attribution
+ * invariants, timelines, and the oracle's slowdown guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tdg/exocore.hh"
+#include "tdg/scheduler.hh"
+#include "workloads/suite.hh"
+
+namespace prism
+{
+namespace
+{
+
+/** Cache loaded workloads across tests (loading is the slow part). */
+const LoadedWorkload &
+workload(const std::string &name)
+{
+    static std::map<std::string, std::unique_ptr<LoadedWorkload>>
+        cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(name,
+                          LoadedWorkload::load(findWorkload(name)))
+                 .first;
+    }
+    return *it->second;
+}
+
+const BenchmarkModel &
+model(const std::string &name, CoreKind core)
+{
+    static std::map<std::pair<std::string, CoreKind>,
+                    std::unique_ptr<BenchmarkModel>>
+        cache;
+    const auto key = std::make_pair(name, core);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(key, std::make_unique<BenchmarkModel>(
+                                   workload(name).tdg(), core))
+                 .first;
+    }
+    return *it->second;
+}
+
+TEST(ExoCore, UnitNamesAndIndices)
+{
+    EXPECT_STREQ(unitName(0), "GPP");
+    EXPECT_EQ(unitIndex(BsaKind::Simd), 1);
+    EXPECT_EQ(unitIndex(BsaKind::Tracep), 4);
+    EXPECT_EQ(bsaBit(BsaKind::Simd), 1u);
+    EXPECT_EQ(bsaBit(BsaKind::Tracep), 8u);
+}
+
+TEST(ExoCore, EmptyMaskEqualsBaseline)
+{
+    const BenchmarkModel &bm = model("conv", CoreKind::OOO2);
+    const ExoResult none = bm.evaluate(0);
+    EXPECT_EQ(none.cycles, bm.baseline().cycles);
+    EXPECT_DOUBLE_EQ(none.energy, bm.baseline().energy);
+    EXPECT_TRUE(none.choices.empty());
+}
+
+TEST(ExoCore, FullMaskNeverWorseThanSingleBsa)
+{
+    const BenchmarkModel &bm = model("mm", CoreKind::OOO2);
+    const ExoResult full = bm.evaluate(kFullBsaMask);
+    for (unsigned bit = 0; bit < 4; ++bit) {
+        const ExoResult one = bm.evaluate(1u << bit);
+        const double edp_full = static_cast<double>(full.cycles) *
+                                full.energy;
+        const double edp_one =
+            static_cast<double>(one.cycles) * one.energy;
+        EXPECT_LE(edp_full, edp_one * 1.0001);
+    }
+}
+
+TEST(ExoCore, OracleRespectsSlowdownAllowance)
+{
+    for (const char *name : {"conv", "mm", "181.mcf", "cjpeg-1"}) {
+        const BenchmarkModel &bm = model(name, CoreKind::OOO2);
+        const ExoResult full = bm.evaluate(kFullBsaMask);
+        // The oracle allows <=10% per-region slowdown; program-level
+        // slowdown is therefore also bounded by ~10%.
+        EXPECT_LE(static_cast<double>(full.cycles),
+                  1.10 * static_cast<double>(bm.baseline().cycles))
+            << name;
+        // Energy-delay never regresses.
+        EXPECT_LE(static_cast<double>(full.cycles) * full.energy,
+                  static_cast<double>(bm.baseline().cycles) *
+                      bm.baseline().energy * 1.0001)
+            << name;
+    }
+}
+
+TEST(ExoCore, UnitAttributionSumsToTotal)
+{
+    const BenchmarkModel &bm = model("cjpeg-1", CoreKind::OOO2);
+    const ExoResult full = bm.evaluate(kFullBsaMask);
+    Cycle sum = 0;
+    for (int u = 0; u < kNumUnits; ++u)
+        sum += full.unitCycles[u];
+    EXPECT_EQ(sum, full.cycles);
+    double frac = 0;
+    for (int u = 0; u < kNumUnits; ++u)
+        frac += full.unitCycleFraction(u);
+    EXPECT_NEAR(frac, 1.0, 1e-9);
+}
+
+TEST(ExoCore, ChoicesOnlyUseAttachedBsas)
+{
+    const BenchmarkModel &bm = model("cjpeg-1", CoreKind::OOO2);
+    const unsigned mask = bsaBit(BsaKind::Simd); // SIMD only
+    const ExoResult res = bm.evaluate(mask);
+    for (const ExoChoice &c : res.choices)
+        EXPECT_EQ(c.unit, unitIndex(BsaKind::Simd));
+}
+
+TEST(ExoCore, ChoicesAreNonOverlappingInLoopTree)
+{
+    const BenchmarkModel &bm = model("mm", CoreKind::OOO2);
+    const Tdg &tdg = workload("mm").tdg();
+    const ExoResult res = bm.evaluate(kFullBsaMask);
+    for (std::size_t i = 0; i < res.choices.size(); ++i) {
+        for (std::size_t j = 0; j < res.choices.size(); ++j) {
+            if (i == j)
+                continue;
+            EXPECT_FALSE(tdg.loops().nestedIn(res.choices[i].loopId,
+                                              res.choices[j].loopId))
+                << "overlapping region choices";
+        }
+    }
+}
+
+TEST(ExoCore, RegularWorkloadAccelerates)
+{
+    const BenchmarkModel &bm = model("conv", CoreKind::OOO2);
+    const ExoResult full = bm.evaluate(kFullBsaMask);
+    const double speedup = static_cast<double>(bm.baseline().cycles) /
+                           static_cast<double>(full.cycles);
+    const double eff = bm.baseline().energy / full.energy;
+    EXPECT_GT(speedup, 1.5);
+    EXPECT_GT(eff, 1.5);
+    // Nearly everything offloaded (paper: ~16% mean unaccelerated).
+    EXPECT_LT(full.unitCycleFraction(0), 0.2);
+}
+
+TEST(ExoCore, MultiPhaseWorkloadUsesMultipleBsas)
+{
+    // Mediabench kernels need several BSAs in one application
+    // (paper Figure 13/15).
+    const BenchmarkModel &bm = model("cjpeg-1", CoreKind::OOO2);
+    const ExoResult full = bm.evaluate(kFullBsaMask);
+    std::set<int> units;
+    for (const ExoChoice &c : full.choices)
+        units.insert(c.unit);
+    EXPECT_GE(units.size(), 2u);
+}
+
+TEST(ExoCore, TimelineCoversChosenRegions)
+{
+    const BenchmarkModel &bm = model("conv", CoreKind::OOO2);
+    const auto points = bm.timeline(kFullBsaMask);
+    ASSERT_FALSE(points.empty());
+    Cycle prev = 0;
+    for (const TimelinePoint &tp : points) {
+        EXPECT_GE(tp.baseStart, prev);
+        prev = tp.baseStart;
+        EXPECT_GT(tp.baseCycles, 0u);
+        EXPECT_GT(tp.exoCycles, 0u);
+        EXPECT_GE(tp.unit, 1);
+        EXPECT_LT(tp.unit, kNumUnits);
+    }
+}
+
+TEST(Scheduler, AmdahlEstimatesArePositiveForUsablePlans)
+{
+    const BenchmarkModel &bm = model("conv", CoreKind::OOO2);
+    const Tdg &tdg = workload("conv").tdg();
+    for (const Loop &loop : tdg.loops().loops()) {
+        for (BsaKind b : kAllBsas) {
+            const double est =
+                amdahlSpeedupEstimate(bm, tdg, loop.id, b);
+            if (bm.analyzer().usable(b, loop.id))
+                EXPECT_GT(est, 0.0);
+            else
+                EXPECT_EQ(est, 0.0);
+        }
+    }
+    for (BsaKind b : kAllBsas) {
+        EXPECT_GT(amdahlEnergyEstimate(b), 0.0);
+        EXPECT_LT(amdahlEnergyEstimate(b), 1.0);
+    }
+}
+
+TEST(Scheduler, AmdahlTreeBiasedTowardEnergy)
+{
+    // Paper Figure 15: the Amdahl scheduler over-selects BSAs,
+    // giving at least as much (usually more) energy efficiency at
+    // somewhat lower performance than the oracle, and never a
+    // substantially worse energy result.
+    double oracle_e = 1.0;
+    double amdahl_e = 1.0;
+    for (const char *name : {"cjpeg-1", "gsmencode", "mpeg2enc"}) {
+        const BenchmarkModel &bm = model(name, CoreKind::OOO2);
+        const ExoResult o =
+            bm.evaluate(kFullBsaMask, SchedulerKind::Oracle);
+        const ExoResult a =
+            bm.evaluate(kFullBsaMask, SchedulerKind::AmdahlTree);
+        oracle_e *= bm.baseline().energy / o.energy;
+        amdahl_e *= bm.baseline().energy / a.energy;
+        // The practical scheduler stays within 2x of oracle EDP.
+        EXPECT_LE(static_cast<double>(a.cycles) * a.energy,
+                  2.0 * static_cast<double>(o.cycles) * o.energy)
+            << name;
+    }
+    EXPECT_GT(amdahl_e, 1.0);
+    (void)oracle_e;
+}
+
+TEST(ExoCore, CoreSweepBaselinesOrdered)
+{
+    Cycle prev = ~Cycle{0};
+    for (CoreKind k : {CoreKind::OOO2, CoreKind::OOO4,
+                       CoreKind::OOO6}) {
+        const BenchmarkModel &bm = model("mm", k);
+        EXPECT_LT(bm.baseline().cycles, prev);
+        prev = bm.baseline().cycles;
+    }
+}
+
+} // namespace
+} // namespace prism

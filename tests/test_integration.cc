@@ -1,0 +1,160 @@
+/**
+ * @file
+ * End-to-end integration tests: the full pipeline from workload
+ * construction through trace generation, TDG construction, ExoCore
+ * composition, and design-space properties that the paper's
+ * evaluation depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/area_model.hh"
+#include "tdg/exocore.hh"
+#include "workloads/suite.hh"
+
+namespace prism
+{
+namespace
+{
+
+const LoadedWorkload &
+workload(const std::string &name)
+{
+    static std::map<std::string, std::unique_ptr<LoadedWorkload>>
+        cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(name, LoadedWorkload::load(
+                                    findWorkload(name), 150'000))
+                 .first;
+    }
+    return *it->second;
+}
+
+TEST(Integration, DeterministicAcrossLoads)
+{
+    // Two independent loads of the same workload produce identical
+    // traces and identical evaluation results.
+    const auto a = LoadedWorkload::load(findWorkload("radar"));
+    const auto b = LoadedWorkload::load(findWorkload("radar"));
+    ASSERT_EQ(a->tdg().trace().size(), b->tdg().trace().size());
+    for (DynId i = 0; i < a->tdg().trace().size(); i += 97) {
+        EXPECT_EQ(a->tdg().trace()[i].sid, b->tdg().trace()[i].sid);
+        EXPECT_EQ(a->tdg().trace()[i].memLat,
+                  b->tdg().trace()[i].memLat);
+    }
+    const BenchmarkModel ma(a->tdg(), CoreKind::OOO2);
+    const BenchmarkModel mb(b->tdg(), CoreKind::OOO2);
+    EXPECT_EQ(ma.evaluate(kFullBsaMask).cycles,
+              mb.evaluate(kFullBsaMask).cycles);
+}
+
+/** The 16 BSA subsets behave like a lattice under the oracle. */
+TEST(Integration, MaskLatticeMonotoneEdp)
+{
+    const BenchmarkModel bm(workload("cjpeg-1").tdg(),
+                            CoreKind::OOO2);
+    std::array<double, 16> edp{};
+    for (unsigned mask = 0; mask < 16; ++mask) {
+        const ExoResult r = bm.evaluate(mask);
+        edp[mask] = static_cast<double>(r.cycles) * r.energy;
+    }
+    // Adding a BSA can only improve (or not change) oracle EDP.
+    for (unsigned mask = 0; mask < 16; ++mask) {
+        for (unsigned bit = 0; bit < 4; ++bit) {
+            const unsigned super = mask | (1u << bit);
+            if (super == mask)
+                continue;
+            EXPECT_LE(edp[super], edp[mask] * 1.0001)
+                << "mask " << mask << " + bit " << bit;
+        }
+    }
+}
+
+TEST(Integration, CoreSweepEveryMaskRuns)
+{
+    const BenchmarkModel bm(workload("stencil").tdg(),
+                            CoreKind::IO2);
+    for (unsigned mask = 0; mask < 16; ++mask) {
+        const ExoResult r = bm.evaluate(mask);
+        EXPECT_GT(r.cycles, 0u);
+        EXPECT_GT(r.energy, 0.0);
+        Cycle sum = 0;
+        for (int u = 0; u < kNumUnits; ++u)
+            sum += r.unitCycles[u];
+        EXPECT_EQ(sum, r.cycles);
+    }
+}
+
+TEST(Integration, EnergyEfficiencyFrontierShape)
+{
+    // The paper's central qualitative claim: for the same core, the
+    // full ExoCore strictly dominates the bare core in energy while
+    // not losing performance.
+    for (const char *name : {"conv", "cjpeg-1", "445.gobmk"}) {
+        const BenchmarkModel bm(workload(name).tdg(),
+                                CoreKind::OOO2);
+        const ExoResult exo = bm.evaluate(kFullBsaMask);
+        const ExoResult &base = bm.baseline();
+        EXPECT_LE(exo.energy, base.energy) << name;
+        EXPECT_LE(static_cast<double>(exo.cycles),
+                  1.10 * static_cast<double>(base.cycles))
+            << name;
+    }
+}
+
+TEST(Integration, OffloadEnginesReportGatedCycles)
+{
+    const BenchmarkModel bm(workload("cutcp").tdg(),
+                            CoreKind::OOO2);
+    bool saw_gated = false;
+    for (const Loop &loop : workload("cutcp").tdg().loops().loops()) {
+        const RegionUnitEval &ev =
+            bm.loopEval(loop.id).unit[unitIndex(BsaKind::Nsdf)];
+        if (ev.feasible && ev.gatedCycles > 0)
+            saw_gated = true;
+    }
+    EXPECT_TRUE(saw_gated);
+}
+
+TEST(Integration, AreaPerfEnergyParetoHasExoCorePoints)
+{
+    // Mini design-space: verify at least one ExoCore point
+    // dominates a bigger bare core on all three axes for a regular
+    // workload (the Figure 3 frontier push).
+    const BenchmarkModel small(workload("mm").tdg(), CoreKind::OOO2);
+    const BenchmarkModel big(workload("mm").tdg(), CoreKind::OOO6);
+    const ExoResult exo = small.evaluate(kFullBsaMask);
+    const ExoResult &ooo6 = big.baseline();
+    const double exo_area = exoCoreArea(CoreKind::OOO2, kFullBsaMask);
+    const double ooo6_area = exoCoreArea(CoreKind::OOO6, 0);
+    EXPECT_LT(exo_area, ooo6_area);
+    EXPECT_LT(exo.energy, ooo6.energy);
+    // Performance within striking distance (paper: matches).
+    EXPECT_LT(static_cast<double>(exo.cycles),
+              2.0 * static_cast<double>(ooo6.cycles));
+}
+
+TEST(Integration, TimelineConsistentWithAggregate)
+{
+    const BenchmarkModel bm(workload("cjpeg-1").tdg(),
+                            CoreKind::OOO2);
+    const ExoResult exo = bm.evaluate(kFullBsaMask);
+    const auto points = bm.timeline(kFullBsaMask);
+    // Summed accelerated cycles across the timeline match the
+    // non-GPP unit attribution (up to per-occurrence boundary
+    // rounding in the commit-delta accounting).
+    Cycle exo_sum = 0;
+    for (const TimelinePoint &tp : points)
+        exo_sum += tp.exoCycles;
+    Cycle unit_sum = 0;
+    for (int u = 1; u < kNumUnits; ++u)
+        unit_sum += exo.unitCycles[u];
+    EXPECT_NEAR(static_cast<double>(exo_sum),
+                static_cast<double>(unit_sum),
+                0.01 * static_cast<double>(unit_sum) + 64.0);
+}
+
+} // namespace
+} // namespace prism

@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Unit tests for the IR reconstruction passes: CFG, dominators, loop
+ * forest, trace-loop mapping, Ball-Larus path profiling, memory
+ * profiling, and induction/reduction classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/cfg.hh"
+#include "ir/dfg.hh"
+#include "ir/dominators.hh"
+#include "ir/induction.hh"
+#include "ir/loops.hh"
+#include "ir/mem_profile.hh"
+#include "ir/path_profile.hh"
+#include "sim/trace_gen.hh"
+#include "workloads/kernel_util.hh"
+
+namespace prism
+{
+namespace
+{
+
+/** A diamond inside a loop:
+ *  bb0 -> bb1(header) -> bb2 -> {bb3|bb4} -> bb5(latch) -> bb1|bb6 */
+Program
+diamondLoopProgram()
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId base = f.arg(0);
+    const RegId acc = f.reg();
+    const RegId i = f.reg();
+    f.moviTo(acc, 0);
+    f.moviTo(i, 0);
+    const RegId n = f.movi(64);
+    const RegId one = f.movi(1);
+    const RegId eight = f.movi(8);
+
+    const std::int32_t header = f.newBlock();
+    const std::int32_t then_b = f.newBlock();
+    const std::int32_t else_b = f.newBlock();
+    const std::int32_t latch = f.newBlock();
+    const std::int32_t exit_b = f.newBlock();
+
+    f.jmp(header);
+    f.setBlock(header);
+    const RegId v = f.ld(f.add(base, f.mul(i, eight)), 0);
+    const RegId c = f.cmplt(v, f.movi(50));
+    f.br(c, then_b, else_b);
+
+    f.setBlock(then_b);
+    f.addTo(acc, acc, v);
+    f.jmp(latch);
+
+    f.setBlock(else_b);
+    f.addTo(acc, acc, one);
+    f.jmp(latch);
+
+    f.setBlock(latch);
+    f.addTo(i, i, one);
+    const RegId more = f.cmplt(i, n);
+    f.br(more, header, exit_b);
+
+    f.setBlock(exit_b);
+    f.ret(acc);
+    return pb.build();
+}
+
+Trace
+traceOf(const Program &p, SimMemory &mem,
+        const std::vector<std::int64_t> &args)
+{
+    Trace trace(&p);
+    generateTrace(p, mem, args, trace);
+    return trace;
+}
+
+TEST(Cfg, DiamondStructure)
+{
+    const Program p = diamondLoopProgram();
+    const Cfg cfg = Cfg::reconstruct(p, 0);
+    ASSERT_EQ(cfg.numNodes(), 6u);
+    // bb1 (header) has two successors.
+    EXPECT_EQ(cfg.node(1).succs.size(), 2u);
+    // bb4 (latch) branches to header and exit.
+    EXPECT_EQ(cfg.node(4).succs.size(), 2u);
+    // Header has two predecessors: entry and latch.
+    EXPECT_EQ(cfg.node(1).preds.size(), 2u);
+    // Entry first in RPO.
+    EXPECT_EQ(cfg.rpo().front(), 0);
+    EXPECT_EQ(cfg.rpoIndex(0), 0);
+}
+
+TEST(Cfg, DotOutputNonEmpty)
+{
+    const Program p = diamondLoopProgram();
+    const Cfg cfg = Cfg::reconstruct(p, 0);
+    EXPECT_NE(cfg.toDot().find("bb1 -> "), std::string::npos);
+}
+
+TEST(Dominators, DiamondDominance)
+{
+    const Program p = diamondLoopProgram();
+    const Cfg cfg = Cfg::reconstruct(p, 0);
+    const Dominators dom = Dominators::compute(cfg);
+    EXPECT_EQ(dom.idom(1), 0);
+    EXPECT_EQ(dom.idom(2), 1);
+    EXPECT_EQ(dom.idom(3), 1);
+    EXPECT_EQ(dom.idom(4), 1); // latch's idom is the header
+    EXPECT_TRUE(dom.dominates(1, 4));
+    EXPECT_FALSE(dom.dominates(2, 4));
+    EXPECT_TRUE(dom.dominates(0, 5));
+    EXPECT_EQ(dom.depth(0), 0);
+    EXPECT_GT(dom.depth(4), dom.depth(1));
+}
+
+TEST(Loops, DetectsDiamondLoop)
+{
+    const Program p = diamondLoopProgram();
+    const LoopForest forest = LoopForest::build(p);
+    ASSERT_EQ(forest.numLoops(), 1u);
+    const Loop &loop = forest.loop(0);
+    EXPECT_EQ(loop.header, 1);
+    EXPECT_TRUE(loop.innermost);
+    EXPECT_EQ(loop.depth, 1);
+    EXPECT_EQ(loop.blocks.size(), 4u); // header, then, else, latch
+    EXPECT_EQ(loop.latches.size(), 1u);
+    EXPECT_EQ(loop.latches.front(), 4);
+    EXPECT_FALSE(loop.containsCall);
+    EXPECT_TRUE(loop.containsBlock(2));
+    EXPECT_FALSE(loop.containsBlock(5));
+}
+
+TEST(Loops, NestedLoopStructure)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 0);
+    const RegId acc = f.reg();
+    f.moviTo(acc, 0);
+    countedLoop(f, 0, 10, 1, [&](RegId i) {
+        countedLoop(f, 0, 10, 1,
+                    [&](RegId j) { f.addTo(acc, acc, j); });
+        f.addTo(acc, acc, i);
+    });
+    f.ret(acc);
+    const Program p = pb.build();
+    const LoopForest forest = LoopForest::build(p);
+    ASSERT_EQ(forest.numLoops(), 2u);
+    std::int32_t outer = -1;
+    std::int32_t inner = -1;
+    for (const Loop &loop : forest.loops()) {
+        if (loop.parent == -1)
+            outer = loop.id;
+        else
+            inner = loop.id;
+    }
+    ASSERT_NE(outer, -1);
+    ASSERT_NE(inner, -1);
+    EXPECT_EQ(forest.loop(inner).parent, outer);
+    EXPECT_EQ(forest.loop(inner).depth, 2);
+    EXPECT_FALSE(forest.loop(outer).innermost);
+    EXPECT_TRUE(forest.nestedIn(inner, outer));
+    EXPECT_FALSE(forest.nestedIn(outer, inner));
+    EXPECT_EQ(forest.roots().size(), 1u);
+}
+
+TEST(Loops, TraceMappingCountsIterations)
+{
+    const Program p = diamondLoopProgram();
+    SimMemory mem;
+    Rng rng(5);
+    fillI64(mem, 0x4000, 64, rng, 0, 100);
+    const Trace trace = traceOf(p, mem, {0x4000});
+    const LoopForest forest = LoopForest::build(p);
+    const TraceLoopMap map = mapTraceToLoops(p, trace, forest);
+    ASSERT_EQ(map.occurrences.size(), 1u);
+    EXPECT_EQ(map.occurrences[0].numIters(), 64u);
+    // Instructions before the loop are unmapped.
+    EXPECT_EQ(map.loopOf[0], -1);
+    // Header instructions are mapped.
+    bool saw_mapped = false;
+    for (DynId i = 0; i < trace.size(); ++i)
+        saw_mapped |= map.loopOf[i] == 0;
+    EXPECT_TRUE(saw_mapped);
+}
+
+TEST(Loops, CalleeInstructionsInheritLoop)
+{
+    ProgramBuilder pb;
+    auto &leaf = pb.func("leaf", 1);
+    leaf.ret(leaf.add(leaf.arg(0), leaf.movi(1)));
+    auto &f = pb.func("main", 0);
+    const RegId acc = f.reg();
+    f.moviTo(acc, 0);
+    countedLoop(f, 0, 8, 1, [&](RegId) {
+        const RegId r = f.call(leaf.id(), {acc});
+        f.movTo(acc, r);
+    });
+    f.ret(acc);
+    const Program p = pb.build();
+    SimMemory mem;
+    const Trace trace = traceOf(p, mem, {});
+    const LoopForest forest = LoopForest::build(p);
+    const TraceLoopMap map = mapTraceToLoops(p, trace, forest);
+    ASSERT_EQ(forest.numLoops(), 1u);
+    // Callee instructions carry the caller's loop id.
+    bool callee_mapped = false;
+    for (DynId i = 0; i < trace.size(); ++i) {
+        if (p.funcOf(trace[i].sid) == leaf.id() &&
+            map.loopOf[i] == 0) {
+            callee_mapped = true;
+        }
+    }
+    EXPECT_TRUE(callee_mapped);
+    EXPECT_TRUE(forest.loop(0).containsCall);
+}
+
+TEST(PathProfile, BallLarusCountsDiamondPaths)
+{
+    const Program p = diamondLoopProgram();
+    const Cfg cfg = Cfg::reconstruct(p, 0);
+    const LoopForest forest = LoopForest::build(p);
+    const BallLarusDag dag(p, cfg, forest.loop(0));
+    // Two acyclic paths through the body... times two terminating
+    // edges at the latch (back edge vs exit) = 4 numbered paths.
+    EXPECT_EQ(dag.numPaths(), 4u);
+    // Decode round-trip: every id yields a block sequence starting at
+    // the header.
+    for (std::uint64_t id = 0; id < dag.numPaths(); ++id) {
+        const auto blocks = dag.decode(id);
+        ASSERT_FALSE(blocks.empty());
+        EXPECT_EQ(blocks.front(), forest.loop(0).header);
+    }
+}
+
+TEST(PathProfile, FrequenciesMatchData)
+{
+    const Program p = diamondLoopProgram();
+    SimMemory mem;
+    // All values < 50: the then-path is always taken.
+    Rng rng(6);
+    fillI64(mem, 0x4000, 64, rng, 0, 40);
+    const Trace trace = traceOf(p, mem, {0x4000});
+    const LoopForest forest = LoopForest::build(p);
+    const TraceLoopMap map = mapTraceToLoops(p, trace, forest);
+    const auto profiles = profilePaths(p, trace, forest, map);
+    ASSERT_EQ(profiles.size(), 1u);
+    const PathProfile &prof = profiles[0];
+    EXPECT_EQ(prof.totalIters, 64u);
+    EXPECT_EQ(prof.backEdgeTaken, 63u);
+    ASSERT_NE(prof.hottest(), nullptr);
+    EXPECT_GE(prof.hotPathFraction(), 63.0 / 64.0 - 1e-9);
+    // The hot path visits the then-block (bb2).
+    const auto &blocks = prof.hottest()->blocks;
+    EXPECT_NE(std::find(blocks.begin(), blocks.end(), 2),
+              blocks.end());
+    EXPECT_NEAR(prof.loopBackProbability(), 63.0 / 64.0, 1e-9);
+}
+
+TEST(PathProfile, MixedDataSplitsPaths)
+{
+    const Program p = diamondLoopProgram();
+    SimMemory mem;
+    Rng rng(7);
+    fillI64(mem, 0x4000, 64, rng, 0, 100); // ~50/50 split
+    const Trace trace = traceOf(p, mem, {0x4000});
+    const LoopForest forest = LoopForest::build(p);
+    const TraceLoopMap map = mapTraceToLoops(p, trace, forest);
+    const auto profiles = profilePaths(p, trace, forest, map);
+    const PathProfile &prof = profiles[0];
+    EXPECT_GE(prof.paths.size(), 2u);
+    EXPECT_LT(prof.hotPathFraction(), 0.9);
+}
+
+TEST(MemProfile, DetectsUnitStride)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 2);
+    const RegId eight = f.movi(8);
+    countedLoop(f, 0, 64, 1, [&](RegId i) {
+        const RegId off = f.mul(i, eight);
+        const RegId v = f.ld(f.add(f.arg(0), off), 0);
+        f.st(f.add(f.arg(1), off), 0, v);
+    });
+    f.retVoid();
+    const Program p = pb.build();
+    SimMemory mem;
+    const Trace trace = traceOf(p, mem, {0x4000, 0x8000});
+    const LoopForest forest = LoopForest::build(p);
+    const TraceLoopMap map = mapTraceToLoops(p, trace, forest);
+    const auto profiles = profileMemory(p, trace, forest, map);
+    const LoopMemProfile &prof = profiles[0];
+    ASSERT_EQ(prof.accesses.size(), 2u);
+    for (const MemAccessPattern &a : prof.accesses) {
+        EXPECT_TRUE(a.strideKnown);
+        EXPECT_EQ(a.stride, 8);
+        EXPECT_TRUE(a.contiguous());
+    }
+    EXPECT_FALSE(prof.loopCarriedStoreToLoad);
+    EXPECT_NEAR(prof.contiguousFraction(), 1.0, 1e-9);
+}
+
+TEST(MemProfile, DetectsLoopCarriedStoreToLoad)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId eight = f.movi(8);
+    // a[i+1] = a[i] + 1: store feeds next iteration's load.
+    countedLoop(f, 0, 64, 1, [&](RegId i) {
+        const RegId off = f.mul(i, eight);
+        const RegId pa = f.add(f.arg(0), off);
+        const RegId v = f.ld(pa, 0);
+        f.st(pa, 8, f.addi(v, 1));
+    });
+    f.retVoid();
+    const Program p = pb.build();
+    SimMemory mem;
+    const Trace trace = traceOf(p, mem, {0x4000});
+    const LoopForest forest = LoopForest::build(p);
+    const TraceLoopMap map = mapTraceToLoops(p, trace, forest);
+    const auto profiles = profileMemory(p, trace, forest, map);
+    EXPECT_TRUE(profiles[0].loopCarriedStoreToLoad);
+}
+
+TEST(MemProfile, RandomAccessHasUnknownStride)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 2);
+    const RegId eight = f.movi(8);
+    countedLoop(f, 0, 64, 1, [&](RegId i) {
+        const RegId idx =
+            f.ld(f.add(f.arg(0), f.mul(i, eight)), 0);
+        const RegId v =
+            f.ld(f.add(f.arg(1), f.mul(idx, eight)), 0);
+        (void)v;
+    });
+    f.retVoid();
+    const Program p = pb.build();
+    SimMemory mem;
+    Rng rng(8);
+    fillI64(mem, 0x4000, 64, rng, 0, 1000);
+    const Trace trace = traceOf(p, mem, {0x4000, 0x40000});
+    const LoopForest forest = LoopForest::build(p);
+    const TraceLoopMap map = mapTraceToLoops(p, trace, forest);
+    const auto profiles = profileMemory(p, trace, forest, map);
+    bool found_unknown = false;
+    for (const MemAccessPattern &a : profiles[0].accesses)
+        found_unknown |= !a.strideKnown;
+    EXPECT_TRUE(found_unknown);
+}
+
+TEST(Induction, ClassifiesInductionAndReduction)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId eight = f.movi(8);
+    const RegId acc = f.reg();
+    f.fmoviTo(acc, 0.0);
+    countedLoop(f, 0, 64, 1, [&](RegId i) {
+        const RegId v =
+            f.ld(f.add(f.arg(0), f.mul(i, eight)), 0);
+        f.faddTo(acc, acc, v); // reduction
+    });
+    f.ret(f.cvtfi(acc));
+    const Program p = pb.build();
+    SimMemory mem;
+    Rng rng(9);
+    fillF64(mem, 0x4000, 64, rng);
+    const Trace trace = traceOf(p, mem, {0x4000});
+    const LoopForest forest = LoopForest::build(p);
+    const TraceLoopMap map = mapTraceToLoops(p, trace, forest);
+    const auto dfgs = buildAllDfgs(p);
+    const auto profiles = profileDeps(p, trace, forest, map, dfgs);
+    const LoopDepProfile &prof = profiles[0];
+    EXPECT_EQ(prof.inductions.size(), 1u); // the counter
+    EXPECT_EQ(prof.reductions.size(), 1u); // the accumulator
+    EXPECT_FALSE(prof.otherRecurrence);
+    EXPECT_TRUE(prof.vectorizableDeps());
+    EXPECT_GT(prof.carriedDeps, 0u);
+}
+
+TEST(Induction, FlagsGeneralRecurrence)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 0);
+    const RegId x = f.reg();
+    const RegId y = f.reg();
+    f.moviTo(x, 1);
+    f.moviTo(y, 1);
+    // Fibonacci-style cross recurrence: not vectorizable.
+    countedLoop(f, 0, 64, 1, [&](RegId) {
+        const RegId t = f.add(x, y);
+        f.movTo(x, y);
+        f.movTo(y, t);
+    });
+    f.ret(y);
+    const Program p = pb.build();
+    SimMemory mem;
+    const Trace trace = traceOf(p, mem, {});
+    const LoopForest forest = LoopForest::build(p);
+    const TraceLoopMap map = mapTraceToLoops(p, trace, forest);
+    const auto dfgs = buildAllDfgs(p);
+    const auto profiles = profileDeps(p, trace, forest, map, dfgs);
+    EXPECT_TRUE(profiles[0].otherRecurrence);
+    EXPECT_FALSE(profiles[0].vectorizableDeps());
+}
+
+TEST(Dfg, DefsUsesAndInvariance)
+{
+    const Program p = diamondLoopProgram();
+    const Dfg dfg = Dfg::build(p, 0);
+    const LoopForest forest = LoopForest::build(p);
+    const Loop &loop = forest.loop(0);
+    // The loop bound register (n) is defined outside the loop.
+    // Find a register with defs only outside the loop body.
+    bool found_invariant = false;
+    for (RegId r = 0; r < p.function(0).numRegs; ++r) {
+        if (!dfg.defsOf(r).empty() &&
+            dfg.invariantIn(p, r, loop) && !dfg.usesOf(r).empty()) {
+            found_invariant = true;
+        }
+    }
+    EXPECT_TRUE(found_invariant);
+}
+
+TEST(Dfg, BackwardSliceFollowsOperands)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId a = f.movi(1);      // sid 0
+    const RegId b = f.movi(2);      // sid 1
+    const RegId c = f.add(a, b);    // sid 2
+    const RegId d = f.movi(5);      // sid 3 (not in slice)
+    const RegId e = f.add(c, c);    // sid 4
+    (void)d;
+    f.ret(e);
+    const Program p = pb.build();
+    const Dfg dfg = Dfg::build(p, 0);
+    const auto slice = dfg.backwardSlice(p, {0}, {4});
+    EXPECT_EQ(slice.size(), 4u); // 0,1,2,4
+    EXPECT_EQ(std::count(slice.begin(), slice.end(), 3), 0);
+}
+
+} // namespace
+} // namespace prism

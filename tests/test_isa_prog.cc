@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit tests for the guest ISA tables and the program builder /
+ * verifier / disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/isa.hh"
+#include "prog/builder.hh"
+#include "prog/verifier.hh"
+
+namespace prism
+{
+namespace
+{
+
+TEST(Isa, OpcodeTableBasics)
+{
+    EXPECT_EQ(opName(Opcode::Fadd), "fadd");
+    EXPECT_TRUE(opInfo(Opcode::Ld).isLoad);
+    EXPECT_TRUE(opInfo(Opcode::St).isStore);
+    EXPECT_FALSE(opInfo(Opcode::St).writesDst);
+    EXPECT_TRUE(opInfo(Opcode::Br).isCondBranch);
+    EXPECT_FALSE(opInfo(Opcode::Jmp).isCondBranch);
+    EXPECT_TRUE(opInfo(Opcode::Jmp).isBranch);
+    EXPECT_TRUE(opInfo(Opcode::Call).isCall);
+    EXPECT_TRUE(opInfo(Opcode::Ret).isRet);
+    EXPECT_TRUE(opInfo(Opcode::Fma).isFp);
+    EXPECT_EQ(opInfo(Opcode::Fma).numSrcs, 3);
+}
+
+TEST(Isa, EveryOpcodeHasANameAndFu)
+{
+    for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        EXPECT_FALSE(opInfo(op).name.empty())
+            << "opcode " << i << " unnamed";
+    }
+}
+
+TEST(Isa, SyntheticOpcodesAreMarked)
+{
+    EXPECT_TRUE(opInfo(Opcode::Vadd).isSynthetic);
+    EXPECT_TRUE(opInfo(Opcode::AccelCfg).isSynthetic);
+    EXPECT_TRUE(opInfo(Opcode::CfuOp).isSynthetic);
+    EXPECT_FALSE(opInfo(Opcode::Add).isSynthetic);
+}
+
+TEST(Isa, VectorFormsMapSensibly)
+{
+    EXPECT_EQ(vectorFormOf(Opcode::Fadd), Opcode::Vfadd);
+    EXPECT_EQ(vectorFormOf(Opcode::Ld), Opcode::Vld);
+    EXPECT_EQ(vectorFormOf(Opcode::St), Opcode::Vst);
+    EXPECT_EQ(vectorFormOf(Opcode::Br), Opcode::Nop); // no form
+    EXPECT_TRUE(opInfo(vectorFormOf(Opcode::Mul)).isVector);
+}
+
+TEST(Isa, FuPools)
+{
+    EXPECT_EQ(fuPoolOf(FuClass::IntAlu), FuPool::Alu);
+    EXPECT_EQ(fuPoolOf(FuClass::Branch), FuPool::Alu);
+    EXPECT_EQ(fuPoolOf(FuClass::IntMul), FuPool::MulDiv);
+    EXPECT_EQ(fuPoolOf(FuClass::FpDiv), FuPool::Fp);
+    EXPECT_EQ(fuPoolOf(FuClass::Mem), FuPool::MemPort);
+}
+
+Program
+tinyLoopProgram()
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId base = f.arg(0);
+    const RegId i = f.reg();
+    f.moviTo(i, 0);
+    const RegId n = f.movi(10);
+    const RegId one = f.movi(1);
+    const std::int32_t loop = f.newBlock();
+    const std::int32_t done = f.newBlock();
+    f.jmp(loop);
+    f.setBlock(loop);
+    const RegId v = f.ld(base, 0);
+    f.st(base, 8, v);
+    f.addTo(i, i, one);
+    const RegId c = f.cmplt(i, n);
+    f.br(c, loop, done);
+    f.setBlock(done);
+    f.ret(i);
+    return pb.build();
+}
+
+TEST(Prog, BuilderProducesFinalizedVerifiedProgram)
+{
+    const Program p = tinyLoopProgram();
+    EXPECT_TRUE(p.finalized());
+    EXPECT_TRUE(check(p).empty());
+    EXPECT_EQ(p.functions().size(), 1u);
+    EXPECT_EQ(p.function(0).blocks.size(), 3u);
+}
+
+TEST(Prog, StaticIdsAreDenseAndLocatable)
+{
+    const Program p = tinyLoopProgram();
+    for (StaticId s = 0; s < p.numInstrs(); ++s) {
+        const Instr &in = p.instr(s);
+        EXPECT_EQ(in.sid, s);
+        const InstrRef &ref = p.locate(s);
+        EXPECT_EQ(p.function(ref.func)
+                      .blocks[ref.block]
+                      .instrs[ref.index]
+                      .sid,
+                  s);
+    }
+}
+
+TEST(Prog, BlockStartsAreMonotonic)
+{
+    const Program p = tinyLoopProgram();
+    EXPECT_EQ(p.blockStart(0, 0), 0u);
+    EXPECT_LT(p.blockStart(0, 0), p.blockStart(0, 1));
+    EXPECT_LT(p.blockStart(0, 1), p.blockStart(0, 2));
+}
+
+TEST(Prog, DisassemblyMentionsOpcodesAndTargets)
+{
+    const Program p = tinyLoopProgram();
+    const std::string d = p.disassemble();
+    EXPECT_NE(d.find("cmplt"), std::string::npos);
+    EXPECT_NE(d.find("->bb1"), std::string::npos);
+    EXPECT_NE(d.find("main"), std::string::npos);
+}
+
+TEST(Prog, EntryFunctionPrefersMain)
+{
+    ProgramBuilder pb;
+    auto &g = pb.func("helper", 0);
+    g.retVoid();
+    auto &f = pb.func("main", 0);
+    f.retVoid();
+    const Program p = pb.build();
+    EXPECT_EQ(p.entryFunction(), 1);
+}
+
+TEST(Verifier, CatchesMissingTerminator)
+{
+    Program p;
+    Function fn;
+    fn.name = "f";
+    fn.numRegs = 2;
+    BasicBlock bb;
+    Instr in;
+    in.op = Opcode::Add;
+    in.dst = 0;
+    in.src = {1, 1, kNoReg};
+    bb.instrs.push_back(in);
+    fn.blocks.push_back(bb);
+    p.addFunction(fn);
+    p.finalize();
+    const auto errs = check(p);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs.front().find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, CatchesRegisterOutOfRange)
+{
+    Program p;
+    Function fn;
+    fn.name = "f";
+    fn.numRegs = 1;
+    BasicBlock bb;
+    Instr in;
+    in.op = Opcode::Add;
+    in.dst = 0;
+    in.src = {5, 0, kNoReg}; // r5 out of range
+    bb.instrs.push_back(in);
+    Instr ret;
+    ret.op = Opcode::Ret;
+    bb.instrs.push_back(ret);
+    fn.blocks.push_back(bb);
+    p.addFunction(fn);
+    p.finalize();
+    EXPECT_FALSE(check(p).empty());
+}
+
+TEST(Verifier, CatchesSyntheticOpcodeInGuestCode)
+{
+    Program p;
+    Function fn;
+    fn.name = "f";
+    fn.numRegs = 2;
+    BasicBlock bb;
+    Instr in;
+    in.op = Opcode::Vadd;
+    in.dst = 0;
+    in.src = {1, 1, kNoReg};
+    bb.instrs.push_back(in);
+    Instr ret;
+    ret.op = Opcode::Ret;
+    bb.instrs.push_back(ret);
+    fn.blocks.push_back(bb);
+    p.addFunction(fn);
+    p.finalize();
+    const auto errs = check(p);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs.front().find("synthetic"), std::string::npos);
+}
+
+TEST(Verifier, CatchesBadBranchTarget)
+{
+    Program p;
+    Function fn;
+    fn.name = "f";
+    fn.numRegs = 1;
+    BasicBlock bb;
+    Instr br;
+    br.op = Opcode::Br;
+    br.src = {0, kNoReg, kNoReg};
+    br.target = 7; // no such block
+    bb.instrs.push_back(br);
+    bb.fallthrough = 0;
+    fn.blocks.push_back(bb);
+    p.addFunction(fn);
+    p.finalize();
+    EXPECT_FALSE(check(p).empty());
+}
+
+TEST(Verifier, CatchesCallArgumentMismatch)
+{
+    Program p;
+    {
+        Function callee;
+        callee.name = "two_args";
+        callee.numArgs = 2;
+        callee.numRegs = 2;
+        BasicBlock bb;
+        Instr ret;
+        ret.op = Opcode::Ret;
+        ret.src = {0, kNoReg, kNoReg};
+        bb.instrs.push_back(ret);
+        callee.blocks.push_back(bb);
+        p.addFunction(callee);
+    }
+    {
+        Function fn;
+        fn.name = "main";
+        fn.numRegs = 2;
+        BasicBlock bb;
+        Instr call;
+        call.op = Opcode::Call;
+        call.dst = 0;
+        call.src = {1, kNoReg, kNoReg}; // one arg; callee wants two
+        call.target = 0;
+        bb.instrs.push_back(call);
+        Instr ret;
+        ret.op = Opcode::Ret;
+        bb.instrs.push_back(ret);
+        fn.blocks.push_back(bb);
+        p.addFunction(fn);
+    }
+    p.finalize();
+    const auto errs = check(p);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs.front().find("argument"), std::string::npos);
+}
+
+} // namespace
+} // namespace prism

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Property-based tests: randomized-but-deterministic sweeps checking
+ * invariants of the memory, cache, resource, and timing models that
+ * must hold for *any* input, not just the crafted cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "sim/cache.hh"
+#include "sim/memory.hh"
+#include "tdg/reference/ref_models.hh"
+#include "uarch/pipeline_model.hh"
+#include "uarch/resource_table.hh"
+
+namespace prism
+{
+namespace
+{
+
+// ---- SimMemory vs a std::map reference model ----
+
+TEST(Property, MemoryMatchesMapModel)
+{
+    Rng rng(42);
+    SimMemory mem;
+    std::map<Addr, std::uint8_t> model;
+    for (int i = 0; i < 20000; ++i) {
+        const Addr addr = rng.below(1 << 20);
+        const unsigned size = 1u << rng.below(4); // 1/2/4/8
+        if (rng.chance(0.5)) {
+            const std::uint64_t v = rng.next();
+            mem.write(addr, v, size);
+            for (unsigned b = 0; b < size; ++b) {
+                model[addr + b] =
+                    static_cast<std::uint8_t>(v >> (8 * b));
+            }
+        } else {
+            const std::uint64_t got = mem.read(addr, size);
+            std::uint64_t want = 0;
+            for (unsigned b = 0; b < size; ++b) {
+                const auto it = model.find(addr + b);
+                const std::uint8_t byte =
+                    it == model.end() ? 0 : it->second;
+                want |= static_cast<std::uint64_t>(byte) << (8 * b);
+            }
+            ASSERT_EQ(got, want) << "addr " << addr;
+        }
+    }
+}
+
+// ---- Cache invariants across geometries ----
+
+struct CacheGeom
+{
+    std::uint64_t size;
+    unsigned assoc;
+    unsigned line;
+};
+
+class CacheSweep : public ::testing::TestWithParam<CacheGeom>
+{
+};
+
+TEST_P(CacheSweep, HitRateWithinBoundsAndRepeatableWorkingSet)
+{
+    const CacheGeom g = GetParam();
+    Cache c({g.size, g.assoc, g.line, 4});
+    Rng rng(7);
+    // Random accesses within 4x the cache size.
+    for (int i = 0; i < 30000; ++i)
+        c.access(rng.below(4 * g.size));
+    EXPECT_EQ(c.hits() + c.misses(), 30000u);
+    // A working set of half the cache always fits afterwards.
+    Cache c2({g.size, g.assoc, g.line, 4});
+    for (int round = 0; round < 3; ++round) {
+        for (Addr a = 0; a < g.size / 2; a += g.line)
+            c2.access(a);
+    }
+    EXPECT_EQ(c2.misses(), g.size / 2 / g.line);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSweep,
+    ::testing::Values(CacheGeom{4096, 1, 64},
+                      CacheGeom{8192, 2, 64},
+                      CacheGeom{32768, 4, 64},
+                      CacheGeom{65536, 2, 32},
+                      CacheGeom{262144, 8, 64}));
+
+// ---- ResourceTable never over-grants a cycle ----
+
+TEST(Property, ResourceTableRespectsCapacity)
+{
+    for (unsigned cap : {1u, 2u, 3u, 6u}) {
+        ResourceTable rt(cap);
+        Rng rng(cap);
+        std::map<Cycle, unsigned> granted;
+        Cycle base = 0;
+        for (int i = 0; i < 5000; ++i) {
+            base += rng.below(3);
+            const Cycle got = rt.acquire(base);
+            EXPECT_GE(got, base);
+            ++granted[got];
+        }
+        for (const auto &[cycle, count] : granted)
+            EXPECT_LE(count, cap) << "cycle " << cycle;
+    }
+}
+
+// ---- Random stream generator for timing-model properties ----
+
+MStream
+randomStream(std::uint64_t seed, std::size_t n)
+{
+    Rng rng(seed);
+    MStream s;
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        MInst mi;
+        const int kind = static_cast<int>(rng.below(10));
+        if (kind < 5) {
+            mi = MInst::core(Opcode::Add);
+        } else if (kind < 6) {
+            mi = MInst::core(Opcode::Fmul);
+        } else if (kind < 8) {
+            mi = MInst::core(Opcode::Ld);
+            mi.memLat = static_cast<std::uint16_t>(
+                rng.chance(0.1) ? 4 + rng.below(120) : 4);
+        } else if (kind < 9) {
+            mi = MInst::core(Opcode::St);
+        } else {
+            mi = MInst::core(Opcode::Br);
+            mi.mispredicted = rng.chance(0.1);
+            mi.takenBranch = rng.chance(0.5);
+        }
+        // Backward dependences only.
+        if (i > 0 && rng.chance(0.6)) {
+            mi.dep[0] = static_cast<std::int64_t>(
+                i - 1 - rng.below(std::min<std::size_t>(i, 24)));
+        }
+        s.push_back(std::move(mi));
+    }
+    return s;
+}
+
+class RandomStreams : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomStreams, TimingInvariants)
+{
+    const MStream s = randomStream(GetParam(), 4000);
+    ASSERT_TRUE(checkStream(s).empty());
+    for (CoreKind k : {CoreKind::IO2, CoreKind::OOO2,
+                       CoreKind::OOO6}) {
+        PipelineConfig cfg;
+        cfg.core = coreConfig(k);
+        const PipelineResult res =
+            PipelineModel(cfg).run(s, true);
+        // Lower bound: width; upper bound: fully serial worst case.
+        EXPECT_GE(res.cycles, s.size() / cfg.core.width);
+        EXPECT_LE(res.cycles, s.size() * 200);
+        // Commit times are monotone and complete <= commit.
+        for (std::size_t i = 0; i < s.size(); ++i) {
+            EXPECT_LE(res.completeAt[i], res.commitAt[i]);
+            if (i > 0) {
+                EXPECT_GE(res.commitAt[i], res.commitAt[i - 1]);
+            }
+        }
+    }
+}
+
+TEST_P(RandomStreams, ModelsAgreeWithinBound)
+{
+    const MStream s = randomStream(GetParam() ^ 0xABCD, 3000);
+    PipelineConfig cfg;
+    cfg.core = coreConfig(CoreKind::OOO4);
+    const Cycle proj = PipelineModel(cfg).run(s).cycles;
+    const Cycle ref = CycleCoreSim(cfg).run(s);
+    const double err = std::abs(
+        static_cast<double>(proj) / static_cast<double>(ref) - 1.0);
+    EXPECT_LT(err, 0.25) << proj << " vs " << ref;
+}
+
+TEST_P(RandomStreams, MoreMispredictsNeverFaster)
+{
+    MStream s = randomStream(GetParam() ^ 0x77, 3000);
+    PipelineConfig cfg;
+    cfg.core = coreConfig(CoreKind::OOO2);
+    const Cycle base = PipelineModel(cfg).run(s).cycles;
+    for (MInst &mi : s) {
+        if (mi.isCondBranch)
+            mi.mispredicted = true;
+    }
+    const Cycle worse = PipelineModel(cfg).run(s).cycles;
+    EXPECT_GE(worse, base);
+}
+
+TEST_P(RandomStreams, HigherMemLatencyNeverFaster)
+{
+    MStream s = randomStream(GetParam() ^ 0x99, 3000);
+    PipelineConfig cfg;
+    cfg.core = coreConfig(CoreKind::OOO2);
+    const Cycle base = PipelineModel(cfg).run(s).cycles;
+    for (MInst &mi : s) {
+        if (mi.isLoad)
+            mi.memLat += 20;
+    }
+    const Cycle worse = PipelineModel(cfg).run(s).cycles;
+    EXPECT_GE(worse, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStreams,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u,
+                                           7u, 8u));
+
+} // namespace
+} // namespace prism

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for trace serialization: round trips, fingerprint checks,
+ * and corruption handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/trace_gen.hh"
+#include "trace/serialize.hh"
+#include "workloads/kernel_util.hh"
+
+namespace prism
+{
+namespace
+{
+
+Program
+smallProgram(std::int64_t n)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId eight = f.movi(8);
+    const RegId acc = f.reg();
+    f.moviTo(acc, 0);
+    countedLoop(f, 0, n, 1, [&](RegId i) {
+        const RegId v =
+            f.ld(f.add(f.arg(0), f.mul(i, eight)), 0);
+        f.addTo(acc, acc, v);
+    });
+    f.ret(acc);
+    return pb.build();
+}
+
+struct TempFile
+{
+    std::string path;
+    explicit TempFile(const char *name)
+        : path(std::string(::testing::TempDir()) + name)
+    {
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(Serialize, RoundTripPreservesEveryField)
+{
+    const Program prog = smallProgram(200);
+    SimMemory mem;
+    Rng rng(5);
+    fillI64(mem, 0x4000, 200, rng, -100, 100);
+    Trace trace(&prog);
+    generateTrace(prog, mem, {0x4000}, trace);
+
+    TempFile tmp("roundtrip.trc");
+    saveTrace(trace, tmp.path);
+    EXPECT_TRUE(traceFileMatches(prog, tmp.path));
+
+    const Trace loaded = loadTrace(prog, tmp.path);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (DynId i = 0; i < trace.size(); ++i) {
+        const DynInst &a = trace[i];
+        const DynInst &b = loaded[i];
+        ASSERT_EQ(a.sid, b.sid) << i;
+        ASSERT_EQ(a.op, b.op);
+        ASSERT_EQ(a.memSize, b.memSize);
+        ASSERT_EQ(a.branchTaken, b.branchTaken);
+        ASSERT_EQ(a.mispredicted, b.mispredicted);
+        ASSERT_EQ(a.memLat, b.memLat);
+        ASSERT_EQ(a.effAddr, b.effAddr);
+        ASSERT_EQ(a.srcProd, b.srcProd);
+        ASSERT_EQ(a.memProd, b.memProd);
+        ASSERT_EQ(a.value, b.value);
+    }
+}
+
+TEST(Serialize, FingerprintStableAndSensitive)
+{
+    const Program a = smallProgram(200);
+    const Program b = smallProgram(200);
+    EXPECT_EQ(programFingerprint(a), programFingerprint(b));
+    const Program c = smallProgram(201); // different immediate
+    EXPECT_NE(programFingerprint(a), programFingerprint(c));
+}
+
+TEST(Serialize, RejectsTraceFromDifferentProgram)
+{
+    const Program a = smallProgram(100);
+    const Program b = smallProgram(101);
+    SimMemory mem;
+    Trace trace(&a);
+    generateTrace(a, mem, {0x4000}, trace);
+    TempFile tmp("mismatch.trc");
+    saveTrace(trace, tmp.path);
+    EXPECT_TRUE(traceFileMatches(a, tmp.path));
+    EXPECT_FALSE(traceFileMatches(b, tmp.path));
+}
+
+TEST(Serialize, RejectsGarbageFile)
+{
+    const Program a = smallProgram(50);
+    TempFile tmp("garbage.trc");
+    std::ofstream os(tmp.path, std::ios::binary);
+    os << "this is not a trace";
+    os.close();
+    EXPECT_FALSE(traceFileMatches(a, tmp.path));
+}
+
+TEST(Serialize, MissingFileDoesNotMatch)
+{
+    const Program a = smallProgram(50);
+    EXPECT_FALSE(traceFileMatches(a, "/nonexistent/path.trc"));
+}
+
+} // namespace
+} // namespace prism

@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Unit tests for the simulation substrate: guest memory, caches,
+ * branch predictors, the interpreter (architectural semantics and
+ * dependence tracking), and trace generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "prog/builder.hh"
+#include "sim/branch_pred.hh"
+#include "sim/cache.hh"
+#include "sim/interpreter.hh"
+#include "sim/memory.hh"
+#include "sim/trace_gen.hh"
+#include "workloads/kernel_util.hh"
+
+namespace prism
+{
+namespace
+{
+
+// ---- SimMemory ----
+
+TEST(Memory, ZeroInitialized)
+{
+    SimMemory mem;
+    EXPECT_EQ(mem.read(0x1234, 8), 0u);
+}
+
+TEST(Memory, ReadBackAllSizes)
+{
+    SimMemory mem;
+    for (unsigned size : {1u, 2u, 4u, 8u}) {
+        mem.write(0x1000, 0xA1B2C3D4E5F60708ull, size);
+        const std::uint64_t mask =
+            size == 8 ? ~0ull : ((1ull << (8 * size)) - 1);
+        EXPECT_EQ(mem.read(0x1000, size),
+                  0xA1B2C3D4E5F60708ull & mask);
+    }
+}
+
+TEST(Memory, CrossPageAccess)
+{
+    SimMemory mem;
+    const Addr addr = 0x1FFF; // straddles a 4K page boundary
+    mem.writeI64(addr, 0x1122334455667788);
+    EXPECT_EQ(mem.readI64(addr), 0x1122334455667788);
+    EXPECT_GE(mem.numPages(), 2u);
+}
+
+TEST(Memory, TypedAccessors)
+{
+    SimMemory mem;
+    mem.writeF64(64, 3.25);
+    EXPECT_DOUBLE_EQ(mem.readF64(64), 3.25);
+    mem.writeI32(128, -7);
+    EXPECT_EQ(mem.readI32(128), -7);
+}
+
+// ---- Cache ----
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache c({1024, 2, 64, 4});
+    EXPECT_FALSE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x13F)); // same line
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 64B lines, 2 sets -> 256B total.
+    Cache c({256, 2, 64, 4});
+    // Three lines mapping to set 0 (stride = 2*64).
+    c.access(0 * 128);
+    c.access(2 * 128);
+    c.access(4 * 128);       // evicts line 0 (LRU)
+    EXPECT_TRUE(c.access(2 * 128));
+    EXPECT_FALSE(c.access(0 * 128)); // was evicted
+}
+
+TEST(Cache, ProbeDoesNotDisturbState)
+{
+    Cache c({1024, 2, 64, 4});
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_EQ(c.hits() + c.misses(), 0u);
+    c.access(0x40);
+    EXPECT_TRUE(c.probe(0x40));
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheHasOnlyColdMisses)
+{
+    Cache c({64 * 1024, 2, 64, 4});
+    for (int round = 0; round < 4; ++round) {
+        for (Addr a = 0; a < 32 * 1024; a += 64)
+            c.access(a);
+    }
+    EXPECT_EQ(c.misses(), 32u * 1024 / 64);
+}
+
+TEST(CacheHierarchy, LatenciesTiered)
+{
+    CacheHierarchy h;
+    const unsigned first = h.load(0x4000);   // cold: via DRAM
+    EXPECT_GT(first, 100u);
+    const unsigned second = h.load(0x4000);  // L1 hit
+    EXPECT_EQ(second, 4u);
+}
+
+TEST(CacheHierarchy, L2CatchesL1Evictions)
+{
+    HierarchyConfig cfg;
+    cfg.l1d = {1024, 2, 64, 4}; // tiny L1
+    CacheHierarchy h(cfg);
+    // Fill way beyond L1 but within L2.
+    for (Addr a = 0; a < 64 * 1024; a += 64)
+        h.load(a);
+    // Re-access: L1 misses but L2 hits -> latency 4+22.
+    const unsigned lat = h.load(0);
+    EXPECT_EQ(lat, 26u);
+}
+
+// ---- Branch predictors ----
+
+TEST(BranchPred, BimodalLearnsBias)
+{
+    BimodalPredictor p;
+    int wrong = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (!p.predictAndUpdate(42, true))
+            ++wrong;
+    }
+    EXPECT_LE(wrong, 1);
+}
+
+TEST(BranchPred, GshareLearnsPattern)
+{
+    GsharePredictor p;
+    // Period-4 pattern: T T T N — bimodal cannot learn this fully,
+    // gshare can after warmup.
+    int wrong = 0;
+    for (int i = 0; i < 400; ++i) {
+        const bool taken = (i % 4) != 3;
+        if (!p.predictAndUpdate(7, taken) && i > 100)
+            ++wrong;
+    }
+    EXPECT_LE(wrong, 5);
+}
+
+TEST(BranchPred, TournamentAtLeastAsGoodAsBiasedBimodal)
+{
+    TournamentPredictor p;
+    int wrong = 0;
+    for (int i = 0; i < 400; ++i) {
+        const bool taken = (i % 4) != 3;
+        if (!p.predictAndUpdate(9, taken) && i > 100)
+            ++wrong;
+    }
+    EXPECT_LE(wrong, 10);
+}
+
+TEST(BranchPred, ResetClearsState)
+{
+    GsharePredictor p;
+    for (int i = 0; i < 50; ++i)
+        p.predictAndUpdate(3, false);
+    p.reset();
+    EXPECT_TRUE(p.predict(3)); // back to weakly-taken init
+}
+
+class PredictorKindTest
+    : public ::testing::TestWithParam<PredictorKind>
+{
+};
+
+TEST_P(PredictorKindTest, AlwaysTakenLoopBranchesPredictWell)
+{
+    auto p = makePredictor(GetParam());
+    int wrong = 0;
+    for (int i = 0; i < 200; ++i) {
+        if (!p->predictAndUpdate(5, true))
+            ++wrong;
+    }
+    EXPECT_LE(wrong, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PredictorKindTest,
+                         ::testing::Values(PredictorKind::Tournament,
+                                           PredictorKind::Gshare,
+                                           PredictorKind::Bimodal,
+                                           PredictorKind::AlwaysTaken));
+
+// ---- Interpreter ----
+
+/** Run a single-function program and return (result, trace). */
+std::pair<RunResult, Trace>
+runProgram(const Program &p, SimMemory &mem,
+           const std::vector<std::int64_t> &args)
+{
+    Trace trace(&p);
+    Interpreter interp(p, mem);
+    auto res = interp.run(args, [&trace](DynInst &di) {
+        trace.push(di);
+    });
+    return {res, std::move(trace)};
+}
+
+TEST(Interpreter, ArithmeticSemantics)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 0);
+    const RegId a = f.movi(10);
+    const RegId b = f.movi(3);
+    const RegId q = f.div(a, b);
+    const RegId r = f.rem(a, b);
+    const RegId s = f.shl(b, f.movi(2));
+    const RegId sum = f.add(f.add(q, r), s);
+    f.ret(sum);
+    const Program p = pb.build();
+    SimMemory mem;
+    auto [res, trace] = runProgram(p, mem, {});
+    EXPECT_EQ(res.returnValue, 3 + 1 + 12);
+}
+
+TEST(Interpreter, FloatingPointSemantics)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 0);
+    const RegId x = f.fmovi(2.0);
+    const RegId y = f.fmovi(3.0);
+    const RegId m = f.fma(x, y, f.fmovi(1.0)); // 7.0
+    const RegId s = f.fsqrt(f.fmovi(16.0));    // 4.0
+    const RegId sum = f.fadd(m, s);            // 11.0
+    f.ret(f.cvtfi(sum));
+    const Program p = pb.build();
+    SimMemory mem;
+    auto [res, trace] = runProgram(p, mem, {});
+    EXPECT_EQ(res.returnValue, 11);
+}
+
+TEST(Interpreter, LoadSignExtends)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId v = f.ld(f.arg(0), 0, 4);
+    f.ret(v);
+    const Program p = pb.build();
+    SimMemory mem;
+    mem.writeI32(0x1000, -5);
+    auto [res, trace] = runProgram(p, mem, {0x1000});
+    EXPECT_EQ(res.returnValue, -5);
+}
+
+TEST(Interpreter, ControlFlowAndLoop)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 0);
+    const RegId acc = f.reg();
+    f.moviTo(acc, 0);
+    countedLoop(f, 0, 10, 1,
+                [&](RegId i) { f.addTo(acc, acc, i); });
+    f.ret(acc);
+    const Program p = pb.build();
+    SimMemory mem;
+    auto [res, trace] = runProgram(p, mem, {});
+    EXPECT_EQ(res.returnValue, 45);
+}
+
+TEST(Interpreter, CallAndReturnValueFlow)
+{
+    ProgramBuilder pb;
+    auto &leaf = pb.func("leaf", 2);
+    leaf.ret(leaf.mul(leaf.arg(0), leaf.arg(1)));
+    auto &f = pb.func("main", 0);
+    const RegId r = f.call(leaf.id(), {f.movi(6), f.movi(7)});
+    f.ret(r);
+    const Program p = pb.build();
+    SimMemory mem;
+    auto [res, trace] = runProgram(p, mem, {});
+    EXPECT_EQ(res.returnValue, 42);
+}
+
+TEST(Interpreter, RegisterDependencesPointAtProducers)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 0);
+    const RegId a = f.movi(1); // dyn 0
+    const RegId b = f.movi(2); // dyn 1
+    const RegId c = f.add(a, b); // dyn 2: deps {0, 1}
+    f.ret(c);
+    const Program p = pb.build();
+    SimMemory mem;
+    auto [res, trace] = runProgram(p, mem, {});
+    ASSERT_GE(trace.size(), 3u);
+    EXPECT_EQ(trace[2].srcProd[0], 0);
+    EXPECT_EQ(trace[2].srcProd[1], 1);
+    EXPECT_EQ(trace[0].srcProd[0], kNoProducer);
+}
+
+TEST(Interpreter, MemoryDependenceStoreToLoad)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId v = f.movi(99);
+    f.st(f.arg(0), 0, v);        // dyn 1
+    const RegId w = f.ld(f.arg(0), 0); // dyn 2: memProd = 1
+    f.ret(w);
+    const Program p = pb.build();
+    SimMemory mem;
+    auto [res, trace] = runProgram(p, mem, {0x2000});
+    EXPECT_EQ(res.returnValue, 99);
+    ASSERT_GE(trace.size(), 3u);
+    EXPECT_EQ(trace[2].memProd, 1);
+    EXPECT_EQ(trace[2].effAddr, 0x2000u);
+}
+
+TEST(Interpreter, InstLimitHonored)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 0);
+    const std::int32_t loop = f.newBlock();
+    f.jmp(loop);
+    f.setBlock(loop);
+    f.jmp(loop); // infinite
+    const Program p = pb.build();
+    SimMemory mem;
+    Interpreter interp(p, mem);
+    RunLimits limits;
+    limits.maxInsts = 1000;
+    const RunResult res = interp.run({}, {}, limits);
+    EXPECT_TRUE(res.hitInstLimit);
+    EXPECT_EQ(res.instsExecuted, 1000u);
+}
+
+// ---- Trace generation ----
+
+TEST(TraceGen, AnnotatesLoadsAndBranches)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId acc = f.reg();
+    f.moviTo(acc, 0);
+    const RegId eight = f.movi(8);
+    countedLoop(f, 0, 100, 1, [&](RegId i) {
+        const RegId v =
+            f.ld(f.add(f.arg(0), f.mul(i, eight)), 0);
+        f.addTo(acc, acc, v);
+    });
+    f.ret(acc);
+    const Program p = pb.build();
+    SimMemory mem;
+    Trace trace(&p);
+    const TraceGenResult res =
+        generateTrace(p, mem, {0x8000}, trace);
+    EXPECT_FALSE(res.hitInstLimit);
+    bool saw_load_lat = false;
+    std::uint64_t branches = 0;
+    for (const DynInst &di : trace.insts()) {
+        if (opInfo(di.op).isLoad) {
+            EXPECT_GE(di.memLat, 4u);
+            saw_load_lat = true;
+        }
+        if (opInfo(di.op).isCondBranch)
+            ++branches;
+    }
+    EXPECT_TRUE(saw_load_lat);
+    EXPECT_EQ(branches, 100u);
+}
+
+TEST(TraceGen, LoopBranchMostlyWellPredicted)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 0);
+    const RegId acc = f.reg();
+    f.moviTo(acc, 0);
+    countedLoop(f, 0, 2000, 1,
+                [&](RegId i) { f.addTo(acc, acc, i); });
+    f.ret(acc);
+    const Program p = pb.build();
+    SimMemory mem;
+    Trace trace(&p);
+    generateTrace(p, mem, {}, trace);
+    std::uint64_t mis = 0;
+    std::uint64_t br = 0;
+    for (const DynInst &di : trace.insts()) {
+        if (opInfo(di.op).isCondBranch) {
+            ++br;
+            mis += di.mispredicted;
+        }
+    }
+    EXPECT_GT(br, 0u);
+    EXPECT_LT(static_cast<double>(mis) / static_cast<double>(br),
+              0.05);
+}
+
+} // namespace
+} // namespace prism

@@ -1,0 +1,519 @@
+/**
+ * @file
+ * Tests for the TDG framework: stream construction, the fma example
+ * transform, per-BSA analysis plans and transforms on crafted loops,
+ * and structural validity of every transform's output.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/trace_gen.hh"
+#include "tdg/analyzer.hh"
+#include "tdg/bsa/bsa.hh"
+#include "tdg/constructor.hh"
+#include "tdg/exocore.hh"
+#include "tdg/transform.hh"
+#include "uarch/pipeline_model.hh"
+#include "workloads/kernel_util.hh"
+
+namespace prism
+{
+namespace
+{
+
+/** Trace a freshly built program. */
+Tdg
+makeTdg(Program &prog, SimMemory &mem,
+        const std::vector<std::int64_t> &args)
+{
+    Trace trace(&prog);
+    generateTrace(prog, mem, args, trace);
+    return Tdg(prog, std::move(trace));
+}
+
+/** Clean streaming FP loop: out[i] = (a[i]*b[i] + c) * a[i] - c. */
+Program
+vectorizableLoop(std::int64_t n = 512)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 3);
+    const RegId eight = f.movi(8);
+    const RegId c = f.fmovi(0.5);
+    countedLoop(f, 0, n, 1, [&](RegId i) {
+        const RegId off = f.mul(i, eight);
+        const RegId x = f.ld(f.add(f.arg(0), off), 0);
+        const RegId y = f.ld(f.add(f.arg(1), off), 0);
+        const RegId v = f.fma(x, y, c);
+        const RegId w = f.fsub(f.fmul(v, x), c);
+        f.st(f.add(f.arg(2), off), 0, w);
+    });
+    f.retVoid();
+    return pb.build();
+}
+
+struct VecSetup
+{
+    Program prog;
+    SimMemory mem;
+    std::vector<std::int64_t> args;
+
+    explicit VecSetup(std::int64_t n = 512) : prog(vectorizableLoop(n))
+    {
+        Rng rng(77);
+        fillF64(mem, 0x10000, n, rng);
+        fillF64(mem, 0x40000, n, rng);
+        args = {0x10000, 0x40000, 0x80000};
+    }
+};
+
+// ---- Construction ----
+
+TEST(Constructor, DependencesRemapWithinRange)
+{
+    VecSetup s;
+    const Tdg tdg = makeTdg(s.prog, s.mem, s.args);
+    const MStream full = buildCoreStream(tdg.trace());
+    EXPECT_EQ(full.size(), tdg.trace().size());
+    EXPECT_TRUE(checkStream(full).empty());
+
+    // A sub-range drops dependences on producers outside it.
+    const MStream sub = buildCoreStream(tdg.trace(), 100, 200);
+    EXPECT_EQ(sub.size(), 100u);
+    EXPECT_TRUE(checkStream(sub).empty());
+}
+
+TEST(Constructor, RangesConcatenateWithBoundaries)
+{
+    VecSetup s;
+    const Tdg tdg = makeTdg(s.prog, s.mem, s.args);
+    std::vector<std::size_t> bounds;
+    const MStream joined = buildCoreStreamRanges(
+        tdg.trace(), {{0, 50}, {100, 150}}, bounds);
+    ASSERT_EQ(bounds.size(), 2u);
+    EXPECT_EQ(bounds[0], 0u);
+    EXPECT_EQ(bounds[1], 50u);
+    EXPECT_TRUE(joined[0].startRegion);
+    EXPECT_TRUE(joined[50].startRegion);
+    EXPECT_TRUE(checkStream(joined).empty());
+}
+
+TEST(Constructor, TallyMatchesModelEvents)
+{
+    VecSetup s;
+    const Tdg tdg = makeTdg(s.prog, s.mem, s.args);
+    const MStream stream = buildCoreStream(tdg.trace());
+    const EventCounts tallied = tallyEvents(stream);
+    const PipelineResult res = PipelineModel({}).run(stream);
+    EXPECT_EQ(tallied.coreFetches, res.events.coreFetches);
+    EXPECT_EQ(tallied.loads, res.events.loads);
+    EXPECT_EQ(tallied.stores, res.events.stores);
+    EXPECT_EQ(tallied.branches, res.events.branches);
+    EXPECT_EQ(tallied.mispredicts, res.events.mispredicts);
+    EXPECT_EQ(tallied.l2Accesses, res.events.l2Accesses);
+}
+
+// ---- fma example ----
+
+TEST(FmaExample, PlansSingleUseFmulFaddPairs)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId eight = f.movi(8);
+    countedLoop(f, 0, 64, 1, [&](RegId i) {
+        const RegId off = f.mul(i, eight);
+        const RegId x = f.ld(f.add(f.arg(0), off), 0);
+        const RegId m = f.fmul(x, x);   // single use
+        const RegId a = f.fadd(m, x);   // fusable
+        f.st(f.add(f.arg(0), off), 0, a);
+    });
+    f.retVoid();
+    Program prog = pb.build();
+    SimMemory mem;
+    Rng rng(3);
+    fillF64(mem, 0x4000, 64, rng);
+    const Tdg tdg = makeTdg(prog, mem, {0x4000});
+
+    const FmaTransform fma(tdg);
+    EXPECT_EQ(fma.plannedPairs(), 1u);
+
+    const MStream fused = fma.transform();
+    EXPECT_TRUE(checkStream(fused).empty());
+    // One fadd elided per iteration.
+    EXPECT_EQ(fused.size(), tdg.trace().size() - 64);
+    // The fma opcode appears with latency 4.
+    bool saw_fma = false;
+    for (const MInst &mi : fused) {
+        if (mi.op == Opcode::Fma) {
+            saw_fma = true;
+            EXPECT_EQ(mi.lat, 4);
+        }
+        EXPECT_NE(mi.op, Opcode::Fadd); // all fused away
+    }
+    EXPECT_TRUE(saw_fma);
+}
+
+TEST(FmaExample, MultiUseFmulNotFused)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 0);
+    const RegId x = f.fmovi(1.5);
+    const RegId m = f.fmul(x, x);
+    const RegId a = f.fadd(m, x);
+    const RegId b = f.fadd(m, a); // second use of m
+    f.ret(f.cvtfi(b));
+    Program prog = pb.build();
+    SimMemory mem;
+    const Tdg tdg = makeTdg(prog, mem, {});
+    const FmaTransform fma(tdg);
+    EXPECT_EQ(fma.plannedPairs(), 0u);
+}
+
+// ---- Analyzer ----
+
+TEST(Analyzer, AcceptsCleanVectorizableLoop)
+{
+    VecSetup s;
+    const Tdg tdg = makeTdg(s.prog, s.mem, s.args);
+    const TdgAnalyzer an(tdg);
+    ASSERT_EQ(tdg.loops().numLoops(), 1u);
+    const SimdPlan &plan = an.simd(0);
+    EXPECT_TRUE(plan.legal) << plan.reason;
+    EXPECT_TRUE(plan.profitable) << plan.reason;
+    EXPECT_TRUE(plan.usable());
+    EXPECT_FALSE(plan.bodyRpo.empty());
+    EXPECT_GT(plan.avgIterInsts, 0.0);
+}
+
+TEST(Analyzer, RejectsCarriedMemoryDependence)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId eight = f.movi(8);
+    countedLoop(f, 0, 128, 1, [&](RegId i) {
+        const RegId off = f.mul(i, eight);
+        const RegId p = f.add(f.arg(0), off);
+        const RegId v = f.ld(p, 0);
+        f.st(p, 8, f.addi(v, 1)); // feeds next iteration's load
+    });
+    f.retVoid();
+    Program prog = pb.build();
+    SimMemory mem;
+    const Tdg tdg = makeTdg(prog, mem, {0x4000});
+    const TdgAnalyzer an(tdg);
+    EXPECT_FALSE(an.simd(0).usable());
+    EXPECT_NE(an.simd(0).reason.find("memory"), std::string::npos);
+    EXPECT_FALSE(an.cgra(0).usable());
+}
+
+TEST(Analyzer, RejectsShortTripCounts)
+{
+    VecSetup s(3); // fewer iterations than the vector length
+    const Tdg tdg = makeTdg(s.prog, s.mem, s.args);
+    const TdgAnalyzer an(tdg);
+    EXPECT_FALSE(an.simd(0).usable());
+    EXPECT_NE(an.simd(0).reason.find("trip"), std::string::npos);
+}
+
+TEST(Analyzer, NsdfSizeLimit)
+{
+    // A loop with > 256 static instructions is rejected.
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId acc = f.reg();
+    f.moviTo(acc, 0);
+    countedLoop(f, 0, 16, 1, [&](RegId i) {
+        for (int k = 0; k < 300; ++k)
+            f.addTo(acc, acc, i);
+    });
+    f.ret(acc);
+    Program prog = pb.build();
+    SimMemory mem;
+    const Tdg tdg = makeTdg(prog, mem, {0});
+    const TdgAnalyzer an(tdg);
+    EXPECT_FALSE(an.nsdf(0).usable());
+    EXPECT_GT(an.nsdf(0).staticInsts, 256u);
+}
+
+TEST(Analyzer, TracepRequiresBiasedControl)
+{
+    // 50/50 data-dependent branch: no hot path.
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId eight = f.movi(8);
+    const RegId acc = f.reg();
+    f.moviTo(acc, 0);
+    countedLoop(f, 0, 400, 1, [&](RegId i) {
+        const RegId v =
+            f.ld(f.add(f.arg(0), f.mul(i, eight)), 0);
+        ifElse(
+            f, v, [&]() { f.addTo(acc, acc, v); },
+            [&]() { f.addTo(acc, acc, eight); });
+    });
+    f.ret(acc);
+    Program prog = pb.build();
+    SimMemory mem;
+    Rng rng(13);
+    fillI64(mem, 0x4000, 400, rng, 0, 1);
+    const Tdg tdg = makeTdg(prog, mem, {0x4000});
+    const TdgAnalyzer an(tdg);
+    EXPECT_FALSE(an.tracep(0).usable());
+    EXPECT_TRUE(an.nsdf(0).usable()); // NS-DF takes it instead
+}
+
+TEST(Analyzer, TracepAcceptsHotPath)
+{
+    // Branch taken ~97% of the time: a clear hot trace.
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId eight = f.movi(8);
+    const RegId acc = f.reg();
+    f.moviTo(acc, 0);
+    countedLoop(f, 0, 400, 1, [&](RegId i) {
+        const RegId v =
+            f.ld(f.add(f.arg(0), f.mul(i, eight)), 0);
+        ifElse(f, v, [&]() { f.addTo(acc, acc, v); });
+    });
+    f.ret(acc);
+    Program prog = pb.build();
+    SimMemory mem;
+    for (int i = 0; i < 400; ++i)
+        mem.writeI64(0x4000 + i * 8, i % 32 != 0);
+    const Tdg tdg = makeTdg(prog, mem, {0x4000});
+    const TdgAnalyzer an(tdg);
+    const TracepPlan &plan = an.tracep(0);
+    EXPECT_TRUE(plan.usable()) << plan.reason;
+    EXPECT_GT(plan.hotFraction, 0.9);
+    EXPECT_FALSE(plan.hotBlocks.empty());
+    EXPECT_TRUE(plan.onHotPath(plan.hotBlocks.front()));
+}
+
+TEST(Analyzer, CgraSlicesSeparableLoop)
+{
+    VecSetup s;
+    const Tdg tdg = makeTdg(s.prog, s.mem, s.args);
+    const TdgAnalyzer an(tdg);
+    const CgraPlan &plan = an.cgra(0);
+    ASSERT_TRUE(plan.usable()) << plan.reason;
+    EXPECT_GE(plan.computeSlice.size(), 1u); // the fma
+    EXPECT_GE(plan.sendCount, 1u);           // loads feed the fabric
+    EXPECT_GE(plan.recvCount, 1u);           // result returns
+    // The fma's sid must be in the compute slice.
+    bool fma_in_compute = false;
+    for (StaticId sid : plan.computeSlice) {
+        if (tdg.program().instr(sid).op == Opcode::Fma)
+            fma_in_compute = true;
+    }
+    EXPECT_TRUE(fma_in_compute);
+}
+
+// ---- Transforms: validity and effect ----
+
+class TransformValidity : public ::testing::TestWithParam<BsaKind>
+{
+};
+
+TEST_P(TransformValidity, OutputStreamsAreWellFormed)
+{
+    VecSetup s;
+    const Tdg tdg = makeTdg(s.prog, s.mem, s.args);
+    const TdgAnalyzer an(tdg);
+    auto tf = makeTransform(GetParam(), tdg, an);
+    for (const Loop &loop : tdg.loops().loops()) {
+        if (!tf->canTarget(loop.id))
+            continue;
+        const auto occs = tdg.occurrencesOf(loop.id);
+        const TransformOutput out = tf->transformLoop(loop.id, occs);
+        const auto errs = checkStream(out.stream);
+        EXPECT_TRUE(errs.empty())
+            << bsaName(GetParam()) << ": " << errs.front();
+        EXPECT_EQ(out.occBoundaries.size(), occs.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBsas, TransformValidity,
+                         ::testing::Values(BsaKind::Simd,
+                                           BsaKind::DpCgra,
+                                           BsaKind::Nsdf,
+                                           BsaKind::Tracep));
+
+TEST(SimdTransform, ShrinksAndSpeedsUpCleanLoop)
+{
+    VecSetup s;
+    const Tdg tdg = makeTdg(s.prog, s.mem, s.args);
+    const TdgAnalyzer an(tdg);
+    SimdTransform tf(tdg, an);
+    ASSERT_TRUE(tf.canTarget(0));
+    const auto occs = tdg.occurrencesOf(0);
+    const TransformOutput out = tf.transformLoop(0, occs);
+
+    const MStream base = buildCoreStream(
+        tdg.trace(), occs[0]->begin, occs[0]->end);
+    // Vectorization removes ~3/4 of the dynamic instructions.
+    EXPECT_LT(out.stream.size(), base.size() / 2);
+
+    PipelineConfig cfg;
+    cfg.core = coreConfig(CoreKind::OOO4);
+    const Cycle c_base = PipelineModel(cfg).run(base).cycles;
+    const Cycle c_simd = PipelineModel(cfg).run(out.stream).cycles;
+    EXPECT_LT(static_cast<double>(c_simd),
+              0.7 * static_cast<double>(c_base));
+}
+
+TEST(SimdTransform, EmitsVectorOpcodes)
+{
+    VecSetup s;
+    const Tdg tdg = makeTdg(s.prog, s.mem, s.args);
+    const TdgAnalyzer an(tdg);
+    SimdTransform tf(tdg, an);
+    const TransformOutput out =
+        tf.transformLoop(0, tdg.occurrencesOf(0));
+    std::uint64_t vls = 0;
+    std::uint64_t vfma = 0;
+    for (const MInst &mi : out.stream) {
+        vls += mi.op == Opcode::Vld;
+        vfma += mi.op == Opcode::Vfma;
+    }
+    EXPECT_GT(vls, 0u);
+    EXPECT_GT(vfma, 0u);
+}
+
+TEST(NsdfTransform, EmitsDataflowWithSwitchesAndCfus)
+{
+    // A loop with internal control for NS-DF to serialize.
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId eight = f.movi(8);
+    const RegId acc = f.reg();
+    f.moviTo(acc, 0);
+    countedLoop(f, 0, 200, 1, [&](RegId i) {
+        const RegId v =
+            f.ld(f.add(f.arg(0), f.mul(i, eight)), 0);
+        ifElse(f, v, [&]() { f.addTo(acc, acc, v); });
+    });
+    f.ret(acc);
+    Program prog = pb.build();
+    SimMemory mem;
+    Rng rng(17);
+    fillI64(mem, 0x4000, 200, rng, 0, 1);
+    const Tdg tdg = makeTdg(prog, mem, {0x4000});
+    const TdgAnalyzer an(tdg);
+    NsdfTransform tf(tdg, an);
+    ASSERT_TRUE(tf.canTarget(0));
+    const TransformOutput out =
+        tf.transformLoop(0, tdg.occurrencesOf(0));
+    EXPECT_TRUE(checkStream(out.stream).empty());
+    std::uint64_t switches = 0;
+    std::uint64_t cfus = 0;
+    std::uint64_t cfgs = 0;
+    for (const MInst &mi : out.stream) {
+        switches += mi.op == Opcode::DfSwitch;
+        cfus += mi.op == Opcode::CfuOp;
+        cfgs += mi.op == Opcode::AccelCfg;
+    }
+    EXPECT_GT(switches, 200u); // >=1 per iteration (two branches)
+    EXPECT_GT(cfus, 0u);
+    EXPECT_EQ(cfgs, 1u); // configured once, cached afterwards
+}
+
+TEST(TracepTransform, ReplaysDivergingIterationsOnCore)
+{
+    // ~94% biased branch: hot path speculation with a few replays.
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId eight = f.movi(8);
+    const RegId acc = f.reg();
+    f.moviTo(acc, 0);
+    countedLoop(f, 0, 320, 1, [&](RegId i) {
+        const RegId v =
+            f.ld(f.add(f.arg(0), f.mul(i, eight)), 0);
+        ifElse(f, v, [&]() { f.addTo(acc, acc, v); });
+    });
+    f.ret(acc);
+    Program prog = pb.build();
+    SimMemory mem;
+    for (int i = 0; i < 320; ++i)
+        mem.writeI64(0x4000 + i * 8, i % 16 != 0);
+    const Tdg tdg = makeTdg(prog, mem, {0x4000});
+    const TdgAnalyzer an(tdg);
+    TracepTransform tf(tdg, an);
+    ASSERT_TRUE(tf.canTarget(0)) << an.tracep(0).reason;
+    const TransformOutput out =
+        tf.transformLoop(0, tdg.occurrencesOf(0));
+    EXPECT_TRUE(checkStream(out.stream).empty());
+    std::uint64_t engine_ops = 0;
+    std::uint64_t core_ops = 0;
+    for (const MInst &mi : out.stream) {
+        if (mi.unit == ExecUnit::Tracep)
+            ++engine_ops;
+        else
+            ++core_ops;
+    }
+    EXPECT_GT(engine_ops, core_ops); // mostly speculated
+    EXPECT_GT(core_ops, 20u);        // but replays exist
+}
+
+TEST(DpCgraTransform, CommunicatesAcrossInterface)
+{
+    VecSetup s;
+    const Tdg tdg = makeTdg(s.prog, s.mem, s.args);
+    const TdgAnalyzer an(tdg);
+    DpCgraTransform tf(tdg, an);
+    ASSERT_TRUE(tf.canTarget(0)) << an.cgra(0).reason;
+    const TransformOutput out =
+        tf.transformLoop(0, tdg.occurrencesOf(0));
+    EXPECT_TRUE(checkStream(out.stream).empty());
+    std::uint64_t sends = 0;
+    std::uint64_t recvs = 0;
+    std::uint64_t cgra_ops = 0;
+    for (const MInst &mi : out.stream) {
+        sends += mi.op == Opcode::AccelSend;
+        recvs += mi.op == Opcode::AccelRecv;
+        cgra_ops += mi.unit == ExecUnit::Cgra;
+    }
+    EXPECT_GT(sends, 0u);
+    EXPECT_GT(recvs, 0u);
+    EXPECT_GT(cgra_ops, 0u);
+}
+
+TEST(DpCgraTransform, ConfigCacheAvoidsReconfiguration)
+{
+    // Two occurrences of the same loop: config inserted only once.
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId eight = f.movi(8);
+    countedLoop(f, 0, 2, 1, [&](RegId) {
+        countedLoop(f, 0, 64, 1, [&](RegId i) {
+            const RegId off = f.mul(i, eight);
+            const RegId x = f.ld(f.add(f.arg(0), off), 0);
+            const RegId v = f.fma(x, x, x);
+            f.st(f.add(f.arg(0), off), 0, f.fmul(v, x));
+        });
+    });
+    f.retVoid();
+    Program prog = pb.build();
+    SimMemory mem;
+    Rng rng(19);
+    fillF64(mem, 0x4000, 64, rng);
+    const Tdg tdg = makeTdg(prog, mem, {0x4000});
+    const TdgAnalyzer an(tdg);
+
+    std::int32_t inner = -1;
+    for (const Loop &loop : tdg.loops().loops()) {
+        if (loop.innermost)
+            inner = loop.id;
+    }
+    ASSERT_NE(inner, -1);
+    DpCgraTransform tf(tdg, an);
+    if (!tf.canTarget(inner))
+        GTEST_SKIP() << an.cgra(inner).reason;
+    const auto occs = tdg.occurrencesOf(inner);
+    EXPECT_EQ(occs.size(), 2u);
+    const TransformOutput out = tf.transformLoop(inner, occs);
+    std::uint64_t cfgs = 0;
+    for (const MInst &mi : out.stream)
+        cfgs += mi.op == Opcode::AccelCfg;
+    EXPECT_EQ(cfgs, 1u);
+}
+
+} // namespace
+} // namespace prism

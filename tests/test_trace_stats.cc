@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for trace statistics and the end-to-end record/replay flow:
+ * a serialized trace reloaded from disk must drive the evaluation to
+ * bit-identical results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "tdg/exocore.hh"
+#include "trace/serialize.hh"
+#include "trace/trace_stats.hh"
+#include "workloads/suite.hh"
+
+namespace prism
+{
+namespace
+{
+
+TEST(TraceStats, CountsMatchManualTally)
+{
+    const auto lw =
+        LoadedWorkload::load(findWorkload("branch-rand"), 50'000);
+    const Trace &trace = lw->tdg().trace();
+    const TraceStats st = computeStats(trace);
+    EXPECT_EQ(st.numInsts, trace.size());
+
+    std::uint64_t loads = 0;
+    std::uint64_t branches = 0;
+    for (const DynInst &di : trace.insts()) {
+        loads += opInfo(di.op).isLoad;
+        branches += opInfo(di.op).isCondBranch;
+    }
+    EXPECT_EQ(st.numLoads, loads);
+    EXPECT_EQ(st.numBranches, branches);
+    EXPECT_GT(st.numTaken, 0u);
+    EXPECT_LE(st.numTaken, st.numBranches);
+    EXPECT_LE(st.numMispredicted, st.numBranches);
+    EXPECT_GT(st.mispredictRate(), 0.2); // random branch data
+    EXPECT_GE(st.avgLoadLatency(), 4.0);
+    EXPECT_FALSE(st.toString().empty());
+    // Opcode tally sums to the instruction count.
+    std::uint64_t total = 0;
+    for (std::uint64_t c : st.opCounts)
+        total += c;
+    EXPECT_EQ(total, st.numInsts);
+}
+
+TEST(TraceStats, EmptyTrace)
+{
+    Program p;
+    Function fn;
+    fn.name = "main";
+    BasicBlock bb;
+    Instr ret;
+    ret.op = Opcode::Ret;
+    bb.instrs.push_back(ret);
+    fn.blocks.push_back(bb);
+    p.addFunction(fn);
+    p.finalize();
+    const Trace trace(&p);
+    const TraceStats st = computeStats(trace);
+    EXPECT_EQ(st.numInsts, 0u);
+    EXPECT_DOUBLE_EQ(st.mispredictRate(), 0.0);
+    EXPECT_DOUBLE_EQ(st.branchFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(st.avgLoadLatency(), 0.0);
+}
+
+TEST(RecordReplay, ReloadedTraceEvaluatesIdentically)
+{
+    // Record a workload, persist its trace, reload, and verify the
+    // full ExoCore evaluation is bit-identical — the paper's
+    // "generate once, explore many configurations" workflow.
+    const auto lw =
+        LoadedWorkload::load(findWorkload("radar"), 120'000);
+    const std::string path =
+        std::string(::testing::TempDir()) + "radar.trc";
+    saveTrace(lw->tdg().trace(), path);
+
+    Trace reloaded = loadTrace(lw->program(), path);
+    const Tdg tdg2(lw->program(), std::move(reloaded));
+
+    const BenchmarkModel a(lw->tdg(), CoreKind::OOO2);
+    const BenchmarkModel b(tdg2, CoreKind::OOO2);
+    for (unsigned mask : {0u, 1u, kFullBsaMask}) {
+        const ExoResult ra = a.evaluate(mask);
+        const ExoResult rb = b.evaluate(mask);
+        EXPECT_EQ(ra.cycles, rb.cycles) << mask;
+        EXPECT_DOUBLE_EQ(ra.energy, rb.energy) << mask;
+        EXPECT_EQ(ra.choices.size(), rb.choices.size());
+    }
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace prism

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Workload-suite tests: every registered kernel builds, verifies,
+ * traces, and exhibits the behavioral profile its suite class claims
+ * (the Figure 6 behavior-space properties the kernels were designed
+ * to have).
+ */
+
+#include <gtest/gtest.h>
+
+#include "prog/verifier.hh"
+#include "tdg/analyzer.hh"
+#include "trace/trace_stats.hh"
+#include "workloads/suite.hh"
+
+namespace prism
+{
+namespace
+{
+
+TEST(Suite, RegistryShape)
+{
+    const auto all = allWorkloads();
+    EXPECT_GE(all.size(), 40u); // Table 3: "more than 40 benchmarks"
+    int regular = 0;
+    int semi = 0;
+    int irregular = 0;
+    for (const WorkloadSpec &w : all) {
+        switch (w.cls) {
+          case SuiteClass::Regular: ++regular; break;
+          case SuiteClass::SemiRegular: ++semi; break;
+          case SuiteClass::Irregular: ++irregular; break;
+        }
+    }
+    EXPECT_GE(regular, 10);
+    EXPECT_GE(semi, 10);
+    EXPECT_GE(irregular, 10);
+    EXPECT_GE(microbenchmarks().size(), 6u);
+}
+
+TEST(Suite, FindWorkloadLocatesBothLists)
+{
+    EXPECT_STREQ(findWorkload("conv").name, "conv");
+    EXPECT_STREQ(findWorkload("ilp-chain").name, "ilp-chain");
+}
+
+TEST(Suite, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const WorkloadSpec &w : allWorkloads())
+        EXPECT_TRUE(names.insert(w.name).second) << w.name;
+    for (const WorkloadSpec &w : microbenchmarks())
+        EXPECT_TRUE(names.insert(w.name).second) << w.name;
+}
+
+/** Workload kernels build into verifiable programs and real traces. */
+class AllWorkloads
+    : public ::testing::TestWithParam<const WorkloadSpec *>
+{
+};
+
+TEST_P(AllWorkloads, BuildsVerifiesAndTraces)
+{
+    const WorkloadSpec &spec = *GetParam();
+    const auto lw = LoadedWorkload::load(spec, 60'000);
+    EXPECT_TRUE(check(lw->program()).empty());
+    const Trace &trace = lw->tdg().trace();
+    ASSERT_GT(trace.size(), 1000u) << spec.name;
+    // Dependence indices always point backwards.
+    for (DynId i = 0; i < std::min<DynId>(trace.size(), 5000); ++i) {
+        for (std::int64_t p : trace[i].srcProd) {
+            EXPECT_LT(p, static_cast<std::int64_t>(i));
+        }
+        EXPECT_LT(trace[i].memProd, static_cast<std::int64_t>(i));
+    }
+    // Every workload has at least one loop.
+    EXPECT_GE(lw->tdg().loops().numLoops(), 1u) << spec.name;
+}
+
+std::vector<const WorkloadSpec *>
+allSpecs()
+{
+    std::vector<const WorkloadSpec *> v;
+    for (const WorkloadSpec &w : allWorkloads())
+        v.push_back(&w);
+    for (const WorkloadSpec &w : microbenchmarks())
+        v.push_back(&w);
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AllWorkloads, ::testing::ValuesIn(allSpecs()),
+    [](const ::testing::TestParamInfo<const WorkloadSpec *> &info) {
+        std::string name = info.param->name;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+// ---- Behavioral-profile spot checks (Figure 6 placement) ----
+
+TEST(Behavior, ConvIsVectorizable)
+{
+    const auto lw = LoadedWorkload::load(findWorkload("conv"));
+    const TdgAnalyzer an(lw->tdg());
+    bool any = false;
+    for (const Loop &loop : lw->tdg().loops().loops())
+        any |= an.simd(loop.id).usable();
+    EXPECT_TRUE(any);
+}
+
+TEST(Behavior, MergeHasCriticalVaryingControl)
+{
+    const auto lw = LoadedWorkload::load(findWorkload("merge"));
+    const TdgAnalyzer an(lw->tdg());
+    for (const Loop &loop : lw->tdg().loops().loops()) {
+        EXPECT_FALSE(an.simd(loop.id).usable());
+        EXPECT_FALSE(an.tracep(loop.id).usable()); // no hot path
+    }
+    const TraceStats st = computeStats(lw->tdg().trace());
+    EXPECT_GT(st.mispredictRate(), 0.10); // unpredictable compare
+}
+
+TEST(Behavior, NeedleHasCarriedMemoryDependence)
+{
+    const auto lw = LoadedWorkload::load(findWorkload("needle"));
+    const Tdg &tdg = lw->tdg();
+    bool carried = false;
+    for (const Loop &loop : tdg.loops().loops()) {
+        if (loop.innermost)
+            carried |= tdg.memProfile(loop.id).loopCarriedStoreToLoad;
+    }
+    EXPECT_TRUE(carried);
+}
+
+TEST(Behavior, Tpch1HasHotTrace)
+{
+    const auto lw = LoadedWorkload::load(findWorkload("tpch1"));
+    const TdgAnalyzer an(lw->tdg());
+    bool hot = false;
+    for (const Loop &loop : lw->tdg().loops().loops())
+        hot |= an.tracep(loop.id).usable();
+    EXPECT_TRUE(hot); // the biased date predicate
+}
+
+TEST(Behavior, McfIsMemoryBound)
+{
+    const auto lw = LoadedWorkload::load(findWorkload("181.mcf"));
+    const TraceStats st = computeStats(lw->tdg().trace());
+    // Pointer chasing over a 128KiB working set misses often.
+    EXPECT_GT(st.avgLoadLatency(), 8.0);
+}
+
+TEST(Behavior, MediabenchUsesDistinctPhases)
+{
+    // cjpeg has a vectorizable DCT phase and a non-vectorizable
+    // entropy phase.
+    const auto lw = LoadedWorkload::load(findWorkload("cjpeg-1"));
+    const TdgAnalyzer an(lw->tdg());
+    int vectorizable = 0;
+    int scalar_only = 0;
+    for (const Loop &loop : lw->tdg().loops().loops()) {
+        if (!loop.innermost)
+            continue;
+        if (an.simd(loop.id).usable())
+            ++vectorizable;
+        else
+            ++scalar_only;
+    }
+    EXPECT_GE(vectorizable, 1);
+    EXPECT_GE(scalar_only, 1);
+}
+
+TEST(Behavior, SuiteClassesDifferInBranchBehavior)
+{
+    // Aggregate mispredict rates must order irregular > regular.
+    auto rate = [](const char *name) {
+        const auto lw =
+            LoadedWorkload::load(findWorkload(name), 100'000);
+        return computeStats(lw->tdg().trace()).mispredictRate();
+    };
+    const double regular = (rate("conv") + rate("mm")) / 2;
+    const double irregular =
+        (rate("458.sjeng") + rate("473.astar")) / 2;
+    EXPECT_LT(regular, irregular);
+}
+
+} // namespace
+} // namespace prism
