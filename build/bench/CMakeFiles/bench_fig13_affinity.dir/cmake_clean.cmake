@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_affinity.dir/bench_fig13_affinity.cc.o"
+  "CMakeFiles/bench_fig13_affinity.dir/bench_fig13_affinity.cc.o.d"
+  "bench_fig13_affinity"
+  "bench_fig13_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

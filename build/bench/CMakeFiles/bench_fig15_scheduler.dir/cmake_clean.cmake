@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_scheduler.dir/bench_fig15_scheduler.cc.o"
+  "CMakeFiles/bench_fig15_scheduler.dir/bench_fig15_scheduler.cc.o.d"
+  "bench_fig15_scheduler"
+  "bench_fig15_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_framework_micro.dir/bench_framework_micro.cc.o"
+  "CMakeFiles/bench_framework_micro.dir/bench_framework_micro.cc.o.d"
+  "bench_framework_micro"
+  "bench_framework_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_framework_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_validation.dir/bench_table1_validation.cc.o"
+  "CMakeFiles/bench_table1_validation.dir/bench_table1_validation.cc.o.d"
+  "bench_table1_validation"
+  "bench_table1_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amdahl_tree_demo.dir/amdahl_tree_demo.cc.o"
+  "CMakeFiles/amdahl_tree_demo.dir/amdahl_tree_demo.cc.o.d"
+  "amdahl_tree_demo"
+  "amdahl_tree_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amdahl_tree_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_bsa.dir/custom_bsa.cc.o"
+  "CMakeFiles/custom_bsa.dir/custom_bsa.cc.o.d"
+  "custom_bsa"
+  "custom_bsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_bsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exocore_explorer.dir/exocore_explorer.cc.o"
+  "CMakeFiles/exocore_explorer.dir/exocore_explorer.cc.o.d"
+  "exocore_explorer"
+  "exocore_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exocore_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

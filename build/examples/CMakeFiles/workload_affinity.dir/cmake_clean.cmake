@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_affinity.dir/workload_affinity.cc.o"
+  "CMakeFiles/workload_affinity.dir/workload_affinity.cc.o.d"
+  "workload_affinity"
+  "workload_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/prism.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/prism.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/prism.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/prism.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/prism.dir/common/table.cc.o" "gcc" "src/CMakeFiles/prism.dir/common/table.cc.o.d"
+  "/root/repo/src/energy/area_model.cc" "src/CMakeFiles/prism.dir/energy/area_model.cc.o" "gcc" "src/CMakeFiles/prism.dir/energy/area_model.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/prism.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/prism.dir/energy/energy_model.cc.o.d"
+  "/root/repo/src/energy/sram_model.cc" "src/CMakeFiles/prism.dir/energy/sram_model.cc.o" "gcc" "src/CMakeFiles/prism.dir/energy/sram_model.cc.o.d"
+  "/root/repo/src/ir/cfg.cc" "src/CMakeFiles/prism.dir/ir/cfg.cc.o" "gcc" "src/CMakeFiles/prism.dir/ir/cfg.cc.o.d"
+  "/root/repo/src/ir/dfg.cc" "src/CMakeFiles/prism.dir/ir/dfg.cc.o" "gcc" "src/CMakeFiles/prism.dir/ir/dfg.cc.o.d"
+  "/root/repo/src/ir/dominators.cc" "src/CMakeFiles/prism.dir/ir/dominators.cc.o" "gcc" "src/CMakeFiles/prism.dir/ir/dominators.cc.o.d"
+  "/root/repo/src/ir/induction.cc" "src/CMakeFiles/prism.dir/ir/induction.cc.o" "gcc" "src/CMakeFiles/prism.dir/ir/induction.cc.o.d"
+  "/root/repo/src/ir/loops.cc" "src/CMakeFiles/prism.dir/ir/loops.cc.o" "gcc" "src/CMakeFiles/prism.dir/ir/loops.cc.o.d"
+  "/root/repo/src/ir/mem_profile.cc" "src/CMakeFiles/prism.dir/ir/mem_profile.cc.o" "gcc" "src/CMakeFiles/prism.dir/ir/mem_profile.cc.o.d"
+  "/root/repo/src/ir/path_profile.cc" "src/CMakeFiles/prism.dir/ir/path_profile.cc.o" "gcc" "src/CMakeFiles/prism.dir/ir/path_profile.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/CMakeFiles/prism.dir/isa/isa.cc.o" "gcc" "src/CMakeFiles/prism.dir/isa/isa.cc.o.d"
+  "/root/repo/src/prog/builder.cc" "src/CMakeFiles/prism.dir/prog/builder.cc.o" "gcc" "src/CMakeFiles/prism.dir/prog/builder.cc.o.d"
+  "/root/repo/src/prog/program.cc" "src/CMakeFiles/prism.dir/prog/program.cc.o" "gcc" "src/CMakeFiles/prism.dir/prog/program.cc.o.d"
+  "/root/repo/src/prog/verifier.cc" "src/CMakeFiles/prism.dir/prog/verifier.cc.o" "gcc" "src/CMakeFiles/prism.dir/prog/verifier.cc.o.d"
+  "/root/repo/src/sim/branch_pred.cc" "src/CMakeFiles/prism.dir/sim/branch_pred.cc.o" "gcc" "src/CMakeFiles/prism.dir/sim/branch_pred.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/CMakeFiles/prism.dir/sim/cache.cc.o" "gcc" "src/CMakeFiles/prism.dir/sim/cache.cc.o.d"
+  "/root/repo/src/sim/interpreter.cc" "src/CMakeFiles/prism.dir/sim/interpreter.cc.o" "gcc" "src/CMakeFiles/prism.dir/sim/interpreter.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/CMakeFiles/prism.dir/sim/memory.cc.o" "gcc" "src/CMakeFiles/prism.dir/sim/memory.cc.o.d"
+  "/root/repo/src/sim/trace_gen.cc" "src/CMakeFiles/prism.dir/sim/trace_gen.cc.o" "gcc" "src/CMakeFiles/prism.dir/sim/trace_gen.cc.o.d"
+  "/root/repo/src/tdg/amdahl_tree.cc" "src/CMakeFiles/prism.dir/tdg/amdahl_tree.cc.o" "gcc" "src/CMakeFiles/prism.dir/tdg/amdahl_tree.cc.o.d"
+  "/root/repo/src/tdg/analyzer.cc" "src/CMakeFiles/prism.dir/tdg/analyzer.cc.o" "gcc" "src/CMakeFiles/prism.dir/tdg/analyzer.cc.o.d"
+  "/root/repo/src/tdg/bsa/dpcgra.cc" "src/CMakeFiles/prism.dir/tdg/bsa/dpcgra.cc.o" "gcc" "src/CMakeFiles/prism.dir/tdg/bsa/dpcgra.cc.o.d"
+  "/root/repo/src/tdg/bsa/fma.cc" "src/CMakeFiles/prism.dir/tdg/bsa/fma.cc.o" "gcc" "src/CMakeFiles/prism.dir/tdg/bsa/fma.cc.o.d"
+  "/root/repo/src/tdg/bsa/nsdf.cc" "src/CMakeFiles/prism.dir/tdg/bsa/nsdf.cc.o" "gcc" "src/CMakeFiles/prism.dir/tdg/bsa/nsdf.cc.o.d"
+  "/root/repo/src/tdg/bsa/simd.cc" "src/CMakeFiles/prism.dir/tdg/bsa/simd.cc.o" "gcc" "src/CMakeFiles/prism.dir/tdg/bsa/simd.cc.o.d"
+  "/root/repo/src/tdg/bsa/tracep.cc" "src/CMakeFiles/prism.dir/tdg/bsa/tracep.cc.o" "gcc" "src/CMakeFiles/prism.dir/tdg/bsa/tracep.cc.o.d"
+  "/root/repo/src/tdg/constructor.cc" "src/CMakeFiles/prism.dir/tdg/constructor.cc.o" "gcc" "src/CMakeFiles/prism.dir/tdg/constructor.cc.o.d"
+  "/root/repo/src/tdg/exocore.cc" "src/CMakeFiles/prism.dir/tdg/exocore.cc.o" "gcc" "src/CMakeFiles/prism.dir/tdg/exocore.cc.o.d"
+  "/root/repo/src/tdg/reference/ref_models.cc" "src/CMakeFiles/prism.dir/tdg/reference/ref_models.cc.o" "gcc" "src/CMakeFiles/prism.dir/tdg/reference/ref_models.cc.o.d"
+  "/root/repo/src/tdg/scheduler.cc" "src/CMakeFiles/prism.dir/tdg/scheduler.cc.o" "gcc" "src/CMakeFiles/prism.dir/tdg/scheduler.cc.o.d"
+  "/root/repo/src/tdg/tdg.cc" "src/CMakeFiles/prism.dir/tdg/tdg.cc.o" "gcc" "src/CMakeFiles/prism.dir/tdg/tdg.cc.o.d"
+  "/root/repo/src/tdg/transform.cc" "src/CMakeFiles/prism.dir/tdg/transform.cc.o" "gcc" "src/CMakeFiles/prism.dir/tdg/transform.cc.o.d"
+  "/root/repo/src/trace/dyn_inst.cc" "src/CMakeFiles/prism.dir/trace/dyn_inst.cc.o" "gcc" "src/CMakeFiles/prism.dir/trace/dyn_inst.cc.o.d"
+  "/root/repo/src/trace/serialize.cc" "src/CMakeFiles/prism.dir/trace/serialize.cc.o" "gcc" "src/CMakeFiles/prism.dir/trace/serialize.cc.o.d"
+  "/root/repo/src/trace/trace_stats.cc" "src/CMakeFiles/prism.dir/trace/trace_stats.cc.o" "gcc" "src/CMakeFiles/prism.dir/trace/trace_stats.cc.o.d"
+  "/root/repo/src/uarch/core_config.cc" "src/CMakeFiles/prism.dir/uarch/core_config.cc.o" "gcc" "src/CMakeFiles/prism.dir/uarch/core_config.cc.o.d"
+  "/root/repo/src/uarch/pipeline_model.cc" "src/CMakeFiles/prism.dir/uarch/pipeline_model.cc.o" "gcc" "src/CMakeFiles/prism.dir/uarch/pipeline_model.cc.o.d"
+  "/root/repo/src/uarch/resource_table.cc" "src/CMakeFiles/prism.dir/uarch/resource_table.cc.o" "gcc" "src/CMakeFiles/prism.dir/uarch/resource_table.cc.o.d"
+  "/root/repo/src/uarch/udg.cc" "src/CMakeFiles/prism.dir/uarch/udg.cc.o" "gcc" "src/CMakeFiles/prism.dir/uarch/udg.cc.o.d"
+  "/root/repo/src/workloads/kernel_util.cc" "src/CMakeFiles/prism.dir/workloads/kernel_util.cc.o" "gcc" "src/CMakeFiles/prism.dir/workloads/kernel_util.cc.o.d"
+  "/root/repo/src/workloads/mediabench.cc" "src/CMakeFiles/prism.dir/workloads/mediabench.cc.o" "gcc" "src/CMakeFiles/prism.dir/workloads/mediabench.cc.o.d"
+  "/root/repo/src/workloads/microbench.cc" "src/CMakeFiles/prism.dir/workloads/microbench.cc.o" "gcc" "src/CMakeFiles/prism.dir/workloads/microbench.cc.o.d"
+  "/root/repo/src/workloads/parboil.cc" "src/CMakeFiles/prism.dir/workloads/parboil.cc.o" "gcc" "src/CMakeFiles/prism.dir/workloads/parboil.cc.o.d"
+  "/root/repo/src/workloads/specfp.cc" "src/CMakeFiles/prism.dir/workloads/specfp.cc.o" "gcc" "src/CMakeFiles/prism.dir/workloads/specfp.cc.o.d"
+  "/root/repo/src/workloads/specint.cc" "src/CMakeFiles/prism.dir/workloads/specint.cc.o" "gcc" "src/CMakeFiles/prism.dir/workloads/specint.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/CMakeFiles/prism.dir/workloads/suite.cc.o" "gcc" "src/CMakeFiles/prism.dir/workloads/suite.cc.o.d"
+  "/root/repo/src/workloads/tpch.cc" "src/CMakeFiles/prism.dir/workloads/tpch.cc.o" "gcc" "src/CMakeFiles/prism.dir/workloads/tpch.cc.o.d"
+  "/root/repo/src/workloads/tpt.cc" "src/CMakeFiles/prism.dir/workloads/tpt.cc.o" "gcc" "src/CMakeFiles/prism.dir/workloads/tpt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

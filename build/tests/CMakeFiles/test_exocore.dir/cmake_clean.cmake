@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exocore.dir/test_exocore.cc.o"
+  "CMakeFiles/test_exocore.dir/test_exocore.cc.o.d"
+  "test_exocore"
+  "test_exocore.pdb"
+  "test_exocore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exocore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

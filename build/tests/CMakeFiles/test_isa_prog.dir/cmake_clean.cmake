@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa_prog.dir/test_isa_prog.cc.o"
+  "CMakeFiles/test_isa_prog.dir/test_isa_prog.cc.o.d"
+  "test_isa_prog"
+  "test_isa_prog.pdb"
+  "test_isa_prog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa_prog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tdg.dir/test_tdg.cc.o"
+  "CMakeFiles/test_tdg.dir/test_tdg.cc.o.d"
+  "test_tdg"
+  "test_tdg.pdb"
+  "test_tdg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
