@@ -13,11 +13,15 @@ using namespace prism;
 using namespace prism::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Figure 10: ExoCore Tradeoffs Across All Workloads");
 
+    ThreadPool pool(opt.threads);
     auto suite = loadSuite();
+    Stopwatch sw;
+    prepareEntries(pool, suite, kTable4Cores);
 
     struct Line
     {
@@ -33,14 +37,17 @@ main()
         {"ExoCore", kFullBsaMask},
     };
 
-    Table t({"config", "core", "rel. performance", "rel. energy"});
-    std::map<std::pair<std::string, CoreKind>, PerfEnergy> results;
-
-    for (const Line &line : lines) {
-        for (CoreKind core : kTable4Cores) {
+    // One task per (configuration line, core); results land by
+    // index, so the rendered table is identical for any thread count.
+    const std::size_t n_cores = kTable4Cores.size();
+    const std::size_t n_combos = std::size(lines) * n_cores;
+    const std::vector<PerfEnergy> combo =
+        parallelMapIndex(pool, n_combos, [&](std::size_t i) {
+            const Line &line = lines[i / n_cores];
+            const CoreKind core = kTable4Cores[i % n_cores];
             std::vector<double> perf;
             std::vector<double> energy;
-            for (Entry &e : suite) {
+            for (const Entry &e : suite) {
                 const PerfEnergy pe =
                     evalConfig(e, core, line.mask, CoreKind::IO2);
                 perf.push_back(pe.perf);
@@ -49,11 +56,24 @@ main()
             PerfEnergy pe;
             pe.perf = geomean(perf);
             pe.energy = geomean(energy);
-            results[{line.label, core}] = pe;
-            t.addRow({line.label, coreConfig(core).name,
-                      fmt(pe.perf, 2), fmt(pe.energy, 2)});
-        }
-        t.addSeparator();
+            return pe;
+        });
+    std::printf("evaluated %zu (config, core) combos in %.1fs "
+                "(%u threads)\n",
+                n_combos, sw.seconds(), pool.size());
+    printCacheSummary();
+
+    Table t({"config", "core", "rel. performance", "rel. energy"});
+    std::map<std::pair<std::string, CoreKind>, PerfEnergy> results;
+    for (std::size_t i = 0; i < n_combos; ++i) {
+        const Line &line = lines[i / n_cores];
+        const CoreKind core = kTable4Cores[i % n_cores];
+        const PerfEnergy &pe = combo[i];
+        results[{line.label, core}] = pe;
+        t.addRow({line.label, coreConfig(core).name,
+                  fmt(pe.perf, 2), fmt(pe.energy, 2)});
+        if (i % n_cores == n_cores - 1)
+            t.addSeparator();
     }
     std::printf("%s", t.render().c_str());
 

@@ -12,12 +12,16 @@ using namespace prism;
 using namespace prism::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Figure 11: Interaction between Accelerator, General Core,"
            " and Workloads");
 
+    ThreadPool pool(opt.threads);
     auto suite = loadSuite();
+    Stopwatch sw;
+    prepareEntries(pool, suite, kTable4Cores);
 
     struct Line
     {
@@ -36,29 +40,48 @@ main()
                                   SuiteClass::SemiRegular,
                                   SuiteClass::Irregular};
 
+    // One task per (class, line, core); deterministic placement.
+    const std::size_t n_cores = kTable4Cores.size();
+    const std::size_t n_lines = std::size(lines);
+    const std::size_t n_combos =
+        std::size(classes) * n_lines * n_cores;
+    const std::vector<PerfEnergy> combo =
+        parallelMapIndex(pool, n_combos, [&](std::size_t i) {
+            const SuiteClass cls = classes[i / (n_lines * n_cores)];
+            const Line &line = lines[(i / n_cores) % n_lines];
+            const CoreKind core = kTable4Cores[i % n_cores];
+            std::vector<double> perf;
+            std::vector<double> energy;
+            for (const Entry &e : suite) {
+                if (e.spec().cls != cls)
+                    continue;
+                const PerfEnergy pe =
+                    evalConfig(e, core, line.mask, CoreKind::IO2);
+                perf.push_back(pe.perf);
+                energy.push_back(pe.energy);
+            }
+            PerfEnergy pe;
+            pe.perf = geomean(perf);
+            pe.energy = geomean(energy);
+            return pe;
+        });
+    std::printf("evaluated %zu (class, config, core) combos in "
+                "%.1fs (%u threads)\n",
+                n_combos, sw.seconds(), pool.size());
+    printCacheSummary();
+
     std::map<std::tuple<SuiteClass, std::string, CoreKind>,
              PerfEnergy>
         results;
 
+    std::size_t idx = 0;
     for (SuiteClass cls : classes) {
         std::printf("\n-- %s workloads --\n", suiteClassName(cls));
         Table t({"config", "core", "rel. performance",
                  "rel. energy"});
         for (const Line &line : lines) {
             for (CoreKind core : kTable4Cores) {
-                std::vector<double> perf;
-                std::vector<double> energy;
-                for (Entry &e : suite) {
-                    if (e.spec().cls != cls)
-                        continue;
-                    const PerfEnergy pe = evalConfig(
-                        e, core, line.mask, CoreKind::IO2);
-                    perf.push_back(pe.perf);
-                    energy.push_back(pe.energy);
-                }
-                PerfEnergy pe;
-                pe.perf = geomean(perf);
-                pe.energy = geomean(energy);
+                const PerfEnergy &pe = combo[idx++];
                 results[{cls, line.label, core}] = pe;
                 t.addRow({line.label, coreConfig(core).name,
                           fmt(pe.perf, 2), fmt(pe.energy, 2)});

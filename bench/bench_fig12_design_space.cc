@@ -5,6 +5,13 @@
  * Prints speedup, energy efficiency, and area relative to the IO2
  * core, sorted by speedup (the paper's x-axis ordering), then checks
  * the quantitative bullets of Section 5.2.
+ *
+ * This bench doubles as the exploration engine's self-check: the
+ * sweep (per-core model construction + 64-config grid) runs twice,
+ * once on 1 thread and once on N threads, verifies the two metric
+ * tables are byte-identical, and reports the wall-clock speedup.
+ * With `--cache-dir=DIR`, trace generation is skipped entirely on
+ * repeat runs (paper Section 2.6: record once, explore many).
  */
 
 #include <algorithm>
@@ -29,53 +36,116 @@ struct DesignPoint
     double area = 1.0;      ///< vs IO2 core area
 };
 
-} // namespace
-
-int
-main()
+/**
+ * One timed sweep leg: build every (workload, core) model, then
+ * evaluate the full 64-point grid. Models are rebuilt from scratch
+ * each leg so serial and parallel legs do identical work.
+ */
+std::vector<DesignPoint>
+runSweep(ThreadPool &pool, std::vector<Entry> &suite)
 {
-    banner("Figure 12: Design-Space Characterization (64 points; "
-           "S: SIMD, D: DP-CGRA, N: NS-DF, T: Trace-P)");
+    for (Entry &e : suite)
+        e.clearModels();
+    prepareEntries(pool, suite, kTable4Cores);
 
-    auto suite = loadSuite();
-
-    std::vector<DesignPoint> points;
+    std::vector<DesignPoint> grid;
     for (CoreKind core : kTable4Cores) {
         for (unsigned mask = 0; mask < 16; ++mask) {
             DesignPoint dp;
             dp.core = core;
             dp.mask = mask;
             dp.name = configName(core, mask);
-            std::vector<double> perf;
-            std::vector<double> eff;
-            for (Entry &e : suite) {
-                const PerfEnergy pe =
-                    evalConfig(e, core, mask, CoreKind::IO2);
-                perf.push_back(pe.perf);
-                eff.push_back(1.0 / pe.energy);
-            }
-            dp.speedup = geomean(perf);
-            dp.energyEff = geomean(eff);
-            dp.area = exoCoreArea(core, mask) /
-                      coreArea(CoreKind::IO2);
-            points.push_back(dp);
+            grid.push_back(dp);
         }
     }
 
+    pool.parallelFor(grid.size(), [&](std::size_t i) {
+        DesignPoint &dp = grid[i];
+        std::vector<double> perf;
+        std::vector<double> eff;
+        for (const Entry &e : suite) {
+            const PerfEnergy pe =
+                evalConfig(e, dp.core, dp.mask, CoreKind::IO2);
+            perf.push_back(pe.perf);
+            eff.push_back(1.0 / pe.energy);
+        }
+        dp.speedup = geomean(perf);
+        dp.energyEff = geomean(eff);
+        dp.area =
+            exoCoreArea(dp.core, dp.mask) / coreArea(CoreKind::IO2);
+    });
+    return grid;
+}
+
+/** The paper's table: points sorted by speedup, rendered to text. */
+std::string
+renderTable(std::vector<DesignPoint> points)
+{
     std::sort(points.begin(), points.end(),
               [](const DesignPoint &a, const DesignPoint &b) {
                   return a.speedup > b.speedup;
               });
-
     Table t({"config", "speedup", "energy eff.", "area"});
     for (const DesignPoint &dp : points) {
         t.addRow({dp.name, fmt(dp.speedup, 2), fmt(dp.energyEff, 2),
                   fmt(dp.area, 2)});
     }
-    std::printf("%s", t.render().c_str());
+    return t.render();
+}
 
-    auto find = [&points](const std::string &name) -> DesignPoint & {
-        for (DesignPoint &dp : points) {
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseBenchArgs(argc, argv);
+
+    banner("Figure 12: Design-Space Characterization (64 points; "
+           "S: SIMD, D: DP-CGRA, N: NS-DF, T: Trace-P)");
+
+    // Workloads load once up front (parallel, trace-cache-aware), so
+    // the two timed legs below compare the sweep itself rather than
+    // asymmetric cache warm-up.
+    ThreadPool pool(opt.threads);
+    Stopwatch load_sw;
+    auto suite = loadSuite();
+    loadEntries(pool, suite);
+    std::printf("loaded %zu workloads in %.1fs (%u threads)\n",
+                suite.size(), load_sw.seconds(), pool.size());
+    printCacheSummary();
+
+    banner("Exploration engine: serial vs parallel sweep");
+
+    ThreadPool serial(1);
+    Stopwatch serial_sw;
+    const std::vector<DesignPoint> serial_points =
+        runSweep(serial, suite);
+    const double serial_s = serial_sw.seconds();
+    const std::string serial_table = renderTable(serial_points);
+
+    Stopwatch par_sw;
+    const std::vector<DesignPoint> points = runSweep(pool, suite);
+    const double par_s = par_sw.seconds();
+    const std::string table = renderTable(points);
+
+    const bool identical = table == serial_table;
+    std::printf("serial sweep   (1 thread)   : %6.1fs\n", serial_s);
+    std::printf("parallel sweep (%u thread%s): %6.1fs\n", pool.size(),
+                pool.size() == 1 ? " " : "s", par_s);
+    std::printf("speedup: %.2fx\n",
+                par_s > 0 ? serial_s / par_s : 0.0);
+    std::printf("metric tables byte-identical across thread counts: "
+                "%s\n",
+                identical ? "yes" : "NO (BUG)");
+    if (!identical)
+        fatal("parallel sweep diverged from serial sweep");
+
+    banner("Figure 12 table");
+    std::printf("%s", table.c_str());
+
+    auto find = [&points](const std::string &name)
+        -> const DesignPoint & {
+        for (const DesignPoint &dp : points) {
             if (dp.name == name)
                 return dp;
         }

@@ -13,11 +13,17 @@ using namespace prism;
 using namespace prism::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Figure 3: Results of Design-Space Exploration (headline)");
 
+    ThreadPool pool(opt.threads);
     auto suite = loadSuite();
+    const CoreKind cores[] = {CoreKind::IO2, CoreKind::OOO2,
+                              CoreKind::OOO6};
+    Stopwatch sw;
+    prepareEntries(pool, suite, cores);
 
     struct Point
     {
@@ -28,7 +34,7 @@ main()
         double energy = 0;
         double area = 0;
     };
-    Point pts[] = {
+    std::vector<Point> pts = {
         {"OOO2 core", CoreKind::OOO2, 0, 0, 0, 0},
         {"OOO6 core + SIMD", CoreKind::OOO6, bsaBit(BsaKind::Simd),
          0, 0, 0},
@@ -42,10 +48,11 @@ main()
          0},
     };
 
-    for (Point &p : pts) {
+    pool.parallelFor(pts.size(), [&](std::size_t i) {
+        Point &p = pts[i];
         std::vector<double> perf;
         std::vector<double> energy;
-        for (Entry &e : suite) {
+        for (const Entry &e : suite) {
             const PerfEnergy pe =
                 evalConfig(e, p.core, p.mask, CoreKind::IO2);
             perf.push_back(pe.perf);
@@ -54,7 +61,12 @@ main()
         p.perf = geomean(perf);
         p.energy = geomean(energy);
         p.area = exoCoreArea(p.core, p.mask);
-    }
+    });
+    std::printf("evaluated %zu designs x %zu workloads in %.1fs "
+                "(%u threads)\n",
+                pts.size(), suite.size(), sw.seconds(),
+                pool.size());
+    printCacheSummary();
 
     Table t({"design", "rel. performance", "rel. energy",
              "area (mm^2)"});

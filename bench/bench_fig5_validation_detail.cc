@@ -34,23 +34,28 @@ printPoints(const char *title, const char *metric,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Figure 5: Prism Validation (scatter data)");
 
+    ThreadPool pool(opt.threads);
     auto micro = loadMicrobenchmarks();
     {
-        const CoreValidation v1 = validateCore(micro, CoreKind::OOO1);
+        const CoreValidation v1 =
+            validateCore(pool, micro, CoreKind::OOO1);
         printPoints("OOO8->OOO1 Model", "IPC (uops/cycle)", v1.ipc);
         printPoints("OOO8->OOO1 Model", "IPE (uops/unit energy)",
                     v1.ipe);
-        const CoreValidation v8 = validateCore(micro, CoreKind::OOO8);
+        const CoreValidation v8 =
+            validateCore(pool, micro, CoreKind::OOO8);
         printPoints("OOO1->OOO8 Model", "IPC (uops/cycle)", v8.ipc);
         printPoints("OOO1->OOO8 Model", "IPE (uops/unit energy)",
                     v8.ipe);
     }
 
     auto suite = loadSuite();
+    loadEntries(pool, suite);
     struct Row
     {
         const char *label;
@@ -64,7 +69,8 @@ main()
     };
     for (const Row &row : rows) {
         const BsaValidation v =
-            validateBsa(suite, row.bsa, validationBase(row.bsa),
+            validateBsa(pool, suite, row.bsa,
+                        validationBase(row.bsa),
                         validationSet(row.bsa));
         printPoints(row.label, "Speedup over Base", v.speedup);
         printPoints(row.label, "Energy Reduction", v.energy);

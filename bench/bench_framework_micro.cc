@@ -9,10 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.hh"
 #include "sim/trace_gen.hh"
 #include "tdg/analyzer.hh"
 #include "tdg/bsa/bsa.hh"
 #include "tdg/constructor.hh"
+#include "tdg/exocore.hh"
 #include "tdg/reference/ref_models.hh"
 #include "uarch/pipeline_model.hh"
 #include "workloads/kernel_util.hh"
@@ -140,6 +142,54 @@ BM_CycleAccurateReference(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CycleAccurateReference)->Unit(benchmark::kMillisecond);
+
+/**
+ * Serial-vs-parallel design-space sweep over a Fig-12-style
+ * sub-grid: per-(workload, core) model construction followed by all
+ * 16 BSA-subset evaluations, run on a thread pool of state.range(0)
+ * threads. The Arg(1)/Arg(N) ratio is the exploration engine's
+ * speedup on this machine.
+ */
+void
+BM_DesignSpaceSweep(benchmark::State &state)
+{
+    static const std::unique_ptr<LoadedWorkload> wl2 =
+        LoadedWorkload::load(findWorkload("mm"));
+    const std::array<const Tdg *, 2> tdgs{&fixture().lw->tdg(),
+                                          &wl2->tdg()};
+    const std::array<CoreKind, 2> cores{CoreKind::IO2,
+                                        CoreKind::OOO2};
+    ThreadPool pool(static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) {
+        // Mutate phase: one model per (workload, core) pair.
+        std::vector<std::unique_ptr<BenchmarkModel>> models(
+            tdgs.size() * cores.size());
+        pool.parallelFor(models.size(), [&](std::size_t i) {
+            models[i] = std::make_unique<BenchmarkModel>(
+                *tdgs[i / cores.size()], cores[i % cores.size()]);
+        });
+        // Read phase: the 16-subset grid per model.
+        std::vector<double> speedup(models.size() * 16);
+        pool.parallelFor(speedup.size(), [&](std::size_t i) {
+            const BenchmarkModel &bm = *models[i / 16];
+            const ExoResult res =
+                bm.evaluate(static_cast<unsigned>(i % 16));
+            speedup[i] =
+                static_cast<double>(bm.baseline().cycles) /
+                static_cast<double>(res.cycles);
+        });
+        benchmark::DoNotOptimize(speedup.data());
+        state.SetItemsProcessed(state.items_processed() +
+                                speedup.size());
+    }
+}
+BENCHMARK(BM_DesignSpaceSweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 } // namespace
 } // namespace prism

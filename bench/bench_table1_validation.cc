@@ -16,22 +16,27 @@ using namespace prism;
 using namespace prism::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Table 1: Validation Results (P: Perf, E: Energy)");
 
+    ThreadPool pool(opt.threads);
+    Stopwatch sw;
     Table t({"Accel.", "Base", "P Err.", "P Range", "E Err.",
              "E Range"});
 
     // ---- OOO core cross-validation on the microbenchmarks ----
     auto micro = loadMicrobenchmarks();
     {
-        const CoreValidation v1 = validateCore(micro, CoreKind::OOO1);
+        const CoreValidation v1 =
+            validateCore(pool, micro, CoreKind::OOO1);
         t.addRow({"OOO8->1", "-", fmtPct(avgError(v1.ipc), 0),
                   rangeOf(v1.ipc) + " IPC",
                   fmtPct(avgError(v1.ipe), 0),
                   rangeOf(v1.ipe) + " IPE"});
-        const CoreValidation v8 = validateCore(micro, CoreKind::OOO8);
+        const CoreValidation v8 =
+            validateCore(pool, micro, CoreKind::OOO8);
         t.addRow({"OOO1->8", "-", fmtPct(avgError(v8.ipc), 0),
                   rangeOf(v8.ipc) + " IPC",
                   fmtPct(avgError(v8.ipe), 0),
@@ -40,6 +45,7 @@ main()
 
     // ---- BSA validation against analytic references ----
     auto suite = loadSuite();
+    loadEntries(pool, suite);
     struct Row
     {
         const char *label;
@@ -55,7 +61,7 @@ main()
     for (const Row &row : rows) {
         const CoreKind base = validationBase(row.bsa);
         const BsaValidation v = validateBsa(
-            suite, row.bsa, base, validationSet(row.bsa));
+            pool, suite, row.bsa, base, validationSet(row.bsa));
         t.addRow({row.label, coreConfig(base).name,
                   fmtPct(avgError(v.speedup), 0),
                   rangeOf(v.speedup) + "x",
@@ -64,6 +70,9 @@ main()
         worst = std::max({worst, avgError(v.speedup),
                           avgError(v.energy)});
     }
+    std::printf("validated in %.1fs (%u threads)\n", sw.seconds(),
+                pool.size());
+    printCacheSummary();
     std::printf("%s", t.render().c_str());
 
     std::printf("\nPaper reports <15%% average error for speedup and "

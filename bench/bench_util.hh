@@ -4,26 +4,140 @@
  * binaries: workload loading, (workload x core) model caching, and
  * aggregate helpers. Each bench binary regenerates one table or
  * figure of the paper (see DESIGN.md's per-experiment index).
+ *
+ * The grid-style benches run on the parallel exploration engine
+ * (common/thread_pool.hh): workload loading, per-core model
+ * construction, and per-(core, BSA-subset) evaluation are
+ * independent, data-race-free tasks. The split is two-phase:
+ *
+ *   1. mutate phase — Entry::load() / Entry::buildModel() run in
+ *      parallel with one task per entry, so each task writes only
+ *      its own Entry (prepareEntries());
+ *   2. read phase — evaluation tasks take `const Entry &` and only
+ *      call const members (shared Tdg/BenchmarkModel reads).
+ *
+ * All bench binaries accept `--threads=N` (default: PRISM_THREADS or
+ * hardware concurrency) and `--cache-dir=DIR` to persist generated
+ * traces across runs (paper Section 2.6: record once, explore many
+ * configurations).
  */
 
 #ifndef PRISM_BENCH_BENCH_UTIL_HH
 #define PRISM_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "tdg/exocore.hh"
+#include "trace/trace_cache.hh"
 #include "workloads/suite.hh"
 
 namespace prism::bench
 {
 
-/** One workload with lazily built per-core models. */
+/** Command-line options shared by all bench binaries. */
+struct BenchOptions
+{
+    /** Concurrency level (--threads, PRISM_THREADS, or hardware). */
+    unsigned threads = 1;
+    /** Trace cache directory (--cache-dir); empty = disabled. */
+    std::string cacheDir;
+};
+
+/**
+ * Parse the shared bench flags and install the global trace cache.
+ * Accepts `--flag=value` and `--flag value`; fatal on unknown flags.
+ */
+inline BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions opt;
+    opt.threads = defaultThreadCount();
+    auto value = [&](int &i, const char *flag,
+                     std::string &out) -> bool {
+        const std::size_t len = std::strlen(flag);
+        if (std::strncmp(argv[i], flag, len) != 0)
+            return false;
+        if (argv[i][len] == '=') {
+            out = argv[i] + len + 1;
+            return true;
+        }
+        if (argv[i][len] == '\0') {
+            if (i + 1 >= argc)
+                fatal("%s requires a value", flag);
+            out = argv[++i];
+            return true;
+        }
+        return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (value(i, "--cache-dir", v)) {
+            opt.cacheDir = v;
+        } else if (value(i, "--threads", v)) {
+            const int n = std::atoi(v.c_str());
+            if (n <= 0)
+                fatal("--threads needs a positive integer, got '%s'",
+                      v.c_str());
+            opt.threads = static_cast<unsigned>(n);
+        } else {
+            fatal("unknown bench option '%s' (supported: "
+                  "--cache-dir=DIR, --threads=N)",
+                  argv[i]);
+        }
+    }
+    if (!opt.cacheDir.empty())
+        TraceCache::setGlobalDir(opt.cacheDir);
+    return opt;
+}
+
+/** Wall-clock stopwatch for sweep timing. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+    double
+    seconds() const
+    {
+        const auto d = std::chrono::steady_clock::now() - start_;
+        return std::chrono::duration<double>(d).count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Print trace-cache effectiveness (no-op when cache disabled). */
+inline void
+printCacheSummary()
+{
+    const TraceCache *cache = TraceCache::global();
+    if (!cache)
+        return;
+    const TraceCacheStats s = cache->stats();
+    std::printf("trace cache '%s': %llu hits, %llu misses "
+                "(%llu rejected), %llu stores\n",
+                cache->dir().c_str(),
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.misses),
+                static_cast<unsigned long long>(s.rejected),
+                static_cast<unsigned long long>(s.stores));
+}
+
+/** One workload with per-core models. */
 class Entry
 {
   public:
@@ -32,35 +146,72 @@ class Entry
     const WorkloadSpec &spec() const { return *spec_; }
     const std::string name() const { return spec_->name; }
 
-    const Tdg &
-    tdg()
-    {
-        ensureLoaded();
-        return lw_->tdg();
-    }
-
-    BenchmarkModel &
-    model(CoreKind core)
-    {
-        ensureLoaded();
-        auto it = models_.find(core);
-        if (it == models_.end()) {
-            it = models_
-                     .emplace(core, std::make_unique<BenchmarkModel>(
-                                        lw_->tdg(), core))
-                     .first;
-        }
-        return *it->second;
-    }
-
-  private:
+    /** Materialize the workload (idempotent). Mutate phase: at most
+     *  one task may operate on an Entry at a time. */
     void
-    ensureLoaded()
+    load()
     {
         if (!lw_)
             lw_ = LoadedWorkload::load(*spec_);
     }
 
+    bool loaded() const { return lw_ != nullptr; }
+
+    /** True if the trace came from the on-disk cache. */
+    bool fromCache() const { return lw_ && lw_->fromCache(); }
+
+    /** Build the model for `core` (idempotent; mutate phase). */
+    void
+    buildModel(CoreKind core)
+    {
+        load();
+        if (models_.find(core) == models_.end()) {
+            models_.emplace(core, std::make_unique<BenchmarkModel>(
+                                      lw_->tdg(), core));
+        }
+    }
+
+    /** Drop built models (e.g. between timed sweep legs). */
+    void clearModels() { models_.clear(); }
+
+    const Tdg &
+    tdg() const
+    {
+        prism_assert(lw_ != nullptr, "entry '%s' not loaded",
+                     spec_->name);
+        return lw_->tdg();
+    }
+
+    /** Lazy convenience for serial benches. */
+    const Tdg &
+    tdg()
+    {
+        load();
+        return lw_->tdg();
+    }
+
+    /** Lazy convenience for serial benches (loads and builds on
+     *  demand; not safe to share across tasks). */
+    BenchmarkModel &
+    model(CoreKind core)
+    {
+        buildModel(core);
+        return *models_.at(core);
+    }
+
+    /** Read phase: requires a prior buildModel(core); const and
+     *  safe to call from many tasks concurrently. */
+    const BenchmarkModel &
+    model(CoreKind core) const
+    {
+        const auto it = models_.find(core);
+        prism_assert(it != models_.end(),
+                     "model for '%s' core %d not prepared",
+                     spec_->name, static_cast<int>(core));
+        return *it->second;
+    }
+
+  private:
     const WorkloadSpec *spec_;
     std::unique_ptr<LoadedWorkload> lw_;
     std::map<CoreKind, std::unique_ptr<BenchmarkModel>> models_;
@@ -86,6 +237,29 @@ loadMicrobenchmarks()
     return entries;
 }
 
+/**
+ * Parallel mutate phase: load every entry and build its models for
+ * `cores`. One task per entry, so no two tasks write shared state;
+ * afterwards the const read paths are safe from any number of tasks.
+ */
+inline void
+prepareEntries(ThreadPool &pool, std::vector<Entry> &entries,
+               std::span<const CoreKind> cores)
+{
+    pool.parallelFor(entries.size(), [&](std::size_t i) {
+        for (CoreKind core : cores)
+            entries[i].buildModel(core);
+    });
+}
+
+/** Parallel workload loading only (no models). */
+inline void
+loadEntries(ThreadPool &pool, std::vector<Entry> &entries)
+{
+    pool.parallelFor(entries.size(),
+                     [&](std::size_t i) { entries[i].load(); });
+}
+
 /** Result pair used throughout the figures. */
 struct PerfEnergy
 {
@@ -95,10 +269,12 @@ struct PerfEnergy
 
 /**
  * Evaluate one ExoCore configuration for one workload, normalized to
- * a reference (core, no-BSA) baseline.
+ * a reference (core, no-BSA) baseline. Read phase: requires prepared
+ * models for `core` and `ref_core`; const and data-race-free.
  */
 inline PerfEnergy
-evalConfig(Entry &e, CoreKind core, unsigned mask, CoreKind ref_core,
+evalConfig(const Entry &e, CoreKind core, unsigned mask,
+           CoreKind ref_core,
            SchedulerKind sched = SchedulerKind::Oracle)
 {
     const ExoResult res = e.model(core).evaluate(mask, sched);
@@ -108,6 +284,17 @@ evalConfig(Entry &e, CoreKind core, unsigned mask, CoreKind ref_core,
               static_cast<double>(res.cycles);
     pe.energy = res.energy / ref.energy;
     return pe;
+}
+
+/** Lazy overload for serial benches: builds models on demand. */
+inline PerfEnergy
+evalConfig(Entry &e, CoreKind core, unsigned mask, CoreKind ref_core,
+           SchedulerKind sched = SchedulerKind::Oracle)
+{
+    e.buildModel(core);
+    e.buildModel(ref_core);
+    return evalConfig(static_cast<const Entry &>(e), core, mask,
+                      ref_core, sched);
 }
 
 /** Geometric mean of a metric over entries. */

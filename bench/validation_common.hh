@@ -53,9 +53,9 @@ struct CoreValidation
 };
 
 inline CoreValidation
-validateCore(std::vector<Entry> &entries, CoreKind core)
+validateCore(ThreadPool &pool, std::vector<Entry> &entries,
+             CoreKind core)
 {
-    CoreValidation val;
     const CoreConfig &cfg = coreConfig(core);
     PipelineConfig pcfg;
     pcfg.core = cfg;
@@ -63,24 +63,42 @@ validateCore(std::vector<Entry> &entries, CoreKind core)
     const CycleCoreSim sim(pcfg);
     const EnergyModel em(cfg);
 
-    for (Entry &e : entries) {
-        const MStream stream = buildCoreStream(e.tdg().trace());
-        const PipelineResult proj = model.run(stream);
-        const Cycle ref_cycles = sim.run(stream);
-        const double n = static_cast<double>(stream.size());
+    loadEntries(pool, entries);
 
-        ValPoint p;
-        p.name = e.name();
-        p.projected = n / static_cast<double>(proj.cycles);
-        p.reference = n / static_cast<double>(ref_cycles);
-        val.ipc.push_back(p);
+    // Both timing machines are const/stateless; one task per entry
+    // with results placed by index keeps the rows in input order.
+    struct Pair
+    {
+        ValPoint ipc;
+        ValPoint ipe;
+    };
+    const std::vector<Pair> pairs =
+        parallelMapIndex(pool, entries.size(), [&](std::size_t i) {
+            const Entry &e = entries[i];
+            const MStream stream = buildCoreStream(e.tdg().trace());
+            const PipelineResult proj = model.run(stream);
+            const Cycle ref_cycles = sim.run(stream);
+            const double n = static_cast<double>(stream.size());
 
-        // Same events either way; energies differ through leakage.
-        ValPoint q;
-        q.name = e.name();
-        q.projected = n / em.energy(proj.events, proj.cycles);
-        q.reference = n / em.energy(proj.events, ref_cycles);
-        val.ipe.push_back(q);
+            Pair out;
+            out.ipc.name = e.name();
+            out.ipc.projected = n / static_cast<double>(proj.cycles);
+            out.ipc.reference =
+                n / static_cast<double>(ref_cycles);
+
+            // Same events either way; energies differ via leakage.
+            out.ipe.name = e.name();
+            out.ipe.projected =
+                n / em.energy(proj.events, proj.cycles);
+            out.ipe.reference =
+                n / em.energy(proj.events, ref_cycles);
+            return out;
+        });
+
+    CoreValidation val;
+    for (const Pair &p : pairs) {
+        val.ipc.push_back(p.ipc);
+        val.ipe.push_back(p.ipe);
     }
     return val;
 }
@@ -98,7 +116,7 @@ struct SideEval
 };
 
 inline SideEval
-evalSide(BenchmarkModel &bm, const Tdg &tdg, BsaKind bsa,
+evalSide(const BenchmarkModel &bm, const Tdg &tdg, BsaKind bsa,
          const Executor &exec, const EnergyModel &em)
 {
     SideEval out;
@@ -114,7 +132,7 @@ evalSide(BenchmarkModel &bm, const Tdg &tdg, BsaKind bsa,
     double cycles = static_cast<double>(base_cycles);
     double energy = base_energy;
 
-    auto transform = makeTransform(bsa, tdg, *const_cast<TdgAnalyzer *>(&an));
+    auto transform = makeTransform(bsa, tdg, an);
     for (const Loop &loop : tdg.loops().loops()) {
         if (!an.usable(bsa, loop.id))
             continue;
@@ -178,10 +196,10 @@ struct BsaValidation
 };
 
 inline BsaValidation
-validateBsa(std::vector<Entry> &entries, BsaKind bsa, CoreKind base,
+validateBsa(ThreadPool &pool, std::vector<Entry> &entries,
+            BsaKind bsa, CoreKind base,
             const std::vector<std::string> &names)
 {
-    BsaValidation val;
     PipelineConfig pcfg;
     pcfg.core = coreConfig(base);
     const PipelineModel model(pcfg);
@@ -196,28 +214,54 @@ validateBsa(std::vector<Entry> &entries, BsaKind bsa, CoreKind base,
         return sim.run(s);
     };
 
-    for (Entry &e : entries) {
-        if (!names.empty() &&
-            std::find(names.begin(), names.end(), e.name()) ==
-                names.end()) {
-            continue;
+    // The benchmark list of this validation row, in input order.
+    std::vector<std::size_t> selected;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (names.empty() ||
+            std::find(names.begin(), names.end(),
+                      entries[i].name()) != names.end()) {
+            selected.push_back(i);
         }
-        BenchmarkModel &bm = e.model(base);
-        const SideEval proj =
-            evalSide(bm, e.tdg(), bsa, proj_exec, em);
-        const SideEval ref = evalSide(bm, e.tdg(), bsa, ref_exec, em);
-        if (!proj.applicable || !ref.applicable)
+    }
+
+    // Mutate phase (one task per entry), then const evaluation.
+    pool.parallelFor(selected.size(), [&](std::size_t k) {
+        entries[selected[k]].buildModel(base);
+    });
+
+    struct Row
+    {
+        bool applicable = false;
+        ValPoint speedup;
+        ValPoint energy;
+    };
+    const std::vector<Row> rows =
+        parallelMapIndex(pool, selected.size(), [&](std::size_t k) {
+            const Entry &e = entries[selected[k]];
+            const BenchmarkModel &bm = e.model(base);
+            Row row;
+            const SideEval proj =
+                evalSide(bm, e.tdg(), bsa, proj_exec, em);
+            const SideEval ref =
+                evalSide(bm, e.tdg(), bsa, ref_exec, em);
+            if (!proj.applicable || !ref.applicable)
+                return row;
+            row.applicable = true;
+            row.speedup.name = e.name();
+            row.speedup.projected = proj.speedup;
+            row.speedup.reference = ref.speedup;
+            row.energy.name = e.name();
+            row.energy.projected = proj.energyReduction;
+            row.energy.reference = ref.energyReduction;
+            return row;
+        });
+
+    BsaValidation val;
+    for (const Row &row : rows) {
+        if (!row.applicable)
             continue;
-        ValPoint s;
-        s.name = e.name();
-        s.projected = proj.speedup;
-        s.reference = ref.speedup;
-        val.speedup.push_back(s);
-        ValPoint en;
-        en.name = e.name();
-        en.projected = proj.energyReduction;
-        en.reference = ref.energyReduction;
-        val.energy.push_back(en);
+        val.speedup.push_back(row.speedup);
+        val.energy.push_back(row.energy);
     }
     return val;
 }

@@ -183,10 +183,14 @@ bench/CMakeFiles/bench_framework_micro.dir/bench_framework_micro.cc.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/sim/trace_gen.hh /root/repo/src/sim/branch_pred.hh \
- /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /root/repo/src/common/thread_pool.hh \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
  /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
  /usr/include/c++/12/ext/atomicity.h \
@@ -204,22 +208,30 @@ bench/CMakeFiles/bench_framework_micro.dir/bench_framework_micro.cc.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc \
- /usr/include/c++/12/bits/shared_ptr.h \
- /usr/include/c++/12/bits/shared_ptr_base.h \
- /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/ext/concurrence.h \
- /usr/include/c++/12/bits/shared_ptr_atomic.h \
- /usr/include/c++/12/backward/auto_ptr.h \
- /usr/include/c++/12/bits/ranges_uninitialized.h \
- /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/common/types.hh /root/repo/src/sim/cache.hh \
- /root/repo/src/sim/interpreter.hh /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
+ /usr/include/c++/12/backward/auto_ptr.h \
+ /usr/include/c++/12/bits/ranges_uninitialized.h \
+ /usr/include/c++/12/bits/uses_allocator_args.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/sim/trace_gen.hh \
+ /root/repo/src/sim/branch_pred.hh /root/repo/src/common/types.hh \
+ /root/repo/src/sim/cache.hh /root/repo/src/sim/interpreter.hh \
  /root/repo/src/prog/program.hh /root/repo/src/isa/isa.hh \
  /root/repo/src/sim/memory.hh /root/repo/src/trace/dyn_inst.hh \
  /root/repo/src/tdg/analyzer.hh /root/repo/src/energy/area_model.hh \
@@ -229,11 +241,11 @@ bench/CMakeFiles/bench_framework_micro.dir/bench_framework_micro.cc.o: \
  /root/repo/src/ir/induction.hh /root/repo/src/ir/mem_profile.hh \
  /root/repo/src/ir/path_profile.hh /root/repo/src/tdg/bsa/bsa.hh \
  /root/repo/src/tdg/transform.hh /root/repo/src/uarch/udg.hh \
- /root/repo/src/tdg/constructor.hh \
- /root/repo/src/tdg/reference/ref_models.hh \
+ /root/repo/src/tdg/constructor.hh /root/repo/src/tdg/exocore.hh \
+ /root/repo/src/energy/energy_model.hh \
  /root/repo/src/uarch/pipeline_model.hh \
+ /root/repo/src/tdg/reference/ref_models.hh \
  /root/repo/src/workloads/kernel_util.hh /root/repo/src/common/rng.hh \
  /root/repo/src/common/logging.hh /usr/include/c++/12/cstdarg \
- /root/repo/src/prog/builder.hh /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/workloads/suite.hh /usr/include/c++/12/span
+ /root/repo/src/prog/builder.hh /root/repo/src/workloads/suite.hh \
+ /usr/include/c++/12/span

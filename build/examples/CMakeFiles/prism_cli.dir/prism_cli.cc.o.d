@@ -222,13 +222,14 @@ examples/CMakeFiles/prism_cli.dir/prism_cli.cc.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/tdg/transform.hh \
  /root/repo/src/uarch/pipeline_model.hh /root/repo/src/trace/serialize.hh \
- /root/repo/src/trace/trace_stats.hh /root/repo/src/workloads/suite.hh \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/prog/builder.hh /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/trace_gen.hh /root/repo/src/sim/branch_pred.hh \
- /root/repo/src/sim/cache.hh /root/repo/src/sim/interpreter.hh \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/optional /root/repo/src/trace/trace_stats.hh \
+ /root/repo/src/workloads/suite.hh /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/prog/builder.hh \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/trace_gen.hh \
+ /root/repo/src/sim/branch_pred.hh /root/repo/src/sim/cache.hh \
+ /root/repo/src/sim/interpreter.hh /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \

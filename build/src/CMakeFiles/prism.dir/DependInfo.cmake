@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/logging.cc" "src/CMakeFiles/prism.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/prism.dir/common/logging.cc.o.d"
   "/root/repo/src/common/stats.cc" "src/CMakeFiles/prism.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/prism.dir/common/stats.cc.o.d"
   "/root/repo/src/common/table.cc" "src/CMakeFiles/prism.dir/common/table.cc.o" "gcc" "src/CMakeFiles/prism.dir/common/table.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/prism.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/prism.dir/common/thread_pool.cc.o.d"
   "/root/repo/src/energy/area_model.cc" "src/CMakeFiles/prism.dir/energy/area_model.cc.o" "gcc" "src/CMakeFiles/prism.dir/energy/area_model.cc.o.d"
   "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/prism.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/prism.dir/energy/energy_model.cc.o.d"
   "/root/repo/src/energy/sram_model.cc" "src/CMakeFiles/prism.dir/energy/sram_model.cc.o" "gcc" "src/CMakeFiles/prism.dir/energy/sram_model.cc.o.d"
@@ -45,6 +46,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/tdg/transform.cc" "src/CMakeFiles/prism.dir/tdg/transform.cc.o" "gcc" "src/CMakeFiles/prism.dir/tdg/transform.cc.o.d"
   "/root/repo/src/trace/dyn_inst.cc" "src/CMakeFiles/prism.dir/trace/dyn_inst.cc.o" "gcc" "src/CMakeFiles/prism.dir/trace/dyn_inst.cc.o.d"
   "/root/repo/src/trace/serialize.cc" "src/CMakeFiles/prism.dir/trace/serialize.cc.o" "gcc" "src/CMakeFiles/prism.dir/trace/serialize.cc.o.d"
+  "/root/repo/src/trace/trace_cache.cc" "src/CMakeFiles/prism.dir/trace/trace_cache.cc.o" "gcc" "src/CMakeFiles/prism.dir/trace/trace_cache.cc.o.d"
   "/root/repo/src/trace/trace_stats.cc" "src/CMakeFiles/prism.dir/trace/trace_stats.cc.o" "gcc" "src/CMakeFiles/prism.dir/trace/trace_stats.cc.o.d"
   "/root/repo/src/uarch/core_config.cc" "src/CMakeFiles/prism.dir/uarch/core_config.cc.o" "gcc" "src/CMakeFiles/prism.dir/uarch/core_config.cc.o.d"
   "/root/repo/src/uarch/pipeline_model.cc" "src/CMakeFiles/prism.dir/uarch/pipeline_model.cc.o" "gcc" "src/CMakeFiles/prism.dir/uarch/pipeline_model.cc.o.d"

@@ -222,4 +222,6 @@ src/CMakeFiles/prism.dir/workloads/suite.cc.o: \
  /root/repo/src/ir/path_profile.hh /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/logging.hh \
- /usr/include/c++/12/cstdarg
+ /usr/include/c++/12/cstdarg /root/repo/src/trace/trace_cache.hh \
+ /usr/include/c++/12/atomic /usr/include/c++/12/optional \
+ /root/repo/src/trace/serialize.hh

@@ -293,6 +293,10 @@ tests/CMakeFiles/test_serialize.dir/test_serialize.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
+ /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
  /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
@@ -301,7 +305,7 @@ tests/CMakeFiles/test_serialize.dir/test_serialize.cc.o: \
  /root/repo/src/sim/cache.hh /root/repo/src/sim/interpreter.hh \
  /root/repo/src/prog/program.hh /root/repo/src/isa/isa.hh \
  /root/repo/src/sim/memory.hh /root/repo/src/trace/dyn_inst.hh \
- /root/repo/src/trace/serialize.hh \
+ /root/repo/src/trace/serialize.hh /root/repo/src/trace/trace_cache.hh \
  /root/repo/src/workloads/kernel_util.hh /root/repo/src/common/rng.hh \
  /root/repo/src/common/logging.hh /usr/include/c++/12/cstdarg \
  /root/repo/src/prog/builder.hh /usr/include/c++/12/deque \

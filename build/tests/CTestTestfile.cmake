@@ -17,4 +17,5 @@ include("/root/repo/build/tests/test_reference[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")
 include("/root/repo/build/tests/test_property[1]_include.cmake")
 include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_pool[1]_include.cmake")
 include("/root/repo/build/tests/test_trace_stats[1]_include.cmake")

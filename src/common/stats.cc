@@ -22,27 +22,47 @@ mean(std::span<const double> xs)
 double
 geomean(std::span<const double> xs)
 {
-    if (xs.empty())
-        return 0.0;
+    std::size_t skipped = 0;
+    std::size_t n = 0;
     double log_sum = 0.0;
     for (double x : xs) {
-        prism_assert(x > 0.0, "geomean requires positive values");
+        if (!(x > 0.0)) {
+            ++skipped; // also catches NaN
+            continue;
+        }
         log_sum += std::log(x);
+        ++n;
     }
-    return std::exp(log_sum / static_cast<double>(xs.size()));
+    if (skipped > 0) {
+        warn("geomean: skipped %zu non-positive of %zu values",
+             skipped, xs.size());
+    }
+    if (n == 0)
+        return 0.0;
+    return std::exp(log_sum / static_cast<double>(n));
 }
 
 double
 harmonicMean(std::span<const double> xs)
 {
-    if (xs.empty())
-        return 0.0;
+    std::size_t skipped = 0;
+    std::size_t n = 0;
     double inv_sum = 0.0;
     for (double x : xs) {
-        prism_assert(x > 0.0, "harmonic mean requires positive values");
+        if (!(x > 0.0)) {
+            ++skipped; // also catches NaN
+            continue;
+        }
         inv_sum += 1.0 / x;
+        ++n;
     }
-    return static_cast<double>(xs.size()) / inv_sum;
+    if (skipped > 0) {
+        warn("harmonicMean: skipped %zu non-positive of %zu values",
+             skipped, xs.size());
+    }
+    if (n == 0)
+        return 0.0;
+    return static_cast<double>(n) / inv_sum;
 }
 
 double
@@ -54,7 +74,9 @@ stddev(std::span<const double> xs)
     double acc = 0.0;
     for (double x : xs)
         acc += (x - m) * (x - m);
-    return std::sqrt(acc / static_cast<double>(xs.size()));
+    // Sample (N-1) statistic: callers treat stddev() as an estimate
+    // from a sample of workloads/design points, not a population.
+    return std::sqrt(acc / static_cast<double>(xs.size() - 1));
 }
 
 double

@@ -19,15 +19,28 @@ namespace prism
 double mean(std::span<const double> xs);
 
 /**
- * Geometric mean of a sequence of strictly positive values; the paper
- * reports geomean speedups and energy ratios. Returns 0 for empty input.
+ * Geometric mean; the paper reports geomean speedups and energy
+ * ratios. Non-positive policy: a geomean is only defined over
+ * strictly positive values, but a single zero-cycle or zero-energy
+ * region must not abort an entire design-space sweep — non-positive
+ * (and NaN) inputs are *skipped* and counted in one warn() per call,
+ * and the mean is taken over the remaining values. Returns 0 for
+ * empty input or when every value was skipped.
  */
 double geomean(std::span<const double> xs);
 
-/** Harmonic mean of strictly positive values; 0 for empty input. */
+/**
+ * Harmonic mean. Same non-positive policy as geomean(): skip with a
+ * logged count; 0 for empty/all-skipped input.
+ */
 double harmonicMean(std::span<const double> xs);
 
-/** Population standard deviation; 0 for fewer than two samples. */
+/**
+ * Sample (N-1 denominator) standard deviation; 0 for fewer than two
+ * samples. Callers treat stddev() as an estimate from a sample of
+ * workloads or design points, hence Bessel's correction (before
+ * 2026-08 this was the population N-denominator statistic).
+ */
 double stddev(std::span<const double> xs);
 
 /**

@@ -1,0 +1,160 @@
+#include "common/thread_pool.hh"
+
+#include <cstdlib>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+unsigned
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("PRISM_THREADS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+        warn("ignoring invalid PRISM_THREADS value '%s'", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+/**
+ * Shared state of one parallelFor call. Index claiming and the
+ * in-flight count are updated under one lock so a claimed item is
+ * always visible as active until it completes; helper tasks that
+ * outlive the call (stealable entries still queued) hold the loop
+ * via shared_ptr and see an exhausted index range.
+ */
+struct ThreadPool::ForLoop
+{
+    std::size_t n = 0;
+    const std::function<void(std::size_t)> *fn = nullptr;
+
+    std::mutex mu;
+    std::condition_variable doneCv;
+    std::size_t nextIdx = 0; ///< guarded by mu
+    std::size_t active = 0;  ///< items currently executing
+    std::exception_ptr error;
+
+    /** Claim the next index; false when drained or poisoned. */
+    bool
+    claim(std::size_t &i)
+    {
+        std::lock_guard<std::mutex> g(mu);
+        if (error || nextIdx >= n)
+            return false;
+        i = nextIdx++;
+        ++active;
+        return true;
+    }
+
+    /** Mark one claimed item finished (ok or with an exception). */
+    void
+    complete(std::exception_ptr err)
+    {
+        std::lock_guard<std::mutex> g(mu);
+        if (err && !error)
+            error = std::move(err);
+        if (--active == 0 && (nextIdx >= n || error))
+            doneCv.notify_all();
+    }
+};
+
+ThreadPool::ThreadPool(unsigned threads)
+    : numThreads_(threads > 0 ? threads : defaultThreadCount())
+{
+    workers_.reserve(numThreads_ - 1);
+    for (unsigned t = 1; t < numThreads_; ++t)
+        workers_.emplace_back([this, t] { workerMain(t); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::drain(ForLoop &loop)
+{
+    std::size_t i = 0;
+    while (loop.claim(i)) {
+        std::exception_ptr err;
+        try {
+            (*loop.fn)(i);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        loop.complete(err);
+    }
+}
+
+void
+ThreadPool::workerMain(unsigned)
+{
+    for (;;) {
+        std::shared_ptr<ForLoop> loop;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop requested and nothing to steal
+            loop = std::move(queue_.front().loop);
+            queue_.pop_front();
+        }
+        drain(*loop);
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+
+    auto loop = std::make_shared<ForLoop>();
+    loop->n = n;
+    loop->fn = &fn;
+
+    // One stealable helper per worker (never more than useful).
+    const std::size_t helpers =
+        std::min<std::size_t>(workers_.size(), n > 1 ? n - 1 : 0);
+    if (helpers > 0) {
+        {
+            std::lock_guard<std::mutex> g(mu_);
+            for (std::size_t h = 0; h < helpers; ++h)
+                queue_.push_back(Task{loop});
+        }
+        cv_.notify_all();
+    }
+
+    // The caller participates: nested submission from inside a work
+    // item drains its own inner loop here, guaranteeing progress.
+    drain(*loop);
+
+    {
+        std::unique_lock<std::mutex> lk(loop->mu);
+        loop->doneCv.wait(lk, [&] { return loop->active == 0; });
+    }
+    if (loop->error)
+        std::rethrow_exception(loop->error);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace prism

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Work-stealing thread pool and data-parallel helpers for the
+ * design-space exploration engine. The paper's TDG methodology makes
+ * every (workload, core, BSA-subset) evaluation an independent unit
+ * of work ("record once, explore many configurations", Section 2.6);
+ * this pool runs those units across cores.
+ *
+ * Guarantees:
+ *  - deterministic result placement: parallelMap()/parallelFor()
+ *    index results by input position, so output order never depends
+ *    on scheduling;
+ *  - exception propagation: the first exception thrown by a work
+ *    item is captured and rethrown on the calling thread after the
+ *    loop drains;
+ *  - nested submission: a work item may itself call parallelFor()
+ *    on the same pool; the inner call participates in execution, so
+ *    progress is guaranteed even with every worker busy;
+ *  - `PRISM_THREADS` overrides the default worker count process-wide.
+ */
+
+#ifndef PRISM_COMMON_THREAD_POOL_HH
+#define PRISM_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prism
+{
+
+/**
+ * Default concurrency level: the PRISM_THREADS environment variable
+ * if set to a positive integer, else std::thread::hardware_concurrency
+ * (at least 1).
+ */
+unsigned defaultThreadCount();
+
+/**
+ * A work-stealing thread pool with `threads` total execution
+ * contexts: the caller of parallelFor() plus (threads - 1) worker
+ * threads. ThreadPool(1) therefore executes strictly serially on the
+ * calling thread — useful as the baseline leg of serial-vs-parallel
+ * comparisons — while still honoring the same code path.
+ */
+class ThreadPool
+{
+  public:
+    /** Create a pool; 0 means defaultThreadCount(). */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total execution contexts (caller + workers). */
+    unsigned size() const { return numThreads_; }
+
+    /**
+     * Run fn(i) for every i in [0, n). Blocks until all items have
+     * finished; the calling thread executes items too. Rethrows the
+     * first exception thrown by any item (remaining unclaimed items
+     * are skipped).
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** The process-wide shared pool (size defaultThreadCount()). */
+    static ThreadPool &global();
+
+  private:
+    struct ForLoop;
+
+    /** One stealable unit: drain indices from a ForLoop. */
+    struct Task
+    {
+        std::shared_ptr<ForLoop> loop;
+    };
+
+    void workerMain(unsigned self);
+    static void drain(ForLoop &loop);
+
+    unsigned numThreads_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Task> queue_; ///< pending helper tasks (stealable)
+    bool stop_ = false;
+
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Map fn over items on `pool`, returning results in input order
+ * regardless of execution interleaving.
+ */
+template <typename T, typename Fn>
+auto
+parallelMap(ThreadPool &pool, const std::vector<T> &items, Fn fn)
+    -> std::vector<decltype(fn(items.front()))>
+{
+    using R = decltype(fn(items.front()));
+    std::vector<R> out(items.size());
+    pool.parallelFor(items.size(),
+                     [&](std::size_t i) { out[i] = fn(items[i]); });
+    return out;
+}
+
+/** parallelMap over indices [0, n). */
+template <typename Fn>
+auto
+parallelMapIndex(ThreadPool &pool, std::size_t n, Fn fn)
+    -> std::vector<decltype(fn(std::size_t{0}))>
+{
+    using R = decltype(fn(std::size_t{0}));
+    std::vector<R> out(n);
+    pool.parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+} // namespace prism
+
+#endif // PRISM_COMMON_THREAD_POOL_HH

@@ -1,7 +1,10 @@
 #include "trace/serialize.hh"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
+#include <thread>
 
 #include "common/logging.hh"
 
@@ -12,6 +15,7 @@ namespace
 {
 
 constexpr std::uint64_t kMagic = 0x5052534D54524331ull; // "PRSMTRC1"
+constexpr std::uint64_t kFormatVersion = 2;
 
 void
 writeU64(std::ostream &os, std::uint64_t v)
@@ -22,18 +26,21 @@ writeU64(std::ostream &os, std::uint64_t v)
     os.write(buf, 8);
 }
 
-std::uint64_t
-readU64(std::istream &is)
+/** Checked read: false on short read or an already-failed stream. */
+bool
+tryReadU64(std::istream &is, std::uint64_t &v)
 {
     char buf[8];
     is.read(buf, 8);
-    std::uint64_t v = 0;
+    if (!is || is.gcount() != 8)
+        return false;
+    v = 0;
     for (int i = 0; i < 8; ++i) {
         v |= static_cast<std::uint64_t>(
                  static_cast<unsigned char>(buf[i]))
              << (8 * i);
     }
-    return v;
+    return true;
 }
 
 /** FNV-1a over a byte. */
@@ -91,6 +98,48 @@ unpack(const PackedDyn &p)
     return di;
 }
 
+/** Validated header contents. */
+struct Header
+{
+    std::uint64_t fingerprint = 0;
+    std::uint64_t count = 0;
+};
+
+/**
+ * Read and validate magic/version/fingerprint/count against `prog`.
+ * Returns nullopt with a reason in `error` on any mismatch.
+ */
+std::optional<Header>
+readHeader(std::istream &is, const Program &prog,
+           const std::string &path, std::string &error)
+{
+    std::uint64_t magic = 0;
+    std::uint64_t version = 0;
+    Header h;
+    if (!tryReadU64(is, magic) || !tryReadU64(is, version) ||
+        !tryReadU64(is, h.fingerprint) || !tryReadU64(is, h.count)) {
+        error = "'" + path + "': truncated trace header";
+        return std::nullopt;
+    }
+    if (magic != kMagic) {
+        error = "'" + path + "' is not a Prism trace file";
+        return std::nullopt;
+    }
+    if (version != kFormatVersion) {
+        std::ostringstream os;
+        os << "'" << path << "': unsupported trace format version "
+           << version << " (expected " << kFormatVersion << ")";
+        error = os.str();
+        return std::nullopt;
+    }
+    if (h.fingerprint != programFingerprint(prog)) {
+        error = "trace '" + path +
+                "' was recorded from a different program";
+        return std::nullopt;
+    }
+    return h;
+}
+
 } // namespace
 
 std::uint64_t
@@ -115,45 +164,92 @@ programFingerprint(const Program &prog)
 void
 saveTrace(const Trace &trace, const std::string &path)
 {
-    std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    if (!os)
-        fatal("cannot open '%s' for writing", path.c_str());
-    writeU64(os, kMagic);
-    writeU64(os, programFingerprint(trace.program()));
-    writeU64(os, trace.size());
-    for (DynId i = 0; i < trace.size(); ++i) {
-        const PackedDyn p = pack(trace[i]);
-        for (std::uint64_t f : p.fields)
-            writeU64(os, f);
+    // Write to a unique sibling and rename into place so that an
+    // interrupted write can never leave a partial file under `path`
+    // (concurrent writers of the same path are also safe: rename is
+    // atomic and last-writer-wins with a complete file either way).
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << std::this_thread::get_id();
+    const std::string tmp = tmp_name.str();
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            fatal("cannot open '%s' for writing", tmp.c_str());
+        writeU64(os, kMagic);
+        writeU64(os, kFormatVersion);
+        writeU64(os, programFingerprint(trace.program()));
+        writeU64(os, trace.size());
+        for (DynId i = 0; i < trace.size(); ++i) {
+            const PackedDyn p = pack(trace[i]);
+            for (std::uint64_t f : p.fields)
+                writeU64(os, f);
+        }
+        os.flush();
+        if (!os) {
+            os.close();
+            std::remove(tmp.c_str());
+            fatal("short write to '%s'", tmp.c_str());
+        }
     }
-    if (!os)
-        fatal("short write to '%s'", path.c_str());
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::remove(tmp.c_str());
+        fatal("cannot rename '%s' to '%s': %s", tmp.c_str(),
+              path.c_str(), ec.message().c_str());
+    }
+}
+
+std::optional<Trace>
+tryLoadTrace(const Program &prog, const std::string &path,
+             std::string *error)
+{
+    std::string err;
+    std::optional<Trace> result;
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        err = "cannot open trace file '" + path + "'";
+    } else if (const auto h = readHeader(is, prog, path, err)) {
+        Trace trace(&prog);
+        trace.reserve(h->count);
+        bool ok = true;
+        for (std::uint64_t i = 0; ok && i < h->count; ++i) {
+            PackedDyn p;
+            for (std::uint64_t &f : p.fields) {
+                if (!tryReadU64(is, f)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok)
+                trace.push(unpack(p));
+        }
+        if (!ok) {
+            std::ostringstream os;
+            os << "truncated trace file '" << path << "': header "
+               << "promises " << h->count << " records, payload ends "
+               << "after " << trace.size();
+            err = os.str();
+        } else if (is.peek() != std::ifstream::traits_type::eof()) {
+            err = "trailing bytes after trace payload in '" + path +
+                  "'";
+        } else {
+            result = std::move(trace);
+        }
+    }
+    if (!result && error)
+        *error = err;
+    return result;
 }
 
 Trace
 loadTrace(const Program &prog, const std::string &path)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
-        fatal("cannot open trace file '%s'", path.c_str());
-    if (readU64(is) != kMagic)
-        fatal("'%s' is not a Prism trace file", path.c_str());
-    if (readU64(is) != programFingerprint(prog)) {
-        fatal("trace '%s' was recorded from a different program",
-              path.c_str());
-    }
-    const std::uint64_t n = readU64(is);
-    Trace trace(&prog);
-    trace.reserve(n);
-    for (std::uint64_t i = 0; i < n; ++i) {
-        PackedDyn p;
-        for (std::uint64_t &f : p.fields)
-            f = readU64(is);
-        if (!is)
-            fatal("truncated trace file '%s'", path.c_str());
-        trace.push(unpack(p));
-    }
-    return trace;
+    std::string err;
+    std::optional<Trace> t = tryLoadTrace(prog, path, &err);
+    if (!t)
+        fatal("%s", err.c_str());
+    return std::move(*t);
 }
 
 bool
@@ -162,10 +258,8 @@ traceFileMatches(const Program &prog, const std::string &path)
     std::ifstream is(path, std::ios::binary);
     if (!is)
         return false;
-    if (readU64(is) != kMagic)
-        return false;
-    return static_cast<bool>(is) &&
-           readU64(is) == programFingerprint(prog);
+    std::string err;
+    return readHeader(is, prog, path, err).has_value();
 }
 
 } // namespace prism

@@ -7,13 +7,21 @@
  * so exploration runs skip regeneration.
  *
  * The format is a compact little-endian binary: a header with a
- * program fingerprint (so a trace is never replayed against the
- * wrong binary), then one packed record per dynamic instruction.
+ * magic number, a format version, and a program fingerprint (so a
+ * trace is never replayed against the wrong binary), then one packed
+ * record per dynamic instruction.
+ *
+ * Robustness: every read is checked against stream state, so a
+ * truncated or corrupt file (e.g. a cache write interrupted mid-way)
+ * is reported as an error instead of yielding garbage records.
+ * Writes go through a temporary file renamed into place, so a
+ * half-written file can never appear under the final path.
  */
 
 #ifndef PRISM_TRACE_SERIALIZE_HH
 #define PRISM_TRACE_SERIALIZE_HH
 
+#include <optional>
 #include <string>
 
 #include "trace/dyn_inst.hh"
@@ -28,8 +36,22 @@ namespace prism
  */
 std::uint64_t programFingerprint(const Program &prog);
 
-/** Write a trace to `path`; fatal on I/O failure. */
+/**
+ * Write a trace to `path` atomically (temp file + rename); fatal on
+ * I/O failure.
+ */
 void saveTrace(const Trace &trace, const std::string &path);
+
+/**
+ * Read a trace previously written with saveTrace, validating magic,
+ * format version, program fingerprint, and record payload length.
+ * Returns nullopt (with a human-readable reason in `*error` when
+ * non-null) if the file is missing, truncated, corrupt, or was
+ * recorded from a different program.
+ */
+std::optional<Trace> tryLoadTrace(const Program &prog,
+                                  const std::string &path,
+                                  std::string *error = nullptr);
 
 /**
  * Read a trace previously written with saveTrace. Fatal if the file

@@ -1,0 +1,93 @@
+#include "trace/trace_cache.hh"
+
+#include <filesystem>
+#include <memory>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+namespace
+{
+std::unique_ptr<TraceCache> g_cache; // installed before workers start
+} // namespace
+
+TraceCache::TraceCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        fatal("cannot create trace cache directory '%s': %s",
+              dir_.c_str(), ec.message().c_str());
+    }
+}
+
+std::string
+TraceCache::pathFor(const std::string &name, const Program &prog,
+                    std::uint64_t max_insts) const
+{
+    std::ostringstream os;
+    os << dir_ << '/' << name << '-' << std::hex
+       << programFingerprint(prog) << std::dec << '-' << max_insts
+       << ".trc";
+    return os.str();
+}
+
+std::optional<Trace>
+TraceCache::load(const std::string &name, const Program &prog,
+                 std::uint64_t max_insts) const
+{
+    const std::string path = pathFor(name, prog, max_insts);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec) || ec) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    std::string err;
+    std::optional<Trace> trace = tryLoadTrace(prog, path, &err);
+    if (!trace) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        warn("trace cache: rejecting '%s' (%s); will regenerate",
+             path.c_str(), err.c_str());
+        return std::nullopt;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return trace;
+}
+
+void
+TraceCache::store(const std::string &name, const Program &prog,
+                  std::uint64_t max_insts, const Trace &trace) const
+{
+    saveTrace(trace, pathFor(name, prog, max_insts));
+    stores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceCacheStats
+TraceCache::stats() const
+{
+    TraceCacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.stores = stores_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+TraceCache::setGlobalDir(const std::string &dir)
+{
+    g_cache = dir.empty() ? nullptr
+                          : std::make_unique<TraceCache>(dir);
+}
+
+const TraceCache *
+TraceCache::global()
+{
+    return g_cache.get();
+}
+
+} // namespace prism

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "prog/builder.hh"
+#include "trace/trace_cache.hh"
 
 namespace prism
 {
@@ -67,11 +68,25 @@ LoadedWorkload::load(const WorkloadSpec &spec,
     TraceGenConfig cfg;
     cfg.maxInsts =
         max_insts_override ? max_insts_override : spec.maxInsts;
+
+    const TraceCache *cache = TraceCache::global();
+    if (cache) {
+        if (std::optional<Trace> cached =
+                cache->load(lw->name_, lw->prog_, cfg.maxInsts)) {
+            lw->fromCache_ = true;
+            lw->tdg_ = std::make_unique<Tdg>(lw->prog_,
+                                             std::move(*cached));
+            return lw;
+        }
+    }
+
     Trace trace(&lw->prog_);
     trace.reserve(cfg.maxInsts / 4);
     lw->genResult_ = generateTrace(lw->prog_, mem, args, trace, cfg);
     prism_assert(!trace.empty(), "workload '%s' produced no trace",
                  spec.name);
+    if (cache)
+        cache->store(lw->name_, lw->prog_, cfg.maxInsts, trace);
     lw->tdg_ = std::make_unique<Tdg>(lw->prog_, std::move(trace));
     return lw;
 }

@@ -59,6 +59,13 @@ std::span<const WorkloadSpec> specintWorkloads();
 /**
  * A fully materialized workload: program built, inputs staged, trace
  * recorded, TDG constructed.
+ *
+ * When a process-wide trace cache is installed (TraceCache::
+ * setGlobalDir), load() first consults it: on a hit the interpreter
+ * run is skipped entirely and the TDG is constructed from the
+ * recorded trace (paper Section 2.6); on a miss the generated trace
+ * is stored for future runs. load() is safe to call concurrently for
+ * different specs (the parallel sweep driver does so).
  */
 class LoadedWorkload
 {
@@ -71,6 +78,10 @@ class LoadedWorkload
     const std::string &name() const { return name_; }
     const Tdg &tdg() const { return *tdg_; }
     const Program &program() const { return prog_; }
+
+    /** True if the trace came from the on-disk cache. genResult()'s
+     *  simulator statistics are only meaningful when this is false. */
+    bool fromCache() const { return fromCache_; }
     const TraceGenResult &genResult() const { return genResult_; }
 
   private:
@@ -80,6 +91,7 @@ class LoadedWorkload
     std::string name_;
     Program prog_;
     TraceGenResult genResult_;
+    bool fromCache_ = false;
     std::unique_ptr<Tdg> tdg_;
 };
 

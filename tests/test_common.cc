@@ -44,12 +44,43 @@ TEST(Stats, HarmonicMean)
     EXPECT_NEAR(harmonicMean(xs), 4.0 / 3.0, 1e-12);
 }
 
-TEST(Stats, Stddev)
+TEST(Stats, StddevIsSampleStatistic)
 {
     const std::vector<double> xs{2.0, 2.0, 2.0};
     EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+
+    // Regression pin for the N -> N-1 denominator switch: for {1, 3}
+    // the old population statistic was 1.0; the sample statistic is
+    // sqrt(2). Guard both so an accidental revert is caught.
     const std::vector<double> ys{1.0, 3.0};
-    EXPECT_NEAR(stddev(ys), 1.0, 1e-12);
+    EXPECT_NEAR(stddev(ys), std::sqrt(2.0), 1e-12);
+    EXPECT_GT(stddev(ys), 1.0 + 1e-9); // old N-denominator value
+
+    // {1, 2, 3, 4}: population sqrt(1.25), sample sqrt(5/3).
+    const std::vector<double> zs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_NEAR(stddev(zs), std::sqrt(5.0 / 3.0), 1e-12);
+
+    EXPECT_DOUBLE_EQ(stddev(std::vector<double>{7.0}), 0.0);
+}
+
+TEST(Stats, GeomeanSkipsNonPositiveValues)
+{
+    // A zero-cycle region must not abort a sweep: the zero is
+    // skipped and the mean is over the surviving values.
+    const std::vector<double> xs{1.0, 4.0, 0.0};
+    EXPECT_DOUBLE_EQ(geomean(xs), 2.0);
+    const std::vector<double> neg{2.0, -3.0, 2.0};
+    EXPECT_NEAR(geomean(neg), 2.0, 1e-12);
+    const std::vector<double> all_bad{0.0, -1.0};
+    EXPECT_DOUBLE_EQ(geomean(all_bad), 0.0);
+}
+
+TEST(Stats, HarmonicMeanSkipsNonPositiveValues)
+{
+    const std::vector<double> xs{1.0, 2.0, 0.0};
+    EXPECT_NEAR(harmonicMean(xs), 4.0 / 3.0, 1e-12);
+    const std::vector<double> all_bad{0.0};
+    EXPECT_DOUBLE_EQ(harmonicMean(all_bad), 0.0);
 }
 
 TEST(Stats, MeanAbsRelError)

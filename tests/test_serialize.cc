@@ -7,10 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "sim/trace_gen.hh"
 #include "trace/serialize.hh"
+#include "trace/trace_cache.hh"
 #include "workloads/kernel_util.hh"
 
 namespace prism
@@ -112,6 +114,187 @@ TEST(Serialize, MissingFileDoesNotMatch)
 {
     const Program a = smallProgram(50);
     EXPECT_FALSE(traceFileMatches(a, "/nonexistent/path.trc"));
+}
+
+// ---- Corruption handling ------------------------------------------
+
+/** A program + saved trace file pair for corruption experiments. */
+struct SavedTrace
+{
+    Program prog;
+    Trace trace;
+    TempFile file;
+
+    explicit SavedTrace(const char *name)
+        : prog(smallProgram(60)), trace(&prog), file(name)
+    {
+        SimMemory mem;
+        Rng rng(7);
+        fillI64(mem, 0x4000, 60, rng, -50, 50);
+        generateTrace(prog, mem, {0x4000}, trace);
+        saveTrace(trace, file.path);
+    }
+};
+
+void
+corruptByte(const std::string &path, std::streamoff off, char byte)
+{
+    std::fstream fs(path,
+                    std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(fs) << path;
+    fs.seekp(off);
+    fs.write(&byte, 1);
+}
+
+TEST(Serialize, TruncatedHeaderRejectedWithClearError)
+{
+    SavedTrace st("trunc_header.trc");
+    std::filesystem::resize_file(st.file.path, 20);
+
+    std::string err;
+    EXPECT_FALSE(tryLoadTrace(st.prog, st.file.path, &err));
+    EXPECT_NE(err.find("truncated trace header"), std::string::npos)
+        << err;
+    EXPECT_FALSE(traceFileMatches(st.prog, st.file.path));
+}
+
+TEST(Serialize, TruncatedPayloadRejectedWithClearError)
+{
+    SavedTrace st("trunc_payload.trc");
+    const auto full = std::filesystem::file_size(st.file.path);
+    // Chop mid-record: drop the last record and a half.
+    std::filesystem::resize_file(st.file.path, full - 96);
+
+    std::string err;
+    EXPECT_FALSE(tryLoadTrace(st.prog, st.file.path, &err));
+    EXPECT_NE(err.find("header promises"), std::string::npos) << err;
+    // The header itself is intact, so a header-only probe matches.
+    EXPECT_TRUE(traceFileMatches(st.prog, st.file.path));
+}
+
+TEST(Serialize, BadMagicRejected)
+{
+    SavedTrace st("bad_magic.trc");
+    corruptByte(st.file.path, 0, 'X');
+
+    std::string err;
+    EXPECT_FALSE(tryLoadTrace(st.prog, st.file.path, &err));
+    EXPECT_NE(err.find("not a Prism trace"), std::string::npos)
+        << err;
+}
+
+TEST(Serialize, UnsupportedVersionRejected)
+{
+    SavedTrace st("bad_version.trc");
+    corruptByte(st.file.path, 8, 99); // version field, low byte
+
+    std::string err;
+    EXPECT_FALSE(tryLoadTrace(st.prog, st.file.path, &err));
+    EXPECT_NE(err.find("unsupported trace format version"),
+              std::string::npos)
+        << err;
+}
+
+TEST(Serialize, TrailingBytesRejected)
+{
+    SavedTrace st("trailing.trc");
+    {
+        std::ofstream os(st.file.path,
+                         std::ios::binary | std::ios::app);
+        os << "junk";
+    }
+    std::string err;
+    EXPECT_FALSE(tryLoadTrace(st.prog, st.file.path, &err));
+    EXPECT_NE(err.find("trailing bytes"), std::string::npos) << err;
+}
+
+TEST(Serialize, SaveLeavesNoTempFile)
+{
+    SavedTrace st("no_tmp_leftover.trc");
+    const auto dir =
+        std::filesystem::path(st.file.path).parent_path();
+    for (const auto &ent :
+         std::filesystem::directory_iterator(dir)) {
+        EXPECT_EQ(
+            ent.path().filename().string().find(
+                "no_tmp_leftover.trc.tmp"),
+            std::string::npos)
+            << "leftover temp file: " << ent.path();
+    }
+}
+
+// ---- TraceCache ---------------------------------------------------
+
+/** Fresh cache directory, removed on scope exit. */
+struct TempCacheDir
+{
+    std::string path;
+    explicit TempCacheDir(const char *name)
+        : path(std::string(::testing::TempDir()) + name)
+    {
+        std::filesystem::remove_all(path);
+    }
+    ~TempCacheDir() { std::filesystem::remove_all(path); }
+};
+
+TEST(TraceCache, MissThenStoreThenHit)
+{
+    TempCacheDir dir("prism_cache_hit");
+    const TraceCache cache(dir.path);
+    const Program prog = smallProgram(40);
+    SimMemory mem;
+    Trace trace(&prog);
+    generateTrace(prog, mem, {0x4000}, trace);
+
+    EXPECT_FALSE(cache.load("wl", prog, 0));
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+
+    cache.store("wl", prog, 0, trace);
+    EXPECT_EQ(cache.stats().stores, 1u);
+
+    const auto hit = cache.load("wl", prog, 0);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(hit->size(), trace.size());
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().rejected, 0u);
+}
+
+TEST(TraceCache, KeyDistinguishesBudgetAndProgram)
+{
+    TempCacheDir dir("prism_cache_key");
+    const TraceCache cache(dir.path);
+    const Program a = smallProgram(40);
+    const Program b = smallProgram(41);
+    EXPECT_NE(cache.pathFor("wl", a, 0), cache.pathFor("wl", a, 50));
+    EXPECT_NE(cache.pathFor("wl", a, 0), cache.pathFor("wl", b, 0));
+    EXPECT_NE(cache.pathFor("wl", a, 0), cache.pathFor("w2", a, 0));
+}
+
+TEST(TraceCache, CorruptEntryIsRejectedMiss)
+{
+    TempCacheDir dir("prism_cache_corrupt");
+    const TraceCache cache(dir.path);
+    const Program prog = smallProgram(40);
+    SimMemory mem;
+    Trace trace(&prog);
+    generateTrace(prog, mem, {0x4000}, trace);
+    cache.store("wl", prog, 0, trace);
+
+    // Truncate the stored entry mid-payload.
+    const std::string path = cache.pathFor("wl", prog, 0);
+    const auto full = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, full - 32);
+
+    EXPECT_FALSE(cache.load("wl", prog, 0));
+    EXPECT_EQ(cache.stats().rejected, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+
+    // A fresh store repairs the entry.
+    cache.store("wl", prog, 0, trace);
+    EXPECT_TRUE(cache.load("wl", prog, 0));
+    EXPECT_EQ(cache.stats().hits, 1u);
 }
 
 } // namespace

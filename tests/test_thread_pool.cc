@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Concurrency tests for the exploration engine's thread pool:
+ * coverage/ordering guarantees, nested submission, exception
+ * propagation, the PRISM_THREADS override, and bit-exact equality of
+ * a real Figure-12 sub-grid evaluated at 1 and N threads. Run under
+ * -DPRISM_SANITIZE=thread to check for data races (ctest -L
+ * concurrency).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/thread_pool.hh"
+#include "tdg/exocore.hh"
+#include "workloads/suite.hh"
+
+namespace prism
+{
+namespace
+{
+
+TEST(ThreadPool, ExecutesEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    constexpr std::size_t n = 10'000;
+    std::vector<std::atomic<int>> counts(n);
+    pool.parallelFor(n,
+                     [&](std::size_t i) { counts[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ZeroAndSingleItemLoops)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    pool.parallelFor(0, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 0);
+    pool.parallelFor(1, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1u);
+    const std::thread::id caller = std::this_thread::get_id();
+    pool.parallelFor(64, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(ThreadPool, DeterministicResultOrdering)
+{
+    ThreadPool serial(1);
+    ThreadPool wide(4);
+    const auto sq = [](std::size_t i) {
+        return static_cast<long>(i * i);
+    };
+    const auto a = parallelMapIndex(serial, 500, sq);
+    const auto b = parallelMapIndex(wide, 500, sq);
+    ASSERT_EQ(a, b);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], static_cast<long>(i * i));
+}
+
+TEST(ThreadPool, ParallelMapPreservesInputOrder)
+{
+    ThreadPool pool(4);
+    std::vector<int> items(300);
+    std::iota(items.begin(), items.end(), 0);
+    const auto out =
+        parallelMap(pool, items, [](int v) { return v * 3; });
+    ASSERT_EQ(out.size(), items.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], static_cast<int>(i) * 3);
+}
+
+TEST(ThreadPool, NestedSubmissionMakesProgress)
+{
+    // Every outer item submits an inner loop to the *same* pool;
+    // with all workers busy, the inner calls must still complete
+    // because the submitting thread participates in execution.
+    ThreadPool pool(4);
+    constexpr std::size_t outer = 16;
+    constexpr std::size_t inner = 32;
+    std::atomic<std::size_t> total{0};
+    pool.parallelFor(outer, [&](std::size_t) {
+        pool.parallelFor(inner, [&](std::size_t) {
+            total.fetch_add(1);
+        });
+    });
+    EXPECT_EQ(total.load(), outer * inner);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(100,
+                         [&](std::size_t i) {
+                             if (i == 37)
+                                 throw std::runtime_error("item 37");
+                         }),
+        std::runtime_error);
+
+    // The pool stays usable after a throwing loop.
+    std::atomic<int> ran{0};
+    pool.parallelFor(50, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, PrismThreadsEnvOverride)
+{
+    const char *saved = std::getenv("PRISM_THREADS");
+    const std::string saved_val = saved ? saved : "";
+
+    ::setenv("PRISM_THREADS", "3", 1);
+    EXPECT_EQ(defaultThreadCount(), 3u);
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 3u);
+
+    // Non-positive / garbage values fall back to the hardware count.
+    ::setenv("PRISM_THREADS", "0", 1);
+    EXPECT_GE(defaultThreadCount(), 1u);
+    ::setenv("PRISM_THREADS", "banana", 1);
+    EXPECT_GE(defaultThreadCount(), 1u);
+
+    if (saved)
+        ::setenv("PRISM_THREADS", saved_val.c_str(), 1);
+    else
+        ::unsetenv("PRISM_THREADS");
+}
+
+/**
+ * The acceptance property of the exploration engine: a real Figure 12
+ * sub-grid — (workload, core, BSA-subset) metric tuples — is
+ * bit-identical whether evaluated serially or on a wide pool.
+ */
+TEST(ThreadPool, Fig12SubGridEqualAtOneAndManyThreads)
+{
+    const char *names[] = {"conv", "ilp-chain"};
+    std::vector<std::unique_ptr<LoadedWorkload>> wls;
+    for (const char *name : names)
+        wls.push_back(LoadedWorkload::load(findWorkload(name)));
+    const CoreKind cores[] = {CoreKind::IO2, CoreKind::OOO2};
+
+    struct Point
+    {
+        Cycle cycles;
+        PicoJoule energy;
+        bool operator==(const Point &o) const
+        {
+            return cycles == o.cycles && energy == o.energy;
+        }
+    };
+
+    const auto sweep = [&](ThreadPool &pool) {
+        // Mutate phase: per-(workload, core) model construction.
+        std::vector<std::unique_ptr<BenchmarkModel>> models(
+            wls.size() * std::size(cores));
+        pool.parallelFor(models.size(), [&](std::size_t i) {
+            models[i] = std::make_unique<BenchmarkModel>(
+                wls[i / std::size(cores)]->tdg(),
+                cores[i % std::size(cores)]);
+        });
+        // Read phase: the 16-subset grid over const models.
+        return parallelMapIndex(
+            pool, models.size() * 16, [&](std::size_t i) {
+                const BenchmarkModel &bm = *models[i / 16];
+                const ExoResult r =
+                    bm.evaluate(static_cast<unsigned>(i % 16));
+                return Point{r.cycles, r.energy};
+            });
+    };
+
+    ThreadPool serial(1);
+    ThreadPool wide(4);
+    const std::vector<Point> a = sweep(serial);
+    const std::vector<Point> b = sweep(wide);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_TRUE(a[i] == b[i])
+            << "grid point " << i << " diverged: " << a[i].cycles
+            << "c/" << a[i].energy << "pJ vs " << b[i].cycles << "c/"
+            << b[i].energy << "pJ";
+    }
+}
+
+} // namespace
+} // namespace prism
