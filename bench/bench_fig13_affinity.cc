@@ -42,7 +42,8 @@ main()
             static_cast<double>(exo.unitCycles[0]) /
             static_cast<double>(base.cycles));
 
-        std::vector<std::string> row{e.name(), fmt(time, 2)};
+        std::vector<std::string> row{std::string(e.name()),
+                                     fmt(time, 2)};
         for (int u = 0; u < kNumUnits; ++u)
             row.push_back(fmtPct(exo.unitCycleFraction(u), 0));
         row.push_back(fmt(energy, 2));

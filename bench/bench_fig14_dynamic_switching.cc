@@ -21,7 +21,7 @@ namespace
 void
 traceWorkload(Entry &e, std::size_t buckets)
 {
-    std::printf("\n-- %s --\n", e.name().c_str());
+    std::printf("\n-- %s --\n", e.spec().name);
     BenchmarkModel &bm = e.model(CoreKind::OOO2);
     const auto points = bm.timeline(kFullBsaMask);
     if (points.empty()) {

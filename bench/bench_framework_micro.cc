@@ -5,9 +5,26 @@
  * and the discrete-event reference simulator — the practicality
  * argument of Section 2 (a TDG model is cheap enough for large
  * design-space exploration).
+ *
+ * The *Streamed variants drive the windowed engines through reusable
+ * scratches and report an `allocs_per_iter` counter from a global
+ * operator-new hook — the steady-state timing loop must not touch
+ * the heap. Results are also written to BENCH_framework.json
+ * (benchmark → M-insts/s and wall-clock ms).
+ *
+ * `--self-test` skips benchmarking and instead asserts the streaming
+ * contracts directly (windowed timing cycle-identical to full-stream
+ * for window sizes {1, 7, 10000}; zero steady-state allocations);
+ * CTest runs this under the `perf-smoke` label.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
 
 #include "common/thread_pool.hh"
 #include "sim/trace_gen.hh"
@@ -20,10 +37,45 @@
 #include "workloads/kernel_util.hh"
 #include "workloads/suite.hh"
 
+// ---- Global allocation counter ------------------------------------
+// Counts every operator-new call in the process; benchmarks snapshot
+// it around their timed loops to prove the steady-state timing core
+// is allocation-free.
+
+namespace
+{
+std::atomic<std::uint64_t> g_allocCount{0};
+
+std::uint64_t
+allocsNow()
+{
+    return g_allocCount.load(std::memory_order_relaxed);
+}
+
+void *
+countedAlloc(std::size_t n)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+} // namespace
+
+void *operator new(std::size_t n) { return countedAlloc(n); }
+void *operator new[](std::size_t n) { return countedAlloc(n); }
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
 namespace prism
 {
 namespace
 {
+
+/** Chunk size for feeding persistent streams window-by-window. */
+constexpr std::size_t kChunk = 8192;
 
 /** Shared fixture state: one mid-size workload, loaded once. */
 struct Fixture
@@ -100,6 +152,42 @@ BM_PipelineTiming(benchmark::State &state)
 }
 BENCHMARK(BM_PipelineTiming)->Unit(benchmark::kMillisecond);
 
+/**
+ * The streaming path: the baseline stream fed chunk-by-chunk through
+ * one reusable TimingScratch. Steady state must not allocate.
+ */
+void
+BM_PipelineTimingStreamed(benchmark::State &state)
+{
+    PipelineConfig cfg;
+    cfg.core = coreConfig(CoreKind::OOO2);
+    const PipelineModel model(cfg);
+    const MStream &stream = fixture().baseline;
+    TimingScratch ts;
+    const auto body = [&] {
+        model.beginRun(ts);
+        for (std::size_t b = 0; b < stream.size(); b += kChunk) {
+            model.runWindow(ts, stream, b,
+                            std::min(b + kChunk, stream.size()),
+                            false);
+        }
+        return ts.cycles();
+    };
+    benchmark::DoNotOptimize(body()); // warm the scratch buffers
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(body());
+        state.SetItemsProcessed(state.items_processed() +
+                                stream.size());
+    }
+    // Allocation check on a clean untimed body call (the benchmark
+    // harness itself allocates a little between iterations).
+    const std::uint64_t a0 = allocsNow();
+    benchmark::DoNotOptimize(body());
+    state.counters["allocs_per_iter"] =
+        static_cast<double>(allocsNow() - a0);
+}
+BENCHMARK(BM_PipelineTimingStreamed)->Unit(benchmark::kMillisecond);
+
 void
 BM_SimdTransform(benchmark::State &state)
 {
@@ -118,6 +206,54 @@ BM_SimdTransform(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SimdTransform)->Unit(benchmark::kMillisecond);
+
+/**
+ * Streamed transform + timing for one BSA: every targetable loop is
+ * rewritten and timed occurrence-by-occurrence through the scratch's
+ * reusable window, exactly like BenchmarkModel::evaluateBsas().
+ * Items = µDG instructions emitted and timed.
+ */
+void
+BM_BsaEvalStreamed(benchmark::State &state, BsaKind kind)
+{
+    const Tdg &tdg = fixture().lw->tdg();
+    const TdgAnalyzer an(tdg);
+    PipelineConfig cfg;
+    cfg.core = coreConfig(CoreKind::OOO2);
+    const PipelineModel model(cfg);
+    auto tf = makeTransform(kind, tdg, an);
+    TimingScratch ts;
+    for (auto _ : state) {
+        std::uint64_t emitted = 0;
+        tf->reset();
+        for (const Loop &loop : tdg.loops().loops()) {
+            if (!tf->canTarget(loop.id))
+                continue;
+            const auto occs = tdg.occurrencesOf(loop.id);
+            if (occs.empty())
+                continue;
+            tf->beginLoop(loop.id);
+            model.beginRun(ts);
+            for (const LoopOccurrence *occ : occs) {
+                ts.window.clear();
+                tf->transformOccurrence(*occ, ts.window);
+                model.runWindow(ts, ts.window, 0, ts.window.size(),
+                                true);
+                emitted += ts.window.size();
+            }
+            benchmark::DoNotOptimize(ts.cycles());
+        }
+        state.SetItemsProcessed(state.items_processed() + emitted);
+    }
+}
+BENCHMARK_CAPTURE(BM_BsaEvalStreamed, simd, BsaKind::Simd)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BsaEvalStreamed, dpcgra, BsaKind::DpCgra)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BsaEvalStreamed, nsdf, BsaKind::Nsdf)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BsaEvalStreamed, tracep, BsaKind::Tracep)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_AnalyzerPasses(benchmark::State &state)
@@ -142,6 +278,34 @@ BM_CycleAccurateReference(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CycleAccurateReference)->Unit(benchmark::kMillisecond);
+
+/** Windowed reference simulation through one reusable scratch. */
+void
+BM_CycleAccurateReferenceStreamed(benchmark::State &state)
+{
+    const CycleCoreSim sim(coreConfig(CoreKind::OOO2));
+    const MStream &stream = fixture().baseline;
+    RefSimScratch ss;
+    const auto body = [&] {
+        sim.begin(ss);
+        for (std::size_t b = 0; b < stream.size(); b += kChunk)
+            sim.feed(ss, stream, b,
+                     std::min(b + kChunk, stream.size()));
+        return sim.finishRun(ss, stream);
+    };
+    benchmark::DoNotOptimize(body()); // warm the scratch buffers
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(body());
+        state.SetItemsProcessed(state.items_processed() +
+                                stream.size());
+    }
+    const std::uint64_t a0 = allocsNow();
+    benchmark::DoNotOptimize(body());
+    state.counters["allocs_per_iter"] =
+        static_cast<double>(allocsNow() - a0);
+}
+BENCHMARK(BM_CycleAccurateReferenceStreamed)
+    ->Unit(benchmark::kMillisecond);
 
 /**
  * Serial-vs-parallel design-space sweep over a Fig-12-style
@@ -191,7 +355,202 @@ BENCHMARK(BM_DesignSpaceSweep)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+// ---- Self-test (ctest -L perf-smoke) ------------------------------
+
+bool
+selfTestEquivalence()
+{
+    const MStream &stream = fixture().baseline;
+    const std::size_t windows[] = {1, 7, 10000};
+    bool ok = true;
+
+    PipelineConfig cfg;
+    cfg.core = coreConfig(CoreKind::OOO2);
+    const PipelineModel model(cfg);
+    TimingScratch full_ts;
+    const PipelineResult full = model.run(stream, full_ts, true);
+    for (std::size_t w : windows) {
+        TimingScratch ts;
+        model.beginRun(ts, true);
+        for (std::size_t b = 0; b < stream.size(); b += w)
+            model.runWindow(ts, stream, b,
+                            std::min(b + w, stream.size()), false);
+        const PipelineResult res = model.finish(ts);
+        const bool same = res.cycles == full.cycles &&
+                          res.events == full.events &&
+                          res.commitAt == full.commitAt;
+        std::printf("self-test: pipeline window=%-5zu %s "
+                    "(%llu vs %llu cycles)\n",
+                    w, same ? "OK" : "MISMATCH",
+                    static_cast<unsigned long long>(res.cycles),
+                    static_cast<unsigned long long>(full.cycles));
+        ok = ok && same;
+    }
+
+    const CycleCoreSim sim(coreConfig(CoreKind::OOO2));
+    RefSimScratch full_ss;
+    const Cycle ref_full = sim.run(stream, full_ss);
+    for (std::size_t w : windows) {
+        RefSimScratch ss;
+        sim.begin(ss);
+        for (std::size_t b = 0; b < stream.size(); b += w)
+            sim.feed(ss, stream, b,
+                     std::min(b + w, stream.size()));
+        const Cycle got = sim.finishRun(ss, stream);
+        const bool same = got == ref_full;
+        std::printf("self-test: refsim   window=%-5zu %s "
+                    "(%llu vs %llu cycles)\n",
+                    w, same ? "OK" : "MISMATCH",
+                    static_cast<unsigned long long>(got),
+                    static_cast<unsigned long long>(ref_full));
+        ok = ok && same;
+    }
+    return ok;
+}
+
+bool
+selfTestZeroAlloc()
+{
+    const MStream &stream = fixture().baseline;
+    bool ok = true;
+
+    PipelineConfig cfg;
+    cfg.core = coreConfig(CoreKind::OOO2);
+    const PipelineModel model(cfg);
+    TimingScratch ts;
+    const auto time_body = [&] {
+        model.beginRun(ts);
+        for (std::size_t b = 0; b < stream.size(); b += kChunk)
+            model.runWindow(ts, stream, b,
+                            std::min(b + kChunk, stream.size()),
+                            false);
+        return ts.cycles();
+    };
+    time_body(); // warm
+    std::uint64_t a0 = allocsNow();
+    const Cycle c = time_body();
+    std::uint64_t allocs = allocsNow() - a0;
+    std::printf("self-test: pipeline steady-state allocs=%llu "
+                "(%llu cycles) %s\n",
+                static_cast<unsigned long long>(allocs),
+                static_cast<unsigned long long>(c),
+                allocs == 0 ? "OK" : "LEAKY");
+    ok = ok && allocs == 0;
+
+    const CycleCoreSim sim(coreConfig(CoreKind::OOO2));
+    RefSimScratch ss;
+    const auto sim_body = [&] {
+        sim.begin(ss);
+        for (std::size_t b = 0; b < stream.size(); b += kChunk)
+            sim.feed(ss, stream, b,
+                     std::min(b + kChunk, stream.size()));
+        return sim.finishRun(ss, stream);
+    };
+    sim_body(); // warm
+    a0 = allocsNow();
+    const Cycle rc = sim_body();
+    allocs = allocsNow() - a0;
+    std::printf("self-test: refsim   steady-state allocs=%llu "
+                "(%llu cycles) %s\n",
+                static_cast<unsigned long long>(allocs),
+                static_cast<unsigned long long>(rc),
+                allocs == 0 ? "OK" : "LEAKY");
+    ok = ok && allocs == 0;
+    return ok;
+}
+
+int
+runSelfTest()
+{
+    const bool equiv = selfTestEquivalence();
+    const bool zeroalloc = selfTestZeroAlloc();
+    std::printf("self-test: %s\n",
+                equiv && zeroalloc ? "PASS" : "FAIL");
+    return equiv && zeroalloc ? 0 : 1;
+}
+
+// ---- JSON report ---------------------------------------------------
+
+/** Console output plus result collection for BENCH_framework.json. */
+class CollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Item
+    {
+        std::string name;
+        double wallMs = 0;
+        double minstsPerSec = 0;
+        double allocsPerIter = -1; ///< -1: not measured
+    };
+    std::vector<Item> items;
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        benchmark::ConsoleReporter::ReportRuns(runs);
+        for (const Run &r : runs) {
+            if (r.error_occurred || r.run_type != Run::RT_Iteration)
+                continue;
+            Item it;
+            it.name = r.benchmark_name();
+            if (r.iterations > 0) {
+                it.wallMs = r.real_accumulated_time * 1e3 /
+                            static_cast<double>(r.iterations);
+            }
+            const auto ips = r.counters.find("items_per_second");
+            if (ips != r.counters.end())
+                it.minstsPerSec = ips->second.value / 1e6;
+            const auto al = r.counters.find("allocs_per_iter");
+            if (al != r.counters.end())
+                it.allocsPerIter = al->second.value;
+            items.push_back(std::move(it));
+        }
+    }
+};
+
+void
+writeJson(const CollectingReporter &rep, const char *path)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < rep.items.size(); ++i) {
+        const auto &it = rep.items[i];
+        std::fprintf(f,
+                     "  \"%s\": {\"wall_ms\": %.3f, "
+                     "\"minsts_per_sec\": %.2f",
+                     it.name.c_str(), it.wallMs, it.minstsPerSec);
+        if (it.allocsPerIter >= 0)
+            std::fprintf(f, ", \"allocs_per_iter\": %.1f",
+                         it.allocsPerIter);
+        std::fprintf(f, "}%s\n",
+                     i + 1 < rep.items.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu benchmarks)\n", path,
+                rep.items.size());
+}
+
 } // namespace
 } // namespace prism
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--self-test") == 0)
+            return prism::runSelfTest();
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    prism::CollectingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    prism::writeJson(reporter, "BENCH_framework.json");
+    benchmark::Shutdown();
+    return 0;
+}

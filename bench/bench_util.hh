@@ -32,6 +32,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/logging.hh"
@@ -144,7 +145,7 @@ class Entry
     explicit Entry(const WorkloadSpec &spec) : spec_(&spec) {}
 
     const WorkloadSpec &spec() const { return *spec_; }
-    const std::string name() const { return spec_->name; }
+    std::string_view name() const { return spec_->name; }
 
     /** Materialize the workload (idempotent). Mutate phase: at most
      *  one task may operate on an Entry at a time. */

@@ -5,28 +5,6 @@
 namespace prism
 {
 
-FuPool
-fuPoolOf(FuClass c)
-{
-    switch (c) {
-      case FuClass::IntAlu:
-      case FuClass::Branch:
-        return FuPool::Alu;
-      case FuClass::IntMul:
-      case FuClass::IntDiv:
-        return FuPool::MulDiv;
-      case FuClass::FpAlu:
-      case FuClass::FpMul:
-      case FuClass::FpDiv:
-        return FuPool::Fp;
-      case FuClass::Mem:
-        return FuPool::MemPort;
-      case FuClass::None:
-        return FuPool::None;
-    }
-    panic("unknown FuClass %d", static_cast<int>(c));
-}
-
 namespace
 {
 
@@ -220,17 +198,9 @@ makeOpTable()
     return t;
 }
 
-constexpr auto g_op_table = makeOpTable();
-
 } // namespace
 
-const OpInfo &
-opInfo(Opcode op)
-{
-    const auto idx = static_cast<std::size_t>(op);
-    prism_assert(idx < kNumOpcodes, "opcode out of range");
-    return g_op_table[idx];
-}
+const std::array<OpInfo, kNumOpcodes> detail::kOpTable = makeOpTable();
 
 std::string_view
 opName(Opcode op)

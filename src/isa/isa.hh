@@ -40,8 +40,29 @@ enum class FuClass : std::uint8_t
 /** Coarse FU pools matching Table 4's "FUs (ALU, Mul/Div, FP)". */
 enum class FuPool : std::uint8_t { Alu, MulDiv, Fp, MemPort, None };
 
-/** Map a fine-grained FU class onto its Table 4 pool. */
-FuPool fuPoolOf(FuClass c);
+/** Map a fine-grained FU class onto its Table 4 pool. Inline: the
+ *  timing hot loop consults this once per instruction. */
+inline FuPool
+fuPoolOf(FuClass c)
+{
+    switch (c) {
+      case FuClass::IntAlu:
+      case FuClass::Branch:
+        return FuPool::Alu;
+      case FuClass::IntMul:
+      case FuClass::IntDiv:
+        return FuPool::MulDiv;
+      case FuClass::FpAlu:
+      case FuClass::FpMul:
+      case FuClass::FpDiv:
+        return FuPool::Fp;
+      case FuClass::Mem:
+        return FuPool::MemPort;
+      case FuClass::None:
+        return FuPool::None;
+    }
+    return FuPool::None;
+}
 
 /**
  * Guest opcodes. The first section is what guest programs may contain;
@@ -103,8 +124,19 @@ struct OpInfo
     bool isVector = false;
 };
 
-/** Look up the static properties of an opcode. */
-const OpInfo &opInfo(Opcode op);
+namespace detail
+{
+/** The opcode property table (defined in isa.cc). */
+extern const std::array<OpInfo, kNumOpcodes> kOpTable;
+} // namespace detail
+
+/** Look up the static properties of an opcode. Inline: the timing
+ *  hot loop consults this once per instruction. */
+inline const OpInfo &
+opInfo(Opcode op)
+{
+    return detail::kOpTable[static_cast<std::size_t>(op)];
+}
 
 /** Short mnemonic, e.g. "fadd". */
 std::string_view opName(Opcode op);

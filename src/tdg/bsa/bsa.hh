@@ -4,6 +4,13 @@
  * Section 3.2), plus the paper's running fused-multiply-add example
  * (Figure 4). Each class implements the analysis-plan consumption and
  * graph-rewriting transform for one accelerator.
+ *
+ * All four models follow the streaming transform protocol of
+ * BsaTransform: beginLoop() caches per-loop analysis state,
+ * transformOccurrence() appends the rewrite of one occurrence.
+ * Per-occurrence maps are class members cleared (not reallocated)
+ * between occurrences, so steady-state transformation reuses their
+ * storage.
  */
 
 #ifndef PRISM_TDG_BSA_BSA_HH
@@ -30,9 +37,23 @@ class SimdTransform : public BsaTransform
 
     BsaKind kind() const override { return BsaKind::Simd; }
     bool canTarget(std::int32_t loop) const override;
-    TransformOutput transformLoop(
-        std::int32_t loop,
-        const std::vector<const LoopOccurrence *> &occs) override;
+    void beginLoop(std::int32_t loop) override;
+    void transformOccurrence(const LoopOccurrence &occ,
+                             MStream &out) override;
+
+  private:
+    // Per-loop state (beginLoop).
+    const SimdPlan *plan_ = nullptr;
+    const Loop *loop_ = nullptr;
+    const LoopDepProfile *deps_ = nullptr;
+    const LoopMemProfile *mem_ = nullptr;
+    const Function *fn_ = nullptr;
+
+    // Per-occurrence scratch (cleared, storage reused).
+    xform::RegDefMap regs_;
+    xform::DynToIdx dynToIdx_;
+    xform::Instances inst_;
+    std::vector<std::int64_t> parts_;
 };
 
 /**
@@ -48,13 +69,32 @@ class DpCgraTransform : public BsaTransform
 
     BsaKind kind() const override { return BsaKind::DpCgra; }
     bool canTarget(std::int32_t loop) const override;
-    TransformOutput transformLoop(
-        std::int32_t loop,
-        const std::vector<const LoopOccurrence *> &occs) override;
+    void beginLoop(std::int32_t loop) override;
+    void transformOccurrence(const LoopOccurrence &occ,
+                             MStream &out) override;
     void reset() override { configured_.clear(); }
 
   private:
     std::set<std::int32_t> configured_; ///< config-cache contents
+
+    // Per-loop state (beginLoop).
+    std::int32_t loopId_ = -1;
+    const Loop *loop_ = nullptr;
+    const LoopDepProfile *deps_ = nullptr;
+    const LoopMemProfile *mem_ = nullptr;
+    const Function *fn_ = nullptr;
+    std::vector<std::int32_t> body_;
+    std::set<StaticId> computeSet_;
+    std::set<StaticId> sendSet_;
+    std::set<StaticId> recvSet_;
+
+    // Per-occurrence scratch (cleared, storage reused).
+    xform::RegDefMap coreRegs_;
+    xform::RegDefMap fabricRegs_;
+    std::unordered_map<RegId, std::int64_t> sendMap_;
+    std::unordered_map<StaticId, std::int64_t> prevGroup_;
+    xform::DynToIdx dynToIdx_;
+    xform::Instances inst_;
 };
 
 /**
@@ -69,13 +109,19 @@ class NsdfTransform : public BsaTransform
 
     BsaKind kind() const override { return BsaKind::Nsdf; }
     bool canTarget(std::int32_t loop) const override;
-    TransformOutput transformLoop(
-        std::int32_t loop,
-        const std::vector<const LoopOccurrence *> &occs) override;
+    void beginLoop(std::int32_t loop) override;
+    void transformOccurrence(const LoopOccurrence &occ,
+                             MStream &out) override;
     void reset() override { configured_.clear(); }
 
   private:
     std::set<std::int32_t> configured_;
+
+    std::int32_t loopId_ = -1; ///< current loop (beginLoop)
+
+    // Per-occurrence scratch (cleared, storage reused).
+    xform::DynToIdx dynToIdx_;
+    std::vector<std::int64_t> depsScratch_;
 };
 
 /**
@@ -91,13 +137,23 @@ class TracepTransform : public BsaTransform
 
     BsaKind kind() const override { return BsaKind::Tracep; }
     bool canTarget(std::int32_t loop) const override;
-    TransformOutput transformLoop(
-        std::int32_t loop,
-        const std::vector<const LoopOccurrence *> &occs) override;
+    void beginLoop(std::int32_t loop) override;
+    void transformOccurrence(const LoopOccurrence &occ,
+                             MStream &out) override;
     void reset() override { configured_.clear(); }
 
   private:
     std::set<std::int32_t> configured_;
+
+    // Per-loop state (beginLoop).
+    std::int32_t loopId_ = -1;
+    const TracepPlan *plan_ = nullptr;
+    const Loop *loop_ = nullptr;
+
+    // Per-occurrence scratch (cleared, storage reused).
+    xform::DynToIdx dynToIdx_;
+    std::vector<std::int64_t> depsScratch_;
+    std::vector<std::int32_t> visited_;
 };
 
 /**

@@ -24,10 +24,9 @@ namespace prism
 namespace
 {
 
-using Instances = std::unordered_map<StaticId, std::vector<DynId>>;
-
 std::uint16_t
-groupMemLat(const Trace &trace, const Instances &inst, StaticId sid)
+groupMemLat(const Trace &trace, const xform::Instances &inst,
+            StaticId sid)
 {
     const auto it = inst.find(sid);
     if (it == inst.end() || it->second.empty())
@@ -39,8 +38,8 @@ groupMemLat(const Trace &trace, const Instances &inst, StaticId sid)
 }
 
 void
-mapInstances(const Instances &inst, StaticId sid, std::int64_t idx,
-             xform::DynToIdx &dyn_to_idx)
+mapInstances(const xform::Instances &inst, StaticId sid,
+             std::int64_t idx, xform::DynToIdx &dyn_to_idx)
 {
     const auto it = inst.find(sid);
     if (it == inst.end())
@@ -57,257 +56,270 @@ DpCgraTransform::canTarget(std::int32_t loop) const
     return analyzer_->cgra(loop).usable();
 }
 
-TransformOutput
-DpCgraTransform::transformLoop(
-    std::int32_t loop_id,
-    const std::vector<const LoopOccurrence *> &occs)
+void
+DpCgraTransform::beginLoop(std::int32_t loop_id)
 {
     const CgraPlan &plan = analyzer_->cgra(loop_id);
     prism_assert(plan.usable(), "DP-CGRA transform on unplanned loop");
     const SimdPlan &simd = analyzer_->simd(loop_id);
-    const Loop &loop = tdg_->loops().loop(loop_id);
-    const LoopDepProfile &deps = tdg_->depProfile(loop_id);
-    const LoopMemProfile &mem = tdg_->memProfile(loop_id);
     const Program &prog = tdg_->program();
-    const Function &fn = prog.function(loop.func);
-    const Trace &trace = tdg_->trace();
-    const unsigned V = kVectorLen;
-    const AccelParams params = dpCgraParams();
+
+    loopId_ = loop_id;
+    loop_ = &tdg_->loops().loop(loop_id);
+    deps_ = &tdg_->depProfile(loop_id);
+    mem_ = &tdg_->memProfile(loop_id);
+    fn_ = &prog.function(loop_->func);
 
     // Body order: reuse SIMD's RPO when available, else compute from
     // the loop blocks directly (plan legality guarantees innermost).
-    std::vector<std::int32_t> body = simd.bodyRpo;
-    if (body.empty()) {
-        body = loop.blocks;
-        const Cfg cfg = Cfg::reconstruct(prog, loop.func);
-        std::sort(body.begin(), body.end(),
+    body_ = simd.bodyRpo;
+    if (body_.empty()) {
+        body_ = loop_->blocks;
+        const Cfg cfg = Cfg::reconstruct(prog, loop_->func);
+        std::sort(body_.begin(), body_.end(),
                   [&cfg](std::int32_t a, std::int32_t b) {
                       return cfg.rpoIndex(a) < cfg.rpoIndex(b);
                   });
     }
 
-    std::set<StaticId> compute_set(plan.computeSlice.begin(),
-                                   plan.computeSlice.end());
-    std::set<StaticId> send_set(plan.sendSrcs.begin(),
-                                plan.sendSrcs.end());
-    std::set<StaticId> recv_set(plan.recvSrcs.begin(),
-                                plan.recvSrcs.end());
+    computeSet_.clear();
+    computeSet_.insert(plan.computeSlice.begin(),
+                       plan.computeSlice.end());
+    sendSet_.clear();
+    sendSet_.insert(plan.sendSrcs.begin(), plan.sendSrcs.end());
+    recvSet_.clear();
+    recvSet_.insert(plan.recvSrcs.begin(), plan.recvSrcs.end());
+}
 
-    TransformOutput out;
-    MStream &s = out.stream;
+void
+DpCgraTransform::transformOccurrence(const LoopOccurrence &occ,
+                                     MStream &s)
+{
+    const Loop &loop = *loop_;
+    const LoopDepProfile &deps = *deps_;
+    const LoopMemProfile &mem = *mem_;
+    const Function &fn = *fn_;
+    const Trace &trace = tdg_->trace();
+    const unsigned V = kVectorLen;
+    const AccelParams params = dpCgraParams();
 
-    for (const LoopOccurrence *occ : occs) {
-        out.occBoundaries.push_back(s.size());
-        const std::size_t occ_start = s.size();
+    const std::size_t occ_start = s.size();
 
-        // Configuration cache (4 entries, cleared wholesale on
-        // overflow — a coarse LRU).
-        if (!configured_.count(loop_id)) {
-            if (configured_.size() >= 4)
-                configured_.clear();
-            configured_.insert(loop_id);
-            MInst cfg;
-            cfg.op = Opcode::AccelCfg;
-            cfg.unit = ExecUnit::Core;
-            cfg.fu = FuClass::None;
-            cfg.lat = static_cast<std::uint8_t>(
-                std::min<unsigned>(params.configCycles, 255));
-            s.push_back(std::move(cfg));
-        }
+    // Configuration cache (4 entries, cleared wholesale on
+    // overflow — a coarse LRU).
+    if (!configured_.count(loopId_)) {
+        if (configured_.size() >= 4)
+            configured_.clear();
+        configured_.insert(loopId_);
+        MInst cfg;
+        cfg.op = Opcode::AccelCfg;
+        cfg.unit = ExecUnit::Core;
+        cfg.fu = FuClass::None;
+        cfg.lat = static_cast<std::uint8_t>(
+            std::min<unsigned>(params.configCycles, 255));
+        s.push_back(std::move(cfg));
+    }
 
-        xform::RegDefMap core_regs;   // values visible to the core
-        xform::RegDefMap fabric_regs; // values inside the fabric
-        std::unordered_map<RegId, std::int64_t> send_map;
-        std::unordered_map<StaticId, std::int64_t> prev_group;
-        xform::DynToIdx dyn_to_idx;
-        const auto &its = occ->iterStarts;
+    xform::RegDefMap &core_regs = coreRegs_;     // visible to the core
+    xform::RegDefMap &fabric_regs = fabricRegs_; // inside the fabric
+    auto &send_map = sendMap_;
+    auto &prev_group = prevGroup_;
+    xform::DynToIdx &dyn_to_idx = dynToIdx_;
+    core_regs.clear();
+    fabric_regs.clear();
+    send_map.clear();
+    prev_group.clear();
+    dyn_to_idx.clear();
+    const auto &its = occ.iterStarts;
 
-        auto emit_group = [&](const Instances &inst) {
-            for (std::int32_t b : body) {
-                for (const Instr &in : fn.blocks[b].instrs) {
-                    const OpInfo &oi = opInfo(in.op);
-                    auto push = [&](MInst mi) {
+    auto emit_group = [&](const xform::Instances &inst) {
+        for (std::int32_t b : body_) {
+            for (const Instr &in : fn.blocks[b].instrs) {
+                const OpInfo &oi = opInfo(in.op);
+                auto push = [&](MInst mi) {
+                    const auto idx =
+                        static_cast<std::int64_t>(s.size());
+                    s.push_back(std::move(mi));
+                    mapInstances(inst, in.sid, idx, dyn_to_idx);
+                    return idx;
+                };
+                auto core_dep = [&](RegId r) {
+                    return r == kNoReg ? -1 : core_regs.lookup(r);
+                };
+                auto fabric_dep = [&](RegId r) -> std::int64_t {
+                    if (r == kNoReg)
+                        return -1;
+                    const std::int64_t f = fabric_regs.lookup(r);
+                    if (f >= 0)
+                        return f;
+                    const auto it = send_map.find(r);
+                    if (it != send_map.end())
+                        return it->second;
+                    return core_regs.lookup(r);
+                };
+
+                if (in.op == Opcode::Jmp)
+                    continue;
+
+                const bool is_compute =
+                    computeSet_.count(in.sid) != 0;
+
+                if (oi.isCondBranch) {
+                    const bool exits_or_latches =
+                        in.target == loop.header ||
+                        !loop.containsBlock(in.target) ||
+                        fn.blocks[b].fallthrough == loop.header ||
+                        !loop.containsBlock(
+                            fn.blocks[b].fallthrough);
+                    if (exits_or_latches) {
+                        MInst mi = MInst::core(Opcode::Br);
+                        mi.sid = in.sid;
+                        mi.takenBranch = true; // back edge
+                        mi.dep[0] = core_dep(in.src[0]);
+                        push(std::move(mi));
+                    } else {
+                        // Internal control is predicated inside
+                        // the fabric.
+                        MInst mi;
+                        mi.op = Opcode::Vsel;
+                        mi.unit = ExecUnit::Cgra;
+                        mi.fu = FuClass::IntAlu;
+                        mi.lat = 2; // predicate + routing
+                        mi.lanes = static_cast<std::uint8_t>(V);
+                        mi.sid = in.sid;
+                        mi.dep[0] = fabric_dep(in.src[0]);
+                        push(std::move(mi));
+                    }
+                    continue;
+                }
+
+                if (!is_compute) {
+                    // ---- access slice, on the core ----
+                    if (deps.isInduction(in.sid)) {
+                        MInst mi = MInst::core(in.op);
+                        mi.sid = in.sid;
+                        for (int k = 0; k < 3; ++k)
+                            mi.dep[k] = core_dep(in.src[k]);
+                        const std::int64_t idx =
+                            push(std::move(mi));
+                        core_regs.def(in.dst, idx);
+                    } else if (oi.isLoad || oi.isStore) {
+                        const MemAccessPattern *pat =
+                            mem.find(in.sid);
+                        const bool vec_ok =
+                            pat && (pat->contiguous() ||
+                                    pat->invariantAddress());
+                        MInst mi = MInst::core(
+                            oi.isLoad
+                                ? (vec_ok ? Opcode::Vld
+                                          : Opcode::Ld)
+                                : (vec_ok ? Opcode::Vst
+                                          : Opcode::St));
+                        mi.sid = in.sid;
+                        mi.dep[0] = core_dep(in.src[0]);
+                        if (oi.isStore)
+                            mi.dep[1] = core_dep(in.src[1]);
+                        if (oi.isLoad) {
+                            mi.memLat =
+                                groupMemLat(trace, inst, in.sid);
+                        }
+                        const std::int64_t idx =
+                            push(std::move(mi));
+                        if (oi.isLoad)
+                            core_regs.def(in.dst, idx);
+                    } else {
+                        // Address arithmetic etc., vectorized on
+                        // the core like SIMD would.
+                        Opcode vop = vectorFormOf(in.op);
+                        MInst mi = MInst::core(
+                            vop == Opcode::Nop ? in.op : vop);
+                        mi.sid = in.sid;
+                        if (vop != Opcode::Nop) {
+                            mi.lanes =
+                                static_cast<std::uint8_t>(V);
+                        }
+                        for (int k = 0; k < 3; ++k)
+                            mi.dep[k] = core_dep(in.src[k]);
+                        const std::int64_t idx =
+                            push(std::move(mi));
+                        if (in.dst != kNoReg)
+                            core_regs.def(in.dst, idx);
+                    }
+                    // Feed the fabric if this def is an interface
+                    // input.
+                    if (in.dst != kNoReg &&
+                        sendSet_.count(in.sid)) {
+                        MInst snd;
+                        snd.op = Opcode::AccelSend;
+                        snd.unit = ExecUnit::Core;
+                        snd.fu = FuClass::IntAlu;
+                        snd.lat = 1;
+                        snd.sid = in.sid;
+                        snd.dep[0] = static_cast<std::int32_t>(
+                            core_regs.lookup(in.dst));
                         const auto idx =
                             static_cast<std::int64_t>(s.size());
-                        s.push_back(std::move(mi));
-                        mapInstances(inst, in.sid, idx, dyn_to_idx);
-                        return idx;
-                    };
-                    auto core_dep = [&](RegId r) {
-                        return r == kNoReg ? -1 : core_regs.lookup(r);
-                    };
-                    auto fabric_dep = [&](RegId r) -> std::int64_t {
-                        if (r == kNoReg)
-                            return -1;
-                        const std::int64_t f = fabric_regs.lookup(r);
-                        if (f >= 0)
-                            return f;
-                        const auto it = send_map.find(r);
-                        if (it != send_map.end())
-                            return it->second;
-                        return core_regs.lookup(r);
-                    };
-
-                    if (in.op == Opcode::Jmp)
-                        continue;
-
-                    const bool is_compute =
-                        compute_set.count(in.sid) != 0;
-
-                    if (oi.isCondBranch) {
-                        const bool exits_or_latches =
-                            in.target == loop.header ||
-                            !loop.containsBlock(in.target) ||
-                            fn.blocks[b].fallthrough == loop.header ||
-                            !loop.containsBlock(
-                                fn.blocks[b].fallthrough);
-                        if (exits_or_latches) {
-                            MInst mi = MInst::core(Opcode::Br);
-                            mi.sid = in.sid;
-                            mi.takenBranch = true; // back edge
-                            mi.dep[0] = core_dep(in.src[0]);
-                            push(std::move(mi));
-                        } else {
-                            // Internal control is predicated inside
-                            // the fabric.
-                            MInst mi;
-                            mi.op = Opcode::Vsel;
-                            mi.unit = ExecUnit::Cgra;
-                            mi.fu = FuClass::IntAlu;
-                            mi.lat = 2; // predicate + routing
-                            mi.lanes = static_cast<std::uint8_t>(V);
-                            mi.sid = in.sid;
-                            mi.dep[0] = fabric_dep(in.src[0]);
-                            push(std::move(mi));
-                        }
-                        continue;
+                        s.push_back(std::move(snd));
+                        send_map[in.dst] = idx;
                     }
+                    continue;
+                }
 
-                    if (!is_compute) {
-                        // ---- access slice, on the core ----
-                        if (deps.isInduction(in.sid)) {
-                            MInst mi = MInst::core(in.op);
-                            mi.sid = in.sid;
-                            for (int k = 0; k < 3; ++k)
-                                mi.dep[k] = core_dep(in.src[k]);
-                            const std::int64_t idx =
-                                push(std::move(mi));
-                            core_regs.def(in.dst, idx);
-                        } else if (oi.isLoad || oi.isStore) {
-                            const MemAccessPattern *pat =
-                                mem.find(in.sid);
-                            const bool vec_ok =
-                                pat && (pat->contiguous() ||
-                                        pat->invariantAddress());
-                            MInst mi = MInst::core(
-                                oi.isLoad
-                                    ? (vec_ok ? Opcode::Vld
-                                              : Opcode::Ld)
-                                    : (vec_ok ? Opcode::Vst
-                                              : Opcode::St));
-                            mi.sid = in.sid;
-                            mi.dep[0] = core_dep(in.src[0]);
-                            if (oi.isStore)
-                                mi.dep[1] = core_dep(in.src[1]);
-                            if (oi.isLoad) {
-                                mi.memLat =
-                                    groupMemLat(trace, inst, in.sid);
-                            }
-                            const std::int64_t idx =
-                                push(std::move(mi));
-                            if (oi.isLoad)
-                                core_regs.def(in.dst, idx);
-                        } else {
-                            // Address arithmetic etc., vectorized on
-                            // the core like SIMD would.
-                            Opcode vop = vectorFormOf(in.op);
-                            MInst mi = MInst::core(
-                                vop == Opcode::Nop ? in.op : vop);
-                            mi.sid = in.sid;
-                            if (vop != Opcode::Nop) {
-                                mi.lanes =
-                                    static_cast<std::uint8_t>(V);
-                            }
-                            for (int k = 0; k < 3; ++k)
-                                mi.dep[k] = core_dep(in.src[k]);
-                            const std::int64_t idx =
-                                push(std::move(mi));
-                            if (in.dst != kNoReg)
-                                core_regs.def(in.dst, idx);
-                        }
-                        // Feed the fabric if this def is an interface
-                        // input.
-                        if (in.dst != kNoReg &&
-                            send_set.count(in.sid)) {
-                            MInst snd;
-                            snd.op = Opcode::AccelSend;
-                            snd.unit = ExecUnit::Core;
-                            snd.fu = FuClass::IntAlu;
-                            snd.lat = 1;
-                            snd.sid = in.sid;
-                            snd.dep[0] = core_regs.lookup(in.dst);
-                            const auto idx =
-                                static_cast<std::int64_t>(s.size());
-                            s.push_back(std::move(snd));
-                            send_map[in.dst] = idx;
-                        }
-                        continue;
-                    }
+                // ---- compute slice, in the fabric ----
+                Opcode vop = vectorFormOf(in.op);
+                MInst mi;
+                mi.op = vop == Opcode::Nop ? in.op : vop;
+                mi.unit = ExecUnit::Cgra;
+                mi.fu = oi.fu;
+                mi.lat = static_cast<std::uint8_t>(
+                    oi.latency + 1); // +1 routing
+                mi.lanes = static_cast<std::uint8_t>(V);
+                mi.sid = in.sid;
+                for (int k = 0; k < 3; ++k)
+                    mi.dep[k] = fabric_dep(in.src[k]);
+                const auto pg = prev_group.find(in.sid);
+                const std::int64_t pg_idx =
+                    pg == prev_group.end() ? -1 : pg->second;
+                const std::int64_t idx = push(std::move(mi));
+                if (pg_idx >= 0)
+                    s.addExtraDep(static_cast<std::size_t>(idx),
+                                  pg_idx, 1);
+                prev_group[in.sid] = idx;
+                if (in.dst != kNoReg)
+                    fabric_regs.def(in.dst, idx);
 
-                    // ---- compute slice, in the fabric ----
-                    Opcode vop = vectorFormOf(in.op);
-                    MInst mi;
-                    mi.op = vop == Opcode::Nop ? in.op : vop;
-                    mi.unit = ExecUnit::Cgra;
-                    mi.fu = oi.fu;
-                    mi.lat = static_cast<std::uint8_t>(
-                        oi.latency + 1); // +1 routing
-                    mi.lanes = static_cast<std::uint8_t>(V);
-                    mi.sid = in.sid;
-                    for (int k = 0; k < 3; ++k)
-                        mi.dep[k] = fabric_dep(in.src[k]);
-                    const auto pg = prev_group.find(in.sid);
-                    if (pg != prev_group.end())
-                        mi.extraDeps.push_back({pg->second, 1});
-                    const std::int64_t idx = push(std::move(mi));
-                    prev_group[in.sid] = idx;
-                    if (in.dst != kNoReg)
-                        fabric_regs.def(in.dst, idx);
-
-                    if (in.dst != kNoReg && recv_set.count(in.sid)) {
-                        MInst rcv;
-                        rcv.op = Opcode::AccelRecv;
-                        rcv.unit = ExecUnit::Core;
-                        rcv.fu = FuClass::IntAlu;
-                        rcv.lat = 1;
-                        rcv.sid = in.sid;
-                        rcv.dep[0] = idx;
-                        const auto ridx =
-                            static_cast<std::int64_t>(s.size());
-                        s.push_back(std::move(rcv));
-                        core_regs.def(in.dst, ridx);
-                    }
+                if (in.dst != kNoReg && recvSet_.count(in.sid)) {
+                    MInst rcv;
+                    rcv.op = Opcode::AccelRecv;
+                    rcv.unit = ExecUnit::Core;
+                    rcv.fu = FuClass::IntAlu;
+                    rcv.lat = 1;
+                    rcv.sid = in.sid;
+                    rcv.dep[0] = static_cast<std::int32_t>(idx);
+                    const auto ridx =
+                        static_cast<std::int64_t>(s.size());
+                    s.push_back(std::move(rcv));
+                    core_regs.def(in.dst, ridx);
                 }
             }
-        };
-
-        std::size_t g = 0;
-        while (g + V <= its.size()) {
-            const DynId gb = its[g];
-            const DynId ge =
-                (g + V < its.size()) ? its[g + V] : occ->end;
-            emit_group(xform::collectInstances(trace, gb, ge));
-            g += V;
         }
-        if (g < its.size()) {
-            xform::appendCoreInsts(trace, its[g], occ->end, s,
-                                   dyn_to_idx);
-        }
+    };
 
-        if (s.size() > occ_start)
-            s[occ_start].startRegion = true;
+    std::size_t g = 0;
+    while (g + V <= its.size()) {
+        const DynId gb = its[g];
+        const DynId ge = (g + V < its.size()) ? its[g + V] : occ.end;
+        xform::collectInstances(trace, gb, ge, inst_);
+        emit_group(inst_);
+        g += V;
     }
-    return out;
+    if (g < its.size()) {
+        xform::appendCoreInsts(trace, its[g], occ.end, s,
+                               dyn_to_idx);
+    }
+
+    if (s.size() > occ_start)
+        s[occ_start].startRegion = true;
 }
 
 } // namespace prism

@@ -132,9 +132,9 @@ FmaTransform::transform() const
                 out.push_back(std::move(mi));
                 continue;
             }
-            MInst &fma = out[fma_idx];
             for (std::int64_t dep : extra)
-                fma.extraDeps.push_back({dep, 0});
+                out.addExtraDep(static_cast<std::size_t>(fma_idx),
+                                dep, 0);
             // Consumers of the fadd now read the fma.
             dyn_to_idx[i] = fma_idx;
             continue;

@@ -13,6 +13,8 @@
 
 #include "tdg/bsa/bsa.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "tdg/constructor.hh"
 
@@ -25,18 +27,20 @@ NsdfTransform::canTarget(std::int32_t loop) const
     return analyzer_->nsdf(loop).usable();
 }
 
-TransformOutput
-NsdfTransform::transformLoop(
-    std::int32_t loop_id,
-    const std::vector<const LoopOccurrence *> &occs)
+void
+NsdfTransform::beginLoop(std::int32_t loop_id)
 {
     prism_assert(analyzer_->nsdf(loop_id).usable(),
                  "NS-DF transform on unplanned loop");
+    loopId_ = loop_id;
+}
+
+void
+NsdfTransform::transformOccurrence(const LoopOccurrence &occ,
+                                   MStream &s)
+{
     const Trace &trace = tdg_->trace();
     const AccelParams params = nsdfParams();
-
-    TransformOutput out;
-    MStream &s = out.stream;
 
     auto emit_live_xfer = [&s](Opcode op, std::int64_t dep) {
         MInst mi;
@@ -45,132 +49,132 @@ NsdfTransform::transformLoop(
         mi.fu = FuClass::IntAlu;
         mi.lat = 1;
         if (dep >= 0)
-            mi.dep[0] = dep;
+            mi.dep[0] = static_cast<std::int32_t>(dep);
         s.push_back(std::move(mi));
     };
 
-    for (const LoopOccurrence *occ : occs) {
-        out.occBoundaries.push_back(s.size());
-        const std::size_t occ_start = s.size();
+    const std::size_t occ_start = s.size();
 
-        if (!configured_.count(loop_id)) {
-            if (configured_.size() >= 2)
-                configured_.clear();
-            configured_.insert(loop_id);
-            MInst cfg;
-            cfg.op = Opcode::AccelCfg;
-            cfg.unit = ExecUnit::Core;
-            cfg.fu = FuClass::None;
-            cfg.lat = static_cast<std::uint8_t>(
-                std::min<unsigned>(params.configCycles, 255));
-            s.push_back(std::move(cfg));
+    if (!configured_.count(loopId_)) {
+        if (configured_.size() >= 2)
+            configured_.clear();
+        configured_.insert(loopId_);
+        MInst cfg;
+        cfg.op = Opcode::AccelCfg;
+        cfg.unit = ExecUnit::Core;
+        cfg.fu = FuClass::None;
+        cfg.lat = static_cast<std::uint8_t>(
+            std::min<unsigned>(params.configCycles, 255));
+        s.push_back(std::move(cfg));
+    }
+    // Live-in transfer from the core's register file.
+    emit_live_xfer(Opcode::AccelSend, -1);
+    emit_live_xfer(Opcode::AccelSend, -1);
+
+    xform::DynToIdx &dyn_to_idx = dynToIdx_;
+    dyn_to_idx.clear();
+    std::int64_t last_switch = -1;
+    std::int64_t last_df = -1;
+    xform::CfuBuilder cfu(s, ExecUnit::Nsdf, 3);
+    bool df_started = false;
+
+    for (DynId i = occ.begin; i < occ.end; ++i) {
+        const DynInst &di = trace[i];
+        const OpInfo &oi = opInfo(di.op);
+
+        std::vector<std::int64_t> &deps = depsScratch_;
+        deps.clear();
+        for (std::int64_t p : di.srcProd) {
+            if (p == kNoProducer)
+                continue;
+            const auto it = dyn_to_idx.find(static_cast<DynId>(p));
+            if (it != dyn_to_idx.end())
+                deps.push_back(it->second);
         }
-        // Live-in transfer from the core's register file.
-        emit_live_xfer(Opcode::AccelSend, -1);
-        emit_live_xfer(Opcode::AccelSend, -1);
 
-        xform::DynToIdx dyn_to_idx;
-        std::int64_t last_switch = -1;
-        std::int64_t last_df = -1;
-        xform::CfuBuilder cfu(s, ExecUnit::Nsdf, 3);
-        bool df_started = false;
+        if (di.op == Opcode::Jmp)
+            continue;
 
-        for (DynId i = occ->begin; i < occ->end; ++i) {
-            const DynInst &di = trace[i];
-            const OpInfo &oi = opInfo(di.op);
-
-            std::vector<std::int64_t> deps;
-            for (std::int64_t p : di.srcProd) {
-                if (p == kNoProducer)
-                    continue;
-                const auto it =
-                    dyn_to_idx.find(static_cast<DynId>(p));
-                if (it != dyn_to_idx.end())
-                    deps.push_back(it->second);
-            }
-
-            if (di.op == Opcode::Jmp)
-                continue;
-
-            if (oi.isCondBranch) {
-                // Control converts to a dataflow switch.
-                MInst mi;
-                mi.op = Opcode::DfSwitch;
-                mi.unit = ExecUnit::Nsdf;
-                mi.fu = FuClass::IntAlu;
-                mi.lat = 1;
-                mi.sid = di.sid;
-                int slot = 0;
-                for (std::int64_t d : deps)
-                    if (slot < 3)
-                        mi.dep[slot++] = d;
-                if (last_switch >= 0)
-                    mi.extraDeps.push_back({last_switch, 0});
-                if (!df_started) {
-                    mi.startRegion = true;
-                    df_started = true;
-                }
-                last_switch = static_cast<std::int64_t>(s.size());
-                last_df = last_switch;
-                dyn_to_idx[i] = last_switch;
-                s.push_back(std::move(mi));
-                cfu.barrier();
-                continue;
-            }
-
-            if (oi.isLoad || oi.isStore) {
-                MInst mi;
-                mi.op = di.op;
-                mi.unit = ExecUnit::Nsdf;
-                mi.fu = FuClass::Mem;
-                mi.lat = oi.latency;
-                mi.memLat = di.memLat;
-                mi.isLoad = oi.isLoad;
-                mi.isStore = oi.isStore;
-                mi.sid = di.sid;
-                int slot = 0;
-                for (std::int64_t d : deps)
-                    if (slot < 3)
-                        mi.dep[slot++] = d;
-                if (mi.isLoad && di.memProd != kNoProducer) {
-                    const auto it = dyn_to_idx.find(
-                        static_cast<DynId>(di.memProd));
-                    if (it != dyn_to_idx.end())
-                        mi.memDep = it->second;
-                }
-                if (last_switch >= 0)
-                    mi.extraDeps.push_back({last_switch, 0});
-                if (!df_started) {
-                    mi.startRegion = true;
-                    df_started = true;
-                }
-                const auto idx = static_cast<std::int64_t>(s.size());
-                last_df = idx;
-                dyn_to_idx[i] = idx;
-                s.push_back(std::move(mi));
-                continue;
-            }
-
-            // Computational op: goes through the CFU builder.
-            const std::size_t before = s.size();
-            const std::int64_t idx =
-                cfu.emitOp(di.op, deps, last_switch);
-            if (!df_started && s.size() > before) {
-                s[before].startRegion = true;
+        if (oi.isCondBranch) {
+            // Control converts to a dataflow switch.
+            MInst mi;
+            mi.op = Opcode::DfSwitch;
+            mi.unit = ExecUnit::Nsdf;
+            mi.fu = FuClass::IntAlu;
+            mi.lat = 1;
+            mi.sid = di.sid;
+            int slot = 0;
+            for (std::int64_t d : deps)
+                if (slot < 3)
+                    mi.dep[slot++] = static_cast<std::int32_t>(d);
+            const std::int64_t prev_switch = last_switch;
+            if (!df_started) {
+                mi.startRegion = true;
                 df_started = true;
             }
-            last_df = std::max(last_df, idx);
-            dyn_to_idx[i] = idx;
+            last_switch = static_cast<std::int64_t>(s.size());
+            last_df = last_switch;
+            dyn_to_idx[i] = last_switch;
+            s.push_back(std::move(mi));
+            if (prev_switch >= 0)
+                s.addExtraDep(static_cast<std::size_t>(last_switch),
+                              prev_switch, 0);
+            cfu.barrier();
+            continue;
         }
 
-        // Live-out transfer back to the core.
-        emit_live_xfer(Opcode::AccelRecv, last_df);
-        emit_live_xfer(Opcode::AccelRecv, last_df);
+        if (oi.isLoad || oi.isStore) {
+            MInst mi;
+            mi.op = di.op;
+            mi.unit = ExecUnit::Nsdf;
+            mi.fu = FuClass::Mem;
+            mi.lat = oi.latency;
+            mi.memLat = di.memLat;
+            mi.isLoad = oi.isLoad;
+            mi.isStore = oi.isStore;
+            mi.sid = di.sid;
+            int slot = 0;
+            for (std::int64_t d : deps)
+                if (slot < 3)
+                    mi.dep[slot++] = static_cast<std::int32_t>(d);
+            if (mi.isLoad && di.memProd != kNoProducer) {
+                const auto it =
+                    dyn_to_idx.find(static_cast<DynId>(di.memProd));
+                if (it != dyn_to_idx.end())
+                    mi.memDep =
+                        static_cast<std::int32_t>(it->second);
+            }
+            if (!df_started) {
+                mi.startRegion = true;
+                df_started = true;
+            }
+            const auto idx = static_cast<std::int64_t>(s.size());
+            last_df = idx;
+            dyn_to_idx[i] = idx;
+            s.push_back(std::move(mi));
+            if (last_switch >= 0)
+                s.addExtraDep(static_cast<std::size_t>(idx),
+                              last_switch, 0);
+            continue;
+        }
 
-        if (s.size() > occ_start)
-            s[occ_start].startRegion = true;
+        // Computational op: goes through the CFU builder.
+        const std::size_t before = s.size();
+        const std::int64_t idx = cfu.emitOp(di.op, deps, last_switch);
+        if (!df_started && s.size() > before) {
+            s[before].startRegion = true;
+            df_started = true;
+        }
+        last_df = std::max(last_df, idx);
+        dyn_to_idx[i] = idx;
     }
-    return out;
+
+    // Live-out transfer back to the core.
+    emit_live_xfer(Opcode::AccelRecv, last_df);
+    emit_live_xfer(Opcode::AccelRecv, last_df);
+
+    if (s.size() > occ_start)
+        s[occ_start].startRegion = true;
 }
 
 } // namespace prism

@@ -24,12 +24,10 @@ namespace prism
 namespace
 {
 
-using Instances = std::unordered_map<StaticId, std::vector<DynId>>;
-
 /** Max dynamic load latency among a static load's group instances. */
 std::uint16_t
-groupMemLat(const Trace &trace, const Instances &inst, StaticId sid,
-            std::uint16_t fallback)
+groupMemLat(const Trace &trace, const xform::Instances &inst,
+            StaticId sid, std::uint16_t fallback)
 {
     const auto it = inst.find(sid);
     if (it == inst.end() || it->second.empty())
@@ -42,8 +40,8 @@ groupMemLat(const Trace &trace, const Instances &inst, StaticId sid,
 
 /** Redirect every elided group instance of `sid` to stream idx. */
 void
-mapInstances(const Instances &inst, StaticId sid, std::int64_t idx,
-             xform::DynToIdx &dyn_to_idx)
+mapInstances(const xform::Instances &inst, StaticId sid,
+             std::int64_t idx, xform::DynToIdx &dyn_to_idx)
 {
     const auto it = inst.find(sid);
     if (it == inst.end())
@@ -60,27 +58,40 @@ SimdTransform::canTarget(std::int32_t loop) const
     return analyzer_->simd(loop).usable();
 }
 
-TransformOutput
-SimdTransform::transformLoop(
-    std::int32_t loop_id,
-    const std::vector<const LoopOccurrence *> &occs)
+void
+SimdTransform::beginLoop(std::int32_t loop_id)
 {
-    const SimdPlan &plan = analyzer_->simd(loop_id);
-    prism_assert(plan.usable(), "SIMD transform on unplanned loop");
-    const Loop &loop = tdg_->loops().loop(loop_id);
-    const LoopDepProfile &deps = tdg_->depProfile(loop_id);
-    const LoopMemProfile &mem = tdg_->memProfile(loop_id);
+    plan_ = &analyzer_->simd(loop_id);
+    prism_assert(plan_->usable(), "SIMD transform on unplanned loop");
+    loop_ = &tdg_->loops().loop(loop_id);
+    deps_ = &tdg_->depProfile(loop_id);
+    mem_ = &tdg_->memProfile(loop_id);
+    fn_ = &tdg_->program().function(loop_->func);
+}
+
+void
+SimdTransform::transformOccurrence(const LoopOccurrence &occ,
+                                   MStream &s)
+{
+    const SimdPlan &plan = *plan_;
+    const Loop &loop = *loop_;
+    const LoopDepProfile &deps = *deps_;
+    const LoopMemProfile &mem = *mem_;
     const Program &prog = tdg_->program();
-    const Function &fn = prog.function(loop.func);
+    const Function &fn = *fn_;
     const Trace &trace = tdg_->trace();
     const unsigned V = kVectorLen;
 
-    TransformOutput out;
-    MStream &s = out.stream;
+    const std::size_t occ_start = s.size();
+    xform::RegDefMap &regs = regs_;
+    xform::DynToIdx &dyn_to_idx = dynToIdx_;
+    regs.clear();
+    dyn_to_idx.clear();
+    const auto &its = occ.iterStarts;
 
     // Emits one vectorized iteration covering a group of V iterations.
-    auto emit_group = [&](const Instances &inst, xform::RegDefMap &regs,
-                          xform::DynToIdx &dyn_to_idx, bool last_group) {
+    auto emit_group = [&](const xform::Instances &inst,
+                          bool last_group) {
         for (std::int32_t b : plan.bodyRpo) {
             for (const Instr &in : fn.blocks[b].instrs) {
                 const OpInfo &oi = opInfo(in.op);
@@ -159,7 +170,8 @@ SimdTransform::transformLoop(
                     }
                     // Non-contiguous: scalarize + pack/unpack.
                     if (oi.isLoad) {
-                        std::vector<std::int64_t> parts;
+                        std::vector<std::int64_t> &parts = parts_;
+                        parts.clear();
                         const auto it = inst.find(in.sid);
                         for (unsigned k = 0; k < V; ++k) {
                             MInst mi = MInst::core(Opcode::Ld);
@@ -177,14 +189,16 @@ SimdTransform::transformLoop(
                         MInst pack = MInst::core(Opcode::Vpack);
                         pack.sid = in.sid;
                         pack.lanes = static_cast<std::uint8_t>(V);
-                        for (std::size_t k = 0; k < parts.size(); ++k) {
-                            if (k < 3)
-                                pack.dep[k] = parts[k];
-                            else
-                                pack.extraDeps.push_back(
-                                    {parts[k], 0});
+                        for (std::size_t k = 0;
+                             k < parts.size() && k < 3; ++k) {
+                            pack.dep[k] = static_cast<std::int32_t>(
+                                parts[k]);
                         }
                         const std::int64_t idx = push(std::move(pack));
+                        for (std::size_t k = 3; k < parts.size(); ++k)
+                            s.addExtraDep(
+                                static_cast<std::size_t>(idx),
+                                parts[k], 0);
                         regs.def(in.dst, idx);
                     } else {
                         MInst un = MInst::core(Opcode::Vunpack);
@@ -196,7 +210,8 @@ SimdTransform::transformLoop(
                             MInst mi = MInst::core(Opcode::St);
                             mi.sid = in.sid;
                             mi.dep[0] = dep_of(in.src[0]);
-                            mi.dep[1] = un_idx;
+                            mi.dep[1] = static_cast<std::int32_t>(
+                                un_idx);
                             s.push_back(std::move(mi));
                         }
                     }
@@ -222,46 +237,35 @@ SimdTransform::transformLoop(
         (void)last_group;
     };
 
-    for (const LoopOccurrence *occ : occs) {
-        out.occBoundaries.push_back(s.size());
-        const std::size_t occ_start = s.size();
-        xform::RegDefMap regs;
-        xform::DynToIdx dyn_to_idx;
-        const auto &its = occ->iterStarts;
-
-        std::size_t g = 0;
-        while (g + V <= its.size()) {
-            const DynId gb = its[g];
-            const DynId ge =
-                (g + V < its.size()) ? its[g + V] : occ->end;
-            const Instances inst =
-                xform::collectInstances(trace, gb, ge);
-            const bool last = g + V >= its.size();
-            emit_group(inst, regs, dyn_to_idx, last);
-            g += V;
-        }
-        if (g < its.size()) {
-            xform::appendCoreInsts(trace, its[g], occ->end, s,
-                                   dyn_to_idx);
-        }
-
-        // Horizontal reduction epilogue (log2(V) steps).
-        for (StaticId rsid : deps.reductions) {
-            const Instr &rin = prog.instr(rsid);
-            std::int64_t acc = regs.lookup(rin.dst);
-            for (unsigned step = 0; step < 2 && acc >= 0; ++step) {
-                MInst mi = MInst::core(rin.op);
-                mi.sid = rsid;
-                mi.dep[0] = acc;
-                acc = static_cast<std::int64_t>(s.size());
-                s.push_back(std::move(mi));
-            }
-        }
-
-        if (s.size() > occ_start)
-            s[occ_start].startRegion = true;
+    std::size_t g = 0;
+    while (g + V <= its.size()) {
+        const DynId gb = its[g];
+        const DynId ge = (g + V < its.size()) ? its[g + V] : occ.end;
+        xform::collectInstances(trace, gb, ge, inst_);
+        const bool last = g + V >= its.size();
+        emit_group(inst_, last);
+        g += V;
     }
-    return out;
+    if (g < its.size()) {
+        xform::appendCoreInsts(trace, its[g], occ.end, s,
+                               dyn_to_idx);
+    }
+
+    // Horizontal reduction epilogue (log2(V) steps).
+    for (StaticId rsid : deps.reductions) {
+        const Instr &rin = prog.instr(rsid);
+        std::int64_t acc = regs.lookup(rin.dst);
+        for (unsigned step = 0; step < 2 && acc >= 0; ++step) {
+            MInst mi = MInst::core(rin.op);
+            mi.sid = rsid;
+            mi.dep[0] = static_cast<std::int32_t>(acc);
+            acc = static_cast<std::int64_t>(s.size());
+            s.push_back(std::move(mi));
+        }
+    }
+
+    if (s.size() > occ_start)
+        s[occ_start].startRegion = true;
 }
 
 } // namespace prism

@@ -14,6 +14,8 @@
 
 #include "tdg/bsa/bsa.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "tdg/constructor.hh"
 
@@ -26,180 +28,184 @@ TracepTransform::canTarget(std::int32_t loop) const
     return analyzer_->tracep(loop).usable();
 }
 
-TransformOutput
-TracepTransform::transformLoop(
-    std::int32_t loop_id,
-    const std::vector<const LoopOccurrence *> &occs)
+void
+TracepTransform::beginLoop(std::int32_t loop_id)
 {
-    const TracepPlan &plan = analyzer_->tracep(loop_id);
-    prism_assert(plan.usable(), "Trace-P transform on unplanned loop");
-    const Loop &loop = tdg_->loops().loop(loop_id);
+    plan_ = &analyzer_->tracep(loop_id);
+    prism_assert(plan_->usable(),
+                 "Trace-P transform on unplanned loop");
+    loopId_ = loop_id;
+    loop_ = &tdg_->loops().loop(loop_id);
+}
+
+void
+TracepTransform::transformOccurrence(const LoopOccurrence &occ,
+                                     MStream &s)
+{
+    const TracepPlan &plan = *plan_;
+    const Loop &loop = *loop_;
     const Program &prog = tdg_->program();
     const Trace &trace = tdg_->trace();
     const AccelParams params = tracepParams();
 
-    TransformOutput out;
-    MStream &s = out.stream;
+    const std::size_t occ_start = s.size();
 
-    for (const LoopOccurrence *occ : occs) {
-        out.occBoundaries.push_back(s.size());
-        const std::size_t occ_start = s.size();
+    if (!configured_.count(loopId_)) {
+        if (configured_.size() >= 2)
+            configured_.clear();
+        configured_.insert(loopId_);
+        MInst cfg;
+        cfg.op = Opcode::AccelCfg;
+        cfg.unit = ExecUnit::Core;
+        cfg.fu = FuClass::None;
+        cfg.lat = static_cast<std::uint8_t>(
+            std::min<unsigned>(params.configCycles, 255));
+        s.push_back(std::move(cfg));
+    }
+    {
+        MInst snd;
+        snd.op = Opcode::AccelSend;
+        snd.unit = ExecUnit::Core;
+        snd.fu = FuClass::IntAlu;
+        s.push_back(snd);
+        s.push_back(snd);
+    }
 
-        if (!configured_.count(loop_id)) {
-            if (configured_.size() >= 2)
-                configured_.clear();
-            configured_.insert(loop_id);
-            MInst cfg;
-            cfg.op = Opcode::AccelCfg;
-            cfg.unit = ExecUnit::Core;
-            cfg.fu = FuClass::None;
-            cfg.lat = static_cast<std::uint8_t>(
-                std::min<unsigned>(params.configCycles, 255));
-            s.push_back(std::move(cfg));
-        }
-        {
-            MInst snd;
-            snd.op = Opcode::AccelSend;
-            snd.unit = ExecUnit::Core;
-            snd.fu = FuClass::IntAlu;
-            s.push_back(snd);
-            s.push_back(snd);
-        }
+    xform::DynToIdx &dyn_to_idx = dynToIdx_;
+    dyn_to_idx.clear();
+    bool pending_start = true; // first engine op serializes
 
-        xform::DynToIdx dyn_to_idx;
-        bool pending_start = true; // first engine op serializes
+    // Iterate iteration-wise: [iterStarts[k], next start).
+    const auto &its = occ.iterStarts;
+    for (std::size_t k = 0; k < its.size(); ++k) {
+        const DynId ib = its[k];
+        const DynId ie = (k + 1 < its.size()) ? its[k + 1] : occ.end;
 
-        // Iterate iteration-wise: [iterStarts[k], next start).
-        const auto &its = occ->iterStarts;
-        for (std::size_t k = 0; k < its.size(); ++k) {
-            const DynId ib = its[k];
-            const DynId ie =
-                (k + 1 < its.size()) ? its[k + 1] : occ->end;
-
-            // Does this iteration follow the hot path exactly?
-            std::vector<std::int32_t> visited;
-            for (DynId i = ib; i < ie; ++i) {
-                const InstrRef &ref = prog.locate(trace[i].sid);
-                if (ref.func == loop.func && ref.index == 0 &&
-                    loop.containsBlock(ref.block)) {
-                    visited.push_back(ref.block);
-                }
+        // Does this iteration follow the hot path exactly?
+        std::vector<std::int32_t> &visited = visited_;
+        visited.clear();
+        for (DynId i = ib; i < ie; ++i) {
+            const InstrRef &ref = prog.locate(trace[i].sid);
+            if (ref.func == loop.func && ref.index == 0 &&
+                loop.containsBlock(ref.block)) {
+                visited.push_back(ref.block);
             }
-            const bool conforms = visited == plan.hotBlocks;
+        }
+        const bool conforms = visited == plan.hotBlocks;
 
-            if (!conforms) {
-                // ---- Misspeculation: replay on the general core ----
-                MInst flush;
-                flush.op = Opcode::Nop;
-                flush.unit = ExecUnit::Core;
-                flush.fu = FuClass::None;
-                flush.lat = 8; // squash + state recovery
-                flush.startRegion = true;
-                s.push_back(std::move(flush));
-                const std::size_t replay_start = s.size();
-                xform::appendCoreInsts(trace, ib, ie, s, dyn_to_idx);
-                if (s.size() > replay_start)
-                    s[replay_start].startRegion = true;
-                pending_start = true; // next engine op re-enters
+        if (!conforms) {
+            // ---- Misspeculation: replay on the general core ----
+            MInst flush;
+            flush.op = Opcode::Nop;
+            flush.unit = ExecUnit::Core;
+            flush.fu = FuClass::None;
+            flush.lat = 8; // squash + state recovery
+            flush.startRegion = true;
+            s.push_back(std::move(flush));
+            const std::size_t replay_start = s.size();
+            xform::appendCoreInsts(trace, ib, ie, s, dyn_to_idx);
+            if (s.size() > replay_start)
+                s[replay_start].startRegion = true;
+            pending_start = true; // next engine op re-enters
+            continue;
+        }
+
+        // ---- Speculative execution on the engine ----
+        xform::CfuBuilder cfu(s, ExecUnit::Tracep, 4);
+        for (DynId i = ib; i < ie; ++i) {
+            const DynInst &di = trace[i];
+            const OpInfo &oi = opInfo(di.op);
+
+            std::vector<std::int64_t> &deps = depsScratch_;
+            deps.clear();
+            for (std::int64_t p : di.srcProd) {
+                if (p == kNoProducer)
+                    continue;
+                const auto it =
+                    dyn_to_idx.find(static_cast<DynId>(p));
+                if (it != dyn_to_idx.end())
+                    deps.push_back(it->second);
+            }
+
+            if (di.op == Opcode::Jmp)
+                continue;
+
+            if (oi.isCondBranch) {
+                // Speculated: the branch becomes a check with no
+                // control dependents.
+                MInst mi;
+                mi.op = Opcode::CmpEq;
+                mi.unit = ExecUnit::Tracep;
+                mi.fu = FuClass::IntAlu;
+                mi.lat = 1;
+                mi.sid = di.sid;
+                int slot = 0;
+                for (std::int64_t d : deps)
+                    if (slot < 3)
+                        mi.dep[slot++] =
+                            static_cast<std::int32_t>(d);
+                if (pending_start) {
+                    mi.startRegion = true;
+                    pending_start = false;
+                }
+                dyn_to_idx[i] = static_cast<std::int64_t>(s.size());
+                s.push_back(std::move(mi));
                 continue;
             }
 
-            // ---- Speculative execution on the engine ----
-            xform::CfuBuilder cfu(s, ExecUnit::Tracep, 4);
-            for (DynId i = ib; i < ie; ++i) {
-                const DynInst &di = trace[i];
-                const OpInfo &oi = opInfo(di.op);
-
-                std::vector<std::int64_t> deps;
-                for (std::int64_t p : di.srcProd) {
-                    if (p == kNoProducer)
-                        continue;
-                    const auto it =
-                        dyn_to_idx.find(static_cast<DynId>(p));
+            if (oi.isLoad || oi.isStore) {
+                MInst mi;
+                mi.op = di.op;
+                mi.unit = ExecUnit::Tracep;
+                mi.fu = FuClass::Mem;
+                mi.lat = oi.latency;
+                mi.memLat = di.memLat;
+                mi.isLoad = oi.isLoad;
+                mi.isStore = oi.isStore;
+                mi.sid = di.sid;
+                int slot = 0;
+                for (std::int64_t d : deps)
+                    if (slot < 3)
+                        mi.dep[slot++] =
+                            static_cast<std::int32_t>(d);
+                if (mi.isLoad && di.memProd != kNoProducer) {
+                    const auto it = dyn_to_idx.find(
+                        static_cast<DynId>(di.memProd));
                     if (it != dyn_to_idx.end())
-                        deps.push_back(it->second);
+                        mi.memDep =
+                            static_cast<std::int32_t>(it->second);
                 }
-
-                if (di.op == Opcode::Jmp)
-                    continue;
-
-                if (oi.isCondBranch) {
-                    // Speculated: the branch becomes a check with no
-                    // control dependents.
-                    MInst mi;
-                    mi.op = Opcode::CmpEq;
-                    mi.unit = ExecUnit::Tracep;
-                    mi.fu = FuClass::IntAlu;
-                    mi.lat = 1;
-                    mi.sid = di.sid;
-                    int slot = 0;
-                    for (std::int64_t d : deps)
-                        if (slot < 3)
-                            mi.dep[slot++] = d;
-                    if (pending_start) {
-                        mi.startRegion = true;
-                        pending_start = false;
-                    }
-                    dyn_to_idx[i] =
-                        static_cast<std::int64_t>(s.size());
-                    s.push_back(std::move(mi));
-                    continue;
-                }
-
-                if (oi.isLoad || oi.isStore) {
-                    MInst mi;
-                    mi.op = di.op;
-                    mi.unit = ExecUnit::Tracep;
-                    mi.fu = FuClass::Mem;
-                    mi.lat = oi.latency;
-                    mi.memLat = di.memLat;
-                    mi.isLoad = oi.isLoad;
-                    mi.isStore = oi.isStore;
-                    mi.sid = di.sid;
-                    int slot = 0;
-                    for (std::int64_t d : deps)
-                        if (slot < 3)
-                            mi.dep[slot++] = d;
-                    if (mi.isLoad && di.memProd != kNoProducer) {
-                        const auto it = dyn_to_idx.find(
-                            static_cast<DynId>(di.memProd));
-                        if (it != dyn_to_idx.end())
-                            mi.memDep = it->second;
-                    }
-                    if (pending_start) {
-                        mi.startRegion = true;
-                        pending_start = false;
-                    }
-                    dyn_to_idx[i] =
-                        static_cast<std::int64_t>(s.size());
-                    s.push_back(std::move(mi));
-                    continue;
-                }
-
-                const std::size_t before = s.size();
-                const std::int64_t idx = cfu.emitOp(di.op, deps, -1);
-                if (pending_start && s.size() > before) {
-                    s[before].startRegion = true;
+                if (pending_start) {
+                    mi.startRegion = true;
                     pending_start = false;
                 }
-                dyn_to_idx[i] = idx;
+                dyn_to_idx[i] = static_cast<std::int64_t>(s.size());
+                s.push_back(std::move(mi));
+                continue;
             }
-        }
 
-        {
-            MInst rcv;
-            rcv.op = Opcode::AccelRecv;
-            rcv.unit = ExecUnit::Core;
-            rcv.fu = FuClass::IntAlu;
-            if (!s.empty())
-                rcv.dep[0] = static_cast<std::int64_t>(s.size()) - 1;
-            s.push_back(rcv);
+            const std::size_t before = s.size();
+            const std::int64_t idx = cfu.emitOp(di.op, deps, -1);
+            if (pending_start && s.size() > before) {
+                s[before].startRegion = true;
+                pending_start = false;
+            }
+            dyn_to_idx[i] = idx;
         }
-
-        if (s.size() > occ_start)
-            s[occ_start].startRegion = true;
     }
-    return out;
+
+    {
+        MInst rcv;
+        rcv.op = Opcode::AccelRecv;
+        rcv.unit = ExecUnit::Core;
+        rcv.fu = FuClass::IntAlu;
+        if (!s.empty())
+            rcv.dep[0] = static_cast<std::int32_t>(s.size()) - 1;
+        s.push_back(rcv);
+    }
+
+    if (s.size() > occ_start)
+        s[occ_start].startRegion = true;
 }
 
 } // namespace prism

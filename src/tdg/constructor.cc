@@ -63,6 +63,27 @@ buildCoreStream(const Trace &trace)
     return buildCoreStream(trace, 0, trace.size());
 }
 
+void
+appendCoreWindow(const Trace &trace, DynId b, DynId e, MStream &out)
+{
+    prism_assert(e <= trace.size() && b <= e, "bad range");
+    for (DynId i = b; i < e; ++i) {
+        const DynInst &di = trace[i];
+        MInst mi = toCoreInst(di);
+        for (int s = 0; s < 3; ++s) {
+            const std::int64_t p = di.srcProd[s];
+            if (p != kNoProducer && static_cast<DynId>(p) < i)
+                mi.dep[s] = static_cast<std::int32_t>(p);
+        }
+        const std::int64_t mp = di.memProd;
+        if (mi.isLoad && mp != kNoProducer &&
+            static_cast<DynId>(mp) < i) {
+            mi.memDep = static_cast<std::int32_t>(mp);
+        }
+        out.push_back(std::move(mi));
+    }
+}
+
 MStream
 buildCoreStreamRanges(
     const Trace &trace,
@@ -84,11 +105,14 @@ buildCoreStreamRanges(
     return out;
 }
 
-EventCounts
-tallyEvents(const MStream &stream, unsigned l1_hit, unsigned l2_hit)
+namespace
 {
-    EventCounts ev;
-    for (const MInst &mi : stream) {
+
+void
+tallyOne(const MInst &mi, unsigned l1_hit, unsigned l2_hit,
+         EventCounts &ev)
+{
+    {
         if (mi.unit == ExecUnit::Core) {
             ++ev.coreFetches;
             ++ev.coreDispatches;
@@ -140,6 +164,27 @@ tallyEvents(const MStream &stream, unsigned l1_hit, unsigned l2_hit)
                 ++ev.mispredicts;
         }
     }
+}
+
+} // namespace
+
+EventCounts
+tallyEvents(const MStream &stream, unsigned l1_hit, unsigned l2_hit)
+{
+    EventCounts ev;
+    for (const MInst &mi : stream)
+        tallyOne(mi, l1_hit, l2_hit, ev);
+    return ev;
+}
+
+EventCounts
+tallyEvents(const Trace &trace, DynId b, DynId e, unsigned l1_hit,
+            unsigned l2_hit)
+{
+    prism_assert(e <= trace.size() && b <= e, "bad range");
+    EventCounts ev;
+    for (DynId i = b; i < e; ++i)
+        tallyOne(toCoreInst(trace[i]), l1_hit, l2_hit, ev);
     return ev;
 }
 

@@ -32,6 +32,17 @@ MStream buildCoreStream(const Trace &trace, DynId begin, DynId end);
 MStream buildCoreStream(const Trace &trace);
 
 /**
+ * Append trace range [b, e) as core-context MInsts whose dependence
+ * indices are *absolute* trace positions (any producer p < i becomes
+ * dep p). Consecutive windows built this way and fed to
+ * PipelineModel::runWindow(..., local_deps=false) time exactly like
+ * the whole-trace stream from buildCoreStream(), without ever
+ * materializing it.
+ */
+void appendCoreWindow(const Trace &trace, DynId b, DynId e,
+                      MStream &out);
+
+/**
  * Build one stream by concatenating several trace ranges, separated
  * by region boundaries (startRegion on each range's first inst).
  * @param boundaries out: stream index of each range's first MInst.
@@ -48,6 +59,14 @@ MStream buildCoreStreamRanges(
  */
 EventCounts tallyEvents(const MStream &stream, unsigned l1_hit = 4,
                         unsigned l2_hit = 26);
+
+/**
+ * Tally the events of trace range [b, e) as if it had been built
+ * into a core stream first (identical counts to tallyEvents(
+ * buildCoreStream(trace, b, e))), without allocating the stream.
+ */
+EventCounts tallyEvents(const Trace &trace, DynId b, DynId e,
+                        unsigned l1_hit = 4, unsigned l2_hit = 26);
 
 } // namespace prism
 

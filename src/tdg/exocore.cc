@@ -85,16 +85,30 @@ void
 BenchmarkModel::evaluateBaseline()
 {
     const Trace &trace = tdg_->trace();
-    const MStream stream = buildCoreStream(trace);
     const PipelineModel model(pcfg_);
-    const PipelineResult res = model.run(stream, true);
 
-    baseline_.cycles = res.cycles;
-    baseline_.energy = energyModel_->energy(res.events, res.cycles);
-    baseline_.unitCycles[0] = res.cycles;
+    // Stream the untransformed trace through the timing engine in
+    // fixed-size windows with absolute dependence indices; the
+    // whole-trace core stream is never materialized.
+    constexpr std::size_t kWindow = 1u << 16;
+    TimingScratch ts;
+    model.beginRun(ts);
+    MStream &win = ts.window;
+    for (DynId b = 0; b < trace.size(); b += kWindow) {
+        const DynId e = std::min<DynId>(b + kWindow, trace.size());
+        win.clear();
+        appendCoreWindow(trace, b, e, win);
+        model.runWindow(ts, win, 0, win.size(), false);
+    }
+
+    baseline_.cycles = ts.cycles();
+    baseline_.energy =
+        energyModel_->energy(ts.events, baseline_.cycles);
+    baseline_.unitCycles[0] = baseline_.cycles;
     baseline_.unitEnergy[0] = baseline_.energy;
 
-    // Per-occurrence attribution from commit-time deltas.
+    // Per-occurrence attribution from commit-time deltas (the commit
+    // array is indexed by global position == trace index here).
     const auto &occs = tdg_->loopMap().occurrences;
     occBaseStart_.resize(occs.size());
     occBaseCycles_.resize(occs.size());
@@ -107,12 +121,12 @@ BenchmarkModel::evaluateBaseline()
             continue;
         }
         const Cycle start =
-            occ.begin > 0 ? res.commitAt[occ.begin - 1] : 0;
-        const Cycle end = res.commitAt[occ.end - 1];
+            occ.begin > 0 ? ts.commitAt(occ.begin - 1) : 0;
+        const Cycle end = ts.commitAt(occ.end - 1);
         occBaseStart_[k] = start;
         occBaseCycles_[k] = end > start ? end - start : 0;
         const EventCounts ev =
-            tallyEvents(buildCoreStream(trace, occ.begin, occ.end),
+            tallyEvents(trace, occ.begin, occ.end,
                         pcfg_.l1HitLatency, pcfg_.l2HitLatency);
         occBaseEnergy_[k] =
             energyModel_->energy(ev, occBaseCycles_[k]);
@@ -140,6 +154,7 @@ void
 BenchmarkModel::evaluateBsas()
 {
     const PipelineModel model(pcfg_);
+    TimingScratch ts;
     for (BsaKind bsa : kAllBsas) {
         auto transform = makeTransform(bsa, *tdg_, *analyzer_);
         const int u = unitIndex(bsa);
@@ -149,56 +164,57 @@ BenchmarkModel::evaluateBsas()
             const auto occs = tdg_->occurrencesOf(loop.id);
             if (occs.empty())
                 continue;
-            TransformOutput out =
-                transform->transformLoop(loop.id, occs);
-            if (out.stream.empty())
-                continue;
-            const PipelineResult res = model.run(out.stream, true);
 
+            // Transform + time occurrence-by-occurrence through the
+            // scratch's reusable window: the rewritten stream of a
+            // loop is never materialized as a whole.
+            transform->beginLoop(loop.id);
+            model.beginRun(ts);
             RegionUnitEval &ev = loopEvals_[loop.id].unit[u];
+            ev.occCycles.clear();
+            ev.occCycles.reserve(occs.size());
+            std::uint64_t emitted = 0;
+            for (const LoopOccurrence *occ : occs) {
+                ts.window.clear();
+                transform->transformOccurrence(*occ, ts.window);
+                if (ts.window.empty()) {
+                    ev.occCycles.push_back(0);
+                    continue;
+                }
+                const std::size_t wb = ts.pos;
+                model.runWindow(ts, ts.window, 0, ts.window.size(),
+                                true);
+                const Cycle start = wb > 0 ? ts.commitAt(wb - 1) : 0;
+                const Cycle end = ts.commitAt(ts.pos - 1);
+                ev.occCycles.push_back(end > start ? end - start : 0);
+                emitted += ts.window.size();
+            }
+            if (emitted == 0) {
+                // Transform produced nothing at all: not feasible.
+                ev.occCycles.clear();
+                continue;
+            }
+
             ev.feasible = true;
-            ev.cycles = res.cycles;
+            ev.cycles = ts.cycles();
 
             // Fraction of work on the engine approximates the
             // front-end power-gating opportunity (offload BSAs only).
             Cycle gated = 0;
             if (bsa == BsaKind::Nsdf || bsa == BsaKind::Tracep) {
                 const double frac =
-                    out.stream.empty()
-                        ? 0.0
-                        : static_cast<double>(
-                              res.events.unitInsts[static_cast<
-                                  std::size_t>(
-                                  bsa == BsaKind::Nsdf
-                                      ? ExecUnit::Nsdf
-                                      : ExecUnit::Tracep)]) /
-                              static_cast<double>(out.stream.size());
+                    static_cast<double>(
+                        ts.events.unitInsts[static_cast<std::size_t>(
+                            bsa == BsaKind::Nsdf
+                                ? ExecUnit::Nsdf
+                                : ExecUnit::Tracep)]) /
+                    static_cast<double>(emitted);
                 gated = static_cast<Cycle>(
-                    static_cast<double>(res.cycles) * frac);
+                    static_cast<double>(ev.cycles) * frac);
             }
             ev.gatedCycles = gated;
             ev.energy =
-                energyModel_->energy(res.events, res.cycles, gated);
-
-            // Per-occurrence cycles from the boundary commit deltas.
-            ev.occCycles.reserve(out.occBoundaries.size());
-            for (std::size_t k = 0; k < out.occBoundaries.size();
-                 ++k) {
-                const std::size_t b = out.occBoundaries[k];
-                const std::size_t e =
-                    k + 1 < out.occBoundaries.size()
-                        ? out.occBoundaries[k + 1]
-                        : out.stream.size();
-                if (e <= b) {
-                    ev.occCycles.push_back(0);
-                    continue;
-                }
-                const Cycle start =
-                    b > 0 ? res.commitAt[b - 1] : 0;
-                const Cycle end = res.commitAt[e - 1];
-                ev.occCycles.push_back(end > start ? end - start
-                                                   : 0);
-            }
+                energyModel_->energy(ts.events, ev.cycles, gated);
         }
     }
 }

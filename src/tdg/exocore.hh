@@ -6,12 +6,14 @@
  * aggregate performance/energy accounting.
  *
  * Evaluation strategy: the untransformed TDG is timed once per core
- * (full run, with per-instruction commit times for region
- * attribution); every (candidate loop, BSA) pair is timed standalone
- * over the concatenation of the loop's occurrences of the transformed
- * stream. A scheduler then picks a non-overlapping set of regions
- * over the loop tree, and program-level metrics compose from the
- * attributed pieces.
+ * by streaming fixed-size trace windows through the timing engine
+ * (commit times, kept by global position, attribute cycles to
+ * regions); every (candidate loop, BSA) pair is timed standalone by
+ * transforming and timing one occurrence at a time through a
+ * reusable window — neither the core stream nor any rewritten stream
+ * is ever materialized whole. A scheduler then picks a
+ * non-overlapping set of regions over the loop tree, and
+ * program-level metrics compose from the attributed pieces.
  */
 
 #ifndef PRISM_TDG_EXOCORE_HH

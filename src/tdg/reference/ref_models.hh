@@ -20,10 +20,22 @@
  * can be executed by this simulator, so each BSA model's projected
  * speedup/energy is validated against event-driven execution of the
  * same rewritten graph (the validation recipe of Appendix A).
+ *
+ * Like the µDG engine, the simulator runs windowed through a
+ * caller-owned RefSimScratch: begin() arms the machine, feed() makes
+ * consecutive slices of a persistent stream available for intake, and
+ * finishRun() drains. Pausing happens *mid-cycle* when intake runs
+ * out of fed input, so resuming with the next window continues intake
+ * within the same simulated cycle — windowing is cycle-identical to a
+ * whole-stream run by construction.
  */
 
 #ifndef PRISM_TDG_REFERENCE_REF_MODELS_HH
 #define PRISM_TDG_REFERENCE_REF_MODELS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
 
 #include "uarch/core_config.hh"
 #include "uarch/pipeline_model.hh"
@@ -31,6 +43,62 @@
 
 namespace prism
 {
+
+/**
+ * All machine state of one discrete-event simulation run. Reusable
+ * across runs; every container retains capacity, so steady-state
+ * simulation is allocation-free. Treat as opaque.
+ */
+struct RefSimScratch
+{
+    enum class St : std::uint8_t { Waiting, Issued };
+
+    struct Entry
+    {
+        std::size_t idx = 0;
+        St state = St::Waiting;
+        Cycle doneAt = 0;
+    };
+
+    /** Writeback status per stream index (grows with feed()). */
+    std::vector<std::uint8_t> done;
+    std::vector<Cycle> doneAt;
+
+    /** ROB as a ring (power-of-two storage, logical cap robCap). */
+    std::vector<Entry> rob;
+    std::size_t robMask = 0;
+    std::size_t robHead = 0;
+    std::size_t robCount = 0;
+    unsigned robCap = 0;
+    unsigned iqCap = 0;
+
+    /** Fetch buffer as a ring. */
+    std::vector<std::size_t> fetchBuf;
+    std::size_t fbMask = 0;
+    std::size_t fbHead = 0;
+    std::size_t fbCount = 0;
+    std::size_t fbCap = 0;
+
+    /** Per-pool FU busy-until times. */
+    std::array<std::vector<Cycle>, 4> fus;
+
+    struct EnginePool
+    {
+        AccelParams params;
+        std::vector<Entry> pool;
+    };
+    std::array<EnginePool, 3> engines;
+
+    std::int64_t blockingBranch = -1;
+    Cycle fetchAllowedAt = 0;
+    std::size_t nextIntake = 0;
+    std::size_t prefixDone = 0; ///< first index not yet done
+    std::size_t remaining = 0;  ///< fed but not yet retired
+    Cycle now = 0;
+    unsigned fetched = 0;       ///< intake progress within `now`
+    bool midIntake = false;     ///< paused inside the intake phase
+    bool finalized = false;
+};
 
 /**
  * Discrete-event cycle-level simulation of a core plus attached
@@ -48,10 +116,31 @@ class CycleCoreSim
     {
     }
 
-    /** Simulate the stream; returns total cycles. */
+    /** Arm `ss` for a fresh run under this configuration. */
+    void begin(RefSimScratch &ss) const;
+
+    /**
+     * Make stream[b..e) available for intake and simulate as far as
+     * the input allows. Windowing contract: every feed() of one run
+     * must pass the *same persistent* MStream (in-flight entries
+     * index into it), and ranges must be consecutive from 0.
+     */
+    void feed(RefSimScratch &ss, const MStream &stream,
+              std::size_t b, std::size_t e) const;
+
+    /** Drain the machine; returns total cycles. */
+    Cycle finishRun(RefSimScratch &ss, const MStream &stream) const;
+
+    /** One-shot: simulate the whole stream via caller scratch. */
+    Cycle run(const MStream &stream, RefSimScratch &ss) const;
+
+    /** One-shot convenience over a thread-local scratch. */
     Cycle run(const MStream &stream) const;
 
   private:
+    /** Simulate until drained, or paused awaiting more input. */
+    void advance(RefSimScratch &ss, const MStream &stream) const;
+
     CoreConfig core_;
     AccelParams cgra_ = dpCgraParams();
     AccelParams nsdf_ = nsdfParams();

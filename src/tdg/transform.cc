@@ -7,6 +7,20 @@
 namespace prism
 {
 
+TransformOutput
+BsaTransform::transformLoop(
+    std::int32_t loop,
+    const std::vector<const LoopOccurrence *> &occs)
+{
+    beginLoop(loop);
+    TransformOutput out;
+    for (const LoopOccurrence *occ : occs) {
+        out.occBoundaries.push_back(out.stream.size());
+        transformOccurrence(*occ, out.stream);
+    }
+    return out;
+}
+
 std::unique_ptr<BsaTransform>
 makeTransform(BsaKind kind, const Tdg &tdg, const TdgAnalyzer &analyzer)
 {
@@ -87,7 +101,8 @@ CfuBuilder::emitOp(Opcode op, const std::vector<std::int64_t> &deps,
             // External dependences of the member join the CFU.
             for (std::int64_t d : deps) {
                 if (d >= 0 && d != curIdx_)
-                    cfu.extraDeps.push_back({d, 0});
+                    out_->addExtraDep(
+                        static_cast<std::size_t>(curIdx_), d, 0);
             }
             ++curOps_;
             return curIdx_;
@@ -102,30 +117,47 @@ CfuBuilder::emitOp(Opcode op, const std::vector<std::int64_t> &deps,
     mi.lanes = 1;
     int slot = 0;
     for (std::int64_t d : deps) {
-        if (d < 0)
-            continue;
-        if (slot < 3)
-            mi.dep[slot++] = d;
-        else
-            mi.extraDeps.push_back({d, 0});
+        if (d >= 0 && slot < 3)
+            mi.dep[slot++] = static_cast<std::int32_t>(d);
     }
-    if (control_dep >= 0)
-        mi.extraDeps.push_back({control_dep, 0});
 
     curIdx_ = static_cast<std::int64_t>(out_->size());
     curOps_ = 1;
     curPool_ = pool;
-    out_->push_back(std::move(mi));
+    out_->push_back(mi);
+    // Dependences past the fixed slots, and the control edge, attach
+    // through the stream's shared extra-dep storage.
+    slot = 0;
+    for (std::int64_t d : deps) {
+        if (d < 0)
+            continue;
+        if (slot < 3) {
+            ++slot;
+            continue;
+        }
+        out_->addExtraDep(static_cast<std::size_t>(curIdx_), d, 0);
+    }
+    if (control_dep >= 0)
+        out_->addExtraDep(static_cast<std::size_t>(curIdx_),
+                          control_dep, 0);
     return curIdx_;
 }
 
-std::unordered_map<StaticId, std::vector<DynId>>
+Instances
 collectInstances(const Trace &trace, DynId b, DynId e)
 {
-    std::unordered_map<StaticId, std::vector<DynId>> m;
-    for (DynId i = b; i < e; ++i)
-        m[trace[i].sid].push_back(i);
+    Instances m;
+    collectInstances(trace, b, e, m);
     return m;
+}
+
+void
+collectInstances(const Trace &trace, DynId b, DynId e, Instances &out)
+{
+    for (auto &kv : out)
+        kv.second.clear();
+    for (DynId i = b; i < e; ++i)
+        out[trace[i].sid].push_back(i);
 }
 
 } // namespace xform

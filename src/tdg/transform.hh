@@ -52,13 +52,35 @@ class BsaTransform
     virtual bool canTarget(std::int32_t loop) const = 0;
 
     /**
+     * Cache per-loop analysis state (plans, body order, slices) for
+     * the transformOccurrence() calls that follow. Must be called
+     * before the first occurrence of each loop.
+     */
+    virtual void beginLoop(std::int32_t loop) = 0;
+
+    /**
+     * Append the rewrite of one occurrence of the current loop
+     * (beginLoop) to `out`. Dependence indices are relative to
+     * `out`'s own indexing, so the same method serves both the
+     * materializing transformLoop() path (shared stream, indices
+     * absolute in it) and the streaming evaluator (cleared
+     * per-occurrence window, indices window-local). The occurrence's
+     * first emitted instruction is marked startRegion. Occurrences
+     * must be fed in trace order: inter-occurrence state (e.g.
+     * configuration caches) advances per call.
+     */
+    virtual void transformOccurrence(const LoopOccurrence &occ,
+                                     MStream &out) = 0;
+
+    /**
      * Rewrite all given occurrences of `loop` (in trace order) into
      * one accelerated stream. Each occurrence's first instruction is
      * marked startRegion; the harness times the stream standalone.
+     * Convenience over beginLoop() + transformOccurrence().
      */
-    virtual TransformOutput transformLoop(
+    TransformOutput transformLoop(
         std::int32_t loop,
-        const std::vector<const LoopOccurrence *> &occs) = 0;
+        const std::vector<const LoopOccurrence *> &occs);
 
     /** Reset inter-occurrence state (e.g. configuration caches). */
     virtual void reset() {}
@@ -143,8 +165,18 @@ class CfuBuilder
  * range (used to re-map memory latencies onto vectorized iterations
  * and to redirect residual-iteration dependences at elided producers).
  */
-std::unordered_map<StaticId, std::vector<DynId>>
-collectInstances(const Trace &trace, DynId b, DynId e);
+using Instances = std::unordered_map<StaticId, std::vector<DynId>>;
+
+Instances collectInstances(const Trace &trace, DynId b, DynId e);
+
+/**
+ * Storage-reusing variant: per-sid vectors are cleared and refilled
+ * in place (stale sids keep empty vectors, which every consumer
+ * treats like an absent entry), so repeated per-group collection is
+ * allocation-free in steady state.
+ */
+void collectInstances(const Trace &trace, DynId b, DynId e,
+                      Instances &out);
 
 } // namespace xform
 

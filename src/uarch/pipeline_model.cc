@@ -1,75 +1,12 @@
 #include "uarch/pipeline_model.hh"
 
 #include <algorithm>
-#include <queue>
 
 #include "common/logging.hh"
 #include "uarch/resource_table.hh"
 
 namespace prism
 {
-
-namespace
-{
-
-/** Ring of recent stream indices for width/occupancy edges. */
-class IndexRing
-{
-  public:
-    explicit IndexRing(std::size_t capacity)
-        : buf_(std::max<std::size_t>(capacity, 1),
-               std::int64_t{-1}),
-          cap_(std::max<std::size_t>(capacity, 1))
-    {
-    }
-
-    void
-    push(std::int64_t idx)
-    {
-        buf_[head_ % cap_] = idx;
-        ++head_;
-    }
-
-    /** Index pushed `back` entries ago (1 = most recent); -1 if none. */
-    std::int64_t
-    nthBack(std::size_t back) const
-    {
-        if (back == 0 || back > cap_ || back > head_)
-            return -1;
-        return buf_[(head_ - back) % cap_];
-    }
-
-  private:
-    std::vector<std::int64_t> buf_;
-    std::size_t cap_;
-    std::size_t head_ = 0;
-};
-
-struct AccelState
-{
-    explicit AccelState(const AccelParams &p)
-        : params(p), issue(p.issueWidth), memPorts(p.memPorts),
-          wbBus(p.wbBusWidth)
-    {
-    }
-
-    AccelParams params;
-    ResourceTable issue;
-    ResourceTable memPorts;
-    ResourceTable wbBus;
-
-    /**
-     * Operand-storage occupancy with out-of-order freeing: an op may
-     * enter the engine once fewer than `window` older ops are still
-     * incomplete, i.e. no earlier than the window-th largest
-     * completion time seen so far (min-heap of the largest P's).
-     */
-    std::priority_queue<Cycle, std::vector<Cycle>,
-                        std::greater<Cycle>>
-        windowTop;
-};
-
-} // namespace
 
 const char *
 bindKindName(BindKind k)
@@ -108,193 +45,271 @@ BindProfile::total() const
     return t;
 }
 
-PipelineResult
-PipelineModel::run(const MStream &stream, bool keep_per_inst) const
+void
+PipelineModel::beginRun(TimingScratch &ts, bool keep_per_inst) const
 {
     const CoreConfig &core = cfg_.core;
-    const std::size_t n = stream.size();
 
-    PipelineResult res;
-    if (n == 0)
-        return res;
+    ts.lastFetch = 0;
+    ts.pendingFetchMin = 0;
+    ts.fetchGroupBroken = false;
+    ts.lastCoreCommit = 0;
+    ts.lastCoreExecute = 0;
+    ts.regionMaxP = 0;
+    ts.totalCycles = 0;
+    ts.pos = 0;
+    ts.coreCount = 0;
+    ts.keepPerInst = keep_per_inst;
+    ts.events = EventCounts{};
+    ts.binding = BindProfile{};
 
-    std::vector<Cycle> F(n), D(n), E(n), P(n), C(n);
-
-    // Core structural resources.
-    ResourceTable fu_alu(core.numAlu);
-    ResourceTable fu_muldiv(core.numMulDiv);
-    ResourceTable fu_fp(core.numFp);
-    ResourceTable dports(core.dcachePorts);
-    auto fu_table = [&](FuClass c) -> ResourceTable & {
-        switch (fuPoolOf(c)) {
-          case FuPool::MulDiv: return fu_muldiv;
-          case FuPool::Fp: return fu_fp;
-          case FuPool::MemPort: return dports;
-          default: return fu_alu;
-        }
-    };
-
-    const std::size_t hist_cap =
+    // History rings must reach the deepest bounded-horizon lookup
+    // (fetch width and ROB size, both over core-inst ordinals).
+    const std::size_t hist =
         std::max<std::size_t>({core.width, core.robSize,
                                core.instWindow, 8}) + 1;
-    IndexRing core_hist(hist_cap);
+    std::size_t cap = 1;
+    while (cap < hist)
+        cap <<= 1;
+    if (ts.ringF.size() < cap) {
+        ts.ringF.resize(cap);
+        ts.ringD.resize(cap);
+        ts.ringC.resize(cap);
+    }
+    ts.ringMask = cap - 1;
 
-    // Issue-window (scheduler) occupancy with out-of-order entry
-    // freeing: an instruction may dispatch once fewer than
-    // `instWindow` older instructions are still waiting to issue,
-    // i.e. no earlier than the instWindow-th largest issue time seen
-    // so far. A min-heap of the largest issue times tracks that
-    // threshold.
-    std::priority_queue<Cycle, std::vector<Cycle>,
-                        std::greater<Cycle>>
-        iq_top;
+    ts.iq.clear();
+    ts.fuAlu.reinit(core.numAlu);
+    ts.fuMulDiv.reinit(core.numMulDiv);
+    ts.fuFp.reinit(core.numFp);
+    ts.dports.reinit(core.dcachePorts);
 
-    AccelState cgra(cfg_.cgra);
-    AccelState nsdf(cfg_.nsdf);
-    AccelState tracep(cfg_.tracep);
-    auto accel_of = [&](ExecUnit u) -> AccelState & {
+    auto arm = [](TimingScratch::AccelScratch &a,
+                  const AccelParams &p) {
+        a.params = p;
+        a.issue.reinit(p.issueWidth);
+        a.memPorts.reinit(p.memPorts);
+        a.wbBus.reinit(p.wbBusWidth);
+        a.windowTop.clear();
+    };
+    arm(ts.cgra, cfg_.cgra);
+    arm(ts.nsdf, cfg_.nsdf);
+    arm(ts.tracep, cfg_.tracep);
+}
+
+void
+PipelineModel::runWindow(TimingScratch &ts, const MStream &s,
+                         std::size_t b, std::size_t e,
+                         bool local_deps) const
+{
+    if (b >= e)
+        return;
+    prism_assert(b <= ts.pos, "window behind the run frontier");
+
+    const CoreConfig &core = cfg_.core;
+
+    // Global position of s[i] is posBase + i (see header contract).
+    const std::size_t posBase = ts.pos - b;
+    const std::size_t need = posBase + e;
+    if (ts.completeAtBuf.size() < need) {
+        ts.completeAtBuf.resize(need);
+        ts.commitAtBuf.resize(need);
+    }
+    Cycle *const P = ts.completeAtBuf.data();
+    Cycle *const C = ts.commitAtBuf.data();
+
+    // The frontier scalars, event tallies, and bind counters are all
+    // 64-bit members of `ts`, so stores through P/C (same value type)
+    // could alias them as far as the compiler can prove — which would
+    // force every member back to memory each iteration. Working on
+    // address-never-escapes locals and flushing once at the end keeps
+    // them in registers across the loop.
+    Cycle lastFetch = ts.lastFetch;
+    Cycle pendingFetchMin = ts.pendingFetchMin;
+    bool fetchGroupBroken = ts.fetchGroupBroken;
+    Cycle lastCoreCommit = ts.lastCoreCommit;
+    Cycle lastCoreExecute = ts.lastCoreExecute;
+    Cycle regionMaxP = ts.regionMaxP;
+    Cycle totalCycles = ts.totalCycles;
+    std::size_t coreCount = ts.coreCount;
+
+    Cycle *const ringF = ts.ringF.data();
+    Cycle *const ringD = ts.ringD.data();
+    Cycle *const ringC = ts.ringC.data();
+    const std::size_t ringMask = ts.ringMask;
+
+    const bool inorder = core.inorder;
+    const unsigned width = core.width;
+    const unsigned robSize = core.robSize;
+    const unsigned instWindow = core.instWindow;
+    const unsigned frontendDepth = core.frontendDepth;
+    const unsigned mispredictPenalty = core.mispredictPenalty;
+    const unsigned l1Hit = cfg_.l1HitLatency;
+    const unsigned l2Hit = cfg_.l2HitLatency;
+
+    // Deps in a window are either window-local or global positions;
+    // translating is one add against a per-window base.
+    const std::size_t depBase = local_deps ? posBase : 0;
+
+    EventCounts ev;
+    std::uint64_t coreInsts = 0; ///< batches 5 per-inst event adds
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(BindKind::NumKinds)>
+        bindc{};
+
+    auto fu_table = [&ts](FuClass c) -> ResourceTable & {
+        switch (fuPoolOf(c)) {
+          case FuPool::MulDiv: return ts.fuMulDiv;
+          case FuPool::Fp: return ts.fuFp;
+          case FuPool::MemPort: return ts.dports;
+          default: return ts.fuAlu;
+        }
+    };
+    auto accel_of =
+        [&ts](ExecUnit u) -> TimingScratch::AccelScratch & {
         switch (u) {
-          case ExecUnit::Cgra: return cgra;
-          case ExecUnit::Nsdf: return nsdf;
-          case ExecUnit::Tracep: return tracep;
+          case ExecUnit::Cgra: return ts.cgra;
+          case ExecUnit::Nsdf: return ts.nsdf;
+          case ExecUnit::Tracep: return ts.tracep;
           default: panic("not an accelerator unit");
         }
     };
 
-    Cycle last_fetch = 0;
-    Cycle pending_fetch_min = 0;
-    bool fetch_group_broken = false; // prev inst was a taken branch
-    Cycle last_core_commit = 0;
-    Cycle last_core_execute = 0; // for in-order issue
-    Cycle region_max_p = 0;      // max completion over all insts
-    Cycle total = 0;
-
-    EventCounts &ev = res.events;
-
-    for (std::size_t i = 0; i < n; ++i) {
-        const MInst &mi = stream[i];
+    for (std::size_t i = b; i < e; ++i) {
+        const MInst &mi = s[i];
+        const std::size_t gp = posBase + i;
 
         // Gather data-dependence readiness, tracking which edge
         // class is the latest (the critical incoming edge).
         Cycle ready = 0;
         BindKind ready_kind = BindKind::Frontend;
-        for (std::int64_t d : mi.dep) {
-            if (d >= 0) {
-                prism_assert(static_cast<std::size_t>(d) < i,
-                             "forward dependence in stream");
+        for (std::int32_t d0 : mi.dep) {
+            if (d0 >= 0) {
+                const std::size_t d =
+                    depBase + static_cast<std::size_t>(d0);
+                prism_assert(d < gp, "forward dependence in stream");
                 if (P[d] > ready) {
                     ready = P[d];
                     ready_kind = BindKind::DataDep;
                 }
             }
         }
-        if (mi.memDep >= 0 && P[mi.memDep] > ready) {
-            ready = P[mi.memDep];
-            ready_kind = BindKind::MemDep;
+        if (mi.memDep >= 0) {
+            const std::size_t d =
+                depBase + static_cast<std::size_t>(mi.memDep);
+            prism_assert(d < gp, "forward memory dependence");
+            if (P[d] > ready) {
+                ready = P[d];
+                ready_kind = BindKind::MemDep;
+            }
         }
-        for (const ExtraDep &xd : mi.extraDeps) {
-            if (xd.idx >= 0) {
-                prism_assert(static_cast<std::size_t>(xd.idx) < i,
-                             "forward extra dependence");
-                if (P[xd.idx] + xd.lat > ready) {
-                    ready = P[xd.idx] + xd.lat;
-                    ready_kind = BindKind::Transform;
+        if (mi.numExtraDeps != 0) {
+            for (const ExtraDep &xd : s.extraDeps(i)) {
+                if (xd.idx >= 0) {
+                    const std::size_t d =
+                        depBase + static_cast<std::size_t>(xd.idx);
+                    prism_assert(d < gp, "forward extra dependence");
+                    if (P[d] + xd.lat > ready) {
+                        ready = P[d] + xd.lat;
+                        ready_kind = BindKind::Transform;
+                    }
                 }
             }
         }
         BindKind bind = BindKind::Frontend;
 
-        const Cycle region_bound = mi.startRegion ? region_max_p : 0;
+        const Cycle region_bound = mi.startRegion ? regionMaxP : 0;
 
         if (mi.unit == ExecUnit::Core) {
             // ---- Fetch ----
-            Cycle f = std::max({last_fetch, pending_fetch_min,
+            Cycle f = std::max({lastFetch, pendingFetchMin,
                                 region_bound});
-            if (fetch_group_broken)
-                f = std::max(f, last_fetch + 1);
-            const std::int64_t w_back = core_hist.nthBack(core.width);
-            if (w_back >= 0)
-                f = std::max(f, F[w_back] + 1);
-            F[i] = f;
-            last_fetch = f;
-            pending_fetch_min = 0;
-            fetch_group_broken = mi.takenBranch;
+            if (fetchGroupBroken)
+                f = std::max(f, lastFetch + 1);
+            if (coreCount >= width) {
+                const std::size_t ord = coreCount - width;
+                f = std::max(f, ringF[ord & ringMask] + 1);
+            }
+            lastFetch = f;
+            pendingFetchMin = 0;
+            fetchGroupBroken = mi.takenBranch;
 
             // ---- Dispatch ----
-            Cycle d = f + core.frontendDepth;
-            const std::int64_t dw = core_hist.nthBack(core.width);
-            if (dw >= 0)
-                d = std::max(d, D[dw] + 1);
+            Cycle d = f + frontendDepth;
+            if (coreCount >= width) {
+                const std::size_t ord = coreCount - width;
+                d = std::max(d, ringD[ord & ringMask] + 1);
+            }
             bool d_window_bound = false;
-            if (!core.inorder) {
-                const std::int64_t rb =
-                    core_hist.nthBack(core.robSize);
-                if (rb >= 0 && C[rb] + 1 > d) {
-                    d = C[rb] + 1;
-                    d_window_bound = true;
+            if (!inorder) {
+                if (coreCount >= robSize) {
+                    const std::size_t ord = coreCount - robSize;
+                    const Cycle cb = ringC[ord & ringMask];
+                    if (cb + 1 > d) {
+                        d = cb + 1;
+                        d_window_bound = true;
+                    }
                 }
-                if (iq_top.size() >= core.instWindow &&
-                    iq_top.top() > d) {
-                    d = iq_top.top();
+                if (ts.iq.size() >= instWindow &&
+                    ts.iq.top() > d) {
+                    d = ts.iq.top();
                     d_window_bound = true;
                 }
             }
-            D[i] = d;
 
             // ---- Execute (issue) ----
-            Cycle e = d;
+            Cycle ex = d;
             if (d_window_bound)
                 bind = BindKind::Window;
             if (mi.startRegion)
                 bind = BindKind::Region;
-            if (ready > e) {
-                e = ready;
+            if (ready > ex) {
+                ex = ready;
                 bind = ready_kind;
             }
-            if (core.inorder && last_core_execute > e) {
-                e = last_core_execute;
+            if (inorder && lastCoreExecute > ex) {
+                ex = lastCoreExecute;
                 bind = BindKind::InOrder;
             }
             if (mi.fu != FuClass::None) {
-                const Cycle got = fu_table(mi.fu).acquire(e);
-                if (got > e)
+                const Cycle got = fu_table(mi.fu).acquire(ex);
+                if (got > ex)
                     bind = BindKind::FuBusy;
-                e = got;
+                ex = got;
             }
-            ++res.binding.counts[static_cast<std::size_t>(bind)];
-            E[i] = e;
-            last_core_execute = std::max(last_core_execute, e);
-            if (!core.inorder) {
-                iq_top.push(e);
-                if (iq_top.size() > core.instWindow)
-                    iq_top.pop();
-            }
+            ++bindc[static_cast<std::size_t>(bind)];
+            lastCoreExecute = std::max(lastCoreExecute, ex);
+            if (!inorder)
+                ts.iq.pushBounded(ex, instWindow);
 
             // ---- Complete ----
             const Cycle lat = mi.isLoad ? mi.memLat : mi.lat;
-            P[i] = e + std::max<Cycle>(lat, 1);
+            const Cycle p = ex + std::max<Cycle>(lat, 1);
+            P[gp] = p;
 
             // ---- Commit ----
-            Cycle c = std::max(P[i], last_core_commit);
-            const std::int64_t cw = core_hist.nthBack(core.width);
-            if (cw >= 0)
-                c = std::max(c, C[cw] + 1);
-            C[i] = c;
-            last_core_commit = c;
+            Cycle c = std::max(p, lastCoreCommit);
+            if (coreCount >= width) {
+                const std::size_t ord = coreCount - width;
+                c = std::max(c, ringC[ord & ringMask] + 1);
+            }
+            C[gp] = c;
+            lastCoreCommit = c;
 
             if (mi.isCondBranch && mi.mispredicted) {
-                pending_fetch_min = std::max(
-                    pending_fetch_min,
-                    P[i] + core.mispredictPenalty);
+                pendingFetchMin =
+                    std::max(pendingFetchMin,
+                             p + mispredictPenalty);
             }
 
-            core_hist.push(static_cast<std::int64_t>(i));
+            const std::size_t slot = coreCount & ringMask;
+            ringF[slot] = f;
+            ringD[slot] = d;
+            ringC[slot] = c;
+            ++coreCount;
 
             // ---- Events ----
-            ++ev.coreFetches;
-            ++ev.coreDispatches;
-            ++ev.coreIssues;
-            ++ev.coreCommits;
+            ++coreInsts; // fetch/dispatch/issue/commit, one each
             const OpInfo &oi = opInfo(mi.op);
             ev.coreRegReads += oi.numSrcs;
             if (oi.writesDst)
@@ -303,51 +318,45 @@ PipelineModel::run(const MStream &stream, bool keep_per_inst) const
                 ev.fuOps[static_cast<std::size_t>(ExecUnit::Core)]
                         [fuPoolIndex(mi.fu)] += mi.lanes;
             }
-            ++ev.unitInsts[static_cast<std::size_t>(ExecUnit::Core)];
         } else {
             // ---- Accelerator dataflow op ----
-            AccelState &acc = accel_of(mi.unit);
-            BindKind bind = ready_kind;
-            Cycle e = ready;
-            if (region_bound > e) {
-                e = region_bound;
-                bind = BindKind::Region;
+            TimingScratch::AccelScratch &acc = accel_of(mi.unit);
+            BindKind abind = ready_kind;
+            Cycle ex = ready;
+            if (region_bound > ex) {
+                ex = region_bound;
+                abind = BindKind::Region;
             }
             if (acc.windowTop.size() >= acc.params.window &&
-                acc.windowTop.top() > e) {
-                e = acc.windowTop.top();
-                bind = BindKind::Window;
+                acc.windowTop.top() > ex) {
+                ex = acc.windowTop.top();
+                abind = BindKind::Window;
             }
             {
-                const Cycle got = acc.issue.acquire(e);
-                if (got > e)
-                    bind = BindKind::Issue;
-                e = got;
+                const Cycle got = acc.issue.acquire(ex);
+                if (got > ex)
+                    abind = BindKind::Issue;
+                ex = got;
             }
             if ((mi.isLoad || mi.isStore) &&
                 acc.params.memPorts > 0) {
-                const Cycle got = acc.memPorts.acquire(e);
-                if (got > e)
-                    bind = BindKind::FuBusy;
-                e = got;
+                const Cycle got = acc.memPorts.acquire(ex);
+                if (got > ex)
+                    abind = BindKind::FuBusy;
+                ex = got;
             }
-            ++res.binding
-                  .counts[static_cast<std::size_t>(bind)];
-            E[i] = e;
-            F[i] = D[i] = e;
+            ++bindc[static_cast<std::size_t>(abind)];
 
             const Cycle lat = mi.isLoad ? mi.memLat : mi.lat;
-            Cycle p = e + std::max<Cycle>(lat, 1);
+            Cycle p = ex + std::max<Cycle>(lat, 1);
             const OpInfo &oi = opInfo(mi.op);
             if (oi.writesDst && acc.params.wbBusWidth > 0) {
                 p = acc.wbBus.acquire(p);
                 ++ev.accelWbBusXfers;
             }
-            P[i] = p;
-            C[i] = p;
-            acc.windowTop.push(p);
-            if (acc.windowTop.size() > acc.params.window)
-                acc.windowTop.pop();
+            P[gp] = p;
+            C[gp] = p;
+            acc.windowTop.pushBounded(p, acc.params.window);
 
             // ---- Events ----
             if (mi.fu != FuClass::None) {
@@ -372,9 +381,9 @@ PipelineModel::run(const MStream &stream, bool keep_per_inst) const
         }
         if (mi.isLoad) {
             ++ev.loads;
-            if (mi.memLat > cfg_.l1HitLatency)
+            if (mi.memLat > l1Hit)
                 ++ev.l2Accesses;
-            if (mi.memLat > cfg_.l1HitLatency + cfg_.l2HitLatency)
+            if (mi.memLat > l1Hit + l2Hit)
                 ++ev.memAccesses;
         }
         if (mi.isStore)
@@ -385,16 +394,67 @@ PipelineModel::run(const MStream &stream, bool keep_per_inst) const
                 ++ev.mispredicts;
         }
 
-        region_max_p = std::max(region_max_p, P[i]);
-        total = std::max(total, C[i]);
+        regionMaxP = std::max(regionMaxP, P[gp]);
+        totalCycles = std::max(totalCycles, C[gp]);
     }
 
-    res.cycles = total;
-    if (keep_per_inst) {
-        res.completeAt = std::move(P);
-        res.commitAt = std::move(C);
+    ts.lastFetch = lastFetch;
+    ts.pendingFetchMin = pendingFetchMin;
+    ts.fetchGroupBroken = fetchGroupBroken;
+    ts.lastCoreCommit = lastCoreCommit;
+    ts.lastCoreExecute = lastCoreExecute;
+    ts.regionMaxP = regionMaxP;
+    ts.totalCycles = totalCycles;
+    ts.coreCount = coreCount;
+    ev.coreFetches += coreInsts;
+    ev.coreDispatches += coreInsts;
+    ev.coreIssues += coreInsts;
+    ev.coreCommits += coreInsts;
+    ev.unitInsts[static_cast<std::size_t>(ExecUnit::Core)] +=
+        coreInsts;
+    ts.events += ev;
+    for (std::size_t k = 0; k < bindc.size(); ++k)
+        ts.binding.counts[k] += bindc[k];
+
+    ts.pos = posBase + e;
+}
+
+PipelineResult
+PipelineModel::finish(TimingScratch &ts) const
+{
+    PipelineResult res;
+    res.cycles = ts.totalCycles;
+    res.events = ts.events;
+    res.binding = ts.binding;
+    if (ts.keepPerInst) {
+        res.completeAt.assign(ts.completeAtBuf.begin(),
+                              ts.completeAtBuf.begin() +
+                                  static_cast<std::ptrdiff_t>(ts.pos));
+        res.commitAt.assign(ts.commitAtBuf.begin(),
+                            ts.commitAtBuf.begin() +
+                                static_cast<std::ptrdiff_t>(ts.pos));
     }
     return res;
+}
+
+PipelineResult
+PipelineModel::run(const MStream &stream, TimingScratch &ts,
+                   bool keep_per_inst) const
+{
+    beginRun(ts, keep_per_inst);
+    runWindow(ts, stream, 0, stream.size(), false);
+    return finish(ts);
+}
+
+PipelineResult
+PipelineModel::run(const MStream &stream, bool keep_per_inst) const
+{
+    // One scratch per thread: safe under the thread pool's
+    // parallelFor (each worker thread reuses its own buffers), and
+    // the engine never calls back into user code mid-run, so no
+    // reentrancy hazard.
+    static thread_local TimingScratch scratch;
+    return run(stream, scratch, keep_per_inst);
 }
 
 } // namespace prism

@@ -11,6 +11,16 @@
  * context operations traverse Execute/Complete with dataflow issue,
  * operand-window, memory-port and writeback-bus constraints. Region
  * boundaries serialize via MInst::startRegion.
+ *
+ * The engine is windowed (paper Section 2.4): a run is armed with
+ * beginRun(), fed any partition of the stream through runWindow()
+ * calls, and closed with finish(). All mutable state lives in a
+ * caller-owned TimingScratch whose buffers persist across runs, so
+ * the steady-state timing loop allocates nothing, and callers can
+ * transform + time one loop occurrence at a time through the
+ * scratch's reusable output window. The one-shot run() wrappers are
+ * sugar over the same path and produce identical cycles, events, and
+ * binding profiles.
  */
 
 #ifndef PRISM_UARCH_PIPELINE_MODEL_HH
@@ -19,6 +29,7 @@
 #include <vector>
 
 #include "uarch/core_config.hh"
+#include "uarch/timing_scratch.hh"
 #include "uarch/udg.hh"
 
 namespace prism
@@ -35,43 +46,6 @@ struct PipelineConfig
     /** Latency thresholds classifying a load as L2 / DRAM access. */
     unsigned l1HitLatency = 4;
     unsigned l2HitLatency = 26;
-};
-
-/**
- * Which dependence-graph edge class determined an instruction's
- * issue time — the per-node critical-path attribution the paper's
- * Appendix A recommends inspecting ("examining which edges are on
- * the critical path for some code region").
- */
-enum class BindKind : std::uint8_t
-{
-    Frontend,  ///< fetch/dispatch pipeline (width, redirect, depth)
-    DataDep,   ///< register data dependence
-    MemDep,    ///< store-to-load dependence
-    Transform, ///< transform-added edge (pipelining, control, comm)
-    InOrder,   ///< in-order issue constraint (IO cores)
-    FuBusy,    ///< FU / cache-port contention
-    Window,    ///< issue-window or accelerator operand storage
-    Issue,     ///< accelerator issue-width contention
-    Region,    ///< region-boundary serialization
-    NumKinds,
-};
-
-/** Display name of a BindKind. */
-const char *bindKindName(BindKind k);
-
-/** Tally of binding constraints over a run. */
-struct BindProfile
-{
-    std::array<std::uint64_t, static_cast<std::size_t>(
-                                  BindKind::NumKinds)>
-        counts{};
-
-    /** Fraction of instructions bound by `k`. */
-    double fraction(BindKind k) const;
-
-    /** Total instructions profiled. */
-    std::uint64_t total() const;
 };
 
 /** Output of a timing run. */
@@ -98,8 +72,8 @@ struct PipelineResult
 };
 
 /**
- * Runs the longest-path timing computation. Stateless between run()
- * calls; one instance may be reused.
+ * Runs the longest-path timing computation. Stateless between runs;
+ * one instance may be reused (all run state lives in TimingScratch).
  */
 class PipelineModel
 {
@@ -107,9 +81,50 @@ class PipelineModel
     explicit PipelineModel(const PipelineConfig &cfg) : cfg_(cfg) {}
 
     /**
-     * Time an instruction stream.
+     * Arm `ts` for a fresh run under this configuration: reset the
+     * carried frontier, re-target resource tables, and size the
+     * history rings. Buffer capacity is retained.
      * @param keep_per_inst retain per-instruction complete/commit
-     *        times in the result (needed for region attribution).
+     *        times in the finish() result (needed for region
+     *        attribution).
+     */
+    void beginRun(TimingScratch &ts,
+                  bool keep_per_inst = false) const;
+
+    /**
+     * Feed instructions s[b..e) to the run in `ts`.
+     *
+     * Positioning contract: s[i] occupies global position
+     * `ts.pos - b + i`, i.e. the window continues exactly where the
+     * previous one left off. Two shapes satisfy it:
+     *  - a persistent stream fed in consecutive chunks
+     *    (`runWindow(ts, s, prev, next, ...)` with ts.pos == prev);
+     *  - per-window buffers fed whole (`b == 0`), where ts.pos is
+     *    the global position of the buffer's first instruction.
+     *
+     * Dependence indices (dep/memDep/extra deps) are interpreted per
+     * `local_deps`:
+     *  - false: indices are global positions (a persistent stream,
+     *    or a window built from a trace slice with absolute
+     *    producer indices);
+     *  - true: indices are local to `s` (a transform-emitted window
+     *    whose producers all live in the same window).
+     */
+    void runWindow(TimingScratch &ts, const MStream &s,
+                   std::size_t b, std::size_t e,
+                   bool local_deps) const;
+
+    /** Close the run and collect its result. */
+    PipelineResult finish(TimingScratch &ts) const;
+
+    /** One-shot: time a whole stream through caller scratch. */
+    PipelineResult run(const MStream &stream, TimingScratch &ts,
+                       bool keep_per_inst = false) const;
+
+    /**
+     * One-shot convenience over a thread-local scratch. Safe under
+     * the thread pool (each worker gets its own scratch); not
+     * reentrant within one thread.
      */
     PipelineResult run(const MStream &stream,
                        bool keep_per_inst = false) const;

@@ -34,25 +34,6 @@ ResourceTable::slideTo(Cycle cycle)
 }
 
 Cycle
-ResourceTable::acquire(Cycle earliest)
-{
-    if (capacity_ == 0)
-        return earliest; // unlimited
-
-    if (earliest < base_)
-        earliest = base_;
-    slideTo(earliest);
-
-    Cycle c = earliest;
-    while (used_[c & mask_] >= capacity_) {
-        ++c;
-        slideTo(c);
-    }
-    ++used_[c & mask_];
-    return c;
-}
-
-Cycle
 ResourceTable::acquireMany(Cycle earliest, unsigned n)
 {
     Cycle last = earliest;

@@ -37,9 +37,31 @@ class ResourceTable
      * Reserve one unit at the earliest cycle >= `earliest` with free
      * capacity, and return that cycle. Requests older than the window
      * base are granted at the window base (approximation consistent
-     * with in-order resource granting).
+     * with in-order resource granting). Inline: this is called once
+     * or twice per instruction by the timing hot loop, and the common
+     * case (capacity free at `earliest`, no window slide) is a couple
+     * of loads.
      */
-    Cycle acquire(Cycle earliest);
+    Cycle
+    acquire(Cycle earliest)
+    {
+        if (capacity_ == 0)
+            return earliest; // unlimited
+
+        if (earliest < base_)
+            earliest = base_;
+        else if (earliest >= base_ + window_)
+            slideTo(earliest);
+
+        Cycle c = earliest;
+        while (used_[c & mask_] >= capacity_) {
+            ++c;
+            if (c >= base_ + window_)
+                slideTo(c);
+        }
+        ++used_[c & mask_];
+        return c;
+    }
 
     /** Reserve `n` units at potentially different cycles; returns the
      *  cycle of the last unit (used for multi-lane vector ops). */
@@ -49,6 +71,18 @@ class ResourceTable
 
     /** Clear all reservations. */
     void reset();
+
+    /**
+     * Re-target the table at a new per-cycle capacity and clear all
+     * reservations, reusing the existing window storage (no
+     * allocation). Used by TimingScratch between runs.
+     */
+    void
+    reinit(unsigned capacity)
+    {
+        capacity_ = capacity;
+        reset();
+    }
 
   private:
     void slideTo(Cycle cycle);

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Reusable scratch state for the streaming µDG timing engine.
+ *
+ * The paper's Section 2.4 observes that µDG timing only ever needs a
+ * bounded window of history — node times further back than the ROB /
+ * issue-window / fetch-width horizon can never be read again by a
+ * structural edge, and data edges always point backwards. The
+ * TimingScratch here is the materialization of that argument: ring
+ * buffers for the bounded-horizon node times, cycle-indexed resource
+ * tables, reusable sorted rings for the out-of-order occupancy
+ * thresholds, and a reusable transform-output window. A caller owns one scratch
+ * and reuses it across any number of runs; after the first run at a
+ * given problem size the steady-state timing loop performs no heap
+ * allocation at all.
+ *
+ * Contents are engine-internal working state: callers should treat a
+ * scratch as opaque apart from cycles()/commitAt() (read-only results
+ * while a streaming run is in flight) and window (the reusable
+ * transform output buffer).
+ */
+
+#ifndef PRISM_UARCH_TIMING_SCRATCH_HH
+#define PRISM_UARCH_TIMING_SCRATCH_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "uarch/core_config.hh"
+#include "uarch/resource_table.hh"
+#include "uarch/udg.hh"
+
+namespace prism
+{
+
+/**
+ * Which dependence-graph edge class determined an instruction's
+ * issue time — the per-node critical-path attribution the paper's
+ * Appendix A recommends inspecting ("examining which edges are on
+ * the critical path for some code region").
+ */
+enum class BindKind : std::uint8_t
+{
+    Frontend,  ///< fetch/dispatch pipeline (width, redirect, depth)
+    DataDep,   ///< register data dependence
+    MemDep,    ///< store-to-load dependence
+    Transform, ///< transform-added edge (pipelining, control, comm)
+    InOrder,   ///< in-order issue constraint (IO cores)
+    FuBusy,    ///< FU / cache-port contention
+    Window,    ///< issue-window or accelerator operand storage
+    Issue,     ///< accelerator issue-width contention
+    Region,    ///< region-boundary serialization
+    NumKinds,
+};
+
+/** Display name of a BindKind. */
+const char *bindKindName(BindKind k);
+
+/** Tally of binding constraints over a run. */
+struct BindProfile
+{
+    std::array<std::uint64_t, static_cast<std::size_t>(
+                                  BindKind::NumKinds)>
+        counts{};
+
+    /** Fraction of instructions bound by `k`. */
+    double fraction(BindKind k) const;
+
+    /** Total instructions profiled. */
+    std::uint64_t total() const;
+
+    bool operator==(const BindProfile &) const = default;
+};
+
+/**
+ * Min-multiset of the k largest values pushed so far, over a
+ * reusable buffer. Models out-of-order occupancy release: with k
+ * entries of storage, a new entrant waits for the k-th largest
+ * outstanding time.
+ *
+ * Implemented as a sorted ring (ascending from the head, minimum at
+ * the head) rather than a heap. pushBounded() runs once per
+ * instruction in the timing hot loop, and issue times arrive
+ * near-monotonically — a new time is usually at or near the maximum
+ * of the window. Eviction is then head advance plus an
+ * insertion-sort step from the tail that almost always terminates
+ * after zero or one moves, where any heap pays a full O(log k)
+ * sift with a data-dependent branch per level (measured ~2-3x
+ * slower on representative streams).
+ */
+class TopKTimes
+{
+  public:
+    void
+    clear()
+    {
+        head_ = 0;
+        n_ = 0;
+    }
+
+    std::size_t size() const { return n_; }
+    Cycle top() const { return buf_[head_ & mask_]; }
+
+    /**
+     * Bounded insert: keep the k largest of everything pushed.
+     * Equivalent to a push followed by dropping the minimum once
+     * size exceeds k. `k` must not change between clear() calls.
+     */
+    void
+    pushBounded(Cycle c, std::size_t k)
+    {
+        if (n_ < k) {
+            if (n_ == 0)
+                ensure(k);
+            Cycle *const b = buf_.data();
+            std::size_t j = head_ + n_;
+            while (j > head_ && b[(j - 1) & mask_] > c) {
+                b[j & mask_] = b[(j - 1) & mask_];
+                --j;
+            }
+            b[j & mask_] = c;
+            ++n_;
+            return;
+        }
+        if (n_ == 0 || c <= buf_[head_ & mask_])
+            return;
+        ++head_; // evict the minimum
+        Cycle *const b = buf_.data();
+        std::size_t j = head_ + n_ - 1;
+        while (j > head_ && b[(j - 1) & mask_] > c) {
+            b[j & mask_] = b[(j - 1) & mask_];
+            --j;
+        }
+        b[j & mask_] = c;
+    }
+
+  private:
+    void
+    ensure(std::size_t k)
+    {
+        std::size_t cap = 8;
+        while (cap < k)
+            cap <<= 1;
+        if (buf_.size() < cap)
+            buf_.resize(cap);
+        mask_ = buf_.size() - 1;
+        head_ = 0;
+    }
+
+    std::vector<Cycle> buf_;
+    std::size_t mask_ = 0;
+    std::size_t head_ = 0; ///< monotonically advancing ring index
+    std::size_t n_ = 0;
+};
+
+/**
+ * All working state of one streaming timing run. Reusable: call
+ * PipelineModel::beginRun() to (re)arm it for a configuration, feed
+ * windows through runWindow(), read the result with finish(). All
+ * buffers retain capacity across runs, so steady-state reuse is
+ * allocation-free.
+ */
+struct TimingScratch
+{
+    // ---- carried frontier (reset by beginRun) ----
+    Cycle lastFetch = 0;
+    Cycle pendingFetchMin = 0;   ///< mispredict redirect floor
+    bool fetchGroupBroken = false; ///< prev core inst taken branch
+    Cycle lastCoreCommit = 0;
+    Cycle lastCoreExecute = 0;   ///< for in-order issue
+    Cycle regionMaxP = 0;        ///< max completion over all insts
+    Cycle totalCycles = 0;
+    std::size_t pos = 0;         ///< global positions consumed
+    std::size_t coreCount = 0;   ///< core-context insts seen
+    bool keepPerInst = false;
+
+    // ---- node-time storage ----
+    /**
+     * Complete (P) and commit (C) times by global position. Data
+     * dependences may reach arbitrarily far back and commit times
+     * seed region attribution, so these two are full arrays; they
+     * grow monotonically and keep capacity across runs. Fetch,
+     * dispatch, and commit times are only ever read at bounded
+     * distance (fetch width / ROB size) over *core* instructions, so
+     * they also live in rings keyed by core-inst ordinal — direct
+     * loads, no indirection through global positions.
+     */
+    std::vector<Cycle> completeAtBuf;
+    std::vector<Cycle> commitAtBuf;
+    std::vector<Cycle> ringF;
+    std::vector<Cycle> ringD;
+    std::vector<Cycle> ringC;
+    std::size_t ringMask = 0;
+
+    /** Issue-window (scheduler) occupancy threshold. */
+    TopKTimes iq;
+
+    // ---- structural resources ----
+    ResourceTable fuAlu{0};
+    ResourceTable fuMulDiv{0};
+    ResourceTable fuFp{0};
+    ResourceTable dports{0};
+
+    struct AccelScratch
+    {
+        AccelParams params;
+        ResourceTable issue{0};
+        ResourceTable memPorts{0};
+        ResourceTable wbBus{0};
+        TopKTimes windowTop; ///< operand-storage occupancy
+    };
+
+    AccelScratch cgra;
+    AccelScratch nsdf;
+    AccelScratch tracep;
+
+    // ---- accumulated outputs ----
+    EventCounts events;
+    BindProfile binding;
+
+    /**
+     * Reusable transform-output window: callers clear() it, emit one
+     * loop occurrence into it, and feed it to runWindow() — without
+     * ever materializing the whole rewritten stream.
+     */
+    MStream window;
+
+    // ---- read-only views while a run is in flight ----
+
+    /** Total cycles over everything fed so far. */
+    Cycle cycles() const { return totalCycles; }
+
+    /** Commit time of the instruction at global position `gp`. */
+    Cycle
+    commitAt(std::size_t gp) const
+    {
+        return commitAtBuf[gp];
+    }
+};
+
+} // namespace prism
+
+#endif // PRISM_UARCH_TIMING_SCRATCH_HH

@@ -68,7 +68,7 @@ checkStream(const MStream &stream)
         }
         if (mi.memDep >= static_cast<std::int64_t>(i))
             err(i, "forward memory dependence");
-        for (const ExtraDep &xd : mi.extraDeps) {
+        for (const ExtraDep &xd : stream.extraDeps(i)) {
             if (xd.idx >= static_cast<std::int64_t>(i))
                 err(i, "forward extra dependence");
         }
@@ -80,17 +80,5 @@ checkStream(const MStream &stream)
     return errs;
 }
 
-std::size_t
-fuPoolIndex(FuClass c)
-{
-    switch (fuPoolOf(c)) {
-      case FuPool::Alu: return 0;
-      case FuPool::MulDiv: return 1;
-      case FuPool::Fp: return 2;
-      case FuPool::MemPort: return 3;
-      case FuPool::None: return 0; // counted nowhere meaningful
-    }
-    panic("bad pool");
-}
 
 } // namespace prism

@@ -7,7 +7,7 @@
  * Commit for core-context instructions; Execute/Complete for
  * dataflow-context accelerator operations), and its fields encode the
  * incoming dependence edges: data dependences, memory dependences,
- * transform-added edges (extraDeps), and region-serialization bounds.
+ * transform-added edges (extra deps), and region-serialization bounds.
  * The pipeline model (pipeline_model.hh) performs the longest-path
  * timing computation over this implicit graph, honoring structural
  * edges (width, ROB, issue window, FU/port/bus contention) from the
@@ -16,6 +16,14 @@
  * TDG transforms rewrite streams of MInsts: eliding nodes, changing
  * opcodes/latencies, and adding or removing edges — the graph
  * re-writing of the paper's Figure 4.
+ *
+ * Storage discipline: an MStream is two contiguous arrays — the
+ * instruction records and a shared spill pool for the rare extra
+ * dependence edges that exceed an MInst's fixed inline slots. There is
+ * no per-instruction heap allocation, dependence indices are 32-bit,
+ * and a cleared stream retains its capacity, so transform windows can
+ * be rebuilt allocation-free in steady state (the paper's Section 2.4
+ * windowed-processing argument).
  */
 
 #ifndef PRISM_UARCH_UDG_HH
@@ -26,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "isa/isa.hh"
 
@@ -44,12 +53,22 @@ enum class ExecUnit : std::uint8_t
 /** Number of ExecUnit values (for fixed-size tallies). */
 inline constexpr std::size_t kNumExecUnits = 4;
 
-/** An extra dependence edge added by a transform. */
+/**
+ * An extra dependence edge added by a transform. `idx` is the
+ * producer's stream index; 32 bits bound streams to 2^31 instructions
+ * (asserted by MStream::push_back), which keeps an MInst compact.
+ */
 struct ExtraDep
 {
-    std::int64_t idx = -1;  ///< producer index within the stream
+    std::int32_t idx = -1;  ///< producer index within the stream
     std::uint16_t lat = 0;  ///< edge latency in cycles
 };
+
+/** Inline extra-dep slots per MInst before spilling to the stream. */
+inline constexpr unsigned kInlineExtraDeps = 2;
+
+/** Sentinel for "no spill chain". */
+inline constexpr std::uint32_t kNoSpill = 0xFFFFFFFFu;
 
 /** One modeled (possibly transformed) instruction. */
 struct MInst
@@ -81,14 +100,20 @@ struct MInst
      */
     bool startRegion = false;
 
+    /** Total transform-added edges (inline slots + spill chain). */
+    std::uint16_t numExtraDeps = 0;
+
     /** Producing stream indices for register sources (-1 = none). */
-    std::array<std::int64_t, 3> dep = {-1, -1, -1};
+    std::array<std::int32_t, 3> dep = {-1, -1, -1};
 
     /** Producing store's stream index for loads (-1 = none). */
-    std::int64_t memDep = -1;
+    std::int32_t memDep = -1;
 
-    /** Transform-added edges (pipelining, communication, ...). */
-    std::vector<ExtraDep> extraDeps;
+    /** Inline storage for the first transform-added edges. */
+    std::array<ExtraDep, kInlineExtraDeps> inlineDeps{};
+
+    /** Head of this instruction's spill chain (kNoSpill = none). */
+    std::uint32_t spillHead = kNoSpill;
 
     /** Originating static instruction (kNoStatic for synthetic). */
     StaticId sid = kNoStatic;
@@ -97,8 +122,180 @@ struct MInst
     static MInst core(Opcode op);
 };
 
-/** A modeled instruction stream (one window or one whole run). */
-using MStream = std::vector<MInst>;
+/**
+ * A modeled instruction stream (one window or one whole run): a
+ * contiguous MInst array plus the shared spill pool for extra
+ * dependence edges beyond an instruction's inline slots.
+ *
+ * The vector-like subset (push_back/size/operator[]/iteration/
+ * reserve/clear) mirrors std::vector<MInst>; clear() keeps both
+ * arrays' capacity so a stream can serve as a reusable transform
+ * output window.
+ */
+class MStream
+{
+  public:
+    /** A spilled extra dep plus the next chain link. */
+    struct SpillNode
+    {
+        ExtraDep dep;
+        std::uint32_t next = kNoSpill;
+    };
+
+    MStream() = default;
+
+    bool empty() const { return insts_.empty(); }
+    std::size_t size() const { return insts_.size(); }
+    void reserve(std::size_t n) { insts_.reserve(n); }
+
+    /** Drop all instructions and spill edges, keeping capacity. */
+    void
+    clear()
+    {
+        insts_.clear();
+        spill_.clear();
+    }
+
+    MInst &operator[](std::size_t i) { return insts_[i]; }
+    const MInst &operator[](std::size_t i) const { return insts_[i]; }
+    MInst &back() { return insts_.back(); }
+    const MInst &back() const { return insts_.back(); }
+
+    void
+    push_back(MInst mi)
+    {
+        prism_assert(insts_.size() <
+                         static_cast<std::size_t>(INT32_MAX),
+                     "stream exceeds 2^31 instructions");
+        insts_.push_back(mi);
+    }
+
+    auto begin() { return insts_.begin(); }
+    auto end() { return insts_.end(); }
+    auto begin() const { return insts_.begin(); }
+    auto end() const { return insts_.end(); }
+
+    const std::vector<MInst> &insts() const { return insts_; }
+
+    /**
+     * Attach a transform-added dependence edge to instruction `at`.
+     * The first kInlineExtraDeps edges store inline; later ones go to
+     * the shared spill pool. Edges may be attached to any already
+     * pushed instruction (transforms patch earlier CFUs).
+     */
+    void
+    addExtraDep(std::size_t at, std::int64_t producer,
+                std::uint16_t lat)
+    {
+        prism_assert(at < insts_.size(), "extra dep on absent inst");
+        MInst &mi = insts_[at];
+        const auto idx = static_cast<std::int32_t>(producer);
+        if (mi.numExtraDeps < kInlineExtraDeps) {
+            mi.inlineDeps[mi.numExtraDeps] = {idx, lat};
+            ++mi.numExtraDeps;
+            return;
+        }
+        prism_assert(spill_.size() < kNoSpill, "spill pool overflow");
+        const auto node = static_cast<std::uint32_t>(spill_.size());
+        spill_.push_back({{idx, lat}, kNoSpill});
+        if (mi.spillHead == kNoSpill) {
+            mi.spillHead = node;
+        } else {
+            std::uint32_t tail = mi.spillHead;
+            while (spill_[tail].next != kNoSpill)
+                tail = spill_[tail].next;
+            spill_[tail].next = node;
+        }
+        ++mi.numExtraDeps;
+    }
+
+    /** Forward-iterable view over one instruction's extra deps. */
+    class ExtraDepRange
+    {
+      public:
+        class iterator
+        {
+          public:
+            iterator(const MInst *mi, const SpillNode *pool,
+                     unsigned k, std::uint32_t node)
+                : mi_(mi), pool_(pool), k_(k), node_(node)
+            {
+            }
+
+            const ExtraDep &
+            operator*() const
+            {
+                if (k_ < kInlineExtraDeps)
+                    return mi_->inlineDeps[k_];
+                return pool_[node_].dep;
+            }
+
+            iterator &
+            operator++()
+            {
+                if (k_ < kInlineExtraDeps) {
+                    ++k_;
+                    if (k_ == kInlineExtraDeps &&
+                        k_ < mi_->numExtraDeps) {
+                        node_ = mi_->spillHead;
+                    }
+                } else {
+                    node_ = pool_[node_].next;
+                }
+                ++count_;
+                return *this;
+            }
+
+            bool
+            operator!=(const iterator &) const
+            {
+                return count_ < std::min<unsigned>(
+                                    mi_->numExtraDeps, limit());
+            }
+
+          private:
+            unsigned
+            limit() const
+            {
+                return mi_->numExtraDeps;
+            }
+
+            const MInst *mi_;
+            const SpillNode *pool_;
+            unsigned k_;
+            std::uint32_t node_;
+            unsigned count_ = 0;
+        };
+
+        ExtraDepRange(const MInst *mi, const SpillNode *pool)
+            : mi_(mi), pool_(pool)
+        {
+        }
+
+        iterator begin() const { return {mi_, pool_, 0, kNoSpill}; }
+        iterator end() const { return {mi_, pool_, 0, kNoSpill}; }
+        bool empty() const { return mi_->numExtraDeps == 0; }
+        std::size_t size() const { return mi_->numExtraDeps; }
+
+      private:
+        const MInst *mi_;
+        const SpillNode *pool_;
+    };
+
+    /** Extra deps of instruction `i` (inline slots, then spill). */
+    ExtraDepRange
+    extraDeps(std::size_t i) const
+    {
+        return {&insts_[i], spill_.data()};
+    }
+
+    /** Spill pool accessor for hot loops that inline the walk. */
+    const SpillNode *spillPool() const { return spill_.data(); }
+
+  private:
+    std::vector<MInst> insts_;
+    std::vector<SpillNode> spill_;
+};
 
 /**
  * Energy-relevant event tallies accumulated by the pipeline model;
@@ -140,10 +337,24 @@ struct EventCounts
 
     /** Element-wise accumulate. */
     EventCounts &operator+=(const EventCounts &o);
+
+    bool operator==(const EventCounts &) const = default;
 };
 
-/** Tally of FU-pool index for an FuClass (0..3). */
-std::size_t fuPoolIndex(FuClass c);
+/** Tally of FU-pool index for an FuClass (0..3). Inline: consulted
+ *  once per instruction by the timing hot loop's event tallies. */
+inline std::size_t
+fuPoolIndex(FuClass c)
+{
+    switch (fuPoolOf(c)) {
+      case FuPool::Alu: return 0;
+      case FuPool::MulDiv: return 1;
+      case FuPool::Fp: return 2;
+      case FuPool::MemPort: return 3;
+      case FuPool::None: return 0; // counted nowhere meaningful
+    }
+    return 0;
+}
 
 /**
  * Structural validation of a stream: all dependence indices must

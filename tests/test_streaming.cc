@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Windowed-streaming equivalence tests: feeding the µDG timing engine
+ * and the discrete-event reference simulator window-by-window must be
+ * cycle-identical to whole-stream runs, for any window partition —
+ * the correctness contract of the allocation-free streaming core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tdg/bsa/bsa.hh"
+#include "tdg/constructor.hh"
+#include "tdg/reference/ref_models.hh"
+#include "tdg/transform.hh"
+#include "uarch/pipeline_model.hh"
+#include "workloads/suite.hh"
+
+namespace prism
+{
+namespace
+{
+
+/** One representative per workload class, plus a SPEC-like mix. */
+const char *const kWorkloads[] = {
+    "conv", "mm", "ilp-chain", "mem-stream",
+    "branch-rand", "fp-mix", "calls",
+};
+
+const std::size_t kWindows[] = {1, 7, 10000};
+
+const CoreKind kCores[] = {CoreKind::IO2, CoreKind::OOO2};
+
+const Tdg &
+load(const char *name)
+{
+    static std::unordered_map<std::string,
+                              std::unique_ptr<LoadedWorkload>>
+        cache;
+    auto &slot = cache[name];
+    if (!slot)
+        slot = LoadedWorkload::load(findWorkload(name));
+    return slot->tdg();
+}
+
+TEST(Streaming, PipelineWindowedMatchesFull)
+{
+    for (const char *wl : kWorkloads) {
+        const MStream stream = buildCoreStream(load(wl).trace());
+        for (CoreKind core : kCores) {
+            PipelineConfig cfg;
+            cfg.core = coreConfig(core);
+            const PipelineModel model(cfg);
+
+            TimingScratch full_ts;
+            const PipelineResult full =
+                model.run(stream, full_ts, true);
+
+            for (std::size_t w : kWindows) {
+                TimingScratch ts;
+                model.beginRun(ts, true);
+                for (std::size_t b = 0; b < stream.size(); b += w) {
+                    const std::size_t e =
+                        std::min(b + w, stream.size());
+                    model.runWindow(ts, stream, b, e, false);
+                }
+                const PipelineResult res = model.finish(ts);
+                ASSERT_EQ(res.cycles, full.cycles)
+                    << wl << " core=" << static_cast<int>(core)
+                    << " window=" << w;
+                EXPECT_TRUE(res.events == full.events) << wl;
+                EXPECT_TRUE(res.binding == full.binding) << wl;
+                ASSERT_EQ(res.commitAt, full.commitAt) << wl;
+                ASSERT_EQ(res.completeAt, full.completeAt) << wl;
+            }
+        }
+    }
+}
+
+TEST(Streaming, PipelineTraceWindowsMatchMaterializedStream)
+{
+    // The baseline-evaluation path: windows built straight from the
+    // trace with absolute producer indices, no whole-trace stream.
+    for (const char *wl : kWorkloads) {
+        const Trace &trace = load(wl).trace();
+        const MStream stream = buildCoreStream(trace);
+        PipelineConfig cfg;
+        cfg.core = coreConfig(CoreKind::OOO2);
+        const PipelineModel model(cfg);
+
+        TimingScratch full_ts;
+        const PipelineResult full = model.run(stream, full_ts, true);
+
+        for (std::size_t w : kWindows) {
+            TimingScratch ts;
+            model.beginRun(ts, true);
+            MStream win;
+            for (DynId b = 0; b < trace.size();
+                 b += static_cast<DynId>(w)) {
+                const DynId e = std::min<DynId>(
+                    b + static_cast<DynId>(w), trace.size());
+                win.clear();
+                appendCoreWindow(trace, b, e, win);
+                model.runWindow(ts, win, 0, win.size(), false);
+            }
+            const PipelineResult res = model.finish(ts);
+            ASSERT_EQ(res.cycles, full.cycles)
+                << wl << " window=" << w;
+            EXPECT_TRUE(res.events == full.events) << wl;
+            ASSERT_EQ(res.commitAt, full.commitAt) << wl;
+        }
+    }
+}
+
+TEST(Streaming, ReferenceSimWindowedMatchesFull)
+{
+    for (const char *wl : kWorkloads) {
+        const MStream stream = buildCoreStream(load(wl).trace());
+        for (CoreKind core : kCores) {
+            const CycleCoreSim sim(coreConfig(core));
+            RefSimScratch full_ss;
+            const Cycle full = sim.run(stream, full_ss);
+
+            for (std::size_t w : kWindows) {
+                RefSimScratch ss;
+                sim.begin(ss);
+                for (std::size_t b = 0; b < stream.size(); b += w) {
+                    const std::size_t e =
+                        std::min(b + w, stream.size());
+                    sim.feed(ss, stream, b, e);
+                }
+                ASSERT_EQ(sim.finishRun(ss, stream), full)
+                    << wl << " core=" << static_cast<int>(core)
+                    << " window=" << w;
+            }
+        }
+    }
+}
+
+TEST(Streaming, BsaOccurrenceWindowsMatchMaterializedStream)
+{
+    // The BSA-evaluation path: transform + time one occurrence at a
+    // time through the scratch window (window-local dependences) and
+    // compare against materializing the whole rewritten stream.
+    for (const char *wl : {"conv", "mm", "fp-mix"}) {
+        const Tdg &tdg = load(wl);
+        const TdgAnalyzer an(tdg);
+        PipelineConfig cfg;
+        cfg.core = coreConfig(CoreKind::OOO2);
+        const PipelineModel model(cfg);
+
+        for (BsaKind kind : kAllBsas) {
+            auto whole = makeTransform(kind, tdg, an);
+            auto streamed = makeTransform(kind, tdg, an);
+            for (const Loop &loop : tdg.loops().loops()) {
+                if (!whole->canTarget(loop.id))
+                    continue;
+                const auto occs = tdg.occurrencesOf(loop.id);
+                if (occs.empty())
+                    continue;
+
+                const TransformOutput out =
+                    whole->transformLoop(loop.id, occs);
+                TimingScratch full_ts;
+                const PipelineResult full =
+                    model.run(out.stream, full_ts, true);
+
+                streamed->beginLoop(loop.id);
+                TimingScratch ts;
+                model.beginRun(ts, true);
+                for (const LoopOccurrence *occ : occs) {
+                    ts.window.clear();
+                    streamed->transformOccurrence(*occ, ts.window);
+                    model.runWindow(ts, ts.window, 0,
+                                    ts.window.size(), true);
+                }
+                const PipelineResult res = model.finish(ts);
+                ASSERT_EQ(res.cycles, full.cycles)
+                    << wl << " bsa=" << static_cast<int>(kind)
+                    << " loop=" << loop.id;
+                EXPECT_TRUE(res.events == full.events) << wl;
+                EXPECT_TRUE(res.binding == full.binding) << wl;
+                ASSERT_EQ(res.commitAt, full.commitAt) << wl;
+            }
+        }
+    }
+}
+
+TEST(Streaming, RepeatedRunsReuseScratch)
+{
+    // Re-arming a scratch must fully reset carried state: two
+    // identical runs through one scratch give identical results.
+    const MStream stream = buildCoreStream(load("conv").trace());
+    PipelineConfig cfg;
+    cfg.core = coreConfig(CoreKind::OOO2);
+    const PipelineModel model(cfg);
+    TimingScratch ts;
+    const PipelineResult first = model.run(stream, ts, true);
+    const PipelineResult second = model.run(stream, ts, true);
+    EXPECT_EQ(first.cycles, second.cycles);
+    EXPECT_TRUE(first.events == second.events);
+    EXPECT_EQ(first.commitAt, second.commitAt);
+
+    const CycleCoreSim sim(coreConfig(CoreKind::OOO2));
+    RefSimScratch ss;
+    const Cycle c1 = sim.run(stream, ss);
+    const Cycle c2 = sim.run(stream, ss);
+    EXPECT_EQ(c1, c2);
+}
+
+} // namespace
+} // namespace prism
