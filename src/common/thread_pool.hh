@@ -42,11 +42,24 @@ namespace prism
 unsigned defaultThreadCount();
 
 /**
+ * CPUs actually available to this process: the scheduling-affinity
+ * mask size where supported (cgroup cpusets and taskset shrink it
+ * below hardware_concurrency), else hardware_concurrency, at least 1.
+ */
+unsigned availableParallelism();
+
+/**
  * A work-stealing thread pool with `threads` total execution
  * contexts: the caller of parallelFor() plus (threads - 1) worker
  * threads. ThreadPool(1) therefore executes strictly serially on the
  * calling thread — useful as the baseline leg of serial-vs-parallel
  * comparisons — while still honoring the same code path.
+ *
+ * Worker threads are clamped to availableParallelism(): requesting
+ * more contexts than the machine can run concurrently spawns only as
+ * many workers as there are CPUs (the rest would just context-switch
+ * against each other). size() still reports the requested count, and
+ * setting PRISM_OVERSUBSCRIBE disables the clamp.
  */
 class ThreadPool
 {

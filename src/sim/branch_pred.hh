@@ -47,7 +47,7 @@ class BranchPredictor
 };
 
 /** Always-taken baseline (useful as a pessimistic reference). */
-class StaticTakenPredictor : public BranchPredictor
+class StaticTakenPredictor final : public BranchPredictor
 {
   public:
     bool predict(StaticId) const override { return true; }
@@ -56,7 +56,7 @@ class StaticTakenPredictor : public BranchPredictor
 };
 
 /** Classic bimodal table of 2-bit saturating counters. */
-class BimodalPredictor : public BranchPredictor
+class BimodalPredictor final : public BranchPredictor
 {
   public:
     explicit BimodalPredictor(unsigned table_bits = 12);
@@ -71,7 +71,7 @@ class BimodalPredictor : public BranchPredictor
 };
 
 /** Gshare: global history XOR pc indexing a 2-bit counter table. */
-class GsharePredictor : public BranchPredictor
+class GsharePredictor final : public BranchPredictor
 {
   public:
     explicit GsharePredictor(unsigned table_bits = 14,
@@ -95,7 +95,7 @@ class GsharePredictor : public BranchPredictor
  * a gshare component (an approximation of the Alpha 21264 style
  * predictor the paper's baseline cores descend from).
  */
-class TournamentPredictor : public BranchPredictor
+class TournamentPredictor final : public BranchPredictor
 {
   public:
     explicit TournamentPredictor(unsigned table_bits = 13);

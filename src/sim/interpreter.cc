@@ -1,300 +1,71 @@
 #include "sim/interpreter.hh"
 
-#include <bit>
-#include <cmath>
-#include <unordered_map>
-
-#include "common/logging.hh"
-
 namespace prism
 {
-
-namespace
-{
-
-double asF(std::int64_t v) { return std::bit_cast<double>(v); }
-std::int64_t asI(double v) { return std::bit_cast<std::int64_t>(v); }
-
-std::int64_t
-signExtend(std::uint64_t raw, unsigned size)
-{
-    switch (size) {
-      case 1: return static_cast<std::int8_t>(raw);
-      case 2: return static_cast<std::int16_t>(raw);
-      case 4: return static_cast<std::int32_t>(raw);
-      default: return static_cast<std::int64_t>(raw);
-    }
-}
-
-} // namespace
 
 Interpreter::Interpreter(const Program &prog, SimMemory &mem)
     : prog_(prog), mem_(mem)
 {
     prism_assert(prog.finalized(), "program must be finalized");
+
+    const auto &fns = prog.functions();
+    std::size_t nblocks = 0;
+    std::size_t ninsts = 0;
+    for (const Function &fn : fns) {
+        nblocks += fn.blocks.size();
+        for (const BasicBlock &bb : fn.blocks)
+            ninsts += bb.instrs.size();
+    }
+    blockBase_.reserve(fns.size());
+    numRegs_.reserve(fns.size());
+    pblocks_.reserve(nblocks);
+    pinsts_.reserve(ninsts);
+
+    for (const Function &fn : fns) {
+        blockBase_.push_back(static_cast<std::uint32_t>(pblocks_.size()));
+        numRegs_.push_back(fn.numRegs);
+        for (const BasicBlock &bb : fn.blocks) {
+            PBlock pb;
+            pb.first = static_cast<std::uint32_t>(pinsts_.size());
+            pb.count = static_cast<std::uint32_t>(bb.instrs.size());
+            pblocks_.push_back(pb);
+            for (const Instr &in : bb.instrs) {
+                const OpInfo &oi = opInfo(in.op);
+                PInst pi;
+                pi.op = in.op;
+                pi.memSize =
+                    (oi.isLoad || oi.isStore) ? in.memSize : 0;
+                pi.signShift = static_cast<std::uint8_t>(
+                    pi.memSize != 0 ? 64 - 8 * pi.memSize : 0);
+                pi.writes = oi.writesDst && in.dst != kNoReg;
+                pi.dst = in.dst;
+                pi.src = in.src;
+                pi.target = in.target;
+                pi.fallthrough = bb.fallthrough;
+                pi.imm = in.imm;
+                pi.sid = in.sid;
+                pinsts_.push_back(pi);
+            }
+        }
+    }
 }
 
 RunResult
 Interpreter::run(const std::vector<std::int64_t> &args, const Sink &sink,
                  const RunLimits &limits)
 {
-    RunResult result;
-
-    std::vector<Frame> stack;
-    const std::int32_t entry = prog_.entryFunction();
-    {
-        const Function &fn = prog_.function(entry);
-        prism_assert(args.size() == fn.numArgs,
-                     "entry expects %d args, got %zu",
-                     static_cast<int>(fn.numArgs), args.size());
-        Frame f;
-        f.func = entry;
-        f.regs.assign(fn.numRegs, 0);
-        f.lastWriter.assign(fn.numRegs, kNoProducer);
-        for (std::size_t i = 0; i < args.size(); ++i)
-            f.regs[i] = args[i];
-        stack.push_back(std::move(f));
+    InterpScratch sc;
+    if (!sink) {
+        return runStream(
+            args, sc, [](DynInst *, std::size_t, DynId) {}, limits);
     }
-
-    // Last store to each byte address, for memory-dependence tracking.
-    std::unordered_map<Addr, std::int64_t> last_store;
-
-    std::int32_t block = 0;
-    std::int32_t index = 0;
-    DynId dyn_idx = 0;
-
-    while (!stack.empty()) {
-        if (dyn_idx >= limits.maxInsts) {
-            result.hitInstLimit = true;
-            break;
-        }
-        Frame &frame = stack.back();
-        const Function &fn = prog_.function(frame.func);
-        const BasicBlock &bb = fn.blocks[block];
-        prism_assert(index < static_cast<std::int32_t>(bb.instrs.size()),
-                     "fell off the end of bb%d in '%s'", block,
-                     fn.name.c_str());
-        const Instr &in = bb.instrs[index];
-        const OpInfo &oi = opInfo(in.op);
-
-        DynInst di;
-        di.sid = in.sid;
-        di.op = in.op;
-        di.memSize = (oi.isLoad || oi.isStore) ? in.memSize : 0;
-
-        // Record register-source dependences.
-        for (int s = 0; s < 3; ++s) {
-            if (in.src[s] != kNoReg)
-                di.srcProd[s] = frame.lastWriter[in.src[s]];
-        }
-
-        auto rd = [&frame](RegId r) { return frame.regs[r]; };
-
-        std::int64_t value = 0;
-        bool writes = oi.writesDst && in.dst != kNoReg;
-        std::int32_t next_block = block;
-        std::int32_t next_index = index + 1;
-        bool frame_switched = false;
-
-        switch (in.op) {
-          case Opcode::Movi: value = in.imm; break;
-          case Opcode::Mov: value = rd(in.src[0]); break;
-          case Opcode::Add: value = rd(in.src[0]) + rd(in.src[1]); break;
-          case Opcode::Sub: value = rd(in.src[0]) - rd(in.src[1]); break;
-          case Opcode::And: value = rd(in.src[0]) & rd(in.src[1]); break;
-          case Opcode::Or: value = rd(in.src[0]) | rd(in.src[1]); break;
-          case Opcode::Xor: value = rd(in.src[0]) ^ rd(in.src[1]); break;
-          case Opcode::Shl:
-            value = rd(in.src[0]) << (rd(in.src[1]) & 63);
-            break;
-          case Opcode::Shr:
-            value = static_cast<std::int64_t>(
-                static_cast<std::uint64_t>(rd(in.src[0])) >>
-                (rd(in.src[1]) & 63));
-            break;
-          case Opcode::Mul: value = rd(in.src[0]) * rd(in.src[1]); break;
-          case Opcode::Div: {
-            const std::int64_t d = rd(in.src[1]);
-            value = d == 0 ? 0 : rd(in.src[0]) / d;
-            break;
-          }
-          case Opcode::Rem: {
-            const std::int64_t d = rd(in.src[1]);
-            value = d == 0 ? 0 : rd(in.src[0]) % d;
-            break;
-          }
-          case Opcode::CmpEq:
-            value = rd(in.src[0]) == rd(in.src[1]);
-            break;
-          case Opcode::CmpLt:
-            value = rd(in.src[0]) < rd(in.src[1]);
-            break;
-          case Opcode::CmpLe:
-            value = rd(in.src[0]) <= rd(in.src[1]);
-            break;
-          case Opcode::Sel:
-            value = rd(in.src[0]) != 0 ? rd(in.src[1]) : rd(in.src[2]);
-            break;
-
-          case Opcode::Fadd:
-            value = asI(asF(rd(in.src[0])) + asF(rd(in.src[1])));
-            break;
-          case Opcode::Fsub:
-            value = asI(asF(rd(in.src[0])) - asF(rd(in.src[1])));
-            break;
-          case Opcode::Fmul:
-            value = asI(asF(rd(in.src[0])) * asF(rd(in.src[1])));
-            break;
-          case Opcode::Fdiv:
-            value = asI(asF(rd(in.src[0])) / asF(rd(in.src[1])));
-            break;
-          case Opcode::Fsqrt:
-            value = asI(std::sqrt(asF(rd(in.src[0]))));
-            break;
-          case Opcode::Fma:
-            value = asI(asF(rd(in.src[0])) * asF(rd(in.src[1])) +
-                        asF(rd(in.src[2])));
-            break;
-          case Opcode::FcmpLt:
-            value = asF(rd(in.src[0])) < asF(rd(in.src[1]));
-            break;
-          case Opcode::FcmpEq:
-            value = asF(rd(in.src[0])) == asF(rd(in.src[1]));
-            break;
-          case Opcode::CvtIF:
-            value = asI(static_cast<double>(rd(in.src[0])));
-            break;
-          case Opcode::CvtFI:
-            value = static_cast<std::int64_t>(asF(rd(in.src[0])));
-            break;
-
-          case Opcode::Ld: {
-            const Addr addr =
-                static_cast<Addr>(rd(in.src[0]) + in.imm);
-            di.effAddr = addr;
-            value = signExtend(mem_.read(addr, in.memSize), in.memSize);
-            std::int64_t prod = kNoProducer;
-            for (unsigned b = 0; b < in.memSize; ++b) {
-                const auto it = last_store.find(addr + b);
-                if (it != last_store.end() && it->second > prod)
-                    prod = it->second;
-            }
-            di.memProd = prod;
-            break;
-          }
-          case Opcode::St: {
-            const Addr addr =
-                static_cast<Addr>(rd(in.src[0]) + in.imm);
-            di.effAddr = addr;
-            value = rd(in.src[1]);
-            mem_.write(addr, static_cast<std::uint64_t>(value),
-                       in.memSize);
-            for (unsigned b = 0; b < in.memSize; ++b)
-                last_store[addr + b] = static_cast<std::int64_t>(dyn_idx);
-            break;
-          }
-
-          case Opcode::Br: {
-            const bool taken = rd(in.src[0]) != 0;
-            di.branchTaken = taken;
-            value = taken;
-            if (taken) {
-                next_block = in.target;
-                next_index = 0;
-            } else {
-                next_block = bb.fallthrough;
-                next_index = 0;
-            }
-            break;
-          }
-          case Opcode::Jmp:
-            di.branchTaken = true;
-            next_block = in.target;
-            next_index = 0;
-            break;
-
-          case Opcode::Call: {
-            if (stack.size() >= limits.maxCallDepth)
-                fatal("guest call depth exceeds %u", limits.maxCallDepth);
-            di.branchTaken = true;
-            const Function &callee = prog_.function(in.target);
-            Frame nf;
-            nf.func = in.target;
-            nf.regs.assign(callee.numRegs, 0);
-            nf.lastWriter.assign(callee.numRegs, kNoProducer);
-            int a = 0;
-            for (RegId s : in.src) {
-                if (s != kNoReg) {
-                    nf.regs[a] = frame.regs[s];
-                    // Values flow through the call instruction.
-                    nf.lastWriter[a] =
-                        static_cast<std::int64_t>(dyn_idx);
-                    ++a;
-                }
-            }
-            nf.retDst = in.dst;
-            nf.retBlock = next_block;
-            nf.retIndex = next_index;
-            writes = false; // dst written by the matching Ret
-            stack.push_back(std::move(nf));
-            next_block = 0;
-            next_index = 0;
-            frame_switched = true;
-            break;
-          }
-          case Opcode::Ret: {
-            di.branchTaken = true;
-            const std::int64_t ret_val =
-                in.src[0] != kNoReg ? rd(in.src[0]) : 0;
-            value = ret_val;
-            const RegId ret_dst = frame.retDst;
-            const std::int32_t ret_block = frame.retBlock;
-            const std::int32_t ret_index = frame.retIndex;
-            stack.pop_back();
-            if (stack.empty()) {
-                result.returnValue = ret_val;
-                next_block = -1;
-            } else {
-                Frame &caller = stack.back();
-                if (ret_dst != kNoReg) {
-                    caller.regs[ret_dst] = ret_val;
-                    caller.lastWriter[ret_dst] =
-                        static_cast<std::int64_t>(dyn_idx);
-                }
-                next_block = ret_block;
-                next_index = ret_index;
-            }
-            frame_switched = true;
-            break;
-          }
-
-          case Opcode::Nop:
-            break;
-
-          default:
-            panic("interpreter cannot execute synthetic opcode '%s'",
-                  std::string(opName(in.op)).c_str());
-        }
-
-        di.value = value;
-        if (writes && !frame_switched) {
-            frame.regs[in.dst] = value;
-            frame.lastWriter[in.dst] =
-                static_cast<std::int64_t>(dyn_idx);
-        }
-
-        if (sink)
-            sink(di);
-        ++dyn_idx;
-        ++result.instsExecuted;
-
-        if (stack.empty())
-            break;
-        block = next_block;
-        index = next_index;
-    }
-
-    return result;
+    return runStream(
+        args, sc,
+        [&sink](DynInst *d, std::size_t n, DynId) {
+            for (std::size_t i = 0; i < n; ++i)
+                sink(d[i]);
+        },
+        limits);
 }
 
 } // namespace prism

@@ -2,18 +2,34 @@
  * @file
  * Functional simulator for guest programs. Executes a Program against
  * a SimMemory, tracking true register and memory dependences, and
- * hands each retired instruction to a sink. This is Prism's equivalent
- * of the paper's gem5 front-end: it produces the dynamic information
+ * hands retired instructions to a sink. This is Prism's equivalent of
+ * the paper's gem5 front-end: it produces the dynamic information
  * stream the TDG constructor consumes.
+ *
+ * The hot path is `runStream`: a templated batch callback (so the loop
+ * inlines, no std::function dispatch per retirement) executing a
+ * predecoded program image (per-block PInst records with operand slots,
+ * memory sizes and branch targets resolved once at construction)
+ * against a reusable InterpScratch. Retired DynInsts accumulate in a
+ * scratch batch buffer and are handed to the callback in blocks, which
+ * lets downstream consumers (cache model, branch predictor, TDG
+ * builder) run tight batched loops instead of one virtual/indirect
+ * call per instruction. Steady-state reuse of one scratch performs no
+ * heap allocation.
  */
 
 #ifndef PRISM_SIM_INTERPRETER_HH
 #define PRISM_SIM_INTERPRETER_HH
 
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "common/logging.hh"
 #include "prog/program.hh"
 #include "sim/memory.hh"
 #include "trace/dyn_inst.hh"
@@ -37,11 +53,216 @@ struct RunResult
 };
 
 /**
- * Executes guest programs instruction-at-a-time. Loads of sizes < 8
- * are sign-extended. The per-instruction sink receives a DynInst with
- * all architectural fields and dependence indices filled in;
- * microarchitectural annotation (cache latency, branch prediction) is
- * layered on by TraceGen.
+ * Last-store-to-byte tracker for memory dependences.
+ *
+ * Page-granular: each touched page gets 4096 producer slots from a
+ * pooled arena, located through a small open-addressing table. This
+ * replaces the per-byte unordered_map the interpreter used to pay a
+ * hash lookup per accessed byte for; stores fill slots directly and
+ * loads take the max over the covered slots. Reused across runs with
+ * no steady-state allocation once the pool reaches its high-water mark.
+ */
+class StoreTracker
+{
+  public:
+    /** Forget all stores; keeps capacity. */
+    void
+    beginRun()
+    {
+        if (table_.empty())
+            table_.resize(kMinTable);
+        std::fill(table_.begin(), table_.end(), Entry{});
+        used_ = 0;
+    }
+
+    /** Producer index for a load of [addr, addr+size): max last-store
+     *  dynamic index over the covered bytes, kNoProducer if none. */
+    std::int64_t
+    loadProducer(Addr addr, unsigned size)
+    {
+        std::int64_t prod = kNoProducer;
+        while (size > 0) {
+            const Addr off = addr & kPageMask;
+            const unsigned chunk = static_cast<unsigned>(
+                std::min<Addr>(size, kPageSize - off));
+            if (const std::int64_t *s = find(addr >> kPageBits)) {
+                for (unsigned b = 0; b < chunk; ++b)
+                    prod = std::max(prod, s[off + b]);
+            }
+            addr += chunk;
+            size -= chunk;
+        }
+        return prod;
+    }
+
+    /** Record a store of [addr, addr+size) by dynamic inst `idx`. */
+    void
+    recordStore(Addr addr, unsigned size, std::int64_t idx)
+    {
+        while (size > 0) {
+            const Addr off = addr & kPageMask;
+            const unsigned chunk = static_cast<unsigned>(
+                std::min<Addr>(size, kPageSize - off));
+            std::int64_t *s = acquire(addr >> kPageBits);
+            for (unsigned b = 0; b < chunk; ++b)
+                s[off + b] = idx;
+            addr += chunk;
+            size -= chunk;
+        }
+    }
+
+  private:
+    static constexpr Addr kPageBits = 12;
+    static constexpr Addr kPageSize = Addr{1} << kPageBits;
+    static constexpr Addr kPageMask = kPageSize - 1;
+    static constexpr std::size_t kPageSlots = kPageSize;
+    static constexpr std::size_t kMinTable = 64; // power of two
+
+    struct Entry
+    {
+        Addr key = 0; // page id + 1; 0 = empty
+        std::uint32_t slot = 0;
+    };
+
+    static std::size_t
+    hash(Addr page)
+    {
+        // Fibonacci hashing; pages are sequential in practice.
+        return static_cast<std::size_t>(page * 0x9E3779B97F4A7C15ull >> 32);
+    }
+
+    /** Slots of `page`, nullptr if never stored to this run. */
+    std::int64_t *
+    find(Addr page)
+    {
+        const std::size_t mask = table_.size() - 1;
+        std::size_t h = hash(page) & mask;
+        while (table_[h].key != 0) {
+            if (table_[h].key == page + 1) {
+                return pool_.data() +
+                       std::size_t{table_[h].slot} * kPageSlots;
+            }
+            h = (h + 1) & mask;
+        }
+        return nullptr;
+    }
+
+    /** Slots of `page`, creating (all kNoProducer) if needed. */
+    std::int64_t *
+    acquire(Addr page)
+    {
+        if (std::int64_t *s = find(page))
+            return s;
+        if ((used_ + 1) * 2 > table_.size())
+            grow();
+        const std::size_t mask = table_.size() - 1;
+        std::size_t h = hash(page) & mask;
+        while (table_[h].key != 0)
+            h = (h + 1) & mask;
+        table_[h].key = page + 1;
+        table_[h].slot = static_cast<std::uint32_t>(used_);
+        if (pool_.size() < (used_ + 1) * kPageSlots)
+            pool_.resize((used_ + 1) * kPageSlots);
+        std::int64_t *s = pool_.data() + used_ * kPageSlots;
+        std::fill_n(s, kPageSlots, kNoProducer);
+        ++used_;
+        return s;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Entry> old = std::move(table_);
+        table_.assign(old.size() * 2, Entry{});
+        const std::size_t mask = table_.size() - 1;
+        for (const Entry &e : old) {
+            if (e.key == 0)
+                continue;
+            std::size_t h = hash(e.key - 1) & mask;
+            while (table_[h].key != 0)
+                h = (h + 1) & mask;
+            table_[h] = e;
+        }
+    }
+
+    std::vector<Entry> table_;
+    std::vector<std::int64_t> pool_;
+    std::size_t used_ = 0;
+};
+
+/**
+ * Reusable execution state for Interpreter::runStream: the register
+ * stack (flat arrays shared by all frames), call frames, store tracker
+ * and the retired-instruction batch buffer. Constructed once and
+ * reused, runs allocate nothing once sized.
+ */
+class InterpScratch
+{
+  public:
+    InterpScratch() = default;
+
+  private:
+    friend class Interpreter;
+
+    struct Frame
+    {
+        std::int32_t func = 0;
+        std::uint32_t regBase = 0; // offset into regs_/lastWriter_
+        RegId retDst = kNoReg;     // caller reg for return
+        std::int32_t retBlock = 0; // caller resume point
+        std::int32_t retIndex = 0;
+    };
+
+    void
+    beginRun()
+    {
+        frames_.clear();
+        regTop_ = 0;
+        stores_.beginRun();
+    }
+
+    /** Push a frame with `nregs` zeroed registers; returns it. */
+    Frame &
+    pushFrame(std::int32_t func, std::uint32_t nregs, RegId retDst,
+              std::int32_t retBlock, std::int32_t retIndex)
+    {
+        Frame f;
+        f.func = func;
+        f.regBase = regTop_;
+        f.retDst = retDst;
+        f.retBlock = retBlock;
+        f.retIndex = retIndex;
+        regTop_ += nregs;
+        if (regs_.size() < regTop_) {
+            regs_.resize(regTop_);
+            lastWriter_.resize(regTop_);
+        }
+        std::fill_n(regs_.begin() + f.regBase, nregs, std::int64_t{0});
+        std::fill_n(lastWriter_.begin() + f.regBase, nregs, kNoProducer);
+        frames_.push_back(f);
+        return frames_.back();
+    }
+
+    void
+    popFrame()
+    {
+        regTop_ = frames_.back().regBase;
+        frames_.pop_back();
+    }
+
+    std::vector<Frame> frames_;
+    std::vector<std::int64_t> regs_;
+    std::vector<std::int64_t> lastWriter_;
+    std::uint32_t regTop_ = 0;
+    StoreTracker stores_;
+    std::vector<DynInst> buf_;
+};
+
+/**
+ * Executes guest programs. Loads of sizes < 8 are sign-extended. Each
+ * retired DynInst carries all architectural fields and dependence
+ * indices; microarchitectural annotation (cache latency, branch
+ * prediction) is layered on by the FrontEnd in trace_gen.
  */
 class Interpreter
 {
@@ -57,19 +278,318 @@ class Interpreter
     RunResult run(const std::vector<std::int64_t> &args,
                   const Sink &sink = {}, const RunLimits &limits = {});
 
-  private:
-    struct Frame
+    /** Retired instructions per batch handed to the runStream callback. */
+    static constexpr std::size_t kBatch = 1024;
+
+    /**
+     * Streaming run: retired DynInsts are delivered in batches as
+     * `emit(DynInst *batch, std::size_t n, DynId base)` where `base`
+     * is the dynamic index of batch[0]. The callback is a template
+     * parameter so the whole loop inlines. `sc` is reused across runs
+     * and owns all mutable state.
+     */
+    template <class BatchFn>
+    RunResult
+    runStream(const std::vector<std::int64_t> &args, InterpScratch &sc,
+              BatchFn &&emit, const RunLimits &limits = {}) const
     {
-        std::int32_t func = 0;
-        std::vector<std::int64_t> regs;
-        std::vector<std::int64_t> lastWriter; // dyn idx, kNoProducer
-        RegId retDst = kNoReg;                // caller reg for return
-        std::int32_t retBlock = 0;            // caller resume point
-        std::int32_t retIndex = 0;
+        RunResult result;
+
+        sc.beginRun();
+        if (sc.buf_.size() < kBatch)
+            sc.buf_.resize(kBatch);
+
+        const std::int32_t entry = prog_.entryFunction();
+        {
+            const Function &fn = prog_.function(entry);
+            prism_assert(args.size() == fn.numArgs,
+                         "entry expects %d args, got %zu",
+                         static_cast<int>(fn.numArgs), args.size());
+            InterpScratch::Frame &f =
+                sc.pushFrame(entry, numRegs_[entry], kNoReg, 0, 0);
+            for (std::size_t i = 0; i < args.size(); ++i)
+                sc.regs_[f.regBase + i] = args[i];
+        }
+
+        DynInst *const buf = sc.buf_.data();
+        std::size_t bn = 0;
+
+        std::int32_t block = 0;
+        std::int32_t index = 0;
+        DynId dyn_idx = 0;
+
+        while (!sc.frames_.empty()) {
+            if (dyn_idx >= limits.maxInsts) {
+                result.hitInstLimit = true;
+                break;
+            }
+            const InterpScratch::Frame &frame = sc.frames_.back();
+            const PBlock &pb = pblocks_[blockBase_[frame.func] + block];
+            prism_assert(index < static_cast<std::int32_t>(pb.count),
+                         "fell off the end of bb%d in '%s'", block,
+                         prog_.function(frame.func).name.c_str());
+            const PInst &in = pinsts_[pb.first + index];
+
+            std::int64_t *const regs = sc.regs_.data() + frame.regBase;
+            std::int64_t *const lastw =
+                sc.lastWriter_.data() + frame.regBase;
+
+            DynInst &di = buf[bn];
+            di = DynInst{};
+            di.sid = in.sid;
+            di.op = in.op;
+            di.memSize = in.memSize;
+
+            // Record register-source dependences.
+            for (int s = 0; s < 3; ++s) {
+                if (in.src[s] != kNoReg)
+                    di.srcProd[s] = lastw[in.src[s]];
+            }
+
+            const auto rd = [regs](RegId r) { return regs[r]; };
+            const auto asF = [](std::int64_t v) {
+                return std::bit_cast<double>(v);
+            };
+            const auto asI = [](double v) {
+                return std::bit_cast<std::int64_t>(v);
+            };
+
+            std::int64_t value = 0;
+            bool writes = in.writes;
+            std::int32_t next_block = block;
+            std::int32_t next_index = index + 1;
+            bool frame_switched = false;
+
+            switch (in.op) {
+              case Opcode::Movi: value = in.imm; break;
+              case Opcode::Mov: value = rd(in.src[0]); break;
+              case Opcode::Add: value = rd(in.src[0]) + rd(in.src[1]); break;
+              case Opcode::Sub: value = rd(in.src[0]) - rd(in.src[1]); break;
+              case Opcode::And: value = rd(in.src[0]) & rd(in.src[1]); break;
+              case Opcode::Or: value = rd(in.src[0]) | rd(in.src[1]); break;
+              case Opcode::Xor: value = rd(in.src[0]) ^ rd(in.src[1]); break;
+              case Opcode::Shl:
+                value = rd(in.src[0]) << (rd(in.src[1]) & 63);
+                break;
+              case Opcode::Shr:
+                value = static_cast<std::int64_t>(
+                    static_cast<std::uint64_t>(rd(in.src[0])) >>
+                    (rd(in.src[1]) & 63));
+                break;
+              case Opcode::Mul: value = rd(in.src[0]) * rd(in.src[1]); break;
+              case Opcode::Div: {
+                const std::int64_t d = rd(in.src[1]);
+                value = d == 0 ? 0 : rd(in.src[0]) / d;
+                break;
+              }
+              case Opcode::Rem: {
+                const std::int64_t d = rd(in.src[1]);
+                value = d == 0 ? 0 : rd(in.src[0]) % d;
+                break;
+              }
+              case Opcode::CmpEq:
+                value = rd(in.src[0]) == rd(in.src[1]);
+                break;
+              case Opcode::CmpLt:
+                value = rd(in.src[0]) < rd(in.src[1]);
+                break;
+              case Opcode::CmpLe:
+                value = rd(in.src[0]) <= rd(in.src[1]);
+                break;
+              case Opcode::Sel:
+                value = rd(in.src[0]) != 0 ? rd(in.src[1]) : rd(in.src[2]);
+                break;
+
+              case Opcode::Fadd:
+                value = asI(asF(rd(in.src[0])) + asF(rd(in.src[1])));
+                break;
+              case Opcode::Fsub:
+                value = asI(asF(rd(in.src[0])) - asF(rd(in.src[1])));
+                break;
+              case Opcode::Fmul:
+                value = asI(asF(rd(in.src[0])) * asF(rd(in.src[1])));
+                break;
+              case Opcode::Fdiv:
+                value = asI(asF(rd(in.src[0])) / asF(rd(in.src[1])));
+                break;
+              case Opcode::Fsqrt:
+                value = asI(std::sqrt(asF(rd(in.src[0]))));
+                break;
+              case Opcode::Fma:
+                value = asI(asF(rd(in.src[0])) * asF(rd(in.src[1])) +
+                            asF(rd(in.src[2])));
+                break;
+              case Opcode::FcmpLt:
+                value = asF(rd(in.src[0])) < asF(rd(in.src[1]));
+                break;
+              case Opcode::FcmpEq:
+                value = asF(rd(in.src[0])) == asF(rd(in.src[1]));
+                break;
+              case Opcode::CvtIF:
+                value = asI(static_cast<double>(rd(in.src[0])));
+                break;
+              case Opcode::CvtFI:
+                value = static_cast<std::int64_t>(asF(rd(in.src[0])));
+                break;
+
+              case Opcode::Ld: {
+                const Addr addr =
+                    static_cast<Addr>(rd(in.src[0]) + in.imm);
+                di.effAddr = addr;
+                const std::uint64_t raw = mem_.read(addr, in.memSize);
+                // Sign-extend via the predecoded shift (64 - 8*size).
+                value = static_cast<std::int64_t>(raw << in.signShift) >>
+                        in.signShift;
+                di.memProd = sc.stores_.loadProducer(addr, in.memSize);
+                break;
+              }
+              case Opcode::St: {
+                const Addr addr =
+                    static_cast<Addr>(rd(in.src[0]) + in.imm);
+                di.effAddr = addr;
+                value = rd(in.src[1]);
+                mem_.write(addr, static_cast<std::uint64_t>(value),
+                           in.memSize);
+                sc.stores_.recordStore(addr, in.memSize,
+                                       static_cast<std::int64_t>(dyn_idx));
+                break;
+              }
+
+              case Opcode::Br: {
+                const bool taken = rd(in.src[0]) != 0;
+                di.branchTaken = taken;
+                value = taken;
+                next_block = taken ? in.target : in.fallthrough;
+                next_index = 0;
+                break;
+              }
+              case Opcode::Jmp:
+                di.branchTaken = true;
+                next_block = in.target;
+                next_index = 0;
+                break;
+
+              case Opcode::Call: {
+                if (sc.frames_.size() >= limits.maxCallDepth)
+                    fatal("guest call depth exceeds %u",
+                          limits.maxCallDepth);
+                di.branchTaken = true;
+                // Latch argument values before the frame push can
+                // reallocate the register stack.
+                std::array<std::int64_t, 3> argv{};
+                int na = 0;
+                for (RegId s : in.src) {
+                    if (s != kNoReg)
+                        argv[na++] = regs[s];
+                }
+                InterpScratch::Frame &nf =
+                    sc.pushFrame(in.target, numRegs_[in.target], in.dst,
+                                 next_block, next_index);
+                for (int a = 0; a < na; ++a) {
+                    sc.regs_[nf.regBase + a] = argv[a];
+                    // Values flow through the call instruction.
+                    sc.lastWriter_[nf.regBase + a] =
+                        static_cast<std::int64_t>(dyn_idx);
+                }
+                writes = false; // dst written by the matching Ret
+                next_block = 0;
+                next_index = 0;
+                frame_switched = true;
+                break;
+              }
+              case Opcode::Ret: {
+                di.branchTaken = true;
+                const std::int64_t ret_val =
+                    in.src[0] != kNoReg ? rd(in.src[0]) : 0;
+                value = ret_val;
+                const InterpScratch::Frame done = sc.frames_.back();
+                sc.popFrame();
+                if (sc.frames_.empty()) {
+                    result.returnValue = ret_val;
+                    next_block = -1;
+                } else {
+                    const InterpScratch::Frame &caller =
+                        sc.frames_.back();
+                    if (done.retDst != kNoReg) {
+                        sc.regs_[caller.regBase + done.retDst] = ret_val;
+                        sc.lastWriter_[caller.regBase + done.retDst] =
+                            static_cast<std::int64_t>(dyn_idx);
+                    }
+                    next_block = done.retBlock;
+                    next_index = done.retIndex;
+                }
+                frame_switched = true;
+                break;
+              }
+
+              case Opcode::Nop:
+                break;
+
+              default:
+                panic("interpreter cannot execute synthetic opcode '%s'",
+                      std::string(opName(in.op)).c_str());
+            }
+
+            di.value = value;
+            if (writes && !frame_switched) {
+                regs[in.dst] = value;
+                lastw[in.dst] = static_cast<std::int64_t>(dyn_idx);
+            }
+
+            ++bn;
+            ++dyn_idx;
+            ++result.instsExecuted;
+            if (bn == kBatch) {
+                emit(buf, bn, dyn_idx - bn);
+                bn = 0;
+            }
+
+            if (sc.frames_.empty())
+                break;
+            block = next_block;
+            index = next_index;
+        }
+
+        if (bn > 0)
+            emit(buf, bn, dyn_idx - bn);
+        return result;
+    }
+
+  private:
+    /**
+     * Predecoded instruction: everything the hot loop needs, resolved
+     * once at construction (operand slots, mem size, sign-extension
+     * shift, writeback flag, branch targets including the containing
+     * block's fallthrough).
+     */
+    struct PInst
+    {
+        Opcode op = Opcode::Nop;
+        std::uint8_t memSize = 0;   // 0 for non-memory ops
+        std::uint8_t signShift = 0; // 64 - 8*memSize, for load sext
+        std::uint8_t writes = 0;    // writesDst && dst != kNoReg
+        RegId dst = kNoReg;
+        std::array<RegId, 3> src{kNoReg, kNoReg, kNoReg};
+        std::int32_t target = -1;
+        std::int32_t fallthrough = -1;
+        std::int64_t imm = 0;
+        StaticId sid = kNoStatic;
+    };
+
+    struct PBlock
+    {
+        std::uint32_t first = 0; // index into pinsts_
+        std::uint32_t count = 0;
     };
 
     const Program &prog_;
     SimMemory &mem_;
+
+    // Predecode cache, indexed by blockBase_[func] + block.
+    std::vector<PInst> pinsts_;
+    std::vector<PBlock> pblocks_;
+    std::vector<std::uint32_t> blockBase_;
+    std::vector<std::uint32_t> numRegs_;
 };
 
 } // namespace prism

@@ -2,34 +2,27 @@
 
 #include <bit>
 
-#include "common/logging.hh"
-
 namespace prism
 {
 
 std::uint8_t
 SimMemory::readByte(Addr addr) const
 {
-    const auto it = pages_.find(addr >> kPageBits);
-    if (it == pages_.end())
+    const std::uint8_t *p = pageForRead(addr >> kPageBits);
+    if (!p)
         return 0;
-    return it->second[addr & kPageMask];
+    return p[addr & kPageMask];
 }
 
 void
 SimMemory::writeByte(Addr addr, std::uint8_t v)
 {
-    Page &page = pages_[addr >> kPageBits];
-    if (page.empty())
-        page.resize(kPageSize, 0);
-    page[addr & kPageMask] = v;
+    pageForWrite(addr >> kPageBits)[addr & kPageMask] = v;
 }
 
 std::uint64_t
-SimMemory::read(Addr addr, unsigned size) const
+SimMemory::readSlow(Addr addr, unsigned size) const
 {
-    prism_assert(size == 1 || size == 2 || size == 4 || size == 8,
-                 "bad access size %u", size);
     std::uint64_t v = 0;
     for (unsigned i = 0; i < size; ++i)
         v |= static_cast<std::uint64_t>(readByte(addr + i)) << (8 * i);
@@ -37,10 +30,8 @@ SimMemory::read(Addr addr, unsigned size) const
 }
 
 void
-SimMemory::write(Addr addr, std::uint64_t value, unsigned size)
+SimMemory::writeSlow(Addr addr, std::uint64_t value, unsigned size)
 {
-    prism_assert(size == 1 || size == 2 || size == 4 || size == 8,
-                 "bad access size %u", size);
     for (unsigned i = 0; i < size; ++i)
         writeByte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
 }

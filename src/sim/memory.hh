@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace prism
@@ -21,15 +22,51 @@ namespace prism
  * Sparse paged memory. Reads of untouched memory return zero, like a
  * fresh BSS segment. Unaligned accesses are supported (they cross
  * pages transparently).
+ *
+ * The common case — an access that stays within one page — takes a
+ * single page lookup, served from a one-entry last-page cache when the
+ * access stream has locality. Pages are never resized or removed once
+ * created and unordered_map never invalidates element references on
+ * insert, so the cached data pointers stay valid for the lifetime of
+ * the SimMemory.
  */
 class SimMemory
 {
   public:
     /** Read `size` (1/2/4/8) bytes, zero-extended into 64 bits. */
-    std::uint64_t read(Addr addr, unsigned size) const;
+    std::uint64_t
+    read(Addr addr, unsigned size) const
+    {
+        prism_assert(size == 1 || size == 2 || size == 4 || size == 8,
+                     "bad access size %u", size);
+        const Addr off = addr & kPageMask;
+        if (off + size <= kPageSize) [[likely]] {
+            const std::uint8_t *p = pageForRead(addr >> kPageBits);
+            if (!p)
+                return 0;
+            std::uint64_t v = 0;
+            for (unsigned i = 0; i < size; ++i)
+                v |= static_cast<std::uint64_t>(p[off + i]) << (8 * i);
+            return v;
+        }
+        return readSlow(addr, size);
+    }
 
     /** Write the low `size` bytes of value. */
-    void write(Addr addr, std::uint64_t value, unsigned size);
+    void
+    write(Addr addr, std::uint64_t value, unsigned size)
+    {
+        prism_assert(size == 1 || size == 2 || size == 4 || size == 8,
+                     "bad access size %u", size);
+        const Addr off = addr & kPageMask;
+        if (off + size <= kPageSize) [[likely]] {
+            std::uint8_t *p = pageForWrite(addr >> kPageBits);
+            for (unsigned i = 0; i < size; ++i)
+                p[off + i] = static_cast<std::uint8_t>(value >> (8 * i));
+            return;
+        }
+        writeSlow(addr, value, size);
+    }
 
     // Typed conveniences for staging workload inputs.
     std::int64_t readI64(Addr addr) const;
@@ -46,13 +83,50 @@ class SimMemory
     static constexpr Addr kPageBits = 12;
     static constexpr Addr kPageSize = Addr{1} << kPageBits;
     static constexpr Addr kPageMask = kPageSize - 1;
+    static constexpr Addr kNoPage = ~Addr{0};
 
     using Page = std::vector<std::uint8_t>;
+
+    /** Data of `page` if it exists, else nullptr. Absent pages are
+     *  not cached: a later write may create them. */
+    const std::uint8_t *
+    pageForRead(Addr page) const
+    {
+        if (page == lastReadPage_)
+            return lastRead_;
+        const auto it = pages_.find(page);
+        if (it == pages_.end())
+            return nullptr;
+        lastReadPage_ = page;
+        lastRead_ = it->second.data();
+        return lastRead_;
+    }
+
+    /** Data of `page`, creating (zero-filled) if needed. */
+    std::uint8_t *
+    pageForWrite(Addr page)
+    {
+        if (page == lastWritePage_)
+            return lastWrite_;
+        Page &pg = pages_[page];
+        if (pg.empty())
+            pg.resize(kPageSize, 0);
+        lastWritePage_ = page;
+        lastWrite_ = pg.data();
+        return lastWrite_;
+    }
+
+    std::uint64_t readSlow(Addr addr, unsigned size) const;
+    void writeSlow(Addr addr, std::uint64_t value, unsigned size);
 
     std::uint8_t readByte(Addr addr) const;
     void writeByte(Addr addr, std::uint8_t v);
 
     std::unordered_map<Addr, Page> pages_;
+    mutable Addr lastReadPage_ = kNoPage;
+    mutable const std::uint8_t *lastRead_ = nullptr;
+    Addr lastWritePage_ = kNoPage;
+    std::uint8_t *lastWrite_ = nullptr;
 };
 
 } // namespace prism

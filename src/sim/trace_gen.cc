@@ -26,37 +26,10 @@ generateTrace(const Program &prog, SimMemory &mem,
               const std::vector<std::int64_t> &args, Trace &out,
               const TraceGenConfig &cfg)
 {
-    CacheHierarchy caches(cfg.hierarchy);
-    auto pred = makePredictor(cfg.predictor);
-
-    Interpreter interp(prog, mem);
-    RunLimits limits;
-    limits.maxInsts = cfg.maxInsts;
-
-    auto sink = [&](DynInst &di) {
-        const OpInfo &oi = opInfo(di.op);
-        if (oi.isLoad) {
-            di.memLat =
-                static_cast<std::uint16_t>(caches.load(di.effAddr));
-        } else if (oi.isStore) {
-            caches.store(di.effAddr);
-            di.memLat = 1;
-        }
-        if (oi.isCondBranch) {
-            di.mispredicted =
-                !pred->predictAndUpdate(di.sid, di.branchTaken);
-        }
-        out.push(di);
-    };
-
-    const RunResult rr = interp.run(args, sink, limits);
-
-    TraceGenResult res;
-    res.returnValue = rr.returnValue;
-    res.hitInstLimit = rr.hitInstLimit;
-    res.l1dMissRate = caches.l1d().missRate();
-    res.l2MissRate = caches.l2().missRate();
-    return res;
+    FrontEnd fe(prog, mem, cfg);
+    return fe.run(args, [&out](const DynInst *d, std::size_t n, DynId) {
+        out.append(d, n);
+    });
 }
 
 } // namespace prism

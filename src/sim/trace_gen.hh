@@ -4,6 +4,14 @@
  * annotation (cache-model load latencies, branch-predictor outcomes).
  * The result is the original, untransformed trace from which
  * TDG(GPP, none) is constructed — the paper's Figure 2 left edge.
+ *
+ * FrontEnd is the streaming form: it owns the predecoded Interpreter,
+ * the cache hierarchy, the predictors and a reusable InterpScratch,
+ * and annotates retired DynInsts batch-at-a-time before handing them
+ * to a templated consumer (the TDG builder, an MStream appender, or a
+ * materializing Trace). Annotation is batched per retired block and
+ * the predictor is dispatched once per run onto a concrete (final)
+ * type, so the whole path inlines with zero steady-state allocations.
  */
 
 #ifndef PRISM_SIM_TRACE_GEN_HH
@@ -42,6 +50,106 @@ struct TraceGenResult
 
 /** Construct the predictor selected by `kind`. */
 std::unique_ptr<BranchPredictor> makePredictor(PredictorKind kind);
+
+/**
+ * Fused streaming front end: interpret → annotate in one pass.
+ * Construct once per (program, memory) pair and reuse: repeated runs
+ * reset the µarch models in place and allocate nothing once the
+ * scratch reaches its high-water mark.
+ */
+class FrontEnd
+{
+  public:
+    FrontEnd(const Program &prog, SimMemory &mem,
+             const TraceGenConfig &cfg = {})
+        : cfg_(cfg), interp_(prog, mem), caches_(cfg.hierarchy)
+    {
+    }
+
+    /**
+     * Execute the entry function with `args`, streaming annotated
+     * DynInsts to `consume(DynInst *batch, std::size_t n, DynId base)`
+     * where `base` is the dynamic index of batch[0].
+     */
+    template <class Consume>
+    TraceGenResult
+    run(const std::vector<std::int64_t> &args, Consume &&consume)
+    {
+        caches_.reset();
+        RunLimits limits;
+        limits.maxInsts = cfg_.maxInsts;
+
+        RunResult rr;
+        switch (cfg_.predictor) {
+          case PredictorKind::Tournament:
+            tournament_.reset();
+            rr = runWith(tournament_, args, consume, limits);
+            break;
+          case PredictorKind::Gshare:
+            gshare_.reset();
+            rr = runWith(gshare_, args, consume, limits);
+            break;
+          case PredictorKind::Bimodal:
+            bimodal_.reset();
+            rr = runWith(bimodal_, args, consume, limits);
+            break;
+          case PredictorKind::AlwaysTaken:
+            taken_.reset();
+            rr = runWith(taken_, args, consume, limits);
+            break;
+        }
+
+        TraceGenResult res;
+        res.returnValue = rr.returnValue;
+        res.hitInstLimit = rr.hitInstLimit;
+        res.l1dMissRate = caches_.l1d().missRate();
+        res.l2MissRate = caches_.l2().missRate();
+        return res;
+    }
+
+    const TraceGenConfig &config() const { return cfg_; }
+
+  private:
+    /** Run with a concrete predictor type so annotation devirtualizes. */
+    template <class Pred, class Consume>
+    RunResult
+    runWith(Pred &pred, const std::vector<std::int64_t> &args,
+            Consume &consume, const RunLimits &limits)
+    {
+        return interp_.runStream(
+            args, scratch_,
+            [this, &pred, &consume](DynInst *d, std::size_t n,
+                                    DynId base) {
+                for (std::size_t i = 0; i < n; ++i) {
+                    DynInst &di = d[i];
+                    const OpInfo &oi = opInfo(di.op);
+                    if (oi.isLoad) {
+                        di.memLat = static_cast<std::uint16_t>(
+                            caches_.load(di.effAddr));
+                    } else if (oi.isStore) {
+                        caches_.store(di.effAddr);
+                        di.memLat = 1;
+                    }
+                    if (oi.isCondBranch) {
+                        di.mispredicted =
+                            !pred.predictAndUpdate(di.sid,
+                                                   di.branchTaken);
+                    }
+                }
+                consume(static_cast<const DynInst *>(d), n, base);
+            },
+            limits);
+    }
+
+    TraceGenConfig cfg_;
+    Interpreter interp_;
+    InterpScratch scratch_;
+    CacheHierarchy caches_;
+    TournamentPredictor tournament_;
+    GsharePredictor gshare_;
+    BimodalPredictor bimodal_;
+    StaticTakenPredictor taken_;
+};
 
 /**
  * Execute the program's entry function with `args` against `mem`,

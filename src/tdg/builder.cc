@@ -1,0 +1,549 @@
+#include "tdg/builder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "ir/cfg.hh"
+#include "ir/dominators.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+/** dst is also one of the sources: the self-update idiom. */
+bool
+isSelfDep(const Instr &in)
+{
+    if (in.dst == kNoReg)
+        return false;
+    for (RegId s : in.src) {
+        if (s != kNoReg && s == in.dst)
+            return true;
+    }
+    return false;
+}
+
+/** The non-dst operand of a self-dep instruction (kNoReg if none). */
+RegId
+otherOperand(const Instr &in)
+{
+    for (RegId s : in.src) {
+        if (s != kNoReg && s != in.dst)
+            return s;
+    }
+    return kNoReg;
+}
+
+bool
+isReductionOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fmul:
+      case Opcode::Fma:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+TdgStatics::TdgStatics(const Program &prog)
+    : forest(LoopForest::build(prog)), dfgs(buildAllDfgs(prog)),
+      prog_(&prog)
+{
+    const std::size_t nloops = forest.numLoops();
+    dags.resize(nloops);
+    inductions.resize(nloops);
+    reductions.resize(nloops);
+
+    // One Cfg + Dominators per function, built lazily.
+    std::vector<std::unique_ptr<Cfg>> cfgs(prog.functions().size());
+    std::vector<std::unique_ptr<Dominators>> doms(
+        prog.functions().size());
+    auto cfg_of = [&](std::int32_t func) -> const Cfg & {
+        if (!cfgs[func]) {
+            cfgs[func] =
+                std::make_unique<Cfg>(Cfg::reconstruct(prog, func));
+        }
+        return *cfgs[func];
+    };
+    auto dom_of = [&](std::int32_t func) -> const Dominators & {
+        if (!doms[func]) {
+            doms[func] = std::make_unique<Dominators>(
+                Dominators::compute(cfg_of(func)));
+        }
+        return *doms[func];
+    };
+
+    // Ball-Larus numbering for every innermost loop, and the static
+    // induction/reduction classification (same rules and iteration
+    // order as the legacy profilePaths/profileDeps passes).
+    for (const Loop &loop : forest.loops()) {
+        if (!loop.innermost)
+            continue;
+        dags[loop.id] = std::make_unique<BallLarusDag>(
+            prog, cfg_of(loop.func), loop);
+
+        const Function &fn = prog.function(loop.func);
+        const Dfg &dfg = dfgs.at(loop.func);
+        const Dominators &dom = dom_of(loop.func);
+        for (std::int32_t b : loop.blocks) {
+            bool every_iteration = true;
+            for (std::int32_t latch : loop.latches)
+                every_iteration &= dom.dominates(b, latch);
+            if (!every_iteration)
+                continue;
+            for (const Instr &in : fn.blocks[b].instrs) {
+                if (!isSelfDep(in))
+                    continue;
+                const RegId other = otherOperand(in);
+                const bool other_inv =
+                    other == kNoReg ||
+                    dfg.invariantIn(prog, other, loop);
+                if ((in.op == Opcode::Add || in.op == Opcode::Sub) &&
+                    other_inv) {
+                    inductions[loop.id].push_back(in.sid);
+                } else if (isReductionOp(in.op)) {
+                    reductions[loop.id].push_back(in.sid);
+                }
+            }
+        }
+    }
+
+    // headerLoopOf[func][block]: the loop this block is the header of
+    // (unique — loops sharing a header are merged by LoopForest).
+    std::vector<std::vector<std::int32_t>> header_loop_of(
+        prog.functions().size());
+    for (std::size_t f = 0; f < prog.functions().size(); ++f) {
+        header_loop_of[f].assign(prog.functions()[f].blocks.size(), -1);
+    }
+    for (const Loop &loop : forest.loops())
+        header_loop_of[loop.func][loop.header] = loop.id;
+
+    // Per-sid dispatch records. Loop chains are shared per block.
+    sidInfo.assign(prog.numInstrs(), SidInfo{});
+    for (std::size_t f = 0; f < prog.functions().size(); ++f) {
+        const Function &fn = prog.functions()[f];
+        const std::int32_t fi = static_cast<std::int32_t>(f);
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            const std::int32_t bi = static_cast<std::int32_t>(b);
+            const std::int32_t inner = forest.innermostAt(fi, bi);
+
+            // Chain of loops containing this block, outermost first.
+            const std::uint32_t chain_base =
+                static_cast<std::uint32_t>(chainPool.size());
+            for (std::int32_t l = inner; l != -1;
+                 l = forest.loop(l).parent) {
+                chainPool.push_back(l);
+            }
+            std::reverse(chainPool.begin() + chain_base,
+                         chainPool.end());
+            const std::uint16_t chain_len = static_cast<std::uint16_t>(
+                chainPool.size() - chain_base);
+
+            const Loop *prof_loop =
+                (inner != -1 && forest.loop(inner).innermost)
+                    ? &forest.loop(inner)
+                    : nullptr;
+            const BallLarusDag *dag =
+                prof_loop ? dags[prof_loop->id].get() : nullptr;
+
+            for (std::size_t x = 0; x < fn.blocks[b].instrs.size();
+                 ++x) {
+                const Instr &in = fn.blocks[b].instrs[x];
+                const OpInfo &oi = opInfo(in.op);
+                SidInfo &si = sidInfo.at(in.sid);
+                si.innermost = inner;
+                si.headerLoop = header_loop_of[f][b];
+                si.chainBase = chain_base;
+                si.chainLen = chain_len;
+                if (x == 0)
+                    si.flags |= kFirstInBlock;
+                if (oi.isCall)
+                    si.flags |= kCall;
+                if (oi.isRet)
+                    si.flags |= kRet;
+                if (oi.isLoad)
+                    si.flags |= kLoad;
+                if (oi.isLoad || oi.isStore)
+                    si.flags |= kMem;
+                if (x == 0 && prof_loop &&
+                    bi == prof_loop->header) {
+                    si.flags |= kHeaderInner;
+                }
+
+                if (in.op != Opcode::Br && in.op != Opcode::Jmp)
+                    continue;
+                si.flags |= kTerm;
+                if (!dag)
+                    continue;
+
+                // Precompute both outgoing Ball-Larus edges; Jmp only
+                // ever takes the `taken` edge.
+                const auto classify = [&](std::int32_t next,
+                                          std::int64_t &val, bool &exit,
+                                          bool &to_header) {
+                    const bool internal =
+                        next != prof_loop->header &&
+                        prof_loop->containsBlock(next);
+                    val = internal ? dag->edgeValue(bi, next)
+                                   : dag->exitValue(bi, next);
+                    exit = !internal;
+                    to_header = next == prof_loop->header;
+                };
+                classify(in.target, si.takenVal, si.takenExit,
+                         si.takenToHeader);
+                if (in.op == Opcode::Br) {
+                    classify(fn.blocks[b].fallthrough, si.fallVal,
+                             si.fallExit, si.fallToHeader);
+                }
+            }
+        }
+    }
+}
+
+TdgBuilder::TdgBuilder(const TdgStatics &statics)
+    : st_(&statics), prog_(&statics.program())
+{
+}
+
+void
+TdgBuilder::begin(const Trace &trace)
+{
+    trace_ = &trace;
+    out_ = TdgProfiles{};
+    stack_.clear();
+    depth_ = 0;
+    fedUpTo_ = 0;
+
+    const std::size_t nloops = st_->forest.numLoops();
+    out_.pathProfiles.assign(nloops, PathProfile{});
+    out_.memProfiles.assign(nloops, LoopMemProfile{});
+    out_.depProfiles.assign(nloops, LoopDepProfile{});
+    for (const Loop &loop : st_->forest.loops()) {
+        out_.pathProfiles[loop.id].loopId = loop.id;
+        out_.memProfiles[loop.id].loopId = loop.id;
+        out_.depProfiles[loop.id].loopId = loop.id;
+        if (loop.innermost) {
+            out_.pathProfiles[loop.id].numStaticPaths =
+                st_->dags[loop.id]->numPaths();
+            out_.depProfiles[loop.id].inductions =
+                st_->inductions[loop.id];
+            out_.depProfiles[loop.id].reductions =
+                st_->reductions[loop.id];
+        }
+    }
+    pathCounts_.assign(nloops, {});
+
+    if (memScratch_.size() < prog_->numInstrs())
+        memScratch_.resize(prog_->numInstrs());
+    touched_.clear();
+    ++epoch_;
+}
+
+void
+TdgBuilder::mergeAccess(LoopMemProfile &prof, StaticId sid,
+                        const MemScratch &s)
+{
+    MemAccessPattern *p = nullptr;
+    for (MemAccessPattern &cand : prof.accesses) {
+        if (cand.sid == sid) {
+            p = &cand;
+            break;
+        }
+    }
+    if (p == nullptr) {
+        MemAccessPattern np;
+        np.sid = sid;
+        const Instr &in = prog_->instr(sid);
+        np.isLoad = opInfo(in.op).isLoad;
+        np.memSize = in.memSize;
+        np.strideKnown = true; // refined below
+        prof.accesses.push_back(np);
+        p = &prof.accesses.back();
+    }
+    p->count += s.count;
+    if (s.inconsistent || !s.strideSet) {
+        // One execution gives no stride evidence; keep known only if
+        // a stride was consistently observed.
+        if (s.inconsistent)
+            p->strideKnown = false;
+    } else if (p->strideKnown) {
+        if (p->count == s.count) {
+            p->stride = s.stride; // first occurrence
+        } else if (p->stride != s.stride) {
+            p->strideKnown = false;
+        }
+    }
+}
+
+void
+TdgBuilder::closeTop(DynId end)
+{
+    const Active top = stack_.back();
+    stack_.pop_back();
+    LoopOccurrence &occ = out_.loopMap.occurrences[top.occIndex];
+    occ.end = end;
+    if (!top.profiled)
+        return;
+
+    LoopMemProfile &prof = out_.memProfiles[top.loopId];
+    prof.itersObserved += occ.numIters();
+    for (StaticId sid : touched_)
+        mergeAccess(prof, sid, memScratch_[sid]);
+    touched_.clear();
+    ++epoch_;
+}
+
+void
+TdgBuilder::feed(DynId base, std::size_t n)
+{
+    prism_assert(trace_ != nullptr, "feed before begin");
+    prism_assert(base == fedUpTo_, "fed out of order");
+    prism_assert(base + n <= trace_->size(),
+                 "fed past the appended trace");
+    const Trace &trace = *trace_;
+    const std::int32_t *chain_pool = st_->chainPool.data();
+
+    for (DynId i = base; i < base + n; ++i) {
+        const DynInst &di = trace[i];
+        const TdgStatics::SidInfo &info = st_->sidInfo[di.sid];
+
+        // Pop loops whose frame has returned.
+        while (!stack_.empty() && depth_ < stack_.back().entryDepth)
+            closeTop(i);
+
+        const bool inherited =
+            !stack_.empty() && depth_ > stack_.back().entryDepth;
+
+        if (!inherited) {
+            const std::int32_t *chain = chain_pool + info.chainBase;
+            const unsigned clen = info.chainLen;
+
+            // Pop stack entries (at this depth) not in the chain.
+            while (!stack_.empty() &&
+                   stack_.back().entryDepth == depth_) {
+                const std::int32_t top = stack_.back().loopId;
+                bool keep = false;
+                for (unsigned c = 0; c < clen; ++c) {
+                    if (chain[c] == top) {
+                        keep = true;
+                        break;
+                    }
+                }
+                if (keep)
+                    break;
+                closeTop(i);
+            }
+
+            // Push chain entries not yet on the stack.
+            unsigned matched = 0;
+            for (const Active &a : stack_) {
+                if (a.entryDepth == depth_ && matched < clen &&
+                    a.loopId == chain[matched]) {
+                    ++matched;
+                }
+            }
+            for (unsigned c = matched; c < clen; ++c) {
+                LoopOccurrence occ;
+                occ.loopId = chain[c];
+                occ.begin = i;
+                occ.end = i; // finalized on close
+                out_.loopMap.occurrences.push_back(std::move(occ));
+                Active a;
+                a.loopId = chain[c];
+                a.occIndex = static_cast<std::int32_t>(
+                                 out_.loopMap.occurrences.size()) -
+                             1;
+                a.entryDepth = depth_;
+                a.profiled = st_->forest.loop(chain[c]).innermost;
+                out_.loopMap.occurrences[a.occIndex].iterStarts
+                    .reserve(4);
+                stack_.push_back(a);
+            }
+
+            // Header-entry instructions begin iterations.
+            if (!stack_.empty() &&
+                (info.flags & TdgStatics::kFirstInBlock) &&
+                info.headerLoop != -1) {
+                for (const Active &a : stack_) {
+                    if (a.loopId == info.headerLoop) {
+                        out_.loopMap.occurrences[a.occIndex].iterStarts
+                            .push_back(i);
+                        break; // headers are unique per loop
+                    }
+                }
+            }
+        }
+
+        if (!stack_.empty()) {
+            out_.loopMap.loopOf.push_back(stack_.back().loopId);
+            out_.loopMap.occOf.push_back(stack_.back().occIndex);
+        } else {
+            out_.loopMap.loopOf.push_back(-1);
+            out_.loopMap.occOf.push_back(-1);
+        }
+
+        // Profiling hooks: fire when the covering occurrence is an
+        // innermost loop and this instruction is in its body (the
+        // same filter as the legacy `ref.func == loop.func &&
+        // loop.containsBlock(ref.block)` — for an innermost loop the
+        // two are equivalent, including inherited recursion into the
+        // same function).
+        if (!stack_.empty()) {
+            Active &top = stack_.back();
+            if (top.profiled && info.innermost == top.loopId) {
+                const LoopOccurrence &occ =
+                    out_.loopMap.occurrences[top.occIndex];
+
+                // ---- Ball-Larus path profiling ----
+                if (info.flags & TdgStatics::kHeaderInner) {
+                    top.inPath = true;
+                    top.pathSum = 0;
+                }
+                if (top.inPath &&
+                    (info.flags & TdgStatics::kTerm)) {
+                    const bool taken = di.branchTaken;
+                    const std::int64_t v =
+                        taken ? info.takenVal : info.fallVal;
+                    if (!(taken ? info.takenExit : info.fallExit)) {
+                        prism_assert(v >= 0, "missing BL edge");
+                        top.pathSum += static_cast<std::uint64_t>(v);
+                    } else {
+                        prism_assert(v >= 0, "missing BL exit edge");
+                        PathProfile &pprof =
+                            out_.pathProfiles[top.loopId];
+                        ++pprof.totalIters;
+                        if (taken ? info.takenToHeader
+                                  : info.fallToHeader) {
+                            ++pprof.backEdgeTaken;
+                        }
+                        ++pathCounts_[top.loopId]
+                                     [top.pathSum +
+                                      static_cast<std::uint64_t>(v)];
+                        top.inPath = false;
+                        top.pathSum = 0;
+                    }
+                }
+
+                // ---- memory profiling ----
+                if (info.flags & TdgStatics::kMem) {
+                    MemScratch &s = memScratch_[di.sid];
+                    if (s.epoch != epoch_) {
+                        s = MemScratch{};
+                        s.epoch = epoch_;
+                        touched_.push_back(di.sid);
+                    }
+                    ++s.count;
+                    if (s.seen) {
+                        const std::int64_t delta =
+                            static_cast<std::int64_t>(di.effAddr) -
+                            static_cast<std::int64_t>(s.lastAddr);
+                        if (!s.strideSet) {
+                            s.stride = delta;
+                            s.strideSet = true;
+                        } else if (delta != s.stride) {
+                            s.inconsistent = true;
+                        }
+                    }
+                    s.seen = true;
+                    s.lastAddr = di.effAddr;
+
+                    // Loop-carried store-to-load dependence check.
+                    if ((info.flags & TdgStatics::kLoad) &&
+                        di.memProd != kNoProducer &&
+                        static_cast<DynId>(di.memProd) >= occ.begin &&
+                        static_cast<DynId>(di.memProd) < i &&
+                        !occ.iterStarts.empty() &&
+                        static_cast<DynId>(di.memProd) <
+                            occ.iterStarts.back()) {
+                        // Producer precedes the current iteration;
+                        // carried iff it falls inside a prior one.
+                        const auto it = std::upper_bound(
+                            occ.iterStarts.begin(),
+                            occ.iterStarts.end(),
+                            static_cast<DynId>(di.memProd));
+                        if (it != occ.iterStarts.begin()) {
+                            out_.memProfiles[top.loopId]
+                                .loopCarriedStoreToLoad = true;
+                        }
+                    }
+                }
+
+                // ---- carried register dependences ----
+                if (!occ.iterStarts.empty()) {
+                    const DynId cur_start = occ.iterStarts.back();
+                    LoopDepProfile &dprof =
+                        out_.depProfiles[top.loopId];
+                    for (std::int64_t p : di.srcProd) {
+                        if (p == kNoProducer ||
+                            static_cast<DynId>(p) < occ.begin ||
+                            static_cast<DynId>(p) >= cur_start) {
+                            continue; // outside, or this iteration
+                        }
+                        const auto it = std::upper_bound(
+                            occ.iterStarts.begin(),
+                            occ.iterStarts.end(),
+                            static_cast<DynId>(p));
+                        if (it == occ.iterStarts.begin())
+                            continue; // predates the first iteration
+                        ++dprof.carriedDeps;
+
+                        const StaticId prod_sid = trace[p].sid;
+                        if (dprof.isInduction(prod_sid))
+                            continue; // reading an induction: benign
+                        if (prod_sid == di.sid &&
+                            (dprof.isInduction(di.sid) ||
+                             dprof.isReduction(di.sid))) {
+                            continue; // the classified self-update
+                        }
+                        dprof.otherRecurrence = true;
+                    }
+                }
+            }
+        }
+
+        if (info.flags & TdgStatics::kCall)
+            ++depth_;
+        else if ((info.flags & TdgStatics::kRet) && depth_ > 0)
+            --depth_;
+    }
+    fedUpTo_ = base + n;
+}
+
+TdgProfiles
+TdgBuilder::finish()
+{
+    while (!stack_.empty())
+        closeTop(fedUpTo_);
+
+    for (const Loop &loop : st_->forest.loops()) {
+        if (!loop.innermost)
+            continue;
+        PathProfile &prof = out_.pathProfiles[loop.id];
+        for (const auto &[id, count] : pathCounts_[loop.id]) {
+            PathProfile::PathInfo pi;
+            pi.id = id;
+            pi.count = count;
+            pi.blocks = st_->dags[loop.id]->decode(id);
+            prof.paths.push_back(std::move(pi));
+        }
+        std::sort(prof.paths.begin(), prof.paths.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.count > b.count;
+                  });
+    }
+
+    trace_ = nullptr;
+    return std::move(out_);
+}
+
+} // namespace prism

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Fused single-pass TDG construction.
+ *
+ * The legacy constructor walked the materialized trace four times
+ * (mapTraceToLoops, profilePaths, profileMemory, profileDeps). The
+ * fused builder splits that work into:
+ *
+ *  - TdgStatics: everything derivable from the Program alone — the
+ *    loop forest, per-function DFGs, Ball-Larus DAGs, static
+ *    induction/reduction classification, and a per-static-instruction
+ *    side table (SidInfo) with the loop chain, dispatch flags and
+ *    precomputed Ball-Larus edge values each dynamic instruction
+ *    needs.
+ *
+ *  - TdgBuilder: one incremental walk over the dynamic stream that
+ *    maintains the active-loop-occurrence stack and applies the path,
+ *    memory and dependence profiling hooks in the same pass. It is
+ *    feed()-able batch-by-batch, so it fuses directly behind the
+ *    streaming FrontEnd — DynInsts flow from the interpreter through
+ *    annotation into TDG profiles without an intermediate full-trace
+ *    walk.
+ *
+ * The profiles produced are semantically identical to the legacy
+ * passes (which remain in src/ir as the reference implementations and
+ * are differentially tested in tests/test_frontend_streaming.cc); the
+ * only representational difference is the order of LoopMemProfile::
+ * accesses, which legacy emitted in unordered_map hash order and the
+ * builder emits in first-touch order (all consumers are
+ * order-independent).
+ */
+
+#ifndef PRISM_TDG_BUILDER_HH
+#define PRISM_TDG_BUILDER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ir/dfg.hh"
+#include "ir/induction.hh"
+#include "ir/loops.hh"
+#include "ir/mem_profile.hh"
+#include "ir/path_profile.hh"
+#include "prog/program.hh"
+#include "trace/dyn_inst.hh"
+
+namespace prism
+{
+
+/** Everything the TDG derives from the trace. */
+struct TdgProfiles
+{
+    TraceLoopMap loopMap;
+    std::vector<PathProfile> pathProfiles;
+    std::vector<LoopMemProfile> memProfiles;
+    std::vector<LoopDepProfile> depProfiles;
+};
+
+/**
+ * Trace-independent TDG construction state for one Program. Build
+ * once, reuse across traces (and across TdgBuilder runs).
+ */
+class TdgStatics
+{
+  public:
+    explicit TdgStatics(const Program &prog);
+
+    TdgStatics(TdgStatics &&) = default;
+    TdgStatics &operator=(TdgStatics &&) = default;
+
+    const Program &program() const { return *prog_; }
+
+    LoopForest forest;
+    std::vector<Dfg> dfgs;
+
+    /** Ball-Larus numbering per innermost loop id (null otherwise). */
+    std::vector<std::unique_ptr<BallLarusDag>> dags;
+
+    /** Statically classified self-updates, per loop id. */
+    std::vector<std::vector<StaticId>> inductions;
+    std::vector<std::vector<StaticId>> reductions;
+
+    // SidInfo::flags bits.
+    static constexpr std::uint16_t kFirstInBlock = 1u << 0;
+    static constexpr std::uint16_t kCall = 1u << 1;
+    static constexpr std::uint16_t kRet = 1u << 2;
+    static constexpr std::uint16_t kTerm = 1u << 3; // Br or Jmp
+    static constexpr std::uint16_t kMem = 1u << 4;
+    static constexpr std::uint16_t kLoad = 1u << 5;
+    /** Header entry (index 0 of the header block) of the block's
+     *  innermost loop — begins a Ball-Larus path. */
+    static constexpr std::uint16_t kHeaderInner = 1u << 6;
+
+    /**
+     * Per-static-instruction dispatch record: location, loop chain,
+     * event flags, and (for terminators inside profiled loops) the
+     * precomputed Ball-Larus values of both outgoing edges. Edge
+     * values stay -1 when no DAG edge exists; the builder asserts at
+     * use, exactly like the legacy pass.
+     */
+    struct SidInfo
+    {
+        std::int32_t innermost = -1;   ///< innermost loop at the block
+        std::int32_t headerLoop = -1;  ///< loop this block is header of
+        std::uint32_t chainBase = 0;   ///< into chainPool, outermost 1st
+        std::uint16_t chainLen = 0;
+        std::uint16_t flags = 0;
+        std::int64_t takenVal = -1;    ///< BL value of the taken edge
+        std::int64_t fallVal = -1;     ///< ... of the fallthrough edge
+        bool takenExit = false;        ///< taken edge terminates a path
+        bool fallExit = false;
+        bool takenToHeader = false;    ///< taken edge is the back edge
+        bool fallToHeader = false;
+    };
+
+    std::vector<SidInfo> sidInfo; ///< indexed by StaticId
+    std::vector<std::int32_t> chainPool;
+
+  private:
+    const Program *prog_;
+};
+
+/**
+ * Incremental TDG profile construction over a streamed trace. Usage:
+ *
+ *   TdgBuilder b(statics);
+ *   b.begin(trace);               // trace may still be empty
+ *   ... trace.append(d, n); b.feed(base, n); ...  // append BEFORE feed
+ *   TdgProfiles p = b.finish();
+ *
+ * feed(base, n) consumes trace[base, base+n); instructions must be
+ * appended to the trace before they are fed (producer-index lookups
+ * reach back into the trace).
+ */
+class TdgBuilder
+{
+  public:
+    explicit TdgBuilder(const TdgStatics &statics);
+
+    /** Start (or restart) building against `trace`. */
+    void begin(const Trace &trace);
+
+    /** Consume trace[base, base+n). */
+    void feed(DynId base, std::size_t n);
+
+    /** Close open occurrences and assemble the profiles. */
+    TdgProfiles finish();
+
+  private:
+    struct Active
+    {
+        std::int32_t loopId = -1;
+        std::int32_t occIndex = -1;
+        unsigned entryDepth = 0;
+        bool profiled = false; ///< innermost loop: hooks apply
+        // Ball-Larus path state (profiled occurrences only).
+        bool inPath = false;
+        std::uint64_t pathSum = 0;
+    };
+
+    /** Per-static-access stride scratch, epoch-tagged so the active
+     *  profiled occurrence owns it without clearing between runs. */
+    struct MemScratch
+    {
+        std::uint64_t epoch = 0;
+        Addr lastAddr = 0;
+        bool seen = false;
+        bool strideSet = false;
+        bool inconsistent = false;
+        std::int64_t stride = 0;
+        std::uint64_t count = 0;
+    };
+
+    void closeTop(DynId end);
+    void mergeAccess(LoopMemProfile &prof, StaticId sid,
+                     const MemScratch &s);
+
+    const TdgStatics *st_;
+    const Program *prog_;
+    const Trace *trace_ = nullptr;
+
+    TdgProfiles out_;
+    std::vector<Active> stack_;
+    unsigned depth_ = 0;
+    DynId fedUpTo_ = 0;
+
+    std::vector<std::map<std::uint64_t, std::uint64_t>> pathCounts_;
+    std::vector<MemScratch> memScratch_; ///< indexed by StaticId
+    std::vector<StaticId> touched_;      ///< sids live in memScratch_
+    std::uint64_t epoch_ = 1;
+};
+
+} // namespace prism
+
+#endif // PRISM_TDG_BUILDER_HH

@@ -84,6 +84,28 @@ appendCoreWindow(const Trace &trace, DynId b, DynId e, MStream &out)
     }
 }
 
+void
+appendCoreBatch(const DynInst *d, std::size_t n, DynId base,
+                MStream &out)
+{
+    for (std::size_t k = 0; k < n; ++k) {
+        const DynInst &di = d[k];
+        const DynId i = base + k;
+        MInst mi = toCoreInst(di);
+        for (int s = 0; s < 3; ++s) {
+            const std::int64_t p = di.srcProd[s];
+            if (p != kNoProducer && static_cast<DynId>(p) < i)
+                mi.dep[s] = static_cast<std::int32_t>(p);
+        }
+        const std::int64_t mp = di.memProd;
+        if (mi.isLoad && mp != kNoProducer &&
+            static_cast<DynId>(mp) < i) {
+            mi.memDep = static_cast<std::int32_t>(mp);
+        }
+        out.push_back(std::move(mi));
+    }
+}
+
 MStream
 buildCoreStreamRanges(
     const Trace &trace,

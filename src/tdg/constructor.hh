@@ -43,6 +43,16 @@ void appendCoreWindow(const Trace &trace, DynId b, DynId e,
                       MStream &out);
 
 /**
+ * Append a batch of DynInsts (as handed out by FrontEnd::run, where
+ * `base` is the dynamic index of d[0]) as core-context MInsts with
+ * *absolute* dependence indices, exactly like appendCoreWindow but
+ * without requiring a materialized Trace. Feeding every batch of a
+ * run produces the same stream appendCoreWindow(trace, 0, n) would.
+ */
+void appendCoreBatch(const DynInst *d, std::size_t n, DynId base,
+                     MStream &out);
+
+/**
  * Build one stream by concatenating several trace ranges, separated
  * by region boundaries (startRegion on each range's first inst).
  * @param boundaries out: stream index of each range's first MInst.

@@ -6,14 +6,31 @@ namespace prism
 {
 
 Tdg::Tdg(const Program &prog, Trace trace)
-    : prog_(&prog), trace_(std::move(trace)),
-      loops_(LoopForest::build(prog)),
-      loopMap_(mapTraceToLoops(prog, trace_, loops_)),
-      dfgs_(buildAllDfgs(prog)),
-      pathProfiles_(profilePaths(prog, trace_, loops_, loopMap_)),
-      memProfiles_(profileMemory(prog, trace_, loops_, loopMap_)),
-      depProfiles_(profileDeps(prog, trace_, loops_, loopMap_, dfgs_))
+    : prog_(&prog), trace_(std::move(trace))
 {
+    TdgStatics st(prog);
+    TdgBuilder b(st);
+    b.begin(trace_);
+    b.feed(0, trace_.size());
+    adopt(std::move(st), b.finish());
+}
+
+Tdg::Tdg(const Program &prog, Trace trace, TdgStatics statics,
+         TdgProfiles profiles)
+    : prog_(&prog), trace_(std::move(trace))
+{
+    adopt(std::move(statics), std::move(profiles));
+}
+
+void
+Tdg::adopt(TdgStatics statics, TdgProfiles profiles)
+{
+    loops_ = std::move(statics.forest);
+    dfgs_ = std::move(statics.dfgs);
+    loopMap_ = std::move(profiles.loopMap);
+    pathProfiles_ = std::move(profiles.pathProfiles);
+    memProfiles_ = std::move(profiles.memProfiles);
+    depProfiles_ = std::move(profiles.depProfiles);
 }
 
 std::vector<const LoopOccurrence *>

@@ -23,6 +23,7 @@
 #include "ir/mem_profile.hh"
 #include "ir/path_profile.hh"
 #include "prog/program.hh"
+#include "tdg/builder.hh"
 #include "trace/dyn_inst.hh"
 
 namespace prism
@@ -38,6 +39,14 @@ class Tdg
   public:
     /** Build the TDG from a program and its recorded trace. */
     Tdg(const Program &prog, Trace trace);
+
+    /**
+     * Adopt profiles that were already built while the trace streamed
+     * through a TdgBuilder (the fused front-end path): no further
+     * trace walk happens here.
+     */
+    Tdg(const Program &prog, Trace trace, TdgStatics statics,
+        TdgProfiles profiles);
 
     const Program &program() const { return *prog_; }
     const Trace &trace() const { return trace_; }
@@ -69,6 +78,8 @@ class Tdg
     std::uint64_t dynInstsOf(std::int32_t loop) const;
 
   private:
+    void adopt(TdgStatics statics, TdgProfiles profiles);
+
     const Program *prog_;
     Trace trace_;
     LoopForest loops_;

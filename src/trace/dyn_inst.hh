@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "common/types.hh"
@@ -23,7 +24,15 @@
 namespace prism
 {
 
-/** One dynamic instruction in a trace. */
+/**
+ * One dynamic instruction in a trace.
+ *
+ * Layout is audited for the streaming front end: no heap-allocated
+ * members (the record is trivially copyable, so batches move with
+ * memcpy and serialize field-by-field), hot fields — the ones every
+ * constructor/annotation/timing pass touches (sid, op, flags, memLat)
+ * — lead the struct, and the whole record is exactly one cache line.
+ */
 struct DynInst
 {
     StaticId sid = kNoStatic;  ///< static instruction this executes
@@ -52,6 +61,11 @@ struct DynInst
     std::int64_t value = 0;
 };
 
+static_assert(sizeof(DynInst) == 64,
+              "DynInst must stay one cache line");
+static_assert(std::is_trivially_copyable_v<DynInst>,
+              "DynInst must have no heap-allocated members");
+
 /**
  * A full recorded execution: the dynamic instruction stream plus the
  * program it came from. Analyses take (program, trace) pairs.
@@ -65,6 +79,13 @@ class Trace
 
     void push(const DynInst &di) { insts_.push_back(di); }
 
+    /** Bulk-append a front-end batch. */
+    void
+    append(const DynInst *d, std::size_t n)
+    {
+        insts_.insert(insts_.end(), d, d + n);
+    }
+
     std::size_t size() const { return insts_.size(); }
     bool empty() const { return insts_.empty(); }
 
@@ -74,6 +95,9 @@ class Trace
     const std::vector<DynInst> &insts() const { return insts_; }
 
     void reserve(std::size_t n) { insts_.reserve(n); }
+
+    /** Drop all instructions; capacity is retained for reuse. */
+    void clear() { insts_.clear(); }
 
   private:
     const Program *prog_;

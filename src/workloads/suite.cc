@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "prog/builder.hh"
+#include "tdg/builder.hh"
 #include "trace/trace_cache.hh"
 
 namespace prism
@@ -80,14 +81,28 @@ LoadedWorkload::load(const WorkloadSpec &spec,
         }
     }
 
+    // Fused streaming path: DynInst batches flow from the FrontEnd
+    // into the trace and the TDG builder in one pass — the profiles
+    // are complete the moment execution finishes.
     Trace trace(&lw->prog_);
     trace.reserve(cfg.maxInsts / 4);
-    lw->genResult_ = generateTrace(lw->prog_, mem, args, trace, cfg);
+    TdgStatics statics(lw->prog_);
+    TdgBuilder builder(statics);
+    builder.begin(trace);
+    FrontEnd fe(lw->prog_, mem, cfg);
+    lw->genResult_ =
+        fe.run(args, [&](const DynInst *d, std::size_t n, DynId base) {
+            trace.append(d, n); // append BEFORE feed: feed reads back
+            builder.feed(base, n);
+        });
     prism_assert(!trace.empty(), "workload '%s' produced no trace",
                  spec.name);
     if (cache)
         cache->store(lw->name_, lw->prog_, cfg.maxInsts, trace);
-    lw->tdg_ = std::make_unique<Tdg>(lw->prog_, std::move(trace));
+    TdgProfiles profiles = builder.finish();
+    lw->tdg_ = std::make_unique<Tdg>(lw->prog_, std::move(trace),
+                                     std::move(statics),
+                                     std::move(profiles));
     return lw;
 }
 
