@@ -54,8 +54,9 @@ pick(const std::vector<const char *> &names)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseBenchArgs(argc, argv);
     banner("Ablation: BSA hardware parameters (OOO2 host, geomean "
            "single-BSA speedup / energy-efficiency)");
 
@@ -129,5 +130,6 @@ main()
         }
         std::printf("%s", t.render().c_str());
     }
+    printCacheSummary();
     return 0;
 }

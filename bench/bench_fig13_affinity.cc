@@ -13,12 +13,16 @@ using namespace prism;
 using namespace prism::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Figure 13: Per-Benchmark Behavior and Region Affinity "
            "(OOO2 ExoCore, baseline = OOO2 alone)");
 
     auto suite = loadSuite();
+    ThreadPool pool(opt.threads);
+    constexpr std::array<CoreKind, 1> kCores = {CoreKind::OOO2};
+    prepareEntries(pool, suite, kCores);
 
     Table t({"benchmark", "time", "GPP", "SIMD", "DP-CGRA", "NS-DF",
              "Trace-P", "energy"});
@@ -59,5 +63,6 @@ main()
     std::printf("Geomean relative time %s, relative energy %s\n",
                 fmt(geomean(rel_time), 2).c_str(),
                 fmt(geomean(rel_energy), 2).c_str());
+    printCacheSummary();
     return 0;
 }

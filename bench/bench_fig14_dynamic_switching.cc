@@ -82,8 +82,9 @@ traceWorkload(Entry &e, std::size_t buckets)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseBenchArgs(argc, argv);
     banner("Figure 14: ExoCore's Dynamic Switching Behavior "
            "(OOO2 ExoCore speedup over OOO2, over time)");
 
@@ -92,5 +93,6 @@ main()
         if (e.name() == "djpeg-1" || e.name() == "464.h264ref")
             traceWorkload(e, 24);
     }
+    printCacheSummary();
     return 0;
 }

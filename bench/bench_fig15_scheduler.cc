@@ -13,12 +13,16 @@ using namespace prism;
 using namespace prism::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Figure 15: Oracle versus Amdahl Tree Scheduler "
            "(OOO2 ExoCore, baseline = OOO2 alone)");
 
     auto suite = loadSuite();
+    ThreadPool pool(opt.threads);
+    constexpr std::array<CoreKind, 1> kCores = {CoreKind::OOO2};
+    prepareEntries(pool, suite, kCores);
     const char *shown[] = {"cjpeg-1", "djpeg-1", "gsmdecode",
                            "gsmencode", "jpg2000dec", "jpg2000enc",
                            "mpeg2dec", "mpeg2enc"};
@@ -74,5 +78,6 @@ main()
                 "0.89x).\n",
                 fmtX(geomean(eff_ratio)).c_str(),
                 fmtX(geomean(perf_ratio)).c_str());
+    printCacheSummary();
     return 0;
 }

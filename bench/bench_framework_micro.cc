@@ -26,12 +26,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <new>
 #include <string>
 
+#include "common/artifact_cache.hh"
 #include "common/thread_pool.hh"
 #include "sim/trace_gen.hh"
 #include "tdg/analyzer.hh"
+#include "tdg/artifacts.hh"
 #include "tdg/bsa/bsa.hh"
 #include "tdg/builder.hh"
 #include "tdg/constructor.hh"
@@ -335,6 +338,72 @@ BM_AnalyzerPasses(benchmark::State &state)
     }
 }
 BENCHMARK(BM_AnalyzerPasses)->Unit(benchmark::kMillisecond);
+
+/**
+ * Cache-miss model construction: every baseline and (loop, BSA)
+ * timing run executes. This is what each (workload, core) pair costs
+ * a cold sweep. Items = trace instructions per construction.
+ */
+void
+BM_ModelEvalCold(benchmark::State &state)
+{
+    const Tdg &tdg = fixture().lw->tdg();
+    for (auto _ : state) {
+        const BenchmarkModel bm(tdg, CoreKind::OOO2);
+        benchmark::DoNotOptimize(bm.baseline().cycles);
+        state.SetItemsProcessed(state.items_processed() +
+                                tdg.trace().size());
+    }
+    const std::uint64_t a0 = allocsNow();
+    {
+        const BenchmarkModel bm(tdg, CoreKind::OOO2);
+        benchmark::DoNotOptimize(bm.baseline().cycles);
+    }
+    state.counters["allocs_per_iter"] =
+        static_cast<double>(allocsNow() - a0);
+}
+BENCHMARK(BM_ModelEvalCold)->Unit(benchmark::kMillisecond);
+
+/**
+ * Cache-hit model construction: evaluation tables deserialize from
+ * the artifact cache and no timing run executes — the Warm/Cold
+ * wall-clock ratio is the per-model win of a warm --cache-dir sweep.
+ */
+void
+BM_ModelEvalWarm(benchmark::State &state)
+{
+    const Tdg &tdg = fixture().lw->tdg();
+    const std::uint64_t budget = fixture().lw->maxInsts();
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         "prism_bench_model_cache")
+            .string();
+    std::filesystem::remove_all(dir);
+    const ArtifactCache cache(dir);
+    {
+        const BenchmarkModel cold(tdg, CoreKind::OOO2);
+        storeModelTables(cache, "conv", budget, cold);
+    }
+    const PipelineConfig cfg{.core = coreConfig(CoreKind::OOO2)};
+    const auto body = [&] {
+        std::optional<ModelTables> t =
+            loadModelTables(cache, "conv", tdg, budget, cfg);
+        const BenchmarkModel bm(tdg, CoreKind::OOO2,
+                                std::move(*t));
+        return bm.baseline().cycles;
+    };
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(body());
+        state.SetItemsProcessed(state.items_processed() +
+                                tdg.trace().size());
+    }
+    const std::uint64_t a0 = allocsNow();
+    benchmark::DoNotOptimize(body());
+    state.counters["allocs_per_iter"] =
+        static_cast<double>(allocsNow() - a0);
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_ModelEvalWarm)->Unit(benchmark::kMillisecond);
 
 void
 BM_CycleAccurateReference(benchmark::State &state)
@@ -748,6 +817,37 @@ runPerfCheck(const char *json_path)
               benchmark::DoNotOptimize(p.loopMap.loopOf.size());
               return trace.size();
           }));
+
+    // Model-evaluation throughput, cold (all timing runs) and warm
+    // (tables deserialized from the artifact cache).
+    const Tdg tdg(prog, std::move(trace));
+    check("BM_ModelEvalCold", measureRate([&] {
+              const BenchmarkModel bm(tdg, CoreKind::OOO2);
+              benchmark::DoNotOptimize(bm.baseline().cycles);
+              return tdg.trace().size();
+          }));
+    {
+        const std::string dir =
+            (std::filesystem::temp_directory_path() /
+             "prism_perf_check_model_cache")
+                .string();
+        std::filesystem::remove_all(dir);
+        const ArtifactCache cache(dir);
+        {
+            const BenchmarkModel cold(tdg, CoreKind::OOO2);
+            storeModelTables(cache, "conv", cfg.maxInsts, cold);
+        }
+        const PipelineConfig pcfg{.core = coreConfig(CoreKind::OOO2)};
+        check("BM_ModelEvalWarm", measureRate([&] {
+                  std::optional<ModelTables> t = loadModelTables(
+                      cache, "conv", tdg, cfg.maxInsts, pcfg);
+                  const BenchmarkModel bm(tdg, CoreKind::OOO2,
+                                          std::move(*t));
+                  benchmark::DoNotOptimize(bm.baseline().cycles);
+                  return tdg.trace().size();
+              }));
+        std::filesystem::remove_all(dir);
+    }
 
     std::printf("perf-check: %s\n", ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;

@@ -13,8 +13,9 @@ using namespace prism;
 using namespace prism::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseBenchArgs(argc, argv);
     banner("Table 4: General Core Configurations");
 
     Table t({"Parameter", "IO2", "OOO2", "OOO4", "OOO6"});

@@ -10,37 +10,41 @@
  * construction, and per-(core, BSA-subset) evaluation are
  * independent, data-race-free tasks. The split is two-phase:
  *
- *   1. mutate phase — Entry::load() / Entry::buildModel() run in
- *      parallel with one task per entry, so each task writes only
- *      its own Entry (prepareEntries());
+ *   1. mutate phase — Entry::load() runs with one task per entry,
+ *      then Entry::buildModel() with one task per (entry, core);
+ *      each task writes only its own Entry slot (prepareEntries());
  *   2. read phase — evaluation tasks take `const Entry &` and only
  *      call const members (shared Tdg/BenchmarkModel reads).
  *
  * All bench binaries accept `--threads=N` (default: PRISM_THREADS or
- * hardware concurrency) and `--cache-dir=DIR` to persist generated
- * traces across runs (paper Section 2.6: record once, explore many
- * configurations).
+ * hardware concurrency), `--cache-dir=DIR` to persist generated
+ * traces, TDG profiles, and model evaluation tables across runs
+ * (paper Section 2.6: record once, explore many configurations), and
+ * `--max-insts=N` to override every workload's instruction budget
+ * (smoke-test runs).
  */
 
 #ifndef PRISM_BENCH_BENCH_UTIL_HH
 #define PRISM_BENCH_BENCH_UTIL_HH
 
+#include <array>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <map>
 #include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/artifact_cache.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
+#include "tdg/artifacts.hh"
 #include "tdg/exocore.hh"
-#include "trace/trace_cache.hh"
 #include "workloads/suite.hh"
 
 namespace prism::bench
@@ -51,8 +55,10 @@ struct BenchOptions
 {
     /** Concurrency level (--threads, PRISM_THREADS, or hardware). */
     unsigned threads = 1;
-    /** Trace cache directory (--cache-dir); empty = disabled. */
+    /** Artifact cache directory (--cache-dir); empty = disabled. */
     std::string cacheDir;
+    /** Instruction-budget override (--max-insts); 0 = per-spec. */
+    std::uint64_t maxInsts = 0;
 };
 
 /**
@@ -91,14 +97,23 @@ parseBenchArgs(int argc, char **argv)
                 fatal("--threads needs a positive integer, got '%s'",
                       v.c_str());
             opt.threads = static_cast<unsigned>(n);
+        } else if (value(i, "--max-insts", v)) {
+            const long long n = std::atoll(v.c_str());
+            if (n <= 0)
+                fatal("--max-insts needs a positive integer, got "
+                      "'%s'",
+                      v.c_str());
+            opt.maxInsts = static_cast<std::uint64_t>(n);
         } else {
             fatal("unknown bench option '%s' (supported: "
-                  "--cache-dir=DIR, --threads=N)",
+                  "--cache-dir=DIR, --threads=N, --max-insts=N)",
                   argv[i]);
         }
     }
     if (!opt.cacheDir.empty())
-        TraceCache::setGlobalDir(opt.cacheDir);
+        ArtifactCache::setGlobalDir(opt.cacheDir);
+    if (opt.maxInsts)
+        setMaxInstsOverride(opt.maxInsts);
     return opt;
 }
 
@@ -121,21 +136,29 @@ class Stopwatch
     std::chrono::steady_clock::time_point start_;
 };
 
-/** Print trace-cache effectiveness (no-op when cache disabled). */
+/** Print per-artifact-kind cache effectiveness (no-op when the cache
+ *  is disabled or untouched). */
 inline void
 printCacheSummary()
 {
-    const TraceCache *cache = TraceCache::global();
+    const ArtifactCache *cache = ArtifactCache::global();
     if (!cache)
         return;
-    const TraceCacheStats s = cache->stats();
-    std::printf("trace cache '%s': %llu hits, %llu misses "
-                "(%llu rejected), %llu stores\n",
-                cache->dir().c_str(),
-                static_cast<unsigned long long>(s.hits),
-                static_cast<unsigned long long>(s.misses),
-                static_cast<unsigned long long>(s.rejected),
-                static_cast<unsigned long long>(s.stores));
+    const auto all = cache->allStats();
+    if (all.empty())
+        return;
+    std::printf("artifact cache '%s':\n", cache->dir().c_str());
+    for (const auto &[kind, s] : all) {
+        std::printf("  %-8s %llu hits, %llu misses (%llu rejected), "
+                    "%llu stores, %.1f KiB read, %.1f KiB written\n",
+                    kind.c_str(),
+                    static_cast<unsigned long long>(s.hits),
+                    static_cast<unsigned long long>(s.misses),
+                    static_cast<unsigned long long>(s.rejected),
+                    static_cast<unsigned long long>(s.stores),
+                    static_cast<double>(s.bytesRead) / 1024.0,
+                    static_cast<double>(s.bytesWritten) / 1024.0);
+    }
 }
 
 /** One workload with per-core models. */
@@ -161,19 +184,48 @@ class Entry
     /** True if the trace came from the on-disk cache. */
     bool fromCache() const { return lw_ && lw_->fromCache(); }
 
-    /** Build the model for `core` (idempotent; mutate phase). */
+    /**
+     * Build the model for `core` (idempotent). Mutate phase: tasks
+     * for distinct (entry, core) pairs are data-race-free as long as
+     * the entry was load()ed first — each writes one distinct slot.
+     *
+     * With a global artifact cache installed this is load-or-compute:
+     * a cached evaluation table skips every timing run, leaving only
+     * the cheap analyzer/energy-model construction.
+     */
     void
     buildModel(CoreKind core)
     {
         load();
-        if (models_.find(core) == models_.end()) {
-            models_.emplace(core, std::make_unique<BenchmarkModel>(
-                                      lw_->tdg(), core));
+        std::unique_ptr<BenchmarkModel> &slot =
+            models_[static_cast<std::size_t>(core)];
+        if (slot)
+            return;
+        const ArtifactCache *cache = ArtifactCache::global();
+        if (cache) {
+            const PipelineConfig cfg{.core = coreConfig(core)};
+            if (std::optional<ModelTables> tables = loadModelTables(
+                    *cache, lw_->name(), lw_->tdg(), lw_->maxInsts(),
+                    cfg)) {
+                slot = std::make_unique<BenchmarkModel>(
+                    lw_->tdg(), core, std::move(*tables));
+                return;
+            }
+        }
+        slot = std::make_unique<BenchmarkModel>(lw_->tdg(), core);
+        if (cache) {
+            storeModelTables(*cache, lw_->name(), lw_->maxInsts(),
+                             *slot);
         }
     }
 
     /** Drop built models (e.g. between timed sweep legs). */
-    void clearModels() { models_.clear(); }
+    void
+    clearModels()
+    {
+        for (auto &m : models_)
+            m.reset();
+    }
 
     const Tdg &
     tdg() const
@@ -197,7 +249,7 @@ class Entry
     model(CoreKind core)
     {
         buildModel(core);
-        return *models_.at(core);
+        return *models_[static_cast<std::size_t>(core)];
     }
 
     /** Read phase: requires a prior buildModel(core); const and
@@ -205,17 +257,20 @@ class Entry
     const BenchmarkModel &
     model(CoreKind core) const
     {
-        const auto it = models_.find(core);
-        prism_assert(it != models_.end(),
+        const auto &slot = models_[static_cast<std::size_t>(core)];
+        prism_assert(slot != nullptr,
                      "model for '%s' core %d not prepared",
                      spec_->name, static_cast<int>(core));
-        return *it->second;
+        return *slot;
     }
 
   private:
     const WorkloadSpec *spec_;
     std::unique_ptr<LoadedWorkload> lw_;
-    std::map<CoreKind, std::unique_ptr<BenchmarkModel>> models_;
+    /** One slot per CoreKind: disjoint writes from parallel
+     *  per-(entry, core) buildModel tasks. */
+    std::array<std::unique_ptr<BenchmarkModel>, kAllCoreKinds.size()>
+        models_;
 };
 
 /** All Table 3 workloads as bench entries. */
@@ -238,27 +293,32 @@ loadMicrobenchmarks()
     return entries;
 }
 
-/**
- * Parallel mutate phase: load every entry and build its models for
- * `cores`. One task per entry, so no two tasks write shared state;
- * afterwards the const read paths are safe from any number of tasks.
- */
-inline void
-prepareEntries(ThreadPool &pool, std::vector<Entry> &entries,
-               std::span<const CoreKind> cores)
-{
-    pool.parallelFor(entries.size(), [&](std::size_t i) {
-        for (CoreKind core : cores)
-            entries[i].buildModel(core);
-    });
-}
-
 /** Parallel workload loading only (no models). */
 inline void
 loadEntries(ThreadPool &pool, std::vector<Entry> &entries)
 {
     pool.parallelFor(entries.size(),
                      [&](std::size_t i) { entries[i].load(); });
+}
+
+/**
+ * Parallel mutate phase: load every entry, then build its models for
+ * `cores` with one task per (entry, core) — a long-pole workload no
+ * longer serializes all of its core models on one worker. Distinct
+ * (entry, core) tasks write distinct Entry slots, so no two tasks
+ * share state; afterwards the const read paths are safe from any
+ * number of tasks.
+ */
+inline void
+prepareEntries(ThreadPool &pool, std::vector<Entry> &entries,
+               std::span<const CoreKind> cores)
+{
+    loadEntries(pool, entries);
+    pool.parallelFor(
+        entries.size() * cores.size(), [&](std::size_t t) {
+            entries[t / cores.size()].buildModel(
+                cores[t % cores.size()]);
+        });
 }
 
 /** Result pair used throughout the figures. */

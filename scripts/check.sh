@@ -2,7 +2,8 @@
 # Full pre-merge check:
 #   1. AddressSanitizer build + the whole tier-1 test suite, and
 #   2. an optimized build running the perf-smoke label (streaming
-#      self-test + throughput guard vs the committed baseline).
+#      self-test, throughput guard vs the committed baseline, and
+#      the warm-artifact-cache correctness + speedup leg).
 #
 # Usage: scripts/check.sh [asan-build-dir] [perf-build-dir]
 #
@@ -34,5 +35,12 @@ cmake --build "$perf_build" -j "$(nproc)"
 
 echo "== perf smoke (throughput guard vs committed baseline) =="
 ctest --test-dir "$perf_build" -L perf-smoke --output-on-failure
+
+echo "== warm-cache correctness (full budget) =="
+# The perf-smoke label already ran warm_cache_check at a reduced
+# instruction budget; this leg repeats it at the default budget so
+# the byte-identical guarantee is checked on the real tables.
+"$repo/scripts/warm_cache_check.sh" \
+    "$perf_build/bench/bench_fig12_design_space" --max-insts=200000
 
 echo "check.sh: all green"

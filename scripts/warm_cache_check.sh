@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Warm-cache correctness + speedup check (registered as the ctest
+# `warm_cache_check` under -L perf-smoke).
+#
+# Runs the fig12 design-space sweep twice against a fresh artifact
+# cache directory: the first (cold) run records traces, TDG profiles
+# and model tables; the second (warm) run must load all of them back.
+# The check fails if
+#   - either run exits non-zero,
+#   - the rendered Figure 12 tables differ byte-for-byte, or
+#   - the warm run is not at least 3x faster end-to-end than the cold
+#     run (skipped when PRISM_SKIP_PERF_CHECK is set: sanitized or
+#     heavily loaded builds time out of the speedup guarantee without
+#     saying anything about correctness).
+#
+# Usage: scripts/warm_cache_check.sh <path-to-bench_fig12_design_space>
+#                                    [--max-insts=N]
+
+set -euo pipefail
+
+bench="${1:?usage: warm_cache_check.sh <bench_fig12_design_space> [--max-insts=N]}"
+max_insts="${2:---max-insts=200000}"
+
+workdir="$(mktemp -d "${TMPDIR:-/tmp}/prism_warm_check.XXXXXX")"
+trap 'rm -rf "$workdir"' EXIT
+cache="$workdir/cache"
+
+# Everything between the "Figure 12 table" banner and the next banner
+# is the rendered table the two runs must agree on.
+extract_table() {
+    awk '/^==== Figure 12 table ====/{on=1; next}
+         on && /^==== /{exit}
+         on' "$1"
+}
+
+now_ms() { date +%s%3N; }
+
+echo "== cold run (empty cache: $cache) =="
+t0=$(now_ms)
+"$bench" --cache-dir="$cache" "$max_insts" --threads=1 \
+    > "$workdir/cold.out"
+t1=$(now_ms)
+cold_ms=$((t1 - t0))
+
+echo "== warm run (same cache) =="
+t0=$(now_ms)
+"$bench" --cache-dir="$cache" "$max_insts" --threads=1 \
+    > "$workdir/warm.out"
+t1=$(now_ms)
+warm_ms=$((t1 - t0))
+
+extract_table "$workdir/cold.out" > "$workdir/cold.table"
+extract_table "$workdir/warm.out" > "$workdir/warm.table"
+
+if [[ ! -s "$workdir/cold.table" ]]; then
+    echo "warm_cache_check: FAILED — no Figure 12 table in cold output" >&2
+    exit 1
+fi
+if ! diff -u "$workdir/cold.table" "$workdir/warm.table"; then
+    echo "warm_cache_check: FAILED — warm-cache run rendered a" \
+         "different Figure 12 table than the cold run" >&2
+    exit 1
+fi
+echo "tables byte-identical across cold and warm runs"
+
+# The warm run must actually hit the cache for every artifact kind.
+for kind in trace tdgprof model; do
+    if ! grep -qE "^ *${kind} +[1-9][0-9]* hits" "$workdir/warm.out"; then
+        echo "warm_cache_check: FAILED — warm run shows no '${kind}'" \
+             "cache hits (is --cache-dir wired through?)" >&2
+        exit 1
+    fi
+done
+
+echo "cold: ${cold_ms} ms   warm: ${warm_ms} ms"
+if [[ -n "${PRISM_SKIP_PERF_CHECK:-}" ]]; then
+    echo "PRISM_SKIP_PERF_CHECK set: skipping 3x speedup assertion"
+    exit 0
+fi
+# warm * 3 <= cold  <=>  warm-cache speedup >= 3x.
+if (( warm_ms * 3 > cold_ms )); then
+    echo "warm_cache_check: FAILED — warm run (${warm_ms} ms) is not" \
+         ">= 3x faster than cold (${cold_ms} ms)" >&2
+    exit 1
+fi
+echo "warm_cache_check: all green (speedup >= 3x)"

@@ -1,0 +1,205 @@
+#include "common/artifact_cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+/** File header: magic, then the full content address. */
+constexpr std::uint64_t kArtifactMagic = 0x5052534D41525431ull; // "PRSMART1"
+
+std::unique_ptr<ArtifactCache> g_cache; // installed before workers
+
+} // namespace
+
+ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        fatal("cannot create artifact cache directory '%s': %s",
+              dir_.c_str(), ec.message().c_str());
+    }
+}
+
+std::uint64_t
+ArtifactCache::addressOf(const ArtifactKind &kind,
+                         const ArtifactKey &key)
+{
+    // The kind's code-version fingerprint is part of the address:
+    // bumping it orphans every existing entry of the kind.
+    return ArtifactKey()
+        .mix(std::string_view(kind.name))
+        .mix(kind.version)
+        .mix(key.hash())
+        .hash();
+}
+
+std::string
+ArtifactCache::pathFor(const ArtifactKind &kind,
+                       std::string_view stem,
+                       const ArtifactKey &key) const
+{
+    std::ostringstream os;
+    os << dir_ << '/' << stem << '-' << kind.name << '-' << std::hex
+       << addressOf(kind, key) << ".art";
+    return os.str();
+}
+
+void
+ArtifactCache::store(
+    const ArtifactKind &kind, std::string_view stem,
+    const ArtifactKey &key,
+    const std::function<void(ArtifactWriter &)> &payload) const
+{
+    const std::string path = pathFor(kind, stem, key);
+
+    // Unique sibling + rename: an interrupted write can never leave
+    // a partial file under `path`, and concurrent writers of the
+    // same address are last-writer-wins with a complete file either
+    // way.
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << std::this_thread::get_id();
+    const std::string tmp = tmp_name.str();
+    std::uint64_t payload_bytes = 0;
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            fatal("cannot open '%s' for writing", tmp.c_str());
+        ArtifactWriter w(os);
+        w.u64(kArtifactMagic);
+        w.u64(addressOf(kind, key));
+        payload(w);
+        payload_bytes = w.bytesWritten();
+        os.flush();
+        if (!os) {
+            os.close();
+            std::remove(tmp.c_str());
+            fatal("short write to '%s'", tmp.c_str());
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::remove(tmp.c_str());
+        fatal("cannot rename '%s' to '%s': %s", tmp.c_str(),
+              path.c_str(), ec.message().c_str());
+    }
+
+    Counters &c = countersFor(kind.name);
+    c.stores.fetch_add(1, std::memory_order_relaxed);
+    c.bytesWritten.fetch_add(payload_bytes,
+                             std::memory_order_relaxed);
+}
+
+bool
+ArtifactCache::load(
+    const ArtifactKind &kind, std::string_view stem,
+    const ArtifactKey &key,
+    const std::function<bool(ArtifactReader &)> &payload) const
+{
+    Counters &c = countersFor(kind.name);
+    const std::string path = pathFor(kind, stem, key);
+
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        c.misses.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+
+    ArtifactReader r(is);
+    const char *why = nullptr;
+    if (r.u64() != kArtifactMagic || !r.ok()) {
+        why = "not a Prism artifact file";
+    } else if (r.u64() != addressOf(kind, key) || !r.ok()) {
+        // A copied/renamed entry, or hand-edited header: the file's
+        // recorded address disagrees with its location.
+        why = "recorded key does not match its address";
+    } else if (!payload(r) || !r.ok()) {
+        why = "truncated or corrupt payload";
+    } else if (!r.atEof()) {
+        why = "trailing bytes after payload";
+    }
+
+    if (why) {
+        c.rejected.fetch_add(1, std::memory_order_relaxed);
+        c.misses.fetch_add(1, std::memory_order_relaxed);
+        warn("artifact cache: rejecting %s '%s' (%s); will "
+             "recompute",
+             kind.name, path.c_str(), why);
+        return false;
+    }
+    c.hits.fetch_add(1, std::memory_order_relaxed);
+    c.bytesRead.fetch_add(r.bytesRead(), std::memory_order_relaxed);
+    return true;
+}
+
+ArtifactCache::Counters &
+ArtifactCache::countersFor(const char *name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &k : kinds_) {
+        if (k->name == name)
+            return *k;
+    }
+    kinds_.push_back(std::make_unique<Counters>());
+    kinds_.back()->name = name;
+    return *kinds_.back();
+}
+
+ArtifactStats
+ArtifactCache::stats(const ArtifactKind &kind) const
+{
+    const Counters &c = countersFor(kind.name);
+    ArtifactStats s;
+    s.hits = c.hits.load(std::memory_order_relaxed);
+    s.misses = c.misses.load(std::memory_order_relaxed);
+    s.rejected = c.rejected.load(std::memory_order_relaxed);
+    s.stores = c.stores.load(std::memory_order_relaxed);
+    s.bytesRead = c.bytesRead.load(std::memory_order_relaxed);
+    s.bytesWritten = c.bytesWritten.load(std::memory_order_relaxed);
+    return s;
+}
+
+std::vector<std::pair<std::string, ArtifactStats>>
+ArtifactCache::allStats() const
+{
+    std::vector<std::pair<std::string, ArtifactStats>> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &k : kinds_) {
+        ArtifactStats s;
+        s.hits = k->hits.load(std::memory_order_relaxed);
+        s.misses = k->misses.load(std::memory_order_relaxed);
+        s.rejected = k->rejected.load(std::memory_order_relaxed);
+        s.stores = k->stores.load(std::memory_order_relaxed);
+        s.bytesRead = k->bytesRead.load(std::memory_order_relaxed);
+        s.bytesWritten =
+            k->bytesWritten.load(std::memory_order_relaxed);
+        out.emplace_back(k->name, s);
+    }
+    return out;
+}
+
+void
+ArtifactCache::setGlobalDir(const std::string &dir)
+{
+    g_cache = dir.empty() ? nullptr
+                          : std::make_unique<ArtifactCache>(dir);
+}
+
+const ArtifactCache *
+ArtifactCache::global()
+{
+    return g_cache.get();
+}
+
+} // namespace prism

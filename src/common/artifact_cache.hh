@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Content-addressed on-disk artifact store: "record once, explore
+ * many" (paper Section 2.6) generalized beyond traces to every
+ * expensive derived artifact — TDG profiles, per-(workload, core)
+ * model evaluation tables, and whatever future kinds register.
+ *
+ * Each artifact belongs to a typed namespace (ArtifactKind): a short
+ * slug plus a code-version fingerprint that is baked into every key,
+ * so entries self-invalidate whenever the producing code declares a
+ * new version — a stale file is simply never looked up again (zero
+ * silent staleness). The caller mixes the content identity (program
+ * fingerprint, instruction budget, machine-configuration hash, ...)
+ * into an ArtifactKey; the cache addresses files by the combined
+ * (kind, version, key) hash and repeats that hash in the file header
+ * so a copied or renamed entry is rejected on load.
+ *
+ * Robustness mirrors the trace serializer: writes go to a unique
+ * temp file renamed into place (an interrupted run can never leave a
+ * half-written entry under the final path), and every read is
+ * checked — a truncated, corrupt, or mismatched file counts as a
+ * miss, is logged, and will be overwritten by the next store.
+ *
+ * Thread-safety: all members are safe to call concurrently; the
+ * process-wide instance is installed once (before workers start) via
+ * setGlobalDir().
+ */
+
+#ifndef PRISM_COMMON_ARTIFACT_CACHE_HH
+#define PRISM_COMMON_ARTIFACT_CACHE_HH
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prism
+{
+
+// The compact binary payloads are written in native byte order; all
+// supported targets are little-endian (matching the explicit
+// little-endian trace format).
+static_assert(std::endian::native == std::endian::little,
+              "artifact payloads assume a little-endian target");
+
+/**
+ * A typed namespace within the artifact store. `version` is the
+ * producing code's fingerprint: bump it whenever the payload format
+ * *or the computation that fills it* changes, and every existing
+ * entry of the kind self-invalidates (the version participates in
+ * the content address).
+ */
+struct ArtifactKind
+{
+    const char *name;      ///< short slug, e.g. "trace", "model"
+    std::uint64_t version; ///< code/format fingerprint
+};
+
+/** FNV-1a accumulator for the content-identity half of an address. */
+class ArtifactKey
+{
+  public:
+    ArtifactKey &
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (v >> (8 * i)) & 0xFF;
+            h_ *= 0x100000001B3ull;
+        }
+        return *this;
+    }
+
+    ArtifactKey &
+    mix(std::string_view s)
+    {
+        for (const char c : s) {
+            h_ ^= static_cast<unsigned char>(c);
+            h_ *= 0x100000001B3ull;
+        }
+        mix(static_cast<std::uint64_t>(s.size()));
+        return *this;
+    }
+
+    std::uint64_t hash() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 0xCBF29CE484222325ull;
+};
+
+/** Byte-counted payload writer over an output stream. */
+class ArtifactWriter
+{
+  public:
+    explicit ArtifactWriter(std::ostream &os) : os_(&os) {}
+
+    void
+    bytes(const void *p, std::size_t n)
+    {
+        os_->write(static_cast<const char *>(p),
+                   static_cast<std::streamsize>(n));
+        bytes_ += n;
+    }
+
+    void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+    void i64(std::int64_t v) { bytes(&v, sizeof v); }
+    void u32(std::uint32_t v) { bytes(&v, sizeof v); }
+    void i32(std::int32_t v) { bytes(&v, sizeof v); }
+    void u8(std::uint8_t v) { bytes(&v, sizeof v); }
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    void
+    f64(double v)
+    {
+        // Bit-exact round trip: cache-loaded doubles must compare
+        // equal to freshly computed ones.
+        u64(std::bit_cast<std::uint64_t>(v));
+    }
+
+    /** A vector of trivially-copyable elements: count + raw bytes. */
+    template <typename T>
+    void
+    vec(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        u64(v.size());
+        if (!v.empty())
+            bytes(v.data(), v.size() * sizeof(T));
+    }
+
+    /**
+     * The underlying stream, for payloads with their own serializer
+     * (e.g. the packed trace records). Pair with noteRawBytes() to
+     * keep the byte counters honest.
+     */
+    std::ostream &stream() { return *os_; }
+    void noteRawBytes(std::uint64_t n) { bytes_ += n; }
+
+    bool ok() const { return static_cast<bool>(*os_); }
+    std::uint64_t bytesWritten() const { return bytes_; }
+
+  private:
+    std::ostream *os_;
+    std::uint64_t bytes_ = 0;
+};
+
+/**
+ * Checked payload reader: every accessor validates stream state, and
+ * a short read latches fail() instead of yielding garbage. Callers
+ * read optimistically and test ok() once at the end.
+ */
+class ArtifactReader
+{
+  public:
+    explicit ArtifactReader(std::istream &is) : is_(&is) {}
+
+    bool
+    bytes(void *p, std::size_t n)
+    {
+        if (failed_)
+            return false;
+        is_->read(static_cast<char *>(p),
+                  static_cast<std::streamsize>(n));
+        if (!*is_ ||
+            is_->gcount() != static_cast<std::streamsize>(n)) {
+            failed_ = true;
+            return false;
+        }
+        bytes_ += n;
+        return true;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        bytes(&v, sizeof v);
+        return v;
+    }
+
+    std::int64_t
+    i64()
+    {
+        std::int64_t v = 0;
+        bytes(&v, sizeof v);
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v = 0;
+        bytes(&v, sizeof v);
+        return v;
+    }
+
+    std::int32_t
+    i32()
+    {
+        std::int32_t v = 0;
+        bytes(&v, sizeof v);
+        return v;
+    }
+
+    std::uint8_t
+    u8()
+    {
+        std::uint8_t v = 0;
+        bytes(&v, sizeof v);
+        return v;
+    }
+
+    bool b() { return u8() != 0; }
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    /**
+     * Read an element count with a sanity cap, so a corrupt length
+     * field can never drive a huge allocation. Fails the stream and
+     * returns 0 when the recorded count exceeds `limit`.
+     */
+    std::uint64_t
+    count(std::uint64_t limit)
+    {
+        const std::uint64_t n = u64();
+        if (n > limit) {
+            failed_ = true;
+            return 0;
+        }
+        return n;
+    }
+
+    /** A vector written by ArtifactWriter::vec. */
+    template <typename T>
+    bool
+    vec(std::vector<T> &out, std::uint64_t limit)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const std::uint64_t n = count(limit);
+        if (failed_)
+            return false;
+        out.resize(n);
+        return n == 0 || bytes(out.data(), n * sizeof(T));
+    }
+
+    /**
+     * The underlying stream, for payloads with their own checked
+     * deserializer (e.g. the packed trace records). Pair with
+     * noteRawBytes() to keep the byte counters honest.
+     */
+    std::istream &stream() { return *is_; }
+    void noteRawBytes(std::uint64_t n) { bytes_ += n; }
+
+    /** Latch a failure discovered by the caller (bad invariant). */
+    void fail() { failed_ = true; }
+
+    bool ok() const { return !failed_ && static_cast<bool>(*is_); }
+
+    /** True when the payload consumed the file exactly. */
+    bool
+    atEof() const
+    {
+        return is_->peek() == std::istream::traits_type::eof();
+    }
+
+    std::uint64_t bytesRead() const { return bytes_; }
+
+  private:
+    std::istream *is_;
+    std::uint64_t bytes_ = 0;
+    bool failed_ = false;
+};
+
+/** Monotone per-kind counters describing cache effectiveness. */
+struct ArtifactStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;   ///< lookups with no usable file
+    std::uint64_t rejected = 0; ///< files present but failed validation
+    std::uint64_t stores = 0;
+    std::uint64_t bytesRead = 0;    ///< file bytes of hits (incl. header)
+    std::uint64_t bytesWritten = 0; ///< file bytes of stores (incl. header)
+};
+
+class ArtifactCache
+{
+  public:
+    /** Open (creating if needed) a cache rooted at `dir`; fatal if
+     *  the directory cannot be created. */
+    explicit ArtifactCache(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * On-disk location of one artifact. `stem` is a human-readable
+     * prefix (typically the workload name) that participates in the
+     * address; the content identity lives in (kind, key).
+     */
+    std::string pathFor(const ArtifactKind &kind,
+                        std::string_view stem,
+                        const ArtifactKey &key) const;
+
+    /**
+     * Persist one artifact: header plus whatever `payload` writes.
+     * Atomic (unique temp file + rename); fatal on I/O failure, so a
+     * store either completes or the process stops — never a partial
+     * file under the final path.
+     */
+    void store(const ArtifactKind &kind, std::string_view stem,
+               const ArtifactKey &key,
+               const std::function<void(ArtifactWriter &)> &payload)
+        const;
+
+    /**
+     * Look up one artifact. Returns false on a miss; a
+     * present-but-invalid file (truncated, corrupt, wrong key,
+     * `payload` returning false, trailing bytes) counts as a
+     * rejected miss and is logged. `payload` must leave the reader
+     * ok() and fully consumed to count as a hit.
+     */
+    bool load(const ArtifactKind &kind, std::string_view stem,
+              const ArtifactKey &key,
+              const std::function<bool(ArtifactReader &)> &payload)
+        const;
+
+    /** Counters for one kind (zeros if never touched). */
+    ArtifactStats stats(const ArtifactKind &kind) const;
+
+    /** (kind slug, counters) for every kind touched, in first-touch
+     *  order. */
+    std::vector<std::pair<std::string, ArtifactStats>> allStats()
+        const;
+
+    // ---- Process-wide opt-in instance (e.g. from --cache-dir) ----
+
+    /** Install the global cache; empty dir disables it. */
+    static void setGlobalDir(const std::string &dir);
+
+    /** The installed global cache, or nullptr when disabled. */
+    static const ArtifactCache *global();
+
+  private:
+    struct Counters
+    {
+        std::string name;
+        std::atomic<std::uint64_t> hits{0};
+        std::atomic<std::uint64_t> misses{0};
+        std::atomic<std::uint64_t> rejected{0};
+        std::atomic<std::uint64_t> stores{0};
+        std::atomic<std::uint64_t> bytesRead{0};
+        std::atomic<std::uint64_t> bytesWritten{0};
+    };
+
+    /** Full content address of (kind, key): version-baked. */
+    static std::uint64_t addressOf(const ArtifactKind &kind,
+                                   const ArtifactKey &key);
+
+    Counters &countersFor(const char *name) const;
+
+    std::string dir_;
+    mutable std::mutex mu_; ///< guards kinds_ registration
+    mutable std::vector<std::unique_ptr<Counters>> kinds_;
+};
+
+} // namespace prism
+
+#endif // PRISM_COMMON_ARTIFACT_CACHE_HH

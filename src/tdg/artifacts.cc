@@ -1,0 +1,368 @@
+#include "tdg/artifacts.hh"
+
+#include "trace/serialize.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+// Sanity caps for corrupt length fields (far above anything real,
+// far below an OOM-sized allocation).
+constexpr std::uint64_t kMaxSmallVec = 1ull << 24;
+
+void
+writeOccurrence(ArtifactWriter &w, const LoopOccurrence &occ)
+{
+    w.i32(occ.loopId);
+    w.u64(occ.begin);
+    w.u64(occ.end);
+    w.vec(occ.iterStarts);
+}
+
+bool
+readOccurrence(ArtifactReader &r, LoopOccurrence &occ,
+               std::uint64_t trace_size)
+{
+    occ.loopId = r.i32();
+    occ.begin = r.u64();
+    occ.end = r.u64();
+    return r.vec(occ.iterStarts, trace_size);
+}
+
+void
+writeAccess(ArtifactWriter &w, const MemAccessPattern &a)
+{
+    w.u32(a.sid);
+    w.b(a.isLoad);
+    w.u8(a.memSize);
+    w.u64(a.count);
+    w.b(a.strideKnown);
+    w.i64(a.stride);
+}
+
+void
+readAccess(ArtifactReader &r, MemAccessPattern &a)
+{
+    a.sid = r.u32();
+    a.isLoad = r.b();
+    a.memSize = r.u8();
+    a.count = r.u64();
+    a.strideKnown = r.b();
+    a.stride = r.i64();
+}
+
+void
+writeUnitEval(ArtifactWriter &w, const RegionUnitEval &ev)
+{
+    w.b(ev.feasible);
+    w.u64(ev.cycles);
+    w.f64(ev.energy);
+    w.u64(ev.gatedCycles);
+    w.vec(ev.occCycles);
+}
+
+bool
+readUnitEval(ArtifactReader &r, RegionUnitEval &ev,
+             std::uint64_t num_occs)
+{
+    ev.feasible = r.b();
+    ev.cycles = r.u64();
+    ev.energy = r.f64();
+    ev.gatedCycles = r.u64();
+    return r.vec(ev.occCycles, num_occs);
+}
+
+void
+writeExoResult(ArtifactWriter &w, const ExoResult &res)
+{
+    w.u64(res.cycles);
+    w.f64(res.energy);
+    for (Cycle c : res.unitCycles)
+        w.u64(c);
+    for (PicoJoule e : res.unitEnergy)
+        w.f64(e);
+    w.u64(res.choices.size());
+    for (const ExoChoice &ch : res.choices) {
+        w.i32(ch.loopId);
+        w.i32(ch.unit);
+    }
+}
+
+bool
+readExoResult(ArtifactReader &r, ExoResult &res)
+{
+    res.cycles = r.u64();
+    res.energy = r.f64();
+    for (Cycle &c : res.unitCycles)
+        c = r.u64();
+    for (PicoJoule &e : res.unitEnergy)
+        e = r.f64();
+    const std::uint64_t n = r.count(kMaxSmallVec);
+    res.choices.resize(n);
+    for (ExoChoice &ch : res.choices) {
+        ch.loopId = r.i32();
+        ch.unit = r.i32();
+    }
+    return r.ok();
+}
+
+} // namespace
+
+std::uint64_t
+pipelineConfigHash(const PipelineConfig &cfg)
+{
+    ArtifactKey k;
+    k.mix(std::string_view(cfg.core.name));
+    k.mix(cfg.core.inorder ? 1 : 0);
+    k.mix(cfg.core.width);
+    k.mix(cfg.core.robSize);
+    k.mix(cfg.core.instWindow);
+    k.mix(cfg.core.dcachePorts);
+    k.mix(cfg.core.numAlu);
+    k.mix(cfg.core.numMulDiv);
+    k.mix(cfg.core.numFp);
+    k.mix(cfg.core.frontendDepth);
+    k.mix(cfg.core.mispredictPenalty);
+    k.mix(cfg.core.simdLanes);
+    for (const AccelParams *a : {&cfg.cgra, &cfg.nsdf, &cfg.tracep}) {
+        k.mix(a->issueWidth);
+        k.mix(a->window);
+        k.mix(a->memPorts);
+        k.mix(a->wbBusWidth);
+        k.mix(a->configCycles);
+    }
+    k.mix(cfg.l1HitLatency);
+    k.mix(cfg.l2HitLatency);
+    return k.hash();
+}
+
+ArtifactKey
+tdgProfilesArtifactKey(const Program &prog, std::uint64_t max_insts)
+{
+    return ArtifactKey()
+        .mix(programFingerprint(prog))
+        .mix(max_insts);
+}
+
+ArtifactKey
+modelArtifactKey(const Program &prog, std::uint64_t max_insts,
+                 const PipelineConfig &cfg,
+                 std::uint64_t code_version)
+{
+    return ArtifactKey()
+        .mix(programFingerprint(prog))
+        .mix(max_insts)
+        .mix(pipelineConfigHash(cfg))
+        .mix(code_version);
+}
+
+void
+storeTdgProfiles(const ArtifactCache &cache, const std::string &name,
+                 const Program &prog, std::uint64_t max_insts,
+                 const TdgProfiles &profiles)
+{
+    cache.store(
+        kTdgProfilesKind, name,
+        tdgProfilesArtifactKey(prog, max_insts),
+        [&](ArtifactWriter &w) {
+            w.vec(profiles.loopMap.loopOf);
+            w.u64(profiles.loopMap.occurrences.size());
+            for (const LoopOccurrence &occ :
+                 profiles.loopMap.occurrences)
+                writeOccurrence(w, occ);
+            w.vec(profiles.loopMap.occOf);
+
+            w.u64(profiles.pathProfiles.size());
+            for (const PathProfile &p : profiles.pathProfiles) {
+                w.i32(p.loopId);
+                w.u64(p.totalIters);
+                w.u64(p.backEdgeTaken);
+                w.u64(p.numStaticPaths);
+                w.u64(p.paths.size());
+                for (const PathProfile::PathInfo &pi : p.paths) {
+                    w.u64(pi.id);
+                    w.u64(pi.count);
+                    w.vec(pi.blocks);
+                }
+            }
+
+            w.u64(profiles.memProfiles.size());
+            for (const LoopMemProfile &m : profiles.memProfiles) {
+                w.i32(m.loopId);
+                w.u64(m.itersObserved);
+                w.b(m.loopCarriedStoreToLoad);
+                w.u64(m.accesses.size());
+                for (const MemAccessPattern &a : m.accesses)
+                    writeAccess(w, a);
+            }
+
+            w.u64(profiles.depProfiles.size());
+            for (const LoopDepProfile &d : profiles.depProfiles) {
+                w.i32(d.loopId);
+                w.u64(d.carriedDeps);
+                w.vec(d.inductions);
+                w.vec(d.reductions);
+                w.b(d.otherRecurrence);
+            }
+        });
+}
+
+std::optional<TdgProfiles>
+loadTdgProfiles(const ArtifactCache &cache, const std::string &name,
+                const Program &prog, std::uint64_t max_insts,
+                const Trace &trace, std::uint64_t num_loops)
+{
+    std::optional<TdgProfiles> result;
+    const bool hit = cache.load(
+        kTdgProfilesKind, name,
+        tdgProfilesArtifactKey(prog, max_insts),
+        [&](ArtifactReader &r) {
+            TdgProfiles p;
+            if (!r.vec(p.loopMap.loopOf, trace.size()))
+                return false;
+            const std::uint64_t nocc = r.count(trace.size() + 1);
+            p.loopMap.occurrences.resize(nocc);
+            for (LoopOccurrence &occ : p.loopMap.occurrences) {
+                if (!readOccurrence(r, occ, trace.size()))
+                    return false;
+            }
+            if (!r.vec(p.loopMap.occOf, trace.size()))
+                return false;
+
+            const std::uint64_t npath = r.count(num_loops);
+            p.pathProfiles.resize(npath);
+            for (PathProfile &pp : p.pathProfiles) {
+                pp.loopId = r.i32();
+                pp.totalIters = r.u64();
+                pp.backEdgeTaken = r.u64();
+                pp.numStaticPaths = r.u64();
+                const std::uint64_t np = r.count(kMaxSmallVec);
+                pp.paths.resize(np);
+                for (PathProfile::PathInfo &pi : pp.paths) {
+                    pi.id = r.u64();
+                    pi.count = r.u64();
+                    if (!r.vec(pi.blocks, kMaxSmallVec))
+                        return false;
+                }
+            }
+
+            const std::uint64_t nmem = r.count(num_loops);
+            p.memProfiles.resize(nmem);
+            for (LoopMemProfile &m : p.memProfiles) {
+                m.loopId = r.i32();
+                m.itersObserved = r.u64();
+                m.loopCarriedStoreToLoad = r.b();
+                const std::uint64_t na = r.count(kMaxSmallVec);
+                m.accesses.resize(na);
+                for (MemAccessPattern &a : m.accesses)
+                    readAccess(r, a);
+            }
+
+            const std::uint64_t ndep = r.count(num_loops);
+            p.depProfiles.resize(ndep);
+            for (LoopDepProfile &d : p.depProfiles) {
+                d.loopId = r.i32();
+                d.carriedDeps = r.u64();
+                if (!r.vec(d.inductions, kMaxSmallVec) ||
+                    !r.vec(d.reductions, kMaxSmallVec))
+                    return false;
+                d.otherRecurrence = r.b();
+            }
+            if (!r.ok())
+                return false;
+
+            // Cross-checks against the trace and program this run
+            // actually has: a payload that deserialized cleanly but
+            // describes a different stream is still rejected.
+            if (p.loopMap.loopOf.size() != trace.size() ||
+                p.loopMap.occOf.size() != trace.size() ||
+                p.pathProfiles.size() != num_loops ||
+                p.memProfiles.size() != num_loops ||
+                p.depProfiles.size() != num_loops)
+                return false;
+
+            result = std::move(p);
+            return true;
+        });
+    if (!hit)
+        result.reset();
+    return result;
+}
+
+void
+storeModelTables(const ArtifactCache &cache, const std::string &name,
+                 std::uint64_t max_insts, const BenchmarkModel &model,
+                 std::uint64_t code_version)
+{
+    const ModelTables t = model.tables();
+    cache.store(
+        kModelKind, name,
+        modelArtifactKey(model.analyzer().tdg().trace().program(),
+                         max_insts, model.config(), code_version),
+        [&](ArtifactWriter &w) {
+            writeExoResult(w, t.baseline);
+            w.u64(t.loopEvals.size());
+            for (const LoopEval &le : t.loopEvals) {
+                w.i32(le.loopId);
+                w.u64(le.dynInsts);
+                for (const RegionUnitEval &ev : le.unit)
+                    writeUnitEval(w, ev);
+            }
+            w.vec(t.occBaseStart);
+            w.vec(t.occBaseCycles);
+            w.vec(t.occBaseEnergy);
+        });
+}
+
+std::optional<ModelTables>
+loadModelTables(const ArtifactCache &cache, const std::string &name,
+                const Tdg &tdg, std::uint64_t max_insts,
+                const PipelineConfig &cfg,
+                std::uint64_t code_version)
+{
+    const std::uint64_t num_loops = tdg.loops().numLoops();
+    const std::uint64_t num_occs = tdg.loopMap().occurrences.size();
+    std::optional<ModelTables> result;
+    const bool hit = cache.load(
+        kModelKind, name,
+        modelArtifactKey(tdg.trace().program(), max_insts, cfg,
+                         code_version),
+        [&](ArtifactReader &r) {
+            ModelTables t;
+            if (!readExoResult(r, t.baseline))
+                return false;
+            const std::uint64_t nle = r.count(num_loops);
+            t.loopEvals.resize(nle);
+            for (LoopEval &le : t.loopEvals) {
+                le.loopId = r.i32();
+                le.dynInsts = r.u64();
+                for (RegionUnitEval &ev : le.unit) {
+                    if (!readUnitEval(r, ev, num_occs))
+                        return false;
+                }
+            }
+            if (!r.vec(t.occBaseStart, num_occs) ||
+                !r.vec(t.occBaseCycles, num_occs) ||
+                !r.vec(t.occBaseEnergy, num_occs))
+                return false;
+            if (!r.ok())
+                return false;
+
+            // Shape must match the TDG this run built.
+            if (t.loopEvals.size() != num_loops ||
+                t.occBaseStart.size() != num_occs ||
+                t.occBaseCycles.size() != num_occs ||
+                t.occBaseEnergy.size() != num_occs)
+                return false;
+
+            result = std::move(t);
+            return true;
+        });
+    if (!hit)
+        result.reset();
+    return result;
+}
+
+} // namespace prism

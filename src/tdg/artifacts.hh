@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Artifact-cache entries for the two expensive products above the
+ * trace: TDG profiles (one streaming pass over the dynamic stream)
+ * and BenchmarkModel evaluation tables (baseline region attribution
+ * plus every (loop, BSA) timing run). With both cached, a warm run
+ * skips interpretation, TDG construction, and all model timing —
+ * only the cheap mask/scheduler composition remains ("record once,
+ * explore many", paper Section 2.6, extended to the full pipeline).
+ *
+ * Keys: TDG profiles are identified by (program fingerprint,
+ * instruction budget); model tables additionally mix the full
+ * machine-configuration hash and a model-code version fingerprint,
+ * so changing timing/transform code (bump kModelCodeVersion) or any
+ * core/accelerator parameter invalidates exactly the affected
+ * entries.
+ */
+
+#ifndef PRISM_TDG_ARTIFACTS_HH
+#define PRISM_TDG_ARTIFACTS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/artifact_cache.hh"
+#include "tdg/builder.hh"
+#include "tdg/exocore.hh"
+
+namespace prism
+{
+
+/** TDG-profile namespace; version tracks the payload format AND the
+ *  profiling passes that fill it. */
+inline constexpr ArtifactKind kTdgProfilesKind{"tdgprof", 1};
+
+/** Model-table namespace; version tracks the payload format. */
+inline constexpr ArtifactKind kModelKind{"model", 1};
+
+/**
+ * Fingerprint of the timing/energy/transform code that fills model
+ * tables. Bump on any change to PipelineModel, EnergyModel, or the
+ * BSA transforms; every cached model table self-invalidates.
+ */
+inline constexpr std::uint64_t kModelCodeVersion = 1;
+
+/** Content hash of every machine parameter a model depends on. */
+std::uint64_t pipelineConfigHash(const PipelineConfig &cfg);
+
+/** Key of one workload's TDG profiles. */
+ArtifactKey tdgProfilesArtifactKey(const Program &prog,
+                                   std::uint64_t max_insts);
+
+/** Key of one (workload, machine configuration) model table. */
+ArtifactKey
+modelArtifactKey(const Program &prog, std::uint64_t max_insts,
+                 const PipelineConfig &cfg,
+                 std::uint64_t code_version = kModelCodeVersion);
+
+/** Persist the profiles of one workload's TDG. */
+void storeTdgProfiles(const ArtifactCache &cache,
+                      const std::string &name, const Program &prog,
+                      std::uint64_t max_insts,
+                      const TdgProfiles &profiles);
+
+/**
+ * Look up cached TDG profiles. Validated against the trace (per-
+ * instruction maps must cover it exactly) and `num_loops`; anything
+ * inconsistent is a rejected miss.
+ */
+std::optional<TdgProfiles>
+loadTdgProfiles(const ArtifactCache &cache, const std::string &name,
+                const Program &prog, std::uint64_t max_insts,
+                const Trace &trace, std::uint64_t num_loops);
+
+/** Persist one model's evaluation tables (key from model.config()). */
+void
+storeModelTables(const ArtifactCache &cache, const std::string &name,
+                 std::uint64_t max_insts, const BenchmarkModel &model,
+                 std::uint64_t code_version = kModelCodeVersion);
+
+/**
+ * Look up cached model tables for (workload, machine configuration).
+ * Validated against the TDG (loop count, occurrence count); anything
+ * inconsistent is a rejected miss.
+ */
+std::optional<ModelTables>
+loadModelTables(const ArtifactCache &cache, const std::string &name,
+                const Tdg &tdg, std::uint64_t max_insts,
+                const PipelineConfig &cfg,
+                std::uint64_t code_version = kModelCodeVersion);
+
+} // namespace prism
+
+#endif // PRISM_TDG_ARTIFACTS_HH

@@ -69,6 +69,31 @@ BenchmarkModel::BenchmarkModel(const Tdg &tdg, CoreKind core,
     evaluateBsas();
 }
 
+BenchmarkModel::BenchmarkModel(const Tdg &tdg, CoreKind core,
+                               ModelTables tables)
+    : tdg_(&tdg), core_(core),
+      pcfg_{.core = coreConfig(core)}
+{
+    prism_assert(tables.loopEvals.size() ==
+                     tdg.loops().numLoops(),
+                 "model tables do not match this TDG");
+    analyzer_ = std::make_unique<TdgAnalyzer>(tdg);
+    energyModel_ = std::make_unique<EnergyModel>(
+        pcfg_.core, static_cast<unsigned>(kAllBsas.size()));
+    baseline_ = std::move(tables.baseline);
+    loopEvals_ = std::move(tables.loopEvals);
+    occBaseStart_ = std::move(tables.occBaseStart);
+    occBaseCycles_ = std::move(tables.occBaseCycles);
+    occBaseEnergy_ = std::move(tables.occBaseEnergy);
+}
+
+ModelTables
+BenchmarkModel::tables() const
+{
+    return ModelTables{baseline_, loopEvals_, occBaseStart_,
+                       occBaseCycles_, occBaseEnergy_};
+}
+
 Cycle
 BenchmarkModel::gppLoopCycles(std::int32_t loop) const
 {

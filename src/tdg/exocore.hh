@@ -102,6 +102,22 @@ struct TimelinePoint
 };
 
 /**
+ * The complete timing-run output of one BenchmarkModel: everything
+ * expensive that construction computes, and exactly what the artifact
+ * cache persists per (workload, core). A model restored from tables
+ * is indistinguishable from a freshly built one — evaluate() composes
+ * purely from these.
+ */
+struct ModelTables
+{
+    ExoResult baseline;
+    std::vector<LoopEval> loopEvals;
+    std::vector<Cycle> occBaseStart;
+    std::vector<Cycle> occBaseCycles;
+    std::vector<PicoJoule> occBaseEnergy;
+};
+
+/**
  * Evaluates one (workload TDG, general core) pair against all BSAs
  * and composes ExoCore configurations. Construction performs all
  * timing runs; evaluate() is cheap and can be called for all 16 BSA
@@ -119,8 +135,20 @@ class BenchmarkModel
     BenchmarkModel(const Tdg &tdg, CoreKind core,
                    const PipelineConfig &cfg);
 
+    /**
+     * Warm-cache construction: adopt previously computed evaluation
+     * tables instead of running the timing engine. Skips baseline
+     * and BSA timing entirely; only the cheap analyzer and energy
+     * model are rebuilt (schedulers consult them).
+     */
+    BenchmarkModel(const Tdg &tdg, CoreKind core, ModelTables tables);
+
     CoreKind core() const { return core_; }
+    const PipelineConfig &config() const { return pcfg_; }
     const TdgAnalyzer &analyzer() const { return *analyzer_; }
+
+    /** Snapshot of the evaluation tables (for the artifact cache). */
+    ModelTables tables() const;
 
     /** Per-loop, per-unit evaluations (indexed by loop id). */
     const LoopEval &loopEval(std::int32_t loop) const

@@ -102,11 +102,10 @@ unpack(const PackedDyn &p)
 struct Header
 {
     std::uint64_t fingerprint = 0;
-    std::uint64_t count = 0;
 };
 
 /**
- * Read and validate magic/version/fingerprint/count against `prog`.
+ * Read and validate magic/version/fingerprint against `prog`.
  * Returns nullopt with a reason in `error` on any mismatch.
  */
 std::optional<Header>
@@ -117,7 +116,7 @@ readHeader(std::istream &is, const Program &prog,
     std::uint64_t version = 0;
     Header h;
     if (!tryReadU64(is, magic) || !tryReadU64(is, version) ||
-        !tryReadU64(is, h.fingerprint) || !tryReadU64(is, h.count)) {
+        !tryReadU64(is, h.fingerprint)) {
         error = "'" + path + "': truncated trace header";
         return std::nullopt;
     }
@@ -162,6 +161,47 @@ programFingerprint(const Program &prog)
 }
 
 void
+writeTracePayload(std::ostream &os, const Trace &trace)
+{
+    writeU64(os, trace.size());
+    for (DynId i = 0; i < trace.size(); ++i) {
+        const PackedDyn p = pack(trace[i]);
+        for (std::uint64_t f : p.fields)
+            writeU64(os, f);
+    }
+}
+
+bool
+readTracePayload(std::istream &is, Trace &out, std::string *error)
+{
+    std::uint64_t count = 0;
+    if (!tryReadU64(is, count)) {
+        if (error)
+            *error = "truncated trace payload (missing count)";
+        return false;
+    }
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        PackedDyn p;
+        for (std::uint64_t &f : p.fields) {
+            if (!tryReadU64(is, f)) {
+                if (error) {
+                    std::ostringstream msg;
+                    msg << "truncated trace payload: header "
+                        << "promises " << count
+                        << " records, payload ends after "
+                        << out.size();
+                    *error = msg.str();
+                }
+                return false;
+            }
+        }
+        out.push(unpack(p));
+    }
+    return true;
+}
+
+void
 saveTrace(const Trace &trace, const std::string &path)
 {
     // Write to a unique sibling and rename into place so that an
@@ -178,12 +218,7 @@ saveTrace(const Trace &trace, const std::string &path)
         writeU64(os, kMagic);
         writeU64(os, kFormatVersion);
         writeU64(os, programFingerprint(trace.program()));
-        writeU64(os, trace.size());
-        for (DynId i = 0; i < trace.size(); ++i) {
-            const PackedDyn p = pack(trace[i]);
-            for (std::uint64_t f : p.fields)
-                writeU64(os, f);
-        }
+        writeTracePayload(os, trace);
         os.flush();
         if (!os) {
             os.close();
@@ -209,27 +244,12 @@ tryLoadTrace(const Program &prog, const std::string &path,
     std::ifstream is(path, std::ios::binary);
     if (!is) {
         err = "cannot open trace file '" + path + "'";
-    } else if (const auto h = readHeader(is, prog, path, err)) {
+    } else if (readHeader(is, prog, path, err)) {
         Trace trace(&prog);
-        trace.reserve(h->count);
-        bool ok = true;
-        for (std::uint64_t i = 0; ok && i < h->count; ++i) {
-            PackedDyn p;
-            for (std::uint64_t &f : p.fields) {
-                if (!tryReadU64(is, f)) {
-                    ok = false;
-                    break;
-                }
-            }
-            if (ok)
-                trace.push(unpack(p));
-        }
-        if (!ok) {
-            std::ostringstream os;
-            os << "truncated trace file '" << path << "': header "
-               << "promises " << h->count << " records, payload ends "
-               << "after " << trace.size();
-            err = os.str();
+        std::string payload_err;
+        if (!readTracePayload(is, trace, &payload_err)) {
+            err = "truncated trace file '" + path +
+                  "': " + payload_err;
         } else if (is.peek() != std::ifstream::traits_type::eof()) {
             err = "trailing bytes after trace payload in '" + path +
                   "'";

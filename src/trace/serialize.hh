@@ -21,7 +21,9 @@
 #ifndef PRISM_TRACE_SERIALIZE_HH
 #define PRISM_TRACE_SERIALIZE_HH
 
+#include <istream>
 #include <optional>
+#include <ostream>
 #include <string>
 
 #include "trace/dyn_inst.hh"
@@ -35,6 +37,22 @@ namespace prism
  * program's instructions change.
  */
 std::uint64_t programFingerprint(const Program &prog);
+
+/**
+ * Write just the record payload (count + packed records) of a trace
+ * to a stream — the piece shared between standalone trace files and
+ * artifact-cache entries (which carry their own validated header).
+ */
+void writeTracePayload(std::ostream &os, const Trace &trace);
+
+/**
+ * Read a payload written by writeTracePayload into `out` (which must
+ * be empty and bound to the right program). Returns false with a
+ * reason in `*error` on a short or corrupt payload; does NOT check
+ * for trailing bytes (the caller owns the framing).
+ */
+bool readTracePayload(std::istream &is, Trace &out,
+                      std::string *error = nullptr);
 
 /**
  * Write a trace to `path` atomically (temp file + rename); fatal on

@@ -1,93 +1,54 @@
 #include "trace/trace_cache.hh"
 
-#include <filesystem>
-#include <memory>
-#include <sstream>
-
-#include "common/logging.hh"
-
 namespace prism
 {
 
-namespace
+ArtifactKey
+traceArtifactKey(const Program &prog, std::uint64_t max_insts)
 {
-std::unique_ptr<TraceCache> g_cache; // installed before workers start
-} // namespace
-
-TraceCache::TraceCache(std::string dir) : dir_(std::move(dir))
-{
-    std::error_code ec;
-    std::filesystem::create_directories(dir_, ec);
-    if (ec) {
-        fatal("cannot create trace cache directory '%s': %s",
-              dir_.c_str(), ec.message().c_str());
-    }
-}
-
-std::string
-TraceCache::pathFor(const std::string &name, const Program &prog,
-                    std::uint64_t max_insts) const
-{
-    std::ostringstream os;
-    os << dir_ << '/' << name << '-' << std::hex
-       << programFingerprint(prog) << std::dec << '-' << max_insts
-       << ".trc";
-    return os.str();
+    return ArtifactKey()
+        .mix(programFingerprint(prog))
+        .mix(max_insts);
 }
 
 std::optional<Trace>
-TraceCache::load(const std::string &name, const Program &prog,
-                 std::uint64_t max_insts) const
+loadCachedTrace(const ArtifactCache &cache, const std::string &name,
+                const Program &prog, std::uint64_t max_insts)
 {
-    const std::string path = pathFor(name, prog, max_insts);
-    std::error_code ec;
-    if (!std::filesystem::exists(path, ec) || ec) {
-        misses_.fetch_add(1, std::memory_order_relaxed);
-        return std::nullopt;
-    }
-    std::string err;
-    std::optional<Trace> trace = tryLoadTrace(prog, path, &err);
-    if (!trace) {
-        rejected_.fetch_add(1, std::memory_order_relaxed);
-        misses_.fetch_add(1, std::memory_order_relaxed);
-        warn("trace cache: rejecting '%s' (%s); will regenerate",
-             path.c_str(), err.c_str());
-        return std::nullopt;
-    }
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    return trace;
+    std::optional<Trace> result;
+    const bool hit = cache.load(
+        kTraceArtifactKind, name, traceArtifactKey(prog, max_insts),
+        [&](ArtifactReader &r) {
+            // The artifact header already proved the address (and
+            // with it the program fingerprint); fingerprint is
+            // repeated in the payload as a defense-in-depth check
+            // against key collisions.
+            if (r.u64() != programFingerprint(prog))
+                return false;
+            Trace trace(&prog);
+            if (!readTracePayload(r.stream(), trace))
+                return false;
+            r.noteRawBytes(8 + trace.size() * 64);
+            result = std::move(trace);
+            return true;
+        });
+    if (!hit)
+        result.reset();
+    return result;
 }
 
 void
-TraceCache::store(const std::string &name, const Program &prog,
-                  std::uint64_t max_insts, const Trace &trace) const
+storeCachedTrace(const ArtifactCache &cache, const std::string &name,
+                 const Program &prog, std::uint64_t max_insts,
+                 const Trace &trace)
 {
-    saveTrace(trace, pathFor(name, prog, max_insts));
-    stores_.fetch_add(1, std::memory_order_relaxed);
-}
-
-TraceCacheStats
-TraceCache::stats() const
-{
-    TraceCacheStats s;
-    s.hits = hits_.load(std::memory_order_relaxed);
-    s.misses = misses_.load(std::memory_order_relaxed);
-    s.rejected = rejected_.load(std::memory_order_relaxed);
-    s.stores = stores_.load(std::memory_order_relaxed);
-    return s;
-}
-
-void
-TraceCache::setGlobalDir(const std::string &dir)
-{
-    g_cache = dir.empty() ? nullptr
-                          : std::make_unique<TraceCache>(dir);
-}
-
-const TraceCache *
-TraceCache::global()
-{
-    return g_cache.get();
+    cache.store(kTraceArtifactKind, name,
+                traceArtifactKey(prog, max_insts),
+                [&](ArtifactWriter &w) {
+                    w.u64(programFingerprint(prog));
+                    writeTracePayload(w.stream(), trace);
+                    w.noteRawBytes(8 + trace.size() * 64);
+                });
 }
 
 } // namespace prism

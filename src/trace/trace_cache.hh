@@ -1,87 +1,55 @@
 /**
  * @file
- * On-disk trace cache: "record once, explore many configurations"
- * (paper Section 2.6) across *process* runs. Generated traces are
- * persisted in a cache directory keyed by workload name, program
- * fingerprint, and instruction budget; repeated exploration runs
- * load the recorded trace instead of re-simulating the workload.
+ * Trace entries in the artifact store: "record once, explore many
+ * configurations" (paper Section 2.6) across *process* runs.
+ * Generated traces are persisted in the content-addressed artifact
+ * cache keyed by workload name, program fingerprint, and instruction
+ * budget; repeated exploration runs load the recorded trace instead
+ * of re-simulating the workload.
  *
- * Entries are written atomically (serialize.cc's temp-file + rename)
- * and validated on load, so an interrupted run can at worst leave a
- * stale temp file, never a corrupt hit: a cache file that fails
- * validation is treated as a miss and overwritten.
- *
- * Thread-safety: all members are safe to call concurrently; the
- * process-wide instance is installed once (before workers start) via
- * setGlobalDir().
+ * The artifact store supplies atomic writes and checked reads; the
+ * payload reuses serialize.cc's packed-record format, so a cache file
+ * that fails validation is treated as a miss and overwritten.
  */
 
 #ifndef PRISM_TRACE_TRACE_CACHE_HH
 #define PRISM_TRACE_TRACE_CACHE_HH
 
-#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
 
+#include "common/artifact_cache.hh"
 #include "trace/serialize.hh"
 
 namespace prism
 {
 
-/** Monotone counters describing cache effectiveness. */
-struct TraceCacheStats
-{
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;   ///< lookups with no usable file
-    std::uint64_t rejected = 0; ///< files present but failed validation
-    std::uint64_t stores = 0;
-};
+/**
+ * Trace artifact namespace. The version tracks the packed-record
+ * payload format (serialize.cc's kFormatVersion lineage): bump it
+ * whenever the record layout changes.
+ */
+inline constexpr ArtifactKind kTraceArtifactKind{"trace", 2};
 
-class TraceCache
-{
-  public:
-    /** Open (creating if needed) a cache rooted at `dir`; fatal if
-     *  the directory cannot be created. */
-    explicit TraceCache(std::string dir);
+/** Content identity of one recorded trace. */
+ArtifactKey traceArtifactKey(const Program &prog,
+                             std::uint64_t max_insts);
 
-    const std::string &dir() const { return dir_; }
+/**
+ * Look up a recorded trace in `cache`. A present-but-invalid file
+ * (truncated, corrupt, wrong program) counts as a rejected miss, is
+ * logged, and will be overwritten by the next store.
+ */
+std::optional<Trace> loadCachedTrace(const ArtifactCache &cache,
+                                     const std::string &name,
+                                     const Program &prog,
+                                     std::uint64_t max_insts);
 
-    /** Cache file path for one (workload, program, budget) key. */
-    std::string pathFor(const std::string &name, const Program &prog,
-                        std::uint64_t max_insts) const;
-
-    /**
-     * Look up a recorded trace. A present-but-invalid file (trun-
-     * cated, corrupt, wrong program) counts as a miss, is logged,
-     * and will be overwritten by the next store().
-     */
-    std::optional<Trace> load(const std::string &name,
-                              const Program &prog,
-                              std::uint64_t max_insts) const;
-
-    /** Persist a recorded trace for future runs (atomic write). */
-    void store(const std::string &name, const Program &prog,
-               std::uint64_t max_insts, const Trace &trace) const;
-
-    /** Counters for this cache instance. */
-    TraceCacheStats stats() const;
-
-    // ---- Process-wide opt-in instance (e.g. from --cache-dir) ----
-
-    /** Install the global cache; empty dir disables it. */
-    static void setGlobalDir(const std::string &dir);
-
-    /** The installed global cache, or nullptr when disabled. */
-    static const TraceCache *global();
-
-  private:
-    std::string dir_;
-    mutable std::atomic<std::uint64_t> hits_{0};
-    mutable std::atomic<std::uint64_t> misses_{0};
-    mutable std::atomic<std::uint64_t> rejected_{0};
-    mutable std::atomic<std::uint64_t> stores_{0};
-};
+/** Persist a recorded trace for future runs (atomic write). */
+void storeCachedTrace(const ArtifactCache &cache,
+                      const std::string &name, const Program &prog,
+                      std::uint64_t max_insts, const Trace &trace);
 
 } // namespace prism
 

@@ -1,7 +1,10 @@
 #include "workloads/suite.hh"
 
+#include <atomic>
+
 #include "common/logging.hh"
 #include "prog/builder.hh"
+#include "tdg/artifacts.hh"
 #include "tdg/builder.hh"
 #include "trace/trace_cache.hh"
 
@@ -52,6 +55,17 @@ findWorkload(const std::string &name)
     fatal("unknown workload '%s'", name.c_str());
 }
 
+namespace
+{
+std::atomic<std::uint64_t> g_max_insts_override{0};
+} // namespace
+
+void
+setMaxInstsOverride(std::uint64_t max_insts)
+{
+    g_max_insts_override.store(max_insts, std::memory_order_relaxed);
+}
+
 std::unique_ptr<LoadedWorkload>
 LoadedWorkload::load(const WorkloadSpec &spec,
                      std::uint64_t max_insts_override)
@@ -66,17 +80,43 @@ LoadedWorkload::load(const WorkloadSpec &spec,
     spec.build(pb, mem, args);
     lw->prog_ = pb.build();
 
+    if (!max_insts_override) {
+        max_insts_override =
+            g_max_insts_override.load(std::memory_order_relaxed);
+    }
     TraceGenConfig cfg;
     cfg.maxInsts =
         max_insts_override ? max_insts_override : spec.maxInsts;
+    lw->maxInsts_ = cfg.maxInsts;
 
-    const TraceCache *cache = TraceCache::global();
+    const ArtifactCache *cache = ArtifactCache::global();
     if (cache) {
-        if (std::optional<Trace> cached =
-                cache->load(lw->name_, lw->prog_, cfg.maxInsts)) {
+        if (std::optional<Trace> cached = loadCachedTrace(
+                *cache, lw->name_, lw->prog_, cfg.maxInsts)) {
             lw->fromCache_ = true;
-            lw->tdg_ = std::make_unique<Tdg>(lw->prog_,
-                                             std::move(*cached));
+            TdgStatics statics(lw->prog_);
+            if (std::optional<TdgProfiles> profiles =
+                    loadTdgProfiles(*cache, lw->name_, lw->prog_,
+                                    cfg.maxInsts, *cached,
+                                    statics.forest.numLoops())) {
+                // Fully warm: no walk over the trace at all.
+                lw->profilesFromCache_ = true;
+                lw->tdg_ = std::make_unique<Tdg>(
+                    lw->prog_, std::move(*cached),
+                    std::move(statics), std::move(*profiles));
+                return lw;
+            }
+            // Trace hit, profile miss: rebuild the profiles with one
+            // streaming pass and store them for next time.
+            TdgBuilder builder(statics);
+            builder.begin(*cached);
+            builder.feed(0, cached->size());
+            TdgProfiles profiles = builder.finish();
+            storeTdgProfiles(*cache, lw->name_, lw->prog_,
+                             cfg.maxInsts, profiles);
+            lw->tdg_ = std::make_unique<Tdg>(
+                lw->prog_, std::move(*cached), std::move(statics),
+                std::move(profiles));
             return lw;
         }
     }
@@ -97,9 +137,13 @@ LoadedWorkload::load(const WorkloadSpec &spec,
         });
     prism_assert(!trace.empty(), "workload '%s' produced no trace",
                  spec.name);
-    if (cache)
-        cache->store(lw->name_, lw->prog_, cfg.maxInsts, trace);
     TdgProfiles profiles = builder.finish();
+    if (cache) {
+        storeCachedTrace(*cache, lw->name_, lw->prog_, cfg.maxInsts,
+                         trace);
+        storeTdgProfiles(*cache, lw->name_, lw->prog_, cfg.maxInsts,
+                         profiles);
+    }
     lw->tdg_ = std::make_unique<Tdg>(lw->prog_, std::move(trace),
                                      std::move(statics),
                                      std::move(profiles));

@@ -57,15 +57,24 @@ std::span<const WorkloadSpec> tpchWorkloads();
 std::span<const WorkloadSpec> specintWorkloads();
 
 /**
+ * Process-wide instruction-budget override (0 = use each spec's
+ * default). Install before workers start; reduced budgets let
+ * smoke-test runs stay fast while sharing the bench binaries.
+ */
+void setMaxInstsOverride(std::uint64_t max_insts);
+
+/**
  * A fully materialized workload: program built, inputs staged, trace
  * recorded, TDG constructed.
  *
- * When a process-wide trace cache is installed (TraceCache::
- * setGlobalDir), load() first consults it: on a hit the interpreter
- * run is skipped entirely and the TDG is constructed from the
- * recorded trace (paper Section 2.6); on a miss the generated trace
- * is stored for future runs. load() is safe to call concurrently for
- * different specs (the parallel sweep driver does so).
+ * When a process-wide artifact cache is installed (ArtifactCache::
+ * setGlobalDir), load() first consults it: on a trace hit the
+ * interpreter run is skipped entirely, and on a TDG-profile hit the
+ * profiling walk is skipped too — the TDG assembles from recorded
+ * artifacts (paper Section 2.6); on a miss the generated trace and
+ * profiles are stored for future runs. load() is safe to call
+ * concurrently for different specs (the parallel sweep driver does
+ * so).
  */
 class LoadedWorkload
 {
@@ -79,9 +88,17 @@ class LoadedWorkload
     const Tdg &tdg() const { return *tdg_; }
     const Program &program() const { return prog_; }
 
+    /** The effective instruction budget this load ran with. */
+    std::uint64_t maxInsts() const { return maxInsts_; }
+
     /** True if the trace came from the on-disk cache. genResult()'s
      *  simulator statistics are only meaningful when this is false. */
     bool fromCache() const { return fromCache_; }
+
+    /** True if the TDG profiles came from the on-disk cache (no
+     *  profiling walk over the trace happened). */
+    bool profilesFromCache() const { return profilesFromCache_; }
+
     const TraceGenResult &genResult() const { return genResult_; }
 
   private:
@@ -91,7 +108,9 @@ class LoadedWorkload
     std::string name_;
     Program prog_;
     TraceGenResult genResult_;
+    std::uint64_t maxInsts_ = 0;
     bool fromCache_ = false;
+    bool profilesFromCache_ = false;
     std::unique_ptr<Tdg> tdg_;
 };
 

@@ -1,0 +1,484 @@
+/**
+ * @file
+ * Tests for the content-addressed artifact store and the cached
+ * artifact kinds built on it (TDG profiles, model evaluation
+ * tables): corruption, version skew, truncated writes and
+ * wrong-program entries must all fall back to recompute, and a
+ * cache-loaded BenchmarkModel must be observationally identical to a
+ * freshly built one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/artifact_cache.hh"
+#include "sim/trace_gen.hh"
+#include "tdg/artifacts.hh"
+#include "trace/trace_cache.hh"
+#include "workloads/kernel_util.hh"
+#include "workloads/suite.hh"
+
+namespace prism
+{
+namespace
+{
+
+constexpr std::uint64_t kTestInsts = 40'000;
+
+/** Fresh cache directory, removed on scope exit. */
+struct TempCacheDir
+{
+    std::string path;
+    explicit TempCacheDir(const char *name)
+        : path(std::string(::testing::TempDir()) + name)
+    {
+        std::filesystem::remove_all(path);
+    }
+    ~TempCacheDir() { std::filesystem::remove_all(path); }
+};
+
+Program
+smallProgram(std::int64_t n)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId eight = f.movi(8);
+    const RegId acc = f.reg();
+    f.moviTo(acc, 0);
+    countedLoop(f, 0, n, 1, [&](RegId i) {
+        const RegId v = f.ld(f.add(f.arg(0), f.mul(i, eight)), 0);
+        f.addTo(acc, acc, v);
+    });
+    f.ret(acc);
+    return pb.build();
+}
+
+constexpr ArtifactKind kTestKind{"testkind", 1};
+
+void
+storeNumbers(const ArtifactCache &cache, const ArtifactKey &key,
+             std::uint64_t a, double b)
+{
+    cache.store(kTestKind, "t", key, [&](ArtifactWriter &w) {
+        w.u64(a);
+        w.f64(b);
+    });
+}
+
+bool
+loadNumbers(const ArtifactCache &cache, const ArtifactKey &key,
+            std::uint64_t &a, double &b)
+{
+    return cache.load(kTestKind, "t", key, [&](ArtifactReader &r) {
+        a = r.u64();
+        b = r.f64();
+        return r.ok();
+    });
+}
+
+TEST(ArtifactCache, StoreLoadRoundTripAndCounters)
+{
+    TempCacheDir dir("prism_art_roundtrip");
+    const ArtifactCache cache(dir.path);
+    const ArtifactKey key = ArtifactKey().mix(123u).mix("payload");
+
+    std::uint64_t a = 0;
+    double b = 0;
+    EXPECT_FALSE(loadNumbers(cache, key, a, b));
+    EXPECT_EQ(cache.stats(kTestKind).misses, 1u);
+
+    storeNumbers(cache, key, 42, 2.5);
+    ASSERT_TRUE(loadNumbers(cache, key, a, b));
+    EXPECT_EQ(a, 42u);
+    EXPECT_EQ(b, 2.5);
+
+    const ArtifactStats s = cache.stats(kTestKind);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.rejected, 0u);
+    EXPECT_EQ(s.stores, 1u);
+    // 16-byte payload plus the file header; read and write agree.
+    EXPECT_GE(s.bytesWritten, 16u);
+    EXPECT_EQ(s.bytesRead, s.bytesWritten);
+}
+
+TEST(ArtifactCache, DoubleRoundTripIsBitExact)
+{
+    TempCacheDir dir("prism_art_f64");
+    const ArtifactCache cache(dir.path);
+    // Values with no short decimal representation, plus edge cases.
+    const double values[] = {1.0 / 3.0, 0.1, -0.0, 1e-308, 6.02e23};
+    const ArtifactKey key = ArtifactKey().mix(1u);
+    cache.store(kTestKind, "f", key, [&](ArtifactWriter &w) {
+        for (double v : values)
+            w.f64(v);
+    });
+    cache.load(kTestKind, "f", key, [&](ArtifactReader &r) {
+        for (double v : values) {
+            const double got = r.f64();
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(got),
+                      std::bit_cast<std::uint64_t>(v));
+        }
+        return r.ok();
+    });
+}
+
+TEST(ArtifactCache, TruncatedEntryIsRejectedMissThenRepaired)
+{
+    TempCacheDir dir("prism_art_trunc");
+    const ArtifactCache cache(dir.path);
+    const ArtifactKey key = ArtifactKey().mix(7u);
+    storeNumbers(cache, key, 9, 1.25);
+
+    const std::string path = cache.pathFor(kTestKind, "t", key);
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) - 4);
+
+    std::uint64_t a = 0;
+    double b = 0;
+    EXPECT_FALSE(loadNumbers(cache, key, a, b));
+    EXPECT_EQ(cache.stats(kTestKind).rejected, 1u);
+    EXPECT_EQ(cache.stats(kTestKind).misses, 1u);
+
+    // The recompute-then-store path repairs the entry.
+    storeNumbers(cache, key, 9, 1.25);
+    EXPECT_TRUE(loadNumbers(cache, key, a, b));
+    EXPECT_EQ(a, 9u);
+}
+
+TEST(ArtifactCache, CorruptMagicIsRejectedMiss)
+{
+    TempCacheDir dir("prism_art_magic");
+    const ArtifactCache cache(dir.path);
+    const ArtifactKey key = ArtifactKey().mix(8u);
+    storeNumbers(cache, key, 1, 1.0);
+
+    const std::string path = cache.pathFor(kTestKind, "t", key);
+    {
+        std::fstream fs(path, std::ios::in | std::ios::out |
+                                  std::ios::binary);
+        fs.seekp(0);
+        fs.write("X", 1);
+    }
+    std::uint64_t a = 0;
+    double b = 0;
+    EXPECT_FALSE(loadNumbers(cache, key, a, b));
+    EXPECT_EQ(cache.stats(kTestKind).rejected, 1u);
+}
+
+TEST(ArtifactCache, TrailingBytesAreRejected)
+{
+    TempCacheDir dir("prism_art_trailing");
+    const ArtifactCache cache(dir.path);
+    const ArtifactKey key = ArtifactKey().mix(9u);
+    storeNumbers(cache, key, 1, 1.0);
+    {
+        std::ofstream os(cache.pathFor(kTestKind, "t", key),
+                         std::ios::binary | std::ios::app);
+        os << "junk";
+    }
+    std::uint64_t a = 0;
+    double b = 0;
+    EXPECT_FALSE(loadNumbers(cache, key, a, b));
+    EXPECT_EQ(cache.stats(kTestKind).rejected, 1u);
+}
+
+TEST(ArtifactCache, VersionSkewSelfInvalidates)
+{
+    TempCacheDir dir("prism_art_version");
+    const ArtifactCache cache(dir.path);
+    const ArtifactKey key = ArtifactKey().mix(5u);
+    storeNumbers(cache, key, 3, 0.5);
+
+    // A new code version addresses a different file: plain miss, the
+    // stale entry is simply never looked up again.
+    constexpr ArtifactKind bumped{"testkind", 2};
+    EXPECT_FALSE(cache.load(bumped, "t", key,
+                            [](ArtifactReader &) { return true; }));
+
+    // Even renaming the stale file onto the new address is caught:
+    // the recorded address inside the file disagrees.
+    std::filesystem::copy_file(cache.pathFor(kTestKind, "t", key),
+                               cache.pathFor(bumped, "t", key));
+    EXPECT_FALSE(cache.load(bumped, "t", key, [](ArtifactReader &r) {
+        r.u64();
+        r.f64();
+        return r.ok();
+    }));
+    EXPECT_EQ(cache.stats(bumped).rejected, 1u);
+}
+
+TEST(ArtifactCache, CorruptLengthFieldCannotDriveHugeAllocation)
+{
+    TempCacheDir dir("prism_art_len");
+    const ArtifactCache cache(dir.path);
+    const ArtifactKey key = ArtifactKey().mix(6u);
+    cache.store(kTestKind, "t", key, [&](ArtifactWriter &w) {
+        w.u64(~0ull); // an absurd element count
+    });
+    EXPECT_FALSE(
+        cache.load(kTestKind, "t", key, [](ArtifactReader &r) {
+            std::vector<std::uint64_t> v;
+            return r.vec(v, 1u << 20); // capped: fails, no OOM
+        }));
+    EXPECT_EQ(cache.stats(kTestKind).rejected, 1u);
+}
+
+TEST(ArtifactCache, WrongProgramTraceIsMiss)
+{
+    TempCacheDir dir("prism_art_wrongprog");
+    const ArtifactCache cache(dir.path);
+    const Program a = smallProgram(40);
+    const Program b = smallProgram(41);
+    SimMemory mem;
+    Trace trace(&a);
+    generateTrace(a, mem, {0x4000}, trace);
+    storeCachedTrace(cache, "wl", a, 0, trace);
+
+    // Different program fingerprint: different address, plain miss.
+    EXPECT_FALSE(loadCachedTrace(cache, "wl", b, 0));
+
+    // Forcing A's entry onto B's address is rejected on load (the
+    // recorded address and the payload fingerprint both disagree).
+    std::filesystem::copy_file(
+        cache.pathFor(kTraceArtifactKind, "wl",
+                      traceArtifactKey(a, 0)),
+        cache.pathFor(kTraceArtifactKind, "wl",
+                      traceArtifactKey(b, 0)));
+    EXPECT_FALSE(loadCachedTrace(cache, "wl", b, 0));
+    EXPECT_GE(cache.stats(kTraceArtifactKind).rejected, 1u);
+}
+
+// ---- TDG profiles -------------------------------------------------
+
+void
+expectProfilesEqual(const TdgProfiles &x, const TdgProfiles &y)
+{
+    ASSERT_EQ(x.loopMap.loopOf, y.loopMap.loopOf);
+    ASSERT_EQ(x.loopMap.occOf, y.loopMap.occOf);
+    ASSERT_EQ(x.loopMap.occurrences.size(),
+              y.loopMap.occurrences.size());
+    for (std::size_t i = 0; i < x.loopMap.occurrences.size(); ++i) {
+        const LoopOccurrence &a = x.loopMap.occurrences[i];
+        const LoopOccurrence &b = y.loopMap.occurrences[i];
+        ASSERT_EQ(a.loopId, b.loopId) << i;
+        ASSERT_EQ(a.begin, b.begin) << i;
+        ASSERT_EQ(a.end, b.end) << i;
+        ASSERT_EQ(a.iterStarts, b.iterStarts) << i;
+    }
+    ASSERT_EQ(x.pathProfiles.size(), y.pathProfiles.size());
+    for (std::size_t i = 0; i < x.pathProfiles.size(); ++i) {
+        const PathProfile &a = x.pathProfiles[i];
+        const PathProfile &b = y.pathProfiles[i];
+        ASSERT_EQ(a.loopId, b.loopId) << i;
+        ASSERT_EQ(a.totalIters, b.totalIters) << i;
+        ASSERT_EQ(a.backEdgeTaken, b.backEdgeTaken) << i;
+        ASSERT_EQ(a.numStaticPaths, b.numStaticPaths) << i;
+        ASSERT_EQ(a.paths.size(), b.paths.size()) << i;
+        for (std::size_t j = 0; j < a.paths.size(); ++j) {
+            ASSERT_EQ(a.paths[j].id, b.paths[j].id);
+            ASSERT_EQ(a.paths[j].count, b.paths[j].count);
+            ASSERT_EQ(a.paths[j].blocks, b.paths[j].blocks);
+        }
+    }
+    ASSERT_EQ(x.memProfiles.size(), y.memProfiles.size());
+    for (std::size_t i = 0; i < x.memProfiles.size(); ++i) {
+        const LoopMemProfile &a = x.memProfiles[i];
+        const LoopMemProfile &b = y.memProfiles[i];
+        ASSERT_EQ(a.loopId, b.loopId) << i;
+        ASSERT_EQ(a.itersObserved, b.itersObserved) << i;
+        ASSERT_EQ(a.loopCarriedStoreToLoad, b.loopCarriedStoreToLoad);
+        ASSERT_EQ(a.accesses.size(), b.accesses.size()) << i;
+        for (std::size_t j = 0; j < a.accesses.size(); ++j) {
+            ASSERT_EQ(a.accesses[j].sid, b.accesses[j].sid);
+            ASSERT_EQ(a.accesses[j].isLoad, b.accesses[j].isLoad);
+            ASSERT_EQ(a.accesses[j].memSize, b.accesses[j].memSize);
+            ASSERT_EQ(a.accesses[j].count, b.accesses[j].count);
+            ASSERT_EQ(a.accesses[j].strideKnown,
+                      b.accesses[j].strideKnown);
+            ASSERT_EQ(a.accesses[j].stride, b.accesses[j].stride);
+        }
+    }
+    ASSERT_EQ(x.depProfiles.size(), y.depProfiles.size());
+    for (std::size_t i = 0; i < x.depProfiles.size(); ++i) {
+        const LoopDepProfile &a = x.depProfiles[i];
+        const LoopDepProfile &b = y.depProfiles[i];
+        ASSERT_EQ(a.loopId, b.loopId) << i;
+        ASSERT_EQ(a.carriedDeps, b.carriedDeps) << i;
+        ASSERT_EQ(a.inductions, b.inductions) << i;
+        ASSERT_EQ(a.reductions, b.reductions) << i;
+        ASSERT_EQ(a.otherRecurrence, b.otherRecurrence) << i;
+    }
+}
+
+TEST(TdgProfileArtifacts, RoundTripPreservesEveryProfile)
+{
+    TempCacheDir dir("prism_art_tdgprof");
+    const ArtifactCache cache(dir.path);
+    const auto lw =
+        LoadedWorkload::load(findWorkload("conv"), kTestInsts);
+    const Tdg &tdg = lw->tdg();
+    const Program &prog = lw->program();
+
+    // Rebuild the profiles from the trace to get an owned copy.
+    TdgStatics statics(prog);
+    TdgBuilder builder(statics);
+    builder.begin(tdg.trace());
+    builder.feed(0, tdg.trace().size());
+    const TdgProfiles original = builder.finish();
+
+    storeTdgProfiles(cache, "conv", prog, kTestInsts, original);
+    const auto loaded =
+        loadTdgProfiles(cache, "conv", prog, kTestInsts, tdg.trace(),
+                        statics.forest.numLoops());
+    ASSERT_TRUE(loaded);
+    expectProfilesEqual(original, *loaded);
+
+    // A different budget or program is a miss, not a wrong hit.
+    EXPECT_FALSE(loadTdgProfiles(cache, "conv", prog,
+                                 kTestInsts + 1, tdg.trace(),
+                                 statics.forest.numLoops()));
+}
+
+// ---- Model evaluation tables --------------------------------------
+
+void
+expectResultsIdentical(const ExoResult &a, const ExoResult &b)
+{
+    ASSERT_EQ(a.cycles, b.cycles);
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(a.energy),
+              std::bit_cast<std::uint64_t>(b.energy));
+    ASSERT_EQ(a.unitCycles, b.unitCycles);
+    for (int u = 0; u < kNumUnits; ++u) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(a.unitEnergy[u]),
+                  std::bit_cast<std::uint64_t>(b.unitEnergy[u]))
+            << u;
+    }
+    ASSERT_EQ(a.choices.size(), b.choices.size());
+    for (std::size_t i = 0; i < a.choices.size(); ++i) {
+        ASSERT_EQ(a.choices[i].loopId, b.choices[i].loopId) << i;
+        ASSERT_EQ(a.choices[i].unit, b.choices[i].unit) << i;
+    }
+}
+
+TEST(ModelArtifacts, CacheLoadedModelEvaluatesByteIdentically)
+{
+    TempCacheDir dir("prism_art_model");
+    const ArtifactCache cache(dir.path);
+    const auto lw =
+        LoadedWorkload::load(findWorkload("conv"), kTestInsts);
+    const Tdg &tdg = lw->tdg();
+
+    const BenchmarkModel fresh(tdg, CoreKind::OOO2);
+    storeModelTables(cache, "conv", kTestInsts, fresh);
+
+    const PipelineConfig cfg{.core = coreConfig(CoreKind::OOO2)};
+    auto tables =
+        loadModelTables(cache, "conv", tdg, kTestInsts, cfg);
+    ASSERT_TRUE(tables);
+    const BenchmarkModel warm(tdg, CoreKind::OOO2,
+                              std::move(*tables));
+
+    expectResultsIdentical(fresh.baseline(), warm.baseline());
+    for (unsigned mask = 0; mask <= kFullBsaMask; ++mask) {
+        for (SchedulerKind sched : {SchedulerKind::Oracle,
+                                    SchedulerKind::AmdahlTree}) {
+            SCOPED_TRACE("mask " + std::to_string(mask) +
+                         (sched == SchedulerKind::Oracle
+                              ? " oracle"
+                              : " amdahl"));
+            expectResultsIdentical(fresh.evaluate(mask, sched),
+                                   warm.evaluate(mask, sched));
+        }
+    }
+}
+
+TEST(ModelArtifacts, KeyedByMachineConfiguration)
+{
+    TempCacheDir dir("prism_art_modelkey");
+    const ArtifactCache cache(dir.path);
+    const auto lw =
+        LoadedWorkload::load(findWorkload("conv"), kTestInsts);
+    const Tdg &tdg = lw->tdg();
+
+    const BenchmarkModel fresh(tdg, CoreKind::OOO2);
+    storeModelTables(cache, "conv", kTestInsts, fresh);
+
+    // A different core misses.
+    const PipelineConfig io2{.core = coreConfig(CoreKind::IO2)};
+    EXPECT_FALSE(
+        loadModelTables(cache, "conv", tdg, kTestInsts, io2));
+
+    // A tweaked accelerator parameter misses too.
+    PipelineConfig tweaked{.core = coreConfig(CoreKind::OOO2)};
+    tweaked.nsdf.wbBusWidth += 1;
+    EXPECT_FALSE(
+        loadModelTables(cache, "conv", tdg, kTestInsts, tweaked));
+}
+
+TEST(ModelArtifacts, CodeVersionFlipForcesRecompute)
+{
+    TempCacheDir dir("prism_art_modelver");
+    const ArtifactCache cache(dir.path);
+    const auto lw =
+        LoadedWorkload::load(findWorkload("conv"), kTestInsts);
+    const Tdg &tdg = lw->tdg();
+
+    const BenchmarkModel fresh(tdg, CoreKind::OOO2);
+    storeModelTables(cache, "conv", kTestInsts, fresh);
+
+    const PipelineConfig cfg{.core = coreConfig(CoreKind::OOO2)};
+    // The entry is live under the current model-code version...
+    EXPECT_TRUE(loadModelTables(cache, "conv", tdg, kTestInsts, cfg,
+                                kModelCodeVersion));
+    // ...and dead the instant the code version moves: zero silent
+    // staleness.
+    EXPECT_FALSE(loadModelTables(cache, "conv", tdg, kTestInsts, cfg,
+                                 kModelCodeVersion + 1));
+    const ArtifactStats s = cache.stats(kModelKind);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.rejected, 0u);
+
+    // Storing under the new version keys a fresh entry; both
+    // versions then coexist independently.
+    storeModelTables(cache, "conv", kTestInsts, fresh,
+                     kModelCodeVersion + 1);
+    EXPECT_TRUE(loadModelTables(cache, "conv", tdg, kTestInsts, cfg,
+                                kModelCodeVersion + 1));
+}
+
+TEST(ModelArtifacts, CorruptModelEntryFallsBackToRecompute)
+{
+    TempCacheDir dir("prism_art_modelcorrupt");
+    const ArtifactCache cache(dir.path);
+    const auto lw =
+        LoadedWorkload::load(findWorkload("conv"), kTestInsts);
+    const Tdg &tdg = lw->tdg();
+
+    const BenchmarkModel fresh(tdg, CoreKind::OOO2);
+    storeModelTables(cache, "conv", kTestInsts, fresh);
+
+    const PipelineConfig cfg{.core = coreConfig(CoreKind::OOO2)};
+    const std::string path = cache.pathFor(
+        kModelKind, "conv",
+        modelArtifactKey(tdg.trace().program(), kTestInsts, cfg));
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) / 2);
+
+    EXPECT_FALSE(
+        loadModelTables(cache, "conv", tdg, kTestInsts, cfg));
+    EXPECT_EQ(cache.stats(kModelKind).rejected, 1u);
+
+    // Recompute + store repairs it.
+    storeModelTables(cache, "conv", kTestInsts, fresh);
+    EXPECT_TRUE(
+        loadModelTables(cache, "conv", tdg, kTestInsts, cfg));
+}
+
+} // namespace
+} // namespace prism

@@ -256,8 +256,9 @@ expectProfilesMatchLegacy(const Tdg &tdg)
             EXPECT_EQ(sa[i].memSize, sb[i].memSize);
             EXPECT_EQ(sa[i].count, sb[i].count);
             EXPECT_EQ(sa[i].strideKnown, sb[i].strideKnown);
-            if (sa[i].strideKnown)
+            if (sa[i].strideKnown) {
                 EXPECT_EQ(sa[i].stride, sb[i].stride);
+            }
         }
 
         const LoopDepProfile &da = tdg.depProfile(loop.id);
@@ -344,15 +345,17 @@ TEST(FusedTdg, CacheHitAndMissPathsAgree)
          "prism_fe_cache_test")
             .string();
     std::filesystem::remove_all(dir);
-    TraceCache::setGlobalDir(dir);
+    ArtifactCache::setGlobalDir(dir);
 
     const WorkloadSpec &spec = findWorkload("conv");
     const auto missed = LoadedWorkload::load(spec, kTestInsts);
     EXPECT_FALSE(missed->fromCache());
+    EXPECT_FALSE(missed->profilesFromCache());
     const auto hit = LoadedWorkload::load(spec, kTestInsts);
     EXPECT_TRUE(hit->fromCache());
+    EXPECT_TRUE(hit->profilesFromCache());
 
-    TraceCache::setGlobalDir("");
+    ArtifactCache::setGlobalDir("");
     std::filesystem::remove_all(dir);
 
     expectTracesEqual(missed->tdg().trace(), hit->tdg().trace());

@@ -240,61 +240,70 @@ struct TempCacheDir
 TEST(TraceCache, MissThenStoreThenHit)
 {
     TempCacheDir dir("prism_cache_hit");
-    const TraceCache cache(dir.path);
+    const ArtifactCache cache(dir.path);
     const Program prog = smallProgram(40);
     SimMemory mem;
     Trace trace(&prog);
     generateTrace(prog, mem, {0x4000}, trace);
 
-    EXPECT_FALSE(cache.load("wl", prog, 0));
-    EXPECT_EQ(cache.stats().misses, 1u);
-    EXPECT_EQ(cache.stats().hits, 0u);
+    auto stats = [&] { return cache.stats(kTraceArtifactKind); };
 
-    cache.store("wl", prog, 0, trace);
-    EXPECT_EQ(cache.stats().stores, 1u);
+    EXPECT_FALSE(loadCachedTrace(cache, "wl", prog, 0));
+    EXPECT_EQ(stats().misses, 1u);
+    EXPECT_EQ(stats().hits, 0u);
 
-    const auto hit = cache.load("wl", prog, 0);
+    storeCachedTrace(cache, "wl", prog, 0, trace);
+    EXPECT_EQ(stats().stores, 1u);
+
+    const auto hit = loadCachedTrace(cache, "wl", prog, 0);
     ASSERT_TRUE(hit);
     EXPECT_EQ(hit->size(), trace.size());
-    EXPECT_EQ(cache.stats().hits, 1u);
-    EXPECT_EQ(cache.stats().misses, 1u);
-    EXPECT_EQ(cache.stats().rejected, 0u);
+    EXPECT_EQ(stats().hits, 1u);
+    EXPECT_EQ(stats().misses, 1u);
+    EXPECT_EQ(stats().rejected, 0u);
 }
 
 TEST(TraceCache, KeyDistinguishesBudgetAndProgram)
 {
     TempCacheDir dir("prism_cache_key");
-    const TraceCache cache(dir.path);
+    const ArtifactCache cache(dir.path);
     const Program a = smallProgram(40);
     const Program b = smallProgram(41);
-    EXPECT_NE(cache.pathFor("wl", a, 0), cache.pathFor("wl", a, 50));
-    EXPECT_NE(cache.pathFor("wl", a, 0), cache.pathFor("wl", b, 0));
-    EXPECT_NE(cache.pathFor("wl", a, 0), cache.pathFor("w2", a, 0));
+    auto path = [&](const char *name, const Program &prog,
+                    std::uint64_t budget) {
+        return cache.pathFor(kTraceArtifactKind, name,
+                             traceArtifactKey(prog, budget));
+    };
+    EXPECT_NE(path("wl", a, 0), path("wl", a, 50));
+    EXPECT_NE(path("wl", a, 0), path("wl", b, 0));
+    EXPECT_NE(path("wl", a, 0), path("w2", a, 0));
 }
 
 TEST(TraceCache, CorruptEntryIsRejectedMiss)
 {
     TempCacheDir dir("prism_cache_corrupt");
-    const TraceCache cache(dir.path);
+    const ArtifactCache cache(dir.path);
     const Program prog = smallProgram(40);
     SimMemory mem;
     Trace trace(&prog);
     generateTrace(prog, mem, {0x4000}, trace);
-    cache.store("wl", prog, 0, trace);
+    storeCachedTrace(cache, "wl", prog, 0, trace);
 
     // Truncate the stored entry mid-payload.
-    const std::string path = cache.pathFor("wl", prog, 0);
+    const std::string path = cache.pathFor(
+        kTraceArtifactKind, "wl", traceArtifactKey(prog, 0));
     const auto full = std::filesystem::file_size(path);
     std::filesystem::resize_file(path, full - 32);
 
-    EXPECT_FALSE(cache.load("wl", prog, 0));
-    EXPECT_EQ(cache.stats().rejected, 1u);
-    EXPECT_EQ(cache.stats().misses, 1u);
+    auto stats = [&] { return cache.stats(kTraceArtifactKind); };
+    EXPECT_FALSE(loadCachedTrace(cache, "wl", prog, 0));
+    EXPECT_EQ(stats().rejected, 1u);
+    EXPECT_EQ(stats().misses, 1u);
 
     // A fresh store repairs the entry.
-    cache.store("wl", prog, 0, trace);
-    EXPECT_TRUE(cache.load("wl", prog, 0));
-    EXPECT_EQ(cache.stats().hits, 1u);
+    storeCachedTrace(cache, "wl", prog, 0, trace);
+    EXPECT_TRUE(loadCachedTrace(cache, "wl", prog, 0));
+    EXPECT_EQ(stats().hits, 1u);
 }
 
 } // namespace
