@@ -1,21 +1,26 @@
 #!/usr/bin/env bash
 # Full pre-merge check:
-#   1. AddressSanitizer build + the whole tier-1 test suite, and
-#   2. an optimized build running the perf-smoke label (streaming
-#      self-test, throughput guard vs the committed baseline, and
-#      the warm-artifact-cache correctness + speedup leg).
+#   1. AddressSanitizer build + the whole tier-1 test suite,
+#   2. an UndefinedBehaviorSanitizer build + the tier-1 suite
+#      (findings abort: -fno-sanitize-recover=undefined),
+#   3. an optimized build running the lint label (prism_lint over
+#      every shipped workload and BSA transform, the static-analysis
+#      unit tests, and clang-tidy when the host has it) and the
+#      perf-smoke label (streaming self-test, throughput guard vs the
+#      committed baseline, warm-artifact-cache correctness + speedup).
 #
-# Usage: scripts/check.sh [asan-build-dir] [perf-build-dir]
+# Usage: scripts/check.sh [asan-build-dir] [ubsan-build-dir] [perf-build-dir]
 #
-# The sanitized leg sets PRISM_SKIP_PERF_CHECK=1 — throughput under
-# ASan is not comparable to the committed numbers, but every
+# The sanitized legs set PRISM_SKIP_PERF_CHECK=1 — throughput under a
+# sanitizer is not comparable to the committed numbers, but every
 # correctness test (including the streaming self-test) still runs.
 
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 asan_build="${1:-"$repo/build-asan"}"
-perf_build="${2:-"$repo/build"}"
+ubsan_build="${2:-"$repo/build-ubsan"}"
+perf_build="${3:-"$repo/build"}"
 
 echo "== configure (AddressSanitizer) =="
 cmake -B "$asan_build" -S "$repo" -DPRISM_SANITIZE=address
@@ -27,11 +32,24 @@ echo "== tier-1 tests (ASan) =="
 PRISM_SKIP_PERF_CHECK=1 ctest --test-dir "$asan_build" \
     --output-on-failure -j "$(nproc)"
 
+echo "== configure (UndefinedBehaviorSanitizer) =="
+cmake -B "$ubsan_build" -S "$repo" -DPRISM_SANITIZE=undefined
+
+echo "== build (UBSan) =="
+cmake --build "$ubsan_build" -j "$(nproc)"
+
+echo "== tier-1 tests (UBSan) =="
+PRISM_SKIP_PERF_CHECK=1 ctest --test-dir "$ubsan_build" \
+    --output-on-failure -j "$(nproc)"
+
 echo "== configure (optimized) =="
 cmake -B "$perf_build" -S "$repo"
 
 echo "== build (optimized) =="
 cmake --build "$perf_build" -j "$(nproc)"
+
+echo "== lint (prism_lint + static-analysis tests + clang-tidy) =="
+ctest --test-dir "$perf_build" -L lint --output-on-failure
 
 echo "== perf smoke (throughput guard vs committed baseline) =="
 ctest --test-dir "$perf_build" -L perf-smoke --output-on-failure

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Compile-time switch for in-pipeline IR invariant assertions.
+ *
+ * Configured with -DPRISM_CHECK_IR=ON, the streaming front end
+ * (TdgBuilder::feed) and the µDG constructors (appendCoreBatch and
+ * friends) assert the layer-2 invariants of analysis/stream_verify
+ * on every instruction as it streams through — backward-only
+ * dependence indices, sids within the program, memory deps only on
+ * loads. The guard is an `if constexpr` on kCheckIr, so a release
+ * build (the default, kCheckIr == false) compiles the checks away
+ * entirely: zero instructions, zero branches on the hot paths.
+ *
+ * Intended for debug builds:
+ *   cmake -B build-check -S . -DPRISM_CHECK_IR=ON \
+ *         -DCMAKE_BUILD_TYPE=Debug
+ */
+
+#ifndef PRISM_ANALYSIS_CHECK_IR_HH
+#define PRISM_ANALYSIS_CHECK_IR_HH
+
+namespace prism
+{
+
+#ifdef PRISM_CHECK_IR
+inline constexpr bool kCheckIr = true;
+#else
+inline constexpr bool kCheckIr = false;
+#endif
+
+} // namespace prism
+
+#endif // PRISM_ANALYSIS_CHECK_IR_HH

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * prism_lint: standalone whole-pipeline static analysis driver.
+ *
+ * Three phases, each optional:
+ *  1. guest-program dataflow analysis over every selected workload
+ *     kernel (analysis/prog_analysis.hh) — always runs;
+ *  2. TDG verification — loop-map structure and BSA plan legality
+ *     cross-checks (analysis/tdg_verify.hh) plus core-stream
+ *     verification, when any BSA phase is selected;
+ *  3. transform-output verification — every usable (loop, BSA) pair
+ *     is transformed and the emitted stream checked post-hoc
+ *     (analysis/stream_verify.hh).
+ *
+ * Exit status: 0 when no error-severity diagnostics were produced
+ * (warnings print but do not fail), 1 otherwise. Wired into CTest
+ * under the `lint` label as `prism_lint --all-workloads --all-bsas`.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/prog_analysis.hh"
+#include "analysis/stream_verify.hh"
+#include "analysis/tdg_verify.hh"
+#include "common/artifact_cache.hh"
+#include "common/logging.hh"
+#include "prog/builder.hh"
+#include "sim/memory.hh"
+#include "tdg/analyzer.hh"
+#include "tdg/builder.hh"
+#include "tdg/constructor.hh"
+#include "tdg/transform.hh"
+#include "workloads/suite.hh"
+
+namespace prism
+{
+namespace
+{
+
+struct Options
+{
+    std::vector<std::string> workloads; ///< empty + all == everything
+    bool allWorkloads = false;
+    bool micro = false;
+    std::vector<BsaKind> bsas;
+    std::uint64_t maxInsts = 60'000;
+    bool verbose = false;
+    std::string cacheDir;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        code == 0 ? stdout : stderr,
+        "usage: prism_lint [options]\n"
+        "  --all-workloads       lint every Table 3 workload\n"
+        "  --workload=NAME       lint one workload (repeatable)\n"
+        "  --micro               also lint the vertical "
+        "microbenchmarks\n"
+        "  --all-bsas            verify plans + transform outputs for "
+        "all BSAs\n"
+        "  --bsa=KIND            one of simd|cgra|nsdf|tracep "
+        "(repeatable)\n"
+        "  --max-insts=N         trace budget per workload "
+        "(default 60000)\n"
+        "  --cache-dir=DIR       reuse recorded traces/profiles\n"
+        "  --verbose             print clean results too\n");
+    std::exit(code);
+}
+
+BsaKind
+parseBsa(const std::string &s)
+{
+    if (s == "simd" || s == "s")
+        return BsaKind::Simd;
+    if (s == "cgra" || s == "dpcgra" || s == "d")
+        return BsaKind::DpCgra;
+    if (s == "nsdf" || s == "n")
+        return BsaKind::Nsdf;
+    if (s == "tracep" || s == "t")
+        return BsaKind::Tracep;
+    fatal("unknown BSA '%s'", s.c_str());
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto val = [&arg](const char *flag) -> const char * {
+            const std::size_t n = std::strlen(flag);
+            if (arg.compare(0, n, flag) == 0 && arg[n] == '=')
+                return arg.c_str() + n + 1;
+            return nullptr;
+        };
+        if (arg == "--all-workloads") {
+            opt.allWorkloads = true;
+        } else if (arg == "--micro") {
+            opt.micro = true;
+        } else if (arg == "--all-bsas") {
+            opt.bsas.assign(kAllBsas.begin(), kAllBsas.end());
+        } else if (arg == "--verbose" || arg == "-v") {
+            opt.verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else if (const char *v = val("--workload")) {
+            opt.workloads.emplace_back(v);
+        } else if (const char *v = val("--bsa")) {
+            opt.bsas.push_back(parseBsa(v));
+        } else if (const char *v = val("--max-insts")) {
+            opt.maxInsts = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = val("--cache-dir")) {
+            opt.cacheDir = v;
+        } else {
+            std::fprintf(stderr, "prism_lint: unknown option '%s'\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+    if (!opt.allWorkloads && opt.workloads.empty())
+        usage(2);
+    return opt;
+}
+
+std::vector<const WorkloadSpec *>
+selectWorkloads(const Options &opt)
+{
+    std::vector<const WorkloadSpec *> specs;
+    if (opt.allWorkloads) {
+        for (const WorkloadSpec &w : allWorkloads())
+            specs.push_back(&w);
+        if (opt.micro) {
+            for (const WorkloadSpec &w : microbenchmarks())
+                specs.push_back(&w);
+        }
+    }
+    for (const std::string &name : opt.workloads)
+        specs.push_back(&findWorkload(name));
+    return specs;
+}
+
+/** Per-run diagnostic tally and printer. */
+class Reporter
+{
+  public:
+    explicit Reporter(bool verbose) : verbose_(verbose) {}
+
+    /** Report one check context; returns the number of errors. */
+    std::size_t
+    report(const std::string &context, const std::vector<Diag> &diags,
+           const Program *prog)
+    {
+        const std::size_t errors = numErrors(diags);
+        errors_ += errors;
+        warnings_ += diags.size() - errors;
+        if (diags.empty()) {
+            if (verbose_)
+                std::printf("  %-40s clean\n", context.c_str());
+            return 0;
+        }
+        for (const Diag &d : diags) {
+            std::printf("  %s: %s\n", context.c_str(),
+                        toString(d, prog).c_str());
+        }
+        return errors;
+    }
+
+    std::size_t errors() const { return errors_; }
+    std::size_t warnings() const { return warnings_; }
+
+  private:
+    bool verbose_;
+    std::size_t errors_ = 0;
+    std::size_t warnings_ = 0;
+};
+
+void
+lintTransforms(const LoadedWorkload &lw, const Options &opt,
+               Reporter &rep)
+{
+    const Tdg &tdg = lw.tdg();
+    const Program &prog = lw.program();
+    const TdgAnalyzer analyzer(tdg);
+    const TdgStatics statics(prog);
+
+    rep.report(lw.name() + "/tdg", verifyTdg(tdg, analyzer, &statics),
+               &prog);
+    rep.report(lw.name() + "/core-stream",
+               verifyStream(buildCoreStream(tdg.trace()), &prog),
+               &prog);
+
+    for (const Loop &loop : tdg.loops().loops()) {
+        for (BsaKind kind : opt.bsas) {
+            if (!analyzer.usable(kind, loop.id))
+                continue;
+            const auto occs = tdg.occurrencesOf(loop.id);
+            if (occs.empty())
+                continue;
+            auto tf = makeTransform(kind, tdg, analyzer);
+            if (!tf->canTarget(loop.id)) {
+                Diag d;
+                d.check = "plan-transform-skew";
+                d.loop = loop.id;
+                d.func = loop.func;
+                d.message = "analyzer marks the loop usable but the "
+                            "transform refuses to target it";
+                rep.report(lw.name() + "/" + bsaName(kind), {d},
+                           &prog);
+                continue;
+            }
+            const TransformOutput out =
+                tf->transformLoop(loop.id, occs);
+            rep.report(lw.name() + "/" + bsaName(kind) + "/loop" +
+                           std::to_string(loop.id),
+                       verifyTransformOutput(out, &prog), &prog);
+        }
+    }
+}
+
+int
+run(const Options &opt)
+{
+    if (!opt.cacheDir.empty())
+        ArtifactCache::setGlobalDir(opt.cacheDir);
+
+    const auto specs = selectWorkloads(opt);
+    Reporter rep(opt.verbose);
+
+    std::printf("prism_lint: %zu workload(s), %zu BSA(s), "
+                "max-insts %llu\n",
+                specs.size(), opt.bsas.size(),
+                static_cast<unsigned long long>(opt.maxInsts));
+
+    for (const WorkloadSpec *spec : specs) {
+        // Phase 1: guest-program dataflow analysis (no trace needed).
+        ProgramBuilder pb;
+        SimMemory mem;
+        std::vector<std::int64_t> args;
+        spec->build(pb, mem, args);
+        const Program prog = pb.build();
+        rep.report(std::string(spec->name) + "/program",
+                   analyzeProgram(prog), &prog);
+
+        // Phases 2+3: trace-dependent verification.
+        if (!opt.bsas.empty()) {
+            const auto lw = LoadedWorkload::load(*spec, opt.maxInsts);
+            lintTransforms(*lw, opt, rep);
+        }
+    }
+
+    std::printf("prism_lint: %zu error(s), %zu warning(s)\n",
+                rep.errors(), rep.warnings());
+    return rep.errors() == 0 ? 0 : 1;
+}
+
+} // namespace
+} // namespace prism
+
+int
+main(int argc, char **argv)
+{
+    return prism::run(prism::parseArgs(argc, argv));
+}

@@ -1,0 +1,306 @@
+#include "analysis/prog_analysis.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "common/logging.hh"
+#include "ir/cfg.hh"
+#include "ir/dominators.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+/** Fixed-width bitset over a function's virtual registers. */
+class RegSet
+{
+  public:
+    explicit RegSet(std::size_t n_regs)
+        : words_((n_regs + 63) / 64, 0), numRegs_(n_regs)
+    {
+    }
+
+    void set(RegId r) { words_[r / 64] |= 1ull << (r % 64); }
+    bool test(RegId r) const
+    {
+        return (words_[r / 64] >> (r % 64)) & 1u;
+    }
+
+    void
+    setAll()
+    {
+        for (std::uint64_t &w : words_)
+            w = ~0ull;
+    }
+
+    /** this &= o; returns true if anything changed. */
+    bool
+    intersect(const RegSet &o)
+    {
+        bool changed = false;
+        for (std::size_t i = 0; i < words_.size(); ++i) {
+            const std::uint64_t next = words_[i] & o.words_[i];
+            changed |= next != words_[i];
+            words_[i] = next;
+        }
+        return changed;
+    }
+
+    bool
+    assign(const RegSet &o)
+    {
+        const bool changed = words_ != o.words_;
+        words_ = o.words_;
+        return changed;
+    }
+
+  private:
+    std::vector<std::uint64_t> words_;
+    std::size_t numRegs_;
+};
+
+Diag
+mkDiag(const char *check, std::int32_t func, std::int32_t block,
+       std::int32_t instr, std::string msg,
+       Diag::Severity sev = Diag::Severity::Error)
+{
+    Diag d;
+    d.severity = sev;
+    d.check = check;
+    d.func = func;
+    d.block = block;
+    d.instr = instr;
+    d.message = std::move(msg);
+    return d;
+}
+
+/**
+ * Definite-assignment dataflow: IN[b] = ∩ OUT[pred]; OUT[b] = IN[b] ∪
+ * defs(b). Entry starts with the argument registers; unreachable
+ * blocks are skipped (reported separately). Reports every use of a
+ * register that some path reaches undefined.
+ */
+void
+checkDefBeforeUse(const Function &fn, const Cfg &cfg,
+                  std::vector<Diag> &out)
+{
+    const std::size_t nb = fn.blocks.size();
+    std::vector<RegSet> in(nb, RegSet(fn.numRegs));
+    std::vector<RegSet> outset(nb, RegSet(fn.numRegs));
+
+    // Optimistic initialization: everything defined, then the
+    // intersection meet removes definitions not present on all paths.
+    for (std::size_t b = 0; b < nb; ++b) {
+        in[b].setAll();
+        outset[b].setAll();
+    }
+    RegSet entry_in(fn.numRegs);
+    for (RegId a = 0; a < fn.numArgs; ++a)
+        entry_in.set(a);
+    in[cfg.entry()].assign(entry_in);
+
+    auto transfer = [&fn](const RegSet &src, std::int32_t b) {
+        RegSet s = src;
+        for (const Instr &ins : fn.blocks[b].instrs) {
+            if (ins.dst != kNoReg && ins.dst < fn.numRegs)
+                s.set(ins.dst);
+        }
+        return s;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::int32_t b : cfg.rpo()) {
+            if (b != cfg.entry()) {
+                RegSet meet(fn.numRegs);
+                meet.setAll();
+                const auto &preds = cfg.node(b).preds;
+                if (preds.empty()) {
+                    meet = RegSet(fn.numRegs); // dead head: nothing
+                } else {
+                    for (std::int32_t p : preds)
+                        meet.intersect(outset[p]);
+                }
+                changed |= in[b].assign(meet);
+            }
+            changed |= outset[b].assign(transfer(in[b], b));
+        }
+    }
+
+    // Report pass: walk each reachable block with its IN set.
+    for (std::int32_t b : cfg.rpo()) {
+        RegSet live = in[b];
+        const BasicBlock &bb = fn.blocks[b];
+        for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
+            const Instr &ins = bb.instrs[i];
+            for (RegId r : ins.src) {
+                if (r == kNoReg || r >= fn.numRegs)
+                    continue; // reg-range is the verifier's check
+                if (!live.test(r)) {
+                    out.push_back(mkDiag(
+                        "def-before-use", fn.id, b,
+                        static_cast<std::int32_t>(i),
+                        "register r" + std::to_string(r) +
+                            " may be read before any definition"));
+                }
+            }
+            if (ins.dst != kNoReg && ins.dst < fn.numRegs)
+                live.set(ins.dst);
+        }
+    }
+}
+
+/**
+ * Reducibility: every retreating edge found by the DFS must be a back
+ * edge in the dominator sense (head dominates tail); otherwise the
+ * cycle it closes is not a natural loop.
+ */
+void
+checkReducibility(const Function &fn, const Cfg &cfg,
+                  const Dominators &dom, std::vector<Diag> &out)
+{
+    const std::size_t nb = fn.blocks.size();
+    enum : std::uint8_t { White, Grey, Black };
+    std::vector<std::uint8_t> color(nb, White);
+    // Iterative DFS keeping (node, next-successor) frames.
+    std::vector<std::pair<std::int32_t, std::size_t>> stack;
+    stack.emplace_back(cfg.entry(), 0);
+    color[cfg.entry()] = Grey;
+    while (!stack.empty()) {
+        auto &[u, next] = stack.back();
+        const auto &succs = cfg.node(u).succs;
+        if (next == succs.size()) {
+            color[u] = Black;
+            stack.pop_back();
+            continue;
+        }
+        const std::int32_t v = succs[next++];
+        if (color[v] == White) {
+            color[v] = Grey;
+            stack.emplace_back(v, 0);
+        } else if (color[v] == Grey && !dom.dominates(v, u)) {
+            out.push_back(mkDiag(
+                "irreducible-loop", fn.id, u, -1,
+                "retreating edge to bb" + std::to_string(v) +
+                    " whose head does not dominate it; the cycle is "
+                    "not a natural loop"));
+        }
+    }
+}
+
+void
+analyzeFunction(const Program &p, const Function &fn,
+                std::vector<Diag> &out)
+{
+    const Cfg cfg = Cfg::reconstruct(p, fn.id);
+
+    // Unreachable blocks (everything downstream skips them).
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+        if (cfg.rpoIndex(static_cast<std::int32_t>(b)) < 0) {
+            out.push_back(mkDiag("unreachable-block", fn.id,
+                                 static_cast<std::int32_t>(b), -1,
+                                 "block is unreachable from the "
+                                 "function entry"));
+        }
+    }
+
+    // Fallthrough off the end: a reachable block with no successors
+    // must terminate in Ret.
+    bool has_reachable_ret = false;
+    for (std::int32_t b : cfg.rpo()) {
+        const BasicBlock &bb = fn.blocks[b];
+        const Instr *term = bb.terminator();
+        if (term != nullptr && term->op == Opcode::Ret) {
+            has_reachable_ret = true;
+            continue;
+        }
+        if (cfg.node(b).succs.empty()) {
+            out.push_back(mkDiag(
+                "fallthrough-off-end", fn.id, b,
+                static_cast<std::int32_t>(bb.instrs.size()) - 1,
+                "control reaches the end of the block with no "
+                "successor and no Ret"));
+        }
+    }
+    if (!has_reachable_ret) {
+        out.push_back(mkDiag("no-return", fn.id, -1, -1,
+                             "function has no reachable Ret"));
+    }
+
+    const Dominators dom = Dominators::compute(cfg);
+    checkReducibility(fn, cfg, dom, out);
+    checkDefBeforeUse(fn, cfg, out);
+}
+
+/** Warn about functions the entry function can never call into. */
+void
+checkCallGraph(const Program &p, std::vector<Diag> &out)
+{
+    const std::size_t nf = p.functions().size();
+    std::vector<bool> reached(nf, false);
+    std::vector<std::int32_t> work{p.entryFunction()};
+    reached[p.entryFunction()] = true;
+    while (!work.empty()) {
+        const std::int32_t f = work.back();
+        work.pop_back();
+        for (const BasicBlock &bb : p.functions()[f].blocks) {
+            for (const Instr &in : bb.instrs) {
+                if (!opInfo(in.op).isCall)
+                    continue;
+                if (in.target < 0 ||
+                    in.target >= static_cast<std::int32_t>(nf)) {
+                    continue; // target-range is the verifier's check
+                }
+                if (!reached[in.target]) {
+                    reached[in.target] = true;
+                    work.push_back(in.target);
+                }
+            }
+        }
+    }
+    for (std::size_t f = 0; f < nf; ++f) {
+        if (!reached[f]) {
+            out.push_back(mkDiag("dead-function",
+                                 static_cast<std::int32_t>(f), -1, -1,
+                                 "function is unreachable in the call "
+                                 "graph from the entry function",
+                                 Diag::Severity::Warning));
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Diag>
+analyzeProgram(const Program &p)
+{
+    prism_assert(p.finalized(), "analysis requires a finalized program");
+    std::vector<Diag> out = check(p);
+
+    // The CFG passes assume structurally sound terminators; skip them
+    // when the structural layer already found errors.
+    if (hasErrors(out))
+        return out;
+
+    for (const Function &fn : p.functions())
+        analyzeFunction(p, fn, out);
+    checkCallGraph(p, out);
+    return out;
+}
+
+void
+analyzeOrDie(const Program &p)
+{
+    const std::vector<Diag> diags = analyzeProgram(p);
+    for (const Diag &d : diags) {
+        if (d.isError())
+            panic("program analysis failed: %s",
+                  toString(d, &p).c_str());
+    }
+}
+
+} // namespace prism

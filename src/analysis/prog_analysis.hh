@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Guest-program dataflow analysis: whole-CFG checks that go beyond
+ * the per-instruction structural verifier (prog/verifier.hh). Runs
+ * compiler-style verification passes over the reconstructed CFG —
+ * dominators, definite-assignment dataflow, loop-shape checks — so a
+ * malformed workload kernel is reported with structural coordinates
+ * instead of surfacing as a corrupt trace or a wrong speedup table.
+ *
+ * Checks (each a Diag::check slug):
+ *  - "unreachable-block": block not reachable from the entry;
+ *  - "fallthrough-off-end": a reachable block whose control can fall
+ *    off the function without a Ret;
+ *  - "def-before-use": a virtual register read that some path
+ *    reaches with the register never written (arguments count as
+ *    defined on entry);
+ *  - "irreducible-loop": a retreating CFG edge whose head does not
+ *    dominate its tail — the region is not a natural loop and no BSA
+ *    transform region-forms over it;
+ *  - "no-return": a function with no reachable Ret;
+ *  - "dead-function" (warning): a function unreachable in the call
+ *    graph from the entry function.
+ */
+
+#ifndef PRISM_ANALYSIS_PROG_ANALYSIS_HH
+#define PRISM_ANALYSIS_PROG_ANALYSIS_HH
+
+#include <vector>
+
+#include "prog/program.hh"
+#include "prog/verifier.hh"
+
+namespace prism
+{
+
+/**
+ * Run all dataflow checks over a finalized program. Includes the
+ * structural verifier's diagnostics (the dataflow passes assume
+ * structurally sound blocks, so both layers report together).
+ */
+std::vector<Diag> analyzeProgram(const Program &p);
+
+/** Run analyzeProgram() and panic with the first error, if any. */
+void analyzeOrDie(const Program &p);
+
+} // namespace prism
+
+#endif // PRISM_ANALYSIS_PROG_ANALYSIS_HH

@@ -1,0 +1,312 @@
+#include "analysis/stream_verify.hh"
+
+#include <string>
+
+namespace prism
+{
+
+namespace
+{
+
+Diag
+streamDiag(const char *check, std::size_t idx, std::string msg)
+{
+    Diag d;
+    d.check = check;
+    d.streamIdx = static_cast<std::int64_t>(idx);
+    d.message = std::move(msg);
+    return d;
+}
+
+/** Attach the static coordinates of `sid` to a stream diagnostic. */
+void
+locate(Diag &d, const Program *prog, StaticId sid)
+{
+    if (prog == nullptr || sid == kNoStatic ||
+        sid >= prog->numInstrs()) {
+        return;
+    }
+    const InstrRef &ref = prog->locate(sid);
+    d.func = ref.func;
+    d.block = ref.block;
+    d.instr = ref.index;
+}
+
+void
+checkDepBounds(const MStream &s, std::size_t i, const MInst &mi,
+               std::vector<Diag> &out)
+{
+    for (int slot = 0; slot < 3; ++slot) {
+        const std::int32_t d = mi.dep[slot];
+        if (d >= static_cast<std::int64_t>(i)) {
+            out.push_back(streamDiag(
+                "dep-bounds", i,
+                "register dep slot " + std::to_string(slot) +
+                    " points forward to " + std::to_string(d) +
+                    " (cycle within the window)"));
+        } else if (d < -1) {
+            out.push_back(streamDiag(
+                "dep-bounds", i,
+                "register dep slot " + std::to_string(slot) +
+                    " holds invalid index " + std::to_string(d)));
+        }
+    }
+    if (mi.memDep >= static_cast<std::int64_t>(i)) {
+        out.push_back(streamDiag(
+            "dep-bounds", i,
+            "memory dep points forward to " +
+                std::to_string(mi.memDep)));
+    } else if (mi.memDep < -1) {
+        out.push_back(streamDiag("dep-bounds", i,
+                                 "memory dep holds invalid index " +
+                                     std::to_string(mi.memDep)));
+    }
+}
+
+/**
+ * Walk the spill chain by hand with bounds checks — the ExtraDepRange
+ * iterator trusts chain links, which is exactly what a verifier must
+ * not do on a possibly-corrupt stream. Returns false if the chain is
+ * unresolvable (further extra-dep checks on this inst are skipped).
+ */
+bool
+checkSpillChain(const MStream &s, std::size_t i, const MInst &mi,
+                std::vector<Diag> &out)
+{
+    const std::size_t pool_size = s.spillSize();
+    const unsigned spilled =
+        mi.numExtraDeps > kInlineExtraDeps
+            ? mi.numExtraDeps - kInlineExtraDeps
+            : 0;
+    if (spilled == 0) {
+        if (mi.spillHead != kNoSpill) {
+            out.push_back(streamDiag(
+                "spill-chain", i,
+                "instruction with " + std::to_string(mi.numExtraDeps) +
+                    " extra deps has a dangling spill head"));
+            return false;
+        }
+        return true;
+    }
+    std::uint32_t node = mi.spillHead;
+    for (unsigned k = 0; k < spilled; ++k) {
+        if (node == kNoSpill) {
+            out.push_back(streamDiag(
+                "spill-chain", i,
+                "spill chain ends after " + std::to_string(k) +
+                    " nodes; numExtraDeps implies " +
+                    std::to_string(spilled)));
+            return false;
+        }
+        if (node >= pool_size) {
+            out.push_back(streamDiag(
+                "spill-chain", i,
+                "spill link " + std::to_string(node) +
+                    " outside the pool of " +
+                    std::to_string(pool_size) + " nodes"));
+            return false;
+        }
+        node = s.spillPool()[node].next;
+    }
+    // A chain longer than numExtraDeps means a stale or shared tail;
+    // a cycle would also land here (the bounded walk above cannot
+    // loop forever, so excess length is the observable symptom).
+    if (node != kNoSpill) {
+        out.push_back(streamDiag(
+            "spill-chain", i,
+            "spill chain continues past the " +
+                std::to_string(spilled) +
+                " nodes numExtraDeps accounts for"));
+        return false;
+    }
+    return true;
+}
+
+void
+checkExtraDeps(const MStream &s, std::size_t i, const MInst &mi,
+               std::vector<Diag> &out)
+{
+    if (!checkSpillChain(s, i, mi, out))
+        return;
+    for (const ExtraDep &xd : s.extraDeps(i)) {
+        if (xd.idx >= static_cast<std::int64_t>(i)) {
+            out.push_back(streamDiag(
+                "dep-bounds", i,
+                "extra dep points forward to " +
+                    std::to_string(xd.idx) +
+                    " (cycle within the window)"));
+        } else if (xd.idx < 0) {
+            out.push_back(streamDiag(
+                "dep-bounds", i, "extra dep holds invalid index " +
+                                     std::to_string(xd.idx)));
+        }
+    }
+}
+
+void
+checkMemShape(const MStream &s, std::size_t i, const MInst &mi,
+              std::vector<Diag> &out, const Program *prog)
+{
+    if (mi.isLoad && mi.isStore) {
+        Diag d = streamDiag("mem-dep", i,
+                            "instruction marked both load and store");
+        locate(d, prog, mi.sid);
+        out.push_back(std::move(d));
+    }
+    if (mi.isLoad && mi.memLat == 0) {
+        Diag d = streamDiag("mem-dep", i,
+                            "load without a dynamic memory latency");
+        locate(d, prog, mi.sid);
+        out.push_back(std::move(d));
+    }
+    if (!mi.isLoad && mi.memDep >= 0) {
+        out.push_back(streamDiag(
+            "mem-dep", i, "memory dep on a non-load instruction"));
+    }
+    if (mi.isLoad && mi.memDep >= 0 &&
+        mi.memDep < static_cast<std::int64_t>(i)) {
+        const MInst &prod = s[static_cast<std::size_t>(mi.memDep)];
+        if (!prod.isStore) {
+            out.push_back(streamDiag(
+                "mem-dep", i,
+                "memory dep producer " + std::to_string(mi.memDep) +
+                    " is not a store"));
+        }
+    }
+}
+
+/**
+ * RegDefMap consistency: an untransformed core instruction's
+ * register-dependence slot must point at a producer that statically
+ * writes the register the slot reads. Transform-inserted (synthetic)
+ * producers or consumers, and producers in a different function
+ * (call/return value flow crosses register spaces), are exempt — the
+ * static register identities do not correspond there.
+ */
+void
+checkRegDefConsistency(const MStream &s, std::size_t i,
+                       const MInst &mi, const Program &prog,
+                       std::vector<Diag> &out)
+{
+    if (mi.unit != ExecUnit::Core || mi.sid == kNoStatic)
+        return;
+    if (mi.sid >= prog.numInstrs())
+        return; // sid-range reported elsewhere
+    const Instr &cons = prog.instr(mi.sid);
+    if (opInfo(cons.op).isSynthetic)
+        return;
+    // A transform that rewrites the opcode (Ld -> Vld, or an inserted
+    // AccelSend/Vpack reusing the source instruction's sid) rewires
+    // dep slots away from the static src registers; the slot <->
+    // register correspondence only holds while the opcode survives.
+    if (mi.op != cons.op)
+        return;
+    for (int slot = 0; slot < 3; ++slot) {
+        const std::int32_t d = mi.dep[slot];
+        if (d < 0 || d >= static_cast<std::int64_t>(i))
+            continue; // dep-bounds reported elsewhere
+        const MInst &pmi = s[static_cast<std::size_t>(d)];
+        if (pmi.unit != ExecUnit::Core || pmi.sid == kNoStatic ||
+            pmi.sid >= prog.numInstrs()) {
+            continue;
+        }
+        const Instr &pin = prog.instr(pmi.sid);
+        if (opInfo(pin.op).isSynthetic || pmi.op != pin.op)
+            continue;
+        if (prog.funcOf(pmi.sid) != prog.funcOf(mi.sid))
+            continue; // cross-function value flow (call args/returns)
+        const RegId read = cons.src[slot];
+        if (read == kNoReg) {
+            Diag diag = streamDiag(
+                "regdef", i,
+                "dep slot " + std::to_string(slot) +
+                    " set but the instruction reads no register "
+                    "there");
+            locate(diag, &prog, mi.sid);
+            out.push_back(std::move(diag));
+            continue;
+        }
+        if (pin.dst != read) {
+            Diag diag = streamDiag(
+                "regdef", i,
+                "dep slot " + std::to_string(slot) + " reads r" +
+                    std::to_string(read) + " but producer " +
+                    std::to_string(d) + " writes " +
+                    (pin.dst == kNoReg ? std::string("no register")
+                                       : "r" + std::to_string(pin.dst)));
+            locate(diag, &prog, mi.sid);
+            out.push_back(std::move(diag));
+        }
+    }
+}
+
+void
+checkSidRange(const MStream &, std::size_t i, const MInst &mi,
+              const Program &prog, std::vector<Diag> &out)
+{
+    if (mi.sid != kNoStatic && mi.sid >= prog.numInstrs()) {
+        out.push_back(streamDiag(
+            "sid-range", i,
+            "static id " + std::to_string(mi.sid) +
+                " outside the program's " +
+                std::to_string(prog.numInstrs()) + " instructions"));
+    }
+}
+
+} // namespace
+
+std::vector<Diag>
+verifyStream(const MStream &s, const Program *prog)
+{
+    std::vector<Diag> out;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const MInst &mi = s[i];
+        checkDepBounds(s, i, mi, out);
+        checkExtraDeps(s, i, mi, out);
+        checkMemShape(s, i, mi, out, prog);
+        if (prog != nullptr) {
+            checkSidRange(s, i, mi, *prog, out);
+            checkRegDefConsistency(s, i, mi, *prog, out);
+        }
+    }
+    return out;
+}
+
+std::vector<Diag>
+verifyTransformOutput(const TransformOutput &t, const Program *prog)
+{
+    std::vector<Diag> out = verifyStream(t.stream, prog);
+    const std::size_t n = t.stream.size();
+    for (std::size_t k = 0; k < t.occBoundaries.size(); ++k) {
+        const std::size_t b = t.occBoundaries[k];
+        if (b > n) {
+            out.push_back(streamDiag(
+                "occ-boundaries", b,
+                "occurrence " + std::to_string(k) +
+                    " starts beyond the stream end"));
+            continue;
+        }
+        if (k > 0 && b < t.occBoundaries[k - 1]) {
+            out.push_back(streamDiag(
+                "occ-boundaries", b,
+                "occurrence " + std::to_string(k) +
+                    " starts before occurrence " +
+                    std::to_string(k - 1)));
+        }
+        // An occurrence may legally be empty (boundary == next
+        // boundary or == size); only non-empty ones must lead with a
+        // region-serialization marker.
+        const std::size_t next = k + 1 < t.occBoundaries.size()
+                                     ? t.occBoundaries[k + 1]
+                                     : n;
+        if (b < next && b < n && !t.stream[b].startRegion) {
+            out.push_back(streamDiag(
+                "occ-boundaries", b,
+                "occurrence " + std::to_string(k) +
+                    " does not begin with a startRegion marker"));
+        }
+    }
+    return out;
+}
+
+} // namespace prism

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Post-hoc legality verification of µDG instruction streams and BSA
+ * transform outputs. The timing engine trusts MStreams completely —
+ * a forward dependence index or a dangling spill-chain link would not
+ * crash it, it would silently produce a plausible-but-wrong cycle
+ * count. These checks re-establish the invariants the hand-packed
+ * 32-bit representation cannot express in its types:
+ *
+ *  - "dep-bounds": register/memory/extra dependence indices point
+ *    strictly backwards within the stream (which also proves the
+ *    dependence graph acyclic within the window);
+ *  - "mem-dep": memory dependences only on loads, and only at store
+ *    producers; loads carry a nonzero dynamic latency;
+ *  - "spill-chain": every instruction's extra-dep spill chain is
+ *    resolvable — in-bounds links, no cycles, length consistent with
+ *    numExtraDeps;
+ *  - "regdef": dependence slots of untransformed core instructions
+ *    agree with the static program — the producer writes exactly the
+ *    register the consumer's source slot reads (RegDefMap
+ *    consistency);
+ *  - "occ-boundaries": a TransformOutput's occurrence markers are
+ *    strictly increasing, in bounds, and each marks a startRegion
+ *    instruction (well-nested region serialization).
+ */
+
+#ifndef PRISM_ANALYSIS_STREAM_VERIFY_HH
+#define PRISM_ANALYSIS_STREAM_VERIFY_HH
+
+#include <vector>
+
+#include "prog/verifier.hh"
+#include "tdg/transform.hh"
+#include "uarch/udg.hh"
+
+namespace prism
+{
+
+/**
+ * Verify one stream. `prog` (optional) enables the regdef
+ * cross-check between dependence slots and static register operands.
+ */
+std::vector<Diag> verifyStream(const MStream &s,
+                               const Program *prog = nullptr);
+
+/**
+ * Verify a transform's output: the stream itself plus the occurrence
+ * boundary/startRegion structure.
+ */
+std::vector<Diag> verifyTransformOutput(const TransformOutput &out,
+                                        const Program *prog = nullptr);
+
+} // namespace prism
+
+#endif // PRISM_ANALYSIS_STREAM_VERIFY_HH

@@ -1,0 +1,410 @@
+#include "analysis/tdg_verify.hh"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+Diag
+loopDiag(const char *check, const Loop &loop, std::string msg,
+         Diag::Severity sev = Diag::Severity::Error)
+{
+    Diag d;
+    d.severity = sev;
+    d.check = check;
+    d.func = loop.func;
+    d.block = loop.header;
+    d.loop = loop.id;
+    d.message = std::move(msg);
+    return d;
+}
+
+double
+avgTripCount(const Tdg &tdg, std::int32_t loop)
+{
+    std::uint64_t occs = 0;
+    std::uint64_t iters = 0;
+    for (const LoopOccurrence &occ : tdg.loopMap().occurrences) {
+        if (occ.loopId == loop) {
+            ++occs;
+            iters += occ.numIters();
+        }
+    }
+    return occs ? static_cast<double>(iters) /
+                      static_cast<double>(occs)
+                : 0.0;
+}
+
+/** All static ids of the loop body's blocks. */
+std::set<StaticId>
+bodySids(const Program &prog, const Loop &loop)
+{
+    std::set<StaticId> sids;
+    const Function &fn = prog.function(loop.func);
+    for (std::int32_t b : loop.blocks) {
+        for (const Instr &in : fn.blocks[b].instrs)
+            sids.insert(in.sid);
+    }
+    return sids;
+}
+
+/**
+ * The carried-dependence preconditions shared by the two
+ * vectorizing-class BSAs: every carried register dependence is a
+ * classified induction/reduction (cross-checked statically), and no
+ * carried memory dependence was observed.
+ */
+void
+checkVectorDeps(const Tdg &tdg, const Loop &loop, const char *check,
+                const TdgStatics *statics, std::vector<Diag> &out)
+{
+    const LoopDepProfile &deps = tdg.depProfile(loop.id);
+    if (deps.otherRecurrence) {
+        out.push_back(loopDiag(
+            check, loop,
+            "plan is marked legal but the dependence profile records "
+            "a non-induction/reduction recurrence"));
+    }
+    const LoopMemProfile &mem = tdg.memProfile(loop.id);
+    if (mem.loopCarriedStoreToLoad) {
+        out.push_back(loopDiag(
+            check, loop,
+            "plan is marked legal but a loop-carried store-to-load "
+            "dependence was observed"));
+    }
+    if (statics != nullptr &&
+        loop.id < static_cast<std::int32_t>(statics->inductions.size())) {
+        const auto &sind = statics->inductions[loop.id];
+        const auto &sred = statics->reductions[loop.id];
+        auto classified = [&](StaticId sid,
+                              const std::vector<StaticId> &v) {
+            return std::find(v.begin(), v.end(), sid) != v.end();
+        };
+        for (StaticId sid : deps.inductions) {
+            if (!classified(sid, sind)) {
+                Diag d = loopDiag(
+                    check, loop,
+                    "profiled induction sid " + std::to_string(sid) +
+                        " is not statically classified as an "
+                        "induction");
+                d.instr = tdg.program().locate(sid).index;
+                d.block = tdg.program().blockOf(sid);
+                out.push_back(std::move(d));
+            }
+        }
+        for (StaticId sid : deps.reductions) {
+            if (!classified(sid, sred)) {
+                Diag d = loopDiag(
+                    check, loop,
+                    "profiled reduction sid " + std::to_string(sid) +
+                        " is not statically classified as a "
+                        "reduction");
+                d.instr = tdg.program().locate(sid).index;
+                d.block = tdg.program().blockOf(sid);
+                out.push_back(std::move(d));
+            }
+        }
+    }
+}
+
+void
+verifySimd(const Tdg &tdg, const TdgAnalyzer &an, const Loop &loop,
+           const TdgStatics *statics, std::vector<Diag> &out)
+{
+    const SimdPlan &plan = an.simd(loop.id);
+    if (!plan.usable())
+        return;
+    if (!loop.innermost) {
+        out.push_back(loopDiag("simd-legal", loop,
+                               "vectorization planned for a "
+                               "non-innermost loop"));
+    }
+    if (loop.containsCall) {
+        out.push_back(loopDiag("simd-legal", loop,
+                               "vectorization planned for a loop "
+                               "containing calls"));
+    }
+    checkVectorDeps(tdg, loop, "simd-legal", statics, out);
+    if (avgTripCount(tdg, loop.id) <
+        static_cast<double>(kVectorLen)) {
+        out.push_back(loopDiag(
+            "simd-legal", loop,
+            "average trip count below the vector length"));
+    }
+    // The planned body must be exactly the loop body.
+    std::vector<std::int32_t> planned = plan.bodyRpo;
+    std::sort(planned.begin(), planned.end());
+    std::vector<std::int32_t> body = loop.blocks;
+    std::sort(body.begin(), body.end());
+    if (planned != body) {
+        out.push_back(loopDiag("simd-legal", loop,
+                               "planned body blocks do not match the "
+                               "loop body"));
+    }
+}
+
+void
+verifyCgra(const Tdg &tdg, const TdgAnalyzer &an, const Loop &loop,
+           const TdgStatics *statics, std::vector<Diag> &out)
+{
+    const CgraPlan &plan = an.cgra(loop.id);
+    if (!plan.usable())
+        return;
+    if (!loop.innermost) {
+        out.push_back(loopDiag("cgra-legal", loop,
+                               "offload planned for a non-innermost "
+                               "loop"));
+    }
+    if (loop.containsCall) {
+        out.push_back(loopDiag("cgra-legal", loop,
+                               "offload planned for a loop containing "
+                               "calls"));
+    }
+    checkVectorDeps(tdg, loop, "cgra-legal", statics, out);
+
+    const std::set<StaticId> body = bodySids(tdg.program(), loop);
+    const std::set<StaticId> compute(plan.computeSlice.begin(),
+                                     plan.computeSlice.end());
+    const std::set<StaticId> access(plan.accessSlice.begin(),
+                                    plan.accessSlice.end());
+    if (compute.size() < 2) {
+        out.push_back(loopDiag("cgra-legal", loop,
+                               "compute slice too small to offload"));
+    }
+    for (StaticId sid : compute) {
+        if (access.count(sid)) {
+            out.push_back(loopDiag(
+                "cgra-legal", loop,
+                "sid " + std::to_string(sid) +
+                    " appears in both compute and access slices"));
+        }
+        if (!body.count(sid)) {
+            out.push_back(loopDiag("cgra-legal", loop,
+                                   "compute slice sid " +
+                                       std::to_string(sid) +
+                                       " lies outside the loop body"));
+        }
+    }
+    for (StaticId sid : body) {
+        if (!compute.count(sid) && !access.count(sid)) {
+            out.push_back(loopDiag(
+                "cgra-legal", loop,
+                "body sid " + std::to_string(sid) +
+                    " assigned to neither slice"));
+        }
+    }
+    for (StaticId sid : plan.sendSrcs) {
+        if (!access.count(sid)) {
+            out.push_back(loopDiag(
+                "cgra-legal", loop,
+                "send source sid " + std::to_string(sid) +
+                    " is not in the access slice"));
+        }
+    }
+    for (StaticId sid : plan.recvSrcs) {
+        if (!compute.count(sid)) {
+            out.push_back(loopDiag(
+                "cgra-legal", loop,
+                "recv source sid " + std::to_string(sid) +
+                    " is not in the compute slice"));
+        }
+    }
+
+    // Regular strided memory is the DySER-class sweet spot; an
+    // offloaded loop with unclassifiable strides deserves a flag even
+    // though the model tolerates it (packing costs are charged).
+    const LoopMemProfile &mem = tdg.memProfile(loop.id);
+    for (const MemAccessPattern &p : mem.accesses) {
+        if (p.count > 0 && !p.strideKnown) {
+            Diag d = loopDiag("cgra-strides", loop,
+                              "offloaded loop accesses memory with no "
+                              "consistent stride (sid " +
+                                  std::to_string(p.sid) + ")",
+                              Diag::Severity::Warning);
+            out.push_back(std::move(d));
+        }
+    }
+}
+
+void
+verifyNsdf(const Tdg &tdg, const TdgAnalyzer &an, const Loop &loop,
+           std::vector<Diag> &out)
+{
+    const NsdfPlan &plan = an.nsdf(loop.id);
+    if (!plan.usable())
+        return;
+    if (loop.containsCall) {
+        out.push_back(loopDiag("nsdf-legal", loop,
+                               "dataflow offload planned for a loop "
+                               "containing calls"));
+    }
+    if (plan.staticInsts > 256) {
+        out.push_back(loopDiag(
+            "nsdf-legal", loop,
+            "plan exceeds the 256-compound-instruction "
+            "configuration bound"));
+    }
+    std::uint32_t counted = 0;
+    const Function &fn = tdg.program().function(loop.func);
+    for (std::int32_t b : loop.blocks)
+        counted += static_cast<std::uint32_t>(fn.blocks[b].instrs.size());
+    if (counted != plan.staticInsts) {
+        out.push_back(loopDiag(
+            "nsdf-legal", loop,
+            "plan claims " + std::to_string(plan.staticInsts) +
+                " static instructions; the body holds " +
+                std::to_string(counted)));
+    }
+}
+
+void
+verifyTracep(const Tdg &tdg, const TdgAnalyzer &an, const Loop &loop,
+             std::vector<Diag> &out)
+{
+    const TracepPlan &plan = an.tracep(loop.id);
+    if (!plan.usable())
+        return;
+    if (!loop.innermost) {
+        out.push_back(loopDiag("tracep-legal", loop,
+                               "trace speculation planned for a "
+                               "non-innermost loop"));
+    }
+    if (loop.containsCall) {
+        out.push_back(loopDiag("tracep-legal", loop,
+                               "trace speculation planned for a loop "
+                               "containing calls"));
+    }
+    if (plan.loopBackProb <= 0.80) {
+        out.push_back(loopDiag(
+            "tracep-legal", loop,
+            "loop-back probability at or below the 80% threshold"));
+    }
+    if (plan.hotFraction < 2.0 / 3.0) {
+        out.push_back(loopDiag(
+            "tracep-legal", loop,
+            "hot path covers fewer than 2/3 of iterations"));
+    }
+    if (plan.hotBlocks.empty()) {
+        out.push_back(loopDiag("tracep-legal", loop,
+                               "plan carries no hot path"));
+        return;
+    }
+    if (plan.hotBlocks.front() != loop.header) {
+        out.push_back(loopDiag(
+            "tracep-legal", loop,
+            "hot path does not start at the loop header"));
+    }
+    double hot_insts = 0;
+    const Function &fn = tdg.program().function(loop.func);
+    for (std::int32_t b : plan.hotBlocks) {
+        if (!loop.containsBlock(b)) {
+            out.push_back(loopDiag(
+                "tracep-legal", loop,
+                "hot path block bb" + std::to_string(b) +
+                    " lies outside the loop body"));
+            continue;
+        }
+        hot_insts += static_cast<double>(fn.blocks[b].instrs.size());
+    }
+    if (hot_insts > 128) {
+        out.push_back(loopDiag(
+            "tracep-legal", loop,
+            "hot trace exceeds the 128-instruction configuration"));
+    }
+}
+
+void
+verifyLoopMap(const Tdg &tdg, std::vector<Diag> &out)
+{
+    const TraceLoopMap &map = tdg.loopMap();
+    const std::size_t trace_size = tdg.trace().size();
+    auto mapDiag = [&out](std::string msg) {
+        Diag d;
+        d.check = "loop-map";
+        d.message = std::move(msg);
+        out.push_back(std::move(d));
+    };
+    if (map.loopOf.size() != trace_size ||
+        map.occOf.size() != trace_size) {
+        mapDiag("per-instruction loop/occurrence maps do not cover "
+                "the trace");
+    }
+    for (std::size_t k = 0; k < map.occurrences.size(); ++k) {
+        const LoopOccurrence &occ = map.occurrences[k];
+        if (occ.begin > occ.end || occ.end > trace_size) {
+            mapDiag("occurrence " + std::to_string(k) +
+                    " interval [" + std::to_string(occ.begin) + ", " +
+                    std::to_string(occ.end) +
+                    ") is inverted or out of bounds");
+            continue;
+        }
+        DynId prev = occ.begin;
+        for (DynId it : occ.iterStarts) {
+            if (it < occ.begin || it >= occ.end) {
+                mapDiag("occurrence " + std::to_string(k) +
+                        " iteration start " + std::to_string(it) +
+                        " outside its interval");
+                break;
+            }
+            if (it < prev) {
+                mapDiag("occurrence " + std::to_string(k) +
+                        " iteration starts not ascending");
+                break;
+            }
+            prev = it;
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Diag>
+verifyBsaPreconditions(const Tdg &tdg, const TdgAnalyzer &analyzer,
+                       std::int32_t loop, BsaKind kind,
+                       const TdgStatics *statics)
+{
+    std::vector<Diag> out;
+    const Loop &l = tdg.loops().loop(loop);
+    switch (kind) {
+      case BsaKind::Simd:
+        verifySimd(tdg, analyzer, l, statics, out);
+        break;
+      case BsaKind::DpCgra:
+        verifyCgra(tdg, analyzer, l, statics, out);
+        break;
+      case BsaKind::Nsdf:
+        verifyNsdf(tdg, analyzer, l, out);
+        break;
+      case BsaKind::Tracep:
+        verifyTracep(tdg, analyzer, l, out);
+        break;
+    }
+    return out;
+}
+
+std::vector<Diag>
+verifyTdg(const Tdg &tdg, const TdgAnalyzer &analyzer,
+          const TdgStatics *statics)
+{
+    std::vector<Diag> out;
+    verifyLoopMap(tdg, out);
+    for (const Loop &loop : tdg.loops().loops()) {
+        for (BsaKind kind : kAllBsas) {
+            auto diags = verifyBsaPreconditions(tdg, analyzer, loop.id,
+                                                kind, statics);
+            out.insert(out.end(),
+                       std::make_move_iterator(diags.begin()),
+                       std::make_move_iterator(diags.end()));
+        }
+    }
+    return out;
+}
+
+} // namespace prism

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Static verification of BSA transform legality: before a transform's
+ * transformOccurrence() is allowed to rewrite a loop, the analysis
+ * plan that claims the loop is targetable is re-derived independently
+ * from the TDG's profiles and the statically classified recurrences
+ * (TdgStatics), in the spirit of the legality checks vectorizing
+ * compilers perform before committing a rewrite.
+ *
+ * Per-BSA preconditions verified against a `usable` plan:
+ *  - SIMD ("simd-legal"): innermost, call-free, every loop-carried
+ *    register dependence a classified induction/reduction idiom (and
+ *    each cross-checked against the static classifier), no carried
+ *    store-to-load dependence, trip count at least the vector length;
+ *  - DP-CGRA ("cgra-legal"): the SIMD dependence conditions, plus
+ *    compute/access slices that are disjoint, cover the loop body,
+ *    and communicate only across declared send/recv sources;
+ *    irregular (unknown-stride) memory on an offloaded loop is
+ *    reported as a warning ("cgra-strides");
+ *  - NS-DF ("nsdf-legal"): call-free nest within the 256-compound-
+ *    instruction configuration bound, re-counted from the blocks;
+ *  - Trace-P ("tracep-legal"): innermost, call-free, loop-back
+ *    probability > 80%, a dominant hot path (>= 2/3 of iterations)
+ *    that stays inside the loop body, starts at the header, and fits
+ *    the 128-instruction trace configuration.
+ *
+ * Whole-TDG structural checks ("loop-map"): occurrence intervals in
+ * bounds and non-inverted, iteration starts ascending and contained.
+ */
+
+#ifndef PRISM_ANALYSIS_TDG_VERIFY_HH
+#define PRISM_ANALYSIS_TDG_VERIFY_HH
+
+#include <vector>
+
+#include "energy/area_model.hh"
+#include "prog/verifier.hh"
+#include "tdg/analyzer.hh"
+#include "tdg/builder.hh"
+#include "tdg/tdg.hh"
+
+namespace prism
+{
+
+/**
+ * Re-derive the preconditions behind one (loop, BSA) plan the
+ * analyzer marked usable. Plans not marked usable pass vacuously —
+ * rejecting a loop is always legal. `statics` (optional) enables the
+ * induction/reduction cross-check against the static classifier.
+ */
+std::vector<Diag> verifyBsaPreconditions(const Tdg &tdg,
+                                         const TdgAnalyzer &analyzer,
+                                         std::int32_t loop,
+                                         BsaKind kind,
+                                         const TdgStatics *statics
+                                         = nullptr);
+
+/** Verify every (loop, BSA) pair plus the loop-map structure. */
+std::vector<Diag> verifyTdg(const Tdg &tdg, const TdgAnalyzer &analyzer,
+                            const TdgStatics *statics = nullptr);
+
+} // namespace prism
+
+#endif // PRISM_ANALYSIS_TDG_VERIFY_HH

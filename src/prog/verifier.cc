@@ -7,33 +7,101 @@
 namespace prism
 {
 
+std::string
+toString(const Diag &d, const Program *p)
+{
+    std::ostringstream os;
+    os << (d.isError() ? "error" : "warning") << "[" << d.check << "]";
+    if (d.func >= 0) {
+        os << " ";
+        if (p != nullptr &&
+            d.func < static_cast<std::int32_t>(p->functions().size())) {
+            os << p->functions()[d.func].name;
+        } else {
+            os << "fn" << d.func;
+        }
+        if (d.block >= 0) {
+            os << "/bb" << d.block;
+            if (d.instr >= 0)
+                os << "[" << d.instr << "]";
+        }
+    }
+    if (d.loop >= 0)
+        os << " loop " << d.loop;
+    if (d.streamIdx >= 0)
+        os << " @" << d.streamIdx;
+    os << ": " << d.message;
+    return os.str();
+}
+
+bool
+hasErrors(const std::vector<Diag> &diags)
+{
+    for (const Diag &d : diags) {
+        if (d.isError())
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+numErrors(const std::vector<Diag> &diags)
+{
+    std::size_t n = 0;
+    for (const Diag &d : diags)
+        n += d.isError() ? 1 : 0;
+    return n;
+}
+
 namespace
 {
 
+/** Diagnostic factory bound to one structural position. */
+struct DiagSink
+{
+    std::vector<Diag> *out;
+    std::int32_t func = -1;
+    std::int32_t block = -1;
+    std::int32_t instr = -1;
+
+    void
+    operator()(const char *check, const std::string &msg) const
+    {
+        Diag d;
+        d.check = check;
+        d.func = func;
+        d.block = block;
+        d.instr = instr;
+        d.message = msg;
+        out->push_back(std::move(d));
+    }
+};
+
 void
 checkInstr(const Program &p, const Function &fn, const BasicBlock &bb,
-           std::size_t idx, const Instr &in,
-           std::vector<std::string> &errs)
+           std::size_t idx, const Instr &in, std::vector<Diag> &errs)
 {
     const OpInfo &oi = opInfo(in.op);
-    auto err = [&](const std::string &msg) {
-        std::ostringstream os;
-        os << fn.name << "/bb" << bb.id << "[" << idx
-           << "] (" << opName(in.op) << "): " << msg;
-        errs.push_back(os.str());
-    };
+    const DiagSink err{&errs, fn.id, bb.id,
+                       static_cast<std::int32_t>(idx)};
+    const std::string op(opName(in.op));
 
     if (oi.isSynthetic)
-        err("synthetic opcode in guest program");
+        err("synthetic-op", "synthetic opcode " + op +
+                                " in guest program");
 
     if (oi.writesDst && in.dst == kNoReg)
-        err("missing destination register");
+        err("operand-shape", op + " missing destination register");
     if (!oi.writesDst && !oi.isCall && in.dst != kNoReg)
-        err("unexpected destination register");
+        err("operand-shape", op + " has unexpected destination register");
 
     auto check_reg = [&](RegId r) {
-        if (r != kNoReg && r >= fn.numRegs)
-            err("register out of range");
+        if (r != kNoReg && r >= fn.numRegs) {
+            err("reg-range", "register r" + std::to_string(r) +
+                                 " outside the function's " +
+                                 std::to_string(fn.numRegs) +
+                                 "-register space");
+        }
     };
     check_reg(in.dst);
     for (RegId s : in.src)
@@ -42,18 +110,21 @@ checkInstr(const Program &p, const Function &fn, const BasicBlock &bb,
     if (oi.isLoad || oi.isStore) {
         if (in.memSize != 1 && in.memSize != 2 && in.memSize != 4 &&
             in.memSize != 8) {
-            err("bad memory access size");
+            err("operand-shape", "bad memory access size " +
+                                     std::to_string(in.memSize));
         }
         if (in.src[0] == kNoReg)
-            err("memory op missing base register");
+            err("operand-shape", op + " missing base register");
         if (oi.isStore && in.src[1] == kNoReg)
-            err("store missing value register");
+            err("operand-shape", "store missing value register");
     }
 
     if (oi.isCall) {
         if (in.target < 0 ||
             in.target >= static_cast<std::int32_t>(p.functions().size())) {
-            err("call target out of range");
+            err("target-range", "call target " +
+                                    std::to_string(in.target) +
+                                    " is not a function");
         } else {
             const Function &callee = p.functions()[in.target];
             int given = 0;
@@ -61,32 +132,40 @@ checkInstr(const Program &p, const Function &fn, const BasicBlock &bb,
                 if (s != kNoReg)
                     ++given;
             }
-            if (given != callee.numArgs)
-                err("call argument count mismatches callee");
+            if (given != callee.numArgs) {
+                err("call-args", "call passes " + std::to_string(given) +
+                                     " arguments; " + callee.name +
+                                     " declares " +
+                                     std::to_string(callee.numArgs));
+            }
         }
     } else if (oi.isBranch && !oi.isRet) {
         if (in.target < 0 ||
             in.target >= static_cast<std::int32_t>(fn.blocks.size())) {
-            err("branch target out of range");
+            err("target-range", "branch target " +
+                                    std::to_string(in.target) +
+                                    " is not a block");
         }
     }
 
     if (in.op == Opcode::Br && in.src[0] == kNoReg)
-        err("conditional branch missing condition register");
+        err("operand-shape", "conditional branch missing condition "
+                             "register");
 }
 
 } // namespace
 
-std::vector<std::string>
+std::vector<Diag>
 check(const Program &p)
 {
-    std::vector<std::string> errs;
+    std::vector<Diag> errs;
     prism_assert(p.finalized(), "verify requires a finalized program");
 
     for (const Function &fn : p.functions()) {
         for (const BasicBlock &bb : fn.blocks) {
+            const DiagSink berr{&errs, fn.id, bb.id, -1};
             if (bb.instrs.empty()) {
-                errs.push_back(fn.name + ": empty block");
+                berr("empty-block", "block has no instructions");
                 continue;
             }
             // Terminators must be last and unique.
@@ -94,23 +173,21 @@ check(const Program &p)
                 const OpInfo &oi = opInfo(bb.instrs[i].op);
                 const bool is_term = oi.isBranch && !oi.isCall;
                 if (is_term && i + 1 != bb.instrs.size()) {
-                    errs.push_back(fn.name + ": terminator not at end of bb"
-                                   + std::to_string(bb.id));
+                    DiagSink terr{&errs, fn.id, bb.id,
+                                  static_cast<std::int32_t>(i)};
+                    terr("terminator", "terminator not at end of block");
                 }
                 checkInstr(p, fn, bb, i, bb.instrs[i], errs);
             }
             const Instr *term = bb.terminator();
             if (term == nullptr) {
-                errs.push_back(fn.name + ": bb" + std::to_string(bb.id) +
-                               " lacks a terminator");
+                berr("terminator", "block lacks a terminator");
             } else if (term->op == Opcode::Br) {
                 if (bb.fallthrough < 0 ||
                     bb.fallthrough >=
                         static_cast<std::int32_t>(fn.blocks.size())) {
-                    errs.push_back(fn.name + ": bb" +
-                                   std::to_string(bb.id) +
-                                   " conditional branch without valid "
-                                   "fallthrough");
+                    berr("target-range",
+                         "conditional branch without valid fallthrough");
                 }
             }
         }
@@ -122,8 +199,10 @@ void
 verify(const Program &p)
 {
     const auto errs = check(p);
-    if (!errs.empty())
-        panic("program verification failed: %s", errs.front().c_str());
+    if (!errs.empty()) {
+        panic("program verification failed: %s",
+              toString(errs.front(), &p).c_str());
+    }
 }
 
 } // namespace prism

@@ -1,12 +1,16 @@
 /**
  * @file
- * Structural verification of guest programs. Catches malformed
- * workloads at build time instead of as mysterious trace artifacts.
+ * Structural verification of guest programs, and the structured
+ * diagnostic record shared by every static-analysis layer (the
+ * structural verifier here, the dataflow analyzer and TDG legality
+ * verifier in src/analysis). Catches malformed workloads at build
+ * time instead of as mysterious trace artifacts.
  */
 
 #ifndef PRISM_PROG_VERIFIER_HH
 #define PRISM_PROG_VERIFIER_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -16,8 +20,43 @@ namespace prism
 {
 
 /**
+ * One static-analysis finding, locating the offending construct by
+ * structural indices rather than prose. Every producer fills the
+ * indices it knows and leaves the rest at -1:
+ *
+ *  - program checks: func / block / instr (index within the block);
+ *  - TDG legality checks: loop (global loop id), plus func when the
+ *    loop's function is known;
+ *  - stream checks: streamIdx (MInst position within the stream).
+ */
+struct Diag
+{
+    enum class Severity : std::uint8_t { Error, Warning };
+
+    Severity severity = Severity::Error;
+    std::string check;            ///< short check slug ("def-before-use")
+    std::int32_t func = -1;
+    std::int32_t block = -1;
+    std::int32_t instr = -1;      ///< instruction index within block
+    std::int32_t loop = -1;       ///< global loop id (TDG checks)
+    std::int64_t streamIdx = -1;  ///< MInst index (stream checks)
+    std::string message;
+
+    bool isError() const { return severity == Severity::Error; }
+};
+
+/** Render a diagnostic; `p` (optional) resolves function names. */
+std::string toString(const Diag &d, const Program *p = nullptr);
+
+/** True if any diagnostic in the list is an error. */
+bool hasErrors(const std::vector<Diag> &diags);
+
+/** Count of error-severity diagnostics. */
+std::size_t numErrors(const std::vector<Diag> &diags);
+
+/**
  * Check structural invariants of a finalized program and return the
- * list of violations (empty = valid):
+ * violations (empty = valid):
  *  - every block ends in exactly one terminator, at the end;
  *  - branch/jump/fallthrough targets are in-range blocks;
  *  - call targets are in-range functions;
@@ -26,7 +65,7 @@ namespace prism
  *    memory size sanity);
  *  - no synthetic (transform-only) opcodes appear.
  */
-std::vector<std::string> check(const Program &p);
+std::vector<Diag> check(const Program &p);
 
 /** Run check() and panic with the first violation, if any. */
 void verify(const Program &p);

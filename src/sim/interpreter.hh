@@ -27,6 +27,7 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "common/logging.hh"
@@ -36,6 +37,32 @@
 
 namespace prism
 {
+
+/**
+ * Guest integer arithmetic wraps two's-complement (the modeled
+ * machine's semantics); routing it through unsigned keeps the host
+ * computation defined for UBSan while producing identical values.
+ */
+inline std::int64_t
+wrapAdd(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                     static_cast<std::uint64_t>(b));
+}
+
+inline std::int64_t
+wrapSub(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                     static_cast<std::uint64_t>(b));
+}
+
+inline std::int64_t
+wrapMul(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                     static_cast<std::uint64_t>(b));
+}
 
 /** Execution budget limits. */
 struct RunLimits
@@ -363,8 +390,12 @@ class Interpreter
             switch (in.op) {
               case Opcode::Movi: value = in.imm; break;
               case Opcode::Mov: value = rd(in.src[0]); break;
-              case Opcode::Add: value = rd(in.src[0]) + rd(in.src[1]); break;
-              case Opcode::Sub: value = rd(in.src[0]) - rd(in.src[1]); break;
+              case Opcode::Add:
+                value = wrapAdd(rd(in.src[0]), rd(in.src[1]));
+                break;
+              case Opcode::Sub:
+                value = wrapSub(rd(in.src[0]), rd(in.src[1]));
+                break;
               case Opcode::And: value = rd(in.src[0]) & rd(in.src[1]); break;
               case Opcode::Or: value = rd(in.src[0]) | rd(in.src[1]); break;
               case Opcode::Xor: value = rd(in.src[0]) ^ rd(in.src[1]); break;
@@ -376,15 +407,20 @@ class Interpreter
                     static_cast<std::uint64_t>(rd(in.src[0])) >>
                     (rd(in.src[1]) & 63));
                 break;
-              case Opcode::Mul: value = rd(in.src[0]) * rd(in.src[1]); break;
+              case Opcode::Mul:
+                value = wrapMul(rd(in.src[0]), rd(in.src[1]));
+                break;
               case Opcode::Div: {
+                // d == -1 wraps (INT64_MIN / -1 overflows the host op).
                 const std::int64_t d = rd(in.src[1]);
-                value = d == 0 ? 0 : rd(in.src[0]) / d;
+                value = d == 0    ? 0
+                        : d == -1 ? wrapSub(0, rd(in.src[0]))
+                                  : rd(in.src[0]) / d;
                 break;
               }
               case Opcode::Rem: {
                 const std::int64_t d = rd(in.src[1]);
-                value = d == 0 ? 0 : rd(in.src[0]) % d;
+                value = (d == 0 || d == -1) ? 0 : rd(in.src[0]) % d;
                 break;
               }
               case Opcode::CmpEq:
@@ -428,13 +464,21 @@ class Interpreter
               case Opcode::CvtIF:
                 value = asI(static_cast<double>(rd(in.src[0])));
                 break;
-              case Opcode::CvtFI:
-                value = static_cast<std::int64_t>(asF(rd(in.src[0])));
+              case Opcode::CvtFI: {
+                // Saturate out-of-range and NaN inputs; the bare host
+                // cast is undefined there.
+                const double f = asF(rd(in.src[0]));
+                constexpr double kMax = 9223372036854775808.0;
+                value = std::isnan(f) ? 0
+                        : f >= kMax   ? std::numeric_limits<std::int64_t>::max()
+                        : f < -kMax   ? std::numeric_limits<std::int64_t>::min()
+                                      : static_cast<std::int64_t>(f);
                 break;
+              }
 
               case Opcode::Ld: {
                 const Addr addr =
-                    static_cast<Addr>(rd(in.src[0]) + in.imm);
+                    static_cast<Addr>(wrapAdd(rd(in.src[0]), in.imm));
                 di.effAddr = addr;
                 const std::uint64_t raw = mem_.read(addr, in.memSize);
                 // Sign-extend via the predecoded shift (64 - 8*size).
@@ -445,7 +489,7 @@ class Interpreter
               }
               case Opcode::St: {
                 const Addr addr =
-                    static_cast<Addr>(rd(in.src[0]) + in.imm);
+                    static_cast<Addr>(wrapAdd(rd(in.src[0]), in.imm));
                 di.effAddr = addr;
                 value = rd(in.src[1]);
                 mem_.write(addr, static_cast<std::uint64_t>(value),

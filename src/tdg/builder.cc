@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/check_ir.hh"
 #include "common/logging.hh"
 #include "ir/cfg.hh"
 #include "ir/dominators.hh"
@@ -315,6 +316,25 @@ TdgBuilder::feed(DynId base, std::size_t n)
 
     for (DynId i = base; i < base + n; ++i) {
         const DynInst &di = trace[i];
+        if constexpr (kCheckIr) {
+            prism_assert(di.sid < st_->sidInfo.size(),
+                         "CHECK_IR: sid %llu of inst %llu outside the "
+                         "static program",
+                         static_cast<unsigned long long>(di.sid),
+                         static_cast<unsigned long long>(i));
+            for (int s = 0; s < 3; ++s) {
+                prism_assert(di.srcProd[s] == kNoProducer ||
+                                 static_cast<DynId>(di.srcProd[s]) < i,
+                             "CHECK_IR: producer slot %d of inst %llu "
+                             "not strictly backward",
+                             s, static_cast<unsigned long long>(i));
+            }
+            prism_assert(di.memProd == kNoProducer ||
+                             static_cast<DynId>(di.memProd) < i,
+                         "CHECK_IR: memory producer of inst %llu not "
+                         "strictly backward",
+                         static_cast<unsigned long long>(i));
+        }
         const TdgStatics::SidInfo &info = st_->sidInfo[di.sid];
 
         // Pop loops whose frame has returned.

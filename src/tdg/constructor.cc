@@ -1,9 +1,50 @@
 #include "tdg/constructor.hh"
 
+#include "analysis/check_ir.hh"
 #include "common/logging.hh"
 
 namespace prism
 {
+
+namespace
+{
+
+/**
+ * PRISM_CHECK_IR hook: assert the layer-2 stream invariants of
+ * analysis/stream_verify on one just-appended core instruction with
+ * absolute dependence indexing. Compiled away when kCheckIr is off.
+ */
+inline void
+checkCoreInst(const MInst &mi, DynId i)
+{
+    if constexpr (kCheckIr) {
+        for (int s = 0; s < 3; ++s) {
+            prism_assert(mi.dep[s] == -1 ||
+                             (mi.dep[s] >= 0 &&
+                              static_cast<DynId>(mi.dep[s]) < i),
+                         "CHECK_IR: dep slot %d of inst %llu not "
+                         "strictly backward",
+                         s, static_cast<unsigned long long>(i));
+        }
+        prism_assert(mi.memDep == -1 ||
+                         (mi.isLoad && mi.memDep >= 0 &&
+                          static_cast<DynId>(mi.memDep) < i),
+                     "CHECK_IR: memory dep of inst %llu invalid "
+                     "or on a non-load",
+                     static_cast<unsigned long long>(i));
+        prism_assert(!mi.isLoad || mi.memLat > 0,
+                     "CHECK_IR: load at %llu without memory latency",
+                     static_cast<unsigned long long>(i));
+        prism_assert(!(mi.isLoad && mi.isStore),
+                     "CHECK_IR: inst %llu both load and store",
+                     static_cast<unsigned long long>(i));
+    } else {
+        (void)mi;
+        (void)i;
+    }
+}
+
+} // namespace
 
 MInst
 toCoreInst(const DynInst &di)
@@ -80,6 +121,7 @@ appendCoreWindow(const Trace &trace, DynId b, DynId e, MStream &out)
             static_cast<DynId>(mp) < i) {
             mi.memDep = static_cast<std::int32_t>(mp);
         }
+        checkCoreInst(mi, i);
         out.push_back(std::move(mi));
     }
 }
@@ -102,6 +144,7 @@ appendCoreBatch(const DynInst *d, std::size_t n, DynId base,
             static_cast<DynId>(mp) < i) {
             mi.memDep = static_cast<std::int32_t>(mp);
         }
+        checkCoreInst(mi, i);
         out.push_back(std::move(mi));
     }
 }

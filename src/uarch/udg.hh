@@ -292,6 +292,9 @@ class MStream
     /** Spill pool accessor for hot loops that inline the walk. */
     const SpillNode *spillPool() const { return spill_.data(); }
 
+    /** Number of spill nodes (bounds for verifying chain links). */
+    std::size_t spillSize() const { return spill_.size(); }
+
   private:
     std::vector<MInst> insts_;
     std::vector<SpillNode> spill_;

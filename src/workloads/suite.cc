@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "analysis/prog_analysis.hh"
 #include "common/logging.hh"
 #include "prog/builder.hh"
 #include "tdg/artifacts.hh"
@@ -79,6 +80,14 @@ LoadedWorkload::load(const WorkloadSpec &spec,
     std::vector<std::int64_t> args;
     spec.build(pb, mem, args);
     lw->prog_ = pb.build();
+#ifndef NDEBUG
+    // Debug builds run the full dataflow analyzer on every kernel at
+    // load, so a workload regression is caught at the source instead
+    // of surfacing as a corrupt trace downstream. Release builds rely
+    // on the structural verify() inside pb.build() plus the explicit
+    // prism_lint CTest leg.
+    analyzeOrDie(lw->prog_);
+#endif
 
     if (!max_insts_override) {
         max_insts_override =

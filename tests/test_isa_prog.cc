@@ -158,7 +158,9 @@ TEST(Verifier, CatchesMissingTerminator)
     p.finalize();
     const auto errs = check(p);
     ASSERT_FALSE(errs.empty());
-    EXPECT_NE(errs.front().find("terminator"), std::string::npos);
+    EXPECT_EQ(errs.front().check, "terminator");
+    EXPECT_EQ(errs.front().func, 0);
+    EXPECT_EQ(errs.front().block, 0);
 }
 
 TEST(Verifier, CatchesRegisterOutOfRange)
@@ -202,7 +204,8 @@ TEST(Verifier, CatchesSyntheticOpcodeInGuestCode)
     p.finalize();
     const auto errs = check(p);
     ASSERT_FALSE(errs.empty());
-    EXPECT_NE(errs.front().find("synthetic"), std::string::npos);
+    EXPECT_EQ(errs.front().check, "synthetic-op");
+    EXPECT_EQ(errs.front().instr, 0);
 }
 
 TEST(Verifier, CatchesBadBranchTarget)
@@ -260,7 +263,8 @@ TEST(Verifier, CatchesCallArgumentMismatch)
     p.finalize();
     const auto errs = check(p);
     ASSERT_FALSE(errs.empty());
-    EXPECT_NE(errs.front().find("argument"), std::string::npos);
+    EXPECT_EQ(errs.front().check, "call-args");
+    EXPECT_NE(errs.front().message.find("argument"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,602 @@
+/**
+ * @file
+ * Static-analysis subsystem tests: hand-crafted invalid guest
+ * programs the dataflow analyzer must flag, forged µDG streams and
+ * transform outputs the stream verifier must reject, and the positive
+ * direction — shipped workloads, their TDGs and every usable BSA
+ * transform output lint clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/prog_analysis.hh"
+#include "analysis/stream_verify.hh"
+#include "analysis/tdg_verify.hh"
+#include "prog/builder.hh"
+#include "prog/verifier.hh"
+#include "sim/memory.hh"
+#include "tdg/analyzer.hh"
+#include "tdg/constructor.hh"
+#include "tdg/transform.hh"
+#include "workloads/suite.hh"
+
+namespace prism
+{
+namespace
+{
+
+bool
+hasCheck(const std::vector<Diag> &diags, const std::string &check)
+{
+    return std::any_of(diags.begin(), diags.end(),
+                       [&check](const Diag &d) {
+                           return d.check == check;
+                       });
+}
+
+Instr
+mkInstr(Opcode op, RegId dst, RegId s0 = kNoReg, RegId s1 = kNoReg)
+{
+    Instr in;
+    in.op = op;
+    in.dst = dst;
+    in.src = {s0, s1, kNoReg};
+    return in;
+}
+
+Instr
+mkBr(RegId cond, std::int32_t target)
+{
+    Instr in;
+    in.op = Opcode::Br;
+    in.src = {cond, kNoReg, kNoReg};
+    in.target = target;
+    return in;
+}
+
+Instr
+mkJmp(std::int32_t target)
+{
+    Instr in;
+    in.op = Opcode::Jmp;
+    in.target = target;
+    return in;
+}
+
+// ---------------------------------------------------------------
+// Guest-program dataflow analysis
+// ---------------------------------------------------------------
+
+TEST(ProgAnalysis, CleanBuilderProgramPasses)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId base = f.arg(0);
+    const RegId i = f.reg();
+    f.moviTo(i, 0);
+    const RegId n = f.movi(16);
+    const RegId one = f.movi(1);
+    const std::int32_t loop = f.newBlock();
+    const std::int32_t done = f.newBlock();
+    f.jmp(loop);
+    f.setBlock(loop);
+    const RegId v = f.ld(base, 0);
+    f.st(base, 8, v);
+    f.addTo(i, i, one);
+    const RegId c = f.cmplt(i, n);
+    f.br(c, loop, done);
+    f.setBlock(done);
+    f.ret(i);
+    const Program p = pb.build();
+
+    EXPECT_TRUE(analyzeProgram(p).empty());
+}
+
+TEST(ProgAnalysis, FlagsUseBeforeDefOnOnePath)
+{
+    // bb0 branches on the argument; only the taken side (bb1) defines
+    // r1 before the join (bb3) reads it — a maybe-uninitialized read.
+    Program p;
+    Function fn;
+    fn.name = "main";
+    fn.numArgs = 1;
+    fn.numRegs = 3;
+    {
+        BasicBlock bb; // bb0
+        bb.instrs.push_back(mkBr(0, 1));
+        bb.fallthrough = 2;
+        fn.blocks.push_back(bb);
+    }
+    {
+        BasicBlock bb; // bb1: defines r1
+        bb.instrs.push_back(mkInstr(Opcode::Movi, 1));
+        bb.instrs.push_back(mkJmp(3));
+        fn.blocks.push_back(bb);
+    }
+    {
+        BasicBlock bb; // bb2: does not define r1
+        bb.instrs.push_back(mkInstr(Opcode::Movi, 2));
+        bb.instrs.push_back(mkJmp(3));
+        fn.blocks.push_back(bb);
+    }
+    {
+        BasicBlock bb; // bb3: reads r1 at the join
+        Instr add = mkInstr(Opcode::Add, 2, 1, 0);
+        bb.instrs.push_back(add);
+        Instr ret;
+        ret.op = Opcode::Ret;
+        bb.instrs.push_back(ret);
+        fn.blocks.push_back(bb);
+    }
+    p.addFunction(fn);
+    p.finalize();
+
+    const auto diags = analyzeProgram(p);
+    ASSERT_TRUE(hasCheck(diags, "def-before-use"));
+    const auto it = std::find_if(diags.begin(), diags.end(),
+                                 [](const Diag &d) {
+                                     return d.check == "def-before-use";
+                                 });
+    // The diagnostic names the exact read site: bb3, instruction 0.
+    EXPECT_EQ(it->func, 0);
+    EXPECT_EQ(it->block, 3);
+    EXPECT_EQ(it->instr, 0);
+    EXPECT_NE(it->message.find("r1"), std::string::npos);
+}
+
+TEST(ProgAnalysis, AcceptsDefOnAllPaths)
+{
+    // Same diamond, but both sides define r1: no diagnostic.
+    Program p;
+    Function fn;
+    fn.name = "main";
+    fn.numArgs = 1;
+    fn.numRegs = 3;
+    {
+        BasicBlock bb;
+        bb.instrs.push_back(mkBr(0, 1));
+        bb.fallthrough = 2;
+        fn.blocks.push_back(bb);
+    }
+    for (int side = 0; side < 2; ++side) {
+        BasicBlock bb;
+        bb.instrs.push_back(mkInstr(Opcode::Movi, 1));
+        bb.instrs.push_back(mkJmp(3));
+        fn.blocks.push_back(bb);
+    }
+    {
+        BasicBlock bb;
+        bb.instrs.push_back(mkInstr(Opcode::Add, 2, 1, 0));
+        Instr ret;
+        ret.op = Opcode::Ret;
+        bb.instrs.push_back(ret);
+        fn.blocks.push_back(bb);
+    }
+    p.addFunction(fn);
+    p.finalize();
+
+    EXPECT_FALSE(hasCheck(analyzeProgram(p), "def-before-use"));
+}
+
+TEST(ProgAnalysis, FlagsUnreachableBlock)
+{
+    Program p;
+    Function fn;
+    fn.name = "main";
+    fn.numArgs = 1;
+    fn.numRegs = 1;
+    {
+        BasicBlock bb; // bb0 returns immediately
+        Instr ret;
+        ret.op = Opcode::Ret;
+        bb.instrs.push_back(ret);
+        fn.blocks.push_back(bb);
+    }
+    {
+        BasicBlock bb; // bb1: no edge reaches it
+        bb.instrs.push_back(mkJmp(0));
+        fn.blocks.push_back(bb);
+    }
+    p.addFunction(fn);
+    p.finalize();
+
+    const auto diags = analyzeProgram(p);
+    ASSERT_TRUE(hasCheck(diags, "unreachable-block"));
+    const auto it = std::find_if(diags.begin(), diags.end(),
+                                 [](const Diag &d) {
+                                     return d.check ==
+                                            "unreachable-block";
+                                 });
+    EXPECT_EQ(it->block, 1);
+}
+
+TEST(ProgAnalysis, FlagsIrreducibleLoop)
+{
+    // bb0 enters the cycle {bb1, bb2} at two points, so neither node
+    // dominates the other: not a natural loop.
+    Program p;
+    Function fn;
+    fn.name = "main";
+    fn.numArgs = 1;
+    fn.numRegs = 1;
+    {
+        BasicBlock bb; // bb0
+        bb.instrs.push_back(mkBr(0, 2));
+        bb.fallthrough = 1;
+        fn.blocks.push_back(bb);
+    }
+    {
+        BasicBlock bb; // bb1 -> bb2
+        bb.instrs.push_back(mkJmp(2));
+        fn.blocks.push_back(bb);
+    }
+    {
+        BasicBlock bb; // bb2 -> bb1 or exit
+        bb.instrs.push_back(mkBr(0, 1));
+        bb.fallthrough = 3;
+        fn.blocks.push_back(bb);
+    }
+    {
+        BasicBlock bb; // bb3
+        Instr ret;
+        ret.op = Opcode::Ret;
+        bb.instrs.push_back(ret);
+        fn.blocks.push_back(bb);
+    }
+    p.addFunction(fn);
+    p.finalize();
+
+    EXPECT_TRUE(hasCheck(analyzeProgram(p), "irreducible-loop"));
+}
+
+TEST(ProgAnalysis, FlagsFunctionWithNoReachableRet)
+{
+    Program p;
+    Function fn;
+    fn.name = "main";
+    fn.numArgs = 1;
+    fn.numRegs = 1;
+    {
+        BasicBlock bb; // spins forever
+        bb.instrs.push_back(mkJmp(0));
+        fn.blocks.push_back(bb);
+    }
+    {
+        BasicBlock bb; // the Ret exists but is unreachable
+        Instr ret;
+        ret.op = Opcode::Ret;
+        bb.instrs.push_back(ret);
+        fn.blocks.push_back(bb);
+    }
+    p.addFunction(fn);
+    p.finalize();
+
+    const auto diags = analyzeProgram(p);
+    EXPECT_TRUE(hasCheck(diags, "no-return"));
+    EXPECT_TRUE(hasCheck(diags, "unreachable-block"));
+}
+
+TEST(ProgAnalysis, FlagsDeadFunctionAsWarning)
+{
+    Program p;
+    {
+        Function fn;
+        fn.name = "main";
+        fn.numRegs = 1;
+        BasicBlock bb;
+        Instr ret;
+        ret.op = Opcode::Ret;
+        bb.instrs.push_back(ret);
+        fn.blocks.push_back(bb);
+        p.addFunction(fn);
+    }
+    {
+        Function fn;
+        fn.name = "never_called";
+        fn.numRegs = 1;
+        BasicBlock bb;
+        Instr ret;
+        ret.op = Opcode::Ret;
+        bb.instrs.push_back(ret);
+        fn.blocks.push_back(bb);
+        p.addFunction(fn);
+    }
+    p.finalize();
+
+    const auto diags = analyzeProgram(p);
+    ASSERT_TRUE(hasCheck(diags, "dead-function"));
+    EXPECT_EQ(numErrors(diags), 0u); // warning severity only
+    const auto it = std::find_if(diags.begin(), diags.end(),
+                                 [](const Diag &d) {
+                                     return d.check == "dead-function";
+                                 });
+    EXPECT_FALSE(it->isError());
+    EXPECT_EQ(it->func, 1);
+    // toString renders the resolved function name.
+    EXPECT_NE(toString(*it, &p).find("never_called"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// µDG stream verification
+// ---------------------------------------------------------------
+
+TEST(StreamVerify, CleanHandBuiltStreamPasses)
+{
+    MStream s;
+    s.push_back(MInst::core(Opcode::Movi));
+    MInst add = MInst::core(Opcode::Add);
+    add.dep[0] = 0;
+    s.push_back(std::move(add));
+    EXPECT_TRUE(verifyStream(s).empty());
+}
+
+TEST(StreamVerify, FlagsForgedForwardDep)
+{
+    MStream s;
+    MInst a = MInst::core(Opcode::Add);
+    a.dep[0] = 5; // points past the end of the stream
+    s.push_back(std::move(a));
+    s.push_back(MInst::core(Opcode::Nop));
+
+    const auto diags = verifyStream(s);
+    ASSERT_TRUE(hasCheck(diags, "dep-bounds"));
+    EXPECT_TRUE(hasErrors(diags));
+    EXPECT_EQ(diags.front().streamIdx, 0);
+}
+
+TEST(StreamVerify, FlagsSelfDependence)
+{
+    MStream s;
+    MInst a = MInst::core(Opcode::Add);
+    a.dep[1] = 0; // depends on itself
+    s.push_back(std::move(a));
+    EXPECT_TRUE(hasCheck(verifyStream(s), "dep-bounds"));
+}
+
+TEST(StreamVerify, FlagsForgedSpillHead)
+{
+    MStream s;
+    MInst a = MInst::core(Opcode::Add);
+    // Claims more extra deps than the inline slots hold, with a spill
+    // head pointing outside the (empty) pool.
+    a.numExtraDeps = kInlineExtraDeps + 1;
+    a.spillHead = 7;
+    s.push_back(std::move(a));
+    EXPECT_TRUE(hasCheck(verifyStream(s), "spill-chain"));
+}
+
+TEST(StreamVerify, FlagsDanglingSpillHeadWithoutSpilledDeps)
+{
+    MStream s;
+    MInst a = MInst::core(Opcode::Add);
+    a.numExtraDeps = 0;
+    a.spillHead = 3;
+    s.push_back(std::move(a));
+    EXPECT_TRUE(hasCheck(verifyStream(s), "spill-chain"));
+}
+
+TEST(StreamVerify, AcceptsLegitimateSpillChains)
+{
+    MStream s;
+    for (int i = 0; i < 6; ++i)
+        s.push_back(MInst::core(Opcode::Movi));
+    MInst sink = MInst::core(Opcode::Add);
+    s.push_back(std::move(sink));
+    // Five extra deps: two inline, three spilled through the pool.
+    for (std::int64_t p = 0; p < 5; ++p)
+        s.addExtraDep(6, p, 1);
+    EXPECT_EQ(s[6].numExtraDeps, 5u);
+    EXPECT_TRUE(verifyStream(s).empty());
+}
+
+TEST(StreamVerify, FlagsMemDepOnNonLoad)
+{
+    MStream s;
+    MInst st = MInst::core(Opcode::St);
+    st.isStore = true;
+    s.push_back(std::move(st));
+    MInst add = MInst::core(Opcode::Add);
+    add.memDep = 0; // only loads carry memory deps
+    s.push_back(std::move(add));
+    EXPECT_TRUE(hasCheck(verifyStream(s), "mem-dep"));
+}
+
+TEST(StreamVerify, FlagsMemDepOnNonStoreProducer)
+{
+    MStream s;
+    s.push_back(MInst::core(Opcode::Movi)); // not a store
+    MInst ld = MInst::core(Opcode::Ld);
+    ld.isLoad = true;
+    ld.memLat = 4;
+    ld.memDep = 0;
+    s.push_back(std::move(ld));
+    EXPECT_TRUE(hasCheck(verifyStream(s), "mem-dep"));
+}
+
+TEST(StreamVerify, FlagsRegDefMismatchAgainstProgram)
+{
+    // Program: [0] r1 = movi; [1] r2 = movi; [2] r3 = add r1, r1.
+    Program p;
+    Function fn;
+    fn.name = "main";
+    fn.numRegs = 4;
+    BasicBlock bb;
+    bb.instrs.push_back(mkInstr(Opcode::Movi, 1));
+    bb.instrs.push_back(mkInstr(Opcode::Movi, 2));
+    bb.instrs.push_back(mkInstr(Opcode::Add, 3, 1, 1));
+    Instr ret;
+    ret.op = Opcode::Ret;
+    bb.instrs.push_back(ret);
+    fn.blocks.push_back(bb);
+    p.addFunction(fn);
+    p.finalize();
+
+    MStream s;
+    MInst m0 = MInst::core(Opcode::Movi);
+    m0.sid = 0;
+    s.push_back(std::move(m0));
+    MInst m1 = MInst::core(Opcode::Movi);
+    m1.sid = 1;
+    s.push_back(std::move(m1));
+    MInst m2 = MInst::core(Opcode::Add);
+    m2.sid = 2;
+    m2.dep[0] = 1; // wired to the r2 def, but the add reads r1
+    s.push_back(std::move(m2));
+
+    const auto diags = verifyStream(s, &p);
+    ASSERT_TRUE(hasCheck(diags, "regdef"));
+    const auto it = std::find_if(diags.begin(), diags.end(),
+                                 [](const Diag &d) {
+                                     return d.check == "regdef";
+                                 });
+    EXPECT_EQ(it->streamIdx, 2);
+    EXPECT_EQ(it->block, 0);
+    EXPECT_EQ(it->instr, 2);
+
+    // Rewiring to the r1 def is consistent.
+    MStream ok;
+    MInst o0 = MInst::core(Opcode::Movi);
+    o0.sid = 0;
+    ok.push_back(std::move(o0));
+    MInst o2 = MInst::core(Opcode::Add);
+    o2.sid = 2;
+    o2.dep[0] = 0;
+    ok.push_back(std::move(o2));
+    EXPECT_FALSE(hasCheck(verifyStream(ok, &p), "regdef"));
+}
+
+TEST(StreamVerify, FlagsSidOutsideProgram)
+{
+    Program p;
+    Function fn;
+    fn.name = "main";
+    fn.numRegs = 1;
+    BasicBlock bb;
+    Instr ret;
+    ret.op = Opcode::Ret;
+    bb.instrs.push_back(ret);
+    fn.blocks.push_back(bb);
+    p.addFunction(fn);
+    p.finalize();
+
+    MStream s;
+    MInst a = MInst::core(Opcode::Add);
+    a.sid = 99; // program has a single instruction
+    s.push_back(std::move(a));
+    EXPECT_TRUE(hasCheck(verifyStream(s, &p), "sid-range"));
+}
+
+TEST(StreamVerify, FlagsBrokenOccurrenceBoundaries)
+{
+    TransformOutput t;
+    for (int i = 0; i < 4; ++i)
+        t.stream.push_back(MInst::core(Opcode::Nop));
+    t.stream[2].startRegion = true;
+    t.occBoundaries = {2, 1}; // inverted
+    EXPECT_TRUE(hasCheck(verifyTransformOutput(t), "occ-boundaries"));
+
+    t.occBoundaries = {0, 9}; // past the end
+    EXPECT_TRUE(hasCheck(verifyTransformOutput(t), "occ-boundaries"));
+
+    t.occBoundaries = {0, 2}; // occurrence 0 lacks a startRegion
+    EXPECT_TRUE(hasCheck(verifyTransformOutput(t), "occ-boundaries"));
+
+    t.stream[0].startRegion = true; // now both are marked
+    EXPECT_TRUE(verifyTransformOutput(t).empty());
+}
+
+// ---------------------------------------------------------------
+// TDG / transform legality on shipped workloads
+// ---------------------------------------------------------------
+
+TEST(TdgVerify, ShippedWorkloadLintsClean)
+{
+    const auto lw = LoadedWorkload::load(findWorkload("conv"), 20'000);
+    const Tdg &tdg = lw->tdg();
+    const TdgAnalyzer analyzer(tdg);
+    const TdgStatics statics(lw->program());
+
+    EXPECT_EQ(numErrors(analyzeProgram(lw->program())), 0u);
+    EXPECT_EQ(numErrors(verifyTdg(tdg, analyzer, &statics)), 0u);
+    EXPECT_EQ(
+        numErrors(verifyStream(buildCoreStream(tdg.trace()),
+                               &lw->program())),
+        0u);
+}
+
+TEST(TdgVerify, AllBsaTransformOutputsVerifyClean)
+{
+    const auto lw = LoadedWorkload::load(findWorkload("conv"), 20'000);
+    const Tdg &tdg = lw->tdg();
+    const TdgAnalyzer analyzer(tdg);
+
+    std::size_t verified = 0;
+    for (BsaKind kind : kAllBsas) {
+        auto tf = makeTransform(kind, tdg, analyzer);
+        for (const Loop &loop : tdg.loops().loops()) {
+            if (!analyzer.usable(kind, loop.id) ||
+                !tf->canTarget(loop.id)) {
+                continue;
+            }
+            const auto occs = tdg.occurrencesOf(loop.id);
+            if (occs.empty())
+                continue;
+            const TransformOutput out =
+                tf->transformLoop(loop.id, occs);
+            EXPECT_EQ(numErrors(verifyTransformOutput(
+                          out, &lw->program())),
+                      0u)
+                << bsaName(kind) << " loop " << loop.id;
+            ++verified;
+        }
+    }
+    EXPECT_GE(verified, 1u); // conv offloads at least one loop
+}
+
+TEST(TdgVerify, CorruptedTransformOutputIsRejected)
+{
+    const auto lw = LoadedWorkload::load(findWorkload("conv"), 20'000);
+    const Tdg &tdg = lw->tdg();
+    const TdgAnalyzer analyzer(tdg);
+
+    auto tf = makeTransform(BsaKind::Simd, tdg, analyzer);
+    const Loop *target = nullptr;
+    for (const Loop &loop : tdg.loops().loops()) {
+        if (analyzer.usable(BsaKind::Simd, loop.id) &&
+            tf->canTarget(loop.id) &&
+            !tdg.occurrencesOf(loop.id).empty()) {
+            target = &loop;
+            break;
+        }
+    }
+    ASSERT_NE(target, nullptr);
+    TransformOutput out =
+        tf->transformLoop(target->id, tdg.occurrencesOf(target->id));
+    ASSERT_FALSE(hasErrors(
+        verifyTransformOutput(out, &lw->program())));
+
+    // Forge a forward dependence into the otherwise-legal output.
+    ASSERT_GE(out.stream.size(), 2u);
+    out.stream[0].dep[0] =
+        static_cast<std::int32_t>(out.stream.size()) - 1;
+    EXPECT_TRUE(hasCheck(verifyTransformOutput(out, &lw->program()),
+                         "dep-bounds"));
+}
+
+TEST(TdgVerify, MicrobenchSuiteHasNoAnalysisErrors)
+{
+    for (const WorkloadSpec &spec : microbenchmarks()) {
+        ProgramBuilder pb;
+        SimMemory mem;
+        std::vector<std::int64_t> args;
+        spec.build(pb, mem, args);
+        const Program p = pb.build();
+        EXPECT_EQ(numErrors(analyzeProgram(p)), 0u) << spec.name;
+    }
+}
+
+} // namespace
+} // namespace prism
