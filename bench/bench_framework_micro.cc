@@ -40,6 +40,7 @@
 #include "tdg/constructor.hh"
 #include "tdg/exocore.hh"
 #include "tdg/reference/ref_models.hh"
+#include "tdg/sweep.hh"
 #include "uarch/pipeline_model.hh"
 #include "workloads/kernel_util.hh"
 #include "workloads/suite.hh"
@@ -446,60 +447,85 @@ BM_CycleAccurateReferenceStreamed(benchmark::State &state)
 BENCHMARK(BM_CycleAccurateReferenceStreamed)
     ->Unit(benchmark::kMillisecond);
 
+/** The sub-grid the sweep benchmarks and the scaling guard share:
+ *  2 workloads x {IO2, OOO2} x all 16 BSA subsets. */
+SweepGrid
+microSweepGrid()
+{
+    SweepGrid grid;
+    grid.cores = {CoreKind::IO2, CoreKind::OOO2};
+    return grid;
+}
+
+std::span<const WorkloadSpec>
+microSweepWorkloads()
+{
+    static const std::vector<WorkloadSpec> specs{
+        findWorkload("conv"), findWorkload("mm")};
+    return specs;
+}
+
+/** One full sweep leg (models rebuilt from scratch) on `pool`,
+ *  returning the rendered table — the byte-identity witness. */
+std::string
+sweepLeg(DesignSpaceSweep &sweep, ThreadPool &pool)
+{
+    sweep.dropModels();
+    sweep.prepare(pool);
+    return renderSweepTable(sweep.run(pool));
+}
+
 /**
  * Serial-vs-parallel design-space sweep over a Fig-12-style
- * sub-grid: per-(workload, core) model construction followed by all
- * 16 BSA-subset evaluations, run on a thread pool of state.range(0)
- * threads. The Arg(1)/Arg(N) ratio is the exploration engine's
- * speedup on this machine.
+ * sub-grid on the sharded sweep driver (tdg/sweep.hh):
+ * per-(workload, core) model construction followed by all 16
+ * BSA-subset evaluations, on a pool of state.range(0) contexts.
+ *
+ * Every leg measures its own 1-thread reference (untimed) before the
+ * timed parallel iterations, so the reported speedup_vs_1 is
+ * self-contained — legs are order-independent and can be filtered
+ * individually. The leg also fails unless the parallel table is
+ * byte-identical to the serial one.
  */
 void
 BM_DesignSpaceSweep(benchmark::State &state)
 {
-    static const std::unique_ptr<LoadedWorkload> wl2 =
-        LoadedWorkload::load(findWorkload("mm"));
-    const std::array<const Tdg *, 2> tdgs{&fixture().lw->tdg(),
-                                          &wl2->tdg()};
-    const std::array<CoreKind, 2> cores{CoreKind::IO2,
-                                        CoreKind::OOO2};
+    DesignSpaceSweep sweep(microSweepGrid(), microSweepWorkloads());
+    ThreadPool serial(1);
     ThreadPool pool(static_cast<unsigned>(state.range(0)));
-    static double serialSecs = 0; // captured by the Arg(1) leg
+    sweep.load(serial);
+
+    const auto s0 = std::chrono::steady_clock::now();
+    const std::string serial_table = sweepLeg(sweep, serial);
+    const double serial_secs =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - s0)
+            .count();
+
+    const std::size_t points = sweepGridSize(sweep.grid());
     double secs = 0;
+    std::string table;
     for (auto _ : state) {
         const auto t0 = std::chrono::steady_clock::now();
-        // Mutate phase: one model per (workload, core) pair.
-        std::vector<std::unique_ptr<BenchmarkModel>> models(
-            tdgs.size() * cores.size());
-        pool.parallelFor(models.size(), [&](std::size_t i) {
-            models[i] = std::make_unique<BenchmarkModel>(
-                *tdgs[i / cores.size()], cores[i % cores.size()]);
-        });
-        // Read phase: the 16-subset grid per model.
-        std::vector<double> speedup(models.size() * 16);
-        pool.parallelFor(speedup.size(), [&](std::size_t i) {
-            const BenchmarkModel &bm = *models[i / 16];
-            const ExoResult res =
-                bm.evaluate(static_cast<unsigned>(i % 16));
-            speedup[i] =
-                static_cast<double>(bm.baseline().cycles) /
-                static_cast<double>(res.cycles);
-        });
-        benchmark::DoNotOptimize(speedup.data());
-        state.SetItemsProcessed(state.items_processed() +
-                                speedup.size());
+        table = sweepLeg(sweep, pool);
         secs += std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
+        state.SetItemsProcessed(state.items_processed() + points);
     }
-    if (state.range(0) == 1) {
-        serialSecs = secs;
-    } else if (serialSecs > 0 && secs > 0) {
-        const double sp = serialSecs / secs;
-        state.counters["speedup_vs_1"] = sp;
-        std::printf("design-space sweep: %ld contexts %.2fx vs "
-                    "serial\n",
-                    static_cast<long>(state.range(0)), sp);
+    if (table != serial_table) {
+        state.SkipWithError("parallel sweep diverged from serial");
+        return;
     }
+    const double iters = static_cast<double>(state.iterations());
+    const double per_iter = iters > 0 ? secs / iters : 0;
+    const double sp = per_iter > 0 ? serial_secs / per_iter : 0;
+    state.counters["speedup_vs_1"] = sp;
+    state.counters["contexts"] = pool.effectiveContexts();
+    std::printf("design-space sweep: %ld contexts requested "
+                "(%u running) %.2fx vs serial\n",
+                static_cast<long>(state.range(0)),
+                pool.effectiveContexts(), sp);
 }
 BENCHMARK(BM_DesignSpaceSweep)
     ->Arg(1)
@@ -839,18 +865,93 @@ runPerfCheck(const char *json_path)
         }
         const PipelineConfig pcfg{.core = coreConfig(CoreKind::OOO2)};
         check("BM_ModelEvalWarm", measureRate([&] {
-                  std::optional<ModelTables> t = loadModelTables(
-                      cache, "conv", tdg, cfg.maxInsts, pcfg);
-                  const BenchmarkModel bm(tdg, CoreKind::OOO2,
-                                          std::move(*t));
-                  benchmark::DoNotOptimize(bm.baseline().cycles);
-                  return tdg.trace().size();
+                  // A warm build takes ~10 µs; a single one per timed
+                  // rep would measure clock granularity, not the
+                  // build. Batch enough to be comparable with the
+                  // committed many-iteration benchmark number.
+                  constexpr std::size_t kBatch = 50;
+                  for (std::size_t k = 0; k < kBatch; ++k) {
+                      std::optional<ModelTables> t = loadModelTables(
+                          cache, "conv", tdg, cfg.maxInsts, pcfg);
+                      const BenchmarkModel bm(tdg, CoreKind::OOO2,
+                                              std::move(*t));
+                      benchmark::DoNotOptimize(bm.baseline().cycles);
+                  }
+                  return tdg.trace().size() * kBatch;
               }));
         std::filesystem::remove_all(dir);
     }
 
     std::printf("perf-check: %s\n", ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;
+}
+
+// ---- Scaling guard (ctest scaling_guard) ---------------------------
+
+/**
+ * Assert the parallel sweep actually scales: run the micro sweep on
+ * 1 and on 4 contexts, require byte-identical tables, and fail
+ * unless the 4-context leg is >= 2.5x faster. Skipped (exit 0, with
+ * a message) when PRISM_SKIP_PERF_CHECK is set or the host cannot
+ * run 4 contexts concurrently — a wall-clock scaling measurement on
+ * a 1-CPU container would only measure the scheduler.
+ */
+int
+runScalingCheck()
+{
+    if (std::getenv("PRISM_SKIP_PERF_CHECK")) {
+        std::printf(
+            "scaling-guard: skipped (PRISM_SKIP_PERF_CHECK)\n");
+        return 0;
+    }
+    const unsigned avail = availableParallelism();
+    if (avail < 4) {
+        std::printf("scaling-guard: skipped (%u CPU(s) available; "
+                    "need >= 4 for a meaningful measurement)\n",
+                    avail);
+        return 0;
+    }
+    constexpr double kFloor = 2.5;
+
+    DesignSpaceSweep sweep(microSweepGrid(), microSweepWorkloads());
+    ThreadPool serial(1);
+    ThreadPool pool(4);
+    sweep.load(serial);
+
+    // Best-of-2 per leg: the guard asserts capability, not an
+    // average, so one noisy leg must not fail CI.
+    const auto best_of = [&](ThreadPool &p, std::string &table) {
+        double best = -1;
+        for (int rep = 0; rep < 2; ++rep) {
+            const auto t0 = std::chrono::steady_clock::now();
+            table = sweepLeg(sweep, p);
+            const double secs =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            best = best < 0 ? secs : std::min(best, secs);
+        }
+        return best;
+    };
+    std::string serial_table;
+    std::string par_table;
+    const double serial_s = best_of(serial, serial_table);
+    const double par_s = best_of(pool, par_table);
+
+    if (par_table != serial_table) {
+        std::printf("scaling-guard: FAIL (parallel sweep table "
+                    "diverged from serial)\n");
+        return 1;
+    }
+    const double sp = par_s > 0 ? serial_s / par_s : 0;
+    const bool pass = sp >= kFloor;
+    std::printf("scaling-guard: serial %.2fs, 4 contexts %.2fs -> "
+                "%.2fx (floor %.1fx) %s\n",
+                serial_s, par_s, sp, kFloor,
+                pass ? "OK" : "FAIL");
+    std::printf("scaling-guard: tables byte-identical across thread "
+                "counts: yes\n");
+    return pass ? 0 : 1;
 }
 
 // ---- JSON report ---------------------------------------------------
@@ -932,18 +1033,31 @@ writeJson(const CollectingReporter &rep, const char *path)
 int
 main(int argc, char **argv)
 {
+    bool filtered = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--self-test") == 0)
             return prism::runSelfTest();
+        if (std::strcmp(argv[i], "--scaling-check") == 0)
+            return prism::runScalingCheck();
         if (std::strncmp(argv[i], "--perf-check=", 13) == 0)
             return prism::runPerfCheck(argv[i] + 13);
+        if (std::strncmp(argv[i], "--benchmark_filter", 18) == 0)
+            filtered = true;
     }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
     prism::CollectingReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
-    prism::writeJson(reporter, "BENCH_framework.json");
+    if (filtered) {
+        // A filtered run would overwrite the committed baseline with
+        // a partial file (and silently drop every other benchmark's
+        // entry, including speedup_vs_1); only full runs regenerate.
+        std::printf("filtered run: not writing "
+                    "BENCH_framework.json\n");
+    } else {
+        prism::writeJson(reporter, "BENCH_framework.json");
+    }
     benchmark::Shutdown();
     return 0;
 }

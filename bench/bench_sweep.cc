@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Sharded design-space sweep: the Figure 12 characterization scaled
+ * up to the full grid — every CoreKind (6) x all 16 BSA subsets x
+ * every Table 3 workload — on the sharded sweep driver
+ * (tdg/sweep.hh).
+ *
+ * Flags beyond the shared bench set (bench_util.hh):
+ *   --shard I/N   evaluate only grid points with index % N == I
+ *                 (deterministic round-robin slice; default 0/1)
+ *   --cores LIST  comma-separated core subset, e.g. OOO2,OOO6
+ *                 (default: all six)
+ *
+ * Every run executes the shard twice — once on 1 thread, once on the
+ * requested pool — and fails hard unless the rendered tables are
+ * byte-identical: the parallel sweep must be indistinguishable from
+ * the serial one in everything but wall-clock.
+ */
+
+#include <cstring>
+
+#include "bench_util.hh"
+
+#include "common/logging.hh"
+#include "tdg/sweep.hh"
+
+using namespace prism;
+using namespace prism::bench;
+
+namespace
+{
+
+CoreKind
+parseCore(const std::string &name)
+{
+    for (CoreKind core : kAllCoreKinds) {
+        if (name == coreConfig(core).name)
+            return core;
+    }
+    fatal("unknown core '%s' (expected one of the CoreKind names, "
+          "e.g. IO2, OOO2, OOO6)",
+          name.c_str());
+}
+
+/** Split "a,b,c" into parseCore()d kinds. */
+std::vector<CoreKind>
+parseCores(const std::string &list)
+{
+    std::vector<CoreKind> cores;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? list.size() : comma;
+        if (end > pos)
+            cores.push_back(parseCore(list.substr(pos, end - pos)));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (cores.empty())
+        fatal("--cores needs at least one core name");
+    return cores;
+}
+
+/** "I/N" with 0 <= I < N. */
+void
+parseShard(const std::string &v, SweepGrid &grid)
+{
+    const std::size_t slash = v.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= v.size())
+        fatal("--shard needs the form I/N, got '%s'", v.c_str());
+    const long i = std::atol(v.substr(0, slash).c_str());
+    const long n = std::atol(v.substr(slash + 1).c_str());
+    if (n <= 0 || i < 0 || i >= n)
+        fatal("--shard %s out of range (need 0 <= I < N)", v.c_str());
+    grid.shardIndex = static_cast<unsigned>(i);
+    grid.shardCount = static_cast<unsigned>(n);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Peel off the sweep-specific flags, forward the rest to the
+    // shared parser.
+    SweepGrid grid;
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char *flag, std::string &out) -> bool {
+            const std::size_t len = std::strlen(flag);
+            if (std::strncmp(argv[i], flag, len) != 0)
+                return false;
+            if (argv[i][len] == '=') {
+                out = argv[i] + len + 1;
+                return true;
+            }
+            if (argv[i][len] == '\0') {
+                if (i + 1 >= argc)
+                    fatal("%s requires a value", flag);
+                out = argv[++i];
+                return true;
+            }
+            return false;
+        };
+        std::string v;
+        if (value("--shard", v))
+            parseShard(v, grid);
+        else if (value("--cores", v))
+            grid.cores = parseCores(v);
+        else
+            rest.push_back(argv[i]);
+    }
+    const BenchOptions opt = parseBenchArgs(
+        static_cast<int>(rest.size()), rest.data());
+
+    DesignSpaceSweep sweep(grid, allWorkloads());
+    const std::size_t total = sweepGridSize(sweep.grid());
+    const std::size_t mine = sweep.shardPoints().size();
+
+    banner("Sharded design-space sweep");
+    std::printf("grid: %zu cores x %u subsets = %zu points; shard "
+                "%u/%u evaluates %zu\n",
+                sweep.grid().cores.size(), sweep.grid().numMasks,
+                total, sweep.grid().shardIndex,
+                sweep.grid().shardCount, mine);
+
+    ThreadPool pool(opt.threads);
+    Stopwatch load_sw;
+    sweep.load(pool);
+    std::printf("loaded workloads in %.1fs (%u threads, %u running)\n",
+                load_sw.seconds(), pool.size(),
+                pool.effectiveContexts());
+    printCacheSummary();
+
+    if (ArtifactCache::global()) {
+        // Prewarm model tables so both timed legs below do symmetric
+        // work (see bench_fig12_design_space for the rationale).
+        Stopwatch warm_sw;
+        sweep.prepare(pool);
+        sweep.dropModels();
+        std::printf("model cache prewarmed in %.1fs\n",
+                    warm_sw.seconds());
+    }
+
+    banner("Serial vs parallel shard sweep");
+
+    ThreadPool serial(1);
+    Stopwatch serial_sw;
+    sweep.dropModels();
+    sweep.prepare(serial);
+    const std::string serial_table =
+        renderSweepTable(sweep.run(serial));
+    const double serial_s = serial_sw.seconds();
+
+    Stopwatch par_sw;
+    sweep.dropModels();
+    sweep.prepare(pool);
+    const std::vector<SweepPoint> points = sweep.run(pool);
+    const double par_s = par_sw.seconds();
+    const std::string table = renderSweepTable(points);
+
+    std::printf("serial sweep   (1 thread)          : %6.1fs\n",
+                serial_s);
+    std::printf("parallel sweep (%u thread%s, %u run): %6.1fs\n",
+                pool.size(), pool.size() == 1 ? " " : "s",
+                pool.effectiveContexts(), par_s);
+    std::printf("speedup: %.2fx\n",
+                par_s > 0 ? serial_s / par_s : 0.0);
+    const bool identical = table == serial_table;
+    std::printf("metric tables byte-identical across thread counts: "
+                "%s\n",
+                identical ? "yes" : "NO (BUG)");
+    if (!identical)
+        fatal("parallel sweep diverged from serial sweep");
+
+    banner("Shard table (sorted by speedup)");
+    std::printf("%s", table.c_str());
+
+    printCacheSummary();
+    return 0;
+}

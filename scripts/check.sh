@@ -3,13 +3,21 @@
 #   1. AddressSanitizer build + the whole tier-1 test suite,
 #   2. an UndefinedBehaviorSanitizer build + the tier-1 suite
 #      (findings abort: -fno-sanitize-recover=undefined),
-#   3. an optimized build running the lint label (prism_lint over
+#   3. a ThreadSanitizer build running the concurrency label (the
+#      thread-pool and sweep-driver suites) — the chunked lock-free
+#      claim path and the per-thread cache handles are only trusted
+#      once TSan has watched them run,
+#   4. an optimized build running the lint label (prism_lint over
 #      every shipped workload and BSA transform, the static-analysis
 #      unit tests, and clang-tidy when the host has it) and the
 #      perf-smoke label (streaming self-test, throughput guard vs the
-#      committed baseline, warm-artifact-cache correctness + speedup).
+#      committed baseline, warm-artifact-cache correctness + speedup,
+#      and the scaling guard: 4 sweep contexts must be >= 2.5x faster
+#      than 1 on hosts with >= 4 CPUs; it self-skips elsewhere and
+#      under PRISM_SKIP_PERF_CHECK).
 #
-# Usage: scripts/check.sh [asan-build-dir] [ubsan-build-dir] [perf-build-dir]
+# Usage: scripts/check.sh [asan-build-dir] [ubsan-build-dir] \
+#                         [perf-build-dir] [tsan-build-dir]
 #
 # The sanitized legs set PRISM_SKIP_PERF_CHECK=1 — throughput under a
 # sanitizer is not comparable to the committed numbers, but every
@@ -21,6 +29,7 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 asan_build="${1:-"$repo/build-asan"}"
 ubsan_build="${2:-"$repo/build-ubsan"}"
 perf_build="${3:-"$repo/build"}"
+tsan_build="${4:-"$repo/build-tsan"}"
 
 echo "== configure (AddressSanitizer) =="
 cmake -B "$asan_build" -S "$repo" -DPRISM_SANITIZE=address
@@ -41,6 +50,21 @@ cmake --build "$ubsan_build" -j "$(nproc)"
 echo "== tier-1 tests (UBSan) =="
 PRISM_SKIP_PERF_CHECK=1 ctest --test-dir "$ubsan_build" \
     --output-on-failure -j "$(nproc)"
+
+echo "== configure (ThreadSanitizer) =="
+cmake -B "$tsan_build" -S "$repo" -DPRISM_SANITIZE=thread
+
+echo "== build (TSan) =="
+cmake --build "$tsan_build" -j "$(nproc)" \
+    --target test_thread_pool test_sweep
+
+echo "== concurrency tests (TSan) =="
+# PRISM_OVERSUBSCRIBE: on few-CPU hosts the worker clamp would leave
+# the pools effectively serial and hide every race from TSan; force
+# real worker threads regardless of the CPU count.
+PRISM_SKIP_PERF_CHECK=1 PRISM_OVERSUBSCRIBE=1 \
+    ctest --test-dir "$tsan_build" \
+    -L concurrency --output-on-failure -j "$(nproc)"
 
 echo "== configure (optimized) =="
 cmake -B "$perf_build" -S "$repo"

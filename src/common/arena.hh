@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Bump-allocated scratch arena for hot construction paths, and a
+ * per-thread instance for the design-space sweeps.
+ *
+ * A cold BenchmarkModel build used to be a global-malloc contention
+ * fight: hundreds of thousands of short-lived node allocations per
+ * model, multiplied by every pool worker building models at once.
+ * The arena gives each worker thread a private, reusable slab:
+ * allocation is a pointer bump, deallocation is a single reset, and
+ * after the first model on a thread the steady state touches the
+ * global allocator only when the arena must grow.
+ *
+ * Lifetime rules (also documented in DESIGN.md):
+ *  - spans returned by alloc() are valid until the next reset() of
+ *    the same arena — callers reset at the *start* of a construction
+ *    unit (one BenchmarkModel build), never mid-unit;
+ *  - the arena is not thread-safe; threadScratchArena() hands every
+ *    thread its own, so pool tasks never share one;
+ *  - only trivially-destructible element types are allowed (reset()
+ *    runs no destructors).
+ */
+
+#ifndef PRISM_COMMON_ARENA_HH
+#define PRISM_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace prism
+{
+
+class ScratchArena
+{
+  public:
+    ScratchArena() = default;
+    ScratchArena(const ScratchArena &) = delete;
+    ScratchArena &operator=(const ScratchArena &) = delete;
+
+    /** Uninitialized storage for n elements of T. */
+    template <typename T>
+    std::span<T>
+    alloc(std::size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena memory is reclaimed without running "
+                      "destructors");
+        if (n == 0)
+            return {};
+        void *p = allocBytes(n * sizeof(T), alignof(T));
+        return {static_cast<T *>(p), n};
+    }
+
+    /** Reclaim everything allocated since the last reset; keeps the
+     *  largest block so steady-state use never re-allocates. */
+    void
+    reset()
+    {
+        if (blocks_.size() > 1) {
+            // Keep only the biggest block (the last one: growth is
+            // geometric), so repeated use converges to one slab.
+            blocks_.front() = std::move(blocks_.back());
+            blocks_.resize(1);
+        }
+        cur_ = blocks_.empty() ? nullptr : blocks_.front().data.get();
+        end_ = blocks_.empty()
+                   ? nullptr
+                   : blocks_.front().data.get() +
+                         blocks_.front().size;
+        used_ = 0;
+    }
+
+    /** Bytes handed out since the last reset. */
+    std::size_t bytesUsed() const { return used_; }
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+    };
+
+    void *
+    allocBytes(std::size_t n, std::size_t align)
+    {
+        auto p = reinterpret_cast<std::uintptr_t>(cur_);
+        const std::uintptr_t aligned = (p + align - 1) & ~(align - 1);
+        if (cur_ == nullptr ||
+            aligned + n > reinterpret_cast<std::uintptr_t>(end_)) {
+            grow(n + align);
+            return allocBytes(n, align);
+        }
+        cur_ = reinterpret_cast<std::byte *>(aligned + n);
+        used_ += n;
+        return reinterpret_cast<void *>(aligned);
+    }
+
+    void
+    grow(std::size_t at_least)
+    {
+        const std::size_t prev =
+            blocks_.empty() ? 0 : blocks_.back().size;
+        const std::size_t size =
+            std::max<std::size_t>({at_least, prev * 2, 64 * 1024});
+        Block b;
+        b.data = std::make_unique<std::byte[]>(size);
+        b.size = size;
+        cur_ = b.data.get();
+        end_ = b.data.get() + size;
+        blocks_.push_back(std::move(b));
+    }
+
+    std::vector<Block> blocks_;
+    std::byte *cur_ = nullptr;
+    std::byte *end_ = nullptr;
+    std::size_t used_ = 0;
+};
+
+/** This thread's private scratch arena (created on first use). */
+inline ScratchArena &
+threadScratchArena()
+{
+    thread_local ScratchArena arena;
+    return arena;
+}
+
+} // namespace prism
+
+#endif // PRISM_COMMON_ARENA_HH

@@ -19,7 +19,71 @@ constexpr std::uint64_t kArtifactMagic = 0x5052534D41525431ull; // "PRSMART1"
 
 std::unique_ptr<ArtifactCache> g_cache; // installed before workers
 
+/** The innermost ArtifactCacheHandle bound on this thread. */
+thread_local ArtifactCacheHandle *t_handle = nullptr;
+
 } // namespace
+
+ArtifactStats &
+ArtifactStats::operator+=(const ArtifactStats &o)
+{
+    hits += o.hits;
+    misses += o.misses;
+    rejected += o.rejected;
+    stores += o.stores;
+    bytesRead += o.bytesRead;
+    bytesWritten += o.bytesWritten;
+    return *this;
+}
+
+ArtifactCacheHandle::ArtifactCacheHandle(const ArtifactCache *cache)
+    : cache_(cache)
+{
+    if (cache_ != nullptr) {
+        prev_ = t_handle;
+        t_handle = this;
+    }
+}
+
+ArtifactCacheHandle::~ArtifactCacheHandle()
+{
+    if (cache_ != nullptr) {
+        flush();
+        t_handle = prev_;
+    }
+}
+
+void
+ArtifactCacheHandle::flush()
+{
+    for (KindStats &k : kinds_) {
+        cache_->applyDelta(k.name, k.stats);
+        k.stats = ArtifactStats{};
+    }
+}
+
+ArtifactStats
+ArtifactCacheHandle::localStats(const ArtifactKind &kind) const
+{
+    for (const KindStats &k : kinds_) {
+        // Kind slugs are string literals; compare contents, not
+        // addresses, so kinds declared in different TUs still match.
+        if (std::strcmp(k.name, kind.name) == 0)
+            return k.stats;
+    }
+    return {};
+}
+
+ArtifactStats &
+ArtifactCacheHandle::localFor(const char *name)
+{
+    for (KindStats &k : kinds_) {
+        if (std::strcmp(k.name, name) == 0)
+            return k.stats;
+    }
+    kinds_.push_back(KindStats{name, {}});
+    return kinds_.back().stats;
+}
 
 ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir))
 {
@@ -95,10 +159,10 @@ ArtifactCache::store(
               path.c_str(), ec.message().c_str());
     }
 
-    Counters &c = countersFor(kind.name);
-    c.stores.fetch_add(1, std::memory_order_relaxed);
-    c.bytesWritten.fetch_add(payload_bytes,
-                             std::memory_order_relaxed);
+    ArtifactStats delta;
+    delta.stores = 1;
+    delta.bytesWritten = payload_bytes;
+    record(kind, delta);
 }
 
 bool
@@ -107,12 +171,13 @@ ArtifactCache::load(
     const ArtifactKey &key,
     const std::function<bool(ArtifactReader &)> &payload) const
 {
-    Counters &c = countersFor(kind.name);
     const std::string path = pathFor(kind, stem, key);
 
     std::ifstream is(path, std::ios::binary);
     if (!is) {
-        c.misses.fetch_add(1, std::memory_order_relaxed);
+        ArtifactStats delta;
+        delta.misses = 1;
+        record(kind, delta);
         return false;
     }
 
@@ -131,16 +196,54 @@ ArtifactCache::load(
     }
 
     if (why) {
-        c.rejected.fetch_add(1, std::memory_order_relaxed);
-        c.misses.fetch_add(1, std::memory_order_relaxed);
+        ArtifactStats delta;
+        delta.rejected = 1;
+        delta.misses = 1;
+        record(kind, delta);
         warn("artifact cache: rejecting %s '%s' (%s); will "
              "recompute",
              kind.name, path.c_str(), why);
         return false;
     }
-    c.hits.fetch_add(1, std::memory_order_relaxed);
-    c.bytesRead.fetch_add(r.bytesRead(), std::memory_order_relaxed);
+    ArtifactStats delta;
+    delta.hits = 1;
+    delta.bytesRead = r.bytesRead();
+    record(kind, delta);
     return true;
+}
+
+void
+ArtifactCache::record(const ArtifactKind &kind,
+                      const ArtifactStats &delta) const
+{
+    // A bound handle keeps the update thread-private (no shared
+    // cache-line traffic on the hot sweep path); otherwise fold into
+    // the shared counters immediately.
+    if (t_handle != nullptr && t_handle->cache() == this) {
+        t_handle->localFor(kind.name) += delta;
+        return;
+    }
+    applyDelta(kind.name, delta);
+}
+
+void
+ArtifactCache::applyDelta(const char *name,
+                          const ArtifactStats &delta) const
+{
+    Counters &c = countersFor(name);
+    constexpr auto relaxed = std::memory_order_relaxed;
+    if (delta.hits)
+        c.hits.v.fetch_add(delta.hits, relaxed);
+    if (delta.misses)
+        c.misses.v.fetch_add(delta.misses, relaxed);
+    if (delta.rejected)
+        c.rejected.v.fetch_add(delta.rejected, relaxed);
+    if (delta.stores)
+        c.stores.v.fetch_add(delta.stores, relaxed);
+    if (delta.bytesRead)
+        c.bytesRead.v.fetch_add(delta.bytesRead, relaxed);
+    if (delta.bytesWritten)
+        c.bytesWritten.v.fetch_add(delta.bytesWritten, relaxed);
 }
 
 ArtifactCache::Counters &
@@ -161,12 +264,12 @@ ArtifactCache::stats(const ArtifactKind &kind) const
 {
     const Counters &c = countersFor(kind.name);
     ArtifactStats s;
-    s.hits = c.hits.load(std::memory_order_relaxed);
-    s.misses = c.misses.load(std::memory_order_relaxed);
-    s.rejected = c.rejected.load(std::memory_order_relaxed);
-    s.stores = c.stores.load(std::memory_order_relaxed);
-    s.bytesRead = c.bytesRead.load(std::memory_order_relaxed);
-    s.bytesWritten = c.bytesWritten.load(std::memory_order_relaxed);
+    s.hits = c.hits.v.load(std::memory_order_relaxed);
+    s.misses = c.misses.v.load(std::memory_order_relaxed);
+    s.rejected = c.rejected.v.load(std::memory_order_relaxed);
+    s.stores = c.stores.v.load(std::memory_order_relaxed);
+    s.bytesRead = c.bytesRead.v.load(std::memory_order_relaxed);
+    s.bytesWritten = c.bytesWritten.v.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -177,13 +280,13 @@ ArtifactCache::allStats() const
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto &k : kinds_) {
         ArtifactStats s;
-        s.hits = k->hits.load(std::memory_order_relaxed);
-        s.misses = k->misses.load(std::memory_order_relaxed);
-        s.rejected = k->rejected.load(std::memory_order_relaxed);
-        s.stores = k->stores.load(std::memory_order_relaxed);
-        s.bytesRead = k->bytesRead.load(std::memory_order_relaxed);
+        s.hits = k->hits.v.load(std::memory_order_relaxed);
+        s.misses = k->misses.v.load(std::memory_order_relaxed);
+        s.rejected = k->rejected.v.load(std::memory_order_relaxed);
+        s.stores = k->stores.v.load(std::memory_order_relaxed);
+        s.bytesRead = k->bytesRead.v.load(std::memory_order_relaxed);
         s.bytesWritten =
-            k->bytesWritten.load(std::memory_order_relaxed);
+            k->bytesWritten.v.load(std::memory_order_relaxed);
         out.emplace_back(k->name, s);
     }
     return out;

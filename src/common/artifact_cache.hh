@@ -286,6 +286,59 @@ struct ArtifactStats
     std::uint64_t stores = 0;
     std::uint64_t bytesRead = 0;    ///< file bytes of hits (incl. header)
     std::uint64_t bytesWritten = 0; ///< file bytes of stores (incl. header)
+
+    ArtifactStats &operator+=(const ArtifactStats &o);
+};
+
+class ArtifactCache;
+
+/**
+ * A per-thread view of one ArtifactCache for sweep workers: while a
+ * handle is alive on a thread, every load/store that thread performs
+ * against the handle's cache records its statistics into the
+ * handle's private (non-atomic) counters instead of the shared ones,
+ * and the totals are folded into the shared counters in one batch
+ * when the handle flushes or dies. Sweeps that probe the cache for
+ * every (workload, core) model thus stop ping-ponging the shared
+ * stats cache lines between workers.
+ *
+ * Handles nest (the previous handle is restored on destruction) and
+ * are strictly thread-local: create one on the thread that does the
+ * cache traffic, never share one across tasks.
+ */
+class ArtifactCacheHandle
+{
+  public:
+    /** Bind to `cache` (nullptr = inert no-op handle). */
+    explicit ArtifactCacheHandle(const ArtifactCache *cache);
+    ~ArtifactCacheHandle();
+
+    ArtifactCacheHandle(const ArtifactCacheHandle &) = delete;
+    ArtifactCacheHandle &operator=(const ArtifactCacheHandle &) =
+        delete;
+
+    const ArtifactCache *cache() const { return cache_; }
+
+    /** Fold the private counters into the shared ones now. */
+    void flush();
+
+    /** Private counters for one kind accumulated so far. */
+    ArtifactStats localStats(const ArtifactKind &kind) const;
+
+  private:
+    friend class ArtifactCache;
+
+    struct KindStats
+    {
+        const char *name;
+        ArtifactStats stats;
+    };
+
+    ArtifactStats &localFor(const char *name);
+
+    const ArtifactCache *cache_;
+    ArtifactCacheHandle *prev_ = nullptr; ///< nesting chain
+    std::vector<KindStats> kinds_;
 };
 
 class ArtifactCache
@@ -346,15 +399,29 @@ class ArtifactCache
     static const ArtifactCache *global();
 
   private:
+    friend class ArtifactCacheHandle;
+
+    /**
+     * One shared counter on its own destructive-interference
+     * boundary. The six counters of a kind used to share two cache
+     * lines, so concurrent sweep workers bumping hits/bytesRead
+     * false-shared against each other; padding plus the
+     * ArtifactCacheHandle batching removes that traffic.
+     */
+    struct alignas(64) PaddedCounter
+    {
+        std::atomic<std::uint64_t> v{0};
+    };
+
     struct Counters
     {
         std::string name;
-        std::atomic<std::uint64_t> hits{0};
-        std::atomic<std::uint64_t> misses{0};
-        std::atomic<std::uint64_t> rejected{0};
-        std::atomic<std::uint64_t> stores{0};
-        std::atomic<std::uint64_t> bytesRead{0};
-        std::atomic<std::uint64_t> bytesWritten{0};
+        PaddedCounter hits;
+        PaddedCounter misses;
+        PaddedCounter rejected;
+        PaddedCounter stores;
+        PaddedCounter bytesRead;
+        PaddedCounter bytesWritten;
     };
 
     /** Full content address of (kind, key): version-baked. */
@@ -362,6 +429,15 @@ class ArtifactCache
                                    const ArtifactKey &key);
 
     Counters &countersFor(const char *name) const;
+
+    /** Add one lookup/store outcome to the stats, routed through the
+     *  calling thread's ArtifactCacheHandle when one is bound. */
+    void record(const ArtifactKind &kind,
+                const ArtifactStats &delta) const;
+
+    /** Fold a batched delta straight into the shared counters. */
+    void applyDelta(const char *name,
+                    const ArtifactStats &delta) const;
 
     std::string dir_;
     mutable std::mutex mu_; ///< guards kinds_ registration

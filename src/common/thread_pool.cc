@@ -1,6 +1,7 @@
 #include "common/thread_pool.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <memory>
 
@@ -13,18 +14,42 @@
 namespace prism
 {
 
+namespace
+{
+
+/** Reject absurd PRISM_THREADS values (also catches negatives, which
+ *  strtoul wraps to huge numbers) instead of spawning them. */
+constexpr unsigned long kMaxReasonableThreads = 4096;
+
+} // namespace
+
 unsigned
 defaultThreadCount()
 {
+    // Precedence (see thread_pool.hh): an explicit ctor argument
+    // never reaches this function; PRISM_THREADS is consulted here;
+    // availableParallelism() is the fallback.
     if (const char *env = std::getenv("PRISM_THREADS")) {
         char *end = nullptr;
         const unsigned long v = std::strtoul(env, &end, 10);
-        if (end != env && *end == '\0' && v > 0)
+        const bool numeric = end != env && *end == '\0';
+        if (numeric && v > 0 && v <= kMaxReasonableThreads)
             return static_cast<unsigned>(v);
-        warn("ignoring invalid PRISM_THREADS value '%s'", env);
+        if (numeric && v == 0) {
+            warn("PRISM_THREADS=0 is not a valid thread count; "
+                 "using the %u available CPU(s) instead",
+                 availableParallelism());
+        } else if (numeric) {
+            warn("PRISM_THREADS=%s is out of range (max %lu); "
+                 "using the %u available CPU(s) instead",
+                 env, kMaxReasonableThreads, availableParallelism());
+        } else {
+            warn("ignoring non-numeric PRISM_THREADS value '%s'; "
+                 "using the %u available CPU(s) instead",
+                 env, availableParallelism());
+        }
     }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 1;
+    return availableParallelism();
 }
 
 unsigned
@@ -43,46 +68,80 @@ availableParallelism()
 }
 
 /**
- * Shared state of one parallelFor call. Index claiming and the
- * in-flight count are updated under one lock so a claimed item is
- * always visible as active until it completes; helper tasks that
- * outlive the call (stealable entries still queued) hold the loop
- * via shared_ptr and see an exhausted index range.
+ * Shared state of one parallelFor call. The index range is claimed
+ * in contiguous chunks with a single atomic fetch-add per chunk —
+ * there is no lock anywhere on the claim path. Completion is
+ * detected from two atomics: `next` past the range end (no chunk
+ * left to start) and `inflight` zero (no claimed chunk still
+ * running); the mutex/condvar pair exists only so the owner can
+ * sleep until that transition. Helper tasks that outlive the call
+ * (stealable entries still queued) hold the loop via shared_ptr and
+ * observe an exhausted index range.
  */
 struct ThreadPool::ForLoop
 {
     std::size_t n = 0;
+    std::size_t chunk = 1;
     const std::function<void(std::size_t)> *fn = nullptr;
 
-    std::mutex mu;
+    /** Next unclaimed index; claims advance it by `chunk`. Poisoning
+     *  forces it past n so no further chunk starts. */
+    std::atomic<std::size_t> next{0};
+    /** Chunks claimed (or mid-claim) and not yet finished. */
+    std::atomic<std::size_t> inflight{0};
+    /** Set on the first exception: running chunks bail between
+     *  items, unclaimed items are skipped. */
+    std::atomic<bool> poisoned{false};
+
+    std::mutex mu; ///< guards `error` and the completion wakeup
     std::condition_variable doneCv;
-    std::size_t nextIdx = 0; ///< guarded by mu
-    std::size_t active = 0;  ///< items currently executing
     std::exception_ptr error;
 
-    /** Claim the next index; false when drained or poisoned. */
+    /**
+     * Claim protocol memory ordering: every operation on `next` and
+     * `inflight` is seq_cst (the defaults below). drain() increments
+     * `inflight` before advancing `next`; done() reads them in the
+     * opposite order, so under the single total order a reader that
+     * sees a claim's `next` advance must also see its `inflight`
+     * increment — the owner can never observe "range exhausted, none
+     * in flight" while a chunk is still between claim and
+     * completion. These are per-chunk (not per-index) operations, so
+     * the stronger ordering costs nothing measurable.
+     */
     bool
-    claim(std::size_t &i)
+    done() const
     {
-        std::lock_guard<std::mutex> g(mu);
-        if (error || nextIdx >= n)
-            return false;
-        i = nextIdx++;
-        ++active;
-        return true;
+        return next.load() >= n && inflight.load() == 0;
     }
 
-    /** Mark one claimed item finished (ok or with an exception). */
+    /** Record the first failure and stop the loop early. */
     void
-    complete(std::exception_ptr err)
+    poison(std::exception_ptr err)
     {
-        std::lock_guard<std::mutex> g(mu);
-        if (err && !error)
-            error = std::move(err);
-        if (--active == 0 && (nextIdx >= n || error))
-            doneCv.notify_all();
+        {
+            std::lock_guard<std::mutex> g(mu);
+            if (!error)
+                error = std::move(err);
+        }
+        poisoned.store(true, std::memory_order_relaxed);
+        // Push the claim cursor past the end so no new chunk starts.
+        // A concurrent fetch-add may still slip one last chunk
+        // through; its items just run, which the contract allows.
+        next.store(n);
     }
 };
+
+std::size_t
+ThreadPool::chunkSizeFor(std::size_t n, unsigned contexts)
+{
+    // ~8 chunks per context: claim traffic is one fetch-add per
+    // chunk, and an 8x surplus of chunks over contexts keeps uneven
+    // per-item costs balanced (the classic guided-scheduling
+    // compromise without its tail of tiny claims).
+    const std::size_t parts =
+        std::max<std::size_t>(1, std::size_t{contexts} * 8);
+    return std::max<std::size_t>(1, (n + parts - 1) / parts);
+}
 
 ThreadPool::ThreadPool(unsigned threads)
     : numThreads_(threads > 0 ? threads : defaultThreadCount())
@@ -91,8 +150,21 @@ ThreadPool::ThreadPool(unsigned threads)
     // churn; cap spawned workers at what can actually run (the caller
     // is one context). PRISM_OVERSUBSCRIBE restores the old behavior.
     unsigned contexts = numThreads_;
-    if (!std::getenv("PRISM_OVERSUBSCRIBE"))
-        contexts = std::min(numThreads_, availableParallelism());
+    if (!std::getenv("PRISM_OVERSUBSCRIBE")) {
+        const unsigned avail = availableParallelism();
+        contexts = std::min(numThreads_, avail);
+        if (contexts < numThreads_) {
+            // Once per process: pools are created freely (every bench
+            // leg, every test), and the clamp is a host property.
+            static std::atomic<bool> warned{false};
+            if (!warned.exchange(true)) {
+                warn("thread pool: %u contexts requested but only %u "
+                     "CPU(s) available; clamping spawned workers "
+                     "(set PRISM_OVERSUBSCRIBE=1 to override)",
+                     numThreads_, avail);
+            }
+        }
+    }
     workers_.reserve(contexts - 1);
     for (unsigned t = 1; t < contexts; ++t)
         workers_.emplace_back([this, t] { workerMain(t); });
@@ -110,17 +182,46 @@ ThreadPool::~ThreadPool()
 }
 
 void
+ThreadPool::finishChunk(ForLoop &loop)
+{
+    // The decrement releases this chunk's writes to the owner, and
+    // the final decrement acquires every earlier chunk's (seq_cst
+    // implies both).
+    if (loop.inflight.fetch_sub(1) == 1 &&
+        loop.next.load() >= loop.n) {
+        // Possibly the completing transition: wake the owner. Taking
+        // the mutex orders this notify after the owner's predicate
+        // check, so the wakeup cannot be lost.
+        std::lock_guard<std::mutex> g(loop.mu);
+        loop.doneCv.notify_all();
+    }
+}
+
+void
 ThreadPool::drain(ForLoop &loop)
 {
-    std::size_t i = 0;
-    while (loop.claim(i)) {
-        std::exception_ptr err;
-        try {
-            (*loop.fn)(i);
-        } catch (...) {
-            err = std::current_exception();
+    for (;;) {
+        // Publish the in-flight claim *before* taking it: otherwise
+        // the owner could observe next >= n with inflight still zero
+        // while this chunk runs, and return early (see the ordering
+        // note on ForLoop::done).
+        loop.inflight.fetch_add(1);
+        const std::size_t b = loop.next.fetch_add(loop.chunk);
+        if (b >= loop.n) {
+            finishChunk(loop);
+            return;
         }
-        loop.complete(err);
+        const std::size_t e = std::min(b + loop.chunk, loop.n);
+        try {
+            for (std::size_t i = b; i < e; ++i) {
+                if (loop.poisoned.load(std::memory_order_relaxed))
+                    break;
+                (*loop.fn)(i);
+            }
+        } catch (...) {
+            loop.poison(std::current_exception());
+        }
+        finishChunk(loop);
     }
 }
 
@@ -143,18 +244,24 @@ ThreadPool::workerMain(unsigned)
 
 void
 ThreadPool::parallelFor(std::size_t n,
-                        const std::function<void(std::size_t)> &fn)
+                        const std::function<void(std::size_t)> &fn,
+                        std::size_t grain)
 {
     if (n == 0)
         return;
 
     auto loop = std::make_shared<ForLoop>();
     loop->n = n;
+    loop->chunk = grain > 0 ? grain
+                            : chunkSizeFor(n, effectiveContexts());
     loop->fn = &fn;
 
-    // One stealable helper per worker (never more than useful).
+    // One stealable helper per worker, never more than there are
+    // chunks to claim beyond the caller's own.
+    const std::size_t chunks = (n + loop->chunk - 1) / loop->chunk;
     const std::size_t helpers =
-        std::min<std::size_t>(workers_.size(), n > 1 ? n - 1 : 0);
+        std::min<std::size_t>(workers_.size(),
+                              chunks > 1 ? chunks - 1 : 0);
     if (helpers > 0) {
         {
             std::lock_guard<std::mutex> g(mu_);
@@ -170,7 +277,7 @@ ThreadPool::parallelFor(std::size_t n,
 
     {
         std::unique_lock<std::mutex> lk(loop->mu);
-        loop->doneCv.wait(lk, [&] { return loop->active == 0; });
+        loop->doneCv.wait(lk, [&] { return loop->done(); });
     }
     if (loop->error)
         std::rethrow_exception(loop->error);

@@ -12,11 +12,34 @@
  *    on scheduling;
  *  - exception propagation: the first exception thrown by a work
  *    item is captured and rethrown on the calling thread after the
- *    loop drains;
+ *    loop drains (items not yet claimed when the exception lands are
+ *    skipped);
  *  - nested submission: a work item may itself call parallelFor()
  *    on the same pool; the inner call participates in execution, so
- *    progress is guaranteed even with every worker busy;
- *  - `PRISM_THREADS` overrides the default worker count process-wide.
+ *    progress is guaranteed even with every worker busy.
+ *
+ * Index claiming is lock-free: workers grab contiguous chunks of the
+ * index range with one atomic fetch-add per chunk (not one mutex
+ * acquisition per index), so fine-grained loops no longer serialize
+ * on the claim lock. Chunks are sized so the range splits into ~8
+ * chunks per execution context — small enough to balance uneven item
+ * costs, large enough that the claim traffic is negligible — and a
+ * caller can force a specific grain when it knows better.
+ *
+ * Thread-count precedence (the single source of truth):
+ *  1. an explicit positive ThreadPool(threads) constructor argument
+ *     (e.g. from a --threads flag) always wins;
+ *  2. otherwise PRISM_THREADS, when set to a positive integer
+ *     (invalid values — zero, negative, non-numeric, absurdly large —
+ *     are rejected with a warning, never silently honored);
+ *  3. otherwise availableParallelism(): the CPUs this process may
+ *     actually run on (affinity mask aware), not the raw hardware
+ *     count.
+ * Whatever the requested count, *spawned workers* are additionally
+ * clamped to availableParallelism() — extra contexts would only
+ * context-switch against each other — unless PRISM_OVERSUBSCRIBE is
+ * set. size() reports the requested count; effectiveContexts() the
+ * clamped one actually running.
  */
 
 #ifndef PRISM_COMMON_THREAD_POOL_HH
@@ -35,9 +58,9 @@ namespace prism
 {
 
 /**
- * Default concurrency level: the PRISM_THREADS environment variable
- * if set to a positive integer, else std::thread::hardware_concurrency
- * (at least 1).
+ * Default concurrency level: PRISM_THREADS if set to a valid positive
+ * integer (invalid values warn and are ignored), else
+ * availableParallelism(). See the precedence note in the file header.
  */
 unsigned defaultThreadCount();
 
@@ -58,8 +81,9 @@ unsigned availableParallelism();
  * Worker threads are clamped to availableParallelism(): requesting
  * more contexts than the machine can run concurrently spawns only as
  * many workers as there are CPUs (the rest would just context-switch
- * against each other). size() still reports the requested count, and
- * setting PRISM_OVERSUBSCRIBE disables the clamp.
+ * against each other). size() still reports the requested count,
+ * effectiveContexts() the clamped one, and setting
+ * PRISM_OVERSUBSCRIBE disables the clamp.
  */
 class ThreadPool
 {
@@ -71,17 +95,34 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Total execution contexts (caller + workers). */
+    /** Total execution contexts requested (caller + workers). */
     unsigned size() const { return numThreads_; }
+
+    /** Contexts actually running after the availableParallelism()
+     *  clamp (caller + spawned workers). */
+    unsigned
+    effectiveContexts() const
+    {
+        return static_cast<unsigned>(workers_.size()) + 1;
+    }
 
     /**
      * Run fn(i) for every i in [0, n). Blocks until all items have
      * finished; the calling thread executes items too. Rethrows the
      * first exception thrown by any item (remaining unclaimed items
-     * are skipped).
+     * are skipped). `grain` > 0 forces that many consecutive indices
+     * per atomic claim; 0 picks chunkSizeFor(n, effectiveContexts()).
      */
     void parallelFor(std::size_t n,
-                     const std::function<void(std::size_t)> &fn);
+                     const std::function<void(std::size_t)> &fn,
+                     std::size_t grain = 0);
+
+    /**
+     * Automatic chunk size: splits n into ~8 chunks per context so
+     * uneven item costs still balance while claim traffic stays one
+     * atomic op per chunk. Exposed for the concurrency tests.
+     */
+    static std::size_t chunkSizeFor(std::size_t n, unsigned contexts);
 
     /** The process-wide shared pool (size defaultThreadCount()). */
     static ThreadPool &global();
@@ -89,7 +130,7 @@ class ThreadPool
   private:
     struct ForLoop;
 
-    /** One stealable unit: drain indices from a ForLoop. */
+    /** One stealable unit: drain chunks from a ForLoop. */
     struct Task
     {
         std::shared_ptr<ForLoop> loop;
@@ -97,6 +138,7 @@ class ThreadPool
 
     void workerMain(unsigned self);
     static void drain(ForLoop &loop);
+    static void finishChunk(ForLoop &loop);
 
     unsigned numThreads_;
 

@@ -129,7 +129,7 @@ DpCgraTransform::transformOccurrence(const LoopOccurrence &occ,
     fabric_regs.clear();
     send_map.clear();
     prev_group.clear();
-    dyn_to_idx.clear();
+    dyn_to_idx.rebind(occ.begin, occ.end);
     const auto &its = occ.iterStarts;
 
     auto emit_group = [&](const xform::Instances &inst) {

@@ -65,6 +65,7 @@ FmaTransform::transform() const
     MStream out;
     out.reserve(trace.size());
     xform::DynToIdx dyn_to_idx;
+    dyn_to_idx.rebind(0, trace.size());
 
     for (DynId i = 0; i < trace.size(); ++i) {
         const DynInst &di = trace[i];
@@ -72,8 +73,9 @@ FmaTransform::transform() const
         auto resolve = [&](std::int64_t p) -> std::int64_t {
             if (p == kNoProducer)
                 return -1;
-            const auto it = dyn_to_idx.find(static_cast<DynId>(p));
-            return it == dyn_to_idx.end() ? -1 : it->second;
+            const std::int64_t *idx =
+                dyn_to_idx.find(static_cast<DynId>(p));
+            return idx == nullptr ? -1 : *idx;
         };
 
         if (fmulToFadd_.count(di.sid)) {

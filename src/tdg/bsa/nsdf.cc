@@ -72,7 +72,7 @@ NsdfTransform::transformOccurrence(const LoopOccurrence &occ,
     emit_live_xfer(Opcode::AccelSend, -1);
 
     xform::DynToIdx &dyn_to_idx = dynToIdx_;
-    dyn_to_idx.clear();
+    dyn_to_idx.rebind(occ.begin, occ.end);
     std::int64_t last_switch = -1;
     std::int64_t last_df = -1;
     xform::CfuBuilder cfu(s, ExecUnit::Nsdf, 3);
@@ -87,9 +87,9 @@ NsdfTransform::transformOccurrence(const LoopOccurrence &occ,
         for (std::int64_t p : di.srcProd) {
             if (p == kNoProducer)
                 continue;
-            const auto it = dyn_to_idx.find(static_cast<DynId>(p));
-            if (it != dyn_to_idx.end())
-                deps.push_back(it->second);
+            if (const std::int64_t *idx =
+                    dyn_to_idx.find(static_cast<DynId>(p)))
+                deps.push_back(*idx);
         }
 
         if (di.op == Opcode::Jmp)
@@ -138,11 +138,9 @@ NsdfTransform::transformOccurrence(const LoopOccurrence &occ,
                 if (slot < 3)
                     mi.dep[slot++] = static_cast<std::int32_t>(d);
             if (mi.isLoad && di.memProd != kNoProducer) {
-                const auto it =
-                    dyn_to_idx.find(static_cast<DynId>(di.memProd));
-                if (it != dyn_to_idx.end())
-                    mi.memDep =
-                        static_cast<std::int32_t>(it->second);
+                if (const std::int64_t *idx = dyn_to_idx.find(
+                        static_cast<DynId>(di.memProd)))
+                    mi.memDep = static_cast<std::int32_t>(*idx);
             }
             if (!df_started) {
                 mi.startRegion = true;

@@ -86,7 +86,7 @@ SimdTransform::transformOccurrence(const LoopOccurrence &occ,
     xform::RegDefMap &regs = regs_;
     xform::DynToIdx &dyn_to_idx = dynToIdx_;
     regs.clear();
-    dyn_to_idx.clear();
+    dyn_to_idx.rebind(occ.begin, occ.end);
     const auto &its = occ.iterStarts;
 
     // Emits one vectorized iteration covering a group of V iterations.

@@ -72,7 +72,7 @@ TracepTransform::transformOccurrence(const LoopOccurrence &occ,
     }
 
     xform::DynToIdx &dyn_to_idx = dynToIdx_;
-    dyn_to_idx.clear();
+    dyn_to_idx.rebind(occ.begin, occ.end);
     bool pending_start = true; // first engine op serializes
 
     // Iterate iteration-wise: [iterStarts[k], next start).
@@ -121,10 +121,9 @@ TracepTransform::transformOccurrence(const LoopOccurrence &occ,
             for (std::int64_t p : di.srcProd) {
                 if (p == kNoProducer)
                     continue;
-                const auto it =
-                    dyn_to_idx.find(static_cast<DynId>(p));
-                if (it != dyn_to_idx.end())
-                    deps.push_back(it->second);
+                if (const std::int64_t *idx =
+                        dyn_to_idx.find(static_cast<DynId>(p)))
+                    deps.push_back(*idx);
             }
 
             if (di.op == Opcode::Jmp)
@@ -169,11 +168,10 @@ TracepTransform::transformOccurrence(const LoopOccurrence &occ,
                         mi.dep[slot++] =
                             static_cast<std::int32_t>(d);
                 if (mi.isLoad && di.memProd != kNoProducer) {
-                    const auto it = dyn_to_idx.find(
-                        static_cast<DynId>(di.memProd));
-                    if (it != dyn_to_idx.end())
+                    if (const std::int64_t *idx = dyn_to_idx.find(
+                            static_cast<DynId>(di.memProd)))
                         mi.memDep =
-                            static_cast<std::int32_t>(it->second);
+                            static_cast<std::int32_t>(*idx);
                 }
                 if (pending_start) {
                     mi.startRegion = true;

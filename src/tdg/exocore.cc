@@ -1,13 +1,60 @@
 #include "tdg/exocore.hh"
 
 #include <algorithm>
+#include <span>
 
+#include "common/arena.hh"
 #include "common/logging.hh"
 #include "tdg/constructor.hh"
 #include "tdg/scheduler.hh"
 
 namespace prism
 {
+
+namespace
+{
+
+/**
+ * Per-thread construction scratch. Cold model construction is the
+ * unit of work the sweep fans out across pool workers, and it used
+ * to allocate its multi-megabyte timing buffers (and thousands of
+ * small temporaries) fresh per model — every worker hammering the
+ * global allocator at once. One reusable TimingScratch plus a
+ * ScratchArena per thread makes steady-state construction touch
+ * malloc only for the result tables that actually outlive the build.
+ */
+struct ModelScratch
+{
+    TimingScratch ts;
+    ScratchArena arena;
+};
+
+ModelScratch &
+modelScratch()
+{
+    thread_local ModelScratch s;
+    return s;
+}
+
+/** Occurrences of `loop` in trace order, arena-backed (valid until
+ *  the arena resets at the next model build on this thread). */
+std::span<const LoopOccurrence *>
+occurrencesOf(const Tdg &tdg, std::int32_t loop, ScratchArena &arena)
+{
+    const auto &all = tdg.loopMap().occurrences;
+    std::size_t n = 0;
+    for (const LoopOccurrence &occ : all)
+        n += occ.loopId == loop ? 1 : 0;
+    auto out = arena.alloc<const LoopOccurrence *>(n);
+    std::size_t k = 0;
+    for (const LoopOccurrence &occ : all) {
+        if (occ.loopId == loop)
+            out[k++] = &occ;
+    }
+    return out;
+}
+
+} // namespace
 
 int
 unitIndex(BsaKind b)
@@ -65,6 +112,8 @@ BenchmarkModel::BenchmarkModel(const Tdg &tdg, CoreKind core,
     analyzer_ = std::make_unique<TdgAnalyzer>(tdg);
     energyModel_ = std::make_unique<EnergyModel>(
         pcfg_.core, static_cast<unsigned>(kAllBsas.size()));
+    // One construction = one arena generation (see arena.hh).
+    modelScratch().arena.reset();
     evaluateBaseline();
     evaluateBsas();
 }
@@ -116,7 +165,7 @@ BenchmarkModel::evaluateBaseline()
     // fixed-size windows with absolute dependence indices; the
     // whole-trace core stream is never materialized.
     constexpr std::size_t kWindow = 1u << 16;
-    TimingScratch ts;
+    TimingScratch &ts = modelScratch().ts;
     model.beginRun(ts);
     MStream &win = ts.window;
     for (DynId b = 0; b < trace.size(); b += kWindow) {
@@ -165,6 +214,10 @@ BenchmarkModel::evaluateBaseline()
         le.dynInsts = tdg_->dynInstsOf(loop.id);
         RegionUnitEval &gpp = le.unit[0];
         gpp.feasible = true;
+        std::size_t count = 0;
+        for (std::size_t k = 0; k < occs.size(); ++k)
+            count += occs[k].loopId == loop.id ? 1 : 0;
+        gpp.occCycles.reserve(count);
         for (std::size_t k = 0; k < occs.size(); ++k) {
             if (occs[k].loopId != loop.id)
                 continue;
@@ -179,14 +232,15 @@ void
 BenchmarkModel::evaluateBsas()
 {
     const PipelineModel model(pcfg_);
-    TimingScratch ts;
+    TimingScratch &ts = modelScratch().ts;
+    ScratchArena &arena = modelScratch().arena;
     for (BsaKind bsa : kAllBsas) {
         auto transform = makeTransform(bsa, *tdg_, *analyzer_);
         const int u = unitIndex(bsa);
         for (const Loop &loop : tdg_->loops().loops()) {
             if (!transform->canTarget(loop.id))
                 continue;
-            const auto occs = tdg_->occurrencesOf(loop.id);
+            const auto occs = occurrencesOf(*tdg_, loop.id, arena);
             if (occs.empty())
                 continue;
 

@@ -1,0 +1,222 @@
+#include "tdg/sweep.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "common/artifact_cache.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "energy/area_model.hh"
+#include "tdg/artifacts.hh"
+
+namespace prism
+{
+
+/** One workload slot: the loaded trace/TDG plus per-core models.
+ *  load() and buildModel() follow the mutate-phase discipline of
+ *  bench_util's Entry: distinct tasks write distinct slots. */
+struct DesignSpaceSweep::Workload
+{
+    const WorkloadSpec *spec = nullptr;
+    std::unique_ptr<LoadedWorkload> lw;
+    std::array<std::unique_ptr<BenchmarkModel>,
+               kAllCoreKinds.size()>
+        models;
+
+    void
+    load()
+    {
+        if (!lw)
+            lw = LoadedWorkload::load(*spec);
+    }
+
+    void
+    buildModel(CoreKind core)
+    {
+        prism_assert(lw != nullptr, "workload '%s' not loaded",
+                     spec->name);
+        auto &slot = models[static_cast<std::size_t>(core)];
+        if (slot)
+            return;
+        // Batch this task's cache-stats traffic (see
+        // artifact_cache.hh): one flush instead of per-probe atomic
+        // bumps on shared cache lines.
+        const ArtifactCache *cache = ArtifactCache::global();
+        ArtifactCacheHandle handle(cache);
+        if (cache) {
+            const PipelineConfig cfg{.core = coreConfig(core)};
+            if (std::optional<ModelTables> tables =
+                    loadModelTables(*cache, lw->name(), lw->tdg(),
+                                    lw->maxInsts(), cfg)) {
+                slot = std::make_unique<BenchmarkModel>(
+                    lw->tdg(), core, std::move(*tables));
+                return;
+            }
+        }
+        slot = std::make_unique<BenchmarkModel>(lw->tdg(), core);
+        if (cache) {
+            storeModelTables(*cache, lw->name(), lw->maxInsts(),
+                             *slot);
+        }
+    }
+
+    const BenchmarkModel &
+    model(CoreKind core) const
+    {
+        const auto &slot = models[static_cast<std::size_t>(core)];
+        prism_assert(slot != nullptr,
+                     "model for '%s' core %d not prepared",
+                     spec->name, static_cast<int>(core));
+        return *slot;
+    }
+};
+
+DesignSpaceSweep::DesignSpaceSweep(
+    SweepGrid grid, std::span<const WorkloadSpec> workloads)
+    : grid_(std::move(grid))
+{
+    if (grid_.cores.empty())
+        grid_.cores.assign(kAllCoreKinds.begin(),
+                           kAllCoreKinds.end());
+    prism_assert(grid_.numMasks >= 1 && grid_.numMasks <= 16,
+                 "numMasks must be in [1, 16], got %u",
+                 grid_.numMasks);
+    prism_assert(grid_.shardCount >= 1 &&
+                     grid_.shardIndex < grid_.shardCount,
+                 "bad shard %u/%u", grid_.shardIndex,
+                 grid_.shardCount);
+    for (const WorkloadSpec &spec : workloads) {
+        specs_.push_back(&spec);
+        workloads_.push_back(std::make_unique<Workload>());
+        workloads_.back()->spec = &spec;
+    }
+    prism_assert(!specs_.empty(), "sweep needs at least one workload");
+}
+
+DesignSpaceSweep::~DesignSpaceSweep() = default;
+
+std::size_t
+sweepGridSize(const SweepGrid &grid)
+{
+    const std::size_t cores =
+        grid.cores.empty() ? kAllCoreKinds.size() : grid.cores.size();
+    return cores * grid.numMasks;
+}
+
+std::vector<SweepPoint>
+DesignSpaceSweep::shardPoints() const
+{
+    std::vector<SweepPoint> points;
+    std::size_t gi = 0;
+    for (CoreKind core : grid_.cores) {
+        for (unsigned mask = 0; mask < grid_.numMasks;
+             ++mask, ++gi) {
+            if (gi % grid_.shardCount != grid_.shardIndex)
+                continue;
+            SweepPoint p;
+            p.gridIndex = gi;
+            p.core = core;
+            p.mask = mask;
+            p.name = coreConfig(core).name;
+            if (mask != 0) {
+                p.name += "-";
+                for (std::size_t i = 0; i < kAllBsas.size(); ++i) {
+                    if (mask & (1u << i))
+                        p.name += bsaLetter(kAllBsas[i]);
+                }
+            }
+            points.push_back(std::move(p));
+        }
+    }
+    return points;
+}
+
+std::vector<CoreKind>
+DesignSpaceSweep::shardCores() const
+{
+    std::array<bool, kAllCoreKinds.size()> need{};
+    need[static_cast<std::size_t>(grid_.refCore)] = true;
+    for (const SweepPoint &p : shardPoints())
+        need[static_cast<std::size_t>(p.core)] = true;
+    std::vector<CoreKind> cores;
+    for (CoreKind core : kAllCoreKinds) {
+        if (need[static_cast<std::size_t>(core)])
+            cores.push_back(core);
+    }
+    return cores;
+}
+
+void
+DesignSpaceSweep::load(ThreadPool &pool)
+{
+    pool.parallelFor(workloads_.size(),
+                     [&](std::size_t i) { workloads_[i]->load(); });
+}
+
+void
+DesignSpaceSweep::prepare(ThreadPool &pool)
+{
+    load(pool);
+    const std::vector<CoreKind> cores = shardCores();
+    // One task per (workload, core): a long-pole workload does not
+    // serialize its core models on one worker.
+    pool.parallelFor(
+        workloads_.size() * cores.size(), [&](std::size_t t) {
+            workloads_[t / cores.size()]->buildModel(
+                cores[t % cores.size()]);
+        });
+}
+
+void
+DesignSpaceSweep::dropModels()
+{
+    for (auto &w : workloads_) {
+        for (auto &m : w->models)
+            m.reset();
+    }
+}
+
+std::vector<SweepPoint>
+DesignSpaceSweep::run(ThreadPool &pool) const
+{
+    std::vector<SweepPoint> points = shardPoints();
+    const CoreKind ref = grid_.refCore;
+    pool.parallelFor(points.size(), [&](std::size_t i) {
+        SweepPoint &p = points[i];
+        std::vector<double> perf;
+        std::vector<double> eff;
+        perf.reserve(workloads_.size());
+        eff.reserve(workloads_.size());
+        for (const auto &w : workloads_) {
+            const ExoResult res = w->model(p.core).evaluate(p.mask);
+            const ExoResult &base = w->model(ref).baseline();
+            perf.push_back(static_cast<double>(base.cycles) /
+                           static_cast<double>(res.cycles));
+            eff.push_back(base.energy / res.energy);
+        }
+        p.speedup = geomean(perf);
+        p.energyEff = geomean(eff);
+        p.area = exoCoreArea(p.core, p.mask) / coreArea(ref);
+    });
+    return points;
+}
+
+std::string
+renderSweepTable(std::vector<SweepPoint> points)
+{
+    std::sort(points.begin(), points.end(),
+              [](const SweepPoint &a, const SweepPoint &b) {
+                  if (a.speedup != b.speedup)
+                      return a.speedup > b.speedup;
+                  return a.gridIndex < b.gridIndex;
+              });
+    Table t({"config", "speedup", "energy eff.", "area"});
+    for (const SweepPoint &p : points) {
+        t.addRow({p.name, fmt(p.speedup, 2), fmt(p.energyEff, 2),
+                  fmt(p.area, 2)});
+    }
+    return t.render();
+}
+
+} // namespace prism

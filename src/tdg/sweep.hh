@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Sharded design-space sweep driver: the paper's "record once,
+ * explore many configurations" loop (Section 2.6) as a reusable
+ * subsystem. A sweep is the cross product
+ *
+ *     workloads x cores x BSA subsets
+ *
+ * evaluated against a reference (core, no-BSA) baseline, exactly the
+ * Figure 12 characterization — but over any core list (up to all six
+ * CoreKinds, not just the Table 4 four) and sliceable into shards so
+ * independent processes (or CI jobs) each take a deterministic
+ * fraction of the grid.
+ *
+ * Determinism contract: the grid order is fixed (core-major,
+ * mask-minor, in the order `cores` was given), shard s of n takes
+ * points whose grid index i satisfies i % n == s (round-robin, so
+ * expensive cores spread across shards), and every metric is computed
+ * from per-workload results accumulated in workload order. The
+ * rendered table for a given (grid, shard) is therefore byte-
+ * identical across thread counts — the serial-vs-parallel check in
+ * the benches relies on this.
+ *
+ * Parallelism: workload loading, per-(workload, core) model
+ * construction, and per-point evaluation each fan out on the given
+ * pool. Construction tasks route their artifact-cache traffic
+ * through a per-task ArtifactCacheHandle and their scratch through
+ * the per-thread arenas (common/arena.hh), so workers do not contend
+ * on shared counters or the global allocator.
+ */
+
+#ifndef PRISM_TDG_SWEEP_HH
+#define PRISM_TDG_SWEEP_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "tdg/exocore.hh"
+#include "workloads/suite.hh"
+
+namespace prism
+{
+
+/** What to sweep: cores, subset count, baseline, and shard slice. */
+struct SweepGrid
+{
+    /** Cores to cross with BSA subsets (defaults to all six). */
+    std::vector<CoreKind> cores;
+    /** BSA subset masks [0, numMasks); 16 = every subset. */
+    unsigned numMasks = 16;
+    /** Baseline for speedup/energy normalization. */
+    CoreKind refCore = CoreKind::IO2;
+    /** Shard slice: this process takes grid indices i with
+     *  i % shardCount == shardIndex. */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
+};
+
+/** One evaluated (core, BSA-subset) grid point. */
+struct SweepPoint
+{
+    std::size_t gridIndex = 0; ///< position in the full grid order
+    CoreKind core = CoreKind::IO2;
+    unsigned mask = 0;
+    std::string name;       ///< e.g. "OOO2-SDN"
+    double speedup = 1.0;   ///< geomean vs refCore alone
+    double energyEff = 1.0; ///< geomean refCore energy / energy
+    double area = 1.0;      ///< vs refCore core area
+};
+
+/**
+ * A design-space sweep over a set of workloads. Usage:
+ *
+ *     DesignSpaceSweep sweep(grid, allWorkloads());
+ *     sweep.load(pool);              // traces + TDGs
+ *     sweep.prepare(pool);           // per-(workload, core) models
+ *     auto points = sweep.run(pool); // this shard's points
+ *
+ * load/prepare are mutate phases (each task writes its own slot);
+ * run is a read phase over const models. dropModels() returns to the
+ * pre-prepare state so timed legs can rebuild from scratch.
+ */
+class DesignSpaceSweep
+{
+  public:
+    DesignSpaceSweep(SweepGrid grid,
+                     std::span<const WorkloadSpec> workloads);
+    ~DesignSpaceSweep();
+
+    const SweepGrid &grid() const { return grid_; }
+
+    /** Grid points of this shard, in grid order, metrics unset. */
+    std::vector<SweepPoint> shardPoints() const;
+
+    /** Cores this shard needs models for (its points' cores plus the
+     *  reference core), in kAllCoreKinds order. */
+    std::vector<CoreKind> shardCores() const;
+
+    /** Load every workload (parallel; trace-cache-aware). */
+    void load(ThreadPool &pool);
+
+    /** Build every (workload, shard core) model, one task each. */
+    void prepare(ThreadPool &pool);
+
+    /** Drop built models (between timed legs). */
+    void dropModels();
+
+    /** Evaluate this shard's points (requires load + prepare). */
+    std::vector<SweepPoint> run(ThreadPool &pool) const;
+
+  private:
+    struct Workload;
+
+    SweepGrid grid_;
+    std::vector<const WorkloadSpec *> specs_;
+    std::vector<std::unique_ptr<Workload>> workloads_;
+};
+
+/**
+ * Render points as the paper-style table (sorted by speedup,
+ * descending; stable on ties by grid index). Fixed formatting: used
+ * as the byte-identity witness across thread counts and shards.
+ */
+std::string renderSweepTable(std::vector<SweepPoint> points);
+
+/** Total point count of the full (unsharded) grid. */
+std::size_t sweepGridSize(const SweepGrid &grid);
+
+} // namespace prism
+
+#endif // PRISM_TDG_SWEEP_HH

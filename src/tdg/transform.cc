@@ -51,15 +51,14 @@ appendCoreInsts(const Trace &trace, DynId b, DynId e, MStream &out,
             const std::int64_t p = di.srcProd[s];
             if (p == kNoProducer)
                 continue;
-            const auto it = dyn_to_idx.find(static_cast<DynId>(p));
-            if (it != dyn_to_idx.end())
-                mi.dep[s] = it->second;
+            if (const std::int64_t *idx =
+                    dyn_to_idx.find(static_cast<DynId>(p)))
+                mi.dep[s] = *idx;
         }
         if (mi.isLoad && di.memProd != kNoProducer) {
-            const auto it =
-                dyn_to_idx.find(static_cast<DynId>(di.memProd));
-            if (it != dyn_to_idx.end())
-                mi.memDep = it->second;
+            if (const std::int64_t *idx =
+                    dyn_to_idx.find(static_cast<DynId>(di.memProd)))
+                mi.memDep = *idx;
         }
         dyn_to_idx[i] = static_cast<std::int64_t>(out.size());
         out.push_back(std::move(mi));

@@ -15,6 +15,7 @@
 #define PRISM_TDG_TRANSFORM_HH
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -99,8 +100,62 @@ std::unique_ptr<BsaTransform> makeTransform(BsaKind kind, const Tdg &tdg,
 namespace xform
 {
 
-/** Map from absolute dynamic index to output-stream index. */
-using DynToIdx = std::unordered_map<DynId, std::int64_t>;
+/**
+ * Map from absolute dynamic index to output-stream index, flat over
+ * a rebind()-declared dynamic range.
+ *
+ * This used to be an unordered_map, and it dominated cold model
+ * construction: every BSA transform re-populated one map node per
+ * trace instruction per occurrence (~one allocation each, hundreds of
+ * thousands per model). All keys of one transform pass live inside
+ * the occurrence's [begin, end) dynamic range, so a vector indexed by
+ * (dyn - base) with an absent-sentinel does the same job with zero
+ * steady-state allocations — rebind() reuses capacity and lookups
+ * become a bounds check plus one load.
+ *
+ * Lookups outside the bound range (e.g. producers before the
+ * occurrence) simply miss, matching the old map semantics.
+ */
+class DynToIdx
+{
+  public:
+    /** Sentinel distinct from every legal stream index (>= -1). */
+    static constexpr std::int64_t kAbsent =
+        std::numeric_limits<std::int64_t>::min();
+
+    /** Forget all entries and re-arm for dynamic range [b, e).
+     *  Reuses storage: steady-state cost is one fill, no allocation. */
+    void
+    rebind(DynId b, DynId e)
+    {
+        base_ = b;
+        idx_.assign(static_cast<std::size_t>(e - b), kAbsent);
+    }
+
+    /** Pointer to d's mapped stream index, or nullptr when absent
+     *  (never inserted, or outside the bound range). */
+    const std::int64_t *
+    find(DynId d) const
+    {
+        if (d < base_)
+            return nullptr;
+        const std::size_t off = static_cast<std::size_t>(d - base_);
+        if (off >= idx_.size() || idx_[off] == kAbsent)
+            return nullptr;
+        return &idx_[off];
+    }
+
+    /** Slot for d; d must lie inside the bound range. */
+    std::int64_t &
+    operator[](DynId d)
+    {
+        return idx_[static_cast<std::size_t>(d - base_)];
+    }
+
+  private:
+    DynId base_ = 0;
+    std::vector<std::int64_t> idx_;
+};
 
 /**
  * Append trace range [b, e) as core-context instructions, resolving

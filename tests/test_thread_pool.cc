@@ -116,6 +116,155 @@ TEST(ThreadPool, ExceptionPropagatesToCaller)
     EXPECT_EQ(ran.load(), 50);
 }
 
+TEST(ThreadPool, ChunkSizeForMath)
+{
+    // The automatic grain targets ~8 chunks per context.
+    EXPECT_EQ(ThreadPool::chunkSizeFor(0, 4), 1u);
+    EXPECT_EQ(ThreadPool::chunkSizeFor(1, 4), 1u);
+    // n <= contexts * 8: one index per claim.
+    EXPECT_EQ(ThreadPool::chunkSizeFor(32, 4), 1u);
+    // Just past the threshold: ceil division kicks in.
+    EXPECT_EQ(ThreadPool::chunkSizeFor(33, 4), 2u);
+    EXPECT_EQ(ThreadPool::chunkSizeFor(1000, 1), 125u);
+    EXPECT_EQ(ThreadPool::chunkSizeFor(1000, 4), 32u);
+    // A degenerate context count never yields a zero chunk.
+    EXPECT_EQ(ThreadPool::chunkSizeFor(10, 0), 10u);
+}
+
+TEST(ThreadPool, ExplicitGrainCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t n = 257; // prime: never divides evenly
+    const std::size_t grains[] = {1, 3, 7, 64, 256, 1000};
+    for (const std::size_t grain : grains) {
+        std::vector<std::atomic<int>> counts(n);
+        pool.parallelFor(
+            n, [&](std::size_t i) { counts[i].fetch_add(1); },
+            grain);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(counts[i].load(), 1)
+                << "index " << i << " at grain " << grain;
+    }
+}
+
+TEST(ThreadPool, ChunkedClaimStress)
+{
+    // Hammer the lock-free claim protocol: many short loops back to
+    // back, grain 1 maximizing fetch-add contention on `next`.
+    ThreadPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+        const std::size_t n = 97 + static_cast<std::size_t>(round);
+        std::atomic<std::size_t> sum{0};
+        pool.parallelFor(
+            n, [&](std::size_t i) { sum.fetch_add(i + 1); }, 1);
+        ASSERT_EQ(sum.load(), n * (n + 1) / 2) << "round " << round;
+    }
+}
+
+TEST(ThreadPool, MapDeterministicAcrossGrains)
+{
+    // Result placement is by index, so the output must not depend on
+    // the chunking grain or the pool width.
+    ThreadPool serial(1);
+    ThreadPool wide(4);
+    constexpr std::size_t n = 1000;
+    const auto ref = parallelMapIndex(serial, n, [](std::size_t i) {
+        return static_cast<long>(i * 31 + 7);
+    });
+    const std::size_t grains[] = {1, 2, 17, 333};
+    for (const std::size_t grain : grains) {
+        std::vector<long> out(n);
+        wide.parallelFor(
+            n,
+            [&](std::size_t i) {
+                out[i] = static_cast<long>(i * 31 + 7);
+            },
+            grain);
+        ASSERT_EQ(out, ref) << "grain " << grain;
+    }
+}
+
+TEST(ThreadPool, MidChunkExceptionStopsRestOfChunk)
+{
+    // A single-chunk loop (grain >= n) runs inline on the caller, so
+    // items after the throwing index in the same chunk must never
+    // execute — the chunk body stops at the throw.
+    ThreadPool pool(4);
+    constexpr std::size_t n = 100;
+    std::vector<std::atomic<int>> counts(n);
+    EXPECT_THROW(pool.parallelFor(
+                     n,
+                     [&](std::size_t i) {
+                         if (i == 10)
+                             throw std::runtime_error("mid-chunk");
+                         counts[i].fetch_add(1);
+                     },
+                     n),
+                 std::runtime_error);
+    for (std::size_t i = 0; i < 10; ++i)
+        ASSERT_EQ(counts[i].load(), 1) << i;
+    for (std::size_t i = 10; i < n; ++i)
+        ASSERT_EQ(counts[i].load(), 0) << i;
+}
+
+TEST(ThreadPool, ExceptionUnderChunkingSkipsUnclaimedChunks)
+{
+    // Fine-grained chunking: the first exception must poison the
+    // claim cursor so unclaimed chunks are skipped, and the pool must
+    // stay usable afterwards.
+    ThreadPool pool(4);
+    std::atomic<std::size_t> ran{0};
+    EXPECT_THROW(pool.parallelFor(
+                     10'000,
+                     [&](std::size_t i) {
+                         if (i == 3)
+                             throw std::runtime_error("early");
+                         ran.fetch_add(1);
+                     },
+                     8),
+                 std::runtime_error);
+    EXPECT_LT(ran.load(), 10'000u); // i == 3 itself never counts
+    std::atomic<int> after{0};
+    pool.parallelFor(64, [&](std::size_t) { after.fetch_add(1); }, 4);
+    EXPECT_EQ(after.load(), 64);
+}
+
+TEST(ThreadPool, NestedSubmissionUnderChunking)
+{
+    // Nested loops with explicit grains: the inner call still makes
+    // progress with every context busy, and each (outer, inner) pair
+    // runs exactly once.
+    ThreadPool pool(4);
+    constexpr std::size_t outer = 24;
+    constexpr std::size_t inner = 100;
+    std::atomic<std::size_t> total{0};
+    pool.parallelFor(
+        outer,
+        [&](std::size_t) {
+            pool.parallelFor(
+                inner, [&](std::size_t j) { total.fetch_add(j); }, 9);
+        },
+        2);
+    EXPECT_EQ(total.load(), outer * (inner * (inner - 1) / 2));
+}
+
+TEST(ThreadPool, EffectiveContextsClampedToAvailableCpus)
+{
+    // size() reports the request; effectiveContexts() what actually
+    // runs after the availableParallelism() clamp.
+    const unsigned avail = availableParallelism();
+    ThreadPool big(avail + 63);
+    EXPECT_EQ(big.size(), avail + 63);
+    if (!std::getenv("PRISM_OVERSUBSCRIBE"))
+        EXPECT_EQ(big.effectiveContexts(), avail);
+    ThreadPool one(1);
+    EXPECT_EQ(one.effectiveContexts(), 1u);
+    // A clamped pool still executes every index.
+    std::atomic<int> ran{0};
+    big.parallelFor(500, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 500);
+}
+
 TEST(ThreadPool, PrismThreadsEnvOverride)
 {
     const char *saved = std::getenv("PRISM_THREADS");
