@@ -268,6 +268,7 @@ BM_SimdTransform(benchmark::State &state)
     const Tdg &tdg = fixture().lw->tdg();
     const TdgAnalyzer an(tdg);
     for (auto _ : state) {
+        std::uint64_t emitted = 0;
         SimdTransform tf(tdg, an);
         for (const Loop &loop : tdg.loops().loops()) {
             if (!tf.canTarget(loop.id))
@@ -275,8 +276,9 @@ BM_SimdTransform(benchmark::State &state)
             const TransformOutput out =
                 tf.transformLoop(loop.id,
                                  tdg.occurrencesOf(loop.id));
-            benchmark::DoNotOptimize(out.stream.size());
+            emitted += out.stream.size();
         }
+        state.SetItemsProcessed(state.items_processed() + emitted);
     }
 }
 BENCHMARK(BM_SimdTransform)->Unit(benchmark::kMillisecond);
@@ -333,9 +335,13 @@ void
 BM_AnalyzerPasses(benchmark::State &state)
 {
     const Tdg &tdg = fixture().lw->tdg();
+    // Items = loops analyzed: the passes consume per-loop profiles,
+    // not the raw trace, so instruction counts would overstate.
+    const std::size_t loops = tdg.loops().numLoops();
     for (auto _ : state) {
         const TdgAnalyzer an(tdg);
         benchmark::DoNotOptimize(&an);
+        state.SetItemsProcessed(state.items_processed() + loops);
     }
 }
 BENCHMARK(BM_AnalyzerPasses)->Unit(benchmark::kMillisecond);
@@ -502,7 +508,10 @@ BM_DesignSpaceSweep(benchmark::State &state)
             std::chrono::steady_clock::now() - s0)
             .count();
 
-    const std::size_t points = sweepGridSize(sweep.grid());
+    // Items = trace instructions re-modeled per leg: every shard
+    // core rebuilds its per-workload model from the full trace.
+    const std::size_t leg_insts =
+        sweep.loadedInsts() * sweep.shardCores().size();
     double secs = 0;
     std::string table;
     for (auto _ : state) {
@@ -511,7 +520,8 @@ BM_DesignSpaceSweep(benchmark::State &state)
         secs += std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
-        state.SetItemsProcessed(state.items_processed() + points);
+        state.SetItemsProcessed(state.items_processed() +
+                                leg_insts);
     }
     if (table != serial_table) {
         state.SkipWithError("parallel sweep diverged from serial");
@@ -880,6 +890,31 @@ runPerfCheck(const char *json_path)
                   return tdg.trace().size() * kBatch;
               }));
         std::filesystem::remove_all(dir);
+    }
+
+    // Event-driven reference-simulator throughput, full-stream and
+    // windowed: the expensive engine behind sampled cross-validation
+    // must stay fast enough to validate against.
+    {
+        const MStream stream = buildCoreStream(tdg.trace());
+        const CycleCoreSim sim(coreConfig(CoreKind::OOO2));
+        check("BM_CycleAccurateReference", measureRate([&] {
+                  benchmark::DoNotOptimize(sim.run(stream));
+                  return stream.size();
+              }));
+        RefSimScratch ss;
+        check("BM_CycleAccurateReferenceStreamed",
+              measureRate([&] {
+                  sim.begin(ss);
+                  for (std::size_t b = 0; b < stream.size();
+                       b += kChunk)
+                      sim.feed(ss, stream, b,
+                               std::min(b + kChunk,
+                                        stream.size()));
+                  benchmark::DoNotOptimize(
+                      sim.finishRun(ss, stream));
+                  return stream.size();
+              }));
     }
 
     std::printf("perf-check: %s\n", ok ? "PASS" : "FAIL");

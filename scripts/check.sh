@@ -4,8 +4,9 @@
 #   2. an UndefinedBehaviorSanitizer build + the tier-1 suite
 #      (findings abort: -fno-sanitize-recover=undefined),
 #   3. a ThreadSanitizer build running the concurrency label (the
-#      thread-pool and sweep-driver suites) — the chunked lock-free
-#      claim path and the per-thread cache handles are only trusted
+#      thread-pool, sweep-driver, and sampled-validation suites) —
+#      the chunked lock-free claim path, the per-thread cache
+#      handles, and the parallel sample fan-out are only trusted
 #      once TSan has watched them run,
 #   4. an optimized build running the lint label (prism_lint over
 #      every shipped workload and BSA transform, the static-analysis
@@ -56,7 +57,7 @@ cmake -B "$tsan_build" -S "$repo" -DPRISM_SANITIZE=thread
 
 echo "== build (TSan) =="
 cmake --build "$tsan_build" -j "$(nproc)" \
-    --target test_thread_pool test_sweep
+    --target test_thread_pool test_sweep test_sampled_validate
 
 echo "== concurrency tests (TSan) =="
 # PRISM_OVERSUBSCRIBE: on few-CPU hosts the worker clamp would leave

@@ -299,7 +299,7 @@ storeModelTables(const ArtifactCache &cache, const std::string &name,
     const ModelTables t = model.tables();
     cache.store(
         kModelKind, name,
-        modelArtifactKey(model.analyzer().tdg().trace().program(),
+        modelArtifactKey(model.tdg().trace().program(),
                          max_insts, model.config(), code_version),
         [&](ArtifactWriter &w) {
             writeExoResult(w, t.baseline);

@@ -107,11 +107,11 @@ BenchmarkModel::BenchmarkModel(const Tdg &tdg, CoreKind core)
 
 BenchmarkModel::BenchmarkModel(const Tdg &tdg, CoreKind core,
                                const PipelineConfig &cfg)
-    : tdg_(&tdg), core_(core), pcfg_(cfg)
+    : tdg_(&tdg), core_(core), pcfg_(cfg),
+      energyModel_(pcfg_.core,
+                   static_cast<unsigned>(kAllBsas.size()))
 {
-    analyzer_ = std::make_unique<TdgAnalyzer>(tdg);
-    energyModel_ = std::make_unique<EnergyModel>(
-        pcfg_.core, static_cast<unsigned>(kAllBsas.size()));
+    analyzer(); // cold builds consult it throughout
     // One construction = one arena generation (see arena.hh).
     modelScratch().arena.reset();
     evaluateBaseline();
@@ -121,19 +121,27 @@ BenchmarkModel::BenchmarkModel(const Tdg &tdg, CoreKind core,
 BenchmarkModel::BenchmarkModel(const Tdg &tdg, CoreKind core,
                                ModelTables tables)
     : tdg_(&tdg), core_(core),
-      pcfg_{.core = coreConfig(core)}
+      pcfg_{.core = coreConfig(core)},
+      energyModel_(pcfg_.core,
+                   static_cast<unsigned>(kAllBsas.size()))
 {
     prism_assert(tables.loopEvals.size() ==
                      tdg.loops().numLoops(),
                  "model tables do not match this TDG");
-    analyzer_ = std::make_unique<TdgAnalyzer>(tdg);
-    energyModel_ = std::make_unique<EnergyModel>(
-        pcfg_.core, static_cast<unsigned>(kAllBsas.size()));
     baseline_ = std::move(tables.baseline);
     loopEvals_ = std::move(tables.loopEvals);
     occBaseStart_ = std::move(tables.occBaseStart);
     occBaseCycles_ = std::move(tables.occBaseCycles);
     occBaseEnergy_ = std::move(tables.occBaseEnergy);
+}
+
+const TdgAnalyzer &
+BenchmarkModel::analyzer() const
+{
+    std::call_once(analyzerOnce_, [this] {
+        analyzer_ = std::make_unique<TdgAnalyzer>(*tdg_);
+    });
+    return *analyzer_;
 }
 
 ModelTables
@@ -177,7 +185,7 @@ BenchmarkModel::evaluateBaseline()
 
     baseline_.cycles = ts.cycles();
     baseline_.energy =
-        energyModel_->energy(ts.events, baseline_.cycles);
+        energyModel_.energy(ts.events, baseline_.cycles);
     baseline_.unitCycles[0] = baseline_.cycles;
     baseline_.unitEnergy[0] = baseline_.energy;
 
@@ -203,7 +211,7 @@ BenchmarkModel::evaluateBaseline()
             tallyEvents(trace, occ.begin, occ.end,
                         pcfg_.l1HitLatency, pcfg_.l2HitLatency);
         occBaseEnergy_[k] =
-            energyModel_->energy(ev, occBaseCycles_[k]);
+            energyModel_.energy(ev, occBaseCycles_[k]);
     }
 
     // Fill each loop's GPP evaluation.
@@ -235,7 +243,7 @@ BenchmarkModel::evaluateBsas()
     TimingScratch &ts = modelScratch().ts;
     ScratchArena &arena = modelScratch().arena;
     for (BsaKind bsa : kAllBsas) {
-        auto transform = makeTransform(bsa, *tdg_, *analyzer_);
+        auto transform = makeTransform(bsa, *tdg_, analyzer());
         const int u = unitIndex(bsa);
         for (const Loop &loop : tdg_->loops().loops()) {
             if (!transform->canTarget(loop.id))
@@ -293,7 +301,7 @@ BenchmarkModel::evaluateBsas()
             }
             ev.gatedCycles = gated;
             ev.energy =
-                energyModel_->energy(ts.events, ev.cycles, gated);
+                energyModel_.energy(ts.events, ev.cycles, gated);
         }
     }
 }

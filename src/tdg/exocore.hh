@@ -21,6 +21,7 @@
 
 #include <array>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "energy/energy_model.hh"
@@ -138,14 +139,25 @@ class BenchmarkModel
     /**
      * Warm-cache construction: adopt previously computed evaluation
      * tables instead of running the timing engine. Skips baseline
-     * and BSA timing entirely; only the cheap analyzer and energy
-     * model are rebuilt (schedulers consult them).
+     * and BSA timing entirely — and the legality analyzer, which is
+     * built lazily on first use (schedulers consult it; plain
+     * evaluate() never does), so adopting tables performs no heap
+     * allocation beyond the tables themselves.
      */
     BenchmarkModel(const Tdg &tdg, CoreKind core, ModelTables tables);
 
     CoreKind core() const { return core_; }
     const PipelineConfig &config() const { return pcfg_; }
-    const TdgAnalyzer &analyzer() const { return *analyzer_; }
+    const Tdg &tdg() const { return *tdg_; }
+
+    /**
+     * Loop/transform legality analysis, built on first use. The cold
+     * constructor needs it immediately (the BSA evaluations consult
+     * it); a table-adopting warm build never does unless a scheduler
+     * or caller asks, so warm construction stays allocation-free.
+     * Thread-safe: concurrent readers race to a single build.
+     */
+    const TdgAnalyzer &analyzer() const;
 
     /** Snapshot of the evaluation tables (for the artifact cache). */
     ModelTables tables() const;
@@ -184,8 +196,9 @@ class BenchmarkModel
     const Tdg *tdg_;
     CoreKind core_;
     PipelineConfig pcfg_;
-    std::unique_ptr<TdgAnalyzer> analyzer_;
-    std::unique_ptr<EnergyModel> energyModel_;
+    mutable std::once_flag analyzerOnce_;
+    mutable std::unique_ptr<TdgAnalyzer> analyzer_;
+    EnergyModel energyModel_;
 
     ExoResult baseline_;
     std::vector<LoopEval> loopEvals_;

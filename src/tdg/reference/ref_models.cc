@@ -19,6 +19,86 @@ pow2AtLeast(std::size_t n)
     return cap;
 }
 
+constexpr std::uint32_t kNil = RefSimScratch::kNil;
+constexpr std::uint32_t kWakeMarker = RefSimScratch::kWakeMarker;
+constexpr Cycle kNever = RefSimScratch::kNever;
+constexpr std::size_t kHorizon = RefSimScratch::kHorizon;
+constexpr std::size_t kSlotMask = kHorizon - 1;
+
+/**
+ * Schedule a calendar visit at cycle `c` (> now). Completion events
+ * carry the retiring stream index; kWakeMarker just forces a visit
+ * (engine completions and future ready times), and is dropped when
+ * the bucket is already occupied — one visit suffices.
+ */
+void
+pushEvent(RefSimScratch &ss, Cycle c, std::uint32_t payload)
+{
+    if (c - ss.now >= kHorizon) {
+        ss.farEvents.emplace_back(c, payload);
+        if (c < ss.farMin)
+            ss.farMin = c;
+        return;
+    }
+    const std::size_t slot = c & kSlotMask;
+    std::vector<std::uint32_t> &bucket = ss.calendar[slot];
+    if (bucket.empty())
+        ss.calBits[slot >> 6] |= 1ull << (slot & 63);
+    else if (payload == kWakeMarker)
+        return;
+    bucket.push_back(payload);
+}
+
+/**
+ * Producer `idx` became available at cycle `avail`: fold the
+ * availability (+ edge latency) into every waiter's readyAt and
+ * release its dependence count. Wakes only happen on cycles with
+ * machine activity, so the following cycle is always visited and its
+ * issue scans will see (and, if needed, schedule markers for) the
+ * newly resolved consumers.
+ */
+void
+wakeWaiters(RefSimScratch &ss, std::uint32_t idx, Cycle avail)
+{
+    std::uint32_t e = ss.waiterHead[idx];
+    ss.waiterHead[idx] = kNil;
+    while (e != kNil) {
+        const RefSimScratch::WaiterEdge &ed = ss.edges[e];
+        const Cycle t = avail + ed.lat;
+        if (t > ss.readyAt[ed.consumer])
+            ss.readyAt[ed.consumer] = t;
+        --ss.depCount[ed.consumer];
+        e = ed.next;
+    }
+}
+
+/** Cycle of the earliest pending calendar event, or kNever. */
+Cycle
+nextEventCycle(const RefSimScratch &ss)
+{
+    Cycle best = ss.farMin;
+    const std::size_t start = (ss.now + 1) & kSlotMask;
+    std::size_t best_dist = kHorizon;
+    for (std::size_t w = 0; w < kHorizon / 64; ++w) {
+        std::uint64_t word = ss.calBits[w];
+        while (word != 0) {
+            const unsigned bit =
+                static_cast<unsigned>(__builtin_ctzll(word));
+            word &= word - 1;
+            const std::size_t slot = w * 64 + bit;
+            const std::size_t dist = (slot - start) & kSlotMask;
+            if (dist < best_dist)
+                best_dist = dist;
+        }
+    }
+    if (best_dist < kHorizon) {
+        const Cycle ring_next = ss.now + 1 + best_dist;
+        if (ring_next < best)
+            best = ring_next;
+    }
+    return best;
+}
+
 } // namespace
 
 void
@@ -26,6 +106,13 @@ CycleCoreSim::begin(RefSimScratch &ss) const
 {
     ss.done.clear();
     ss.doneAt.clear();
+    ss.readyAt.clear();
+    ss.depCount.clear();
+    ss.waiterHead.clear();
+    ss.nextWaiting.clear();
+    ss.effLat.clear();
+    ss.meta.clear();
+    ss.edges.clear();
 
     ss.robCap = core_.inorder ? 2 * core_.width : core_.robSize;
     ss.iqCap = core_.inorder ? core_.width : core_.instWindow;
@@ -36,6 +123,9 @@ CycleCoreSim::begin(RefSimScratch &ss) const
     ss.robMask = rob_store - 1;
     ss.robHead = 0;
     ss.robCount = 0;
+    ss.waitHead = kNil;
+    ss.waitTail = kNil;
+    ss.waitCount = 0;
 
     ss.fbCap = 3 * core_.width;
     const std::size_t fb_store =
@@ -56,7 +146,24 @@ CycleCoreSim::begin(RefSimScratch &ss) const
         ss.engines[k].params = *params[k];
         ss.engines[k].pool.clear();
         ss.engines[k].pool.reserve(params[k]->window);
+        ss.engines[k].issuedCount = 0;
+        ss.engines[k].minDoneAt = kNever;
     }
+
+    if (ss.calendar.size() != kHorizon)
+        ss.calendar.resize(kHorizon);
+    for (std::size_t w = 0; w < kHorizon / 64; ++w) {
+        std::uint64_t word = ss.calBits[w];
+        while (word != 0) {
+            const unsigned bit =
+                static_cast<unsigned>(__builtin_ctzll(word));
+            word &= word - 1;
+            ss.calendar[w * 64 + bit].clear();
+        }
+        ss.calBits[w] = 0;
+    }
+    ss.farEvents.clear();
+    ss.farMin = kNever;
 
     ss.blockingBranch = -1;
     ss.fetchAllowedAt = 0;
@@ -67,6 +174,8 @@ CycleCoreSim::begin(RefSimScratch &ss) const
     ss.fetched = 0;
     ss.midIntake = false;
     ss.finalized = false;
+    ss.cycleActivity = false;
+    ss.fetchWait = false;
 }
 
 void
@@ -76,10 +185,60 @@ CycleCoreSim::feed(RefSimScratch &ss, const MStream &stream,
     prism_assert(b == ss.done.size(),
                  "reference sim windows must be consecutive");
     prism_assert(e <= stream.size(), "window beyond stream");
+    prism_assert(e < static_cast<std::size_t>(kNil),
+                 "stream too large for 32-bit sim indices");
     if (e <= b)
         return;
     ss.done.resize(e, 0);
     ss.doneAt.resize(e, 0);
+    ss.readyAt.resize(e, 0);
+    ss.depCount.resize(e, 0);
+    ss.waiterHead.resize(e, kNil);
+    ss.nextWaiting.resize(e, kNil);
+    ss.effLat.resize(e, 0);
+    ss.meta.resize(e, 0);
+
+    // Hoist per-inst metadata and build the wakeup table: producers
+    // already done fold straight into readyAt; in-flight producers
+    // get a waiter edge and a pending dependence count.
+    for (std::size_t i = b; i < e; ++i) {
+        const MInst &mi = stream[i];
+        ss.effLat[i] = static_cast<std::uint16_t>(std::max<Cycle>(
+            mi.isLoad ? mi.memLat : mi.lat, 1));
+        std::uint8_t m = 0;
+        if (mi.fu != FuClass::None) {
+            m |= RefSimScratch::kMetaHasFu |
+                 static_cast<std::uint8_t>(fuPoolIndex(mi.fu));
+        }
+        if (mi.isLoad || mi.isStore)
+            m |= RefSimScratch::kMetaIsMem;
+        if (opInfo(mi.op).writesDst)
+            m |= RefSimScratch::kMetaWritesDst;
+        ss.meta[i] = m;
+
+        auto link = [&ss, i](std::int32_t d, std::uint16_t lat) {
+            if (d < 0)
+                return;
+            if (ss.done[d]) {
+                const Cycle t = ss.doneAt[d] + lat;
+                if (t > ss.readyAt[i])
+                    ss.readyAt[i] = t;
+            } else {
+                ss.edges.push_back(
+                    {static_cast<std::uint32_t>(i),
+                     ss.waiterHead[d], lat});
+                ss.waiterHead[d] =
+                    static_cast<std::uint32_t>(ss.edges.size() - 1);
+                ++ss.depCount[i];
+            }
+        };
+        for (std::int32_t d : mi.dep)
+            link(d, 0);
+        link(mi.memDep, 0);
+        for (const ExtraDep &xd : stream.extraDeps(i))
+            link(xd.idx, xd.lat);
+    }
+
     ss.remaining += e - b;
     advance(ss, stream);
 }
@@ -100,9 +259,6 @@ void
 CycleCoreSim::advance(RefSimScratch &ss,
                       const MStream &stream) const
 {
-    using Entry = RefSimScratch::Entry;
-    using St = RefSimScratch::St;
-
     const std::size_t navail = ss.done.size();
     const Cycle hard_limit =
         static_cast<Cycle>(navail) * 600 + 100000;
@@ -116,27 +272,16 @@ CycleCoreSim::advance(RefSimScratch &ss,
         }
     };
 
-    auto deps_ready = [&](std::size_t idx) {
-        const MInst &mi = stream[idx];
-        for (std::int32_t d : mi.dep) {
-            if (d >= 0 &&
-                !(ss.done[d] && ss.doneAt[d] <= ss.now)) {
-                return false;
-            }
+    // Completion of core-context index `idx` (calendar payload).
+    auto complete_core = [this, &ss](std::uint32_t idx) {
+        ss.done[idx] = 1;
+        wakeWaiters(ss, idx, ss.doneAt[idx]);
+        if (static_cast<std::int64_t>(idx) == ss.blockingBranch) {
+            ss.blockingBranch = -1;
+            ss.fetchAllowedAt =
+                ss.doneAt[idx] + core_.mispredictPenalty;
         }
-        if (mi.memDep >= 0 &&
-            !(ss.done[mi.memDep] &&
-              ss.doneAt[mi.memDep] <= ss.now)) {
-            return false;
-        }
-        for (const ExtraDep &xd : stream.extraDeps(idx)) {
-            if (xd.idx >= 0 &&
-                !(ss.done[xd.idx] &&
-                  ss.doneAt[xd.idx] + xd.lat <= ss.now)) {
-                return false;
-            }
-        }
-        return true;
+        ss.cycleActivity = true;
     };
 
     for (;;) {
@@ -146,151 +291,235 @@ CycleCoreSim::advance(RefSimScratch &ss,
             if (ss.remaining == 0)
                 return;
             prism_assert(ss.now < hard_limit, "cycle sim deadlock");
+            ss.cycleActivity = false;
+            ss.fetchWait = false;
 
             // ---- Completion / writeback ----
-            for (std::size_t k = 0; k < ss.robCount; ++k) {
-                Entry &e =
-                    ss.rob[(ss.robHead + k) & ss.robMask];
-                if (e.state == St::Issued && !ss.done[e.idx] &&
-                    e.doneAt <= ss.now) {
-                    ss.done[e.idx] = 1;
-                    ss.doneAt[e.idx] = e.doneAt;
-                    if (static_cast<std::int64_t>(e.idx) ==
-                        ss.blockingBranch) {
-                        ss.blockingBranch = -1;
-                        ss.fetchAllowedAt =
-                            e.doneAt + core_.mispredictPenalty;
+            // Drain this cycle's calendar bucket: core completions
+            // wake their waiters; markers only forced the visit.
+            {
+                const std::size_t slot = ss.now & kSlotMask;
+                if (ss.calBits[slot >> 6] & (1ull << (slot & 63))) {
+                    std::vector<std::uint32_t> &bucket =
+                        ss.calendar[slot];
+                    for (std::uint32_t p : bucket) {
+                        if (p != kWakeMarker)
+                            complete_core(p);
                     }
+                    bucket.clear();
+                    ss.calBits[slot >> 6] &= ~(1ull << (slot & 63));
+                }
+                if (ss.farMin <= ss.now) {
+                    Cycle nmin = kNever;
+                    std::size_t w = 0;
+                    for (std::size_t i = 0; i < ss.farEvents.size();
+                         ++i) {
+                        if (ss.farEvents[i].first <= ss.now) {
+                            if (ss.farEvents[i].second != kWakeMarker)
+                                complete_core(ss.farEvents[i].second);
+                        } else {
+                            if (ss.farEvents[i].first < nmin)
+                                nmin = ss.farEvents[i].first;
+                            ss.farEvents[w++] = ss.farEvents[i];
+                        }
+                    }
+                    ss.farEvents.resize(w);
+                    ss.farMin = nmin;
                 }
             }
             for (RefSimScratch::EnginePool &eng : ss.engines) {
+                if (eng.issuedCount == 0 || eng.minDoneAt > ss.now)
+                    continue;
                 unsigned wb_used = 0;
-                for (Entry &e : eng.pool) {
-                    if (e.state != St::Issued || e.doneAt > ss.now)
+                Cycle nmin = kNever;
+                bool retired = false;
+                for (RefSimScratch::EngineEntry &e : eng.pool) {
+                    if (!e.issued)
                         continue;
-                    const MInst &mi = stream[e.idx];
+                    if (e.doneAt > ss.now) {
+                        if (e.doneAt < nmin)
+                            nmin = e.doneAt;
+                        continue;
+                    }
                     const bool needs_wb =
-                        opInfo(mi.op).writesDst &&
+                        (ss.meta[e.idx] &
+                         RefSimScratch::kMetaWritesDst) != 0 &&
                         eng.params.wbBusWidth > 0;
                     if (needs_wb &&
                         wb_used >= eng.params.wbBusWidth) {
-                        continue; // bus full; retry next cycle
+                        // Bus full; retry next cycle (doneAt <= now
+                        // keeps the retire trigger armed).
+                        if (e.doneAt < nmin)
+                            nmin = e.doneAt;
+                        continue;
                     }
                     if (needs_wb)
                         ++wb_used;
                     ss.done[e.idx] = 1;
                     ss.doneAt[e.idx] = ss.now;
+                    wakeWaiters(ss, e.idx, ss.now);
                     --ss.remaining;
+                    --eng.issuedCount;
+                    retired = true;
+                    ss.cycleActivity = true;
                 }
-                eng.pool.erase(
-                    std::remove_if(eng.pool.begin(),
-                                   eng.pool.end(),
-                                   [&ss](const Entry &e) {
-                                       return ss.done[e.idx] != 0;
-                                   }),
-                    eng.pool.end());
+                eng.minDoneAt = nmin;
+                if (retired) {
+                    eng.pool.erase(
+                        std::remove_if(
+                            eng.pool.begin(), eng.pool.end(),
+                            [&ss](const RefSimScratch::EngineEntry
+                                      &e) {
+                                return ss.done[e.idx] != 0;
+                            }),
+                        eng.pool.end());
+                }
             }
 
             // ---- Core commit ----
             for (unsigned k = 0;
                  k < core_.width && ss.robCount > 0; ++k) {
-                if (!ss.done[ss.rob[ss.robHead & ss.robMask].idx])
+                if (!ss.done[ss.rob[ss.robHead & ss.robMask]])
                     break;
                 ss.robHead = (ss.robHead + 1) & ss.robMask;
                 --ss.robCount;
                 --ss.remaining;
+                ss.cycleActivity = true;
             }
 
             // ---- Core issue ----
-            unsigned issued = 0;
-            unsigned iq_scanned = 0;
-            for (std::size_t k = 0; k < ss.robCount; ++k) {
-                Entry &e =
-                    ss.rob[(ss.robHead + k) & ss.robMask];
-                if (issued >= core_.width)
-                    break;
-                if (e.state != St::Waiting)
-                    continue;
-                if (++iq_scanned > ss.iqCap)
-                    break;
-                const MInst &mi = stream[e.idx];
-                if (!deps_ready(e.idx)) {
-                    if (core_.inorder)
+            // Walk only the waiting list (program order), at most
+            // iqCap entries — identical scan semantics to the
+            // original full-ROB pass, which skipped issued entries.
+            {
+                unsigned issued = 0;
+                unsigned iq_scanned = 0;
+                Cycle min_future = kNever;
+                std::uint32_t prev = kNil;
+                std::uint32_t cur = ss.waitHead;
+                while (cur != kNil && issued < core_.width) {
+                    if (++iq_scanned > ss.iqCap)
                         break;
-                    continue;
-                }
-                Cycle *unit = nullptr;
-                if (mi.fu != FuClass::None) {
-                    auto &pool = ss.fus[fuPoolIndex(mi.fu)];
-                    for (Cycle &u : pool) {
-                        if (u <= ss.now) {
-                            unit = &u;
-                            break;
-                        }
-                    }
-                    if (unit == nullptr) {
+                    const std::uint32_t nxt = ss.nextWaiting[cur];
+                    if (ss.depCount[cur] != 0) {
                         if (core_.inorder)
                             break;
+                        prev = cur;
+                        cur = nxt;
                         continue;
                     }
+                    if (ss.readyAt[cur] > ss.now) {
+                        if (ss.readyAt[cur] < min_future)
+                            min_future = ss.readyAt[cur];
+                        if (core_.inorder)
+                            break;
+                        prev = cur;
+                        cur = nxt;
+                        continue;
+                    }
+                    Cycle *unit = nullptr;
+                    const std::uint8_t m = ss.meta[cur];
+                    if (m & RefSimScratch::kMetaHasFu) {
+                        auto &pool =
+                            ss.fus[m & RefSimScratch::kMetaFuMask];
+                        for (Cycle &u : pool) {
+                            if (u <= ss.now) {
+                                unit = &u;
+                                break;
+                            }
+                        }
+                        if (unit == nullptr) {
+                            // FU busy-until is only ever now+1, so a
+                            // blocked pool implies an issue happened
+                            // this cycle: next cycle is visited.
+                            if (core_.inorder)
+                                break;
+                            prev = cur;
+                            cur = nxt;
+                            continue;
+                        }
+                    }
+                    ss.doneAt[cur] = ss.now + ss.effLat[cur];
+                    pushEvent(ss, ss.doneAt[cur], cur);
+                    if (unit != nullptr)
+                        *unit = ss.now + 1;
+                    ++issued;
+                    ss.cycleActivity = true;
+                    if (prev == kNil)
+                        ss.waitHead = nxt;
+                    else
+                        ss.nextWaiting[prev] = nxt;
+                    if (cur == ss.waitTail)
+                        ss.waitTail = prev;
+                    --ss.waitCount;
+                    cur = nxt;
                 }
-                const Cycle lat = std::max<Cycle>(
-                    mi.isLoad ? mi.memLat : mi.lat, 1);
-                e.state = St::Issued;
-                e.doneAt = ss.now + lat;
-                if (unit != nullptr)
-                    *unit = ss.now + 1;
-                ++issued;
+                if (min_future != kNever)
+                    pushEvent(ss, min_future, kWakeMarker);
             }
 
             // ---- Engine issue ----
             for (RefSimScratch::EnginePool &eng : ss.engines) {
+                if (eng.pool.size() == eng.issuedCount)
+                    continue; // nothing waiting
                 unsigned eng_issued = 0;
                 unsigned mem_issued = 0;
-                for (Entry &e : eng.pool) {
+                Cycle min_future = kNever;
+                for (RefSimScratch::EngineEntry &e : eng.pool) {
                     if (eng_issued >= eng.params.issueWidth)
                         break;
-                    if (e.state != St::Waiting)
+                    if (e.issued)
                         continue;
-                    const MInst &mi = stream[e.idx];
-                    const bool is_mem = mi.isLoad || mi.isStore;
+                    const bool is_mem =
+                        (ss.meta[e.idx] &
+                         RefSimScratch::kMetaIsMem) != 0;
                     if (is_mem && eng.params.memPorts > 0 &&
                         mem_issued >= eng.params.memPorts) {
                         continue;
                     }
-                    if (!deps_ready(e.idx))
+                    if (ss.depCount[e.idx] != 0)
                         continue;
-                    const Cycle lat = std::max<Cycle>(
-                        mi.isLoad ? mi.memLat : mi.lat, 1);
-                    e.state = St::Issued;
-                    e.doneAt = ss.now + lat;
+                    if (ss.readyAt[e.idx] > ss.now) {
+                        if (ss.readyAt[e.idx] < min_future)
+                            min_future = ss.readyAt[e.idx];
+                        continue;
+                    }
+                    e.issued = 1;
+                    e.doneAt = ss.now + ss.effLat[e.idx];
+                    if (e.doneAt < eng.minDoneAt)
+                        eng.minDoneAt = e.doneAt;
+                    ++eng.issuedCount;
+                    pushEvent(ss, e.doneAt, kWakeMarker);
                     ++eng_issued;
                     if (is_mem)
                         ++mem_issued;
+                    ss.cycleActivity = true;
                 }
+                if (min_future != kNever)
+                    pushEvent(ss, min_future, kWakeMarker);
             }
 
             // ---- Core dispatch (gated by ROB/IQ occupancy) ----
-            unsigned waiting = 0;
-            if (!core_.inorder) {
-                for (std::size_t k = 0; k < ss.robCount; ++k) {
-                    waiting +=
-                        ss.rob[(ss.robHead + k) & ss.robMask]
-                            .state == St::Waiting;
-                }
-            }
             for (unsigned k = 0;
                  k < core_.width && ss.fbCount > 0 &&
                  ss.robCount < ss.robCap &&
-                 (core_.inorder || waiting < ss.iqCap);
+                 (core_.inorder || ss.waitCount < ss.iqCap);
                  ++k) {
-                Entry e;
-                e.idx = ss.fetchBuf[ss.fbHead & ss.fbMask];
+                const std::uint32_t idx =
+                    ss.fetchBuf[ss.fbHead & ss.fbMask];
                 ss.fbHead = (ss.fbHead + 1) & ss.fbMask;
                 --ss.fbCount;
-                ss.rob[(ss.robHead + ss.robCount) & ss.robMask] = e;
+                ss.rob[(ss.robHead + ss.robCount) & ss.robMask] =
+                    idx;
                 ++ss.robCount;
-                ++waiting;
+                ss.nextWaiting[idx] = kNil;
+                if (ss.waitTail == kNil)
+                    ss.waitHead = idx;
+                else
+                    ss.nextWaiting[ss.waitTail] = idx;
+                ss.waitTail = idx;
+                ++ss.waitCount;
+                ss.cycleActivity = true;
             }
 
             while (ss.prefixDone < navail &&
@@ -316,6 +545,8 @@ CycleCoreSim::advance(RefSimScratch &ss,
             if (mi.unit == ExecUnit::Core) {
                 if (ss.blockingBranch != -1 ||
                     ss.now < ss.fetchAllowedAt) {
+                    if (ss.blockingBranch == -1)
+                        ss.fetchWait = true;
                     stalled = true;
                     break;
                 }
@@ -325,9 +556,10 @@ CycleCoreSim::advance(RefSimScratch &ss,
                     break;
                 }
                 ss.fetchBuf[(ss.fbHead + ss.fbCount) & ss.fbMask] =
-                    ss.nextIntake;
+                    static_cast<std::uint32_t>(ss.nextIntake);
                 ++ss.fbCount;
                 ++ss.fetched;
+                ss.cycleActivity = true;
                 if (mi.isCondBranch && mi.mispredicted) {
                     ss.blockingBranch =
                         static_cast<std::int64_t>(ss.nextIntake);
@@ -350,17 +582,32 @@ CycleCoreSim::advance(RefSimScratch &ss,
                     stalled = true;
                     break;
                 }
-                Entry e;
-                e.idx = ss.nextIntake;
+                RefSimScratch::EngineEntry e;
+                e.idx = static_cast<std::uint32_t>(ss.nextIntake);
                 eng.pool.push_back(e);
                 ++ss.nextIntake;
+                ss.cycleActivity = true;
             }
         }
         if (!stalled && ss.nextIntake == navail && !ss.finalized)
             return; // out of input mid-cycle; resume on next feed
         ss.midIntake = false;
 
-        ++ss.now;
+        // ---- Advance time ----
+        // Any state change this cycle can enable work next cycle:
+        // tick. Otherwise every cycle up to the next calendar event
+        // (or the fetch-allowed time intake is stalled on) is
+        // provably identical no-op, so jump straight there.
+        if (ss.cycleActivity) {
+            ++ss.now;
+            continue;
+        }
+        Cycle next = nextEventCycle(ss);
+        if (ss.fetchWait && ss.fetchAllowedAt < next)
+            next = ss.fetchAllowedAt;
+        prism_assert(next != kNever,
+                     "cycle sim deadlock: no pending events");
+        ss.now = next;
     }
 }
 

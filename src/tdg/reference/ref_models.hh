@@ -21,6 +21,15 @@
  * speedup/energy is validated against event-driven execution of the
  * same rewritten graph (the validation recipe of Appendix A).
  *
+ * The engine is event-driven (DESIGN.md §9): producer→consumer wakeup
+ * lists built per fed window replace per-cycle dependence rescans, a
+ * bucketed event calendar records every in-flight completion and
+ * future ready time, and when a cycle ends with no machine activity
+ * `now` jumps straight to the next calendar event instead of ticking
+ * through stall cycles. Results are cycle-identical to the original
+ * tick-every-cycle simulator (kept as TickCycleCoreSim, the
+ * differential oracle in tests/test_reference.cc).
+ *
  * Like the µDG engine, the simulator runs windowed through a
  * caller-owned RefSimScratch: begin() arms the machine, feed() makes
  * consecutive slices of a persistent stream available for intake, and
@@ -35,6 +44,7 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "uarch/core_config.hh"
@@ -47,33 +57,67 @@ namespace prism
 /**
  * All machine state of one discrete-event simulation run. Reusable
  * across runs; every container retains capacity, so steady-state
- * simulation is allocation-free. Treat as opaque.
+ * simulation is allocation-free. Treat as opaque (except `doneAt`,
+ * which sampled validation reads as the per-instruction completion
+ * frontier after a run).
  */
 struct RefSimScratch
 {
-    enum class St : std::uint8_t { Waiting, Issued };
+    static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
 
-    struct Entry
-    {
-        std::size_t idx = 0;
-        St state = St::Waiting;
-        Cycle doneAt = 0;
-    };
+    /** Calendar payload meaning "visit this cycle" (no completion). */
+    static constexpr std::uint32_t kWakeMarker = 0xFFFFFFFFu;
 
-    /** Writeback status per stream index (grows with feed()). */
+    static constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+
+    /** Calendar ring horizon (power of two, cycles). */
+    static constexpr std::size_t kHorizon = 2048;
+
+    // Hoisted per-inst metadata bits (filled at feed()).
+    static constexpr std::uint8_t kMetaFuMask = 0x03;
+    static constexpr std::uint8_t kMetaHasFu = 0x04;
+    static constexpr std::uint8_t kMetaIsMem = 0x08;
+    static constexpr std::uint8_t kMetaWritesDst = 0x10;
+
+    // ---- Per-stream-index tables (grow with feed()) ----
     std::vector<std::uint8_t> done;
     std::vector<Cycle> doneAt;
+    /** Max over resolved producers of availability (+ edge latency). */
+    std::vector<Cycle> readyAt;
+    /** Unresolved producer edges still owed a wakeup. */
+    std::vector<std::uint32_t> depCount;
+    /** Head of this producer's waiter-edge list (kNil = none). */
+    std::vector<std::uint32_t> waiterHead;
+    /** Core issue-queue waiting-list links (program order). */
+    std::vector<std::uint32_t> nextWaiting;
+    /** max(isLoad ? memLat : lat, 1), hoisted. */
+    std::vector<std::uint16_t> effLat;
+    std::vector<std::uint8_t> meta;
 
-    /** ROB as a ring (power-of-two storage, logical cap robCap). */
-    std::vector<Entry> rob;
+    /** Wakeup edge pool (head-linked per producer via waiterHead). */
+    struct WaiterEdge
+    {
+        std::uint32_t consumer = 0;
+        std::uint32_t next = kNil;
+        std::uint16_t lat = 0;
+    };
+    std::vector<WaiterEdge> edges;
+
+    /** ROB as a ring of stream indices (logical cap robCap). */
+    std::vector<std::uint32_t> rob;
     std::size_t robMask = 0;
     std::size_t robHead = 0;
     std::size_t robCount = 0;
     unsigned robCap = 0;
     unsigned iqCap = 0;
 
+    /** Core waiting list (not-yet-issued ROB entries, program order). */
+    std::uint32_t waitHead = kNil;
+    std::uint32_t waitTail = kNil;
+    std::size_t waitCount = 0;
+
     /** Fetch buffer as a ring. */
-    std::vector<std::size_t> fetchBuf;
+    std::vector<std::uint32_t> fetchBuf;
     std::size_t fbMask = 0;
     std::size_t fbHead = 0;
     std::size_t fbCount = 0;
@@ -82,12 +126,32 @@ struct RefSimScratch
     /** Per-pool FU busy-until times. */
     std::array<std::vector<Cycle>, 4> fus;
 
+    struct EngineEntry
+    {
+        std::uint32_t idx = 0;
+        std::uint8_t issued = 0;
+        Cycle doneAt = 0;
+    };
     struct EnginePool
     {
         AccelParams params;
-        std::vector<Entry> pool;
+        std::vector<EngineEntry> pool;
+        std::size_t issuedCount = 0;
+        Cycle minDoneAt = kNever;
     };
     std::array<EnginePool, 3> engines;
+
+    /**
+     * Event calendar: ring of per-cycle buckets (slot = cycle mod
+     * kHorizon; every pending bucket is within kHorizon of `now`, so
+     * a slot maps to one cycle), an occupancy bitset for O(1) bucket
+     * tests and fast next-event scans, and an unsorted overflow list
+     * for events at or beyond the horizon.
+     */
+    std::vector<std::vector<std::uint32_t>> calendar;
+    std::array<std::uint64_t, kHorizon / 64> calBits{};
+    std::vector<std::pair<Cycle, std::uint32_t>> farEvents;
+    Cycle farMin = kNever;
 
     std::int64_t blockingBranch = -1;
     Cycle fetchAllowedAt = 0;
@@ -98,6 +162,11 @@ struct RefSimScratch
     unsigned fetched = 0;       ///< intake progress within `now`
     bool midIntake = false;     ///< paused inside the intake phase
     bool finalized = false;
+    /** Did any phase of cycle `now` change machine state? Persisted
+     *  across a mid-intake pause so resume keeps the cycle's verdict. */
+    bool cycleActivity = false;
+    /** Intake blocked on now < fetchAllowedAt (skip target). */
+    bool fetchWait = false;
 };
 
 /**

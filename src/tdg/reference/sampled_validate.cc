@@ -1,0 +1,353 @@
+#include "tdg/reference/sampled_validate.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "tdg/constructor.hh"
+#include "tdg/reference/ref_models.hh"
+#include "uarch/pipeline_model.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+/** splitmix64: cheap deterministic PRNG for sample selection. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Two-sided Student-t quantile at the requested confidence for small
+ * degrees of freedom, normal quantile beyond the table.
+ */
+double
+tQuantile(double confidence, std::size_t df)
+{
+    static const double t975[] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+    static const double t995[] = {
+        63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355,
+        3.250,  3.169, 3.106, 3.055, 3.012, 2.977, 2.947, 2.921,
+        2.898,  2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797,
+        2.787,  2.779, 2.771, 2.763, 2.756, 2.750};
+    const bool wide = confidence >= 0.985;
+    const double *table = wide ? t995 : t975;
+    if (df == 0)
+        return wide ? 63.657 : 12.706; // degenerate; widest row
+    if (df <= 30)
+        return table[df - 1];
+    return wide ? 2.576 : 1.960;
+}
+
+struct UnitSpan
+{
+    std::size_t stratum = 0;
+    std::size_t begin = 0; ///< first measured trace index
+    std::size_t end = 0;   ///< one past last measured index
+    std::size_t warm = 0;  ///< warmup start (warm <= begin)
+};
+
+/**
+ * Completion-frontier difference over a standalone warmup+window
+ * run: the window's cycles are frontier(end) - frontier(end of
+ * warmup). Measuring the warmup boundary by its in-flight frontier
+ * (not a drained run) keeps machine overlap across the boundary,
+ * the same way consecutive windows overlap in a full-trace run.
+ */
+double
+frontierDiff(const std::vector<Cycle> &done, std::size_t warm_insts,
+             std::size_t total)
+{
+    Cycle warm_frontier = 0;
+    for (std::size_t j = 0; j < warm_insts; ++j)
+        warm_frontier = std::max(warm_frontier, done[j]);
+    Cycle frontier = warm_frontier;
+    for (std::size_t j = warm_insts; j < total; ++j)
+        frontier = std::max(frontier, done[j]);
+    return static_cast<double>(frontier - warm_frontier);
+}
+
+} // namespace
+
+SampledCpi
+sampledCpiEstimate(const Trace &trace, const CoreConfig &core,
+                   const SampleConfig &cfg, ThreadPool *pool)
+{
+    SampledCpi out;
+    const std::size_t n = trace.size();
+    out.insts = n;
+    if (n == 0)
+        return out;
+
+    const PipelineModel model(PipelineConfig{core});
+
+    // ---- Derive the sampling plan from the coverage budget ----
+    const std::size_t min_unit = std::max<std::size_t>(
+        std::min(cfg.minUnitInsts, cfg.maxUnitInsts), 1);
+    const std::size_t budget = std::max<std::size_t>(
+        static_cast<std::size_t>(cfg.coverageBudget *
+                                 static_cast<double>(n)),
+        2 * min_unit);
+    const std::size_t target =
+        std::max<std::size_t>(cfg.targetUnits, 1);
+
+    // Degenerate short trace: the budget covers (nearly) all of it,
+    // so sampling has nothing to offer — run the whole trace in the
+    // reference simulator and report the exact answer.
+    if (budget + 2 * min_unit >= n) {
+        const MStream full = buildCoreStream(trace);
+        RefSimScratch scratch;
+        const Cycle cycles = CycleCoreSim(core).run(full, scratch);
+        out.cpi = static_cast<double>(cycles) /
+                  static_cast<double>(n);
+        out.ciLow = out.cpi;
+        out.ciHigh = out.cpi;
+        out.modelCpi =
+            static_cast<double>(model.run(full).cycles) /
+            static_cast<double>(n);
+        out.coverage = 1.0;
+        out.unitsSimulated = 1;
+        out.strataUsed = 1;
+        return out;
+    }
+
+    // Window size: spend the budget over ~targetUnits windows, each
+    // costing warmup+unit simulated instructions. When the trace is
+    // short enough that windows hit the minimum size and the draw
+    // count suffers, shorten the warmup instead (the paired
+    // difference d is warmup-insensitive well below the default —
+    // both engines lose the same boundary state) — more draws beat
+    // longer warmup for the variance.
+    const std::size_t want_unit =
+        budget / target > cfg.warmupInsts
+            ? budget / target - cfg.warmupInsts
+            : 0;
+    const std::size_t unit = std::clamp(
+        want_unit, min_unit,
+        std::max<std::size_t>(cfg.maxUnitInsts, min_unit));
+    std::size_t warmup = cfg.warmupInsts;
+    if (budget / (unit + warmup) < 24 && warmup > 125) {
+        const std::size_t per_draw = budget / 24;
+        warmup = std::clamp(per_draw > unit ? per_draw - unit
+                                            : std::size_t{0},
+                            std::size_t{125}, cfg.warmupInsts);
+    }
+    const std::size_t cost = unit + warmup;
+    const std::size_t nu = (n + unit - 1) / unit;
+    const std::size_t draws = std::min(
+        nu, std::max<std::size_t>(budget / cost, 2));
+    // Prefer >= 3 draws per stratum: with only two, one outlier
+    // window both skews the stratum mean and collapses its variance
+    // estimate in the same direction, which is how confidence
+    // intervals go wrong on heavy-tailed workloads.
+    const std::size_t num_strata = std::max<std::size_t>(
+        1, std::min({cfg.strata, draws / 3, nu}));
+    out.strataUsed = num_strata;
+
+    // ---- Model pass: predicted cycles for EVERY window ----
+    // Same warmup and frontier-difference protocol as the reference
+    // measurement below, so the per-window difference d = sim -
+    // model is a pure deterministic model error.
+    auto spanOf = [&](std::size_t u) {
+        UnitSpan s;
+        s.begin = u * unit;
+        s.end = std::min(s.begin + unit, n);
+        s.warm = s.begin - std::min(s.begin, warmup);
+        return s;
+    };
+    auto modelCycles = [&](std::size_t u) -> double {
+        const UnitSpan s = spanOf(u);
+        const MStream ws = buildCoreStream(
+            trace, static_cast<DynId>(s.warm),
+            static_cast<DynId>(s.end));
+        const PipelineResult pr = model.run(ws, true);
+        return frontierDiff(pr.completeAt, s.begin - s.warm,
+                            ws.size());
+    };
+    std::vector<double> x;
+    if (pool != nullptr)
+        x = parallelMapIndex(*pool, nu, modelCycles);
+    else {
+        x.reserve(nu);
+        for (std::size_t u = 0; u < nu; ++u)
+            x.push_back(modelCycles(u));
+    }
+
+    // Anchor the estimate on the model's FULL-TRACE run, not the
+    // sum of its windows. Cutting a trace into windows loses some
+    // cross-boundary overlap, and that decomposition bias is
+    // workload-dependent (up to a few cycles per boundary, either
+    // sign). Both engines cut the same dependences at the same
+    // boundaries with the same warmup, so the model's own
+    // decomposition bias — measurable exactly as sum(windows) minus
+    // full run — tracks the simulator's closely; anchoring on the
+    // full model run cancels it from the estimate, leaving only the
+    // small sim-vs-model mismatch covered by the CI floor below.
+    const double x_full =
+        static_cast<double>(model.run(buildCoreStream(trace))
+                                .cycles);
+    out.modelCpi = x_full / static_cast<double>(n);
+    const double model_decomp_bias =
+        std::accumulate(x.begin(), x.end(), 0.0) - x_full;
+
+    // ---- Stratify by predicted cycles, draw without replacement --
+    // Equal-count strata over the x-sorted order put like-behaving
+    // windows together; the residual d varies far less within a
+    // stratum than across the trace. Extra draws beyond an even
+    // split go to the highest-x strata, where d is most dispersed.
+    std::vector<std::uint32_t> order(nu);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&x](std::uint32_t a, std::uint32_t b) {
+                  if (x[a] != x[b])
+                      return x[a] < x[b];
+                  return a < b;
+              });
+    std::vector<UnitSpan> drawn;
+    std::vector<std::size_t> stratum_pop(num_strata, 0);
+    const std::size_t base_per = draws / num_strata;
+    const std::size_t extra = draws % num_strata;
+    for (std::size_t h = 0; h < num_strata; ++h) {
+        const std::size_t lo = h * nu / num_strata;
+        const std::size_t hi = (h + 1) * nu / num_strata;
+        const std::size_t pop = hi - lo;
+        stratum_pop[h] = pop;
+        if (pop == 0)
+            continue;
+        const std::size_t want = std::min(
+            pop, std::max<std::size_t>(
+                     base_per +
+                         (h >= num_strata - extra ? 1 : 0),
+                     2));
+        std::uint64_t rng =
+            mix64(cfg.seed ^ (h * 1315423911ull));
+        for (std::size_t i = 0; i < want; ++i) {
+            rng = mix64(rng);
+            const std::size_t j = i + rng % (pop - i);
+            std::swap(order[lo + i], order[lo + j]);
+            UnitSpan u = spanOf(order[lo + i]);
+            u.stratum = h;
+            drawn.push_back(u);
+        }
+    }
+    out.unitsSimulated = drawn.size();
+
+    // ---- Reference-simulate the drawn windows (parallel) ----
+    auto measure = [&trace, &core](const UnitSpan &u) -> double {
+        static thread_local RefSimScratch scratch;
+        CycleCoreSim sim(core);
+        const MStream us = buildCoreStream(
+            trace, static_cast<DynId>(u.warm),
+            static_cast<DynId>(u.end));
+        sim.run(us, scratch);
+        return frontierDiff(scratch.doneAt, u.begin - u.warm,
+                            us.size());
+    };
+    std::vector<double> y;
+    if (pool != nullptr) {
+        y = parallelMapIndex(
+            *pool, drawn.size(),
+            [&](std::size_t i) { return measure(drawn[i]); });
+    } else {
+        y.reserve(drawn.size());
+        for (const UnitSpan &u : drawn)
+            y.push_back(measure(u));
+    }
+
+    // ---- Stratified difference estimator + variance ----
+    const std::size_t k = drawn.size();
+    std::vector<double> d(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t u = drawn[i].begin / unit;
+        d[i] = y[i] - x[u];
+    }
+    std::vector<std::size_t> cnt(num_strata, 0);
+    std::vector<double> d_sum(num_strata, 0.0);
+    std::vector<double> d_sumsq(num_strata, 0.0);
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t h = drawn[i].stratum;
+        ++cnt[h];
+        d_sum[h] += d[i];
+        d_sumsq[h] += d[i] * d[i];
+    }
+    double d_total = 0.0;
+    double var_total = 0.0;
+    std::size_t df = 0;
+    for (std::size_t h = 0; h < num_strata; ++h) {
+        if (cnt[h] == 0 || stratum_pop[h] == 0)
+            continue;
+        const double pop = static_cast<double>(stratum_pop[h]);
+        const double m =
+            d_sum[h] / static_cast<double>(cnt[h]);
+        d_total += pop * m;
+        if (cnt[h] >= 2) {
+            df += cnt[h] - 1;
+            if (stratum_pop[h] > cnt[h]) {
+                const double s2 =
+                    (d_sumsq[h] - d_sum[h] * m) /
+                    static_cast<double>(cnt[h] - 1);
+                const double fpc =
+                    1.0 - static_cast<double>(cnt[h]) / pop;
+                var_total += pop * pop * fpc * s2 /
+                             static_cast<double>(cnt[h]);
+            }
+        }
+    }
+    // Small samples: the stratified variance estimate is fragile (a
+    // stratum that happens to draw only quiet windows reports a
+    // near-zero spread). Bound it below by the simple-random-sample
+    // variance over all draws, which at least sees the full
+    // between-strata dispersion of the sample.
+    if (k >= 2 && k < 24 && k < nu) {
+        const double all_sum =
+            std::accumulate(d.begin(), d.end(), 0.0);
+        double all_sq = 0.0;
+        for (double v : d)
+            all_sq += v * v;
+        const double am = all_sum / static_cast<double>(k);
+        const double s2_all =
+            (all_sq - all_sum * am) / static_cast<double>(k - 1);
+        const double nu_d = static_cast<double>(nu);
+        const double srs =
+            nu_d * nu_d * (1.0 - static_cast<double>(k) / nu_d) *
+            s2_all / static_cast<double>(k);
+        var_total = std::max(var_total, srs);
+    }
+
+    std::size_t covered = 0;
+    for (const UnitSpan &u : drawn)
+        covered += u.end - u.warm;
+
+    // CI: Student-t on the sampling variance, plus a deterministic
+    // floor — two cycles per window boundary for the decomposition
+    // granularity, plus the model's own (exactly known)
+    // decomposition bias, since the anchor cancellation is only
+    // trusted up to the magnitude of the bias being cancelled.
+    const double insts_d = static_cast<double>(n);
+    out.cpi = (x_full + d_total) / insts_d;
+    out.coverage = static_cast<double>(covered) / insts_d;
+    const double t = tQuantile(cfg.confidence, df);
+    const double half =
+        (t * std::sqrt(std::max(var_total, 0.0)) +
+         2.0 * static_cast<double>(nu - 1) +
+         std::fabs(model_decomp_bias)) /
+        insts_d;
+    out.ciLow = out.cpi - half;
+    out.ciHigh = out.cpi + half;
+    out.relHalfWidth = out.cpi > 0.0 ? half / out.cpi : 0.0;
+    return out;
+}
+
+} // namespace prism

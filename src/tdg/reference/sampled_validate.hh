@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Sampled cross-validation: estimate a workload's full-trace
+ * reference-simulator CPI from a small, stratified sample of the
+ * trace, with a confidence interval (DESIGN.md §9.3).
+ *
+ * The design is model-assisted (difference estimation, in survey
+ * terms): the trace is cut into fixed-size windows of consecutive
+ * dynamic instructions, and the cheap µDG timing model predicts the
+ * cycles of EVERY window, while the expensive reference simulator
+ * runs only on a stratified sample of them. Both engines measure a
+ * window the same way — a short detached warmup prefix, then the
+ * completion-frontier difference across the measured span — so the
+ * per-window difference d = sim − model is a deterministic model
+ * error, free of boundary noise. The estimate is
+ *
+ *     total ≈ model(full trace) + expansion of sampled d
+ *
+ * Anchoring on the model's full-trace run (rather than the sum of
+ * its windows) cancels the window-decomposition bias: both engines
+ * lose the same cross-boundary overlap when the trace is cut, so
+ * the model's own decomposition error tracks the simulator's, and
+ * what remains of it is exactly measurable (sum of model windows
+ * minus full model run) and folded into the interval as a
+ * deterministic floor. The estimator is unbiased regardless of model
+ * quality; the model only has to be *correlated* with the simulator
+ * for the variance to collapse. Windows are stratified by predicted
+ * cycles (equal-count strata over the model ordering) and sampled
+ * without replacement by a deterministic PRNG. The confidence
+ * interval is Student-t over the finite-population-corrected
+ * within-stratum residual variance — bounded below by the
+ * simple-random-sample variance when the draw count is small — plus
+ * the deterministic floor (decomposition granularity + measured
+ * model decomposition bias).
+ *
+ * Sample-window simulations are independent, so they fan out on the
+ * thread pool; results are bit-identical for a given (trace, config,
+ * seed) regardless of thread count.
+ */
+
+#ifndef PRISM_TDG_REFERENCE_SAMPLED_VALIDATE_HH
+#define PRISM_TDG_REFERENCE_SAMPLED_VALIDATE_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/thread_pool.hh"
+#include "trace/dyn_inst.hh"
+#include "uarch/core_config.hh"
+
+namespace prism
+{
+
+struct SampleConfig
+{
+    /**
+     * Fraction of trace instructions the reference simulator may
+     * touch (warmup prefixes included). Window size and draw counts
+     * are derived from this budget and the trace length, so coverage
+     * stays bounded on long traces while short traces are sampled
+     * more densely (exactly, in the limit).
+     */
+    double coverageBudget = 0.095;
+    /** Measured instructions per sample window (clamp range). */
+    std::size_t maxUnitInsts = 1000;
+    std::size_t minUnitInsts = 250;
+    /** Detached warmup prefix before each measured window. */
+    std::size_t warmupInsts = 250;
+    /** Preferred number of simulated windows within the budget. */
+    std::size_t targetUnits = 32;
+    /** Equal-count strata over the model-predicted ordering (cap). */
+    std::size_t strata = 8;
+    /** Two-sided confidence level: 0.95 or 0.99. */
+    double confidence = 0.99;
+    std::uint64_t seed = 0x5eedf00dull;
+};
+
+struct SampledCpi
+{
+    double cpi = 0.0;    ///< model-assisted CPI estimate
+    double ciLow = 0.0;  ///< confidence interval on cpi
+    double ciHigh = 0.0;
+    double relHalfWidth = 0.0; ///< (ciHigh-ciLow)/2 / cpi
+    /** Full-trace CPI predicted by the µDG model alone (the
+     *  estimator's anchor before the sampled correction). */
+    double modelCpi = 0.0;
+    /** Fraction of trace instructions the reference simulator ran
+     *  (warmup prefixes included). The model pass over all windows
+     *  is not counted: it is the cheap engine under validation, not
+     *  detailed simulation. */
+    double coverage = 0.0;
+    std::size_t insts = 0;          ///< trace length
+    std::size_t unitsSimulated = 0; ///< sampled windows
+    std::size_t strataUsed = 0;
+};
+
+/**
+ * Estimate the reference-simulator CPI of `core` on the baseline
+ * stream of `trace` by model-assisted stratified sampling. `pool`
+ * fans the window simulations out; pass nullptr to run serially.
+ */
+SampledCpi sampledCpiEstimate(const Trace &trace,
+                              const CoreConfig &core,
+                              const SampleConfig &cfg,
+                              ThreadPool *pool = nullptr);
+
+} // namespace prism
+
+#endif // PRISM_TDG_REFERENCE_SAMPLED_VALIDATE_HH

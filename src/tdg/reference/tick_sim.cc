@@ -1,0 +1,373 @@
+#include "tdg/reference/tick_sim.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+std::size_t
+pow2AtLeast(std::size_t n)
+{
+    std::size_t cap = 1;
+    while (cap < n)
+        cap <<= 1;
+    return cap;
+}
+
+} // namespace
+
+void
+TickCycleCoreSim::begin(TickSimScratch &ss) const
+{
+    ss.done.clear();
+    ss.doneAt.clear();
+
+    ss.robCap = core_.inorder ? 2 * core_.width : core_.robSize;
+    ss.iqCap = core_.inorder ? core_.width : core_.instWindow;
+    const std::size_t rob_store =
+        pow2AtLeast(std::max<std::size_t>(ss.robCap, 1));
+    if (ss.rob.size() < rob_store)
+        ss.rob.resize(rob_store);
+    ss.robMask = rob_store - 1;
+    ss.robHead = 0;
+    ss.robCount = 0;
+
+    ss.fbCap = 3 * core_.width;
+    const std::size_t fb_store =
+        pow2AtLeast(std::max<std::size_t>(ss.fbCap, 1));
+    if (ss.fetchBuf.size() < fb_store)
+        ss.fetchBuf.resize(fb_store);
+    ss.fbMask = fb_store - 1;
+    ss.fbHead = 0;
+    ss.fbCount = 0;
+
+    ss.fus[0].assign(core_.numAlu, 0);
+    ss.fus[1].assign(core_.numMulDiv, 0);
+    ss.fus[2].assign(core_.numFp, 0);
+    ss.fus[3].assign(core_.dcachePorts, 0);
+
+    const AccelParams *params[3] = {&cgra_, &nsdf_, &tracep_};
+    for (int k = 0; k < 3; ++k) {
+        ss.engines[k].params = *params[k];
+        ss.engines[k].pool.clear();
+        ss.engines[k].pool.reserve(params[k]->window);
+    }
+
+    ss.blockingBranch = -1;
+    ss.fetchAllowedAt = 0;
+    ss.nextIntake = 0;
+    ss.prefixDone = 0;
+    ss.remaining = 0;
+    ss.now = 0;
+    ss.fetched = 0;
+    ss.midIntake = false;
+    ss.finalized = false;
+}
+
+void
+TickCycleCoreSim::feed(TickSimScratch &ss, const MStream &stream,
+                       std::size_t b, std::size_t e) const
+{
+    prism_assert(b == ss.done.size(),
+                 "reference sim windows must be consecutive");
+    prism_assert(e <= stream.size(), "window beyond stream");
+    if (e <= b)
+        return;
+    ss.done.resize(e, 0);
+    ss.doneAt.resize(e, 0);
+    ss.remaining += e - b;
+    advance(ss, stream);
+}
+
+Cycle
+TickCycleCoreSim::finishRun(TickSimScratch &ss,
+                            const MStream &stream) const
+{
+    ss.finalized = true;
+    advance(ss, stream);
+    prism_assert(ss.remaining == 0 &&
+                     ss.nextIntake == ss.done.size(),
+                 "reference sim did not drain");
+    return ss.now;
+}
+
+void
+TickCycleCoreSim::advance(TickSimScratch &ss,
+                          const MStream &stream) const
+{
+    using Entry = TickSimScratch::Entry;
+    using St = TickSimScratch::St;
+
+    const std::size_t navail = ss.done.size();
+    const Cycle hard_limit =
+        static_cast<Cycle>(navail) * 600 + 100000;
+
+    auto engine_of =
+        [&ss](ExecUnit u) -> TickSimScratch::EnginePool & {
+        switch (u) {
+          case ExecUnit::Cgra: return ss.engines[0];
+          case ExecUnit::Nsdf: return ss.engines[1];
+          case ExecUnit::Tracep: return ss.engines[2];
+          default: panic("not an engine unit");
+        }
+    };
+
+    auto deps_ready = [&](std::size_t idx) {
+        const MInst &mi = stream[idx];
+        for (std::int32_t d : mi.dep) {
+            if (d >= 0 &&
+                !(ss.done[d] && ss.doneAt[d] <= ss.now)) {
+                return false;
+            }
+        }
+        if (mi.memDep >= 0 &&
+            !(ss.done[mi.memDep] &&
+              ss.doneAt[mi.memDep] <= ss.now)) {
+            return false;
+        }
+        for (const ExtraDep &xd : stream.extraDeps(idx)) {
+            if (xd.idx >= 0 &&
+                !(ss.done[xd.idx] &&
+                  ss.doneAt[xd.idx] + xd.lat <= ss.now)) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    for (;;) {
+        if (!ss.midIntake) {
+            if (ss.remaining == 0)
+                return;
+            prism_assert(ss.now < hard_limit, "cycle sim deadlock");
+
+            // ---- Completion / writeback ----
+            for (std::size_t k = 0; k < ss.robCount; ++k) {
+                Entry &e =
+                    ss.rob[(ss.robHead + k) & ss.robMask];
+                if (e.state == St::Issued && !ss.done[e.idx] &&
+                    e.doneAt <= ss.now) {
+                    ss.done[e.idx] = 1;
+                    ss.doneAt[e.idx] = e.doneAt;
+                    if (static_cast<std::int64_t>(e.idx) ==
+                        ss.blockingBranch) {
+                        ss.blockingBranch = -1;
+                        ss.fetchAllowedAt =
+                            e.doneAt + core_.mispredictPenalty;
+                    }
+                }
+            }
+            for (TickSimScratch::EnginePool &eng : ss.engines) {
+                unsigned wb_used = 0;
+                for (Entry &e : eng.pool) {
+                    if (e.state != St::Issued || e.doneAt > ss.now)
+                        continue;
+                    const MInst &mi = stream[e.idx];
+                    const bool needs_wb =
+                        opInfo(mi.op).writesDst &&
+                        eng.params.wbBusWidth > 0;
+                    if (needs_wb &&
+                        wb_used >= eng.params.wbBusWidth) {
+                        continue; // bus full; retry next cycle
+                    }
+                    if (needs_wb)
+                        ++wb_used;
+                    ss.done[e.idx] = 1;
+                    ss.doneAt[e.idx] = ss.now;
+                    --ss.remaining;
+                }
+                eng.pool.erase(
+                    std::remove_if(eng.pool.begin(),
+                                   eng.pool.end(),
+                                   [&ss](const Entry &e) {
+                                       return ss.done[e.idx] != 0;
+                                   }),
+                    eng.pool.end());
+            }
+
+            // ---- Core commit ----
+            for (unsigned k = 0;
+                 k < core_.width && ss.robCount > 0; ++k) {
+                if (!ss.done[ss.rob[ss.robHead & ss.robMask].idx])
+                    break;
+                ss.robHead = (ss.robHead + 1) & ss.robMask;
+                --ss.robCount;
+                --ss.remaining;
+            }
+
+            // ---- Core issue ----
+            unsigned issued = 0;
+            unsigned iq_scanned = 0;
+            for (std::size_t k = 0; k < ss.robCount; ++k) {
+                Entry &e =
+                    ss.rob[(ss.robHead + k) & ss.robMask];
+                if (issued >= core_.width)
+                    break;
+                if (e.state != St::Waiting)
+                    continue;
+                if (++iq_scanned > ss.iqCap)
+                    break;
+                const MInst &mi = stream[e.idx];
+                if (!deps_ready(e.idx)) {
+                    if (core_.inorder)
+                        break;
+                    continue;
+                }
+                Cycle *unit = nullptr;
+                if (mi.fu != FuClass::None) {
+                    auto &pool = ss.fus[fuPoolIndex(mi.fu)];
+                    for (Cycle &u : pool) {
+                        if (u <= ss.now) {
+                            unit = &u;
+                            break;
+                        }
+                    }
+                    if (unit == nullptr) {
+                        if (core_.inorder)
+                            break;
+                        continue;
+                    }
+                }
+                const Cycle lat = std::max<Cycle>(
+                    mi.isLoad ? mi.memLat : mi.lat, 1);
+                e.state = St::Issued;
+                e.doneAt = ss.now + lat;
+                if (unit != nullptr)
+                    *unit = ss.now + 1;
+                ++issued;
+            }
+
+            // ---- Engine issue ----
+            for (TickSimScratch::EnginePool &eng : ss.engines) {
+                unsigned eng_issued = 0;
+                unsigned mem_issued = 0;
+                for (Entry &e : eng.pool) {
+                    if (eng_issued >= eng.params.issueWidth)
+                        break;
+                    if (e.state != St::Waiting)
+                        continue;
+                    const MInst &mi = stream[e.idx];
+                    const bool is_mem = mi.isLoad || mi.isStore;
+                    if (is_mem && eng.params.memPorts > 0 &&
+                        mem_issued >= eng.params.memPorts) {
+                        continue;
+                    }
+                    if (!deps_ready(e.idx))
+                        continue;
+                    const Cycle lat = std::max<Cycle>(
+                        mi.isLoad ? mi.memLat : mi.lat, 1);
+                    e.state = St::Issued;
+                    e.doneAt = ss.now + lat;
+                    ++eng_issued;
+                    if (is_mem)
+                        ++mem_issued;
+                }
+            }
+
+            // ---- Core dispatch (gated by ROB/IQ occupancy) ----
+            unsigned waiting = 0;
+            if (!core_.inorder) {
+                for (std::size_t k = 0; k < ss.robCount; ++k) {
+                    waiting +=
+                        ss.rob[(ss.robHead + k) & ss.robMask]
+                            .state == St::Waiting;
+                }
+            }
+            for (unsigned k = 0;
+                 k < core_.width && ss.fbCount > 0 &&
+                 ss.robCount < ss.robCap &&
+                 (core_.inorder || waiting < ss.iqCap);
+                 ++k) {
+                Entry e;
+                e.idx = ss.fetchBuf[ss.fbHead & ss.fbMask];
+                ss.fbHead = (ss.fbHead + 1) & ss.fbMask;
+                --ss.fbCount;
+                ss.rob[(ss.robHead + ss.robCount) & ss.robMask] = e;
+                ++ss.robCount;
+                ++waiting;
+            }
+
+            while (ss.prefixDone < navail &&
+                   ss.done[ss.prefixDone]) {
+                ++ss.prefixDone;
+            }
+            ss.fetched = 0;
+            ss.midIntake = true;
+        }
+
+        // ---- Unified intake (fetch / engine injection) ----
+        bool stalled = false;
+        while (ss.nextIntake < navail) {
+            const MInst &mi = stream[ss.nextIntake];
+            if (mi.startRegion && ss.prefixDone < ss.nextIntake) {
+                stalled = true; // region boundary drains machine
+                break;
+            }
+            if (mi.unit == ExecUnit::Core) {
+                if (ss.blockingBranch != -1 ||
+                    ss.now < ss.fetchAllowedAt) {
+                    stalled = true;
+                    break;
+                }
+                if (ss.fetched >= core_.width ||
+                    ss.fbCount >= ss.fbCap) {
+                    stalled = true;
+                    break;
+                }
+                ss.fetchBuf[(ss.fbHead + ss.fbCount) & ss.fbMask] =
+                    ss.nextIntake;
+                ++ss.fbCount;
+                ++ss.fetched;
+                if (mi.isCondBranch && mi.mispredicted) {
+                    ss.blockingBranch =
+                        static_cast<std::int64_t>(ss.nextIntake);
+                }
+                ++ss.nextIntake;
+                if (ss.blockingBranch != -1) {
+                    stalled = true;
+                    break;
+                }
+                if (mi.takenBranch) {
+                    // Fetch group ends at a taken branch.
+                    ss.fetched = core_.width;
+                    stalled = true;
+                    break;
+                }
+            } else {
+                TickSimScratch::EnginePool &eng =
+                    engine_of(mi.unit);
+                if (eng.pool.size() >= eng.params.window) {
+                    stalled = true;
+                    break;
+                }
+                Entry e;
+                e.idx = ss.nextIntake;
+                eng.pool.push_back(e);
+                ++ss.nextIntake;
+            }
+        }
+        if (!stalled && ss.nextIntake == navail && !ss.finalized)
+            return; // out of input mid-cycle; resume on next feed
+        ss.midIntake = false;
+
+        ++ss.now;
+    }
+}
+
+Cycle
+TickCycleCoreSim::run(const MStream &stream,
+                      TickSimScratch &ss) const
+{
+    if (stream.empty())
+        return 0;
+    begin(ss);
+    feed(ss, stream, 0, stream.size());
+    return finishRun(ss, stream);
+}
+
+} // namespace prism

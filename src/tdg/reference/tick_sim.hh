@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The original tick-every-cycle reference simulator, preserved
+ * verbatim as the differential oracle for the event-driven
+ * CycleCoreSim (ref_models.hh). Every cycle is visited and every
+ * waiting entry's dependences are rescanned — O(cycles × window ×
+ * deps), slow but trivially auditable. tests/test_reference.cc
+ * asserts the event-driven engine is cycle-identical to this one
+ * across workload classes, core configs and window sizes; it is not
+ * used on any hot path.
+ */
+
+#ifndef PRISM_TDG_REFERENCE_TICK_SIM_HH
+#define PRISM_TDG_REFERENCE_TICK_SIM_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "uarch/core_config.hh"
+#include "uarch/pipeline_model.hh"
+#include "uarch/udg.hh"
+
+namespace prism
+{
+
+/** All machine state of one tick-loop simulation run. */
+struct TickSimScratch
+{
+    enum class St : std::uint8_t { Waiting, Issued };
+
+    struct Entry
+    {
+        std::size_t idx = 0;
+        St state = St::Waiting;
+        Cycle doneAt = 0;
+    };
+
+    std::vector<std::uint8_t> done;
+    std::vector<Cycle> doneAt;
+
+    std::vector<Entry> rob;
+    std::size_t robMask = 0;
+    std::size_t robHead = 0;
+    std::size_t robCount = 0;
+    unsigned robCap = 0;
+    unsigned iqCap = 0;
+
+    std::vector<std::size_t> fetchBuf;
+    std::size_t fbMask = 0;
+    std::size_t fbHead = 0;
+    std::size_t fbCount = 0;
+    std::size_t fbCap = 0;
+
+    std::array<std::vector<Cycle>, 4> fus;
+
+    struct EnginePool
+    {
+        AccelParams params;
+        std::vector<Entry> pool;
+    };
+    std::array<EnginePool, 3> engines;
+
+    std::int64_t blockingBranch = -1;
+    Cycle fetchAllowedAt = 0;
+    std::size_t nextIntake = 0;
+    std::size_t prefixDone = 0;
+    std::size_t remaining = 0;
+    Cycle now = 0;
+    unsigned fetched = 0;
+    bool midIntake = false;
+    bool finalized = false;
+};
+
+/**
+ * Tick-loop twin of CycleCoreSim with the identical windowed API
+ * (begin/feed/finishRun) and identical cycle semantics.
+ */
+class TickCycleCoreSim
+{
+  public:
+    explicit TickCycleCoreSim(const CoreConfig &cfg) : core_(cfg) {}
+
+    explicit TickCycleCoreSim(const PipelineConfig &cfg)
+        : core_(cfg.core), cgra_(cfg.cgra), nsdf_(cfg.nsdf),
+          tracep_(cfg.tracep)
+    {
+    }
+
+    void begin(TickSimScratch &ss) const;
+    void feed(TickSimScratch &ss, const MStream &stream,
+              std::size_t b, std::size_t e) const;
+    Cycle finishRun(TickSimScratch &ss, const MStream &stream) const;
+    Cycle run(const MStream &stream, TickSimScratch &ss) const;
+
+  private:
+    void advance(TickSimScratch &ss, const MStream &stream) const;
+
+    CoreConfig core_;
+    AccelParams cgra_ = dpCgraParams();
+    AccelParams nsdf_ = nsdfParams();
+    AccelParams tracep_ = tracepParams();
+};
+
+} // namespace prism
+
+#endif // PRISM_TDG_REFERENCE_TICK_SIM_HH

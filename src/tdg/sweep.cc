@@ -154,6 +154,17 @@ DesignSpaceSweep::load(ThreadPool &pool)
                      [&](std::size_t i) { workloads_[i]->load(); });
 }
 
+std::size_t
+DesignSpaceSweep::loadedInsts() const
+{
+    std::size_t total = 0;
+    for (const auto &w : workloads_) {
+        if (w->lw)
+            total += w->lw->tdg().trace().size();
+    }
+    return total;
+}
+
 void
 DesignSpaceSweep::prepare(ThreadPool &pool)
 {

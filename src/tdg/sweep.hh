@@ -102,6 +102,10 @@ class DesignSpaceSweep
     /** Load every workload (parallel; trace-cache-aware). */
     void load(ThreadPool &pool);
 
+    /** Total trace instructions across loaded workloads (0 before
+     *  load); the item count behind sweep throughput metrics. */
+    std::size_t loadedInsts() const;
+
     /** Build every (workload, shard core) model, one task each. */
     void prepare(ThreadPool &pool);
 

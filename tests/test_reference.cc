@@ -10,6 +10,7 @@
 
 #include "tdg/constructor.hh"
 #include "tdg/reference/ref_models.hh"
+#include "tdg/reference/tick_sim.hh"
 #include "tdg/transform.hh"
 #include "uarch/pipeline_model.hh"
 #include "workloads/suite.hh"
@@ -150,6 +151,91 @@ INSTANTIATE_TEST_SUITE_P(Workloads, ModelAgreement,
                                            "181.mcf", "cjpeg-1",
                                            "mem-stream",
                                            "branch-rand"));
+
+/** Run the event-driven engine windowed with fixed-size feeds. */
+Cycle
+runWindowed(const CycleCoreSim &sim, const MStream &s,
+            std::size_t window, RefSimScratch &ss)
+{
+    sim.begin(ss);
+    for (std::size_t b = 0; b < s.size(); b += window)
+        sim.feed(ss, s, b, std::min(b + window, s.size()));
+    return sim.finishRun(ss, s);
+}
+
+/**
+ * Differential oracle: the event-driven engine must be
+ * cycle-identical to the preserved tick-every-cycle simulator on
+ * every core config, whole-stream and under every windowing, across
+ * workloads spanning the suite's behavior classes (regular compute,
+ * irregular control, pointer-chasing memory, media, streaming,
+ * branch-random).
+ */
+class TickOracle : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(TickOracle, CycleIdentical)
+{
+    const auto lw =
+        LoadedWorkload::load(findWorkload(GetParam()), 30'000);
+    const MStream s = buildCoreStream(lw->tdg().trace());
+    RefSimScratch ss;
+    TickSimScratch ts;
+    for (CoreKind k : kAllCoreKinds) {
+        PipelineConfig cfg;
+        cfg.core = coreConfig(k);
+        const CycleCoreSim sim(cfg);
+        const TickCycleCoreSim tick(cfg);
+        const Cycle want = tick.run(s, ts);
+        EXPECT_EQ(sim.run(s, ss), want)
+            << GetParam() << " on " << cfg.core.name;
+        for (std::size_t w : {std::size_t{1}, std::size_t{7},
+                              std::size_t{10000}}) {
+            EXPECT_EQ(runWindowed(sim, s, w, ss), want)
+                << GetParam() << " on " << cfg.core.name
+                << " window=" << w;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, TickOracle,
+                         ::testing::Values("conv", "merge",
+                                           "181.mcf", "cjpeg-1",
+                                           "mem-stream",
+                                           "branch-rand"));
+
+TEST(TickOracle, TransformedStreamsCycleIdentical)
+{
+    // Engine pools, writeback-bus contention and region drains:
+    // every BSA's transformed stream must also match the oracle.
+    const auto lw = LoadedWorkload::load(findWorkload("conv"));
+    const Tdg &tdg = lw->tdg();
+    const TdgAnalyzer an(tdg);
+    PipelineConfig cfg;
+    cfg.core = coreConfig(CoreKind::OOO4);
+    const CycleCoreSim sim(cfg);
+    const TickCycleCoreSim tick(cfg);
+    RefSimScratch ss;
+    TickSimScratch ts;
+
+    for (BsaKind bsa : kAllBsas) {
+        auto tf = makeTransform(bsa, tdg, an);
+        for (const Loop &loop : tdg.loops().loops()) {
+            if (!tf->canTarget(loop.id))
+                continue;
+            const TransformOutput out = tf->transformLoop(
+                loop.id, tdg.occurrencesOf(loop.id));
+            if (out.stream.empty())
+                continue;
+            const Cycle want = tick.run(out.stream, ts);
+            EXPECT_EQ(sim.run(out.stream, ss), want)
+                << bsaName(bsa);
+            EXPECT_EQ(runWindowed(sim, out.stream, 7, ss), want)
+                << bsaName(bsa) << " windowed";
+        }
+    }
+}
 
 TEST(ModelAgreementAccel, TransformedStreamsAgree)
 {

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Sampled cross-validation tests: the stratified CPI estimate must
+ * be deterministic (independent of thread count), bounded-coverage,
+ * and statistically sound — its confidence interval contains the
+ * full-trace reference CPI. Runs under the `concurrency` label so
+ * the TSan leg covers the parallel fan-out.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hh"
+#include "tdg/constructor.hh"
+#include "tdg/reference/ref_models.hh"
+#include "tdg/reference/sampled_validate.hh"
+#include "workloads/suite.hh"
+
+namespace prism
+{
+namespace
+{
+
+double
+fullCpi(const Trace &trace, const CoreConfig &core)
+{
+    const MStream s = buildCoreStream(trace);
+    RefSimScratch ss;
+    const Cycle c = CycleCoreSim(core).run(s, ss);
+    return static_cast<double>(c) / static_cast<double>(s.size());
+}
+
+TEST(SampledValidate, DeterministicAcrossThreadCounts)
+{
+    const auto lw =
+        LoadedWorkload::load(findWorkload("conv"), 60'000);
+    const CoreConfig core = coreConfig(CoreKind::OOO2);
+    const SampleConfig cfg;
+    const SampledCpi serial =
+        sampledCpiEstimate(lw->tdg().trace(), core, cfg, nullptr);
+    ThreadPool pool(4);
+    const SampledCpi parallel =
+        sampledCpiEstimate(lw->tdg().trace(), core, cfg, &pool);
+    EXPECT_EQ(serial.cpi, parallel.cpi);
+    EXPECT_EQ(serial.ciLow, parallel.ciLow);
+    EXPECT_EQ(serial.ciHigh, parallel.ciHigh);
+    EXPECT_EQ(serial.unitsSimulated, parallel.unitsSimulated);
+}
+
+TEST(SampledValidate, CiContainsFullTraceCpi)
+{
+    ThreadPool pool(4);
+    for (const char *name : {"conv", "181.mcf", "mem-stream"}) {
+        const auto lw =
+            LoadedWorkload::load(findWorkload(name), 60'000);
+        const CoreConfig core = coreConfig(CoreKind::OOO2);
+        const SampledCpi est = sampledCpiEstimate(
+            lw->tdg().trace(), core, SampleConfig{}, &pool);
+        const double full = fullCpi(lw->tdg().trace(), core);
+        EXPECT_GE(full, est.ciLow) << name;
+        EXPECT_LE(full, est.ciHigh) << name;
+        EXPECT_GT(est.cpi, 0.0) << name;
+    }
+}
+
+TEST(SampledValidate, CoverageBoundedOnFullLengthTrace)
+{
+    // At the shipped defaults a full-length trace is sampled at
+    // well under 10% coverage.
+    const auto lw = LoadedWorkload::load(findWorkload("conv"));
+    const CoreConfig core = coreConfig(CoreKind::OOO2);
+    const SampledCpi est = sampledCpiEstimate(
+        lw->tdg().trace(), core, SampleConfig{}, nullptr);
+    EXPECT_LE(est.coverage, 0.10);
+    EXPECT_GT(est.coverage, 0.0);
+    EXPECT_EQ(est.insts, lw->tdg().trace().size());
+}
+
+TEST(SampledValidate, DegenerateTinyTrace)
+{
+    // Fewer instructions than one unit: a single fully-sampled
+    // stratum, zero-width CI, exact answer.
+    const auto lw =
+        LoadedWorkload::load(findWorkload("conv"), 200);
+    const CoreConfig core = coreConfig(CoreKind::IO2);
+    const SampledCpi est = sampledCpiEstimate(
+        lw->tdg().trace(), core, SampleConfig{}, nullptr);
+    const double full = fullCpi(lw->tdg().trace(), core);
+    EXPECT_NEAR(est.cpi, full, 1e-9);
+    EXPECT_NEAR(est.ciLow, est.ciHigh, 1e-9);
+}
+
+} // namespace
+} // namespace prism
