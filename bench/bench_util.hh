@@ -189,9 +189,9 @@ class Entry
      * for distinct (entry, core) pairs are data-race-free as long as
      * the entry was load()ed first — each writes one distinct slot.
      *
-     * With a global artifact cache installed this is load-or-compute:
-     * a cached evaluation table skips every timing run, leaving only
-     * the cheap analyzer/energy-model construction.
+     * This is a tiered load-or-compute (RAM LRU -> disk -> timing
+     * runs): warm components skip every timing run, leaving only the
+     * cheap model-object assembly.
      */
     void
     buildModel(CoreKind core)
@@ -201,22 +201,10 @@ class Entry
             models_[static_cast<std::size_t>(core)];
         if (slot)
             return;
-        const ArtifactCache *cache = ArtifactCache::global();
-        if (cache) {
-            const PipelineConfig cfg{.core = coreConfig(core)};
-            if (std::optional<ModelTables> tables = loadModelTables(
-                    *cache, lw_->name(), lw_->tdg(), lw_->maxInsts(),
-                    cfg)) {
-                slot = std::make_unique<BenchmarkModel>(
-                    lw_->tdg(), core, std::move(*tables));
-                return;
-            }
-        }
-        slot = std::make_unique<BenchmarkModel>(lw_->tdg(), core);
-        if (cache) {
-            storeModelTables(*cache, lw_->name(), lw_->maxInsts(),
-                             *slot);
-        }
+        slot = buildModelCached(
+            ArtifactCache::global(), lw_->name(), lw_->tdg(),
+            lw_->maxInsts(),
+            PipelineConfig{.core = coreConfig(core)});
     }
 
     /** Drop built models (e.g. between timed sweep legs). */

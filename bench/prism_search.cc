@@ -1,0 +1,463 @@
+/**
+ * @file
+ * Generalized design-space search driver (tdg/search.hh): evaluates
+ * thousands of (core-parameter, BSA-subset, area-budget) points per
+ * workload on top of the component-memoized model caches, and prints
+ * the Pareto frontier over (speedup, energy efficiency, area).
+ *
+ * Where the fig12 bench reproduces the paper's fixed 96-point grid,
+ * this binary explores beyond it: a 16-point parametric core grid by
+ * default, or `--mode=sample --samples=N` for N deterministic random
+ * core points. Component memoization (RAM LRU in front of the disk
+ * artifact cache) makes the per-point cost scheduler-composition
+ * only, so the thousand-point run costs little more than its unique
+ * (workload, core) component builds.
+ *
+ * Flags (in addition to the shared --threads/--cache-dir/--max-insts):
+ *   --mode=grid|sample     core list: default grid or random samples
+ *   --samples=N            sample count for --mode=sample (default 64)
+ *   --seed=N               sample seed (default 1)
+ *   --workloads=a,b,c      subset of workloads (default: full suite)
+ *   --masks=N              BSA subset masks [0, N) (default 16)
+ *   --budgets=a,b,c        area budgets in mm^2 (default unbounded)
+ *   --sched=oracle|amdahl  region-selection policy (default oracle)
+ *   --shard=I/N            evaluate grid indices i with i % N == I
+ *   --top=N                rows of the ranked table (default 20)
+ *   --export-dataset=FILE  write the per-(workload, point) CSV
+ *   --self-test            correctness checks (differential vs the
+ *                          monolithic model, thread-count and shard
+ *                          determinism); exits non-zero on failure
+ */
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "bench_util.hh"
+#include "energy/area_model.hh"
+#include "tdg/search.hh"
+
+namespace prism
+{
+namespace
+{
+
+using bench::Stopwatch;
+
+struct SearchOptions
+{
+    bench::BenchOptions common;
+    bool sample = false;
+    std::size_t samples = 64;
+    std::uint64_t seed = 1;
+    std::vector<std::string> workloads;
+    unsigned masks = 16;
+    std::vector<double> budgets;
+    SchedulerKind sched = SchedulerKind::Oracle;
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
+    std::size_t top = 20;
+    std::string datasetPath;
+    bool selfTest = false;
+};
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t b = 0;
+    while (b <= s.size()) {
+        const std::size_t e = s.find(',', b);
+        if (e == std::string::npos) {
+            if (b < s.size())
+                out.push_back(s.substr(b));
+            break;
+        }
+        if (e > b)
+            out.push_back(s.substr(b, e - b));
+        b = e + 1;
+    }
+    return out;
+}
+
+SearchOptions
+parseArgs(int argc, char **argv)
+{
+    SearchOptions opt;
+    opt.common.threads = defaultThreadCount();
+    auto value = [&](int &i, const char *flag,
+                     std::string &out) -> bool {
+        const std::size_t len = std::strlen(flag);
+        if (std::strncmp(argv[i], flag, len) != 0)
+            return false;
+        if (argv[i][len] == '=') {
+            out = argv[i] + len + 1;
+            return true;
+        }
+        if (argv[i][len] == '\0') {
+            if (i + 1 >= argc)
+                fatal("%s requires a value", flag);
+            out = argv[++i];
+            return true;
+        }
+        return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (std::strcmp(argv[i], "--self-test") == 0) {
+            opt.selfTest = true;
+        } else if (value(i, "--mode", v)) {
+            if (v == "sample")
+                opt.sample = true;
+            else if (v != "grid")
+                fatal("--mode must be grid or sample, got '%s'",
+                      v.c_str());
+        } else if (value(i, "--samples", v)) {
+            const long long n = std::atoll(v.c_str());
+            if (n <= 0)
+                fatal("--samples needs a positive integer");
+            opt.samples = static_cast<std::size_t>(n);
+        } else if (value(i, "--seed", v)) {
+            opt.seed = static_cast<std::uint64_t>(
+                std::strtoull(v.c_str(), nullptr, 10));
+        } else if (value(i, "--workloads", v)) {
+            opt.workloads = splitCsv(v);
+        } else if (value(i, "--masks", v)) {
+            const int n = std::atoi(v.c_str());
+            if (n < 1 || n > 16)
+                fatal("--masks must be in [1, 16], got '%s'",
+                      v.c_str());
+            opt.masks = static_cast<unsigned>(n);
+        } else if (value(i, "--budgets", v)) {
+            for (const std::string &b : splitCsv(v))
+                opt.budgets.push_back(std::atof(b.c_str()));
+        } else if (value(i, "--sched", v)) {
+            if (v == "amdahl")
+                opt.sched = SchedulerKind::AmdahlTree;
+            else if (v != "oracle")
+                fatal("--sched must be oracle or amdahl, got '%s'",
+                      v.c_str());
+        } else if (value(i, "--shard", v)) {
+            unsigned idx = 0, cnt = 0;
+            if (std::sscanf(v.c_str(), "%u/%u", &idx, &cnt) != 2 ||
+                cnt == 0 || idx >= cnt)
+                fatal("--shard needs I/N with I < N, got '%s'",
+                      v.c_str());
+            opt.shardIndex = idx;
+            opt.shardCount = cnt;
+        } else if (value(i, "--top", v)) {
+            opt.top = static_cast<std::size_t>(std::atoll(v.c_str()));
+        } else if (value(i, "--export-dataset", v)) {
+            opt.datasetPath = v;
+        } else if (value(i, "--cache-dir", v)) {
+            opt.common.cacheDir = v;
+        } else if (value(i, "--threads", v)) {
+            const int n = std::atoi(v.c_str());
+            if (n <= 0)
+                fatal("--threads needs a positive integer");
+            opt.common.threads = static_cast<unsigned>(n);
+        } else if (value(i, "--max-insts", v)) {
+            const long long n = std::atoll(v.c_str());
+            if (n <= 0)
+                fatal("--max-insts needs a positive integer");
+            opt.common.maxInsts = static_cast<std::uint64_t>(n);
+        } else {
+            fatal("unknown option '%s' (see the file header for the "
+                  "flag list)",
+                  argv[i]);
+        }
+    }
+    if (!opt.common.cacheDir.empty())
+        ArtifactCache::setGlobalDir(opt.common.cacheDir);
+    if (opt.common.maxInsts)
+        setMaxInstsOverride(opt.common.maxInsts);
+    return opt;
+}
+
+std::vector<WorkloadSpec>
+selectWorkloads(const SearchOptions &opt)
+{
+    std::vector<WorkloadSpec> specs;
+    if (opt.workloads.empty()) {
+        for (const WorkloadSpec &s : allWorkloads())
+            specs.push_back(s);
+    } else {
+        for (const std::string &name : opt.workloads)
+            specs.push_back(findWorkload(name));
+    }
+    return specs;
+}
+
+SearchSpace
+spaceFor(const SearchOptions &opt)
+{
+    SearchSpace space;
+    if (opt.sample)
+        space.cores = sampleCoreParams(opt.samples, opt.seed);
+    space.numMasks = opt.masks;
+    space.areaBudgets = opt.budgets;
+    space.sched = opt.sched;
+    space.shardIndex = opt.shardIndex;
+    space.shardCount = opt.shardCount;
+    return space;
+}
+
+int
+runSearch(const SearchOptions &opt)
+{
+    const std::vector<WorkloadSpec> specs = selectWorkloads(opt);
+    ThreadPool pool(opt.common.threads);
+    DesignSearch search(spaceFor(opt), specs);
+
+    std::printf("design-space search: %zu cores x %u masks x %zu "
+                "budget(s) = %zu points",
+                search.space().cores.size(), search.space().numMasks,
+                search.space().areaBudgets.size(),
+                searchGridSize(search.space()));
+    if (opt.shardCount > 1)
+        std::printf(" (shard %u/%u: %zu points)", opt.shardIndex,
+                    opt.shardCount, search.shardPoints().size());
+    std::printf(", %zu workload(s), %u thread(s)\n", specs.size(),
+                pool.size());
+
+    Stopwatch sw;
+    search.load(pool);
+    std::printf("loaded %zu trace insts in %.2f s\n",
+                search.loadedInsts(), sw.seconds());
+
+    sw.reset();
+    search.prepare(pool);
+    std::printf("prepared %zu (workload, core) models in %.2f s\n",
+                specs.size() * (search.shardCoreIndices().size() + 1),
+                sw.seconds());
+
+    sw.reset();
+    const std::vector<SearchPoint> points = search.run(pool);
+    const double run_s = sw.seconds();
+    std::printf("evaluated %zu points in %.2f s (%.0f points/s)\n",
+                points.size(), run_s,
+                run_s > 0 ? static_cast<double>(points.size()) / run_s
+                          : 0.0);
+
+    bench::banner("top configurations");
+    std::fputs(renderSearchTable(points, opt.top).c_str(), stdout);
+
+    bench::banner("Pareto frontier");
+    std::fputs(renderParetoFrontier(points).c_str(), stdout);
+
+    if (!opt.datasetPath.empty()) {
+        std::ofstream os(opt.datasetPath);
+        if (!os)
+            fatal("cannot open '%s' for writing",
+                  opt.datasetPath.c_str());
+        search.exportDataset(os);
+        std::printf("\nwrote dataset to %s\n",
+                    opt.datasetPath.c_str());
+    }
+
+    std::printf("\n");
+    bench::printCacheSummary();
+    return 0;
+}
+
+// ---------------------------------------------------------------- //
+// --self-test: the search engine's correctness contracts, small
+// enough for a ctest perf-smoke slot.
+// ---------------------------------------------------------------- //
+
+int g_failures = 0;
+
+void
+expect(bool ok, const char *what)
+{
+    std::printf("  %-60s %s\n", what, ok ? "OK" : "FAIL");
+    if (!ok)
+        ++g_failures;
+}
+
+/** Component-memoized model == monolithic model, every mask, both
+ *  schedulers, parametric core points included. */
+void
+selfTestDifferential(const std::vector<WorkloadSpec> &specs)
+{
+    std::printf("differential: component-memoized vs monolithic\n");
+    std::vector<CoreParams> cores = {coreParams(CoreKind::IO2),
+                                     coreParams(CoreKind::OOO4)};
+    CoreParams custom = coreParams(CoreKind::OOO2);
+    custom.instWindow = 24;
+    custom.numAlu = 3;
+    cores.push_back(custom);
+
+    for (const WorkloadSpec &spec : specs) {
+        const auto lw = LoadedWorkload::load(spec);
+        for (const CoreParams &core : cores) {
+            const PipelineConfig cfg = pipelineConfigFrom(core);
+            const BenchmarkModel mono(lw->tdg(), cfg);
+            const auto memo =
+                buildModelCached(ArtifactCache::global(), lw->name(),
+                                 lw->tdg(), lw->maxInsts(), cfg);
+            bool same = true;
+            for (unsigned mask = 0; mask < 16 && same; ++mask) {
+                for (SchedulerKind sched :
+                     {SchedulerKind::Oracle,
+                      SchedulerKind::AmdahlTree}) {
+                    const ExoResult a = mono.evaluate(mask, sched);
+                    const ExoResult b = memo->evaluate(mask, sched);
+                    if (a.cycles != b.cycles ||
+                        a.energy != b.energy) {
+                        same = false;
+                        break;
+                    }
+                }
+            }
+            std::string what = std::string(spec.name) + " @ " +
+                               coreParamsName(core) +
+                               " identical (16 masks x 2 scheds)";
+            expect(same, what.c_str());
+        }
+    }
+}
+
+/** Rendered tables byte-identical at 1 and 4 threads. */
+void
+selfTestThreadDeterminism(const std::vector<WorkloadSpec> &specs)
+{
+    std::printf("determinism: byte-identical across thread counts\n");
+    SearchSpace space;
+    space.cores = defaultCoreGrid();
+    space.cores.resize(4);
+    space.areaBudgets = {1.5, 0.0};
+
+    std::string table1, frontier1;
+    {
+        ThreadPool pool(1);
+        DesignSearch search(space, specs);
+        search.prepare(pool);
+        const auto points = search.run(pool);
+        table1 = renderSearchTable(points);
+        frontier1 = renderParetoFrontier(points);
+    }
+    std::string table4, frontier4;
+    {
+        ThreadPool pool(4);
+        DesignSearch search(space, specs);
+        search.prepare(pool);
+        const auto points = search.run(pool);
+        table4 = renderSearchTable(points);
+        frontier4 = renderParetoFrontier(points);
+    }
+    expect(!table1.empty() && table1 == table4,
+           "ranked table byte-identical (1 vs 4 threads)");
+    expect(!frontier1.empty() && frontier1 == frontier4,
+           "Pareto frontier byte-identical (1 vs 4 threads)");
+}
+
+/** Shards partition the grid exactly and reproduce the unsharded
+ *  metrics point for point. */
+void
+selfTestSharding(const std::vector<WorkloadSpec> &specs)
+{
+    std::printf("sharding: exact partition of the grid\n");
+    SearchSpace space;
+    space.cores = defaultCoreGrid();
+    space.cores.resize(3);
+    space.numMasks = 8;
+
+    ThreadPool pool(2);
+    DesignSearch full(space, specs);
+    full.prepare(pool);
+    const auto all = full.run(pool);
+
+    constexpr unsigned kShards = 3;
+    std::vector<SearchPoint> merged;
+    for (unsigned s = 0; s < kShards; ++s) {
+        SearchSpace shard_space = space;
+        shard_space.shardIndex = s;
+        shard_space.shardCount = kShards;
+        DesignSearch shard(shard_space, specs);
+        shard.prepare(pool);
+        const auto part = shard.run(pool);
+        merged.insert(merged.end(), part.begin(), part.end());
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const SearchPoint &a, const SearchPoint &b) {
+                  return a.gridIndex < b.gridIndex;
+              });
+    bool exact = merged.size() == all.size();
+    for (std::size_t i = 0; exact && i < all.size(); ++i) {
+        exact = merged[i].gridIndex == all[i].gridIndex &&
+                merged[i].name == all[i].name &&
+                merged[i].speedup == all[i].speedup &&
+                merged[i].energyEff == all[i].energyEff &&
+                merged[i].area == all[i].area;
+    }
+    expect(exact, "3-shard union == unsharded grid, metrics equal");
+
+    expect(renderSearchTable(merged) == renderSearchTable(all),
+           "merged shard table byte-identical to unsharded");
+}
+
+/** The exported dataset is stable: two exports agree byte for byte
+ *  and carry one row per (workload, point). */
+void
+selfTestDataset(const std::vector<WorkloadSpec> &specs)
+{
+    std::printf("dataset export: stable schema and ordering\n");
+    SearchSpace space;
+    space.cores = defaultCoreGrid();
+    space.cores.resize(2);
+    space.numMasks = 4;
+
+    ThreadPool pool(2);
+    DesignSearch search(space, specs);
+    search.prepare(pool);
+
+    std::ostringstream a, b;
+    search.exportDataset(a);
+    search.exportDataset(b);
+    expect(!a.str().empty() && a.str() == b.str(),
+           "two exports byte-identical");
+
+    const std::string text = a.str();
+    const std::size_t rows =
+        static_cast<std::size_t>(std::count(text.begin(), text.end(),
+                                            '\n'));
+    const std::size_t want =
+        2 + specs.size() * search.shardPoints().size();
+    expect(rows == want, "one row per (workload, point) + header");
+    expect(text.rfind("# prism-dataset v1\n", 0) == 0,
+           "schema version header present");
+}
+
+int
+runSelfTest(const SearchOptions &opt)
+{
+    // Two small vertical microbenchmarks keep the self-test inside a
+    // perf-smoke budget while still covering a regular and an
+    // irregular workload.
+    if (!opt.common.maxInsts)
+        setMaxInstsOverride(40'000);
+    std::vector<WorkloadSpec> specs = {findWorkload("ilp-chain"),
+                                       findWorkload("mem-random")};
+
+    selfTestDifferential(specs);
+    selfTestThreadDeterminism(specs);
+    selfTestSharding(specs);
+    selfTestDataset(specs);
+
+    std::printf("prism_search --self-test: %s\n",
+                g_failures == 0 ? "all green" : "FAILED");
+    return g_failures == 0 ? 0 : 1;
+}
+
+} // namespace
+} // namespace prism
+
+int
+main(int argc, char **argv)
+{
+    const prism::SearchOptions opt = prism::parseArgs(argc, argv);
+    if (opt.selfTest)
+        return prism::runSelfTest(opt);
+    return prism::runSearch(opt);
+}

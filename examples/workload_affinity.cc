@@ -39,8 +39,7 @@ main(int argc, char **argv)
     Table t({"loop", "depth", "dyn insts", "behavior", "SIMD",
              "DP-CGRA", "NS-DF", "Trace-P", "oracle"});
     for (const Loop &loop : tdg.loops().loops()) {
-        const LoopEval &le = bm.loopEval(loop.id);
-        if (le.dynInsts == 0)
+        if (tdg.dynInstsOf(loop.id) == 0)
             continue;
 
         // Behavior classification (Figure 6 leaves).
@@ -65,11 +64,13 @@ main(int argc, char **argv)
         }
 
         auto cell = [&](BsaKind b) -> std::string {
-            const RegionUnitEval &ev = le.unit[unitIndex(b)];
+            const RegionUnitEval &ev =
+                bm.unitEval(loop.id, unitIndex(b));
             if (!ev.feasible)
                 return "-";
             const double speedup =
-                static_cast<double>(le.unit[0].cycles) /
+                static_cast<double>(
+                    bm.unitEval(loop.id, 0).cycles) /
                 static_cast<double>(ev.cycles);
             return fmt(speedup, 2) + "x";
         };
@@ -80,7 +81,7 @@ main(int argc, char **argv)
         }
         t.addRow({std::to_string(loop.id),
                   std::to_string(loop.depth),
-                  std::to_string(le.dynInsts), behavior,
+                  std::to_string(tdg.dynInstsOf(loop.id)), behavior,
                   cell(BsaKind::Simd), cell(BsaKind::DpCgra),
                   cell(BsaKind::Nsdf), cell(BsaKind::Tracep),
                   chosen});

@@ -63,8 +63,10 @@ if ! diff -u "$workdir/cold.table" "$workdir/warm.table"; then
 fi
 echo "tables byte-identical across cold and warm runs"
 
-# The warm run must actually hit the cache for every artifact kind.
-for kind in trace tdgprof model; do
+# The warm run must actually hit the cache for every artifact kind
+# (model tables are stored per component: baseline core timing plus
+# per-BSA region-eval tables).
+for kind in trace tdgprof basecore regioneval; do
     if ! grep -qE "^ *${kind} +[1-9][0-9]* hits" "$workdir/warm.out"; then
         echo "warm_cache_check: FAILED — warm run shows no '${kind}'" \
              "cache hits (is --cache-dir wired through?)" >&2

@@ -1,5 +1,6 @@
 #include "common/artifact_cache.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -117,6 +118,54 @@ ArtifactCache::pathFor(const ArtifactKind &kind,
     os << dir_ << '/' << stem << '-' << kind.name << '-' << std::hex
        << addressOf(kind, key) << ".art";
     return os.str();
+}
+
+std::vector<ArtifactCache::Entry>
+ArtifactCache::enumerate(std::string_view kind) const
+{
+    std::vector<Entry> out;
+    std::error_code ec;
+    for (const auto &de :
+         std::filesystem::directory_iterator(dir_, ec)) {
+        if (!de.is_regular_file())
+            continue;
+        const std::string fname = de.path().filename().string();
+        if (!fname.ends_with(".art"))
+            continue;
+        // Parse `<stem>-<kind>-<hex>.art` from the right: the hash
+        // and the kind slug never contain '-', the stem may.
+        const std::string base =
+            fname.substr(0, fname.size() - 4);
+        const std::size_t hash_dash = base.rfind('-');
+        if (hash_dash == std::string::npos)
+            continue;
+        const std::string hex = base.substr(hash_dash + 1);
+        if (hex.empty() ||
+            hex.find_first_not_of("0123456789abcdef") !=
+                std::string::npos)
+            continue;
+        const std::size_t kind_dash = base.rfind('-', hash_dash - 1);
+        if (kind_dash == std::string::npos || kind_dash == 0)
+            continue;
+        Entry e;
+        e.stem = base.substr(0, kind_dash);
+        e.kind = base.substr(kind_dash + 1,
+                             hash_dash - kind_dash - 1);
+        if (!kind.empty() && e.kind != kind)
+            continue;
+        e.path = de.path().string();
+        e.bytes = de.file_size(ec);
+        out.push_back(std::move(e));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.kind != b.kind)
+                      return a.kind < b.kind;
+                  if (a.stem != b.stem)
+                      return a.stem < b.stem;
+                  return a.path < b.path;
+              });
+    return out;
 }
 
 void

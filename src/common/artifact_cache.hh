@@ -382,6 +382,23 @@ class ArtifactCache
               const std::function<bool(ArtifactReader &)> &payload)
         const;
 
+    /** One on-disk entry surfaced by enumerate(). */
+    struct Entry
+    {
+        std::string stem; ///< human-readable prefix (workload name)
+        std::string kind; ///< kind slug, e.g. "basecore"
+        std::string path; ///< absolute/relative file path as stored
+        std::uint64_t bytes = 0;
+    };
+
+    /**
+     * List every artifact currently on disk, optionally restricted
+     * to one kind slug (empty = all kinds). Sorted by (kind, stem,
+     * path) so output is stable across filesystems. Entries whose
+     * names do not parse as `<stem>-<kind>-<hex16>.art` are skipped.
+     */
+    std::vector<Entry> enumerate(std::string_view kind = {}) const;
+
     /** Counters for one kind (zeros if never touched). */
     ArtifactStats stats(const ArtifactKind &kind) const;
 

@@ -1,0 +1,84 @@
+#include "common/memo_cache.hh"
+
+#include <cstdlib>
+
+namespace prism
+{
+
+std::shared_ptr<const void>
+MemoCache::get(std::uint64_t key)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.hits;
+    return it->second->value;
+}
+
+void
+MemoCache::put(std::uint64_t key, std::shared_ptr<const void> value,
+               std::uint64_t bytes)
+{
+    if (!value || bytes > maxBytes_)
+        return;
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        // Refresh: keep the first value (immutable content under a
+        // content address — racers computed the same thing).
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.push_front(Entry{key, std::move(value), bytes});
+    map_.emplace(key, lru_.begin());
+    stats_.bytes += bytes;
+    ++stats_.insertions;
+    evictLocked();
+}
+
+void
+MemoCache::evictLocked()
+{
+    while (stats_.bytes > maxBytes_ && !lru_.empty()) {
+        const Entry &victim = lru_.back();
+        stats_.bytes -= victim.bytes;
+        map_.erase(victim.key);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+void
+MemoCache::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    lru_.clear();
+    map_.clear();
+    stats_.bytes = 0;
+}
+
+MemoCache::Stats
+MemoCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+MemoCache &
+MemoCache::global()
+{
+    static MemoCache *cache = [] {
+        std::uint64_t mb = 256;
+        if (const char *env = std::getenv("PRISM_RAM_CACHE_MB"))
+            mb = static_cast<std::uint64_t>(
+                std::strtoull(env, nullptr, 10));
+        return new MemoCache(mb << 20);
+    }();
+    return *cache;
+}
+
+} // namespace prism

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * In-RAM memoization tier in front of the on-disk artifact cache: a
+ * process-wide, byte-budgeted LRU of immutable component tables
+ * keyed by the same content addresses the disk cache uses. A search
+ * that revisits a (workload, core) pair pays neither a timing run
+ * nor a file read — the shared_ptr from the first build is handed
+ * straight back.
+ *
+ * Entries are type-erased shared_ptr<const void>; the typed helpers
+ * in tdg/artifacts.hh are the intended access path. Eviction is
+ * strictly by recency against a byte budget (default 256 MiB,
+ * override with PRISM_RAM_CACHE_MB); an in-use entry stays alive
+ * through its callers' shared_ptrs even after eviction, so eviction
+ * only ever drops the cache's own reference.
+ *
+ * Thread-safety: all members are safe to call concurrently (one
+ * mutex; operations are O(1) map/list splices).
+ */
+
+#ifndef PRISM_COMMON_MEMO_CACHE_HH
+#define PRISM_COMMON_MEMO_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace prism
+{
+
+class MemoCache
+{
+  public:
+    /** Monotone effectiveness counters (snapshot via stats()). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t bytes = 0; ///< currently resident
+    };
+
+    /** Cache with an explicit byte budget. */
+    explicit MemoCache(std::uint64_t max_bytes)
+        : maxBytes_(max_bytes)
+    {
+    }
+
+    /** Look up `key`; refreshes recency on a hit. */
+    std::shared_ptr<const void> get(std::uint64_t key);
+
+    /**
+     * Insert (or refresh) `key` -> `value`, charging `bytes` against
+     * the budget, then evict least-recently-used entries until the
+     * budget holds again. Values larger than the whole budget are
+     * simply not retained.
+     */
+    void put(std::uint64_t key, std::shared_ptr<const void> value,
+             std::uint64_t bytes);
+
+    /** Drop every entry (counters are kept). */
+    void clear();
+
+    Stats stats() const;
+
+    std::uint64_t maxBytes() const { return maxBytes_; }
+
+    /**
+     * The process-wide instance, sized from PRISM_RAM_CACHE_MB
+     * (megabytes; 0 disables retention) or the 256 MiB default.
+     */
+    static MemoCache &global();
+
+    /**
+     * Typed convenience: return the cached T under `key`, or compute,
+     * insert (charging `bytes(value)`) and return it. `compute` may
+     * run concurrently on racing threads; the first insertion wins
+     * and later racers return their own (identical) value.
+     */
+    template <typename T, typename Compute, typename Bytes>
+    std::shared_ptr<const T>
+    getOrCompute(std::uint64_t key, Compute &&compute,
+                 Bytes &&bytes)
+    {
+        if (auto hit = get(key))
+            return std::static_pointer_cast<const T>(hit);
+        std::shared_ptr<const T> value = compute();
+        if (value)
+            put(key, value, bytes(*value));
+        return value;
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key;
+        std::shared_ptr<const void> value;
+        std::uint64_t bytes;
+    };
+
+    void evictLocked();
+
+    const std::uint64_t maxBytes_;
+    mutable std::mutex mu_;
+    std::list<Entry> lru_; ///< front = most recent
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator>
+        map_;
+    Stats stats_;
+};
+
+} // namespace prism
+
+#endif // PRISM_COMMON_MEMO_CACHE_HH

@@ -137,9 +137,15 @@ ThreadPool::chunkSizeFor(std::size_t n, unsigned contexts)
     // ~8 chunks per context: claim traffic is one fetch-add per
     // chunk, and an 8x surplus of chunks over contexts keeps uneven
     // per-item costs balanced (the classic guided-scheduling
-    // compromise without its tail of tiny claims).
-    const std::size_t parts =
-        std::max<std::size_t>(1, std::size_t{contexts} * 8);
+    // compromise without its tail of tiny claims). The split is
+    // clamped to at most n chunks: for tiny ranges on wide machines
+    // the unclamped heuristic would hand most contexts an empty claim
+    // (an inflight/next fetch-add pair each, just to discover the
+    // range is exhausted).
+    if (n == 0)
+        return 1;
+    const std::size_t parts = std::min<std::size_t>(
+        std::max<std::size_t>(1, std::size_t{contexts} * 8), n);
     return std::max<std::size_t>(1, (n + parts - 1) / parts);
 }
 
@@ -268,7 +274,15 @@ ThreadPool::parallelFor(std::size_t n,
             for (std::size_t h = 0; h < helpers; ++h)
                 queue_.push_back(Task{loop});
         }
-        cv_.notify_all();
+        // Wake exactly as many workers as there are tasks to steal:
+        // notify_all on a small loop over a wide pool stampedes every
+        // idle worker through the queue mutex just to find nothing.
+        if (helpers >= workers_.size()) {
+            cv_.notify_all();
+        } else {
+            for (std::size_t h = 0; h < helpers; ++h)
+                cv_.notify_one();
+        }
     }
 
     // The caller participates: nested submission from inside a work

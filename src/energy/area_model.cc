@@ -1,5 +1,7 @@
 #include "energy/area_model.hh"
 
+#include <cmath>
+
 #include "common/logging.hh"
 
 namespace prism
@@ -46,6 +48,19 @@ coreArea(CoreKind kind)
 }
 
 MilliMeter2
+coreArea(const CoreParams &p)
+{
+    const double fu = 0.10 * p.numAlu + 0.15 * p.numMulDiv +
+                      0.25 * p.numFp + 0.30 * p.dcachePorts;
+    const double frontend = 0.10 * p.width;
+    if (p.inorder)
+        return 0.4 + frontend + fu; // no rename/ROB/window CAMs
+    const double ooo = 0.036 * std::pow(p.width, 1.25) *
+                       std::sqrt(static_cast<double>(p.robSize));
+    return 0.8 + frontend + fu + ooo;
+}
+
+MilliMeter2
 bsaArea(BsaKind kind)
 {
     switch (kind) {
@@ -57,15 +72,31 @@ bsaArea(BsaKind kind)
     panic("bad BSA");
 }
 
-MilliMeter2
-exoCoreArea(CoreKind core, unsigned bsa_mask)
+namespace
 {
-    MilliMeter2 area = coreArea(core);
+
+MilliMeter2
+withBsas(MilliMeter2 area, unsigned bsa_mask)
+{
     for (std::size_t i = 0; i < kAllBsas.size(); ++i) {
         if (bsa_mask & (1u << i))
             area += bsaArea(kAllBsas[i]);
     }
     return area;
+}
+
+} // namespace
+
+MilliMeter2
+exoCoreArea(CoreKind core, unsigned bsa_mask)
+{
+    return withBsas(coreArea(core), bsa_mask);
+}
+
+MilliMeter2
+exoCoreArea(const CoreParams &p, unsigned bsa_mask)
+{
+    return withBsas(coreArea(p), bsa_mask);
 }
 
 } // namespace prism

@@ -32,11 +32,22 @@ const char *bsaName(BsaKind b);
 /** Core area including L1 caches, mm^2 at 22nm. */
 MilliMeter2 coreArea(CoreKind kind);
 
+/**
+ * Parametric core area for arbitrary CoreParams points: L1s + front
+ * end linear in width, FU pool per unit, and (for OOO) a rename/
+ * window/bypass term growing as width^1.25 * sqrt(ROB) — a fit to
+ * the six fixed kinds' McPAT-trend table above (within ~3% at each).
+ */
+MilliMeter2 coreArea(const CoreParams &p);
+
 /** Additional area of one attached BSA, mm^2 at 22nm. */
 MilliMeter2 bsaArea(BsaKind kind);
 
 /** Area of a core plus a set of BSAs (bitmask over kAllBsas order). */
 MilliMeter2 exoCoreArea(CoreKind core, unsigned bsa_mask);
+
+/** Parametric-core variant of exoCoreArea. */
+MilliMeter2 exoCoreArea(const CoreParams &p, unsigned bsa_mask);
 
 } // namespace prism
 

@@ -1,5 +1,6 @@
 #include "tdg/artifacts.hh"
 
+#include "common/memo_cache.hh"
 #include "trace/serialize.hh"
 
 namespace prism
@@ -115,6 +116,23 @@ pipelineConfigHash(const PipelineConfig &cfg)
 {
     ArtifactKey k;
     k.mix(std::string_view(cfg.core.name));
+    k.mix(coreTimingHash(cfg));
+    for (const AccelParams *a : {&cfg.cgra, &cfg.nsdf, &cfg.tracep}) {
+        k.mix(a->issueWidth);
+        k.mix(a->window);
+        k.mix(a->memPorts);
+        k.mix(a->wbBusWidth);
+        k.mix(a->configCycles);
+    }
+    return k.hash();
+}
+
+std::uint64_t
+coreTimingHash(const PipelineConfig &cfg)
+{
+    // Parameter-only (no display name): a parametric point identical
+    // to a fixed CoreKind addresses the same components.
+    ArtifactKey k;
     k.mix(cfg.core.inorder ? 1 : 0);
     k.mix(cfg.core.width);
     k.mix(cfg.core.robSize);
@@ -126,15 +144,31 @@ pipelineConfigHash(const PipelineConfig &cfg)
     k.mix(cfg.core.frontendDepth);
     k.mix(cfg.core.mispredictPenalty);
     k.mix(cfg.core.simdLanes);
-    for (const AccelParams *a : {&cfg.cgra, &cfg.nsdf, &cfg.tracep}) {
+    k.mix(cfg.l1HitLatency);
+    k.mix(cfg.l2HitLatency);
+    return k.hash();
+}
+
+std::uint64_t
+regionEvalConfigHash(const PipelineConfig &cfg, BsaKind bsa)
+{
+    ArtifactKey k;
+    k.mix(coreTimingHash(cfg));
+    k.mix(static_cast<std::uint64_t>(unitIndex(bsa)));
+    const AccelParams *a = nullptr;
+    switch (bsa) {
+      case BsaKind::Simd: a = nullptr; break; // lanes live in core
+      case BsaKind::DpCgra: a = &cfg.cgra; break;
+      case BsaKind::Nsdf: a = &cfg.nsdf; break;
+      case BsaKind::Tracep: a = &cfg.tracep; break;
+    }
+    if (a) {
         k.mix(a->issueWidth);
         k.mix(a->window);
         k.mix(a->memPorts);
         k.mix(a->wbBusWidth);
         k.mix(a->configCycles);
     }
-    k.mix(cfg.l1HitLatency);
-    k.mix(cfg.l2HitLatency);
     return k.hash();
 }
 
@@ -147,14 +181,26 @@ tdgProfilesArtifactKey(const Program &prog, std::uint64_t max_insts)
 }
 
 ArtifactKey
-modelArtifactKey(const Program &prog, std::uint64_t max_insts,
-                 const PipelineConfig &cfg,
-                 std::uint64_t code_version)
+baselineTablesKey(const Program &prog, std::uint64_t max_insts,
+                  const PipelineConfig &cfg,
+                  std::uint64_t code_version)
 {
     return ArtifactKey()
         .mix(programFingerprint(prog))
         .mix(max_insts)
-        .mix(pipelineConfigHash(cfg))
+        .mix(coreTimingHash(cfg))
+        .mix(code_version);
+}
+
+ArtifactKey
+regionEvalKey(const Program &prog, std::uint64_t max_insts,
+              const PipelineConfig &cfg, BsaKind bsa,
+              std::uint64_t code_version)
+{
+    return ArtifactKey()
+        .mix(programFingerprint(prog))
+        .mix(max_insts)
+        .mix(regionEvalConfigHash(cfg, bsa))
         .mix(code_version);
 }
 
@@ -292,56 +338,50 @@ loadTdgProfiles(const ArtifactCache &cache, const std::string &name,
 }
 
 void
-storeModelTables(const ArtifactCache &cache, const std::string &name,
-                 std::uint64_t max_insts, const BenchmarkModel &model,
-                 std::uint64_t code_version)
+storeBaselineTables(const ArtifactCache &cache,
+                    const std::string &name, const Program &prog,
+                    std::uint64_t max_insts,
+                    const PipelineConfig &cfg,
+                    const BaselineTables &tables,
+                    std::uint64_t code_version)
 {
-    const ModelTables t = model.tables();
     cache.store(
-        kModelKind, name,
-        modelArtifactKey(model.tdg().trace().program(),
-                         max_insts, model.config(), code_version),
+        kBaseTimingKind, name,
+        baselineTablesKey(prog, max_insts, cfg, code_version),
         [&](ArtifactWriter &w) {
-            writeExoResult(w, t.baseline);
-            w.u64(t.loopEvals.size());
-            for (const LoopEval &le : t.loopEvals) {
-                w.i32(le.loopId);
-                w.u64(le.dynInsts);
-                for (const RegionUnitEval &ev : le.unit)
-                    writeUnitEval(w, ev);
-            }
-            w.vec(t.occBaseStart);
-            w.vec(t.occBaseCycles);
-            w.vec(t.occBaseEnergy);
+            writeExoResult(w, tables.baseline);
+            w.u64(tables.gpp.size());
+            for (const RegionUnitEval &ev : tables.gpp)
+                writeUnitEval(w, ev);
+            w.vec(tables.occBaseStart);
+            w.vec(tables.occBaseCycles);
+            w.vec(tables.occBaseEnergy);
         });
 }
 
-std::optional<ModelTables>
-loadModelTables(const ArtifactCache &cache, const std::string &name,
-                const Tdg &tdg, std::uint64_t max_insts,
-                const PipelineConfig &cfg,
-                std::uint64_t code_version)
+std::optional<BaselineTables>
+loadBaselineTables(const ArtifactCache &cache,
+                   const std::string &name, const Tdg &tdg,
+                   std::uint64_t max_insts,
+                   const PipelineConfig &cfg,
+                   std::uint64_t code_version)
 {
     const std::uint64_t num_loops = tdg.loops().numLoops();
     const std::uint64_t num_occs = tdg.loopMap().occurrences.size();
-    std::optional<ModelTables> result;
+    std::optional<BaselineTables> result;
     const bool hit = cache.load(
-        kModelKind, name,
-        modelArtifactKey(tdg.trace().program(), max_insts, cfg,
-                         code_version),
+        kBaseTimingKind, name,
+        baselineTablesKey(tdg.trace().program(), max_insts, cfg,
+                          code_version),
         [&](ArtifactReader &r) {
-            ModelTables t;
+            BaselineTables t;
             if (!readExoResult(r, t.baseline))
                 return false;
-            const std::uint64_t nle = r.count(num_loops);
-            t.loopEvals.resize(nle);
-            for (LoopEval &le : t.loopEvals) {
-                le.loopId = r.i32();
-                le.dynInsts = r.u64();
-                for (RegionUnitEval &ev : le.unit) {
-                    if (!readUnitEval(r, ev, num_occs))
-                        return false;
-                }
+            const std::uint64_t ng = r.count(num_loops);
+            t.gpp.resize(ng);
+            for (RegionUnitEval &ev : t.gpp) {
+                if (!readUnitEval(r, ev, num_occs))
+                    return false;
             }
             if (!r.vec(t.occBaseStart, num_occs) ||
                 !r.vec(t.occBaseCycles, num_occs) ||
@@ -351,7 +391,7 @@ loadModelTables(const ArtifactCache &cache, const std::string &name,
                 return false;
 
             // Shape must match the TDG this run built.
-            if (t.loopEvals.size() != num_loops ||
+            if (t.gpp.size() != num_loops ||
                 t.occBaseStart.size() != num_occs ||
                 t.occBaseCycles.size() != num_occs ||
                 t.occBaseEnergy.size() != num_occs)
@@ -363,6 +403,184 @@ loadModelTables(const ArtifactCache &cache, const std::string &name,
     if (!hit)
         result.reset();
     return result;
+}
+
+void
+storeRegionEvalTable(const ArtifactCache &cache,
+                     const std::string &name, const Program &prog,
+                     std::uint64_t max_insts,
+                     const PipelineConfig &cfg, BsaKind bsa,
+                     const RegionEvalTable &table,
+                     std::uint64_t code_version)
+{
+    cache.store(
+        kRegionEvalKind, name,
+        regionEvalKey(prog, max_insts, cfg, bsa, code_version),
+        [&](ArtifactWriter &w) {
+            w.u64(table.evals.size());
+            for (const RegionUnitEval &ev : table.evals)
+                writeUnitEval(w, ev);
+        });
+}
+
+std::optional<RegionEvalTable>
+loadRegionEvalTable(const ArtifactCache &cache,
+                    const std::string &name, const Tdg &tdg,
+                    std::uint64_t max_insts,
+                    const PipelineConfig &cfg, BsaKind bsa,
+                    std::uint64_t code_version)
+{
+    const std::uint64_t num_loops = tdg.loops().numLoops();
+    const std::uint64_t num_occs = tdg.loopMap().occurrences.size();
+    std::optional<RegionEvalTable> result;
+    const bool hit = cache.load(
+        kRegionEvalKind, name,
+        regionEvalKey(tdg.trace().program(), max_insts, cfg, bsa,
+                      code_version),
+        [&](ArtifactReader &r) {
+            RegionEvalTable t;
+            const std::uint64_t n = r.count(num_loops);
+            t.evals.resize(n);
+            for (RegionUnitEval &ev : t.evals) {
+                if (!readUnitEval(r, ev, num_occs))
+                    return false;
+            }
+            if (!r.ok() || t.evals.size() != num_loops)
+                return false;
+            result = std::move(t);
+            return true;
+        });
+    if (!hit)
+        result.reset();
+    return result;
+}
+
+std::uint64_t
+tableBytes(const BaselineTables &t)
+{
+    std::uint64_t b = sizeof(BaselineTables);
+    b += t.baseline.choices.size() * sizeof(ExoChoice);
+    for (const RegionUnitEval &ev : t.gpp)
+        b += sizeof(ev) + ev.occCycles.size() * sizeof(Cycle);
+    b += t.occBaseStart.size() * sizeof(Cycle);
+    b += t.occBaseCycles.size() * sizeof(Cycle);
+    b += t.occBaseEnergy.size() * sizeof(PicoJoule);
+    return b;
+}
+
+std::uint64_t
+tableBytes(const RegionEvalTable &t)
+{
+    std::uint64_t b = sizeof(RegionEvalTable);
+    for (const RegionUnitEval &ev : t.evals)
+        b += sizeof(ev) + ev.occCycles.size() * sizeof(Cycle);
+    return b;
+}
+
+namespace
+{
+
+/** RAM-tier address of a component: the disk address is already the
+ *  full content identity (kind, version, key), reused verbatim. */
+std::uint64_t
+ramKey(const ArtifactKind &kind, const ArtifactKey &key)
+{
+    return ArtifactKey()
+        .mix(std::string_view(kind.name))
+        .mix(kind.version)
+        .mix(key.hash())
+        .hash();
+}
+
+} // namespace
+
+std::shared_ptr<const BaselineTables>
+getBaselineTables(const ArtifactCache *cache,
+                  const std::string &name, const Tdg &tdg,
+                  std::uint64_t max_insts, const PipelineConfig &cfg)
+{
+    const ArtifactKey key = baselineTablesKey(
+        tdg.trace().program(), max_insts, cfg);
+    return MemoCache::global().getOrCompute<BaselineTables>(
+        ramKey(kBaseTimingKind, key),
+        [&]() -> std::shared_ptr<const BaselineTables> {
+            if (cache) {
+                if (std::optional<BaselineTables> t =
+                        loadBaselineTables(*cache, name, tdg,
+                                           max_insts, cfg)) {
+                    return std::make_shared<const BaselineTables>(
+                        std::move(*t));
+                }
+            }
+            auto fresh = std::make_shared<const BaselineTables>(
+                computeBaselineTables(tdg, cfg));
+            if (cache) {
+                storeBaselineTables(*cache, name,
+                                    tdg.trace().program(),
+                                    max_insts, cfg, *fresh);
+            }
+            return fresh;
+        },
+        [](const BaselineTables &t) { return tableBytes(t); });
+}
+
+std::shared_ptr<const RegionEvalTable>
+getRegionEvalTable(const ArtifactCache *cache,
+                   const std::string &name, const Tdg &tdg,
+                   const AnalyzerProvider &analyzer,
+                   std::uint64_t max_insts,
+                   const PipelineConfig &cfg, BsaKind bsa)
+{
+    const ArtifactKey key = regionEvalKey(
+        tdg.trace().program(), max_insts, cfg, bsa);
+    return MemoCache::global().getOrCompute<RegionEvalTable>(
+        ramKey(kRegionEvalKind, key),
+        [&]() -> std::shared_ptr<const RegionEvalTable> {
+            if (cache) {
+                if (std::optional<RegionEvalTable> t =
+                        loadRegionEvalTable(*cache, name, tdg,
+                                            max_insts, cfg, bsa)) {
+                    return std::make_shared<const RegionEvalTable>(
+                        std::move(*t));
+                }
+            }
+            auto fresh = std::make_shared<const RegionEvalTable>(
+                computeRegionEvalTable(tdg, analyzer(), cfg, bsa));
+            if (cache) {
+                storeRegionEvalTable(*cache, name,
+                                     tdg.trace().program(),
+                                     max_insts, cfg, bsa, *fresh);
+            }
+            return fresh;
+        },
+        [](const RegionEvalTable &t) { return tableBytes(t); });
+}
+
+std::unique_ptr<BenchmarkModel>
+buildModelCached(const ArtifactCache *cache, const std::string &name,
+                 const Tdg &tdg, std::uint64_t max_insts,
+                 const PipelineConfig &cfg)
+{
+    ArtifactCacheHandle handle(cache);
+    std::shared_ptr<const BaselineTables> base =
+        getBaselineTables(cache, name, tdg, max_insts, cfg);
+
+    // One shared analyzer across the (at most four) cold computes;
+    // never built when every component is warm.
+    std::unique_ptr<TdgAnalyzer> lazy;
+    const AnalyzerProvider analyzer = [&]() -> const TdgAnalyzer & {
+        if (!lazy)
+            lazy = std::make_unique<TdgAnalyzer>(tdg);
+        return *lazy;
+    };
+
+    std::array<std::shared_ptr<const RegionEvalTable>, 4> bsas;
+    for (std::size_t i = 0; i < kAllBsas.size(); ++i) {
+        bsas[i] = getRegionEvalTable(cache, name, tdg, analyzer,
+                                     max_insts, cfg, kAllBsas[i]);
+    }
+    return std::make_unique<BenchmarkModel>(
+        tdg, cfg, std::move(base), std::move(bsas));
 }
 
 } // namespace prism

@@ -1,25 +1,44 @@
 /**
  * @file
- * Artifact-cache entries for the two expensive products above the
- * trace: TDG profiles (one streaming pass over the dynamic stream)
- * and BenchmarkModel evaluation tables (baseline region attribution
- * plus every (loop, BSA) timing run). With both cached, a warm run
- * skips interpretation, TDG construction, and all model timing —
- * only the cheap mask/scheduler composition remains ("record once,
- * explore many", paper Section 2.6, extended to the full pipeline).
+ * Artifact-cache entries for the expensive products above the trace:
+ * TDG profiles (one streaming pass over the dynamic stream) and the
+ * two components of a BenchmarkModel evaluation — baseline core
+ * timing (kind "basecore") and per-BSA region evaluations (kind
+ * "regioneval"). With all three cached, a warm run skips
+ * interpretation, TDG construction, and every model timing run —
+ * only the microsecond mask/scheduler composition remains ("record
+ * once, explore many", paper Section 2.6, extended to the full
+ * pipeline and the parametric design-space search).
  *
- * Keys: TDG profiles are identified by (program fingerprint,
- * instruction budget); model tables additionally mix the full
- * machine-configuration hash and a model-code version fingerprint,
- * so changing timing/transform code (bump kModelCodeVersion) or any
- * core/accelerator parameter invalidates exactly the affected
- * entries.
+ * Keys are honest per component: TDG profiles are identified by
+ * (program fingerprint, instruction budget); baseline timing
+ * additionally mixes only the core-timing parameters (core fields +
+ * cache latencies — never accelerator parameters, which the
+ * untransformed stream cannot observe); a region-eval table mixes
+ * the core-timing parameters plus *its own* BSA's AccelParams —
+ * never a sibling BSA's. Changing one accelerator's parameters thus
+ * invalidates exactly that accelerator's tables, and a search over
+ * budgets/masks/schedulers recomputes nothing at all. Each key also
+ * mixes a model-code version fingerprint, so changing timing/
+ * transform code (bump kModelCodeVersion) self-invalidates every
+ * affected entry. Keys deliberately exclude the config's display
+ * name: a parametric point identical to a fixed CoreKind shares its
+ * components.
+ *
+ * Tiering: the get*()/buildModelCached() helpers consult the in-RAM
+ * MemoCache first, then the on-disk cache, then compute — storing
+ * back into both tiers — so a thousand-point search touches the
+ * timing engine once per unique (workload, core) and the disk once
+ * per process.
  */
 
 #ifndef PRISM_TDG_ARTIFACTS_HH
 #define PRISM_TDG_ARTIFACTS_HH
 
+#include <array>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -34,28 +53,55 @@ namespace prism
  *  profiling passes that fill it. */
 inline constexpr ArtifactKind kTdgProfilesKind{"tdgprof", 1};
 
-/** Model-table namespace; version tracks the payload format. */
-inline constexpr ArtifactKind kModelKind{"model", 1};
+/** Baseline-core-timing namespace; version tracks the payload
+ *  format. */
+inline constexpr ArtifactKind kBaseTimingKind{"basecore", 1};
+
+/** Per-BSA region-evaluation namespace; version tracks the payload
+ *  format. */
+inline constexpr ArtifactKind kRegionEvalKind{"regioneval", 1};
 
 /**
  * Fingerprint of the timing/energy/transform code that fills model
  * tables. Bump on any change to PipelineModel, EnergyModel, or the
- * BSA transforms; every cached model table self-invalidates.
+ * BSA transforms; every cached component self-invalidates.
  */
 inline constexpr std::uint64_t kModelCodeVersion = 1;
 
 /** Content hash of every machine parameter a model depends on. */
 std::uint64_t pipelineConfigHash(const PipelineConfig &cfg);
 
+/**
+ * Content hash of the parameters baseline core timing depends on:
+ * all CoreConfig fields except the display name, plus the cache
+ * latencies. Accelerator parameters are deliberately absent.
+ */
+std::uint64_t coreTimingHash(const PipelineConfig &cfg);
+
+/**
+ * Content hash of the parameters one BSA's region evaluations depend
+ * on: the core-timing hash plus that BSA's own AccelParams (SIMD has
+ * none beyond the core's lane count). Sibling BSAs' parameters are
+ * deliberately absent.
+ */
+std::uint64_t regionEvalConfigHash(const PipelineConfig &cfg,
+                                   BsaKind bsa);
+
 /** Key of one workload's TDG profiles. */
 ArtifactKey tdgProfilesArtifactKey(const Program &prog,
                                    std::uint64_t max_insts);
 
-/** Key of one (workload, machine configuration) model table. */
+/** Key of one (workload, core-timing parameters) baseline table. */
 ArtifactKey
-modelArtifactKey(const Program &prog, std::uint64_t max_insts,
-                 const PipelineConfig &cfg,
-                 std::uint64_t code_version = kModelCodeVersion);
+baselineTablesKey(const Program &prog, std::uint64_t max_insts,
+                  const PipelineConfig &cfg,
+                  std::uint64_t code_version = kModelCodeVersion);
+
+/** Key of one (workload, core, BSA-params) region-eval table. */
+ArtifactKey
+regionEvalKey(const Program &prog, std::uint64_t max_insts,
+              const PipelineConfig &cfg, BsaKind bsa,
+              std::uint64_t code_version = kModelCodeVersion);
 
 /** Persist the profiles of one workload's TDG. */
 void storeTdgProfiles(const ArtifactCache &cache,
@@ -73,22 +119,89 @@ loadTdgProfiles(const ArtifactCache &cache, const std::string &name,
                 const Program &prog, std::uint64_t max_insts,
                 const Trace &trace, std::uint64_t num_loops);
 
-/** Persist one model's evaluation tables (key from model.config()). */
-void
-storeModelTables(const ArtifactCache &cache, const std::string &name,
-                 std::uint64_t max_insts, const BenchmarkModel &model,
-                 std::uint64_t code_version = kModelCodeVersion);
+/** Persist one workload's baseline-timing component. */
+void storeBaselineTables(
+    const ArtifactCache &cache, const std::string &name,
+    const Program &prog, std::uint64_t max_insts,
+    const PipelineConfig &cfg, const BaselineTables &tables,
+    std::uint64_t code_version = kModelCodeVersion);
 
 /**
- * Look up cached model tables for (workload, machine configuration).
- * Validated against the TDG (loop count, occurrence count); anything
- * inconsistent is a rejected miss.
+ * Look up the cached baseline-timing component for (workload,
+ * core-timing parameters). Validated against the TDG (loop count,
+ * occurrence count); anything inconsistent is a rejected miss.
  */
-std::optional<ModelTables>
-loadModelTables(const ArtifactCache &cache, const std::string &name,
-                const Tdg &tdg, std::uint64_t max_insts,
-                const PipelineConfig &cfg,
-                std::uint64_t code_version = kModelCodeVersion);
+std::optional<BaselineTables> loadBaselineTables(
+    const ArtifactCache &cache, const std::string &name,
+    const Tdg &tdg, std::uint64_t max_insts,
+    const PipelineConfig &cfg,
+    std::uint64_t code_version = kModelCodeVersion);
+
+/** Persist one (workload, BSA) region-evaluation component. */
+void storeRegionEvalTable(
+    const ArtifactCache &cache, const std::string &name,
+    const Program &prog, std::uint64_t max_insts,
+    const PipelineConfig &cfg, BsaKind bsa,
+    const RegionEvalTable &table,
+    std::uint64_t code_version = kModelCodeVersion);
+
+/**
+ * Look up one cached region-evaluation component. Validated against
+ * the TDG; anything inconsistent is a rejected miss.
+ */
+std::optional<RegionEvalTable> loadRegionEvalTable(
+    const ArtifactCache &cache, const std::string &name,
+    const Tdg &tdg, std::uint64_t max_insts,
+    const PipelineConfig &cfg, BsaKind bsa,
+    std::uint64_t code_version = kModelCodeVersion);
+
+// ---- Tiered fetch: RAM LRU -> disk -> compute ----
+
+/**
+ * The baseline-timing component for (workload, cfg), from the
+ * fastest tier that has it; computes and back-fills both tiers on a
+ * full miss. `cache` may be null (RAM + compute only).
+ */
+std::shared_ptr<const BaselineTables>
+getBaselineTables(const ArtifactCache *cache,
+                  const std::string &name, const Tdg &tdg,
+                  std::uint64_t max_insts,
+                  const PipelineConfig &cfg);
+
+/**
+ * Lazy source of a legality analyzer: invoked only when a component
+ * actually has to be computed cold, so warm fetches never pay the
+ * analyzer build.
+ */
+using AnalyzerProvider = std::function<const TdgAnalyzer &()>;
+
+/**
+ * One BSA's region-evaluation component for (workload, cfg),
+ * tiered as above. `analyzer` is only invoked on a full miss
+ * (cold compute).
+ */
+std::shared_ptr<const RegionEvalTable>
+getRegionEvalTable(const ArtifactCache *cache,
+                   const std::string &name, const Tdg &tdg,
+                   const AnalyzerProvider &analyzer,
+                   std::uint64_t max_insts,
+                   const PipelineConfig &cfg, BsaKind bsa);
+
+/**
+ * Assemble a full BenchmarkModel from the tiered component caches:
+ * one getBaselineTables + four getRegionEvalTable fetches sharing
+ * one ArtifactCacheHandle. Warm in RAM, this allocates only the
+ * model object itself. (unique_ptr because BenchmarkModel is
+ * immovable — it carries a once_flag.)
+ */
+std::unique_ptr<BenchmarkModel>
+buildModelCached(const ArtifactCache *cache, const std::string &name,
+                 const Tdg &tdg, std::uint64_t max_insts,
+                 const PipelineConfig &cfg);
+
+/** Approximate resident size of a component (RAM-tier budgeting). */
+std::uint64_t tableBytes(const BaselineTables &t);
+std::uint64_t tableBytes(const RegionEvalTable &t);
 
 } // namespace prism
 

@@ -15,7 +15,7 @@ namespace
 {
 
 /**
- * Per-thread construction scratch. Cold model construction is the
+ * Per-thread construction scratch. Cold component computation is the
  * unit of work the sweep fans out across pool workers, and it used
  * to allocate its multi-megabyte timing buffers (and thousands of
  * small temporaries) fresh per model — every worker hammering the
@@ -37,7 +37,7 @@ modelScratch()
 }
 
 /** Occurrences of `loop` in trace order, arena-backed (valid until
- *  the arena resets at the next model build on this thread). */
+ *  the arena resets at the next component build on this thread). */
 std::span<const LoopOccurrence *>
 occurrencesOf(const Tdg &tdg, std::int32_t loop, ScratchArena &arena)
 {
@@ -99,75 +99,14 @@ ExoResult::unitCycleFraction(int unit) const
                   : 0.0;
 }
 
-BenchmarkModel::BenchmarkModel(const Tdg &tdg, CoreKind core)
-    : BenchmarkModel(tdg, core,
-                     PipelineConfig{.core = coreConfig(core)})
+BaselineTables
+computeBaselineTables(const Tdg &tdg, const PipelineConfig &cfg)
 {
-}
-
-BenchmarkModel::BenchmarkModel(const Tdg &tdg, CoreKind core,
-                               const PipelineConfig &cfg)
-    : tdg_(&tdg), core_(core), pcfg_(cfg),
-      energyModel_(pcfg_.core,
-                   static_cast<unsigned>(kAllBsas.size()))
-{
-    analyzer(); // cold builds consult it throughout
-    // One construction = one arena generation (see arena.hh).
-    modelScratch().arena.reset();
-    evaluateBaseline();
-    evaluateBsas();
-}
-
-BenchmarkModel::BenchmarkModel(const Tdg &tdg, CoreKind core,
-                               ModelTables tables)
-    : tdg_(&tdg), core_(core),
-      pcfg_{.core = coreConfig(core)},
-      energyModel_(pcfg_.core,
-                   static_cast<unsigned>(kAllBsas.size()))
-{
-    prism_assert(tables.loopEvals.size() ==
-                     tdg.loops().numLoops(),
-                 "model tables do not match this TDG");
-    baseline_ = std::move(tables.baseline);
-    loopEvals_ = std::move(tables.loopEvals);
-    occBaseStart_ = std::move(tables.occBaseStart);
-    occBaseCycles_ = std::move(tables.occBaseCycles);
-    occBaseEnergy_ = std::move(tables.occBaseEnergy);
-}
-
-const TdgAnalyzer &
-BenchmarkModel::analyzer() const
-{
-    std::call_once(analyzerOnce_, [this] {
-        analyzer_ = std::make_unique<TdgAnalyzer>(*tdg_);
-    });
-    return *analyzer_;
-}
-
-ModelTables
-BenchmarkModel::tables() const
-{
-    return ModelTables{baseline_, loopEvals_, occBaseStart_,
-                       occBaseCycles_, occBaseEnergy_};
-}
-
-Cycle
-BenchmarkModel::gppLoopCycles(std::int32_t loop) const
-{
-    return loopEvals_.at(loop).unit[0].cycles;
-}
-
-PicoJoule
-BenchmarkModel::gppLoopEnergy(std::int32_t loop) const
-{
-    return loopEvals_.at(loop).unit[0].energy;
-}
-
-void
-BenchmarkModel::evaluateBaseline()
-{
-    const Trace &trace = tdg_->trace();
-    const PipelineModel model(pcfg_);
+    const Trace &trace = tdg.trace();
+    const PipelineModel model(cfg);
+    const EnergyModel em(cfg.core,
+                         static_cast<unsigned>(kAllBsas.size()));
+    BaselineTables out;
 
     // Stream the untransformed trace through the timing engine in
     // fixed-size windows with absolute dependence indices; the
@@ -183,44 +122,39 @@ BenchmarkModel::evaluateBaseline()
         model.runWindow(ts, win, 0, win.size(), false);
     }
 
-    baseline_.cycles = ts.cycles();
-    baseline_.energy =
-        energyModel_.energy(ts.events, baseline_.cycles);
-    baseline_.unitCycles[0] = baseline_.cycles;
-    baseline_.unitEnergy[0] = baseline_.energy;
+    out.baseline.cycles = ts.cycles();
+    out.baseline.energy = em.energy(ts.events, out.baseline.cycles);
+    out.baseline.unitCycles[0] = out.baseline.cycles;
+    out.baseline.unitEnergy[0] = out.baseline.energy;
 
     // Per-occurrence attribution from commit-time deltas (the commit
     // array is indexed by global position == trace index here).
-    const auto &occs = tdg_->loopMap().occurrences;
-    occBaseStart_.resize(occs.size());
-    occBaseCycles_.resize(occs.size());
-    occBaseEnergy_.resize(occs.size());
+    const auto &occs = tdg.loopMap().occurrences;
+    out.occBaseStart.resize(occs.size());
+    out.occBaseCycles.resize(occs.size());
+    out.occBaseEnergy.resize(occs.size());
     for (std::size_t k = 0; k < occs.size(); ++k) {
         const LoopOccurrence &occ = occs[k];
         if (occ.end <= occ.begin) {
-            occBaseStart_[k] = occBaseCycles_[k] = 0;
-            occBaseEnergy_[k] = 0;
+            out.occBaseStart[k] = out.occBaseCycles[k] = 0;
+            out.occBaseEnergy[k] = 0;
             continue;
         }
         const Cycle start =
             occ.begin > 0 ? ts.commitAt(occ.begin - 1) : 0;
         const Cycle end = ts.commitAt(occ.end - 1);
-        occBaseStart_[k] = start;
-        occBaseCycles_[k] = end > start ? end - start : 0;
+        out.occBaseStart[k] = start;
+        out.occBaseCycles[k] = end > start ? end - start : 0;
         const EventCounts ev =
             tallyEvents(trace, occ.begin, occ.end,
-                        pcfg_.l1HitLatency, pcfg_.l2HitLatency);
-        occBaseEnergy_[k] =
-            energyModel_.energy(ev, occBaseCycles_[k]);
+                        cfg.l1HitLatency, cfg.l2HitLatency);
+        out.occBaseEnergy[k] = em.energy(ev, out.occBaseCycles[k]);
     }
 
     // Fill each loop's GPP evaluation.
-    loopEvals_.resize(tdg_->loops().numLoops());
-    for (const Loop &loop : tdg_->loops().loops()) {
-        LoopEval &le = loopEvals_[loop.id];
-        le.loopId = loop.id;
-        le.dynInsts = tdg_->dynInstsOf(loop.id);
-        RegionUnitEval &gpp = le.unit[0];
+    out.gpp.resize(tdg.loops().numLoops());
+    for (const Loop &loop : tdg.loops().loops()) {
+        RegionUnitEval &gpp = out.gpp[loop.id];
         gpp.feasible = true;
         std::size_t count = 0;
         for (std::size_t k = 0; k < occs.size(); ++k)
@@ -229,81 +163,179 @@ BenchmarkModel::evaluateBaseline()
         for (std::size_t k = 0; k < occs.size(); ++k) {
             if (occs[k].loopId != loop.id)
                 continue;
-            gpp.cycles += occBaseCycles_[k];
-            gpp.energy += occBaseEnergy_[k];
-            gpp.occCycles.push_back(occBaseCycles_[k]);
+            gpp.cycles += out.occBaseCycles[k];
+            gpp.energy += out.occBaseEnergy[k];
+            gpp.occCycles.push_back(out.occBaseCycles[k]);
         }
+    }
+    return out;
+}
+
+RegionEvalTable
+computeRegionEvalTable(const Tdg &tdg, const TdgAnalyzer &analyzer,
+                       const PipelineConfig &cfg, BsaKind bsa)
+{
+    const PipelineModel model(cfg);
+    const EnergyModel em(cfg.core,
+                         static_cast<unsigned>(kAllBsas.size()));
+    TimingScratch &ts = modelScratch().ts;
+    ScratchArena &arena = modelScratch().arena;
+    // One component build = one arena generation (see arena.hh).
+    arena.reset();
+
+    RegionEvalTable table;
+    table.evals.resize(tdg.loops().numLoops());
+
+    auto transform = makeTransform(bsa, tdg, analyzer);
+    for (const Loop &loop : tdg.loops().loops()) {
+        if (!transform->canTarget(loop.id))
+            continue;
+        const auto occs = occurrencesOf(tdg, loop.id, arena);
+        if (occs.empty())
+            continue;
+
+        // Transform + time occurrence-by-occurrence through the
+        // scratch's reusable window: the rewritten stream of a
+        // loop is never materialized as a whole.
+        transform->beginLoop(loop.id);
+        model.beginRun(ts);
+        RegionUnitEval &ev = table.evals[loop.id];
+        ev.occCycles.clear();
+        ev.occCycles.reserve(occs.size());
+        std::uint64_t emitted = 0;
+        for (const LoopOccurrence *occ : occs) {
+            ts.window.clear();
+            transform->transformOccurrence(*occ, ts.window);
+            if (ts.window.empty()) {
+                ev.occCycles.push_back(0);
+                continue;
+            }
+            const std::size_t wb = ts.pos;
+            model.runWindow(ts, ts.window, 0, ts.window.size(),
+                            true);
+            const Cycle start = wb > 0 ? ts.commitAt(wb - 1) : 0;
+            const Cycle end = ts.commitAt(ts.pos - 1);
+            ev.occCycles.push_back(end > start ? end - start : 0);
+            emitted += ts.window.size();
+        }
+        if (emitted == 0) {
+            // Transform produced nothing at all: not feasible.
+            ev.occCycles.clear();
+            continue;
+        }
+
+        ev.feasible = true;
+        ev.cycles = ts.cycles();
+
+        // Fraction of work on the engine approximates the
+        // front-end power-gating opportunity (offload BSAs only).
+        Cycle gated = 0;
+        if (bsa == BsaKind::Nsdf || bsa == BsaKind::Tracep) {
+            const double frac =
+                static_cast<double>(
+                    ts.events.unitInsts[static_cast<std::size_t>(
+                        bsa == BsaKind::Nsdf
+                            ? ExecUnit::Nsdf
+                            : ExecUnit::Tracep)]) /
+                static_cast<double>(emitted);
+            gated = static_cast<Cycle>(
+                static_cast<double>(ev.cycles) * frac);
+        }
+        ev.gatedCycles = gated;
+        ev.energy = em.energy(ts.events, ev.cycles, gated);
+    }
+    return table;
+}
+
+BenchmarkModel::BenchmarkModel(const Tdg &tdg, CoreKind core)
+    : BenchmarkModel(tdg, PipelineConfig{.core = coreConfig(core)})
+{
+}
+
+BenchmarkModel::BenchmarkModel(const Tdg &tdg, CoreKind core,
+                               const PipelineConfig &cfg)
+    : BenchmarkModel(tdg, cfg)
+{
+    (void)core; // identified by cfg.core already
+}
+
+BenchmarkModel::BenchmarkModel(const Tdg &tdg,
+                               const PipelineConfig &cfg)
+    : tdg_(&tdg), pcfg_(cfg),
+      energyModel_(pcfg_.core,
+                   static_cast<unsigned>(kAllBsas.size()))
+{
+    analyzer(); // cold builds consult it throughout
+    baseOwned_ = std::make_shared<const BaselineTables>(
+        computeBaselineTables(tdg, pcfg_));
+    base_ = baseOwned_.get();
+    for (std::size_t i = 0; i < kAllBsas.size(); ++i) {
+        bsaOwned_[i] = std::make_shared<const RegionEvalTable>(
+            computeRegionEvalTable(tdg, analyzer(), pcfg_,
+                                   kAllBsas[i]));
+        bsa_[i] = bsaOwned_[i].get();
     }
 }
 
-void
-BenchmarkModel::evaluateBsas()
+BenchmarkModel::BenchmarkModel(
+    const Tdg &tdg, const PipelineConfig &cfg,
+    std::shared_ptr<const BaselineTables> base,
+    std::array<std::shared_ptr<const RegionEvalTable>, 4> bsas)
+    : tdg_(&tdg), pcfg_(cfg),
+      energyModel_(pcfg_.core,
+                   static_cast<unsigned>(kAllBsas.size())),
+      baseOwned_(std::move(base)), bsaOwned_(std::move(bsas))
 {
-    const PipelineModel model(pcfg_);
-    TimingScratch &ts = modelScratch().ts;
-    ScratchArena &arena = modelScratch().arena;
-    for (BsaKind bsa : kAllBsas) {
-        auto transform = makeTransform(bsa, *tdg_, analyzer());
-        const int u = unitIndex(bsa);
-        for (const Loop &loop : tdg_->loops().loops()) {
-            if (!transform->canTarget(loop.id))
-                continue;
-            const auto occs = occurrencesOf(*tdg_, loop.id, arena);
-            if (occs.empty())
-                continue;
-
-            // Transform + time occurrence-by-occurrence through the
-            // scratch's reusable window: the rewritten stream of a
-            // loop is never materialized as a whole.
-            transform->beginLoop(loop.id);
-            model.beginRun(ts);
-            RegionUnitEval &ev = loopEvals_[loop.id].unit[u];
-            ev.occCycles.clear();
-            ev.occCycles.reserve(occs.size());
-            std::uint64_t emitted = 0;
-            for (const LoopOccurrence *occ : occs) {
-                ts.window.clear();
-                transform->transformOccurrence(*occ, ts.window);
-                if (ts.window.empty()) {
-                    ev.occCycles.push_back(0);
-                    continue;
-                }
-                const std::size_t wb = ts.pos;
-                model.runWindow(ts, ts.window, 0, ts.window.size(),
-                                true);
-                const Cycle start = wb > 0 ? ts.commitAt(wb - 1) : 0;
-                const Cycle end = ts.commitAt(ts.pos - 1);
-                ev.occCycles.push_back(end > start ? end - start : 0);
-                emitted += ts.window.size();
-            }
-            if (emitted == 0) {
-                // Transform produced nothing at all: not feasible.
-                ev.occCycles.clear();
-                continue;
-            }
-
-            ev.feasible = true;
-            ev.cycles = ts.cycles();
-
-            // Fraction of work on the engine approximates the
-            // front-end power-gating opportunity (offload BSAs only).
-            Cycle gated = 0;
-            if (bsa == BsaKind::Nsdf || bsa == BsaKind::Tracep) {
-                const double frac =
-                    static_cast<double>(
-                        ts.events.unitInsts[static_cast<std::size_t>(
-                            bsa == BsaKind::Nsdf
-                                ? ExecUnit::Nsdf
-                                : ExecUnit::Tracep)]) /
-                    static_cast<double>(emitted);
-                gated = static_cast<Cycle>(
-                    static_cast<double>(ev.cycles) * frac);
-            }
-            ev.gatedCycles = gated;
-            ev.energy =
-                energyModel_.energy(ts.events, ev.cycles, gated);
-        }
+    prism_assert(baseOwned_ &&
+                     baseOwned_->gpp.size() ==
+                         tdg.loops().numLoops(),
+                 "baseline tables do not match this TDG");
+    base_ = baseOwned_.get();
+    for (std::size_t i = 0; i < bsaOwned_.size(); ++i) {
+        prism_assert(bsaOwned_[i] &&
+                         bsaOwned_[i]->evals.size() ==
+                             tdg.loops().numLoops(),
+                     "region-eval table does not match this TDG");
+        bsa_[i] = bsaOwned_[i].get();
     }
+}
+
+BenchmarkModel::BenchmarkModel(const Tdg &tdg,
+                               const PipelineConfig &cfg,
+                               const Borrowed &tables)
+    : tdg_(&tdg), pcfg_(cfg),
+      energyModel_(pcfg_.core,
+                   static_cast<unsigned>(kAllBsas.size()))
+{
+    prism_assert(tables.base != nullptr,
+                 "borrowed baseline tables are null");
+    base_ = tables.base;
+    for (std::size_t i = 0; i < tables.bsa.size(); ++i) {
+        prism_assert(tables.bsa[i] != nullptr,
+                     "borrowed region-eval table is null");
+        bsa_[i] = tables.bsa[i];
+    }
+}
+
+const TdgAnalyzer &
+BenchmarkModel::analyzer() const
+{
+    std::call_once(analyzerOnce_, [this] {
+        analyzer_ = std::make_unique<TdgAnalyzer>(*tdg_);
+    });
+    return *analyzer_;
+}
+
+Cycle
+BenchmarkModel::gppLoopCycles(std::int32_t loop) const
+{
+    return base_->gpp.at(loop).cycles;
+}
+
+PicoJoule
+BenchmarkModel::gppLoopEnergy(std::int32_t loop) const
+{
+    return base_->gpp.at(loop).energy;
 }
 
 ExoResult
@@ -321,17 +353,17 @@ BenchmarkModel::timeline(unsigned bsa_mask, SchedulerKind sched) const
 
     for (const ExoChoice &choice : res.choices) {
         const RegionUnitEval &ev =
-            loopEvals_.at(choice.loopId).unit[choice.unit];
+            unitEval(choice.loopId, choice.unit);
         std::size_t occ_idx = 0;
         for (std::size_t k = 0; k < all_occs.size(); ++k) {
             if (all_occs[k].loopId != choice.loopId)
                 continue;
             TimelinePoint tp;
-            tp.baseStart = occBaseStart_[k];
-            tp.baseCycles = occBaseCycles_[k];
+            tp.baseStart = base_->occBaseStart[k];
+            tp.baseCycles = base_->occBaseCycles[k];
             tp.exoCycles = occ_idx < ev.occCycles.size()
                                ? ev.occCycles[occ_idx]
-                               : occBaseCycles_[k];
+                               : base_->occBaseCycles[k];
             tp.unit = choice.unit;
             points.push_back(tp);
             ++occ_idx;

@@ -58,14 +58,6 @@ struct RegionUnitEval
     std::vector<Cycle> occCycles; ///< per-occurrence cycles
 };
 
-/** All unit evaluations of one loop. */
-struct LoopEval
-{
-    std::int32_t loopId = -1;
-    std::uint64_t dynInsts = 0;
-    std::array<RegionUnitEval, kNumUnits> unit;
-};
-
 /** One region-to-unit assignment in a schedule. */
 struct ExoChoice
 {
@@ -103,50 +95,100 @@ struct TimelinePoint
 };
 
 /**
- * The complete timing-run output of one BenchmarkModel: everything
- * expensive that construction computes, and exactly what the artifact
- * cache persists per (workload, core). A model restored from tables
- * is indistinguishable from a freshly built one — evaluate() composes
- * purely from these.
+ * Component (a) of an evaluation: everything the baseline (core-only)
+ * timing run produces for one (workload, core-timing parameters)
+ * pair — the untransformed-stream result, the per-loop GPP
+ * attribution, and the per-occurrence attribution arrays. Depends on
+ * the core configuration and cache latencies only, never on
+ * accelerator parameters: the untransformed stream contains no
+ * accelerator-context instruction.
  */
-struct ModelTables
+struct BaselineTables
 {
     ExoResult baseline;
-    std::vector<LoopEval> loopEvals;
+    /** Per-loop GPP evaluation, indexed by loop id (unit 0). */
+    std::vector<RegionUnitEval> gpp;
+    // Per-occurrence baseline attribution (indexed like
+    // loopMap().occurrences).
     std::vector<Cycle> occBaseStart;
     std::vector<Cycle> occBaseCycles;
     std::vector<PicoJoule> occBaseEnergy;
 };
 
 /**
+ * Component (b): one BSA's standalone region evaluations for one
+ * workload, indexed by loop id. Depends on the core configuration
+ * (offload windows still carry core-context config/communication
+ * instructions, and the energy table scales with the core) and on
+ * *this* BSA's own AccelParams — never on the other BSAs', so a
+ * table is reused verbatim across every BSA subset, budget, and
+ * sibling-accelerator variation.
+ */
+struct RegionEvalTable
+{
+    std::vector<RegionUnitEval> evals;
+};
+
+/** Compute component (a) for (tdg, cfg). Deterministic. */
+BaselineTables computeBaselineTables(const Tdg &tdg,
+                                     const PipelineConfig &cfg);
+
+/** Compute component (b) for (tdg, cfg, bsa). Deterministic. */
+RegionEvalTable computeRegionEvalTable(const Tdg &tdg,
+                                       const TdgAnalyzer &analyzer,
+                                       const PipelineConfig &cfg,
+                                       BsaKind bsa);
+
+/**
  * Evaluates one (workload TDG, general core) pair against all BSAs
  * and composes ExoCore configurations. Construction performs all
- * timing runs; evaluate() is cheap and can be called for all 16 BSA
- * subsets.
+ * timing runs (or adopts previously computed component tables);
+ * evaluate() is the scheduler-only composition — microseconds, cheap
+ * enough to call for every (BSA subset, scheduler, budget) point.
  */
 class BenchmarkModel
 {
   public:
+    /** Cold build for a fixed core kind. */
     BenchmarkModel(const Tdg &tdg, CoreKind core);
 
     /**
-     * As above, but with explicit machine parameters (accelerator
-     * ablations; cfg.core must match coreConfig(core)'s kind).
+     * Cold build with explicit machine parameters: any parametric
+     * core point (see CoreParams) and/or accelerator ablations.
      */
+    BenchmarkModel(const Tdg &tdg, const PipelineConfig &cfg);
+
+    /** Back-compat spelling of the explicit-parameter cold build
+     *  (accelerator ablations; cfg.core must match `core`'s kind). */
     BenchmarkModel(const Tdg &tdg, CoreKind core,
                    const PipelineConfig &cfg);
 
     /**
-     * Warm-cache construction: adopt previously computed evaluation
-     * tables instead of running the timing engine. Skips baseline
-     * and BSA timing entirely — and the legality analyzer, which is
-     * built lazily on first use (schedulers consult it; plain
-     * evaluate() never does), so adopting tables performs no heap
-     * allocation beyond the tables themselves.
+     * Warm construction: adopt shared component tables (from the
+     * disk/RAM caches) without copying them. Skips every timing run
+     * — and the legality analyzer, which is built lazily on first
+     * use (schedulers consult it; plain evaluate() never does) — so
+     * adoption performs no table allocation at all.
      */
-    BenchmarkModel(const Tdg &tdg, CoreKind core, ModelTables tables);
+    BenchmarkModel(
+        const Tdg &tdg, const PipelineConfig &cfg,
+        std::shared_ptr<const BaselineTables> base,
+        std::array<std::shared_ptr<const RegionEvalTable>, 4> bsas);
 
-    CoreKind core() const { return core_; }
+    /**
+     * Non-owning adoption for hot paths (zero refcount traffic, zero
+     * allocation): the caller guarantees the tables outlive the
+     * model. Used by the warm-eval bench and the search engine's
+     * scheduler-only recomputation loop.
+     */
+    struct Borrowed
+    {
+        const BaselineTables *base = nullptr;
+        std::array<const RegionEvalTable *, 4> bsa{};
+    };
+    BenchmarkModel(const Tdg &tdg, const PipelineConfig &cfg,
+                   const Borrowed &tables);
+
     const PipelineConfig &config() const { return pcfg_; }
     const Tdg &tdg() const { return *tdg_; }
 
@@ -159,17 +201,29 @@ class BenchmarkModel
      */
     const TdgAnalyzer &analyzer() const;
 
-    /** Snapshot of the evaluation tables (for the artifact cache). */
-    ModelTables tables() const;
+    /** Component (a), as adopted or computed. */
+    const BaselineTables &baseTables() const { return *base_; }
 
-    /** Per-loop, per-unit evaluations (indexed by loop id). */
-    const LoopEval &loopEval(std::int32_t loop) const
+    /** Component (b) for one BSA, as adopted or computed. */
+    const RegionEvalTable &
+    regionTable(BsaKind bsa) const
     {
-        return loopEvals_.at(loop);
+        return *bsa_[static_cast<std::size_t>(unitIndex(bsa)) - 1];
+    }
+
+    /** One loop's evaluation on one unit (0 = GPP, 1..4 = BSAs). */
+    const RegionUnitEval &
+    unitEval(std::int32_t loop, int unit) const
+    {
+        const std::size_t l = static_cast<std::size_t>(loop);
+        if (unit == 0)
+            return base_->gpp.at(l);
+        return bsa_.at(static_cast<std::size_t>(unit) - 1)
+            ->evals.at(l);
     }
 
     /** The general-core-only result. */
-    const ExoResult &baseline() const { return baseline_; }
+    const ExoResult &baseline() const { return base_->baseline; }
 
     /** Compose an ExoCore with the given BSA subset and scheduler. */
     ExoResult evaluate(unsigned bsa_mask,
@@ -187,27 +241,19 @@ class BenchmarkModel
     PicoJoule gppLoopEnergy(std::int32_t loop) const;
 
   private:
-    friend class OracleScheduler;
-    friend class AmdahlTreeScheduler;
-
-    void evaluateBaseline();
-    void evaluateBsas();
-
     const Tdg *tdg_;
-    CoreKind core_;
     PipelineConfig pcfg_;
     mutable std::once_flag analyzerOnce_;
     mutable std::unique_ptr<TdgAnalyzer> analyzer_;
     EnergyModel energyModel_;
 
-    ExoResult baseline_;
-    std::vector<LoopEval> loopEvals_;
-
-    // Per-occurrence baseline attribution (indexed like
-    // loopMap().occurrences).
-    std::vector<Cycle> occBaseStart_;
-    std::vector<Cycle> occBaseCycles_;
-    std::vector<PicoJoule> occBaseEnergy_;
+    // Owning references keep shared components alive; the raw
+    // pointers are what accessors read (they point either into the
+    // owned components or at caller-owned Borrowed tables).
+    std::shared_ptr<const BaselineTables> baseOwned_;
+    std::array<std::shared_ptr<const RegionEvalTable>, 4> bsaOwned_;
+    const BaselineTables *base_ = nullptr;
+    std::array<const RegionEvalTable *, 4> bsa_{};
 };
 
 } // namespace prism

@@ -78,8 +78,7 @@ struct Dp
                 continue;
             const BsaKind bsa = kAllBsas[bi];
             const int u = unitIndex(bsa);
-            const RegionUnitEval &ev =
-                bm.loopEval(loop_id).unit[u];
+            const RegionUnitEval &ev = bm.unitEval(loop_id, u);
             if (!ev.feasible || gpp_c == 0)
                 continue;
 

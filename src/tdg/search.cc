@@ -1,0 +1,474 @@
+#include "tdg/search.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/artifact_cache.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "energy/area_model.hh"
+#include "tdg/artifacts.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+/** splitmix64: tiny, deterministic, platform-independent. */
+std::uint64_t
+nextRand(std::uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/** Uniform pick from [lo, hi] (inclusive). */
+unsigned
+pick(std::uint64_t &state, unsigned lo, unsigned hi)
+{
+    return lo + static_cast<unsigned>(nextRand(state) %
+                                      (hi - lo + 1));
+}
+
+std::vector<double>
+effectiveBudgets(const SearchSpace &space)
+{
+    if (space.areaBudgets.empty())
+        return {0.0};
+    return space.areaBudgets;
+}
+
+std::string
+pointName(const SearchSpace &space, const SearchPoint &p)
+{
+    std::string name = coreParamsName(space.cores[p.coreIdx]);
+    if (p.mask != 0) {
+        name += "-";
+        for (std::size_t i = 0; i < kAllBsas.size(); ++i) {
+            if (p.mask & (1u << i))
+                name += bsaLetter(kAllBsas[i]);
+        }
+    }
+    if (p.areaBudget > 0)
+        name += "@" + fmt(p.areaBudget, 1);
+    return name;
+}
+
+} // namespace
+
+std::vector<CoreParams>
+defaultCoreGrid()
+{
+    std::vector<CoreParams> cores;
+    cores.reserve(16);
+    // The six fixed kinds' parameter points anchor the grid (their
+    // components are shared with everything else keyed on the same
+    // parameters — the name is not part of the key).
+    for (CoreKind kind : kAllCoreKinds)
+        cores.push_back(coreParams(kind));
+
+    // Ten parametric variants spanning the remaining axes.
+    CoreParams io4 = coreParams(CoreKind::IO2);
+    io4.width = 4;
+    io4.numAlu = 3;
+    cores.push_back(io4); // wide in-order
+
+    CoreParams narrow_win = coreParams(CoreKind::OOO2);
+    narrow_win.instWindow = 16;
+    cores.push_back(narrow_win); // issue-window-starved OOO2
+
+    CoreParams small_rob = coreParams(CoreKind::OOO4);
+    small_rob.robSize = 64;
+    cores.push_back(small_rob); // ROB-starved OOO4
+
+    CoreParams wide_simd = coreParams(CoreKind::OOO4);
+    wide_simd.simdLanes = 8;
+    cores.push_back(wide_simd); // 8-lane vector OOO4
+
+    CoreParams ported = coreParams(CoreKind::OOO2);
+    ported.dcachePorts = 2;
+    cores.push_back(ported); // dual-ported OOO2
+
+    CoreParams fp_heavy = coreParams(CoreKind::OOO4);
+    fp_heavy.numFp = 4;
+    cores.push_back(fp_heavy); // FP-heavy OOO4
+
+    CoreParams deep_fe = coreParams(CoreKind::OOO2);
+    deep_fe.frontendDepth = 10;
+    cores.push_back(deep_fe); // deep-frontend OOO2
+
+    CoreParams fast_l2 = coreParams(CoreKind::OOO2);
+    fast_l2.l2HitLatency = 14;
+    cores.push_back(fast_l2); // near-L2 OOO2
+
+    CoreParams slow_l1 = coreParams(CoreKind::OOO4);
+    slow_l1.l1HitLatency = 6;
+    cores.push_back(slow_l1); // slow-L1 OOO4
+
+    CoreParams big_win = coreParams(CoreKind::OOO6);
+    big_win.instWindow = 96;
+    big_win.robSize = 256;
+    cores.push_back(big_win); // window-rich OOO6
+
+    return cores;
+}
+
+std::vector<CoreParams>
+sampleCoreParams(std::size_t n, std::uint64_t seed)
+{
+    std::vector<CoreParams> cores;
+    cores.reserve(n);
+    std::uint64_t state = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        CoreParams p;
+        p.inorder = pick(state, 0, 3) == 0; // ~25% in-order
+        p.width = pick(state, 1, 8);
+        if (p.inorder) {
+            p.robSize = 0;
+            p.instWindow = 0;
+        } else {
+            // Scale backend capacity to width so samples are
+            // plausible machines, not pathological mismatches.
+            p.robSize = p.width * pick(state, 16, 48);
+            p.instWindow = p.width * pick(state, 8, 16);
+        }
+        p.dcachePorts = pick(state, 1, 3);
+        p.numAlu = std::max(1u, p.width / 2 + pick(state, 0, 2));
+        p.numMulDiv = pick(state, 1, 2);
+        p.numFp = pick(state, 1, 4);
+        p.frontendDepth = pick(state, 4, 12);
+        p.simdLanes = 1u << pick(state, 1, 3); // 2/4/8
+        p.l1HitLatency = pick(state, 2, 5);
+        p.l2HitLatency = pick(state, 14, 38);
+        cores.push_back(p);
+    }
+    return cores;
+}
+
+std::size_t
+searchGridSize(const SearchSpace &space)
+{
+    const std::size_t cores = space.cores.empty()
+                                  ? defaultCoreGrid().size()
+                                  : space.cores.size();
+    return cores * effectiveBudgets(space).size() * space.numMasks;
+}
+
+/** One workload slot: the loaded trace/TDG plus per-core models.
+ *  Mutate-phase discipline: distinct tasks write distinct slots. */
+struct DesignSearch::Workload
+{
+    const WorkloadSpec *spec = nullptr;
+    std::unique_ptr<LoadedWorkload> lw;
+    std::vector<std::unique_ptr<BenchmarkModel>> models;
+    std::unique_ptr<BenchmarkModel> refModel;
+
+    void
+    load(std::size_t num_cores)
+    {
+        if (!lw)
+            lw = LoadedWorkload::load(*spec);
+        if (models.size() != num_cores)
+            models.resize(num_cores);
+    }
+
+    void
+    buildModel(const CoreParams &core, std::size_t slot)
+    {
+        prism_assert(lw != nullptr, "workload '%s' not loaded",
+                     spec->name);
+        auto &m = slot == models.size() ? refModel : models[slot];
+        if (m)
+            return;
+        m = buildModelCached(ArtifactCache::global(), lw->name(),
+                             lw->tdg(), lw->maxInsts(),
+                             pipelineConfigFrom(core));
+    }
+};
+
+DesignSearch::DesignSearch(SearchSpace space,
+                           std::span<const WorkloadSpec> workloads)
+    : space_(std::move(space))
+{
+    if (space_.cores.empty())
+        space_.cores = defaultCoreGrid();
+    if (space_.areaBudgets.empty())
+        space_.areaBudgets = {0.0};
+    prism_assert(space_.numMasks >= 1 && space_.numMasks <= 16,
+                 "numMasks must be in [1, 16], got %u",
+                 space_.numMasks);
+    prism_assert(space_.shardCount >= 1 &&
+                     space_.shardIndex < space_.shardCount,
+                 "bad shard %u/%u", space_.shardIndex,
+                 space_.shardCount);
+    for (const WorkloadSpec &spec : workloads) {
+        specs_.push_back(&spec);
+        workloads_.push_back(std::make_unique<Workload>());
+        workloads_.back()->spec = &spec;
+    }
+    prism_assert(!specs_.empty(),
+                 "search needs at least one workload");
+}
+
+DesignSearch::~DesignSearch() = default;
+
+std::vector<SearchPoint>
+DesignSearch::shardPoints() const
+{
+    const std::vector<double> budgets = effectiveBudgets(space_);
+    std::vector<SearchPoint> points;
+    std::size_t gi = 0;
+    for (std::size_t ci = 0; ci < space_.cores.size(); ++ci) {
+        for (double budget : budgets) {
+            for (unsigned mask = 0; mask < space_.numMasks;
+                 ++mask, ++gi) {
+                if (gi % space_.shardCount != space_.shardIndex)
+                    continue;
+                SearchPoint p;
+                p.gridIndex = gi;
+                p.coreIdx = ci;
+                p.mask = mask;
+                p.areaBudget = budget;
+                p.name = pointName(space_, p);
+                points.push_back(std::move(p));
+            }
+        }
+    }
+    return points;
+}
+
+std::vector<std::size_t>
+DesignSearch::shardCoreIndices() const
+{
+    std::vector<bool> need(space_.cores.size(), false);
+    for (const SearchPoint &p : shardPoints())
+        need[p.coreIdx] = true;
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < need.size(); ++i) {
+        if (need[i])
+            indices.push_back(i);
+    }
+    return indices;
+}
+
+void
+DesignSearch::load(ThreadPool &pool)
+{
+    const std::size_t num_cores = space_.cores.size();
+    pool.parallelFor(workloads_.size(), [&](std::size_t i) {
+        workloads_[i]->load(num_cores);
+    });
+}
+
+std::size_t
+DesignSearch::loadedInsts() const
+{
+    std::size_t total = 0;
+    for (const auto &w : workloads_) {
+        if (w->lw)
+            total += w->lw->tdg().trace().size();
+    }
+    return total;
+}
+
+void
+DesignSearch::prepare(ThreadPool &pool)
+{
+    load(pool);
+    // One task per (workload, needed core): the reference model
+    // rides along as a sentinel slot past the core list.
+    std::vector<std::size_t> cores = shardCoreIndices();
+    const std::size_t ref_slot = space_.cores.size();
+    cores.push_back(ref_slot);
+    pool.parallelFor(
+        workloads_.size() * cores.size(), [&](std::size_t t) {
+            Workload &w = *workloads_[t / cores.size()];
+            const std::size_t slot = cores[t % cores.size()];
+            const CoreParams &core = slot == ref_slot
+                                         ? space_.refCore
+                                         : space_.cores[slot];
+            w.buildModel(core, slot);
+        });
+}
+
+void
+DesignSearch::dropModels()
+{
+    for (auto &w : workloads_) {
+        for (auto &m : w->models)
+            m.reset();
+        w->refModel.reset();
+    }
+}
+
+const BenchmarkModel &
+DesignSearch::model(std::size_t wl, std::size_t core_idx) const
+{
+    const Workload &w = *workloads_[wl];
+    const auto &slot = core_idx == space_.cores.size()
+                           ? w.refModel
+                           : w.models[core_idx];
+    prism_assert(slot != nullptr,
+                 "model for '%s' core %zu not prepared",
+                 w.spec->name, core_idx);
+    return *slot;
+}
+
+std::vector<SearchPoint>
+DesignSearch::run(ThreadPool &pool) const
+{
+    std::vector<SearchPoint> points = shardPoints();
+    const std::size_t ref_slot = space_.cores.size();
+    pool.parallelFor(points.size(), [&](std::size_t i) {
+        SearchPoint &p = points[i];
+        std::vector<double> perf;
+        std::vector<double> eff;
+        perf.reserve(workloads_.size());
+        eff.reserve(workloads_.size());
+        for (std::size_t wl = 0; wl < workloads_.size(); ++wl) {
+            const ExoResult res =
+                model(wl, p.coreIdx).evaluate(p.mask, space_.sched);
+            const ExoResult &base = model(wl, ref_slot).baseline();
+            perf.push_back(static_cast<double>(base.cycles) /
+                           static_cast<double>(res.cycles));
+            eff.push_back(base.energy / res.energy);
+        }
+        p.speedup = geomean(perf);
+        p.energyEff = geomean(eff);
+        p.area = exoCoreArea(space_.cores[p.coreIdx], p.mask);
+        p.withinBudget =
+            p.areaBudget <= 0 || p.area <= p.areaBudget;
+    });
+    return points;
+}
+
+void
+DesignSearch::exportDataset(std::ostream &os) const
+{
+    const std::vector<SearchPoint> points = shardPoints();
+    const std::size_t ref_slot = space_.cores.size();
+    os << "# prism-dataset v1\n"
+       << "workload,suite,class,insts,loops,"
+          "inorder,width,rob,iq,ports,alu,muldiv,fp,fe_depth,"
+          "simd_lanes,l1_lat,l2_lat,mask,area_budget,sched,"
+          "cycles,energy_pj,area_mm2,speedup_vs_ref,"
+          "energy_eff_vs_ref\n";
+    for (std::size_t wl = 0; wl < workloads_.size(); ++wl) {
+        const Workload &w = *workloads_[wl];
+        prism_assert(w.lw != nullptr, "workload '%s' not loaded",
+                     w.spec->name);
+        const ExoResult &base = model(wl, ref_slot).baseline();
+        for (const SearchPoint &p : points) {
+            const CoreParams &c = space_.cores[p.coreIdx];
+            const ExoResult res =
+                model(wl, p.coreIdx).evaluate(p.mask, space_.sched);
+            os << w.spec->name << ',' << w.spec->suite << ','
+               << suiteClassName(w.spec->cls) << ','
+               << w.lw->tdg().trace().size() << ','
+               << w.lw->tdg().loops().numLoops() << ','
+               << (c.inorder ? 1 : 0) << ',' << c.width << ','
+               << c.robSize << ',' << c.instWindow << ','
+               << c.dcachePorts << ',' << c.numAlu << ','
+               << c.numMulDiv << ',' << c.numFp << ','
+               << c.frontendDepth << ',' << c.simdLanes << ','
+               << c.l1HitLatency << ',' << c.l2HitLatency << ','
+               << p.mask << ',' << fmt(p.areaBudget, 1) << ','
+               << (space_.sched == SchedulerKind::Oracle
+                       ? "oracle"
+                       : "amdahl")
+               << ',' << res.cycles << ',' << fmt(res.energy, 1)
+               << ','
+               << fmt(exoCoreArea(c, p.mask), 3) << ','
+               << fmt(static_cast<double>(base.cycles) /
+                          static_cast<double>(res.cycles),
+                      4)
+               << ',' << fmt(base.energy / res.energy, 4) << '\n';
+        }
+    }
+}
+
+std::vector<SearchPoint>
+paretoFrontier(const std::vector<SearchPoint> &points)
+{
+    // Deterministic regardless of input order: sort a copy into the
+    // output order up front, then test dominance within each budget
+    // group.
+    std::vector<SearchPoint> sorted = points;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const SearchPoint &a, const SearchPoint &b) {
+                  if (a.areaBudget != b.areaBudget)
+                      return a.areaBudget < b.areaBudget;
+                  if (a.speedup != b.speedup)
+                      return a.speedup > b.speedup;
+                  return a.gridIndex < b.gridIndex;
+              });
+
+    auto dominates = [](const SearchPoint &a, const SearchPoint &b) {
+        const bool geq = a.speedup >= b.speedup &&
+                         a.energyEff >= b.energyEff &&
+                         a.area <= b.area;
+        const bool strict = a.speedup > b.speedup ||
+                            a.energyEff > b.energyEff ||
+                            a.area < b.area;
+        return geq && strict;
+    };
+
+    std::vector<SearchPoint> frontier;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const SearchPoint &p = sorted[i];
+        if (!p.withinBudget)
+            continue;
+        bool dominated = false;
+        for (std::size_t j = 0; j < sorted.size() && !dominated;
+             ++j) {
+            if (j == i ||
+                sorted[j].areaBudget != p.areaBudget ||
+                !sorted[j].withinBudget)
+                continue;
+            // Tie-break exact duplicates by grid index so exactly
+            // one representative survives.
+            if (dominates(sorted[j], p) ||
+                (sorted[j].speedup == p.speedup &&
+                 sorted[j].energyEff == p.energyEff &&
+                 sorted[j].area == p.area &&
+                 sorted[j].gridIndex < p.gridIndex))
+                dominated = true;
+        }
+        if (!dominated)
+            frontier.push_back(p);
+    }
+    return frontier;
+}
+
+std::string
+renderSearchTable(std::vector<SearchPoint> points, std::size_t limit)
+{
+    std::sort(points.begin(), points.end(),
+              [](const SearchPoint &a, const SearchPoint &b) {
+                  if (a.speedup != b.speedup)
+                      return a.speedup > b.speedup;
+                  return a.gridIndex < b.gridIndex;
+              });
+    if (limit != 0 && points.size() > limit)
+        points.resize(limit);
+    Table t({"config", "speedup", "energy eff.", "area (mm^2)",
+             "fits"});
+    for (const SearchPoint &p : points) {
+        t.addRow({p.name, fmt(p.speedup, 2), fmt(p.energyEff, 2),
+                  fmt(p.area, 2), p.withinBudget ? "yes" : "no"});
+    }
+    return t.render();
+}
+
+std::string
+renderParetoFrontier(const std::vector<SearchPoint> &points)
+{
+    return renderSearchTable(paretoFrontier(points));
+}
+
+} // namespace prism

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Generalized design-space search: the sharded sweep's
+ * workloads x cores x BSA-subsets grid, extended from the six fixed
+ * CoreKinds to arbitrary parametric CoreParams points and crossed
+ * with an area-budget axis — thousands of configurations per
+ * workload instead of Figure 12's 96.
+ *
+ * What makes that affordable is component-level memoization (see
+ * tdg/artifacts.hh): the expensive timing work of a point factors
+ * into (a) baseline core timing per (workload, core-timing params)
+ * and (b) four per-BSA region-eval tables per (workload, core,
+ * own-BSA params), both fetched through the RAM-LRU/disk tiers. The
+ * only per-point work left is the scheduler composition over cached
+ * tables — microseconds against the ~tens-of-milliseconds cold
+ * build — so a 1000-point search costs little more than its unique
+ * (workload, core) component builds.
+ *
+ * Determinism contract (extends sweep.hh's): the grid order is
+ * core-major, budget-mid, mask-minor over the lists as given
+ * (gridIndex = (core*|budgets| + budget)*numMasks + mask); shard s
+ * of n takes indices i with i % n == s; every aggregate accumulates
+ * in workload order. Rendered tables, frontiers, and exported
+ * datasets for a given (space, shard) are byte-identical across
+ * thread counts.
+ */
+
+#ifndef PRISM_TDG_SEARCH_HH
+#define PRISM_TDG_SEARCH_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "tdg/exocore.hh"
+#include "workloads/suite.hh"
+
+namespace prism
+{
+
+/** What to search: parametric cores, subsets, budgets, shard. */
+struct SearchSpace
+{
+    /** Core points to cross with BSA subsets (empty = the default
+     *  16-point grid, defaultCoreGrid()). */
+    std::vector<CoreParams> cores;
+    /** BSA subset masks [0, numMasks); 16 = every subset. */
+    unsigned numMasks = 16;
+    /** Area budgets in absolute mm^2; <= 0 entries mean unbounded.
+     *  Empty = one unbounded budget. The budget axis never changes a
+     *  point's metrics, only its withinBudget flag and its Pareto
+     *  grouping — composition is still evaluated per point, which is
+     *  exactly the scheduler-only recomputation being amortized. */
+    std::vector<double> areaBudgets;
+    /** Region-selection policy for every point. */
+    SchedulerKind sched = SchedulerKind::Oracle;
+    /** Baseline for speedup/energy normalization. */
+    CoreParams refCore = coreParams(CoreKind::IO2);
+    /** Shard slice: this process takes grid indices i with
+     *  i % shardCount == shardIndex. */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
+};
+
+/** One evaluated (core, budget, BSA-subset) point. */
+struct SearchPoint
+{
+    std::size_t gridIndex = 0; ///< position in the full grid order
+    std::size_t coreIdx = 0;   ///< index into the space's core list
+    unsigned mask = 0;
+    double areaBudget = 0;  ///< <= 0: unbounded
+    std::string name;       ///< e.g. "ooo4.r128q48.p2a3m1f2.d6-SD"
+    double speedup = 1.0;   ///< geomean vs refCore alone
+    double energyEff = 1.0; ///< geomean refCore energy / energy
+    double area = 0;        ///< absolute mm^2 (core + attached BSAs)
+    bool withinBudget = true;
+};
+
+/**
+ * The default 16-point core grid: the six fixed kinds' parameter
+ * points plus ten parametric variants spanning width, window, FU
+ * mix, SIMD lanes, and cache-latency axes.
+ */
+std::vector<CoreParams> defaultCoreGrid();
+
+/**
+ * `n` deterministic low-discrepancy random core points (splitmix64
+ * over `seed`; same (n, seed) yields the same list on every platform
+ * and thread count). Points are plausible machines: widths 1..8,
+ * ROB/window scaled to width, 1..3 cache ports.
+ */
+std::vector<CoreParams> sampleCoreParams(std::size_t n,
+                                         std::uint64_t seed);
+
+/** Total point count of the full (unsharded) space. */
+std::size_t searchGridSize(const SearchSpace &space);
+
+/**
+ * A design-space search over a set of workloads. Usage mirrors
+ * DesignSpaceSweep:
+ *
+ *     DesignSearch search(space, allWorkloads());
+ *     search.load(pool);              // traces + TDGs
+ *     search.prepare(pool);           // components per (wl, core)
+ *     auto points = search.run(pool); // this shard's points
+ *
+ * load/prepare are mutate phases (each task writes its own slot);
+ * run is a read phase over const models.
+ */
+class DesignSearch
+{
+  public:
+    DesignSearch(SearchSpace space,
+                 std::span<const WorkloadSpec> workloads);
+    ~DesignSearch();
+
+    const SearchSpace &space() const { return space_; }
+
+    /** Grid points of this shard, in grid order, metrics unset. */
+    std::vector<SearchPoint> shardPoints() const;
+
+    /** Core-list indices this shard needs models for (its points'
+     *  cores; the reference core is tracked separately). */
+    std::vector<std::size_t> shardCoreIndices() const;
+
+    /** Load every workload (parallel; trace-cache-aware). */
+    void load(ThreadPool &pool);
+
+    /** Total trace instructions across loaded workloads. */
+    std::size_t loadedInsts() const;
+
+    /** Build every (workload, shard core) model from the tiered
+     *  component caches, one task each. */
+    void prepare(ThreadPool &pool);
+
+    /** Drop built models (between timed legs). The component tables
+     *  stay resident in the RAM tier. */
+    void dropModels();
+
+    /** Evaluate this shard's points (requires load + prepare). */
+    std::vector<SearchPoint> run(ThreadPool &pool) const;
+
+    /**
+     * Write the per-(workload, configuration) dataset for this
+     * shard's points: one CSV row per (workload, point) holding the
+     * full machine feature vector and the evaluated outcomes
+     * (cycles, energy, area, normalized metrics). Stable order
+     * (workload-major, gridIndex-minor) and fixed formatting; the
+     * header documents the schema version. Requires load + prepare.
+     */
+    void exportDataset(std::ostream &os) const;
+
+  private:
+    struct Workload;
+
+    const BenchmarkModel &model(std::size_t wl,
+                                std::size_t core_idx) const;
+
+    SearchSpace space_;
+    std::vector<const WorkloadSpec *> specs_;
+    std::vector<std::unique_ptr<Workload>> workloads_;
+};
+
+/**
+ * The Pareto-optimal subset per budget group: within each budget,
+ * over points with withinBudget, keep those not dominated on
+ * (speedup max, energyEff max, area min). Output is sorted by
+ * (budget, speedup desc, gridIndex) — deterministic for a given
+ * point set regardless of input order.
+ */
+std::vector<SearchPoint>
+paretoFrontier(const std::vector<SearchPoint> &points);
+
+/**
+ * Render points as a fixed-format table (sorted by speedup,
+ * descending; ties by grid index; `limit` = 0 keeps all rows). Used
+ * as the byte-identity witness across thread counts and shards.
+ */
+std::string renderSearchTable(std::vector<SearchPoint> points,
+                              std::size_t limit = 0);
+
+/** paretoFrontier + renderSearchTable in one deterministic step. */
+std::string
+renderParetoFrontier(const std::vector<SearchPoint> &points);
+
+} // namespace prism
+
+#endif // PRISM_TDG_SEARCH_HH

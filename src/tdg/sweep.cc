@@ -39,26 +39,12 @@ struct DesignSpaceSweep::Workload
         auto &slot = models[static_cast<std::size_t>(core)];
         if (slot)
             return;
-        // Batch this task's cache-stats traffic (see
-        // artifact_cache.hh): one flush instead of per-probe atomic
-        // bumps on shared cache lines.
-        const ArtifactCache *cache = ArtifactCache::global();
-        ArtifactCacheHandle handle(cache);
-        if (cache) {
-            const PipelineConfig cfg{.core = coreConfig(core)};
-            if (std::optional<ModelTables> tables =
-                    loadModelTables(*cache, lw->name(), lw->tdg(),
-                                    lw->maxInsts(), cfg)) {
-                slot = std::make_unique<BenchmarkModel>(
-                    lw->tdg(), core, std::move(*tables));
-                return;
-            }
-        }
-        slot = std::make_unique<BenchmarkModel>(lw->tdg(), core);
-        if (cache) {
-            storeModelTables(*cache, lw->name(), lw->maxInsts(),
-                             *slot);
-        }
+        // Tiered component fetch (RAM LRU -> disk -> compute); the
+        // handle inside buildModelCached batches this task's cache-
+        // stats traffic.
+        slot = buildModelCached(
+            ArtifactCache::global(), lw->name(), lw->tdg(),
+            lw->maxInsts(), PipelineConfig{.core = coreConfig(core)});
     }
 
     const BenchmarkModel &

@@ -74,6 +74,66 @@ coreConfig(CoreKind kind)
     panic("bad core kind");
 }
 
+CoreParams
+coreParams(CoreKind kind)
+{
+    const CoreConfig &c = coreConfig(kind);
+    CoreParams p;
+    p.inorder = c.inorder;
+    p.width = c.width;
+    p.robSize = c.robSize;
+    p.instWindow = c.instWindow;
+    p.dcachePorts = c.dcachePorts;
+    p.numAlu = c.numAlu;
+    p.numMulDiv = c.numMulDiv;
+    p.numFp = c.numFp;
+    p.frontendDepth = c.frontendDepth;
+    p.simdLanes = c.simdLanes;
+    return p; // cache latencies keep the common defaults
+}
+
+std::string
+coreParamsName(const CoreParams &p)
+{
+    // Compact, value-derived, and unambiguous: equal parameters equal
+    // names, so rendered search tables are deterministic.
+    std::string n = p.inorder ? "io" : "ooo";
+    n += std::to_string(p.width);
+    n += ".r" + std::to_string(p.robSize);
+    n += "q" + std::to_string(p.instWindow);
+    n += ".p" + std::to_string(p.dcachePorts);
+    n += "a" + std::to_string(p.numAlu);
+    n += "m" + std::to_string(p.numMulDiv);
+    n += "f" + std::to_string(p.numFp);
+    n += ".d" + std::to_string(p.frontendDepth);
+    if (p.simdLanes != 4)
+        n += "v" + std::to_string(p.simdLanes);
+    if (p.l1HitLatency != 4 || p.l2HitLatency != 26) {
+        n += ".l" + std::to_string(p.l1HitLatency) + "_" +
+             std::to_string(p.l2HitLatency);
+    }
+    return n;
+}
+
+CoreConfig
+coreConfigFrom(const CoreParams &p)
+{
+    CoreConfig c;
+    c.name = coreParamsName(p);
+    c.inorder = p.inorder;
+    c.width = p.width;
+    c.robSize = p.robSize;
+    c.instWindow = p.instWindow;
+    c.dcachePorts = p.dcachePorts;
+    c.numAlu = p.numAlu;
+    c.numMulDiv = p.numMulDiv;
+    c.numFp = p.numFp;
+    c.frontendDepth = p.frontendDepth;
+    c.mispredictPenalty = p.frontendDepth + 4; // as makeCore does
+    c.simdLanes = p.simdLanes;
+    return c;
+}
+
 CoreKind
 coreKindFromName(const std::string &name)
 {

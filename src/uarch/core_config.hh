@@ -55,6 +55,46 @@ const CoreConfig &coreConfig(CoreKind kind);
 /** Parse "IO2"/"OOO2"/... (fatal on unknown). */
 CoreKind coreKindFromName(const std::string &name);
 
+/**
+ * A point in the parametric general-core space: every knob a timing
+ * run reads, by value, with no name attached. The six fixed
+ * CoreKinds are just six points of this space (coreParams()); the
+ * design-space search (tdg/search.hh) generates arbitrary others.
+ * Cache latencies ride along because the timing engine and the
+ * baseline energy attribution both consume them.
+ */
+struct CoreParams
+{
+    bool inorder = false;
+    unsigned width = 2;         ///< fetch/dispatch/issue/WB width
+    unsigned robSize = 64;      ///< 0 for in-order
+    unsigned instWindow = 32;   ///< scheduler entries (OOO)
+    unsigned dcachePorts = 1;
+    unsigned numAlu = 2;
+    unsigned numMulDiv = 1;
+    unsigned numFp = 1;
+    unsigned frontendDepth = 5; ///< mispredict penalty = depth + 4
+    unsigned simdLanes = 4;
+    unsigned l1HitLatency = 4;
+    unsigned l2HitLatency = 26;
+
+    bool operator==(const CoreParams &) const = default;
+};
+
+/** The parameters of a fixed core kind (Table 4 values). */
+CoreParams coreParams(CoreKind kind);
+
+/**
+ * Materialize a CoreConfig from parameters. The name is synthesized
+ * deterministically from the values (e.g. "ooo4.r128q48.p2a3m1f2.d6"),
+ * so two equal parameter sets always render identically; cache keys
+ * never consult the name.
+ */
+CoreConfig coreConfigFrom(const CoreParams &p);
+
+/** The synthesized name coreConfigFrom() would assign. */
+std::string coreParamsName(const CoreParams &p);
+
 /** Hardware parameters of an offload/accelerator engine. */
 struct AccelParams
 {

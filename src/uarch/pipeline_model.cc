@@ -8,6 +8,16 @@
 namespace prism
 {
 
+PipelineConfig
+pipelineConfigFrom(const CoreParams &p)
+{
+    PipelineConfig cfg;
+    cfg.core = coreConfigFrom(p);
+    cfg.l1HitLatency = p.l1HitLatency;
+    cfg.l2HitLatency = p.l2HitLatency;
+    return cfg;
+}
+
 const char *
 bindKindName(BindKind k)
 {

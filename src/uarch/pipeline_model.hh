@@ -48,6 +48,14 @@ struct PipelineConfig
     unsigned l2HitLatency = 26;
 };
 
+/**
+ * Machine configuration for a parametric core point: the synthesized
+ * CoreConfig plus the core-owned cache latencies; accelerator
+ * parameters keep their defaults (the search treats them as separate
+ * axes when it varies them).
+ */
+PipelineConfig pipelineConfigFrom(const CoreParams &p);
+
 /** Output of a timing run. */
 struct PipelineResult
 {

@@ -10,10 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <bit>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 
 #include "common/artifact_cache.hh"
 #include "sim/trace_gen.hh"
@@ -365,6 +367,21 @@ expectResultsIdentical(const ExoResult &a, const ExoResult &b)
     }
 }
 
+/** Persist every component of `model` into `cache`. */
+void
+storeAllComponents(const ArtifactCache &cache, const Tdg &tdg,
+                   const BenchmarkModel &model)
+{
+    storeBaselineTables(cache, "conv", tdg.trace().program(),
+                        kTestInsts, model.config(),
+                        model.baseTables());
+    for (BsaKind bsa : kAllBsas) {
+        storeRegionEvalTable(cache, "conv", tdg.trace().program(),
+                             kTestInsts, model.config(), bsa,
+                             model.regionTable(bsa));
+    }
+}
+
 TEST(ModelArtifacts, CacheLoadedModelEvaluatesByteIdentically)
 {
     TempCacheDir dir("prism_art_model");
@@ -374,14 +391,24 @@ TEST(ModelArtifacts, CacheLoadedModelEvaluatesByteIdentically)
     const Tdg &tdg = lw->tdg();
 
     const BenchmarkModel fresh(tdg, CoreKind::OOO2);
-    storeModelTables(cache, "conv", kTestInsts, fresh);
+    storeAllComponents(cache, tdg, fresh);
 
     const PipelineConfig cfg{.core = coreConfig(CoreKind::OOO2)};
-    auto tables =
-        loadModelTables(cache, "conv", tdg, kTestInsts, cfg);
-    ASSERT_TRUE(tables);
-    const BenchmarkModel warm(tdg, CoreKind::OOO2,
-                              std::move(*tables));
+    auto base =
+        loadBaselineTables(cache, "conv", tdg, kTestInsts, cfg);
+    ASSERT_TRUE(base);
+    std::array<std::shared_ptr<const RegionEvalTable>, 4> bsas;
+    for (std::size_t i = 0; i < kAllBsas.size(); ++i) {
+        auto t = loadRegionEvalTable(cache, "conv", tdg, kTestInsts,
+                                     cfg, kAllBsas[i]);
+        ASSERT_TRUE(t);
+        bsas[i] = std::make_shared<const RegionEvalTable>(
+            std::move(*t));
+    }
+    const BenchmarkModel warm(
+        tdg, cfg,
+        std::make_shared<const BaselineTables>(std::move(*base)),
+        bsas);
 
     expectResultsIdentical(fresh.baseline(), warm.baseline());
     for (unsigned mask = 0; mask <= kFullBsaMask; ++mask) {
@@ -397,7 +424,7 @@ TEST(ModelArtifacts, CacheLoadedModelEvaluatesByteIdentically)
     }
 }
 
-TEST(ModelArtifacts, KeyedByMachineConfiguration)
+TEST(ModelArtifacts, ComponentKeysAreHonest)
 {
     TempCacheDir dir("prism_art_modelkey");
     const ArtifactCache cache(dir.path);
@@ -406,18 +433,42 @@ TEST(ModelArtifacts, KeyedByMachineConfiguration)
     const Tdg &tdg = lw->tdg();
 
     const BenchmarkModel fresh(tdg, CoreKind::OOO2);
-    storeModelTables(cache, "conv", kTestInsts, fresh);
+    storeAllComponents(cache, tdg, fresh);
 
-    // A different core misses.
+    // A different core misses every component.
     const PipelineConfig io2{.core = coreConfig(CoreKind::IO2)};
     EXPECT_FALSE(
-        loadModelTables(cache, "conv", tdg, kTestInsts, io2));
+        loadBaselineTables(cache, "conv", tdg, kTestInsts, io2));
+    for (BsaKind bsa : kAllBsas) {
+        EXPECT_FALSE(loadRegionEvalTable(cache, "conv", tdg,
+                                         kTestInsts, io2, bsa));
+    }
 
-    // A tweaked accelerator parameter misses too.
+    // Tweaking one accelerator's parameter invalidates exactly that
+    // accelerator's table: the baseline and the sibling BSAs still
+    // hit (their keys never mix NS-DF parameters).
     PipelineConfig tweaked{.core = coreConfig(CoreKind::OOO2)};
     tweaked.nsdf.wbBusWidth += 1;
-    EXPECT_FALSE(
-        loadModelTables(cache, "conv", tdg, kTestInsts, tweaked));
+    EXPECT_TRUE(loadBaselineTables(cache, "conv", tdg, kTestInsts,
+                                   tweaked));
+    EXPECT_FALSE(loadRegionEvalTable(cache, "conv", tdg, kTestInsts,
+                                     tweaked, BsaKind::Nsdf));
+    for (BsaKind bsa :
+         {BsaKind::Simd, BsaKind::DpCgra, BsaKind::Tracep}) {
+        EXPECT_TRUE(loadRegionEvalTable(cache, "conv", tdg,
+                                        kTestInsts, tweaked, bsa));
+    }
+
+    // The display name is not part of any key: a parametric point
+    // with OOO2's exact parameters shares OOO2's components.
+    PipelineConfig renamed =
+        pipelineConfigFrom(coreParams(CoreKind::OOO2));
+    EXPECT_NE(std::string(renamed.core.name),
+              std::string(coreConfig(CoreKind::OOO2).name));
+    EXPECT_TRUE(loadBaselineTables(cache, "conv", tdg, kTestInsts,
+                                   renamed));
+    EXPECT_TRUE(loadRegionEvalTable(cache, "conv", tdg, kTestInsts,
+                                    renamed, BsaKind::Simd));
 }
 
 TEST(ModelArtifacts, CodeVersionFlipForcesRecompute)
@@ -429,30 +480,32 @@ TEST(ModelArtifacts, CodeVersionFlipForcesRecompute)
     const Tdg &tdg = lw->tdg();
 
     const BenchmarkModel fresh(tdg, CoreKind::OOO2);
-    storeModelTables(cache, "conv", kTestInsts, fresh);
-
     const PipelineConfig cfg{.core = coreConfig(CoreKind::OOO2)};
+    storeBaselineTables(cache, "conv", tdg.trace().program(),
+                        kTestInsts, cfg, fresh.baseTables());
+
     // The entry is live under the current model-code version...
-    EXPECT_TRUE(loadModelTables(cache, "conv", tdg, kTestInsts, cfg,
-                                kModelCodeVersion));
+    EXPECT_TRUE(loadBaselineTables(cache, "conv", tdg, kTestInsts,
+                                   cfg, kModelCodeVersion));
     // ...and dead the instant the code version moves: zero silent
     // staleness.
-    EXPECT_FALSE(loadModelTables(cache, "conv", tdg, kTestInsts, cfg,
-                                 kModelCodeVersion + 1));
-    const ArtifactStats s = cache.stats(kModelKind);
+    EXPECT_FALSE(loadBaselineTables(cache, "conv", tdg, kTestInsts,
+                                    cfg, kModelCodeVersion + 1));
+    const ArtifactStats s = cache.stats(kBaseTimingKind);
     EXPECT_EQ(s.hits, 1u);
     EXPECT_EQ(s.misses, 1u);
     EXPECT_EQ(s.rejected, 0u);
 
     // Storing under the new version keys a fresh entry; both
     // versions then coexist independently.
-    storeModelTables(cache, "conv", kTestInsts, fresh,
-                     kModelCodeVersion + 1);
-    EXPECT_TRUE(loadModelTables(cache, "conv", tdg, kTestInsts, cfg,
-                                kModelCodeVersion + 1));
+    storeBaselineTables(cache, "conv", tdg.trace().program(),
+                        kTestInsts, cfg, fresh.baseTables(),
+                        kModelCodeVersion + 1);
+    EXPECT_TRUE(loadBaselineTables(cache, "conv", tdg, kTestInsts,
+                                   cfg, kModelCodeVersion + 1));
 }
 
-TEST(ModelArtifacts, CorruptModelEntryFallsBackToRecompute)
+TEST(ModelArtifacts, CorruptComponentEntryFallsBackToRecompute)
 {
     TempCacheDir dir("prism_art_modelcorrupt");
     const ArtifactCache cache(dir.path);
@@ -461,23 +514,49 @@ TEST(ModelArtifacts, CorruptModelEntryFallsBackToRecompute)
     const Tdg &tdg = lw->tdg();
 
     const BenchmarkModel fresh(tdg, CoreKind::OOO2);
-    storeModelTables(cache, "conv", kTestInsts, fresh);
-
     const PipelineConfig cfg{.core = coreConfig(CoreKind::OOO2)};
+    storeBaselineTables(cache, "conv", tdg.trace().program(),
+                        kTestInsts, cfg, fresh.baseTables());
+
     const std::string path = cache.pathFor(
-        kModelKind, "conv",
-        modelArtifactKey(tdg.trace().program(), kTestInsts, cfg));
+        kBaseTimingKind, "conv",
+        baselineTablesKey(tdg.trace().program(), kTestInsts, cfg));
     std::filesystem::resize_file(
         path, std::filesystem::file_size(path) / 2);
 
     EXPECT_FALSE(
-        loadModelTables(cache, "conv", tdg, kTestInsts, cfg));
-    EXPECT_EQ(cache.stats(kModelKind).rejected, 1u);
+        loadBaselineTables(cache, "conv", tdg, kTestInsts, cfg));
+    EXPECT_EQ(cache.stats(kBaseTimingKind).rejected, 1u);
 
     // Recompute + store repairs it.
-    storeModelTables(cache, "conv", kTestInsts, fresh);
+    storeBaselineTables(cache, "conv", tdg.trace().program(),
+                        kTestInsts, cfg, fresh.baseTables());
     EXPECT_TRUE(
-        loadModelTables(cache, "conv", tdg, kTestInsts, cfg));
+        loadBaselineTables(cache, "conv", tdg, kTestInsts, cfg));
+}
+
+TEST(ModelArtifacts, EnumerateListsStoredComponents)
+{
+    TempCacheDir dir("prism_art_enum");
+    const ArtifactCache cache(dir.path);
+    const auto lw =
+        LoadedWorkload::load(findWorkload("conv"), kTestInsts);
+    const Tdg &tdg = lw->tdg();
+
+    EXPECT_TRUE(cache.enumerate().empty());
+
+    const BenchmarkModel fresh(tdg, CoreKind::OOO2);
+    storeAllComponents(cache, tdg, fresh);
+
+    const auto all = cache.enumerate();
+    ASSERT_EQ(all.size(), 5u); // 1 basecore + 4 regioneval
+    for (const ArtifactCache::Entry &e : all) {
+        EXPECT_EQ(e.stem, "conv");
+        EXPECT_GT(e.bytes, 0u);
+    }
+    EXPECT_EQ(cache.enumerate(kBaseTimingKind.name).size(), 1u);
+    EXPECT_EQ(cache.enumerate(kRegionEvalKind.name).size(), 4u);
+    EXPECT_TRUE(cache.enumerate("nosuchkind").empty());
 }
 
 } // namespace

@@ -111,7 +111,7 @@ TEST(Integration, OffloadEnginesReportGatedCycles)
     bool saw_gated = false;
     for (const Loop &loop : workload("cutcp").tdg().loops().loops()) {
         const RegionUnitEval &ev =
-            bm.loopEval(loop.id).unit[unitIndex(BsaKind::Nsdf)];
+            bm.unitEval(loop.id, unitIndex(BsaKind::Nsdf));
         if (ev.feasible && ev.gatedCycles > 0)
             saw_gated = true;
     }

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Tests for the generalized design-space search (tdg/search.hh) and
+ * the RAM-tier memo cache behind it (common/memo_cache.hh):
+ *
+ *  - differential: a component-assembled BenchmarkModel is
+ *    byte-identical to the monolithic one across every BSA mask,
+ *    both schedulers, and parametric CoreParams points;
+ *  - determinism: rendered search tables and Pareto frontiers are
+ *    byte-identical across thread counts, and shards partition the
+ *    parametric grid exactly;
+ *  - MemoCache: LRU eviction under a byte budget, getOrCompute
+ *    single-computation semantics, first-insertion-wins on races.
+ *
+ * Labeled `concurrency` so `ctest -L concurrency` (typically under
+ * -DPRISM_SANITIZE=thread) exercises the parallel phases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/memo_cache.hh"
+#include "common/thread_pool.hh"
+#include "tdg/artifacts.hh"
+#include "tdg/search.hh"
+#include "workloads/suite.hh"
+
+namespace prism
+{
+namespace
+{
+
+constexpr std::uint64_t kTestInsts = 40'000;
+
+std::span<const WorkloadSpec>
+testWorkloads()
+{
+    static const std::vector<WorkloadSpec> wls{
+        findWorkload("ilp-chain"), findWorkload("mem-random")};
+    return wls;
+}
+
+// ---------------------------------------------------------------- //
+// Differential: component-memoized == monolithic.
+// ---------------------------------------------------------------- //
+
+TEST(Search, ComponentModelMatchesMonolithicEverywhere)
+{
+    // Two fixed kinds plus two parametric points, all 16 masks, both
+    // schedulers: the component split may not change a single cycle
+    // or picojoule anywhere.
+    std::vector<CoreParams> cores = {coreParams(CoreKind::IO2),
+                                     coreParams(CoreKind::OOO4)};
+    CoreParams narrow = coreParams(CoreKind::OOO2);
+    narrow.instWindow = 20;
+    cores.push_back(narrow);
+    CoreParams wide = coreParams(CoreKind::OOO4);
+    wide.simdLanes = 8;
+    wide.numAlu = 4;
+    cores.push_back(wide);
+
+    for (const WorkloadSpec &spec : testWorkloads()) {
+        const auto lw = LoadedWorkload::load(spec, kTestInsts);
+        for (const CoreParams &core : cores) {
+            const PipelineConfig cfg = pipelineConfigFrom(core);
+            const BenchmarkModel mono(lw->tdg(), cfg);
+            // No disk cache: this exercises the RAM tier + cold
+            // compute path of the component assembly.
+            const auto memo = buildModelCached(
+                nullptr, lw->name(), lw->tdg(), lw->maxInsts(), cfg);
+            for (unsigned mask = 0; mask < 16; ++mask) {
+                for (SchedulerKind sched :
+                     {SchedulerKind::Oracle,
+                      SchedulerKind::AmdahlTree}) {
+                    const ExoResult a = mono.evaluate(mask, sched);
+                    const ExoResult b = memo->evaluate(mask, sched);
+                    ASSERT_EQ(a.cycles, b.cycles)
+                        << spec.name << " " << coreParamsName(core)
+                        << " mask " << mask;
+                    ASSERT_EQ(a.energy, b.energy)
+                        << spec.name << " " << coreParamsName(core)
+                        << " mask " << mask;
+                    ASSERT_EQ(a.unitCycles, b.unitCycles);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Grid and shard structure.
+// ---------------------------------------------------------------- //
+
+TEST(Search, GridOrderIsCoreMajorBudgetMidMaskMinor)
+{
+    SearchSpace space;
+    space.cores = defaultCoreGrid();
+    space.cores.resize(3);
+    space.numMasks = 4;
+    space.areaBudgets = {1.0, 2.0};
+
+    DesignSearch search(space, testWorkloads());
+    const auto points = search.shardPoints();
+    ASSERT_EQ(points.size(), searchGridSize(search.space()));
+    std::size_t gi = 0;
+    for (std::size_t ci = 0; ci < 3; ++ci) {
+        for (double budget : {1.0, 2.0}) {
+            for (unsigned mask = 0; mask < 4; ++mask, ++gi) {
+                ASSERT_EQ(points[gi].gridIndex, gi);
+                ASSERT_EQ(points[gi].coreIdx, ci);
+                ASSERT_EQ(points[gi].areaBudget, budget);
+                ASSERT_EQ(points[gi].mask, mask);
+            }
+        }
+    }
+}
+
+TEST(Search, ShardsPartitionTheParametricGridExactly)
+{
+    SearchSpace base;
+    base.cores = sampleCoreParams(5, 7);
+    base.numMasks = 8;
+    base.areaBudgets = {0.0, 3.0};
+    const std::size_t total = searchGridSize(base);
+    ASSERT_EQ(total, 5u * 8u * 2u);
+
+    for (unsigned count : {1u, 2u, 3u, 7u}) {
+        std::vector<int> seen(total, 0);
+        for (unsigned s = 0; s < count; ++s) {
+            SearchSpace space = base;
+            space.shardIndex = s;
+            space.shardCount = count;
+            DesignSearch search(space, testWorkloads());
+            for (const SearchPoint &p : search.shardPoints()) {
+                ASSERT_LT(p.gridIndex, total);
+                ASSERT_EQ(p.gridIndex % count, s);
+                ++seen[p.gridIndex];
+            }
+        }
+        for (std::size_t i = 0; i < total; ++i)
+            ASSERT_EQ(seen[i], 1)
+                << "grid index " << i << " at " << count << " shards";
+    }
+}
+
+TEST(Search, SampledCoresAreDeterministicAndPlausible)
+{
+    const auto a = sampleCoreParams(32, 42);
+    const auto b = sampleCoreParams(32, 42);
+    ASSERT_EQ(a.size(), 32u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(coreParamsName(a[i]), coreParamsName(b[i]));
+        EXPECT_GE(a[i].width, 1u);
+        EXPECT_LE(a[i].width, 8u);
+        EXPECT_GE(a[i].numAlu, 1u);
+        if (!a[i].inorder) {
+            EXPECT_GT(a[i].robSize, 0u);
+            EXPECT_GT(a[i].instWindow, 0u);
+        }
+    }
+    // A different seed actually changes the sample.
+    const auto c = sampleCoreParams(32, 43);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < c.size(); ++i)
+        any_diff |= coreParamsName(a[i]) != coreParamsName(c[i]);
+    EXPECT_TRUE(any_diff);
+}
+
+// ---------------------------------------------------------------- //
+// Determinism across thread counts.
+// ---------------------------------------------------------------- //
+
+TEST(Search, TablesByteIdenticalAcrossThreadCounts)
+{
+    SearchSpace space;
+    space.cores = defaultCoreGrid();
+    space.cores.resize(4);
+    space.areaBudgets = {1.5, 0.0};
+
+    auto render = [&](unsigned threads) {
+        ThreadPool pool(threads);
+        DesignSearch search(space, testWorkloads());
+        search.prepare(pool);
+        const auto points = search.run(pool);
+        return renderSearchTable(points) +
+               renderParetoFrontier(points);
+    };
+    const std::string serial = render(1);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, render(4));
+    EXPECT_EQ(serial, render(3));
+}
+
+TEST(Search, ParetoFrontierIsInputOrderInvariant)
+{
+    SearchSpace space;
+    space.cores = defaultCoreGrid();
+    space.cores.resize(4);
+    space.numMasks = 8;
+
+    ThreadPool pool(2);
+    DesignSearch search(space, testWorkloads());
+    search.prepare(pool);
+    auto points = search.run(pool);
+
+    const auto frontier = paretoFrontier(points);
+    ASSERT_FALSE(frontier.empty());
+    // Frontier members are mutually non-dominated.
+    for (const SearchPoint &a : frontier) {
+        for (const SearchPoint &b : frontier) {
+            if (a.gridIndex == b.gridIndex)
+                continue;
+            const bool dom = a.speedup >= b.speedup &&
+                             a.energyEff >= b.energyEff &&
+                             a.area <= b.area &&
+                             (a.speedup > b.speedup ||
+                              a.energyEff > b.energyEff ||
+                              a.area < b.area);
+            EXPECT_FALSE(dom)
+                << a.name << " dominates frontier member " << b.name;
+        }
+    }
+    // Reversing (or shuffling) the input leaves the frontier
+    // byte-identical.
+    std::reverse(points.begin(), points.end());
+    EXPECT_EQ(renderParetoFrontier(points),
+              renderSearchTable(frontier));
+}
+
+// ---------------------------------------------------------------- //
+// MemoCache (the RAM tier).
+// ---------------------------------------------------------------- //
+
+TEST(MemoCache, GetOrComputeComputesOnceThenHits)
+{
+    MemoCache cache(1 << 20);
+    int computed = 0;
+    auto make = [&] {
+        ++computed;
+        return std::make_shared<int>(41 + computed);
+    };
+    const auto a = cache.getOrCompute<int>(
+        7, make, [](const int &) { return sizeof(int); });
+    const auto b = cache.getOrCompute<int>(
+        7, make, [](const int &) { return sizeof(int); });
+    EXPECT_EQ(computed, 1);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(*a, 42);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(MemoCache, EvictsLeastRecentlyUsedUnderByteBudget)
+{
+    MemoCache cache(300);
+    auto put = [&](std::uint64_t key) {
+        cache.put(key, std::make_shared<int>(static_cast<int>(key)),
+                  100);
+    };
+    put(1);
+    put(2);
+    put(3); // full: {1, 2, 3}
+    EXPECT_NE(cache.get(1), nullptr); // 1 is now most recent
+    put(4); // evicts 2, the least recently used
+    EXPECT_EQ(cache.get(2), nullptr);
+    EXPECT_NE(cache.get(1), nullptr);
+    EXPECT_NE(cache.get(3), nullptr);
+    EXPECT_NE(cache.get(4), nullptr);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_LE(cache.stats().bytes, cache.maxBytes());
+}
+
+TEST(MemoCache, OversizedEntryDoesNotStick)
+{
+    MemoCache cache(100);
+    cache.put(1, std::make_shared<int>(1), 1000);
+    // An entry larger than the whole budget is never retained; the
+    // cache keeps working for fitting entries.
+    EXPECT_EQ(cache.get(1), nullptr);
+    cache.put(2, std::make_shared<int>(2), 50);
+    EXPECT_NE(cache.get(2), nullptr);
+}
+
+TEST(MemoCache, FirstInsertionWinsOnDuplicateKey)
+{
+    MemoCache cache(1 << 10);
+    const auto first = std::make_shared<int>(1);
+    cache.put(5, first, 8);
+    cache.put(5, std::make_shared<int>(2), 8);
+    const auto got =
+        std::static_pointer_cast<const int>(cache.get(5));
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, 1);
+}
+
+TEST(MemoCache, ParallelGetOrComputeYieldsOneValue)
+{
+    MemoCache cache(1 << 20);
+    ThreadPool pool(4);
+    std::atomic<int> computes{0};
+    std::vector<std::shared_ptr<const int>> got(64);
+    pool.parallelFor(got.size(), [&](std::size_t i) {
+        got[i] = cache.getOrCompute<int>(
+            99,
+            [&] {
+                computes.fetch_add(1);
+                return std::make_shared<int>(7);
+            },
+            [](const int &) { return sizeof(int); });
+    });
+    // Racing computes may happen (losers return their own identical
+    // value), but every caller observes the same contents and the
+    // cache retains exactly one winner.
+    EXPECT_GE(computes.load(), 1);
+    for (const auto &p : got) {
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(*p, 7);
+    }
+    const auto cached =
+        std::static_pointer_cast<const int>(cache.get(99));
+    ASSERT_NE(cached, nullptr);
+    EXPECT_EQ(*cached, 7);
+}
+
+} // namespace
+} // namespace prism

@@ -131,6 +131,45 @@ TEST(ThreadPool, ChunkSizeForMath)
     EXPECT_EQ(ThreadPool::chunkSizeFor(10, 0), 10u);
 }
 
+TEST(ThreadPool, ChunkCountNeverExceedsItemCount)
+{
+    // Regression: tiny ranges on wide machines must not split into
+    // more chunks than there are items — every context past the
+    // item count would pay an empty inflight/next claim pair just to
+    // find the range exhausted.
+    const std::size_t ns[] = {1, 2, 3, 5, 7, 16, 100, 4096};
+    const unsigned ctxs[] = {1, 2, 8, 64, 256, 4096};
+    for (const std::size_t n : ns) {
+        for (const unsigned c : ctxs) {
+            const std::size_t chunk = ThreadPool::chunkSizeFor(n, c);
+            ASSERT_GE(chunk, 1u) << "n=" << n << " contexts=" << c;
+            const std::size_t chunks = (n + chunk - 1) / chunk;
+            ASSERT_LE(chunks, n) << "n=" << n << " contexts=" << c;
+        }
+    }
+    // n == 0 stays well-defined (no division by zero in the clamp).
+    EXPECT_EQ(ThreadPool::chunkSizeFor(0, 4096), 1u);
+}
+
+TEST(ThreadPool, TinyLoopOnWidePoolRunsEveryIndexOnce)
+{
+    // Small n against many contexts: the auto grain now claims at
+    // most n chunks, and only as many workers are woken as there are
+    // stealable tasks. Correctness must be unaffected.
+    ThreadPool pool(64);
+    for (int round = 0; round < 20; ++round) {
+        for (const std::size_t n : {1, 2, 3, 5}) {
+            std::vector<std::atomic<int>> counts(n);
+            pool.parallelFor(n, [&](std::size_t i) {
+                counts[i].fetch_add(1);
+            });
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(counts[i].load(), 1)
+                    << "n=" << n << " index " << i;
+        }
+    }
+}
+
 TEST(ThreadPool, ExplicitGrainCoversEveryIndexOnce)
 {
     ThreadPool pool(4);
