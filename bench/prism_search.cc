@@ -34,6 +34,7 @@
 #include <sstream>
 
 #include "bench_util.hh"
+#include "common/memo_cache.hh"
 #include "energy/area_model.hh"
 #include "tdg/search.hh"
 
@@ -129,8 +130,9 @@ parseArgs(int argc, char **argv)
                       v.c_str());
             opt.masks = static_cast<unsigned>(n);
         } else if (value(i, "--budgets", v)) {
-            for (const std::string &b : splitCsv(v))
-                opt.budgets.push_back(std::atof(b.c_str()));
+            std::string err;
+            if (!parseAreaBudgets(v, opt.budgets, err))
+                fatal("--budgets: %s", err.c_str());
         } else if (value(i, "--sched", v)) {
             if (v == "amdahl")
                 opt.sched = SchedulerKind::AmdahlTree;
@@ -138,13 +140,10 @@ parseArgs(int argc, char **argv)
                 fatal("--sched must be oracle or amdahl, got '%s'",
                       v.c_str());
         } else if (value(i, "--shard", v)) {
-            unsigned idx = 0, cnt = 0;
-            if (std::sscanf(v.c_str(), "%u/%u", &idx, &cnt) != 2 ||
-                cnt == 0 || idx >= cnt)
-                fatal("--shard needs I/N with I < N, got '%s'",
-                      v.c_str());
-            opt.shardIndex = idx;
-            opt.shardCount = cnt;
+            std::string err;
+            if (!parseShardSpec(v, opt.shardIndex, opt.shardCount,
+                                err))
+                fatal("--shard: %s", err.c_str());
         } else if (value(i, "--top", v)) {
             opt.top = static_cast<std::size_t>(std::atoll(v.c_str()));
         } else if (value(i, "--export-dataset", v)) {
@@ -257,6 +256,7 @@ runSearch(const SearchOptions &opt)
 
     std::printf("\n");
     bench::printCacheSummary();
+    std::printf("%s\n", MemoCache::global().summary().c_str());
     return 0;
 }
 
@@ -429,6 +429,23 @@ selfTestDataset(const std::vector<WorkloadSpec> &specs)
            "schema version header present");
 }
 
+/** The RAM memoization tier's counters are live and consistent:
+ *  the runs above populated it (insertions), revisits hit it, and
+ *  residency respects the byte budget. */
+void
+selfTestRamCache()
+{
+    std::printf("RAM cache observability (common/memo_cache)\n");
+    MemoCache &cache = MemoCache::global();
+    const MemoCache::Stats s = cache.stats();
+    expect(s.insertions > 0,
+           "component builds inserted into the RAM tier");
+    expect(s.hits > 0, "revisited components hit the RAM tier");
+    expect(s.bytes <= cache.maxBytes(),
+           "resident bytes within the configured budget");
+    std::printf("  %s\n", cache.summary().c_str());
+}
+
 int
 runSelfTest(const SearchOptions &opt)
 {
@@ -444,6 +461,7 @@ runSelfTest(const SearchOptions &opt)
     selfTestThreadDeterminism(specs);
     selfTestSharding(specs);
     selfTestDataset(specs);
+    selfTestRamCache();
 
     std::printf("prism_search --self-test: %s\n",
                 g_failures == 0 ? "all green" : "FAILED");

@@ -4,18 +4,22 @@
 #   2. an UndefinedBehaviorSanitizer build + the tier-1 suite
 #      (findings abort: -fno-sanitize-recover=undefined),
 #   3. a ThreadSanitizer build running the concurrency label (the
-#      thread-pool, sweep-driver, and sampled-validation suites) —
-#      the chunked lock-free claim path, the per-thread cache
-#      handles, and the parallel sample fan-out are only trusted
-#      once TSan has watched them run,
+#      thread-pool, sweep-driver, search, sampled-validation, and
+#      serve suites) — the chunked lock-free claim path, the
+#      per-thread cache handles, the parallel sample fan-out, and the
+#      daemon's reader/dispatcher handoff are only trusted once TSan
+#      has watched them run,
 #   4. an optimized build running the lint label (prism_lint over
 #      every shipped workload and BSA transform, the static-analysis
 #      unit tests, and clang-tidy when the host has it) and the
 #      perf-smoke label (streaming self-test, throughput guard vs the
 #      committed baseline, warm-artifact-cache correctness + speedup,
+#      the serve smoke + serve throughput guard vs BENCH_serve.json,
 #      and the scaling guard: 4 sweep contexts must be >= 2.5x faster
 #      than 1 on hosts with >= 4 CPUs; it self-skips elsewhere and
-#      under PRISM_SKIP_PERF_CHECK).
+#      under PRISM_SKIP_PERF_CHECK),
+#   5. a longer serve smoke on the optimized daemon: ephemeral-port
+#      boot, 3 s mixed loadgen burst, SIGTERM, drain banner.
 #
 # Usage: scripts/check.sh [asan-build-dir] [ubsan-build-dir] \
 #                         [perf-build-dir] [tsan-build-dir]
@@ -57,7 +61,8 @@ cmake -B "$tsan_build" -S "$repo" -DPRISM_SANITIZE=thread
 
 echo "== build (TSan) =="
 cmake --build "$tsan_build" -j "$(nproc)" \
-    --target test_thread_pool test_sweep test_sampled_validate
+    --target test_thread_pool test_sweep test_search \
+             test_sampled_validate test_serve
 
 echo "== concurrency tests (TSan) =="
 # PRISM_OVERSUBSCRIBE: on few-CPU hosts the worker clamp would leave
@@ -78,6 +83,13 @@ ctest --test-dir "$perf_build" -L lint --output-on-failure
 
 echo "== perf smoke (throughput guard vs committed baseline) =="
 ctest --test-dir "$perf_build" -L perf-smoke --output-on-failure
+
+echo "== serve smoke (daemon boot, loadgen burst, drain) =="
+# The perf-smoke label already ran serve_smoke with a 1 s burst; this
+# leg repeats it with a longer window on the optimized binaries so
+# the drain protocol is exercised with real queue pressure.
+"$repo/scripts/serve_smoke.sh" \
+    "$perf_build/src/prism_serve" "$perf_build/src/prism_loadgen" 3
 
 echo "== warm-cache correctness (full budget) =="
 # The perf-smoke label already ran warm_cache_check at a reduced

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Committed serve benchmark (registered as the ctest
+# `serve_perf_guard` under -L perf-smoke, RUN_SERIAL).
+#
+# Boots prism_serve over the full workload suite (100k-instruction
+# traces: resident in ~5 s, query behavior identical to the default
+# budget since EVALs hit the warm model tables either way), then
+# drives a closed-loop EVAL mix from prism_loadgen at 8 connections.
+#
+#   --update <json>   measure and overwrite the committed baseline
+#   --check <json>    measure and enforce the baseline via the
+#                     loadgen's --perf-check gate: >= 0.5x committed
+#                     throughput, <= 3x committed p99 always, and the
+#                     absolute floors (10k q/s, p99 < 10 ms) on hosts
+#                     with >= 4 CPUs. PRISM_SKIP_PERF_CHECK=1 reports
+#                     without enforcing; a missing baseline file
+#                     passes (bootstrap).
+#
+# Usage: scripts/serve_bench.sh <prism_serve> <prism_loadgen>
+#                               (--update|--check) <json> [secs]
+
+set -euo pipefail
+
+usage="usage: serve_bench.sh <prism_serve> <prism_loadgen> (--update|--check) <json> [secs]"
+serve="${1:?$usage}"
+loadgen="${2:?$usage}"
+mode="${3:?$usage}"
+json="${4:?$usage}"
+secs="${5:-5}"
+[[ "$mode" == "--update" || "$mode" == "--check" ]] || {
+    echo "$usage" >&2
+    exit 2
+}
+
+workdir="$(mktemp -d "${TMPDIR:-/tmp}/prism_serve_bench.XXXXXX")"
+server_pid=""
+cleanup() {
+    [[ -n "$server_pid" ]] && kill -KILL "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+"$serve" --port=0 --max-insts=100000 > "$workdir/serve.log" 2>&1 &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 1200); do
+    port="$(sed -n 's/^prism_serve: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "$workdir/serve.log")"
+    [[ -n "$port" ]] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "serve_bench: FAILED — daemon exited before listening:" >&2
+        cat "$workdir/serve.log" >&2
+        server_pid=""
+        exit 1
+    fi
+    sleep 0.1
+done
+if [[ -z "$port" ]]; then
+    echo "serve_bench: FAILED — no listening banner after 120 s" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+fi
+grep "prism_serve: ready" "$workdir/serve.log" || true
+
+# One short untimed burst first so the measured window never includes
+# connection setup or first-touch effects.
+"$loadgen" --port="$port" --conns=8 --secs=1 --mix=eval \
+    --json="$workdir/warmup.json" > /dev/null
+
+if [[ "$mode" == "--update" ]]; then
+    "$loadgen" --port="$port" --conns=8 --secs="$secs" --mix=eval \
+        --json="$json"
+    echo "serve_bench: wrote $json"
+else
+    "$loadgen" --port="$port" --conns=8 --secs="$secs" --mix=eval \
+        --json="$workdir/measured.json" --perf-check="$json"
+fi
+
+kill -TERM "$server_pid"
+rc=0
+wait "$server_pid" || rc=$?
+server_pid=""
+if [[ "$rc" -ne 0 ]] ||
+    ! grep -q "prism_serve: drained and stopped" "$workdir/serve.log"; then
+    echo "serve_bench: FAILED — daemon did not drain cleanly (rc=$rc):" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+fi
+echo "serve_bench: all green"

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Serve smoke check (registered as the ctest `serve_smoke` under
+# -L perf-smoke, and run directly as a check.sh leg).
+#
+# Boots prism_serve on an ephemeral port with a tiny resident config,
+# fires a short closed-loop burst from prism_loadgen, then sends
+# SIGTERM and verifies the drain protocol. The check fails if
+#   - the daemon never prints its `listening on 127.0.0.1:<port>` /
+#     `ready (...)` banner,
+#   - the loadgen exits non-zero (any query error fails it) or
+#     reports zero completed queries,
+#   - the daemon exits non-zero, or
+#   - the daemon log is missing the `drained and stopped` line that
+#     the shutdown path prints only after every admitted request has
+#     been answered.
+#
+# Usage: scripts/serve_smoke.sh <prism_serve> <prism_loadgen> [secs]
+
+set -euo pipefail
+
+serve="${1:?usage: serve_smoke.sh <prism_serve> <prism_loadgen> [secs]}"
+loadgen="${2:?usage: serve_smoke.sh <prism_serve> <prism_loadgen> [secs]}"
+secs="${3:-1}"
+
+workdir="$(mktemp -d "${TMPDIR:-/tmp}/prism_serve_smoke.XXXXXX")"
+server_pid=""
+cleanup() {
+    [[ -n "$server_pid" ]] && kill -KILL "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+"$serve" --port=0 --workloads=ilp-chain,mem-random --max-insts=20000 \
+    > "$workdir/serve.log" 2>&1 &
+server_pid=$!
+
+# The banner appears once the suite is resident; tiny config loads in
+# well under a second, sanitized builds take a few.
+port=""
+for _ in $(seq 1 600); do
+    port="$(sed -n 's/^prism_serve: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "$workdir/serve.log")"
+    [[ -n "$port" ]] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "serve_smoke: FAILED — daemon exited before listening:" >&2
+        cat "$workdir/serve.log" >&2
+        server_pid=""
+        exit 1
+    fi
+    sleep 0.1
+done
+if [[ -z "$port" ]]; then
+    echo "serve_smoke: FAILED — no listening banner after 60 s" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+fi
+echo "daemon up on port $port"
+
+"$loadgen" --port="$port" --conns=2 --secs="$secs" --mix=mixed \
+    --json="$workdir/loadgen.json" | tee "$workdir/loadgen.out"
+
+if ! grep -qE '"queries": [1-9]' "$workdir/loadgen.json"; then
+    echo "serve_smoke: FAILED — loadgen completed zero queries" >&2
+    exit 1
+fi
+
+kill -TERM "$server_pid"
+server_rc=0
+wait "$server_pid" || server_rc=$?
+server_pid=""
+if [[ "$server_rc" -ne 0 ]]; then
+    echo "serve_smoke: FAILED — daemon exited with $server_rc:" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+fi
+if ! grep -q "prism_serve: drained and stopped" "$workdir/serve.log"; then
+    echo "serve_smoke: FAILED — no drain banner in daemon log:" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+fi
+grep "drained and stopped" "$workdir/serve.log"
+echo "serve_smoke: all green"

@@ -1,5 +1,6 @@
 #include "common/memo_cache.hh"
 
+#include <cstdio>
 #include <cstdlib>
 
 namespace prism
@@ -66,6 +67,29 @@ MemoCache::stats() const
 {
     std::lock_guard<std::mutex> lk(mu_);
     return stats_;
+}
+
+std::string
+MemoCache::summary() const
+{
+    const Stats s = stats();
+    const std::uint64_t lookups = s.hits + s.misses;
+    const double hitPct =
+        lookups ? 100.0 * static_cast<double>(s.hits) /
+                      static_cast<double>(lookups)
+                : 0.0;
+    char buf[192];
+    std::snprintf(
+        buf, sizeof buf,
+        "RAM cache: %llu hits, %llu misses (%.1f%% hit), "
+        "%llu insertions, %llu evictions, %.1f/%.1f MiB resident",
+        static_cast<unsigned long long>(s.hits),
+        static_cast<unsigned long long>(s.misses), hitPct,
+        static_cast<unsigned long long>(s.insertions),
+        static_cast<unsigned long long>(s.evictions),
+        static_cast<double>(s.bytes) / (1024.0 * 1024.0),
+        static_cast<double>(maxBytes_) / (1024.0 * 1024.0));
+    return buf;
 }
 
 MemoCache &

@@ -25,6 +25,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 namespace prism
@@ -65,6 +66,12 @@ class MemoCache
     void clear();
 
     Stats stats() const;
+
+    /** One-line human-readable render of stats(), e.g.
+     *  "RAM cache: 12 hits, 4 misses (75.0% hit), 4 insertions,
+     *   0 evictions, 1.2/256.0 MiB resident". For status output in
+     *  drivers; the serve daemon exposes the raw counters instead. */
+    std::string summary() const;
 
     std::uint64_t maxBytes() const { return maxBytes_; }
 

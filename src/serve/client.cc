@@ -1,0 +1,225 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace prism::serve
+{
+
+Client::~Client()
+{
+    close();
+}
+
+Client::Client(Client &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      lastError_(std::move(other.lastError_))
+{
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        lastError_ = std::move(other.lastError_);
+    }
+    return *this;
+}
+
+bool
+Client::connect(const std::string &host, std::uint16_t port)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        lastError_ = std::strerror(errno);
+        return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        lastError_ = "bad address: " + host;
+        close();
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        lastError_ = std::strerror(errno);
+        close();
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return true;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::sendRaw(std::span<const std::uint8_t> bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t r = ::send(fd_, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        if (r >= 0) {
+            sent += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        lastError_ = std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+std::optional<RawReply>
+Client::readReply()
+{
+    std::vector<std::uint8_t> payload;
+    const FrameResult res = readFrame(fd_, payload);
+    if (res != FrameResult::Ok) {
+        lastError_ = res == FrameResult::Eof ? "connection closed"
+                                             : "frame read failed";
+        return std::nullopt;
+    }
+    if (payload.empty()) {
+        lastError_ = "empty reply frame";
+        return std::nullopt;
+    }
+    RawReply reply;
+    const std::uint8_t status = payload[0];
+    if (status > static_cast<std::uint8_t>(Status::Busy)) {
+        lastError_ = "unknown reply status";
+        return std::nullopt;
+    }
+    reply.status = static_cast<Status>(status);
+    reply.body.assign(payload.begin() + 1, payload.end());
+    if (reply.status == Status::Error) {
+        WireReader r({reply.body.data(), reply.body.size()});
+        if (!r.str(reply.error) || !r.done())
+            reply.error = "(malformed error reply)";
+    }
+    return reply;
+}
+
+std::optional<RawReply>
+Client::roundTrip(Op op, std::span<const std::uint8_t> body)
+{
+    if (!writeRequestFrame(fd_, op, body)) {
+        lastError_ = "frame write failed";
+        return std::nullopt;
+    }
+    return readReply();
+}
+
+namespace
+{
+
+/** Shared Ok-reply plumbing: round trip, surface Busy/Error as a
+ *  false return with a message, hand an Ok body to `decode`. */
+template <typename DecodeFn>
+bool
+okRoundTrip(Client &c, Op op, std::span<const std::uint8_t> body,
+            std::string &lastError, DecodeFn &&decode)
+{
+    std::optional<RawReply> reply = c.roundTrip(op, body);
+    if (!reply)
+        return false;
+    if (reply->status == Status::Busy) {
+        lastError = "server busy";
+        return false;
+    }
+    if (reply->status == Status::Error) {
+        lastError = reply->error;
+        return false;
+    }
+    WireReader r({reply->body.data(), reply->body.size()});
+    if (!decode(r)) {
+        lastError = "malformed reply body";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+Client::ping(std::uint8_t &version)
+{
+    return okRoundTrip(*this, Op::Ping, {}, lastError_,
+                       [&](WireReader &r) {
+                           return r.u8(version) && r.done();
+                       });
+}
+
+bool
+Client::eval(const EvalRequest &req, EvalReply &out)
+{
+    WireWriter w;
+    encodeEvalRequest(w, req);
+    return okRoundTrip(*this, Op::Eval, w.bytes(), lastError_,
+                       [&](WireReader &r) {
+                           return decodeEvalReply(r, out);
+                       });
+}
+
+bool
+Client::rank(const RankRequest &req, RankReply &out)
+{
+    WireWriter w;
+    encodeRankRequest(w, req);
+    return okRoundTrip(*this, Op::Rank, w.bytes(), lastError_,
+                       [&](WireReader &r) {
+                           return decodeRankReply(r, out);
+                       });
+}
+
+bool
+Client::sweep(const SweepRequest &req, SweepReply &out)
+{
+    WireWriter w;
+    encodeSweepRequest(w, req);
+    return okRoundTrip(*this, Op::Sweep, w.bytes(), lastError_,
+                       [&](WireReader &r) {
+                           return decodeSweepReply(r, out);
+                       });
+}
+
+bool
+Client::stats(StatsReply &out)
+{
+    return okRoundTrip(*this, Op::Stats, {}, lastError_,
+                       [&](WireReader &r) {
+                           return decodeStatsReply(r, out);
+                       });
+}
+
+bool
+Client::list(ListReply &out)
+{
+    return okRoundTrip(*this, Op::List, {}, lastError_,
+                       [&](WireReader &r) {
+                           return decodeListReply(r, out);
+                       });
+}
+
+} // namespace prism::serve

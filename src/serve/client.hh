@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Blocking client for the prism_serve protocol: one TCP connection,
+ * synchronous request/reply. Used by prism_loadgen (one Client per
+ * closed-loop connection thread) and by the serve tests (which also
+ * poke the socket directly via sendRaw() to exercise malformed
+ * frames).
+ *
+ * Not thread-safe: a Client wraps one socket with an in-order
+ * request/reply discipline; give each thread its own.
+ */
+
+#ifndef PRISM_SERVE_CLIENT_HH
+#define PRISM_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace prism::serve
+{
+
+/** One reply frame, decoded to status + raw body bytes. */
+struct RawReply
+{
+    Status status = Status::Ok;
+    std::vector<std::uint8_t> body;
+    std::string error; ///< decoded message when status == Error
+};
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+
+    /** Connect to host:port; false (with lastError()) on failure. */
+    bool connect(const std::string &host, std::uint16_t port);
+
+    bool connected() const { return fd_ >= 0; }
+
+    void close();
+
+    /** Liveness probe; fills the server's protocol version. */
+    bool ping(std::uint8_t &version);
+
+    /** EVAL round trip. On an Error reply, returns false and stores
+     *  the server's message in lastError(). */
+    bool eval(const EvalRequest &req, EvalReply &out);
+
+    bool rank(const RankRequest &req, RankReply &out);
+
+    bool sweep(const SweepRequest &req, SweepReply &out);
+
+    bool stats(StatsReply &out);
+
+    bool list(ListReply &out);
+
+    /**
+     * Send one request frame and read back the raw reply —
+     * status byte + undecoded body. Exposes BUSY and Error replies
+     * to callers that care (the load generator counts them; the
+     * admission-control test asserts them).
+     */
+    std::optional<RawReply> roundTrip(Op op,
+                                      std::span<const std::uint8_t>
+                                          body);
+
+    /** Write arbitrary bytes to the socket (malformed-frame tests). */
+    bool sendRaw(std::span<const std::uint8_t> bytes);
+
+    /** Read one reply frame without sending anything first. */
+    std::optional<RawReply> readReply();
+
+    const std::string &lastError() const { return lastError_; }
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_ = -1;
+    std::string lastError_;
+};
+
+} // namespace prism::serve
+
+#endif // PRISM_SERVE_CLIENT_HH

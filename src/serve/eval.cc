@@ -1,0 +1,170 @@
+#include "serve/eval.hh"
+
+#include <algorithm>
+
+#include "common/artifact_cache.hh"
+#include "common/table.hh"
+#include "energy/area_model.hh"
+#include "tdg/artifacts.hh"
+#include "tdg/search.hh"
+#include "tdg/transform.hh"
+#include "uarch/pipeline_model.hh"
+
+namespace prism::serve
+{
+
+namespace
+{
+
+/** Resolve a request's model: resident for fixed kinds, assembled
+ *  from the tiered component caches for parametric points (warm in
+ *  RAM this is ~10 µs / 1 allocation). Exactly one of the two
+ *  returns is non-null. */
+const BenchmarkModel *
+resolveModel(const ResidentWorkload &w, const ConfigRef &config,
+             std::unique_ptr<BenchmarkModel> &owned)
+{
+    if (!config.parametric)
+        return &w.model(config.kind);
+    owned = buildModelCached(ArtifactCache::global(), w.lw->name(),
+                             w.lw->tdg(), w.lw->maxInsts(),
+                             pipelineConfigFrom(config.params));
+    return owned.get();
+}
+
+double
+configArea(const ConfigRef &config, unsigned mask)
+{
+    return config.parametric ? exoCoreArea(config.params, mask)
+                             : exoCoreArea(config.kind, mask);
+}
+
+/** Figure 12 style display name for a sweep point. */
+std::string
+sweepPointName(CoreKind core, unsigned mask, double budget)
+{
+    std::string name = coreConfig(core).name;
+    if (mask != 0) {
+        name += "-";
+        for (std::size_t i = 0; i < kAllBsas.size(); ++i) {
+            if (mask & (1u << i))
+                name += bsaLetter(kAllBsas[i]);
+        }
+    }
+    if (budget > 0) {
+        name += '@';
+        name += fmt(budget, 1);
+    }
+    return name;
+}
+
+} // namespace
+
+QueryOutcome
+runEval(const ResidentSuite &suite, const EvalRequest &req,
+        EvalReply &out)
+{
+    const ResidentWorkload *w = suite.find(req.workload);
+    if (!w)
+        return QueryOutcome::fail("unknown workload '" +
+                                  req.workload + "'");
+    std::unique_ptr<BenchmarkModel> owned;
+    const BenchmarkModel *model =
+        resolveModel(*w, req.config, owned);
+    const ExoResult res = model->evaluate(req.mask, req.sched);
+    out.cycles = res.cycles;
+    out.energy = res.energy;
+    out.area = configArea(req.config, req.mask);
+    out.withinBudget =
+        req.areaBudget <= 0 || out.area <= req.areaBudget;
+    return QueryOutcome::ok();
+}
+
+QueryOutcome
+runRank(const ResidentSuite &suite, const RankRequest &req,
+        RankReply &out)
+{
+    const ResidentWorkload *w = suite.find(req.workload);
+    if (!w)
+        return QueryOutcome::fail("unknown workload '" +
+                                  req.workload + "'");
+    std::unique_ptr<BenchmarkModel> owned;
+    const BenchmarkModel *model =
+        resolveModel(*w, req.config, owned);
+    const ExoResult &base = model->baseline();
+    out.entries.clear();
+    out.entries.reserve(16);
+    for (unsigned mask = 0; mask < 16; ++mask) {
+        const ExoResult res = model->evaluate(mask, req.sched);
+        RankEntry e;
+        e.mask = mask;
+        e.speedup = static_cast<double>(base.cycles) /
+                    static_cast<double>(res.cycles);
+        e.energyEff = base.energy / res.energy;
+        e.area = configArea(req.config, mask);
+        e.withinBudget =
+            req.areaBudget <= 0 || e.area <= req.areaBudget;
+        out.entries.push_back(e);
+    }
+    std::sort(out.entries.begin(), out.entries.end(),
+              [](const RankEntry &a, const RankEntry &b) {
+                  if (a.speedup != b.speedup)
+                      return a.speedup > b.speedup;
+                  return a.mask < b.mask;
+              });
+    return QueryOutcome::ok();
+}
+
+QueryOutcome
+runSweep(const ResidentSuite &suite, const SweepRequest &req,
+         SweepReply &out)
+{
+    const ResidentWorkload *w = suite.find(req.workload);
+    if (!w)
+        return QueryOutcome::fail("unknown workload '" +
+                                  req.workload + "'");
+    const std::vector<double> budgets =
+        req.budgets.empty() ? std::vector<double>{0.0}
+                            : req.budgets;
+    // The search engine's grid order (core-major, budget-mid,
+    // mask-minor) over the six resident fixed cores, normalized to
+    // the IO2 baseline like SearchSpace's default reference core.
+    const ExoResult &ref = w->model(CoreKind::IO2).baseline();
+    std::vector<SearchPoint> points;
+    points.reserve(kAllCoreKinds.size() * budgets.size() *
+                   req.numMasks);
+    std::size_t gi = 0;
+    for (std::size_t ci = 0; ci < kAllCoreKinds.size(); ++ci) {
+        const CoreKind core = kAllCoreKinds[ci];
+        const BenchmarkModel &model = w->model(core);
+        for (double budget : budgets) {
+            for (unsigned mask = 0; mask < req.numMasks;
+                 ++mask, ++gi) {
+                const ExoResult res =
+                    model.evaluate(mask, req.sched);
+                SearchPoint p;
+                p.gridIndex = gi;
+                p.coreIdx = ci;
+                p.mask = mask;
+                p.areaBudget = budget;
+                p.name = sweepPointName(core, mask, budget);
+                p.speedup = static_cast<double>(ref.cycles) /
+                            static_cast<double>(res.cycles);
+                p.energyEff = ref.energy / res.energy;
+                p.area = exoCoreArea(core, mask);
+                p.withinBudget =
+                    budget <= 0 || p.area <= budget;
+                points.push_back(std::move(p));
+            }
+        }
+    }
+    const std::vector<SearchPoint> frontier =
+        paretoFrontier(points);
+    out.totalPoints = static_cast<std::uint32_t>(points.size());
+    out.frontierPoints =
+        static_cast<std::uint32_t>(frontier.size());
+    out.table = renderSearchTable(frontier);
+    return QueryOutcome::ok();
+}
+
+} // namespace prism::serve

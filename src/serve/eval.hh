@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Query evaluation against a ResidentSuite: the pure, connectionless
+ * core of the daemon. The server's batch workers call these; the
+ * serve-correctness tests call them directly to produce the expected
+ * reply bytes for byte-identity checks against socket replies.
+ *
+ * All three are read-phase over const resident state (plus the
+ * process-wide component caches for parametric configs) and safe to
+ * call from any number of threads concurrently. Outcomes are
+ * deterministic: the same request against the same suite always
+ * yields the same reply, bit for bit.
+ */
+
+#ifndef PRISM_SERVE_EVAL_HH
+#define PRISM_SERVE_EVAL_HH
+
+#include <string>
+
+#include "serve/protocol.hh"
+#include "serve/state.hh"
+
+namespace prism::serve
+{
+
+/** Evaluation outcome: Ok, or Error with a client-facing message. */
+struct QueryOutcome
+{
+    Status status = Status::Ok;
+    std::string error;
+
+    static QueryOutcome ok() { return {}; }
+
+    static QueryOutcome
+    fail(std::string message)
+    {
+        return {Status::Error, std::move(message)};
+    }
+};
+
+/** EVAL: one (workload, config, mask) point. */
+QueryOutcome runEval(const ResidentSuite &suite,
+                     const EvalRequest &req, EvalReply &out);
+
+/** RANK: all 16 BSA subsets for (workload, config), speedup order. */
+QueryOutcome runRank(const ResidentSuite &suite,
+                     const RankRequest &req, RankReply &out);
+
+/** SWEEP: fixed cores x masks x budgets -> per-budget Pareto
+ *  frontier (tdg/search's paretoFrontier/renderSearchTable). */
+QueryOutcome runSweep(const ResidentSuite &suite,
+                      const SweepRequest &req, SweepReply &out);
+
+} // namespace prism::serve
+
+#endif // PRISM_SERVE_EVAL_HH

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * prism_serve: the resident evaluation daemon. Loads the workload
+ * suite once, holds every (workload, fixed core) model warm, and
+ * answers EVAL/RANK/SWEEP queries over the length-prefixed TCP
+ * protocol until SIGINT/SIGTERM, then drains admitted work and
+ * exits cleanly.
+ *
+ * Usage:
+ *   prism_serve [--port=N] [--workloads=a,b,c] [--threads=N]
+ *               [--cache-dir=DIR] [--max-insts=N]
+ *               [--queue-depth=N] [--batch-max=N] [--max-conns=N]
+ *
+ * Prints `listening on 127.0.0.1:<port>` (the bound port, also for
+ * --port=0 ephemeral binds) and `ready (...)` once serving; scripts
+ * parse those lines.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/artifact_cache.hh"
+#include "common/logging.hh"
+#include "serve/server.hh"
+#include "workloads/suite.hh"
+
+using namespace prism;
+using namespace prism::serve;
+
+namespace
+{
+
+Server *g_server = nullptr;
+
+/** Async-signal-safe: requestStop() is one atomic store. */
+void
+onSignal(int)
+{
+    if (g_server)
+        g_server->requestStop();
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: prism_serve [--port=N] [--workloads=a,b,c]\n"
+        "                   [--threads=N] [--cache-dir=DIR]\n"
+        "                   [--max-insts=N] [--queue-depth=N]\n"
+        "                   [--batch-max=N] [--max-conns=N]\n");
+    std::exit(2);
+}
+
+bool
+flagValue(const char *arg, const char *name, std::string &out)
+{
+    const std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0)
+        return false;
+    if (arg[n] == '=') {
+        out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+parseCount(const std::string &value, const char *name)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        fatal("%s: expected a non-negative integer, got '%s'", name,
+              value.c_str());
+    return v;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t comma = s.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? s.size() : comma;
+        if (end > start)
+            out.push_back(s.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServeOptions opts;
+    std::string cacheDir;
+    std::uint64_t maxInsts = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (flagValue(argv[i], "--port", v))
+            opts.port = static_cast<std::uint16_t>(
+                parseCount(v, "--port"));
+        else if (flagValue(argv[i], "--workloads", v))
+            opts.workloads = splitCommas(v);
+        else if (flagValue(argv[i], "--threads", v))
+            opts.threads =
+                static_cast<unsigned>(parseCount(v, "--threads"));
+        else if (flagValue(argv[i], "--cache-dir", v))
+            cacheDir = v;
+        else if (flagValue(argv[i], "--max-insts", v))
+            maxInsts = parseCount(v, "--max-insts");
+        else if (flagValue(argv[i], "--queue-depth", v))
+            opts.queueDepth = static_cast<std::size_t>(
+                parseCount(v, "--queue-depth"));
+        else if (flagValue(argv[i], "--batch-max", v))
+            opts.batchMax = static_cast<std::size_t>(
+                parseCount(v, "--batch-max"));
+        else if (flagValue(argv[i], "--max-conns", v))
+            opts.maxConns = static_cast<std::size_t>(
+                parseCount(v, "--max-conns"));
+        else
+            usage();
+    }
+
+    if (!cacheDir.empty())
+        ArtifactCache::setGlobalDir(cacheDir);
+    if (maxInsts > 0)
+        setMaxInstsOverride(maxInsts);
+
+    Server server(opts);
+    g_server = &server;
+
+    struct sigaction sa = {};
+    sa.sa_handler = onSignal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    server.loadAndPrepare();
+    const auto loadMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const std::uint16_t port = server.start();
+    std::printf("prism_serve: listening on 127.0.0.1:%u\n",
+                unsigned(port));
+    const StatsReply s = server.statsSnapshot();
+    std::printf("prism_serve: ready (%llu workloads, %llu models, "
+                "%llu contexts, load %lld ms)\n",
+                static_cast<unsigned long long>(s.residentWorkloads),
+                static_cast<unsigned long long>(s.residentModels),
+                static_cast<unsigned long long>(s.poolContexts),
+                static_cast<long long>(loadMs));
+    std::fflush(stdout);
+
+    while (!server.stopRequested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    server.drainAndJoin();
+    const StatsReply end = server.statsSnapshot();
+    std::printf(
+        "prism_serve: drained and stopped (%llu eval, %llu rank, "
+        "%llu sweep, %llu busy, %llu protocol errors)\n",
+        static_cast<unsigned long long>(end.evalQueries),
+        static_cast<unsigned long long>(end.rankQueries),
+        static_cast<unsigned long long>(end.sweepQueries),
+        static_cast<unsigned long long>(end.busyRejected),
+        static_cast<unsigned long long>(end.protocolErrors));
+    return 0;
+}

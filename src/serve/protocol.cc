@@ -1,0 +1,541 @@
+#include "serve/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace prism::serve
+{
+
+namespace
+{
+
+/** Scheduler <-> wire byte. */
+constexpr std::uint8_t
+schedByte(SchedulerKind s)
+{
+    return s == SchedulerKind::AmdahlTree ? 1 : 0;
+}
+
+bool
+schedFrom(std::uint8_t b, SchedulerKind &out)
+{
+    if (b == 0)
+        out = SchedulerKind::Oracle;
+    else if (b == 1)
+        out = SchedulerKind::AmdahlTree;
+    else
+        return false;
+    return true;
+}
+
+void
+encodeConfig(WireWriter &w, const ConfigRef &c)
+{
+    w.u8(c.parametric ? 1 : 0);
+    if (!c.parametric) {
+        w.u8(static_cast<std::uint8_t>(c.kind));
+        return;
+    }
+    const CoreParams &p = c.params;
+    w.u8(p.inorder ? 1 : 0);
+    w.u32(p.width);
+    w.u32(p.robSize);
+    w.u32(p.instWindow);
+    w.u32(p.dcachePorts);
+    w.u32(p.numAlu);
+    w.u32(p.numMulDiv);
+    w.u32(p.numFp);
+    w.u32(p.frontendDepth);
+    w.u32(p.simdLanes);
+    w.u32(p.l1HitLatency);
+    w.u32(p.l2HitLatency);
+}
+
+bool
+decodeConfig(WireReader &r, ConfigRef &c)
+{
+    std::uint8_t tag = 0;
+    if (!r.u8(tag) || tag > 1)
+        return false;
+    c.parametric = tag == 1;
+    if (!c.parametric) {
+        std::uint8_t kind = 0;
+        if (!r.u8(kind) || kind >= kAllCoreKinds.size())
+            return false;
+        c.kind = static_cast<CoreKind>(kind);
+        return true;
+    }
+    std::uint8_t inorder = 0;
+    CoreParams &p = c.params;
+    bool ok = r.u8(inorder) && inorder <= 1;
+    p.inorder = inorder == 1;
+    ok = ok && r.u32(p.width) && r.u32(p.robSize) &&
+         r.u32(p.instWindow) && r.u32(p.dcachePorts) &&
+         r.u32(p.numAlu) && r.u32(p.numMulDiv) && r.u32(p.numFp) &&
+         r.u32(p.frontendDepth) && r.u32(p.simdLanes) &&
+         r.u32(p.l1HitLatency) && r.u32(p.l2HitLatency);
+    return ok;
+}
+
+} // namespace
+
+// ---- WireWriter / WireReader --------------------------------------
+
+void
+WireWriter::str(std::string_view s)
+{
+    const std::size_t n = std::min<std::size_t>(s.size(), 0xFFFF);
+    u16(static_cast<std::uint16_t>(n));
+    buf_.insert(buf_.end(), s.begin(), s.begin() + n);
+}
+
+void
+WireWriter::lstr(std::string_view s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+bool
+WireReader::take(std::size_t n, const std::uint8_t *&p)
+{
+    if (!ok_ || data_.size() - pos_ < n) {
+        ok_ = false;
+        return false;
+    }
+    p = data_.data() + pos_;
+    pos_ += n;
+    return true;
+}
+
+bool
+WireReader::u8(std::uint8_t &v)
+{
+    const std::uint8_t *p;
+    if (!take(1, p))
+        return false;
+    v = p[0];
+    return true;
+}
+
+bool
+WireReader::u16(std::uint16_t &v)
+{
+    const std::uint8_t *p;
+    if (!take(2, p))
+        return false;
+    v = static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+    return true;
+}
+
+bool
+WireReader::u32(std::uint32_t &v)
+{
+    const std::uint8_t *p;
+    if (!take(4, p))
+        return false;
+    v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return true;
+}
+
+bool
+WireReader::u64(std::uint64_t &v)
+{
+    const std::uint8_t *p;
+    if (!take(8, p))
+        return false;
+    v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return true;
+}
+
+bool
+WireReader::f64(double &v)
+{
+    std::uint64_t bits;
+    if (!u64(bits))
+        return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+}
+
+bool
+WireReader::str(std::string &s)
+{
+    std::uint16_t n;
+    if (!u16(n))
+        return false;
+    const std::uint8_t *p;
+    if (!take(n, p))
+        return false;
+    s.assign(reinterpret_cast<const char *>(p), n);
+    return true;
+}
+
+bool
+WireReader::lstr(std::string &s)
+{
+    std::uint32_t n;
+    // A long string still lives inside one frame, so its length can
+    // never legitimately exceed the frame cap.
+    if (!u32(n) || n > kMaxFrameBytes) {
+        ok_ = false;
+        return false;
+    }
+    const std::uint8_t *p;
+    if (!take(n, p))
+        return false;
+    s.assign(reinterpret_cast<const char *>(p), n);
+    return true;
+}
+
+// ---- Request/reply bodies -----------------------------------------
+
+void
+encodeEvalRequest(WireWriter &w, const EvalRequest &r)
+{
+    w.str(r.workload);
+    encodeConfig(w, r.config);
+    w.u8(static_cast<std::uint8_t>(r.mask));
+    w.u8(schedByte(r.sched));
+    w.f64(r.areaBudget);
+}
+
+bool
+decodeEvalRequest(WireReader &r, EvalRequest &out)
+{
+    std::uint8_t mask = 0, sched = 0;
+    if (!r.str(out.workload) || !decodeConfig(r, out.config) ||
+        !r.u8(mask) || mask >= 16 || !r.u8(sched) ||
+        !schedFrom(sched, out.sched) || !r.f64(out.areaBudget))
+        return false;
+    out.mask = mask;
+    return r.done();
+}
+
+void
+encodeEvalReply(WireWriter &w, const EvalReply &r)
+{
+    w.u64(r.cycles);
+    w.f64(r.energy);
+    w.f64(r.area);
+    w.u8(r.withinBudget ? 1 : 0);
+}
+
+bool
+decodeEvalReply(WireReader &r, EvalReply &out)
+{
+    std::uint8_t within = 0;
+    if (!r.u64(out.cycles) || !r.f64(out.energy) ||
+        !r.f64(out.area) || !r.u8(within) || within > 1)
+        return false;
+    out.withinBudget = within == 1;
+    return r.done();
+}
+
+void
+encodeRankRequest(WireWriter &w, const RankRequest &r)
+{
+    w.str(r.workload);
+    encodeConfig(w, r.config);
+    w.u8(schedByte(r.sched));
+    w.f64(r.areaBudget);
+}
+
+bool
+decodeRankRequest(WireReader &r, RankRequest &out)
+{
+    std::uint8_t sched = 0;
+    if (!r.str(out.workload) || !decodeConfig(r, out.config) ||
+        !r.u8(sched) || !schedFrom(sched, out.sched) ||
+        !r.f64(out.areaBudget))
+        return false;
+    return r.done();
+}
+
+void
+encodeRankReply(WireWriter &w, const RankReply &r)
+{
+    w.u8(static_cast<std::uint8_t>(r.entries.size()));
+    for (const RankEntry &e : r.entries) {
+        w.u8(static_cast<std::uint8_t>(e.mask));
+        w.f64(e.speedup);
+        w.f64(e.energyEff);
+        w.f64(e.area);
+        w.u8(e.withinBudget ? 1 : 0);
+    }
+}
+
+bool
+decodeRankReply(WireReader &r, RankReply &out)
+{
+    std::uint8_t n = 0;
+    if (!r.u8(n) || n > 16)
+        return false;
+    out.entries.resize(n);
+    for (RankEntry &e : out.entries) {
+        std::uint8_t mask = 0, within = 0;
+        if (!r.u8(mask) || mask >= 16 || !r.f64(e.speedup) ||
+            !r.f64(e.energyEff) || !r.f64(e.area) || !r.u8(within) ||
+            within > 1)
+            return false;
+        e.mask = mask;
+        e.withinBudget = within == 1;
+    }
+    return r.done();
+}
+
+void
+encodeSweepRequest(WireWriter &w, const SweepRequest &r)
+{
+    w.str(r.workload);
+    w.u8(static_cast<std::uint8_t>(r.numMasks));
+    w.u8(schedByte(r.sched));
+    w.u8(static_cast<std::uint8_t>(r.budgets.size()));
+    for (double b : r.budgets)
+        w.f64(b);
+}
+
+bool
+decodeSweepRequest(WireReader &r, SweepRequest &out)
+{
+    std::uint8_t masks = 0, sched = 0, nbudgets = 0;
+    if (!r.str(out.workload) || !r.u8(masks) || masks < 1 ||
+        masks > 16 || !r.u8(sched) || !schedFrom(sched, out.sched) ||
+        !r.u8(nbudgets) || nbudgets > 16)
+        return false;
+    out.numMasks = masks;
+    out.budgets.resize(nbudgets);
+    for (double &b : out.budgets) {
+        if (!r.f64(b))
+            return false;
+    }
+    return r.done();
+}
+
+void
+encodeSweepReply(WireWriter &w, const SweepReply &r)
+{
+    w.u32(r.totalPoints);
+    w.u32(r.frontierPoints);
+    w.lstr(r.table);
+}
+
+bool
+decodeSweepReply(WireReader &r, SweepReply &out)
+{
+    if (!r.u32(out.totalPoints) || !r.u32(out.frontierPoints) ||
+        !r.lstr(out.table))
+        return false;
+    return r.done();
+}
+
+void
+encodeStatsReply(WireWriter &w, const StatsReply &r)
+{
+    // Fixed field order; the count up front lets a newer client read
+    // an older server's snapshot prefix.
+    const std::uint64_t fields[] = {
+        r.uptimeMs,       r.evalQueries,    r.rankQueries,
+        r.sweepQueries,   r.pingQueries,    r.statsQueries,
+        r.listQueries,    r.busyRejected,   r.protocolErrors,
+        r.disconnects,    r.batches,        r.batchedRequests,
+        r.maxBatch,       r.queueCapacity,  r.queueHighWater,
+        r.serviceNsTotal, r.residentWorkloads, r.residentModels,
+        r.poolContexts,   r.ramHits,        r.ramMisses,
+        r.ramInsertions,  r.ramEvictions,   r.ramBytes,
+        r.ramMaxBytes,
+    };
+    w.u8(static_cast<std::uint8_t>(std::size(fields)));
+    for (std::uint64_t f : fields)
+        w.u64(f);
+}
+
+bool
+decodeStatsReply(WireReader &r, StatsReply &out)
+{
+    std::uint8_t n = 0;
+    if (!r.u8(n))
+        return false;
+    std::uint64_t *fields[] = {
+        &out.uptimeMs,       &out.evalQueries,
+        &out.rankQueries,    &out.sweepQueries,
+        &out.pingQueries,    &out.statsQueries,
+        &out.listQueries,    &out.busyRejected,
+        &out.protocolErrors, &out.disconnects,
+        &out.batches,        &out.batchedRequests,
+        &out.maxBatch,       &out.queueCapacity,
+        &out.queueHighWater, &out.serviceNsTotal,
+        &out.residentWorkloads, &out.residentModels,
+        &out.poolContexts,   &out.ramHits,
+        &out.ramMisses,      &out.ramInsertions,
+        &out.ramEvictions,   &out.ramBytes,
+        &out.ramMaxBytes,
+    };
+    if (n != std::size(fields))
+        return false;
+    for (std::uint64_t *f : fields) {
+        if (!r.u64(*f))
+            return false;
+    }
+    return r.done();
+}
+
+void
+encodeListReply(WireWriter &w, const ListReply &r)
+{
+    w.u16(static_cast<std::uint16_t>(r.workloads.size()));
+    for (const std::string &name : r.workloads)
+        w.str(name);
+}
+
+bool
+decodeListReply(WireReader &r, ListReply &out)
+{
+    std::uint16_t n = 0;
+    if (!r.u16(n))
+        return false;
+    out.workloads.resize(n);
+    for (std::string &name : out.workloads) {
+        if (!r.str(name))
+            return false;
+    }
+    return r.done();
+}
+
+// ---- Frame I/O ----------------------------------------------------
+
+namespace
+{
+
+/** Read exactly `n` bytes. Returns Ok, Eof (0 bytes read), Truncated
+ *  (partial), or IoError. */
+FrameResult
+readExact(int fd, std::uint8_t *buf, std::size_t n)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+        if (r > 0) {
+            got += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r == 0)
+            return got == 0 ? FrameResult::Eof
+                            : FrameResult::Truncated;
+        if (errno == EINTR)
+            continue;
+        return FrameResult::IoError;
+    }
+    return FrameResult::Ok;
+}
+
+bool
+writeExact(int fd, const std::uint8_t *buf, std::size_t n)
+{
+    std::size_t sent = 0;
+    while (sent < n) {
+        // MSG_NOSIGNAL: a peer that vanished mid-reply must surface
+        // as EPIPE, never as a process-killing SIGPIPE.
+        const ssize_t r =
+            ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+        if (r >= 0) {
+            sent += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+FrameResult
+readFrame(int fd, std::vector<std::uint8_t> &payload)
+{
+    std::uint8_t hdr[4];
+    FrameResult res = readExact(fd, hdr, sizeof hdr);
+    if (res != FrameResult::Ok)
+        return res;
+    const std::uint32_t len = static_cast<std::uint32_t>(
+        hdr[0] | (hdr[1] << 8) | (hdr[2] << 16) |
+        (static_cast<std::uint32_t>(hdr[3]) << 24));
+    if (len > kMaxFrameBytes)
+        return FrameResult::TooLarge;
+    payload.resize(len);
+    if (len == 0)
+        return FrameResult::Ok;
+    res = readExact(fd, payload.data(), len);
+    // A clean close between header and body is still a mid-frame cut.
+    return res == FrameResult::Eof ? FrameResult::Truncated : res;
+}
+
+bool
+writeFrame(int fd, std::span<const std::uint8_t> payload)
+{
+    std::uint8_t hdr[4];
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        hdr[i] = static_cast<std::uint8_t>(len >> (8 * i));
+    return writeExact(fd, hdr, sizeof hdr) &&
+           (payload.empty() ||
+            writeExact(fd, payload.data(), payload.size()));
+}
+
+namespace
+{
+
+bool
+writeTaggedFrame(int fd, std::uint8_t tag,
+                 std::span<const std::uint8_t> body)
+{
+    // One send per frame (header + tag + body contiguous) keeps the
+    // syscall count at one per reply and avoids partial-frame
+    // interleaving hazards at the TCP layer. The staging buffer is
+    // thread-local so the steady-state hot path reuses its capacity.
+    thread_local std::vector<std::uint8_t> frame;
+    frame.clear();
+    frame.reserve(5 + body.size());
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(1 + body.size());
+    for (int i = 0; i < 4; ++i)
+        frame.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+    frame.push_back(tag);
+    frame.insert(frame.end(), body.begin(), body.end());
+    return writeExact(fd, frame.data(), frame.size());
+}
+
+} // namespace
+
+bool
+writeRequestFrame(int fd, Op op, std::span<const std::uint8_t> body)
+{
+    return writeTaggedFrame(fd, static_cast<std::uint8_t>(op), body);
+}
+
+bool
+writeReplyFrame(int fd, Status status,
+                std::span<const std::uint8_t> body)
+{
+    return writeTaggedFrame(fd, static_cast<std::uint8_t>(status),
+                            body);
+}
+
+bool
+writeErrorReply(int fd, std::string_view message)
+{
+    WireWriter w;
+    w.str(message);
+    return writeReplyFrame(fd, Status::Error, w.bytes());
+}
+
+} // namespace prism::serve

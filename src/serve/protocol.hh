@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Wire protocol of the prism_serve evaluation daemon: length-prefixed
+ * binary frames over TCP.
+ *
+ * Framing. Every message — request or reply — is one frame:
+ *
+ *     u32  payloadLen   (little-endian, <= kMaxFrameBytes)
+ *     u8[] payload      (payloadLen bytes)
+ *
+ * A request payload is `u8 op` followed by the op-specific body; a
+ * reply payload is `u8 status` followed by the status/op-specific
+ * body (Error replies carry a human-readable message, Busy replies
+ * are empty). The length prefix is validated *before* any allocation:
+ * a prefix above kMaxFrameBytes is a protocol error, never an
+ * allocation attempt, so a hostile client cannot OOM the daemon.
+ *
+ * Encoding. Fixed-width little-endian integers; f64 as the
+ * bit-pattern of the IEEE double (bit-exact round trip, matching the
+ * artifact cache's convention); short strings as u16 length + bytes;
+ * long strings (rendered tables) as u32 length + bytes. All decoding
+ * is bounds-checked: WireReader never reads past the frame, and a
+ * malformed body yields a clean Error reply, not a crash.
+ *
+ * Replies are deterministic: an Eval reply's payload is a pure
+ * function of (workload, config, mask, scheduler, budget), so the
+ * serve-correctness tests compare reply bytes against a local
+ * buildModelCached() evaluation.
+ */
+
+#ifndef PRISM_SERVE_PROTOCOL_HH
+#define PRISM_SERVE_PROTOCOL_HH
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tdg/exocore.hh"
+#include "uarch/core_config.hh"
+
+namespace prism::serve
+{
+
+/** Bumped on any wire-format change; echoed in Ping replies. */
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/** Hard cap on one frame's payload bytes (requests and replies). */
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/** Request opcodes. */
+enum class Op : std::uint8_t
+{
+    Ping = 1,  ///< liveness + protocol version
+    Eval = 2,  ///< evaluate (workload, config, mask, sched, budget)
+    Rank = 3,  ///< order all BSA subsets for (workload, config)
+    Sweep = 4, ///< per-budget Pareto frontier over the fixed cores
+    Stats = 5, ///< server + RAM-cache counters
+    List = 6,  ///< resident workload names
+};
+
+/** Reply status byte. */
+enum class Status : std::uint8_t
+{
+    Ok = 0,
+    Error = 1, ///< body: u16-string message; connection stays usable
+    Busy = 2,  ///< admission control rejected the request; empty body
+};
+
+/** Append-only little-endian encoder. */
+class WireWriter
+{
+  public:
+    void clear() { buf_.clear(); }
+
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+
+    void
+    u16(std::uint16_t v)
+    {
+        buf_.push_back(static_cast<std::uint8_t>(v));
+        buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    /** Short string: u16 length + bytes (names, error messages). */
+    void str(std::string_view s);
+
+    /** Long string: u32 length + bytes (rendered tables). */
+    void lstr(std::string_view s);
+
+    std::span<const std::uint8_t>
+    bytes() const
+    {
+        return {buf_.data(), buf_.size()};
+    }
+
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Bounds-checked cursor over one frame; every read reports
+ *  success, and a failed read leaves the reader poisoned. */
+class WireReader
+{
+  public:
+    explicit WireReader(std::span<const std::uint8_t> data)
+        : data_(data)
+    {
+    }
+
+    bool u8(std::uint8_t &v);
+    bool u16(std::uint16_t &v);
+    bool u32(std::uint32_t &v);
+    bool u64(std::uint64_t &v);
+    bool f64(double &v);
+    bool str(std::string &s);  ///< u16 length + bytes
+    bool lstr(std::string &s); ///< u32 length + bytes
+
+    /** True when every byte of the frame was consumed cleanly. */
+    bool
+    done() const
+    {
+        return ok_ && pos_ == data_.size();
+    }
+
+    bool ok() const { return ok_; }
+
+  private:
+    bool take(std::size_t n, const std::uint8_t *&p);
+
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/** A machine configuration by fixed kind or explicit parameters. */
+struct ConfigRef
+{
+    bool parametric = false;
+    CoreKind kind = CoreKind::OOO2; ///< when !parametric
+    CoreParams params;              ///< when parametric
+};
+
+/** EVAL: one (workload, config, BSA subset) point. */
+struct EvalRequest
+{
+    std::string workload;
+    ConfigRef config;
+    unsigned mask = 0; ///< BSA subset, [0, 16)
+    SchedulerKind sched = SchedulerKind::Oracle;
+    double areaBudget = 0; ///< <= 0: unbounded
+};
+
+struct EvalReply
+{
+    std::uint64_t cycles = 0;
+    double energy = 0; ///< pJ
+    double area = 0;   ///< mm^2, core + attached BSAs
+    bool withinBudget = true;
+};
+
+/** RANK: order all 16 BSA subsets for (workload, config). */
+struct RankRequest
+{
+    std::string workload;
+    ConfigRef config;
+    SchedulerKind sched = SchedulerKind::Oracle;
+    double areaBudget = 0;
+};
+
+struct RankEntry
+{
+    unsigned mask = 0;
+    double speedup = 1;   ///< vs the same core, no BSAs
+    double energyEff = 1; ///< vs the same core, no BSAs
+    double area = 0;
+    bool withinBudget = true;
+};
+
+struct RankReply
+{
+    std::vector<RankEntry> entries; ///< speedup-descending
+};
+
+/** SWEEP: fixed cores x masks x budgets, Pareto frontier per
+ *  budget (tdg/search's paretoFrontier over the resident models). */
+struct SweepRequest
+{
+    std::string workload;
+    unsigned numMasks = 16; ///< masks [0, numMasks)
+    SchedulerKind sched = SchedulerKind::Oracle;
+    std::vector<double> budgets; ///< empty = one unbounded budget
+};
+
+struct SweepReply
+{
+    std::uint32_t totalPoints = 0;
+    std::uint32_t frontierPoints = 0;
+    std::string table; ///< renderSearchTable(paretoFrontier(...))
+};
+
+/** STATS: a snapshot of the server's monotone counters. */
+struct StatsReply
+{
+    std::uint64_t uptimeMs = 0;
+    std::uint64_t evalQueries = 0;  ///< completed (replied) evals
+    std::uint64_t rankQueries = 0;
+    std::uint64_t sweepQueries = 0;
+    std::uint64_t pingQueries = 0;
+    std::uint64_t statsQueries = 0;
+    std::uint64_t listQueries = 0;
+    std::uint64_t busyRejected = 0;   ///< admission-control rejects
+    std::uint64_t protocolErrors = 0; ///< malformed frames/bodies
+    std::uint64_t disconnects = 0;    ///< mid-frame or mid-reply drops
+    std::uint64_t batches = 0;
+    std::uint64_t batchedRequests = 0;
+    std::uint64_t maxBatch = 0;
+    std::uint64_t queueCapacity = 0;
+    std::uint64_t queueHighWater = 0;
+    std::uint64_t serviceNsTotal = 0; ///< arrival -> reply written
+    std::uint64_t residentWorkloads = 0;
+    std::uint64_t residentModels = 0;
+    std::uint64_t poolContexts = 0;
+    // RAM LRU tier (common/memo_cache.hh), the STATS view of the
+    // MemoCache observability counters.
+    std::uint64_t ramHits = 0;
+    std::uint64_t ramMisses = 0;
+    std::uint64_t ramInsertions = 0;
+    std::uint64_t ramEvictions = 0;
+    std::uint64_t ramBytes = 0;
+    std::uint64_t ramMaxBytes = 0;
+};
+
+struct ListReply
+{
+    std::vector<std::string> workloads;
+};
+
+// ---- Body encode/decode (the leading op/status byte is part of the
+// frame, not of these bodies). Decoders validate ranges (mask < 16,
+// known scheduler, known core kind) and full consumption.
+
+void encodeEvalRequest(WireWriter &w, const EvalRequest &r);
+bool decodeEvalRequest(WireReader &r, EvalRequest &out);
+void encodeEvalReply(WireWriter &w, const EvalReply &r);
+bool decodeEvalReply(WireReader &r, EvalReply &out);
+
+void encodeRankRequest(WireWriter &w, const RankRequest &r);
+bool decodeRankRequest(WireReader &r, RankRequest &out);
+void encodeRankReply(WireWriter &w, const RankReply &r);
+bool decodeRankReply(WireReader &r, RankReply &out);
+
+void encodeSweepRequest(WireWriter &w, const SweepRequest &r);
+bool decodeSweepRequest(WireReader &r, SweepRequest &out);
+void encodeSweepReply(WireWriter &w, const SweepReply &r);
+bool decodeSweepReply(WireReader &r, SweepReply &out);
+
+void encodeStatsReply(WireWriter &w, const StatsReply &r);
+bool decodeStatsReply(WireReader &r, StatsReply &out);
+
+void encodeListReply(WireWriter &w, const ListReply &r);
+bool decodeListReply(WireReader &r, ListReply &out);
+
+// ---- Frame I/O over a connected socket (blocking, EINTR-safe).
+
+enum class FrameResult
+{
+    Ok,
+    Eof,       ///< clean close at a frame boundary
+    Truncated, ///< peer closed mid-frame
+    TooLarge,  ///< length prefix above kMaxFrameBytes (no alloc)
+    IoError,
+};
+
+/** Read one frame's payload (allocates only after validating the
+ *  length prefix). */
+FrameResult readFrame(int fd, std::vector<std::uint8_t> &payload);
+
+/** Write `u32 len` + payload; false on any I/O failure. */
+bool writeFrame(int fd, std::span<const std::uint8_t> payload);
+
+/** Write a request frame: op byte + body. */
+bool writeRequestFrame(int fd, Op op,
+                       std::span<const std::uint8_t> body);
+
+/** Write a reply frame: status byte + body. */
+bool writeReplyFrame(int fd, Status status,
+                     std::span<const std::uint8_t> body);
+
+/** Write an Error reply carrying `message`. */
+bool writeErrorReply(int fd, std::string_view message);
+
+} // namespace prism::serve
+
+#endif // PRISM_SERVE_PROTOCOL_HH

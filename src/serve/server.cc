@@ -1,0 +1,573 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "common/artifact_cache.hh"
+#include "common/logging.hh"
+#include "common/memo_cache.hh"
+
+namespace prism::serve
+{
+
+// ---- Connection ---------------------------------------------------
+
+Connection::~Connection()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+// ---- BoundedQueue -------------------------------------------------
+
+bool
+BoundedQueue::tryPush(Request &&r)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (q_.size() >= capacity_)
+            return false;
+        q_.push_back(std::move(r));
+        highWater_ = std::max<std::uint64_t>(highWater_, q_.size());
+    }
+    cv_.notify_one();
+    return true;
+}
+
+std::size_t
+BoundedQueue::popBatch(std::vector<Request> &out, std::size_t max,
+                       const std::atomic<bool> &stop)
+{
+    out.clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    // Timed wait: `stop` is flipped from a signal handler, which
+    // cannot notify a condition variable, so the consumer must tick.
+    cv_.wait_for(lock, std::chrono::milliseconds(100), [&] {
+        return !q_.empty() ||
+               stop.load(std::memory_order_acquire);
+    });
+    const std::size_t n = std::min(max, q_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(std::move(q_.front()));
+        q_.pop_front();
+    }
+    return n;
+}
+
+std::size_t
+BoundedQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+}
+
+std::uint64_t
+BoundedQueue::highWater() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return highWater_;
+}
+
+// ---- Server stats -------------------------------------------------
+
+struct Server::Stats
+{
+    std::atomic<std::uint64_t> evalQueries{0};
+    std::atomic<std::uint64_t> rankQueries{0};
+    std::atomic<std::uint64_t> sweepQueries{0};
+    std::atomic<std::uint64_t> pingQueries{0};
+    std::atomic<std::uint64_t> statsQueries{0};
+    std::atomic<std::uint64_t> listQueries{0};
+    std::atomic<std::uint64_t> busyRejected{0};
+    std::atomic<std::uint64_t> protocolErrors{0};
+    std::atomic<std::uint64_t> disconnects{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> batchedRequests{0};
+    std::atomic<std::uint64_t> maxBatch{0};
+    std::atomic<std::uint64_t> serviceNsTotal{0};
+};
+
+namespace
+{
+
+void
+bump(std::atomic<std::uint64_t> &c, std::uint64_t by = 1)
+{
+    c.fetch_add(by, std::memory_order_relaxed);
+}
+
+/** recv() variant of protocol.cc's readExact for server-side reader
+ *  threads: connection sockets carry a 100 ms SO_RCVTIMEO, so a
+ *  blocked recv wakes periodically and the loop can notice a stop
+ *  request even when a client parked mid-frame. */
+enum class RecvStatus
+{
+    Ok,
+    Eof,
+    Truncated,
+    IoError,
+    Stopped,
+};
+
+RecvStatus
+recvExactTick(int fd, std::uint8_t *buf, std::size_t n,
+              const std::atomic<bool> &stop)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+        if (r > 0) {
+            got += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r == 0)
+            return got == 0 ? RecvStatus::Eof
+                            : RecvStatus::Truncated;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            if (stop.load(std::memory_order_acquire))
+                return RecvStatus::Stopped;
+            continue;
+        }
+        return RecvStatus::IoError;
+    }
+    return RecvStatus::Ok;
+}
+
+/** readFrame with the same validation order as protocol.cc (length
+ *  prefix checked before any allocation), but stop-aware. */
+RecvStatus
+readFrameTick(int fd, std::vector<std::uint8_t> &payload,
+              const std::atomic<bool> &stop)
+{
+    std::uint8_t hdr[4];
+    RecvStatus res = recvExactTick(fd, hdr, sizeof hdr, stop);
+    if (res != RecvStatus::Ok)
+        return res;
+    const std::uint32_t len = static_cast<std::uint32_t>(
+        hdr[0] | (hdr[1] << 8) | (hdr[2] << 16) |
+        (static_cast<std::uint32_t>(hdr[3]) << 24));
+    if (len > kMaxFrameBytes)
+        return RecvStatus::IoError; // caller reports "frame too large"
+    payload.resize(len);
+    if (len == 0)
+        return RecvStatus::Ok;
+    res = recvExactTick(fd, payload.data(), len, stop);
+    return res == RecvStatus::Eof ? RecvStatus::Truncated : res;
+}
+
+bool
+replyLocked(const std::shared_ptr<Connection> &conn, Status status,
+            std::span<const std::uint8_t> body)
+{
+    std::lock_guard<std::mutex> lock(conn->writeMu);
+    if (!conn->open.load(std::memory_order_acquire))
+        return false;
+    if (writeReplyFrame(conn->fd, status, body))
+        return true;
+    conn->open.store(false, std::memory_order_release);
+    return false;
+}
+
+bool
+errorReplyLocked(const std::shared_ptr<Connection> &conn,
+                 std::string_view message)
+{
+    WireWriter w;
+    w.str(message);
+    return replyLocked(conn, Status::Error, w.bytes());
+}
+
+} // namespace
+
+// ---- Server -------------------------------------------------------
+
+Server::Server(ServeOptions opts)
+    : opts_(std::move(opts)),
+      pool_(opts_.threads),
+      queue_(std::max<std::size_t>(1, opts_.queueDepth)),
+      startTime_(std::chrono::steady_clock::now()),
+      stats_(std::make_unique<Stats>())
+{
+    opts_.batchMax = std::max<std::size_t>(1, opts_.batchMax);
+    opts_.maxConns = std::max<std::size_t>(1, opts_.maxConns);
+}
+
+Server::~Server()
+{
+    drainAndJoin();
+}
+
+void
+Server::loadAndPrepare()
+{
+    suite_.loadAndPrepare(opts_.workloads, pool_);
+}
+
+std::uint16_t
+Server::start()
+{
+    prism_assert(!started_, "server already started");
+    started_ = true;
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        fatal("socket(): %s", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(opts_.port);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0)
+        fatal("bind(127.0.0.1:%u): %s", unsigned(opts_.port),
+              std::strerror(errno));
+    if (::listen(listenFd_, 128) != 0)
+        fatal("listen(): %s", std::strerror(errno));
+
+    socklen_t len = sizeof addr;
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                  &len);
+    const std::uint16_t port = ntohs(addr.sin_port);
+
+    acceptor_ = std::thread([this] { acceptorMain(); });
+    dispatcher_ = std::thread([this] { dispatcherMain(); });
+    return port;
+}
+
+void
+Server::acceptorMain()
+{
+    while (!stopRequested()) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, 100);
+        if (pr <= 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+
+        // Tiny request/reply frames must not sit in Nagle buffers;
+        // the receive timeout is what makes reader threads stoppable.
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        timeval tv{0, 100 * 1000};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+
+        auto conn = std::make_shared<Connection>(fd);
+        {
+            std::lock_guard<std::mutex> lock(connsMu_);
+            if (conns_.size() >= opts_.maxConns) {
+                // Over the connection cap: admission control at the
+                // accept layer. One BUSY frame, then close.
+                bump(stats_->busyRejected);
+                writeReplyFrame(fd, Status::Busy, {});
+                continue; // conn destructor closes fd
+            }
+            conns_.push_back(conn);
+            readers_.emplace_back(
+                [this, conn] { readerMain(conn); });
+        }
+    }
+    ::close(listenFd_);
+    listenFd_ = -1;
+}
+
+void
+Server::readerMain(std::shared_ptr<Connection> conn)
+{
+    std::vector<std::uint8_t> payload;
+    while (!stopRequested() &&
+           conn->open.load(std::memory_order_acquire)) {
+        const RecvStatus res =
+            readFrameTick(conn->fd, payload, stop_);
+        if (res == RecvStatus::Stopped || res == RecvStatus::Eof)
+            break;
+        if (res == RecvStatus::Truncated) {
+            bump(stats_->disconnects);
+            break;
+        }
+        if (res == RecvStatus::IoError) {
+            // Either a socket error or an oversized length prefix;
+            // both leave the byte stream unsynchronized, so reply
+            // (best effort) and drop the connection.
+            bump(stats_->protocolErrors);
+            errorReplyLocked(conn, "malformed or oversized frame");
+            break;
+        }
+        if (payload.empty()) {
+            bump(stats_->protocolErrors);
+            if (!errorReplyLocked(conn, "empty frame"))
+                break;
+            continue;
+        }
+
+        const std::uint8_t opByte = payload[0];
+        if (opByte < static_cast<std::uint8_t>(Op::Ping) ||
+            opByte > static_cast<std::uint8_t>(Op::List)) {
+            bump(stats_->protocolErrors);
+            if (!errorReplyLocked(conn, "unknown opcode"))
+                break;
+            continue;
+        }
+        const Op op = static_cast<Op>(opByte);
+        const std::span<const std::uint8_t> body{
+            payload.data() + 1, payload.size() - 1};
+
+        if (op == Op::Ping || op == Op::Stats || op == Op::List) {
+            // Inline: cheap, never queued, so liveness probes and
+            // stats stay responsive even when the queue is full.
+            handleInline(conn, op, body);
+            continue;
+        }
+
+        Request req;
+        req.conn = conn;
+        req.op = op;
+        req.body.assign(body.begin(), body.end());
+        req.arrival = std::chrono::steady_clock::now();
+        if (!queue_.tryPush(std::move(req))) {
+            bump(stats_->busyRejected);
+            if (!replyLocked(conn, Status::Busy, {}))
+                break;
+        }
+    }
+
+    // Unregister; the fd itself closes when the last shared_ptr
+    // (possibly held by a still-queued request) goes away.
+    std::lock_guard<std::mutex> lock(connsMu_);
+    std::erase(conns_, conn);
+}
+
+void
+Server::handleInline(const std::shared_ptr<Connection> &conn, Op op,
+                     std::span<const std::uint8_t> body)
+{
+    if (!body.empty()) {
+        bump(stats_->protocolErrors);
+        errorReplyLocked(conn, "unexpected request body");
+        return;
+    }
+    WireWriter w;
+    switch (op) {
+    case Op::Ping:
+        bump(stats_->pingQueries);
+        w.u8(kProtocolVersion);
+        break;
+    case Op::Stats: {
+        bump(stats_->statsQueries);
+        encodeStatsReply(w, statsSnapshot());
+        break;
+    }
+    case Op::List: {
+        bump(stats_->listQueries);
+        ListReply reply;
+        for (const ResidentWorkload &rw : suite_.workloads())
+            reply.workloads.push_back(rw.spec->name);
+        encodeListReply(w, reply);
+        break;
+    }
+    default:
+        return;
+    }
+    replyLocked(conn, Status::Ok, w.bytes());
+}
+
+void
+Server::dispatcherMain()
+{
+    std::vector<Request> batch;
+    batch.reserve(opts_.batchMax);
+    while (true) {
+        if (holdBatches_.load(std::memory_order_acquire) &&
+            !stopRequested()) {
+            // Test hook: park without draining (ignored once a stop
+            // is requested so drain can never deadlock on it).
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+            continue;
+        }
+        const std::size_t n =
+            queue_.popBatch(batch, opts_.batchMax, stop_);
+        if (n == 0) {
+            if (stopRequested() && queue_.depth() == 0)
+                break;
+            continue;
+        }
+        bump(stats_->batches);
+        bump(stats_->batchedRequests, n);
+        if (n > stats_->maxBatch.load(std::memory_order_relaxed))
+            stats_->maxBatch.store(n, std::memory_order_relaxed);
+        // Grain 1: each request is one stealable unit — requests are
+        // heavyweight relative to claim overhead, and a coarse grain
+        // would serialize a batch behind one worker.
+        pool_.parallelFor(
+            n, [&](std::size_t i) { processRequest(batch[i]); }, 1);
+        batch.clear();
+    }
+}
+
+void
+Server::processRequest(Request &req)
+{
+    // One stat-batching handle per request: disk-tier counters are
+    // flushed once on destruction instead of per lookup.
+    ArtifactCacheHandle cacheHandle(ArtifactCache::global());
+
+    thread_local WireWriter w;
+    w.clear();
+    WireReader r({req.body.data(), req.body.size()});
+    QueryOutcome outcome;
+
+    switch (req.op) {
+    case Op::Eval: {
+        EvalRequest er;
+        if (!decodeEvalRequest(r, er)) {
+            outcome = QueryOutcome::fail("malformed EVAL body");
+            break;
+        }
+        EvalReply reply;
+        outcome = runEval(suite_, er, reply);
+        if (outcome.status == Status::Ok) {
+            encodeEvalReply(w, reply);
+            bump(stats_->evalQueries);
+        }
+        break;
+    }
+    case Op::Rank: {
+        RankRequest rr;
+        if (!decodeRankRequest(r, rr)) {
+            outcome = QueryOutcome::fail("malformed RANK body");
+            break;
+        }
+        RankReply reply;
+        outcome = runRank(suite_, rr, reply);
+        if (outcome.status == Status::Ok) {
+            encodeRankReply(w, reply);
+            bump(stats_->rankQueries);
+        }
+        break;
+    }
+    case Op::Sweep: {
+        SweepRequest sr;
+        if (!decodeSweepRequest(r, sr)) {
+            outcome = QueryOutcome::fail("malformed SWEEP body");
+            break;
+        }
+        SweepReply reply;
+        outcome = runSweep(suite_, sr, reply);
+        if (outcome.status == Status::Ok) {
+            encodeSweepReply(w, reply);
+            bump(stats_->sweepQueries);
+        }
+        break;
+    }
+    default:
+        outcome = QueryOutcome::fail("unknown opcode");
+        break;
+    }
+
+    bool wrote;
+    if (outcome.status == Status::Ok) {
+        wrote = replyLocked(req.conn, Status::Ok, w.bytes());
+    } else {
+        bump(stats_->protocolErrors);
+        wrote = errorReplyLocked(req.conn, outcome.error);
+    }
+    if (!wrote)
+        bump(stats_->disconnects);
+
+    const auto now = std::chrono::steady_clock::now();
+    bump(stats_->serviceNsTotal,
+         static_cast<std::uint64_t>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 now - req.arrival)
+                 .count()));
+}
+
+void
+Server::drainAndJoin()
+{
+    if (!started_ || joined_)
+        return;
+    joined_ = true;
+    requestStop();
+
+    // Order matters: acceptor first (no new connections), readers
+    // next (no new requests), dispatcher last — it drains every
+    // admitted request and writes its reply before exiting. Only
+    // then do connection fds close.
+    if (acceptor_.joinable())
+        acceptor_.join();
+    for (;;) {
+        std::thread reader;
+        {
+            std::lock_guard<std::mutex> lock(connsMu_);
+            if (readers_.empty())
+                break;
+            reader = std::move(readers_.back());
+            readers_.pop_back();
+        }
+        if (reader.joinable())
+            reader.join();
+    }
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+    std::lock_guard<std::mutex> lock(connsMu_);
+    conns_.clear();
+}
+
+StatsReply
+Server::statsSnapshot() const
+{
+    StatsReply s;
+    s.uptimeMs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - startTime_)
+            .count());
+    const Stats &st = *stats_;
+    s.evalQueries = st.evalQueries.load(std::memory_order_relaxed);
+    s.rankQueries = st.rankQueries.load(std::memory_order_relaxed);
+    s.sweepQueries = st.sweepQueries.load(std::memory_order_relaxed);
+    s.pingQueries = st.pingQueries.load(std::memory_order_relaxed);
+    s.statsQueries = st.statsQueries.load(std::memory_order_relaxed);
+    s.listQueries = st.listQueries.load(std::memory_order_relaxed);
+    s.busyRejected = st.busyRejected.load(std::memory_order_relaxed);
+    s.protocolErrors =
+        st.protocolErrors.load(std::memory_order_relaxed);
+    s.disconnects = st.disconnects.load(std::memory_order_relaxed);
+    s.batches = st.batches.load(std::memory_order_relaxed);
+    s.batchedRequests =
+        st.batchedRequests.load(std::memory_order_relaxed);
+    s.maxBatch = st.maxBatch.load(std::memory_order_relaxed);
+    s.queueCapacity = queue_.capacity();
+    s.queueHighWater = queue_.highWater();
+    s.serviceNsTotal =
+        st.serviceNsTotal.load(std::memory_order_relaxed);
+    s.residentWorkloads = suite_.workloads().size();
+    s.residentModels = suite_.residentModels();
+    s.poolContexts = pool_.effectiveContexts();
+    const MemoCache::Stats ram = MemoCache::global().stats();
+    s.ramHits = ram.hits;
+    s.ramMisses = ram.misses;
+    s.ramInsertions = ram.insertions;
+    s.ramEvictions = ram.evictions;
+    s.ramBytes = ram.bytes;
+    s.ramMaxBytes = MemoCache::global().maxBytes();
+    return s;
+}
+
+} // namespace prism::serve

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * prism_serve's network front end: a resident evaluation daemon over
+ * the length-prefixed TCP protocol (serve/protocol.hh).
+ *
+ * Architecture (DESIGN.md §11):
+ *
+ *   acceptor ──> one reader thread per connection
+ *                   │  PING/STATS/LIST answered inline (cheap, never
+ *                   │  queued — liveness survives overload)
+ *                   ▼
+ *             BoundedQueue (admission control: tryPush fails when
+ *                   │  full -> immediate BUSY reply, bounded latency)
+ *                   ▼
+ *             batch dispatcher: drains up to batchMax requests per
+ *             wakeup and fans the batch out on the ThreadPool —
+ *             per-task ArtifactCacheHandle stat batching, per-thread
+ *             ModelScratch inside any cold component build, replies
+ *             written under each connection's write lock.
+ *
+ * Shutdown protocol: requestStop() is async-signal-safe (one atomic
+ * store — the SIGINT/SIGTERM handlers call it). Worker loops poll
+ * the flag (<= 100 ms ticks): the acceptor closes the listen socket,
+ * readers stop consuming frames, the dispatcher drains every
+ * admitted request and writes its reply, and only then are
+ * connections closed. drainAndJoin() blocks until that sequence
+ * completes, so an admitted query is never dropped by shutdown.
+ */
+
+#ifndef PRISM_SERVE_SERVER_HH
+#define PRISM_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "serve/eval.hh"
+#include "serve/protocol.hh"
+#include "serve/state.hh"
+
+namespace prism::serve
+{
+
+/** Daemon configuration (flag defaults in prism_serve.cc). */
+struct ServeOptions
+{
+    /** Workload names to hold resident; empty = the full suite. */
+    std::vector<std::string> workloads;
+    /** Evaluation pool contexts; 0 = defaultThreadCount(). */
+    unsigned threads = 0;
+    /** TCP port on 127.0.0.1; 0 = ephemeral (start() returns it). */
+    std::uint16_t port = 0;
+    /** Admission-control bound on queued (not yet replied) work. */
+    std::size_t queueDepth = 1024;
+    /** Most requests coalesced into one pool fan-out. */
+    std::size_t batchMax = 64;
+    /** Connections beyond this are refused with a BUSY reply. */
+    std::size_t maxConns = 64;
+};
+
+/** One client connection. Replies may be written concurrently by
+ *  the reader (inline ops, BUSY) and by batch workers, so every
+ *  frame write holds writeMu. */
+struct Connection
+{
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection();
+
+    Connection(const Connection &) = delete;
+    Connection &operator=(const Connection &) = delete;
+
+    int fd = -1;
+    std::mutex writeMu;
+    std::atomic<bool> open{true};
+};
+
+/** One admitted request, owned by the queue then a batch worker. */
+struct Request
+{
+    std::shared_ptr<Connection> conn;
+    Op op = Op::Ping;
+    std::vector<std::uint8_t> body;
+    std::chrono::steady_clock::time_point arrival;
+};
+
+/**
+ * Bounded MPMC request queue: producers (connection readers) never
+ * block — tryPush() fails when the queue is at capacity and the
+ * caller replies BUSY instead, which is what keeps worst-case queue
+ * wait (and thus tail latency) bounded under overload.
+ */
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity)
+        : capacity_(capacity)
+    {
+    }
+
+    /** False when full (the request is left untouched). */
+    bool tryPush(Request &&r);
+
+    /**
+     * Block until at least one request is queued or `stop` becomes
+     * true, then move up to `max` requests into `out` (cleared
+     * first) in arrival order. Returns the batch size; 0 only when
+     * stopping and empty.
+     */
+    std::size_t popBatch(std::vector<Request> &out, std::size_t max,
+                         const std::atomic<bool> &stop);
+
+    std::size_t depth() const;
+    std::size_t capacity() const { return capacity_; }
+    std::uint64_t highWater() const;
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Request> q_;
+    std::uint64_t highWater_ = 0;
+};
+
+/**
+ * The daemon. Lifecycle:
+ *
+ *     Server s(opts);
+ *     s.loadAndPrepare();        // blocking: suite + models resident
+ *     std::uint16_t port = s.start();
+ *     ... (requestStop() from a signal handler or another thread)
+ *     s.drainAndJoin();          // drain admitted work, flush, join
+ */
+class Server
+{
+  public:
+    explicit Server(ServeOptions opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Load every workload and build all fixed-kind models. */
+    void loadAndPrepare();
+
+    /** Bind 127.0.0.1:<port>, listen, spawn the acceptor and batch
+     *  dispatcher. Returns the bound port (the ephemeral one when
+     *  opts.port == 0). */
+    std::uint16_t start();
+
+    /** Async-signal-safe stop request (atomic store only). */
+    void
+    requestStop()
+    {
+        stop_.store(true, std::memory_order_release);
+    }
+
+    bool
+    stopRequested() const
+    {
+        return stop_.load(std::memory_order_acquire);
+    }
+
+    /** Stop accepting, drain every admitted request, flush replies,
+     *  close connections, join every thread. Idempotent. */
+    void drainAndJoin();
+
+    /** Monotone counters + RAM-tier stats (also the STATS reply). */
+    StatsReply statsSnapshot() const;
+
+    const ResidentSuite &suite() const { return suite_; }
+
+    /**
+     * Test hook: while held, the batch dispatcher parks without
+     * draining, so admission control (queue-full -> BUSY) can be
+     * exercised deterministically. Never set in production.
+     */
+    void
+    debugHoldBatches(bool hold)
+    {
+        holdBatches_.store(hold, std::memory_order_release);
+    }
+
+  private:
+    struct Stats; // padded atomics, defined in server.cc
+
+    void acceptorMain();
+    void readerMain(std::shared_ptr<Connection> conn);
+    void dispatcherMain();
+    void processRequest(Request &req);
+    void handleInline(const std::shared_ptr<Connection> &conn,
+                      Op op, std::span<const std::uint8_t> body);
+
+    ServeOptions opts_;
+    ResidentSuite suite_;
+    ThreadPool pool_;
+    BoundedQueue queue_;
+
+    int listenFd_ = -1;
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> holdBatches_{false};
+    bool started_ = false;
+    bool joined_ = false;
+
+    std::thread acceptor_;
+    std::thread dispatcher_;
+    std::mutex connsMu_;
+    std::vector<std::shared_ptr<Connection>> conns_;
+    std::vector<std::thread> readers_;
+
+    std::chrono::steady_clock::time_point startTime_;
+    std::unique_ptr<Stats> stats_;
+};
+
+} // namespace prism::serve
+
+#endif // PRISM_SERVE_SERVER_HH

@@ -1,0 +1,66 @@
+#include "serve/state.hh"
+
+#include "common/artifact_cache.hh"
+#include "common/logging.hh"
+#include "tdg/artifacts.hh"
+#include "uarch/pipeline_model.hh"
+
+namespace prism::serve
+{
+
+void
+ResidentSuite::loadAndPrepare(const std::vector<std::string> &names,
+                              ThreadPool &pool)
+{
+    prism_assert(items_.empty(), "suite already prepared");
+    if (names.empty()) {
+        for (const WorkloadSpec &spec : allWorkloads()) {
+            items_.push_back({});
+            items_.back().spec = &spec;
+        }
+    } else {
+        for (const std::string &name : names) {
+            items_.push_back({});
+            items_.back().spec = &findWorkload(name); // fatal if bad
+        }
+    }
+    for (std::size_t i = 0; i < items_.size(); ++i)
+        index_.emplace(items_[i].spec->name, i);
+
+    // Mutate phase, two waves like the sweep drivers: loads first
+    // (each task owns one slot), then one task per (workload, kind)
+    // model so a long-pole workload doesn't serialize its six models
+    // on one worker.
+    pool.parallelFor(items_.size(), [&](std::size_t i) {
+        items_[i].lw = LoadedWorkload::load(*items_[i].spec);
+    });
+    const std::size_t kinds = kAllCoreKinds.size();
+    pool.parallelFor(items_.size() * kinds, [&](std::size_t t) {
+        ResidentWorkload &w = items_[t / kinds];
+        const CoreKind kind = kAllCoreKinds[t % kinds];
+        w.fixed[t % kinds] = buildModelCached(
+            ArtifactCache::global(), w.lw->name(), w.lw->tdg(),
+            w.lw->maxInsts(),
+            PipelineConfig{.core = coreConfig(kind)});
+    });
+}
+
+const ResidentWorkload *
+ResidentSuite::find(std::string_view name) const
+{
+    const auto it = index_.find(std::string(name));
+    return it == index_.end() ? nullptr : &items_[it->second];
+}
+
+std::size_t
+ResidentSuite::loadedInsts() const
+{
+    std::size_t total = 0;
+    for (const ResidentWorkload &w : items_) {
+        if (w.lw)
+            total += w.lw->tdg().trace().size();
+    }
+    return total;
+}
+
+} // namespace prism::serve

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The daemon's resident evaluation state: every served workload
+ * loaded once at startup (trace + TDG, trace/tdgprof cache aware)
+ * with one warm BenchmarkModel per fixed CoreKind held for the
+ * process lifetime. Component tables flow through the usual tiers
+ * (RAM LRU in front of the disk artifact cache, common/memo_cache),
+ * so parametric-core queries that miss the fixed set still assemble
+ * in ~10 µs once their components are warm.
+ *
+ * Thread-safety: loadAndPrepare() is a mutate phase (call once,
+ * before serving); afterwards every accessor is const and the models
+ * are safe to evaluate() from any number of request workers
+ * concurrently (scheduler-only composition over immutable tables).
+ */
+
+#ifndef PRISM_SERVE_STATE_HH
+#define PRISM_SERVE_STATE_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "tdg/exocore.hh"
+#include "workloads/suite.hh"
+
+namespace prism::serve
+{
+
+/** One resident workload: loaded trace/TDG + per-fixed-kind models. */
+struct ResidentWorkload
+{
+    const WorkloadSpec *spec = nullptr;
+    std::unique_ptr<LoadedWorkload> lw;
+    std::array<std::unique_ptr<BenchmarkModel>,
+               kAllCoreKinds.size()>
+        fixed; ///< indexed by CoreKind
+
+    const BenchmarkModel &
+    model(CoreKind kind) const
+    {
+        return *fixed[static_cast<std::size_t>(kind)];
+    }
+};
+
+/** The full resident suite, indexed by workload name. */
+class ResidentSuite
+{
+  public:
+    /**
+     * Load `names` (empty = the full Table 3 suite) and build every
+     * (workload, fixed kind) model, fanned out on `pool` with one
+     * task per unit of work. Fatal on unknown names.
+     */
+    void loadAndPrepare(const std::vector<std::string> &names,
+                        ThreadPool &pool);
+
+    /** Lookup by name; nullptr when not resident. */
+    const ResidentWorkload *find(std::string_view name) const;
+
+    const std::vector<ResidentWorkload> &
+    workloads() const
+    {
+        return items_;
+    }
+
+    /** Resident model count (workloads x fixed kinds). */
+    std::size_t
+    residentModels() const
+    {
+        return items_.size() * kAllCoreKinds.size();
+    }
+
+    /** Total trace instructions resident. */
+    std::size_t loadedInsts() const;
+
+  private:
+    std::vector<ResidentWorkload> items_;
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+} // namespace prism::serve
+
+#endif // PRISM_SERVE_STATE_HH

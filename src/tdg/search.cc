@@ -1,6 +1,7 @@
 #include "tdg/search.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <ostream>
 
 #include "common/artifact_cache.hh"
@@ -469,6 +470,99 @@ std::string
 renderParetoFrontier(const std::vector<SearchPoint> &points)
 {
     return renderSearchTable(paretoFrontier(points));
+}
+
+// ---- Flag-spec parsers (shared by drivers and their tests) --------
+
+namespace
+{
+
+/** Consume a run of digits as unsigned; false on empty/overflow. */
+bool
+parseDigits(const std::string &s, std::size_t &pos, unsigned &out)
+{
+    const std::size_t start = pos;
+    std::uint64_t v = 0;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+        v = v * 10 + static_cast<std::uint64_t>(s[pos] - '0');
+        if (v > 0xFFFFFFFFull)
+            return false;
+        ++pos;
+    }
+    if (pos == start)
+        return false;
+    out = static_cast<unsigned>(v);
+    return true;
+}
+
+} // namespace
+
+bool
+parseShardSpec(const std::string &spec, unsigned &index,
+               unsigned &count, std::string &error)
+{
+    // sscanf("%u/%u") would accept "1/4x", "+1/4", and " 1/4"; a
+    // shard spec is exactly <digits>/<digits>.
+    std::size_t pos = 0;
+    unsigned idx = 0, cnt = 0;
+    if (!parseDigits(spec, pos, idx) || pos >= spec.size() ||
+        spec[pos] != '/' || (++pos, !parseDigits(spec, pos, cnt)) ||
+        pos != spec.size()) {
+        error = "expected I/N (two unsigned integers), got '" +
+                spec + "'";
+        return false;
+    }
+    if (cnt == 0) {
+        error = "shard count must be positive, got '" + spec + "'";
+        return false;
+    }
+    if (idx >= cnt) {
+        error = "shard index must be < count, got '" + spec + "'";
+        return false;
+    }
+    index = idx;
+    count = cnt;
+    return true;
+}
+
+bool
+parseAreaBudgets(const std::string &csv,
+                 std::vector<double> &budgets, std::string &error)
+{
+    std::vector<double> parsed;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? csv.size() : comma;
+        const std::string entry = csv.substr(start, end - start);
+        if (entry.empty()) {
+            error = "empty budget entry in '" + csv + "'";
+            return false;
+        }
+        char *stop = nullptr;
+        const double v = std::strtod(entry.c_str(), &stop);
+        if (stop != entry.c_str() + entry.size()) {
+            error = "'" + entry + "' is not a number";
+            return false;
+        }
+        if (!(v > 0)) {
+            error = "budgets must be positive mm^2 (omit the flag "
+                    "for an unbounded search), got '" +
+                    entry + "'";
+            return false;
+        }
+        parsed.push_back(v);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    if (parsed.empty()) {
+        error = "no budget values given";
+        return false;
+    }
+    budgets = std::move(parsed);
+    return true;
 }
 
 } // namespace prism

@@ -186,6 +186,25 @@ std::string renderSearchTable(std::vector<SearchPoint> points,
 std::string
 renderParetoFrontier(const std::vector<SearchPoint> &points);
 
+/**
+ * Strict `--shard I/N` parser: exactly `<digits>/<digits>` with
+ * N > 0 and I < N. Rejects trailing garbage, signs, and empty
+ * fields. On failure returns false and fills `error` with a
+ * human-readable reason (the flag handler prepends the flag name).
+ */
+bool parseShardSpec(const std::string &spec, unsigned &index,
+                    unsigned &count, std::string &error);
+
+/**
+ * Strict `--budgets a,b,c` parser: each entry must be a fully
+ * consumed positive number (mm^2). Empty list, non-numeric entries,
+ * zero, and negatives are errors — an unbounded search is requested
+ * by omitting the flag, not by passing 0.
+ */
+bool parseAreaBudgets(const std::string &csv,
+                      std::vector<double> &budgets,
+                      std::string &error);
+
 } // namespace prism
 
 #endif // PRISM_TDG_SEARCH_HH

@@ -325,5 +325,120 @@ TEST(MemoCache, ParallelGetOrComputeYieldsOneValue)
     EXPECT_EQ(*cached, 7);
 }
 
+TEST(MemoCache, CountersTrackEveryTransition)
+{
+    // Walk one instance through miss -> insert -> hit -> evict and
+    // check each counter moves by exactly the expected amount (the
+    // observability surface the serve daemon's STATS reply exposes).
+    MemoCache cache(200);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+    EXPECT_EQ(cache.stats().insertions, 0u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_EQ(cache.stats().bytes, 0u);
+
+    EXPECT_EQ(cache.get(1), nullptr); // miss
+    cache.put(1, std::make_shared<int>(1), 120);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().insertions, 1u);
+    EXPECT_EQ(cache.stats().bytes, 120u);
+
+    EXPECT_NE(cache.get(1), nullptr); // hit
+    EXPECT_EQ(cache.stats().hits, 1u);
+
+    cache.put(2, std::make_shared<int>(2), 120); // evicts key 1
+    EXPECT_EQ(cache.stats().insertions, 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().bytes, 120u);
+
+    // clear() drops residency but keeps the monotone counters.
+    cache.clear();
+    EXPECT_EQ(cache.stats().bytes, 0u);
+    EXPECT_EQ(cache.stats().insertions, 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(MemoCache, SummaryRendersCounters)
+{
+    MemoCache cache(1 << 20);
+    EXPECT_EQ(cache.get(1), nullptr);
+    cache.put(1, std::make_shared<int>(1), 64);
+    EXPECT_NE(cache.get(1), nullptr);
+    const std::string s = cache.summary();
+    EXPECT_NE(s.find("1 hits"), std::string::npos) << s;
+    EXPECT_NE(s.find("1 misses"), std::string::npos) << s;
+    EXPECT_NE(s.find("1 insertions"), std::string::npos) << s;
+    EXPECT_NE(s.find("50.0% hit"), std::string::npos) << s;
+}
+
+// ---------------------------------------------------------------- //
+// Driver flag parsers (prism_search regression tests).
+// ---------------------------------------------------------------- //
+
+TEST(FlagParsers, ShardSpecAcceptsExactForm)
+{
+    unsigned idx = 99, cnt = 99;
+    std::string err;
+    ASSERT_TRUE(parseShardSpec("0/1", idx, cnt, err)) << err;
+    EXPECT_EQ(idx, 0u);
+    EXPECT_EQ(cnt, 1u);
+    ASSERT_TRUE(parseShardSpec("3/8", idx, cnt, err)) << err;
+    EXPECT_EQ(idx, 3u);
+    EXPECT_EQ(cnt, 8u);
+}
+
+TEST(FlagParsers, ShardSpecRejectsOutOfRangeAndGarbage)
+{
+    unsigned idx = 0, cnt = 0;
+    std::string err;
+    // Index >= count and count == 0: the regressions this guards.
+    EXPECT_FALSE(parseShardSpec("4/4", idx, cnt, err));
+    EXPECT_NE(err.find("index"), std::string::npos) << err;
+    EXPECT_FALSE(parseShardSpec("5/4", idx, cnt, err));
+    EXPECT_FALSE(parseShardSpec("0/0", idx, cnt, err));
+    EXPECT_NE(err.find("count"), std::string::npos) << err;
+    // Malformed shapes sscanf used to let through.
+    EXPECT_FALSE(parseShardSpec("1/4x", idx, cnt, err));
+    EXPECT_FALSE(parseShardSpec("+1/4", idx, cnt, err));
+    EXPECT_FALSE(parseShardSpec(" 1/4", idx, cnt, err));
+    EXPECT_FALSE(parseShardSpec("1/", idx, cnt, err));
+    EXPECT_FALSE(parseShardSpec("/4", idx, cnt, err));
+    EXPECT_FALSE(parseShardSpec("", idx, cnt, err));
+    EXPECT_FALSE(parseShardSpec("1-4", idx, cnt, err));
+    EXPECT_FALSE(parseShardSpec("99999999999/4", idx, cnt, err));
+}
+
+TEST(FlagParsers, AreaBudgetsAcceptPositiveNumbers)
+{
+    std::vector<double> budgets;
+    std::string err;
+    ASSERT_TRUE(parseAreaBudgets("1.5", budgets, err)) << err;
+    ASSERT_EQ(budgets.size(), 1u);
+    EXPECT_DOUBLE_EQ(budgets[0], 1.5);
+    ASSERT_TRUE(parseAreaBudgets("0.5,1,2.25", budgets, err)) << err;
+    ASSERT_EQ(budgets.size(), 3u);
+    EXPECT_DOUBLE_EQ(budgets[1], 1.0);
+}
+
+TEST(FlagParsers, AreaBudgetsRejectNonPositiveAndGarbage)
+{
+    std::vector<double> budgets{42.0};
+    std::string err;
+    // atof() silently turned these into 0.0 before; each must now be
+    // a clear error, and a failed parse must not clobber the output.
+    EXPECT_FALSE(parseAreaBudgets("abc", budgets, err));
+    EXPECT_NE(err.find("not a number"), std::string::npos) << err;
+    EXPECT_FALSE(parseAreaBudgets("1.5,abc", budgets, err));
+    EXPECT_FALSE(parseAreaBudgets("0", budgets, err));
+    EXPECT_FALSE(parseAreaBudgets("-2", budgets, err));
+    EXPECT_NE(err.find("positive"), std::string::npos) << err;
+    EXPECT_FALSE(parseAreaBudgets("1.5,", budgets, err));
+    EXPECT_FALSE(parseAreaBudgets(",1.5", budgets, err));
+    EXPECT_FALSE(parseAreaBudgets("", budgets, err));
+    EXPECT_FALSE(parseAreaBudgets("1.5e", budgets, err));
+    ASSERT_EQ(budgets.size(), 1u);
+    EXPECT_DOUBLE_EQ(budgets[0], 42.0);
+}
+
 } // namespace
 } // namespace prism

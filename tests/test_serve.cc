@@ -1,0 +1,617 @@
+/**
+ * @file
+ * Tests for the prism_serve daemon (src/serve/): protocol
+ * robustness and serve correctness.
+ *
+ *  - robustness: truncated frames, oversized length prefixes (capped
+ *    before allocation), unknown opcodes, empty frames, malformed
+ *    bodies, and mid-request disconnects all produce clean Error
+ *    replies or clean closes — the daemon neither crashes nor leaks
+ *    (the ASan leg of scripts/check.sh runs this binary);
+ *  - correctness: an EVAL reply fetched over the socket is
+ *    byte-identical to the same point evaluated in-process through
+ *    buildModelCached, for fixed and parametric configs, including
+ *    under concurrent clients;
+ *  - batching/admission: a held dispatcher turns queue overflow into
+ *    immediate BUSY replies, and a drain completes every admitted
+ *    request before closing connections.
+ *
+ * Labeled `serve` and `concurrency` (the TSan leg runs it).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/thread_pool.hh"
+#include "serve/client.hh"
+#include "serve/eval.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "serve/state.hh"
+#include "workloads/suite.hh"
+
+namespace prism::serve
+{
+namespace
+{
+
+constexpr std::uint64_t kTestInsts = 30'000;
+const std::vector<std::string> kTestWorkloads = {"ilp-chain",
+                                                 "mem-random"};
+
+ServeOptions
+testOptions()
+{
+    setMaxInstsOverride(kTestInsts);
+    ServeOptions opts;
+    opts.workloads = kTestWorkloads;
+    opts.threads = 2;
+    opts.queueDepth = 8;
+    opts.batchMax = 4;
+    return opts;
+}
+
+/** One server shared by the tests in this process (startup builds
+ *  12 models; pay it once). The static destructor drains it, so
+ *  every thread is joined before process exit — the sanitizer legs
+ *  depend on that. */
+struct SharedServer
+{
+    Server server{testOptions()};
+    std::uint16_t port;
+
+    SharedServer()
+    {
+        server.loadAndPrepare();
+        port = server.start();
+    }
+};
+
+SharedServer &
+shared()
+{
+    static SharedServer s;
+    return s;
+}
+
+std::uint16_t
+sharedPort()
+{
+    return shared().port;
+}
+
+Client
+connectShared()
+{
+    Client c;
+    EXPECT_TRUE(c.connect("127.0.0.1", sharedPort()))
+        << c.lastError();
+    return c;
+}
+
+/** The in-process evaluation the wire replies must match byte for
+ *  byte: same ResidentSuite shape, same eval functions, same
+ *  encoders. */
+ResidentSuite &
+localSuite()
+{
+    static ResidentSuite *suite = [] {
+        setMaxInstsOverride(kTestInsts);
+        auto *s = new ResidentSuite;
+        ThreadPool pool(2);
+        s->loadAndPrepare(kTestWorkloads, pool);
+        return s;
+    }();
+    return *suite;
+}
+
+std::vector<std::uint8_t>
+expectedEvalBytes(const EvalRequest &req)
+{
+    EvalReply reply;
+    const QueryOutcome outcome = runEval(localSuite(), req, reply);
+    EXPECT_EQ(outcome.status, Status::Ok) << outcome.error;
+    WireWriter w;
+    encodeEvalReply(w, reply);
+    return {w.bytes().begin(), w.bytes().end()};
+}
+
+// ---------------------------------------------------------------- //
+// Basic liveness + metadata.
+// ---------------------------------------------------------------- //
+
+TEST(Serve, PingReportsProtocolVersion)
+{
+    Client c = connectShared();
+    std::uint8_t version = 0;
+    ASSERT_TRUE(c.ping(version)) << c.lastError();
+    EXPECT_EQ(version, kProtocolVersion);
+}
+
+TEST(Serve, ListReturnsResidentWorkloads)
+{
+    Client c = connectShared();
+    ListReply list;
+    ASSERT_TRUE(c.list(list)) << c.lastError();
+    EXPECT_EQ(list.workloads, kTestWorkloads);
+}
+
+TEST(Serve, StatsExposeServerAndRamCounters)
+{
+    Client c = connectShared();
+    EvalRequest req;
+    req.workload = "ilp-chain";
+    req.config.kind = CoreKind::OOO4;
+    req.mask = 3;
+    EvalReply ignored;
+    ASSERT_TRUE(c.eval(req, ignored)) << c.lastError();
+
+    StatsReply stats;
+    ASSERT_TRUE(c.stats(stats)) << c.lastError();
+    EXPECT_GE(stats.evalQueries, 1u);
+    EXPECT_GE(stats.batches, 1u);
+    EXPECT_EQ(stats.residentWorkloads, kTestWorkloads.size());
+    EXPECT_EQ(stats.residentModels,
+              kTestWorkloads.size() * kAllCoreKinds.size());
+    EXPECT_EQ(stats.queueCapacity, 8u);
+    EXPECT_GT(stats.serviceNsTotal, 0u);
+    // The resident models were built through the RAM tier.
+    EXPECT_GT(stats.ramInsertions, 0u);
+    EXPECT_LE(stats.ramBytes, stats.ramMaxBytes);
+}
+
+// ---------------------------------------------------------------- //
+// Correctness: wire replies == in-process evaluation, byte for byte.
+// ---------------------------------------------------------------- //
+
+TEST(Serve, EvalMatchesInProcessEvaluationByteForByte)
+{
+    Client c = connectShared();
+    for (const std::string &workload : kTestWorkloads) {
+        for (const CoreKind kind :
+             {CoreKind::IO2, CoreKind::OOO4, CoreKind::OOO6}) {
+            for (const unsigned mask : {0u, 1u, 7u, 15u}) {
+                EvalRequest req;
+                req.workload = workload;
+                req.config.kind = kind;
+                req.mask = mask;
+                req.sched = SchedulerKind::Oracle;
+                WireWriter w;
+                encodeEvalRequest(w, req);
+                const auto reply = c.roundTrip(Op::Eval, w.bytes());
+                ASSERT_TRUE(reply) << c.lastError();
+                ASSERT_EQ(reply->status, Status::Ok);
+                EXPECT_EQ(reply->body, expectedEvalBytes(req))
+                    << workload << " mask " << mask;
+            }
+        }
+    }
+}
+
+TEST(Serve, ParametricEvalMatchesInProcessEvaluation)
+{
+    // A core point outside the resident fixed set: the server
+    // assembles it through buildModelCached on demand.
+    EvalRequest req;
+    req.workload = "mem-random";
+    req.config.parametric = true;
+    req.config.params = coreParams(CoreKind::OOO2);
+    req.config.params.instWindow = 24;
+    req.config.params.numAlu = 3;
+    req.mask = 5;
+    req.sched = SchedulerKind::AmdahlTree;
+    req.areaBudget = 2.0;
+
+    Client c = connectShared();
+    WireWriter w;
+    encodeEvalRequest(w, req);
+    const auto reply = c.roundTrip(Op::Eval, w.bytes());
+    ASSERT_TRUE(reply) << c.lastError();
+    ASSERT_EQ(reply->status, Status::Ok);
+    EXPECT_EQ(reply->body, expectedEvalBytes(req));
+}
+
+TEST(Serve, EvalIsDeterministicAcrossConcurrentClients)
+{
+    EvalRequest req;
+    req.workload = "ilp-chain";
+    req.config.kind = CoreKind::OOO4;
+    req.mask = 11;
+    const std::vector<std::uint8_t> expected =
+        expectedEvalBytes(req);
+
+    constexpr unsigned kClients = 4;
+    constexpr unsigned kQueriesEach = 16;
+    std::vector<unsigned> mismatches(kClients, 0);
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kClients; ++t) {
+        threads.emplace_back([&, t] {
+            Client c;
+            if (!c.connect("127.0.0.1", sharedPort())) {
+                mismatches[t] = kQueriesEach;
+                return;
+            }
+            WireWriter w;
+            encodeEvalRequest(w, req);
+            for (unsigned q = 0; q < kQueriesEach; ++q) {
+                const auto reply = c.roundTrip(Op::Eval, w.bytes());
+                if (!reply || reply->status != Status::Ok ||
+                    reply->body != expected)
+                    ++mismatches[t];
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    for (unsigned t = 0; t < kClients; ++t)
+        EXPECT_EQ(mismatches[t], 0u) << "client " << t;
+}
+
+TEST(Serve, RankOrdersAllSubsetsBySpeedup)
+{
+    RankRequest req;
+    req.workload = "mem-random";
+    req.config.kind = CoreKind::OOO2;
+
+    Client c = connectShared();
+    RankReply reply;
+    ASSERT_TRUE(c.rank(req, reply)) << c.lastError();
+    ASSERT_EQ(reply.entries.size(), 16u);
+    for (std::size_t i = 1; i < reply.entries.size(); ++i)
+        EXPECT_GE(reply.entries[i - 1].speedup,
+                  reply.entries[i].speedup);
+    // Every mask appears exactly once.
+    unsigned seen = 0;
+    for (const RankEntry &e : reply.entries)
+        seen |= 1u << e.mask;
+    EXPECT_EQ(seen, 0xFFFFu);
+
+    // And matches the in-process ranking exactly.
+    RankReply local;
+    ASSERT_EQ(runRank(localSuite(), req, local).status, Status::Ok);
+    ASSERT_EQ(local.entries.size(), reply.entries.size());
+    for (std::size_t i = 0; i < local.entries.size(); ++i) {
+        EXPECT_EQ(local.entries[i].mask, reply.entries[i].mask);
+        EXPECT_EQ(local.entries[i].speedup,
+                  reply.entries[i].speedup);
+    }
+}
+
+TEST(Serve, SweepMatchesInProcessFrontier)
+{
+    SweepRequest req;
+    req.workload = "ilp-chain";
+    req.numMasks = 4;
+    req.budgets = {1.0, 4.0};
+
+    SweepReply local;
+    ASSERT_EQ(runSweep(localSuite(), req, local).status,
+              Status::Ok);
+    WireWriter w;
+    encodeSweepReply(w, local);
+    const std::vector<std::uint8_t> expected{w.bytes().begin(),
+                                             w.bytes().end()};
+
+    Client c = connectShared();
+    WireWriter body;
+    encodeSweepRequest(body, req);
+    const auto reply = c.roundTrip(Op::Sweep, body.bytes());
+    ASSERT_TRUE(reply) << c.lastError();
+    ASSERT_EQ(reply->status, Status::Ok);
+    EXPECT_EQ(reply->body, expected);
+    EXPECT_GT(local.totalPoints, local.frontierPoints);
+}
+
+// ---------------------------------------------------------------- //
+// Protocol robustness: hostile bytes never crash the daemon.
+// ---------------------------------------------------------------- //
+
+TEST(Serve, UnknownWorkloadIsCleanErrorAndConnectionSurvives)
+{
+    Client c = connectShared();
+    EvalRequest req;
+    req.workload = "no-such-workload";
+    EvalReply out;
+    EXPECT_FALSE(c.eval(req, out));
+    EXPECT_NE(c.lastError().find("unknown workload"),
+              std::string::npos)
+        << c.lastError();
+    // The connection stays usable after an Error reply.
+    std::uint8_t version = 0;
+    EXPECT_TRUE(c.ping(version)) << c.lastError();
+}
+
+TEST(Serve, UnknownOpcodeIsCleanError)
+{
+    Client c = connectShared();
+    const std::uint8_t frame[] = {1, 0, 0, 0, 99}; // len=1, op=99
+    ASSERT_TRUE(c.sendRaw(frame));
+    const auto reply = c.readReply();
+    ASSERT_TRUE(reply) << c.lastError();
+    EXPECT_EQ(reply->status, Status::Error);
+    EXPECT_NE(reply->error.find("unknown opcode"),
+              std::string::npos);
+    std::uint8_t version = 0;
+    EXPECT_TRUE(c.ping(version)) << c.lastError();
+}
+
+TEST(Serve, EmptyFrameIsCleanError)
+{
+    Client c = connectShared();
+    const std::uint8_t frame[] = {0, 0, 0, 0}; // len=0
+    ASSERT_TRUE(c.sendRaw(frame));
+    const auto reply = c.readReply();
+    ASSERT_TRUE(reply) << c.lastError();
+    EXPECT_EQ(reply->status, Status::Error);
+    std::uint8_t version = 0;
+    EXPECT_TRUE(c.ping(version)) << c.lastError();
+}
+
+TEST(Serve, MalformedBodyIsCleanError)
+{
+    Client c = connectShared();
+    // Op::Eval with a garbage body (too short to decode).
+    const std::uint8_t frame[] = {3, 0, 0, 0, 2, 0xDE, 0xAD};
+    ASSERT_TRUE(c.sendRaw(frame));
+    const auto reply = c.readReply();
+    ASSERT_TRUE(reply) << c.lastError();
+    EXPECT_EQ(reply->status, Status::Error);
+    EXPECT_NE(reply->error.find("malformed"), std::string::npos)
+        << reply->error;
+    std::uint8_t version = 0;
+    EXPECT_TRUE(c.ping(version)) << c.lastError();
+}
+
+TEST(Serve, OversizedLengthPrefixIsRejectedWithoutAllocation)
+{
+    Client c = connectShared();
+    // 256 MiB length prefix: far over kMaxFrameBytes. The server
+    // must reply (or close) without ever allocating the claimed
+    // size — ASan/heap watermark would catch an attempt.
+    const std::uint8_t frame[] = {0, 0, 0, 0x10};
+    ASSERT_TRUE(c.sendRaw(frame));
+    const auto reply = c.readReply();
+    // The stream is unsynchronized after a bad prefix, so the server
+    // sends one Error reply and closes.
+    ASSERT_TRUE(reply) << c.lastError();
+    EXPECT_EQ(reply->status, Status::Error);
+    EXPECT_FALSE(c.readReply()); // closed after the error
+    // The daemon itself is unharmed.
+    std::uint8_t version = 0;
+    Client fresh = connectShared();
+    EXPECT_TRUE(fresh.ping(version));
+}
+
+TEST(Serve, TruncatedFrameThenDisconnectIsHandled)
+{
+    {
+        Client c = connectShared();
+        // Claim 100 bytes, deliver 3, vanish.
+        const std::uint8_t partial[] = {100, 0, 0, 0, 2, 3, 4};
+        ASSERT_TRUE(c.sendRaw(partial));
+        c.close();
+    }
+    {
+        // Disconnect mid-header too.
+        Client c = connectShared();
+        const std::uint8_t halfHeader[] = {100, 0};
+        ASSERT_TRUE(c.sendRaw(halfHeader));
+        c.close();
+    }
+    // Give the readers a moment to observe the closes, then verify
+    // the daemon is healthy and counted the mid-frame cuts.
+    Client c = connectShared();
+    std::uint8_t version = 0;
+    for (int attempt = 0; attempt < 50; ++attempt) {
+        StatsReply stats;
+        ASSERT_TRUE(c.stats(stats)) << c.lastError();
+        if (stats.disconnects >= 2)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    StatsReply stats;
+    ASSERT_TRUE(c.stats(stats)) << c.lastError();
+    EXPECT_GE(stats.disconnects, 2u);
+    EXPECT_TRUE(c.ping(version)) << c.lastError();
+}
+
+// ---------------------------------------------------------------- //
+// Admission control and drain (dedicated servers: these manipulate
+// dispatcher state and lifecycle).
+// ---------------------------------------------------------------- //
+
+TEST(Serve, QueueOverflowYieldsImmediateBusy)
+{
+    Server server(testOptions()); // queueDepth = 8
+    server.loadAndPrepare();
+    const std::uint16_t port = server.start();
+    server.debugHoldBatches(true);
+
+    Client c;
+    ASSERT_TRUE(c.connect("127.0.0.1", port)) << c.lastError();
+    EvalRequest req;
+    req.workload = "ilp-chain";
+    req.config.kind = CoreKind::IO2;
+    WireWriter w;
+    encodeEvalRequest(w, req);
+
+    // Fill the queue (dispatcher held, nothing drains), then one
+    // more: the 9th must bounce with an immediate BUSY while the
+    // first 8 wait.
+    for (int i = 0; i < 9; ++i)
+        ASSERT_TRUE(writeRequestFrame(c.fd(), Op::Eval, w.bytes()));
+    const auto busy = c.readReply();
+    ASSERT_TRUE(busy) << c.lastError();
+    EXPECT_EQ(busy->status, Status::Busy);
+
+    // Inline ops keep working while the queue is full.
+    std::uint8_t version = 0;
+    EXPECT_TRUE(c.ping(version)) << c.lastError();
+
+    // Release the dispatcher: all 8 admitted requests complete Ok.
+    server.debugHoldBatches(false);
+    for (int i = 0; i < 8; ++i) {
+        const auto reply = c.readReply();
+        ASSERT_TRUE(reply) << "reply " << i << ": " << c.lastError();
+        EXPECT_EQ(reply->status, Status::Ok) << "reply " << i;
+    }
+    const StatsReply stats = server.statsSnapshot();
+    EXPECT_GE(stats.busyRejected, 1u);
+    EXPECT_EQ(stats.queueHighWater, 8u);
+    server.drainAndJoin();
+}
+
+TEST(Serve, DrainCompletesAdmittedWorkBeforeClosing)
+{
+    auto server = std::make_unique<Server>(testOptions());
+    server->loadAndPrepare();
+    const std::uint16_t port = server->start();
+    server->debugHoldBatches(true);
+
+    Client c;
+    ASSERT_TRUE(c.connect("127.0.0.1", port)) << c.lastError();
+    EvalRequest req;
+    req.workload = "mem-random";
+    req.config.kind = CoreKind::OOO4;
+    req.mask = 2;
+    WireWriter w;
+    encodeEvalRequest(w, req);
+    constexpr int kQueued = 4;
+    for (int i = 0; i < kQueued; ++i)
+        ASSERT_TRUE(writeRequestFrame(c.fd(), Op::Eval, w.bytes()));
+
+    // Wait until the reader has admitted all four (the held
+    // dispatcher can't drain them), so the drain below provably
+    // starts with a non-empty queue.
+    while (server->statsSnapshot().queueHighWater <
+           std::uint64_t(kQueued))
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // Drain while the requests are still parked in the queue: the
+    // shutdown protocol must answer every admitted request before
+    // closing the connection (the hold is released by stop).
+    server->drainAndJoin();
+    const StatsReply stats = server->statsSnapshot();
+    EXPECT_EQ(stats.evalQueries, unsigned(kQueued));
+    server.reset();
+
+    // The replies were written before the close: all readable now,
+    // then a clean EOF.
+    const std::vector<std::uint8_t> expected = expectedEvalBytes(req);
+    for (int i = 0; i < kQueued; ++i) {
+        const auto reply = c.readReply();
+        ASSERT_TRUE(reply) << "reply " << i << ": " << c.lastError();
+        EXPECT_EQ(reply->status, Status::Ok);
+        EXPECT_EQ(reply->body, expected);
+    }
+    EXPECT_FALSE(c.readReply());
+    EXPECT_EQ(c.lastError(), "connection closed");
+}
+
+// ---------------------------------------------------------------- //
+// Wire primitives (no server needed).
+// ---------------------------------------------------------------- //
+
+TEST(Protocol, ReaderIsBoundsCheckedAndPoisons)
+{
+    const std::uint8_t bytes[] = {1, 2, 3};
+    WireReader r({bytes, sizeof bytes});
+    std::uint32_t v = 0;
+    EXPECT_FALSE(r.u32(v)); // 3 bytes can't yield a u32
+    EXPECT_FALSE(r.ok());
+    std::uint8_t b = 0;
+    EXPECT_FALSE(r.u8(b)); // poisoned: nothing reads after a miss
+    EXPECT_FALSE(r.done());
+}
+
+TEST(Protocol, RequestBodiesRoundTrip)
+{
+    EvalRequest eval;
+    eval.workload = "w";
+    eval.config.parametric = true;
+    eval.config.params = coreParams(CoreKind::OOO4);
+    eval.mask = 9;
+    eval.sched = SchedulerKind::AmdahlTree;
+    eval.areaBudget = 3.25;
+    WireWriter w;
+    encodeEvalRequest(w, eval);
+    WireReader r(w.bytes());
+    EvalRequest back;
+    ASSERT_TRUE(decodeEvalRequest(r, back));
+    EXPECT_EQ(back.workload, eval.workload);
+    EXPECT_TRUE(back.config.parametric);
+    EXPECT_EQ(back.config.params.instWindow,
+              eval.config.params.instWindow);
+    EXPECT_EQ(back.mask, eval.mask);
+    EXPECT_EQ(back.sched, eval.sched);
+    EXPECT_EQ(back.areaBudget, eval.areaBudget);
+}
+
+TEST(Protocol, DecodersRejectTrailingBytes)
+{
+    EvalRequest eval;
+    eval.workload = "w";
+    WireWriter w;
+    encodeEvalRequest(w, eval);
+    std::vector<std::uint8_t> extended{w.bytes().begin(),
+                                       w.bytes().end()};
+    extended.push_back(0); // one trailing byte
+    WireReader r({extended.data(), extended.size()});
+    EvalRequest back;
+    EXPECT_FALSE(decodeEvalRequest(r, back));
+}
+
+TEST(Protocol, DecodersRejectOutOfRangeValues)
+{
+    {
+        // mask >= 16
+        EvalRequest eval;
+        eval.workload = "w";
+        WireWriter w;
+        w.str(eval.workload);
+        w.u8(0); // fixed config
+        w.u8(static_cast<std::uint8_t>(CoreKind::IO2));
+        w.u8(16); // bad mask
+        w.u8(0);
+        w.f64(0);
+        WireReader r(w.bytes());
+        EvalRequest back;
+        EXPECT_FALSE(decodeEvalRequest(r, back));
+    }
+    {
+        // unknown scheduler byte
+        WireWriter w;
+        w.str("w");
+        w.u8(0);
+        w.u8(static_cast<std::uint8_t>(CoreKind::IO2));
+        w.u8(0);
+        w.u8(7); // bad sched
+        w.f64(0);
+        WireReader r(w.bytes());
+        EvalRequest back;
+        EXPECT_FALSE(decodeEvalRequest(r, back));
+    }
+    {
+        // unknown core kind
+        WireWriter w;
+        w.str("w");
+        w.u8(0);
+        w.u8(250); // bad kind
+        w.u8(0);
+        w.u8(0);
+        w.f64(0);
+        WireReader r(w.bytes());
+        EvalRequest back;
+        EXPECT_FALSE(decodeEvalRequest(r, back));
+    }
+}
+
+} // namespace
+} // namespace prism::serve
