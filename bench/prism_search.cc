@@ -425,8 +425,11 @@ selfTestDataset(const std::vector<WorkloadSpec> &specs)
     const std::size_t want =
         2 + specs.size() * search.shardPoints().size();
     expect(rows == want, "one row per (workload, point) + header");
-    expect(text.rfind("# prism-dataset v1\n", 0) == 0,
+    expect(text.rfind("# prism-dataset v2\n", 0) == 0,
            "schema version header present");
+    // v2 carries the static behavior features for every workload.
+    expect(text.find("sb_nsdf_yes") != std::string::npos,
+           "static behavior feature columns present");
 }
 
 /** The RAM memoization tier's counters are live and consistent:

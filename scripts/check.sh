@@ -11,7 +11,9 @@
 #      has watched them run,
 #   4. an optimized build running the lint label (prism_lint over
 #      every shipped workload and BSA transform, the static-analysis
-#      unit tests, and clang-tidy when the host has it) and the
+#      and behavior unit tests, the static-vs-dynamic behavior
+#      differential over the full suite, and clang-tidy when the host
+#      has it) and the
 #      perf-smoke label (streaming self-test, throughput guard vs the
 #      committed baseline, warm-artifact-cache correctness + speedup,
 #      the serve smoke + serve throughput guard vs BENCH_serve.json,
@@ -78,7 +80,7 @@ cmake -B "$perf_build" -S "$repo"
 echo "== build (optimized) =="
 cmake --build "$perf_build" -j "$(nproc)"
 
-echo "== lint (prism_lint + static-analysis tests + clang-tidy) =="
+echo "== lint (prism_lint + behavior differential + clang-tidy) =="
 ctest --test-dir "$perf_build" -L lint --output-on-failure
 
 echo "== perf smoke (throughput guard vs committed baseline) =="

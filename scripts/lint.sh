@@ -23,5 +23,18 @@ if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
 fi
 
 mapfile -t SOURCES < <(git ls-files 'src/*.cc')
+
+# The pathspec above is recursive, so subsystems added later (the
+# src/serve daemon, the src/tdg/search driver, the src/analysis
+# behavior pass) ride along automatically — but guard against a
+# pathspec regression ever silently shrinking the run.
+for must in src/serve/server.cc src/tdg/search.cc \
+            src/analysis/behavior.cc; do
+    if ! printf '%s\n' "${SOURCES[@]}" | grep -qx "$must"; then
+        echo "lint.sh: expected $must in the clang-tidy run" >&2
+        exit 1
+    fi
+done
+
 echo "lint.sh: clang-tidy over ${#SOURCES[@]} sources"
 clang-tidy -p "${BUILD_DIR}" --quiet "${SOURCES[@]}"

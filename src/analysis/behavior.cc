@@ -1,0 +1,998 @@
+#include "analysis/behavior.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "ir/cfg.hh"
+#include "ir/dominators.hh"
+
+namespace prism
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------
+// The abstract evolution lattice. An AbsVal describes how one
+// register's value changes across consecutive completed iterations
+// of a single loop occurrence, at one program point.
+// ---------------------------------------------------------------
+
+struct AbsVal
+{
+    enum Kind : std::uint8_t
+    {
+        Top,         ///< unreached (join identity)
+        Const,       ///< compile-time constant `v` every iteration
+        Step,        ///< changes by exactly `v` per iteration
+        StepUnknown, ///< fixed-but-unknown per-iteration delta
+        Irregular,   ///< no claim
+    };
+
+    Kind kind = Top;
+    std::int64_t v = 0;
+
+    static AbsVal top() { return {Top, 0}; }
+    static AbsVal cst(std::int64_t c) { return {Const, c}; }
+    static AbsVal step(std::int64_t s) { return {Step, s}; }
+    static AbsVal stepUnknown() { return {StepUnknown, 0}; }
+    static AbsVal irregular() { return {Irregular, 0}; }
+
+    bool isConst() const { return kind == Const; }
+    /** Delta is a compile-time constant (Const => 0). */
+    bool knownDelta() const { return kind == Const || kind == Step; }
+    /** Delta is fixed within an occurrence, possibly unknown. */
+    bool fixedDelta() const
+    {
+        return kind == Const || kind == Step || kind == StepUnknown;
+    }
+    /** Value is fixed across iterations of an occurrence. */
+    bool invariant() const
+    {
+        return kind == Const || (kind == Step && v == 0);
+    }
+    std::int64_t delta() const { return kind == Const ? 0 : v; }
+};
+
+// Two's-complement wrapping arithmetic, mirroring the interpreter
+// (and keeping the UBSan leg quiet).
+std::int64_t
+wadd(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                     static_cast<std::uint64_t>(b));
+}
+
+std::int64_t
+wsub(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                     static_cast<std::uint64_t>(b));
+}
+
+std::int64_t
+wmul(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                     static_cast<std::uint64_t>(b));
+}
+
+std::int64_t
+wshl(std::int64_t a, std::int64_t s)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a)
+                                     << (s & 63));
+}
+
+/**
+ * Join of two abstract values at a control-flow merge. Strict on
+ * purpose: two *different* fixed evolutions meeting at a merge can
+ * alternate across iterations, which is not a fixed evolution — only
+ * identical elements survive. (StepUnknown joins with itself, which
+ * is sound because StepUnknown never backs a definite claim.)
+ */
+AbsVal
+join(const AbsVal &a, const AbsVal &b)
+{
+    if (a.kind == AbsVal::Top)
+        return b;
+    if (b.kind == AbsVal::Top)
+        return a;
+    if (a.kind == b.kind &&
+        (a.kind == AbsVal::StepUnknown || a.kind == AbsVal::Irregular ||
+         a.v == b.v)) {
+        return a;
+    }
+    return AbsVal::irregular();
+}
+
+/** Abstract transfer for one value-producing instruction. */
+AbsVal
+transfer(const Instr &in, const std::vector<AbsVal> &state)
+{
+    const auto rd = [&state](RegId r) { return state[r]; };
+
+    switch (in.op) {
+      case Opcode::Movi:
+        return AbsVal::cst(in.imm);
+      case Opcode::Mov:
+        return rd(in.src[0]);
+
+      case Opcode::Add: {
+        const AbsVal a = rd(in.src[0]), b = rd(in.src[1]);
+        if (a.isConst() && b.isConst())
+            return AbsVal::cst(wadd(a.v, b.v));
+        if (a.knownDelta() && b.knownDelta())
+            return AbsVal::step(wadd(a.delta(), b.delta()));
+        if (a.fixedDelta() && b.fixedDelta())
+            return AbsVal::stepUnknown();
+        return AbsVal::irregular();
+      }
+      case Opcode::Sub: {
+        const AbsVal a = rd(in.src[0]), b = rd(in.src[1]);
+        if (a.isConst() && b.isConst())
+            return AbsVal::cst(wsub(a.v, b.v));
+        if (a.knownDelta() && b.knownDelta())
+            return AbsVal::step(wsub(a.delta(), b.delta()));
+        if (a.fixedDelta() && b.fixedDelta())
+            return AbsVal::stepUnknown();
+        return AbsVal::irregular();
+      }
+      case Opcode::Mul: {
+        const AbsVal a = rd(in.src[0]), b = rd(in.src[1]);
+        if (a.isConst() && b.isConst())
+            return AbsVal::cst(wmul(a.v, b.v));
+        // c * affine: the delta scales by the constant.
+        if (a.isConst() && b.knownDelta())
+            return AbsVal::step(wmul(a.v, b.delta()));
+        if (b.isConst() && a.knownDelta())
+            return AbsVal::step(wmul(b.v, a.delta()));
+        if (a.invariant() && b.invariant())
+            return AbsVal::step(0);
+        // invariant * affine: fixed (but unknown) delta per iteration.
+        if (a.invariant() && b.fixedDelta())
+            return AbsVal::stepUnknown();
+        if (b.invariant() && a.fixedDelta())
+            return AbsVal::stepUnknown();
+        return AbsVal::irregular();
+      }
+      case Opcode::Shl: {
+        const AbsVal a = rd(in.src[0]), b = rd(in.src[1]);
+        if (a.isConst() && b.isConst())
+            return AbsVal::cst(wshl(a.v, b.v));
+        if (a.invariant() && b.invariant())
+            return AbsVal::step(0);
+        // (x + d) << c == (x << c) + (d << c) in modular arithmetic.
+        if (b.isConst() && a.knownDelta())
+            return AbsVal::step(wshl(a.delta(), b.v));
+        if (b.invariant() && a.fixedDelta())
+            return AbsVal::stepUnknown();
+        return AbsVal::irregular();
+      }
+
+      case Opcode::Ld:
+      case Opcode::Call:
+        // Loads read mutable memory; calls read memory transitively.
+        return AbsVal::irregular();
+
+      default: {
+        // Every remaining value producer is a pure function of its
+        // register sources: fixed inputs give a fixed output.
+        for (RegId r : in.src) {
+            if (r != kNoReg && !state[r].invariant())
+                return AbsVal::irregular();
+        }
+        return AbsVal::step(0);
+      }
+    }
+}
+
+// Self-update idiom helpers (same rules as the TdgStatics
+// classifier in tdg/builder.cc).
+bool
+isSelfDep(const Instr &in)
+{
+    if (in.dst == kNoReg)
+        return false;
+    for (RegId s : in.src) {
+        if (s != kNoReg && s == in.dst)
+            return true;
+    }
+    return false;
+}
+
+RegId
+otherOperand(const Instr &in)
+{
+    for (RegId s : in.src) {
+        if (s != kNoReg && s != in.dst)
+            return s;
+    }
+    return kNoReg;
+}
+
+/**
+ * Header-in abstract value of a classified induction's register.
+ * Between consecutive header entries the (unique) self-update runs
+ * exactly once, so the register advances by the invariant operand:
+ * a known Movi constant gives Step(+/-c), any other invariant gives
+ * StepUnknown. Shapes the classifier admits but that are not affine
+ * (i = i + i, i = c - i) degrade to Irregular.
+ */
+/**
+ * Known constant value of a loop-invariant register, if provable:
+ * its unique definition in the function is a Movi whose block
+ * dominates the loop header. Dominance guarantees the Movi executed
+ * at least once before any iteration reads the register (every
+ * execution writes the same immediate, so "at least once" suffices),
+ * and uniqueness plus call-frame isolation guarantee nothing else
+ * wrote it since.
+ */
+const Instr *
+uniqueMoviDef(const Program &prog, const Dfg &dfg,
+              const Dominators &dom, const Loop &loop, RegId r)
+{
+    const std::vector<StaticId> &defs = dfg.defsOf(r);
+    if (defs.size() != 1)
+        return nullptr;
+    const Instr &def = prog.instr(defs[0]);
+    if (def.op != Opcode::Movi)
+        return nullptr;
+    const InstrRef &ref = prog.locate(defs[0]);
+    if (loop.containsBlock(ref.block) ||
+        !dom.dominates(ref.block, loop.header)) {
+        return nullptr;
+    }
+    return &def;
+}
+
+AbsVal
+inductionInit(const Program &prog, const Dfg &dfg,
+              const Dominators &dom, const Loop &loop,
+              const Instr &in)
+{
+    const RegId other = otherOperand(in);
+    if (other == kNoReg)
+        return AbsVal::irregular(); // i = i + i: geometric, not affine
+    if (in.op == Opcode::Sub && in.src[0] != in.dst)
+        return AbsVal::irregular(); // i = c - i: alternating
+    if (!dfg.invariantIn(prog, other, loop))
+        return AbsVal::irregular();
+    if (const Instr *def =
+            uniqueMoviDef(prog, dfg, dom, loop, other)) {
+        const std::int64_t c = def->imm;
+        return AbsVal::step(in.op == Opcode::Add ? c : wsub(0, c));
+    }
+    return AbsVal::stepUnknown();
+}
+
+AddrClass
+classify(const AbsVal &v)
+{
+    switch (v.kind) {
+      case AbsVal::Const:
+        return AddrClass::Constant;
+      case AbsVal::Step:
+        return v.v == 0 ? AddrClass::Invariant : AddrClass::AffineConst;
+      case AbsVal::StepUnknown:
+        return AddrClass::AffineUnknown;
+      default:
+        return AddrClass::Irregular;
+    }
+}
+
+std::size_t
+bsaIndex(BsaKind b)
+{
+    return static_cast<std::size_t>(b);
+}
+
+Diag
+loopDiag(const char *check, const LoopBehavior &lb, std::string msg,
+         Diag::Severity sev)
+{
+    Diag d;
+    d.severity = sev;
+    d.check = check;
+    d.loop = lb.loopId;
+    d.func = lb.func;
+    d.message = std::move(msg);
+    return d;
+}
+
+} // namespace
+
+const char *
+addrClassName(AddrClass c)
+{
+    switch (c) {
+      case AddrClass::Constant: return "constant";
+      case AddrClass::Invariant: return "invariant";
+      case AddrClass::AffineConst: return "affine";
+      case AddrClass::AffineUnknown: return "affine-unknown";
+      case AddrClass::Irregular: return "irregular";
+    }
+    return "?";
+}
+
+const char *
+applicabilityName(Applicability a)
+{
+    switch (a) {
+      case Applicability::No: return "no";
+      case Applicability::Unknown: return "unknown";
+      case Applicability::Yes: return "yes";
+    }
+    return "?";
+}
+
+BehaviorAnalysis::BehaviorAnalysis(const TdgStatics &statics)
+    : statics_(&statics)
+{
+    const Program &prog = statics.program();
+    loops_.resize(statics.forest.numLoops());
+
+    // One Cfg + Dominators per function, built lazily (same pattern
+    // as the TdgStatics constructor).
+    std::vector<std::unique_ptr<Cfg>> cfgs(prog.functions().size());
+    std::vector<std::unique_ptr<Dominators>> doms(
+        prog.functions().size());
+    for (const Loop &loop : statics.forest.loops()) {
+        if (!cfgs[loop.func]) {
+            cfgs[loop.func] = std::make_unique<Cfg>(
+                Cfg::reconstruct(prog, loop.func));
+            doms[loop.func] = std::make_unique<Dominators>(
+                Dominators::compute(*cfgs[loop.func]));
+        }
+        analyzeLoop(loop, *cfgs[loop.func], *doms[loop.func]);
+    }
+}
+
+void
+BehaviorAnalysis::analyzeLoop(const Loop &loop, const Cfg &cfg,
+                              const Dominators &dom)
+{
+    const Program &prog = statics_->program();
+    const Function &fn = prog.function(loop.func);
+    const Dfg &dfg = statics_->dfgs.at(loop.func);
+
+    LoopBehavior &lb = loops_[loop.id];
+    lb.loopId = loop.id;
+    lb.func = loop.func;
+    lb.innermost = loop.innermost;
+    lb.containsCall = loop.containsCall;
+    lb.staticInsts = loop.numStaticInstrs;
+    lb.numBlocks = static_cast<std::uint32_t>(loop.blocks.size());
+    lb.numInductions = static_cast<std::uint32_t>(
+        statics_->inductions[loop.id].size());
+    lb.numReductions = static_cast<std::uint32_t>(
+        statics_->reductions[loop.id].size());
+
+    // Per-block "executes exactly once per completed iteration":
+    // the block dominates every latch (every header->latch path
+    // passes it; an innermost body has no internal cycle, so it
+    // cannot pass twice).
+    std::vector<std::int32_t> body =
+        loop.blocks; // sorted; re-sorted into RPO below
+    std::sort(body.begin(), body.end(),
+              [&cfg](std::int32_t a, std::int32_t b) {
+                  return cfg.rpoIndex(a) < cfg.rpoIndex(b);
+              });
+    auto inBody = [&loop](std::int32_t b) {
+        return loop.containsBlock(b);
+    };
+    std::vector<bool> everyIter(fn.blocks.size(), false);
+    lb.straightLine = true;
+    for (std::int32_t b : body) {
+        bool every = true;
+        for (std::int32_t latch : loop.latches)
+            every &= dom.dominates(b, latch);
+        everyIter[b] = every;
+        lb.straightLine &= every;
+    }
+
+    // Control axis: conditional branches, Ball-Larus path count, and
+    // longest/shortest acyclic paths over the body DAG (back edges to
+    // the header and loop exits terminate a path).
+    for (std::int32_t b : body) {
+        const Instr *term = fn.blocks[b].terminator();
+        if (term != nullptr && opInfo(term->op).isCondBranch)
+            ++lb.numCondBranches;
+    }
+    if (loop.innermost && statics_->dags[loop.id])
+        lb.staticPaths = statics_->dags[loop.id]->numPaths();
+
+    {
+        constexpr std::uint64_t kInf =
+            std::numeric_limits<std::uint64_t>::max();
+        std::vector<std::uint64_t> minIn(fn.blocks.size(), kInf);
+        std::vector<std::uint64_t> maxIn(fn.blocks.size(), 0);
+        std::vector<std::uint32_t> condIn(fn.blocks.size(), 0);
+        std::vector<bool> reached(fn.blocks.size(), false);
+        const auto blockInsts = [&fn](std::int32_t b) {
+            return static_cast<std::uint64_t>(
+                fn.blocks[b].instrs.size());
+        };
+        const auto blockCond = [&fn](std::int32_t b) {
+            const Instr *t = fn.blocks[b].terminator();
+            return (t != nullptr && opInfo(t->op).isCondBranch) ? 1u
+                                                                : 0u;
+        };
+        minIn[loop.header] = blockInsts(loop.header);
+        maxIn[loop.header] = blockInsts(loop.header);
+        condIn[loop.header] = blockCond(loop.header);
+        reached[loop.header] = true;
+
+        std::uint64_t minPath = kInf, maxPath = 0;
+        std::uint32_t height = 0;
+        for (std::int32_t b : body) {
+            if (!reached[b])
+                continue; // conservatively unreachable inside the body
+            bool terminal = false;
+            for (std::int32_t succ : cfg.node(b).succs) {
+                if (succ == loop.header || !inBody(succ)) {
+                    terminal = true; // back edge or loop exit
+                    continue;
+                }
+                // A retreating in-body edge would mean a nested cycle
+                // (then this loop is not innermost and the DP is only
+                // descriptive anyway); RPO order makes forward edges
+                // process correctly.
+                minIn[succ] = std::min(minIn[succ],
+                                       minIn[b] + blockInsts(succ));
+                maxIn[succ] = std::max(maxIn[succ],
+                                       maxIn[b] + blockInsts(succ));
+                condIn[succ] = std::max(condIn[succ],
+                                        condIn[b] + blockCond(succ));
+                reached[succ] = true;
+            }
+            if (terminal) {
+                minPath = std::min(minPath, minIn[b]);
+                maxPath = std::max(maxPath, maxIn[b]);
+                height = std::max(height, condIn[b]);
+            }
+        }
+        if (minPath != kInf) {
+            lb.minPathInsts = static_cast<std::uint32_t>(minPath);
+            lb.maxPathInsts = static_cast<std::uint32_t>(maxPath);
+        }
+        lb.controlHeight = height;
+    }
+
+    // Dataflow axis: a latency-weighted critical path through one
+    // iteration's def-use chains (path-insensitive estimate; carried
+    // idioms excluded, as a vectorized/pipelined execution would
+    // rename them).
+    if (loop.innermost) {
+        std::vector<std::uint32_t> ready(fn.numRegs, 0);
+        std::uint64_t latSum = 0;
+        std::uint32_t crit = 0;
+        for (std::int32_t b : body) {
+            for (const Instr &in : fn.blocks[b].instrs) {
+                const OpInfo &oi = opInfo(in.op);
+                std::uint32_t start = 0;
+                for (RegId r : in.src) {
+                    if (r != kNoReg)
+                        start = std::max(start, ready[r]);
+                }
+                const std::uint32_t done = start + oi.latency;
+                latSum += oi.latency;
+                crit = std::max(crit, done);
+                if (in.dst != kNoReg)
+                    ready[in.dst] = std::max(ready[in.dst], done);
+            }
+        }
+        lb.critPathLatency = crit;
+        lb.ilpBound = crit > 0 ? static_cast<double>(latSum) /
+                                     static_cast<double>(crit)
+                               : 0.0;
+    }
+
+    // Memory axis: abstract evolution of every address expression.
+    // Loop-carried registers are initialized pessimistically — only
+    // classified inductions with a unique in-loop definition carry a
+    // step; every other in-loop-defined register starts Irregular —
+    // so a single forward pass over the acyclic body is sound (no
+    // optimistic fixpoint to converge to a self-justifying claim).
+    if (loop.innermost) {
+        std::vector<std::uint32_t> defCount(fn.numRegs, 0);
+        for (std::int32_t b : body) {
+            for (const Instr &in : fn.blocks[b].instrs) {
+                if (in.dst != kNoReg)
+                    ++defCount[in.dst];
+            }
+        }
+        std::vector<AbsVal> init(fn.numRegs, AbsVal::step(0));
+        for (RegId r = 0; r < fn.numRegs; ++r) {
+            if (defCount[r] != 0) {
+                init[r] = AbsVal::irregular();
+            } else if (const Instr *def =
+                           uniqueMoviDef(prog, dfg, dom, loop, r)) {
+                init[r] = AbsVal::cst(def->imm);
+            }
+        }
+        for (StaticId sid : statics_->inductions[loop.id]) {
+            const Instr &in = prog.instr(sid);
+            if (defCount[in.dst] == 1)
+                init[in.dst] = inductionInit(prog, dfg, dom, loop, in);
+        }
+
+        // Block in-states: join of processed in-body predecessors;
+        // the header's in-state is the (fixed) initialization.
+        std::vector<std::vector<AbsVal>> outState(fn.blocks.size());
+        std::vector<bool> processed(fn.blocks.size(), false);
+        const std::vector<AbsVal> allIrregular(fn.numRegs,
+                                               AbsVal::irregular());
+        for (std::int32_t b : body) {
+            std::vector<AbsVal> state;
+            if (b == loop.header) {
+                state = init;
+            } else {
+                state.assign(fn.numRegs, AbsVal::top());
+                for (std::int32_t pred : cfg.node(b).preds) {
+                    const std::vector<AbsVal> &ps =
+                        (inBody(pred) && processed[pred])
+                            ? outState[pred]
+                            : allIrregular;
+                    for (RegId r = 0; r < fn.numRegs; ++r)
+                        state[r] = join(state[r], ps[r]);
+                }
+            }
+            for (const Instr &in : fn.blocks[b].instrs) {
+                const OpInfo &oi = opInfo(in.op);
+                if (oi.isLoad || oi.isStore) {
+                    StaticAccess acc;
+                    acc.sid = in.sid;
+                    acc.block = b;
+                    acc.isLoad = oi.isLoad;
+                    acc.memSize = in.memSize;
+                    const AbsVal base = state[in.src[0]];
+                    acc.cls = classify(base);
+                    if (base.knownDelta())
+                        acc.stride = base.delta();
+                    acc.everyIteration = everyIter[b];
+                    acc.definite = acc.everyIteration &&
+                                   !loop.containsCall &&
+                                   acc.cls != AddrClass::AffineUnknown &&
+                                   acc.cls != AddrClass::Irregular;
+                    lb.accesses.push_back(acc);
+                }
+                if (in.dst != kNoReg)
+                    state[in.dst] = transfer(in, state);
+            }
+            outState[b] = std::move(state);
+            processed[b] = true;
+        }
+        for (const StaticAccess &a : lb.accesses) {
+            switch (a.cls) {
+              case AddrClass::Constant: ++lb.numConstant; break;
+              case AddrClass::Invariant: ++lb.numInvariant; break;
+              case AddrClass::AffineConst: ++lb.numAffineConst; break;
+              case AddrClass::AffineUnknown:
+                ++lb.numAffineUnknown;
+                break;
+              case AddrClass::Irregular: ++lb.numIrregular; break;
+            }
+        }
+    }
+
+    // Recurrence axis: a self-update that provably executes every
+    // iteration, is the register's only in-loop definition, and
+    // matches no vectorizable idiom. Any trace where some occurrence
+    // completes two iterations observes it as a carried non-idiom
+    // dependence, so (call-free) SIMD/DP-CGRA legality cannot hold:
+    // either the trip count is below the vector length or the
+    // recurrence disqualifies the dependence check.
+    {
+        std::vector<std::uint32_t> defCount(fn.numRegs, 0);
+        for (std::int32_t b : body) {
+            for (const Instr &in : fn.blocks[b].instrs) {
+                if (in.dst != kNoReg)
+                    ++defCount[in.dst];
+            }
+        }
+        const auto classified = [this, &loop](StaticId sid) {
+            const auto &ind = statics_->inductions[loop.id];
+            const auto &red = statics_->reductions[loop.id];
+            return std::find(ind.begin(), ind.end(), sid) !=
+                       ind.end() ||
+                   std::find(red.begin(), red.end(), sid) != red.end();
+        };
+        for (std::int32_t b : body) {
+            if (!everyIter[b])
+                continue;
+            for (const Instr &in : fn.blocks[b].instrs) {
+                if (isSelfDep(in) && defCount[in.dst] == 1 &&
+                    !classified(in.sid)) {
+                    lb.certainRecurrence = true;
+                }
+            }
+        }
+    }
+
+    // Separability axis: the DP-CGRA access/compute slicing,
+    // re-derived from the IR alone. This mirrors
+    // TdgAnalyzer::analyzeCgra exactly — the dynamic analyzer's
+    // dependence profile copies its induction set from TdgStatics, so
+    // the static slice is identical by construction.
+    if (loop.innermost) {
+        std::set<StaticId> access_set;
+        std::vector<StaticId> work;
+        auto push_defs = [&](RegId r) {
+            if (r == kNoReg)
+                return;
+            for (StaticId def : dfg.defsOf(r)) {
+                const InstrRef &dref = prog.locate(def);
+                if (dref.func == loop.func &&
+                    loop.containsBlock(dref.block)) {
+                    work.push_back(def);
+                }
+            }
+        };
+        for (std::int32_t b : loop.blocks) {
+            for (const Instr &in : fn.blocks[b].instrs) {
+                const OpInfo &oi = opInfo(in.op);
+                if (oi.isLoad || oi.isStore) {
+                    access_set.insert(in.sid);
+                    push_defs(in.src[0]); // address base only
+                } else if (oi.isBranch) {
+                    access_set.insert(in.sid);
+                    push_defs(in.src[0]); // condition (if any)
+                }
+            }
+        }
+        for (StaticId s : statics_->inductions[loop.id])
+            work.push_back(s);
+        while (!work.empty()) {
+            const StaticId sid = work.back();
+            work.pop_back();
+            if (!access_set.insert(sid).second)
+                continue;
+            const Instr &in = prog.instr(sid);
+            for (RegId r : in.src)
+                push_defs(r);
+        }
+
+        std::set<StaticId> compute_set;
+        for (std::int32_t b : loop.blocks) {
+            for (const Instr &in : fn.blocks[b].instrs) {
+                if (!access_set.count(in.sid))
+                    compute_set.insert(in.sid);
+            }
+        }
+        std::set<StaticId> send_srcs, recv_srcs;
+        for (std::int32_t b : loop.blocks) {
+            for (const Instr &in : fn.blocks[b].instrs) {
+                const bool in_compute =
+                    compute_set.count(in.sid) != 0;
+                for (RegId r : in.src) {
+                    if (r == kNoReg)
+                        continue;
+                    for (StaticId def : dfg.defsOf(r)) {
+                        const InstrRef &dref = prog.locate(def);
+                        if (dref.func != loop.func ||
+                            !loop.containsBlock(dref.block)) {
+                            continue;
+                        }
+                        const bool def_compute =
+                            compute_set.count(def) != 0;
+                        if (in_compute && !def_compute)
+                            send_srcs.insert(def);
+                        else if (!in_compute && def_compute)
+                            recv_srcs.insert(def);
+                    }
+                }
+            }
+        }
+        lb.computeSliceSize =
+            static_cast<std::uint32_t>(compute_set.size());
+        lb.accessSliceSize =
+            static_cast<std::uint32_t>(access_set.size());
+        lb.sendCount = static_cast<std::uint32_t>(send_srcs.size());
+        lb.recvCount = static_cast<std::uint32_t>(recv_srcs.size());
+        lb.computeFraction =
+            loop.numStaticInstrs > 0
+                ? static_cast<double>(compute_set.size()) /
+                      static_cast<double>(loop.numStaticInstrs)
+                : 0.0;
+    }
+
+    // ---- Verdicts. Definite claims only where any trace must agree.
+    const auto set = [&lb](BsaKind b, Applicability a,
+                           const char *why) {
+        lb.verdict[bsaIndex(b)] = a;
+        lb.verdictWhy[bsaIndex(b)] = why;
+    };
+
+    // NS-DF legality is purely static: call-free nest within 256
+    // compound instructions. Exact Yes/No, never Unknown.
+    if (loop.containsCall) {
+        set(BsaKind::Nsdf, Applicability::No,
+            "not fully inlinable (calls)");
+    } else if (loop.numStaticInstrs > 256) {
+        set(BsaKind::Nsdf, Applicability::No,
+            "exceeds 256 static compound instructions");
+    } else {
+        set(BsaKind::Nsdf, Applicability::Yes,
+            "call-free nest within the configuration bound");
+    }
+
+    // SIMD: dynamic facts (trip count, carried memory dependences,
+    // if-conversion profitability) keep the positive side Unknown.
+    if (!loop.innermost) {
+        set(BsaKind::Simd, Applicability::No, "not innermost");
+    } else if (loop.containsCall) {
+        set(BsaKind::Simd, Applicability::No, "contains call");
+    } else if (lb.certainRecurrence) {
+        set(BsaKind::Simd, Applicability::No,
+            "statically-certain non-idiom recurrence");
+    } else {
+        set(BsaKind::Simd, Applicability::Unknown,
+            "trip count, memory dependences and profitability are "
+            "dynamic");
+    }
+
+    // DP-CGRA: the slice shape adds two further static rejections.
+    if (!loop.innermost) {
+        set(BsaKind::DpCgra, Applicability::No, "not innermost");
+    } else if (loop.containsCall) {
+        set(BsaKind::DpCgra, Applicability::No, "contains call");
+    } else if (lb.certainRecurrence) {
+        set(BsaKind::DpCgra, Applicability::No,
+            "statically-certain non-idiom recurrence");
+    } else if (lb.computeSliceSize < 2) {
+        set(BsaKind::DpCgra, Applicability::No,
+            "no separable computation");
+    } else if (lb.sendCount + lb.recvCount > lb.computeSliceSize) {
+        set(BsaKind::DpCgra, Applicability::No,
+            "more communication than computation");
+    } else {
+        set(BsaKind::DpCgra, Applicability::Unknown,
+            "trip count and memory dependences are dynamic");
+    }
+
+    // Trace-P: if even the shortest acyclic body path overflows the
+    // 128-instruction trace, every hot path must.
+    if (!loop.innermost) {
+        set(BsaKind::Tracep, Applicability::No, "not an inner loop");
+    } else if (loop.containsCall) {
+        set(BsaKind::Tracep, Applicability::No, "contains call");
+    } else if (lb.minPathInsts > 128) {
+        set(BsaKind::Tracep, Applicability::No,
+            "shortest acyclic path exceeds the trace configuration");
+    } else {
+        set(BsaKind::Tracep, Applicability::Unknown,
+            "path distribution is dynamic");
+    }
+}
+
+std::vector<Diag>
+behaviorPredictions(const BehaviorAnalysis &ba)
+{
+    std::vector<Diag> out;
+    static const std::array<const char *, kAllBsas.size()> kChecks = {
+        "behavior-simd", "behavior-cgra", "behavior-nsdf",
+        "behavior-tracep"};
+    for (const LoopBehavior &lb : ba.loops()) {
+        if (lb.loopId < 0)
+            continue;
+        for (BsaKind b : kAllBsas) {
+            const Applicability a = lb.verdictFor(b);
+            std::string msg = "static verdict ";
+            msg += applicabilityName(a);
+            msg += ": ";
+            msg += lb.whyFor(b);
+            out.push_back(loopDiag(kChecks[bsaIndex(b)], lb,
+                                   std::move(msg),
+                                   Diag::Severity::Warning));
+        }
+    }
+    return out;
+}
+
+std::vector<Diag>
+behaviorDifferential(const Tdg &tdg, const TdgAnalyzer &analyzer,
+                     const BehaviorAnalysis &ba)
+{
+    std::vector<Diag> out;
+
+    for (const LoopBehavior &lb : ba.loops()) {
+        if (lb.loopId < 0)
+            continue;
+
+        for (BsaKind b : kAllBsas) {
+            const Applicability a = lb.verdictFor(b);
+            const bool usable = analyzer.usable(b, lb.loopId);
+            if (a == Applicability::Yes && !usable) {
+                out.push_back(loopDiag(
+                    "behavior-verdict", lb,
+                    std::string("static definitely-applicable but "
+                                "dynamic rejects ") +
+                        bsaName(b) + " (" + lb.whyFor(b) + ")",
+                    Diag::Severity::Error));
+            } else if (a == Applicability::No && usable) {
+                out.push_back(loopDiag(
+                    "behavior-verdict", lb,
+                    std::string("static definitely-inapplicable but "
+                                "dynamic accepts ") +
+                        bsaName(b) + " (" + lb.whyFor(b) + ")",
+                    Diag::Severity::Error));
+            }
+        }
+
+        const LoopMemProfile &mem = tdg.memProfile(lb.loopId);
+        for (const StaticAccess &acc : lb.accesses) {
+            if (!acc.definite)
+                continue;
+            const MemAccessPattern *p = mem.find(acc.sid);
+            if (p == nullptr || !p->strideSet)
+                continue; // no occurrence measured a stride
+            if (!p->strideKnown || p->stride != acc.stride) {
+                std::ostringstream msg;
+                msg << "static " << addrClassName(acc.cls)
+                    << " stride " << acc.stride << " but dynamic "
+                    << (p->strideKnown
+                            ? "stride " + std::to_string(p->stride)
+                            : std::string("stride is inconsistent"))
+                    << " (sid " << acc.sid << ")";
+                Diag d = loopDiag("behavior-stride", lb, msg.str(),
+                                  Diag::Severity::Error);
+                d.block = acc.block;
+                out.push_back(d);
+            }
+        }
+    }
+    return out;
+}
+
+BehaviorSummary
+summarizeBehavior(const BehaviorAnalysis &ba)
+{
+    BehaviorSummary s;
+    std::uint64_t accesses = 0, definite = 0, irregular = 0;
+    double ilp = 0, height = 0, paths = 0, compute = 0;
+    for (const LoopBehavior &lb : ba.loops()) {
+        if (lb.loopId < 0)
+            continue;
+        ++s.loops;
+        if (lb.verdictFor(BsaKind::Nsdf) == Applicability::Yes)
+            ++s.nsdfYes;
+        if (lb.verdictFor(BsaKind::Simd) == Applicability::No)
+            ++s.simdNo;
+        if (lb.verdictFor(BsaKind::DpCgra) == Applicability::No)
+            ++s.cgraNo;
+        if (lb.verdictFor(BsaKind::Tracep) == Applicability::No)
+            ++s.tracepNo;
+        if (!lb.innermost)
+            continue;
+        ++s.innermostLoops;
+        ilp += lb.ilpBound;
+        height += lb.controlHeight;
+        paths += lb.staticPaths > 0
+                     ? std::log2(static_cast<double>(lb.staticPaths))
+                     : 0.0;
+        compute += lb.computeFraction;
+        accesses += lb.accesses.size();
+        definite += lb.numConstant + lb.numInvariant +
+                    lb.numAffineConst;
+        irregular += lb.numIrregular;
+    }
+    if (s.innermostLoops > 0) {
+        const double n = static_cast<double>(s.innermostLoops);
+        s.avgIlpBound = ilp / n;
+        s.avgControlHeight = height / n;
+        s.avgPathsLog2 = paths / n;
+        s.avgComputeFraction = compute / n;
+    }
+    if (accesses > 0) {
+        s.affineFraction = static_cast<double>(definite) /
+                           static_cast<double>(accesses);
+        s.irregularFraction = static_cast<double>(irregular) /
+                              static_cast<double>(accesses);
+    }
+    return s;
+}
+
+void
+writeBehaviorCsv(const BehaviorAnalysis &ba,
+                 const std::string &workload, bool header,
+                 std::ostream &os)
+{
+    if (header) {
+        os << "workload,loop,func,innermost,contains_call,"
+              "straight_line,static_insts,blocks,cond_branches,"
+              "static_paths,control_height,min_path_insts,"
+              "max_path_insts,crit_path_latency,ilp_bound,accesses,"
+              "affine_const,affine_unknown,invariant,constant,"
+              "irregular,compute_slice,access_slice,send,recv,"
+              "compute_fraction,inductions,reductions,"
+              "certain_recurrence,simd,cgra,nsdf,tracep\n";
+    }
+    char buf[64];
+    const auto f4 = [&buf](double v) {
+        std::snprintf(buf, sizeof(buf), "%.4f", v);
+        return std::string(buf);
+    };
+    for (const LoopBehavior &lb : ba.loops()) {
+        if (lb.loopId < 0)
+            continue;
+        os << workload << ',' << lb.loopId << ',' << lb.func << ','
+           << (lb.innermost ? 1 : 0) << ','
+           << (lb.containsCall ? 1 : 0) << ','
+           << (lb.straightLine ? 1 : 0) << ',' << lb.staticInsts
+           << ',' << lb.numBlocks << ',' << lb.numCondBranches << ','
+           << lb.staticPaths << ',' << lb.controlHeight << ','
+           << lb.minPathInsts << ',' << lb.maxPathInsts << ','
+           << lb.critPathLatency << ',' << f4(lb.ilpBound) << ','
+           << lb.accesses.size() << ',' << lb.numAffineConst << ','
+           << lb.numAffineUnknown << ',' << lb.numInvariant << ','
+           << lb.numConstant << ',' << lb.numIrregular << ','
+           << lb.computeSliceSize << ',' << lb.accessSliceSize << ','
+           << lb.sendCount << ',' << lb.recvCount << ','
+           << f4(lb.computeFraction) << ',' << lb.numInductions
+           << ',' << lb.numReductions << ','
+           << (lb.certainRecurrence ? 1 : 0);
+        for (BsaKind b : kAllBsas)
+            os << ',' << applicabilityName(lb.verdictFor(b));
+        os << '\n';
+    }
+}
+
+std::string
+renderBehaviorReport(const BehaviorAnalysis &ba)
+{
+    std::ostringstream os;
+    for (const LoopBehavior &lb : ba.loops()) {
+        if (lb.loopId < 0)
+            continue;
+        const Function &fn = ba.program().function(lb.func);
+        os << "  loop " << lb.loopId << " (" << fn.name << ", "
+           << lb.staticInsts << " insts, " << lb.numBlocks
+           << " blocks" << (lb.innermost ? ", innermost" : "")
+           << (lb.containsCall ? ", calls" : "") << ")\n";
+        os << "    control: " << lb.numCondBranches << " cond br, "
+           << lb.staticPaths << " paths, height "
+           << lb.controlHeight << ", path insts ["
+           << lb.minPathInsts << ", " << lb.maxPathInsts << "]\n";
+        if (lb.innermost) {
+            char ilp[32];
+            std::snprintf(ilp, sizeof(ilp), "%.2f", lb.ilpBound);
+            os << "    dataflow: ilp bound " << ilp
+               << " (crit path " << lb.critPathLatency << ")\n";
+            os << "    memory: " << lb.accesses.size()
+               << " accesses (affine " << lb.numAffineConst
+               << ", affine-unknown " << lb.numAffineUnknown
+               << ", invariant " << lb.numInvariant << ", constant "
+               << lb.numConstant << ", irregular " << lb.numIrregular
+               << ")\n";
+            char cf[32];
+            std::snprintf(cf, sizeof(cf), "%.2f",
+                          lb.computeFraction);
+            os << "    separability: compute " << lb.computeSliceSize
+               << " / access " << lb.accessSliceSize << " (send "
+               << lb.sendCount << ", recv " << lb.recvCount
+               << ", compute fraction " << cf << ")\n";
+            os << "    recurrences: " << lb.numInductions
+               << " inductions, " << lb.numReductions
+               << " reductions"
+               << (lb.certainRecurrence
+                       ? ", certain non-idiom recurrence"
+                       : "")
+               << "\n";
+        }
+        os << "    verdicts:";
+        for (BsaKind b : kAllBsas) {
+            os << ' ' << bsaName(b) << '='
+               << applicabilityName(lb.verdictFor(b));
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace prism

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Static behavior-space analysis: derive the paper's BSA-profitability
+ * axes from the guest Program alone — no trace required.
+ *
+ * The dynamic pipeline (TdgBuilder -> TdgAnalyzer) observes behaviors:
+ * memory strides, path frequencies, carried dependences. This pass
+ * *predicts* them per loop from the IR, giving every loop a coordinate
+ * in behavior space (control, memory regularity, ILP, separability,
+ * recurrences) plus a three-valued applicability verdict per BSA.
+ *
+ * Soundness contract (enforced by behaviorDifferential and the
+ * `behavior_differential` ctest): a *definite* static verdict never
+ * contradicts the dynamic classification —
+ *
+ *  - Yes  => TdgAnalyzer::usable() is true on every trace;
+ *  - No   => usable() is false on every trace;
+ *  - Unknown makes no claim (profitability and trip counts are
+ *    dynamic facts; the analyzer is never forced to guess).
+ *
+ * Only NS-DF admits a static Yes: its legality predicate (call-free
+ * nest within the 256-compound-instruction bound) is purely static.
+ * SIMD/DP-CGRA/Trace-P verdicts are No or Unknown, derived from facts
+ * that force a dynamic rejection on *any* trace: nesting, calls, a
+ * statically-certain non-idiom recurrence, a compute slice too small
+ * (or out-communicated) for the fabric, or a body whose *shortest*
+ * acyclic path already overflows the trace-cache configuration.
+ *
+ * Address-stride claims use a small abstract-evolution lattice per
+ * register (see AbsVal in behavior.cc):
+ *
+ *      Top  >  Const(c) , Step(s) , StepUnknown  >  Irregular
+ *
+ * Step(s) at a program point means "across consecutive completed
+ * iterations of one occurrence, the value at this point changes by
+ * exactly s"; loop-carried registers are initialized pessimistically
+ * (classified inductions pinned to their step, everything else
+ * Irregular), so the one-pass forward evaluation over the acyclic
+ * loop body never trusts an optimistic fixpoint.
+ */
+
+#ifndef PRISM_ANALYSIS_BEHAVIOR_HH
+#define PRISM_ANALYSIS_BEHAVIOR_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "energy/area_model.hh"
+#include "prog/verifier.hh"
+#include "tdg/analyzer.hh"
+#include "tdg/builder.hh"
+
+namespace prism
+{
+
+/** Static classification of one memory access's address evolution. */
+enum class AddrClass : std::uint8_t
+{
+    Constant,      ///< compile-time-constant address
+    Invariant,     ///< loop-invariant address (value unknown)
+    AffineConst,   ///< affine in the IV, stride known at compile time
+    AffineUnknown, ///< affine in the IV, stride invariant but unknown
+    Irregular,     ///< data-dependent (pointer chasing, gathers, ...)
+};
+
+/** Three-valued static applicability verdict (No < Unknown < Yes). */
+enum class Applicability : std::uint8_t { No, Unknown, Yes };
+
+const char *addrClassName(AddrClass c);
+const char *applicabilityName(Applicability a);
+
+/** Static view of one Ld/St inside a loop body. */
+struct StaticAccess
+{
+    StaticId sid = kNoStatic;
+    std::int32_t block = -1;
+    bool isLoad = false;
+    std::uint8_t memSize = 0;
+    AddrClass cls = AddrClass::Irregular;
+    std::int64_t stride = 0;  ///< valid for Constant/Invariant/AffineConst
+    bool everyIteration = false; ///< block dominates all latches
+
+    /**
+     * True when the stride claim is a checkable guarantee: the class
+     * is definite (not AffineUnknown/Irregular), the access executes
+     * exactly once per completed iteration, and the loop is an
+     * innermost call-free region (so no foreign frame can interleave
+     * executions of this static instruction within an occurrence).
+     */
+    bool definite = false;
+};
+
+/** The static behavior coordinates of one loop. */
+struct LoopBehavior
+{
+    std::int32_t loopId = -1;
+    std::int32_t func = -1;
+    bool innermost = false;
+    bool containsCall = false;
+    bool straightLine = false; ///< all body blocks on every iteration
+
+    // Control axis.
+    std::uint32_t staticInsts = 0;
+    std::uint32_t numBlocks = 0;
+    std::uint32_t numCondBranches = 0;
+    std::uint64_t staticPaths = 0;  ///< Ball-Larus path count (innermost)
+    std::uint32_t controlHeight = 0; ///< max cond branches on one path
+    std::uint32_t minPathInsts = 0;  ///< shortest acyclic body path
+    std::uint32_t maxPathInsts = 0;  ///< longest acyclic body path
+
+    // Dataflow axis (innermost only).
+    std::uint32_t critPathLatency = 0; ///< latency-weighted critical path
+    double ilpBound = 0;               ///< body latency / critical path
+
+    // Memory axis (innermost only).
+    std::vector<StaticAccess> accesses;
+    std::uint32_t numConstant = 0;
+    std::uint32_t numInvariant = 0;
+    std::uint32_t numAffineConst = 0;
+    std::uint32_t numAffineUnknown = 0;
+    std::uint32_t numIrregular = 0;
+
+    // Separability axis (innermost only; mirrors the DP-CGRA slicer).
+    std::uint32_t computeSliceSize = 0;
+    std::uint32_t accessSliceSize = 0;
+    std::uint32_t sendCount = 0;
+    std::uint32_t recvCount = 0;
+    double computeFraction = 0; ///< compute insts / body insts
+
+    // Recurrence axis.
+    std::uint32_t numInductions = 0;
+    std::uint32_t numReductions = 0;
+    /** A self-dependent update that is provably executed every
+     *  iteration yet matches no vectorizable idiom: any trace with
+     *  >= 2 iterations observes it as a disqualifying recurrence. */
+    bool certainRecurrence = false;
+
+    // Verdicts, indexed by static_cast<size_t>(BsaKind).
+    std::array<Applicability, kAllBsas.size()> verdict{};
+    std::array<const char *, kAllBsas.size()> verdictWhy{};
+
+    Applicability verdictFor(BsaKind b) const
+    {
+        return verdict[static_cast<std::size_t>(b)];
+    }
+    const char *whyFor(BsaKind b) const
+    {
+        return verdictWhy[static_cast<std::size_t>(b)];
+    }
+};
+
+/** Aggregate static behavior features of one workload program. */
+struct BehaviorSummary
+{
+    std::uint32_t loops = 0;
+    std::uint32_t innermostLoops = 0;
+    std::uint32_t nsdfYes = 0;
+    std::uint32_t simdNo = 0;
+    std::uint32_t cgraNo = 0;
+    std::uint32_t tracepNo = 0;
+    double avgIlpBound = 0;       ///< mean over innermost loops
+    double avgControlHeight = 0;  ///< mean over innermost loops
+    double avgPathsLog2 = 0;      ///< mean log2(static paths)
+    double affineFraction = 0;    ///< definite-stride accesses / all
+    double irregularFraction = 0; ///< irregular accesses / all
+    double avgComputeFraction = 0;
+};
+
+/**
+ * Runs the static behavior derivation over every loop of a program.
+ * Construct from TdgStatics (shared with the dynamic builder so the
+ * induction/reduction classification is identical by construction).
+ */
+class BehaviorAnalysis
+{
+  public:
+    explicit BehaviorAnalysis(const TdgStatics &statics);
+
+    const std::vector<LoopBehavior> &loops() const { return loops_; }
+    const LoopBehavior &loop(std::int32_t id) const
+    {
+        return loops_.at(id);
+    }
+    const TdgStatics &statics() const { return *statics_; }
+    const Program &program() const { return statics_->program(); }
+
+  private:
+    void analyzeLoop(const Loop &loop, const Cfg &cfg,
+                     const Dominators &dom);
+
+    const TdgStatics *statics_;
+    std::vector<LoopBehavior> loops_; ///< indexed by loop id
+};
+
+/**
+ * Per-(loop, BSA) applicability predictions as structured warnings
+ * (check "behavior-<bsa>"), one per loop and BSA, mirroring the
+ * dynamic checks of tdg_verify. Never error-severity: predictions are
+ * descriptions, not defects.
+ */
+std::vector<Diag> behaviorPredictions(const BehaviorAnalysis &ba);
+
+/**
+ * The static-vs-dynamic differential: check every definite static
+ * claim against the dynamic TDG classification of the same program.
+ * Returns error diagnostics for
+ *  - "behavior-verdict": a definite Yes/No contradicting
+ *    TdgAnalyzer::usable() for that (loop, BSA);
+ *  - "behavior-stride": a definite static stride class contradicted
+ *    by the observed per-access stride profile (only enforced when
+ *    the trace carries real evidence: more dynamic executions of the
+ *    access than loop occurrences, so some occurrence measured a
+ *    stride).
+ * An empty result is the soundness witness.
+ */
+std::vector<Diag> behaviorDifferential(const Tdg &tdg,
+                                       const TdgAnalyzer &analyzer,
+                                       const BehaviorAnalysis &ba);
+
+/** Aggregate per-workload features for the search dataset export. */
+BehaviorSummary summarizeBehavior(const BehaviorAnalysis &ba);
+
+/**
+ * Stable per-(workload, loop) feature vector, one CSV row per loop.
+ * Emits a header when `header` is true; `workload` labels the rows.
+ */
+void writeBehaviorCsv(const BehaviorAnalysis &ba,
+                      const std::string &workload, bool header,
+                      std::ostream &os);
+
+/** Human-readable per-loop axis report (prism_lint --behavior). */
+std::string renderBehaviorReport(const BehaviorAnalysis &ba);
+
+} // namespace prism
+
+#endif // PRISM_ANALYSIS_BEHAVIOR_HH

@@ -20,9 +20,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "analysis/behavior.hh"
 #include "analysis/prog_analysis.hh"
 #include "analysis/stream_verify.hh"
 #include "analysis/tdg_verify.hh"
@@ -49,6 +51,10 @@ struct Options
     std::vector<BsaKind> bsas;
     std::uint64_t maxInsts = 60'000;
     bool verbose = false;
+    bool behavior = false;     ///< static behavior axes + predictions
+    bool differential = false; ///< static-vs-dynamic cross-check
+    bool json = false;         ///< one JSON object per diagnostic
+    std::string featuresPath;  ///< per-(workload, loop) feature CSV
     std::string cacheDir;
 };
 
@@ -68,6 +74,16 @@ usage(int code)
         "(repeatable)\n"
         "  --max-insts=N         trace budget per workload "
         "(default 60000)\n"
+        "  --behavior            static behavior axes + per-(loop, "
+        "BSA) predictions\n"
+        "  --differential        cross-check static verdicts/strides "
+        "against the\n"
+        "                        dynamic TDG profile (implies a "
+        "trace)\n"
+        "  --features=FILE       write the per-(workload, loop) "
+        "static feature CSV\n"
+        "  --json                emit one JSON object per diagnostic "
+        "on stdout\n"
         "  --cache-dir=DIR       reuse recorded traces/profiles\n"
         "  --verbose             print clean results too\n");
     std::exit(code);
@@ -105,6 +121,12 @@ parseArgs(int argc, char **argv)
             opt.micro = true;
         } else if (arg == "--all-bsas") {
             opt.bsas.assign(kAllBsas.begin(), kAllBsas.end());
+        } else if (arg == "--behavior") {
+            opt.behavior = true;
+        } else if (arg == "--differential") {
+            opt.differential = true;
+        } else if (arg == "--json") {
+            opt.json = true;
         } else if (arg == "--verbose" || arg == "-v") {
             opt.verbose = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -115,6 +137,8 @@ parseArgs(int argc, char **argv)
             opt.bsas.push_back(parseBsa(v));
         } else if (const char *v = val("--max-insts")) {
             opt.maxInsts = std::strtoull(v, nullptr, 10);
+        } else if (const char *v = val("--features")) {
+            opt.featuresPath = v;
         } else if (const char *v = val("--cache-dir")) {
             opt.cacheDir = v;
         } else {
@@ -149,7 +173,9 @@ selectWorkloads(const Options &opt)
 class Reporter
 {
   public:
-    explicit Reporter(bool verbose) : verbose_(verbose) {}
+    Reporter(bool verbose, bool json) : verbose_(verbose), json_(json)
+    {
+    }
 
     /** Report one check context; returns the number of errors. */
     std::size_t
@@ -160,13 +186,22 @@ class Reporter
         errors_ += errors;
         warnings_ += diags.size() - errors;
         if (diags.empty()) {
-            if (verbose_)
+            if (verbose_ && !json_)
                 std::printf("  %-40s clean\n", context.c_str());
             return 0;
         }
         for (const Diag &d : diags) {
-            std::printf("  %s: %s\n", context.c_str(),
-                        toString(d, prog).c_str());
+            if (json_) {
+                // Splice the run context into the per-diag object so
+                // each stdout line is one self-contained record.
+                const std::string j = toJson(d, prog);
+                std::printf("{\"context\":\"%s\",%s\n",
+                            jsonEscape(context).c_str(),
+                            j.c_str() + 1);
+            } else {
+                std::printf("  %s: %s\n", context.c_str(),
+                            toString(d, prog).c_str());
+            }
         }
         return errors;
     }
@@ -176,9 +211,34 @@ class Reporter
 
   private:
     bool verbose_;
+    bool json_;
     std::size_t errors_ = 0;
     std::size_t warnings_ = 0;
 };
+
+/**
+ * Static behavior phase for one workload: per-loop axis report,
+ * per-(loop, BSA) prediction diagnostics, and the feature CSV row(s).
+ */
+void
+lintBehavior(const std::string &name, const Program &prog,
+             const BehaviorAnalysis &ba, const Options &opt,
+             Reporter &rep, std::ofstream &features,
+             bool &featuresHeader)
+{
+    if (opt.behavior) {
+        if (!opt.json) {
+            std::printf("%s behavior:\n%s", name.c_str(),
+                        renderBehaviorReport(ba).c_str());
+        }
+        rep.report(name + "/behavior", behaviorPredictions(ba),
+                   &prog);
+    }
+    if (features.is_open()) {
+        writeBehaviorCsv(ba, name, featuresHeader, features);
+        featuresHeader = false;
+    }
+}
 
 void
 lintTransforms(const LoadedWorkload &lw, const Options &opt,
@@ -230,13 +290,24 @@ run(const Options &opt)
         ArtifactCache::setGlobalDir(opt.cacheDir);
 
     const auto specs = selectWorkloads(opt);
-    Reporter rep(opt.verbose);
+    Reporter rep(opt.verbose, opt.json);
 
-    std::printf("prism_lint: %zu workload(s), %zu BSA(s), "
-                "max-insts %llu\n",
-                specs.size(), opt.bsas.size(),
-                static_cast<unsigned long long>(opt.maxInsts));
+    std::ofstream features;
+    bool featuresHeader = true;
+    if (!opt.featuresPath.empty()) {
+        features.open(opt.featuresPath);
+        if (!features)
+            fatal("cannot write '%s'", opt.featuresPath.c_str());
+    }
 
+    std::fprintf(opt.json ? stderr : stdout,
+                 "prism_lint: %zu workload(s), %zu BSA(s), "
+                 "max-insts %llu\n",
+                 specs.size(), opt.bsas.size(),
+                 static_cast<unsigned long long>(opt.maxInsts));
+
+    const bool wantBehavior = opt.behavior || opt.differential ||
+                              !opt.featuresPath.empty();
     for (const WorkloadSpec *spec : specs) {
         // Phase 1: guest-program dataflow analysis (no trace needed).
         ProgramBuilder pb;
@@ -248,14 +319,37 @@ run(const Options &opt)
                    analyzeProgram(prog), &prog);
 
         // Phases 2+3: trace-dependent verification.
-        if (!opt.bsas.empty()) {
+        if (!opt.bsas.empty() || opt.differential) {
             const auto lw = LoadedWorkload::load(*spec, opt.maxInsts);
-            lintTransforms(*lw, opt, rep);
+            if (!opt.bsas.empty())
+                lintTransforms(*lw, opt, rep);
+            if (wantBehavior) {
+                // Phase 4: static behavior derivation, cross-checked
+                // against the dynamic profile of the same program.
+                const TdgStatics statics(lw->program());
+                const BehaviorAnalysis ba(statics);
+                lintBehavior(lw->name(), lw->program(), ba, opt, rep,
+                             features, featuresHeader);
+                if (opt.differential) {
+                    const TdgAnalyzer analyzer(lw->tdg());
+                    rep.report(
+                        lw->name() + "/behavior-differential",
+                        behaviorDifferential(lw->tdg(), analyzer, ba),
+                        &lw->program());
+                }
+            }
+        } else if (wantBehavior) {
+            // Phase 4, trace-free: static behavior axes only.
+            const TdgStatics statics(prog);
+            const BehaviorAnalysis ba(statics);
+            lintBehavior(spec->name, prog, ba, opt, rep, features,
+                         featuresHeader);
         }
     }
 
-    std::printf("prism_lint: %zu error(s), %zu warning(s)\n",
-                rep.errors(), rep.warnings());
+    std::fprintf(opt.json ? stderr : stdout,
+                 "prism_lint: %zu error(s), %zu warning(s)\n",
+                 rep.errors(), rep.warnings());
     return rep.errors() == 0 ? 0 : 1;
 }
 

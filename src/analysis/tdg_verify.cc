@@ -407,4 +407,107 @@ verifyTdg(const Tdg &tdg, const TdgAnalyzer &analyzer,
     return out;
 }
 
+namespace
+{
+
+Diag
+coreDiag(const char *check, const CoreParams &core, std::string msg)
+{
+    Diag d;
+    d.check = check;
+    d.message = coreParamsName(core) + ": " + std::move(msg);
+    return d;
+}
+
+void
+verifyCoreParams(const CoreParams &core, std::vector<Diag> &out)
+{
+    if (core.width == 0)
+        out.push_back(coreDiag("core-params", core, "zero width"));
+    if (core.numAlu == 0)
+        out.push_back(coreDiag("core-params", core, "no ALUs"));
+    if (core.numMulDiv == 0)
+        out.push_back(coreDiag("core-params", core, "no mul/div unit"));
+    if (core.numFp == 0)
+        out.push_back(coreDiag("core-params", core, "no FP unit"));
+    if (core.dcachePorts == 0)
+        out.push_back(coreDiag("core-params", core, "no dcache port"));
+    if (core.simdLanes == 0)
+        out.push_back(coreDiag("core-params", core, "zero SIMD lanes"));
+    if (core.inorder && core.robSize != 0) {
+        out.push_back(coreDiag("core-params", core,
+                               "in-order point carries ROB entries"));
+    }
+    if (!core.inorder && core.robSize == 0) {
+        out.push_back(coreDiag("core-params", core,
+                               "out-of-order point with no ROB"));
+    }
+    if (!core.inorder && core.instWindow > core.robSize) {
+        out.push_back(coreDiag(
+            "core-params", core,
+            "scheduler window larger than the ROB"));
+    }
+    if (core.l2HitLatency < core.l1HitLatency) {
+        out.push_back(coreDiag("core-params", core,
+                               "L2 faster than L1"));
+    }
+}
+
+void
+verifyCoreRoundtrip(const CoreParams &core, std::vector<Diag> &out)
+{
+    const CoreConfig cfg = coreConfigFrom(core);
+    const auto expect = [&](bool ok, const char *what) {
+        if (!ok) {
+            out.push_back(coreDiag(
+                "core-roundtrip", core,
+                std::string("materialized config drops '") + what +
+                    "'"));
+        }
+    };
+    expect(cfg.name == coreParamsName(core), "name");
+    expect(cfg.inorder == core.inorder, "inorder");
+    expect(cfg.width == core.width, "width");
+    expect(cfg.robSize == core.robSize, "robSize");
+    expect(cfg.instWindow == core.instWindow, "instWindow");
+    expect(cfg.dcachePorts == core.dcachePorts, "dcachePorts");
+    expect(cfg.numAlu == core.numAlu, "numAlu");
+    expect(cfg.numMulDiv == core.numMulDiv, "numMulDiv");
+    expect(cfg.numFp == core.numFp, "numFp");
+    expect(cfg.frontendDepth == core.frontendDepth, "frontendDepth");
+    expect(cfg.simdLanes == core.simdLanes, "simdLanes");
+    expect(cfg.mispredictPenalty == core.frontendDepth + 4,
+           "mispredictPenalty");
+}
+
+} // namespace
+
+std::vector<Diag>
+verifyTdgAtCore(const Tdg &tdg, const TdgAnalyzer &analyzer,
+                const CoreParams &core, const TdgStatics *statics)
+{
+    std::vector<Diag> out = verifyTdg(tdg, analyzer, statics);
+    verifyCoreParams(core, out);
+    verifyCoreRoundtrip(core, out);
+
+    // Core-parameterized plan check: SIMD legality fixed the trip
+    // floor at kVectorLen; a wider core turns short loops into
+    // partial vector groups. Flag (don't fail) those points.
+    for (const Loop &loop : tdg.loops().loops()) {
+        if (!analyzer.usable(BsaKind::Simd, loop.id))
+            continue;
+        const double trip = avgTripCount(tdg, loop.id);
+        if (trip < static_cast<double>(core.simdLanes)) {
+            out.push_back(loopDiag(
+                "simd-lanes-trip", loop,
+                "vectorized at " + std::to_string(core.simdLanes) +
+                    " lanes but the average trip count is " +
+                    std::to_string(trip) + ": partial groups at " +
+                    coreParamsName(core),
+                Diag::Severity::Warning));
+        }
+    }
+    return out;
+}
+
 } // namespace prism

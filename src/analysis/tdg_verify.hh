@@ -38,6 +38,7 @@
 #include "tdg/analyzer.hh"
 #include "tdg/builder.hh"
 #include "tdg/tdg.hh"
+#include "uarch/core_config.hh"
 
 namespace prism
 {
@@ -58,6 +59,25 @@ std::vector<Diag> verifyBsaPreconditions(const Tdg &tdg,
 /** Verify every (loop, BSA) pair plus the loop-map structure. */
 std::vector<Diag> verifyTdg(const Tdg &tdg, const TdgAnalyzer &analyzer,
                             const TdgStatics *statics = nullptr);
+
+/**
+ * Legality re-derivation at one parametric CoreParams point (a
+ * prism_search grid/sample point, not just the six fixed cores).
+ * Runs the core-independent verifyTdg() checks, then the
+ * core-parameterized invariants:
+ *  - "core-params": the point itself is well-formed (nonzero width /
+ *    FU counts / lanes, an in-order point carries no ROB entries);
+ *  - "core-roundtrip": coreConfigFrom() materializes exactly the
+ *    requested parameters with the deterministic synthesized name
+ *    (coreParamsName) and the makeCore mispredict-penalty relation;
+ *  - "simd-lanes-trip" (warning): a usable SIMD plan whose average
+ *    trip count is below this core's vector width degenerates to
+ *    partial groups at this point.
+ */
+std::vector<Diag> verifyTdgAtCore(const Tdg &tdg,
+                                  const TdgAnalyzer &analyzer,
+                                  const CoreParams &core,
+                                  const TdgStatics *statics = nullptr);
 
 } // namespace prism
 

@@ -139,8 +139,12 @@ profileMemory(const Program &prog, const Trace &trace,
                 if (s.inconsistent)
                     p->strideKnown = false;
             } else if (p->strideKnown) {
-                if (p->count == s.count) {
-                    p->stride = s.stride; // first occurrence
+                // `strideSet`, not a count comparison: an earlier
+                // occurrence may have contributed single executions
+                // without ever measuring a stride.
+                if (!p->strideSet) {
+                    p->stride = s.stride;
+                    p->strideSet = true;
                 } else if (p->stride != s.stride) {
                     p->strideKnown = false;
                 }

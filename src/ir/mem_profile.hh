@@ -28,7 +28,8 @@ struct MemAccessPattern
     std::uint8_t memSize = 0;
     std::uint64_t count = 0;     ///< dynamic executions inside the loop
 
-    bool strideKnown = false;    ///< a consistent stride was observed
+    bool strideKnown = false;    ///< no inconsistent stride was observed
+    bool strideSet = false;      ///< some occurrence measured a stride
     std::int64_t stride = 0;     ///< bytes between consecutive accesses
 
     /** Unit-stride access (stride == access size): vectorizable

@@ -1,5 +1,6 @@
 #include "prog/verifier.hh"
 
+#include <cstdio>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -31,6 +32,60 @@ toString(const Diag &d, const Program *p)
     if (d.streamIdx >= 0)
         os << " @" << d.streamIdx;
     os << ": " << d.message;
+    return os.str();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+toJson(const Diag &d, const Program *p)
+{
+    std::ostringstream os;
+    os << "{\"severity\":\""
+       << (d.isError() ? "error" : "warning") << "\",\"check\":\""
+       << jsonEscape(d.check) << "\"";
+    if (d.func >= 0) {
+        os << ",\"func\":" << d.func;
+        if (p != nullptr &&
+            d.func < static_cast<std::int32_t>(p->functions().size())) {
+            os << ",\"func_name\":\""
+               << jsonEscape(p->functions()[d.func].name) << "\"";
+        }
+    }
+    if (d.block >= 0)
+        os << ",\"block\":" << d.block;
+    if (d.instr >= 0)
+        os << ",\"instr\":" << d.instr;
+    if (d.loop >= 0)
+        os << ",\"loop\":" << d.loop;
+    if (d.streamIdx >= 0)
+        os << ",\"stream_idx\":" << d.streamIdx;
+    os << ",\"message\":\"" << jsonEscape(d.message) << "\"}";
     return os.str();
 }
 

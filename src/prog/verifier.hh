@@ -48,6 +48,18 @@ struct Diag
 /** Render a diagnostic; `p` (optional) resolves function names. */
 std::string toString(const Diag &d, const Program *p = nullptr);
 
+/** JSON string escaping (quotes, backslash, control characters). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Render a diagnostic as one self-contained JSON object (machine
+ * consumption: `prism_lint --json`). Always emits `severity`,
+ * `check`, and `message`; structural coordinates (`func`, `block`,
+ * `instr`, `loop`, `stream_idx`) appear only when known (>= 0), and
+ * `func_name` when `p` can resolve the function index.
+ */
+std::string toJson(const Diag &d, const Program *p = nullptr);
+
 /** True if any diagnostic in the list is an error. */
 bool hasErrors(const std::vector<Diag> &diags);
 

@@ -40,6 +40,7 @@ writeAccess(ArtifactWriter &w, const MemAccessPattern &a)
     w.u8(a.memSize);
     w.u64(a.count);
     w.b(a.strideKnown);
+    w.b(a.strideSet);
     w.i64(a.stride);
 }
 
@@ -51,6 +52,7 @@ readAccess(ArtifactReader &r, MemAccessPattern &a)
     a.memSize = r.u8();
     a.count = r.u64();
     a.strideKnown = r.b();
+    a.strideSet = r.b();
     a.stride = r.i64();
 }
 

@@ -51,7 +51,7 @@ namespace prism
 
 /** TDG-profile namespace; version tracks the payload format AND the
  *  profiling passes that fill it. */
-inline constexpr ArtifactKind kTdgProfilesKind{"tdgprof", 1};
+inline constexpr ArtifactKind kTdgProfilesKind{"tdgprof", 2};
 
 /** Baseline-core-timing namespace; version tracks the payload
  *  format. */

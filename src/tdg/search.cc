@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 #include <ostream>
+#include <sstream>
 
+#include "analysis/behavior.hh"
 #include "common/artifact_cache.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
@@ -353,8 +355,15 @@ DesignSearch::exportDataset(std::ostream &os) const
 {
     const std::vector<SearchPoint> points = shardPoints();
     const std::size_t ref_slot = space_.cores.size();
-    os << "# prism-dataset v1\n"
+    // v2: adds the per-workload static behavior features (sb_*),
+    // derived from the guest IR alone (analysis/behavior.hh) so a
+    // learned profitability model can separate what was predictable
+    // before tracing from what only the trace revealed.
+    os << "# prism-dataset v2\n"
        << "workload,suite,class,insts,loops,"
+          "sb_innermost,sb_nsdf_yes,sb_simd_no,sb_cgra_no,"
+          "sb_tracep_no,sb_ilp,sb_ctrl_height,sb_paths_log2,"
+          "sb_affine_frac,sb_irregular_frac,sb_compute_frac,"
           "inorder,width,rob,iq,ports,alu,muldiv,fp,fe_depth,"
           "simd_lanes,l1_lat,l2_lat,mask,area_budget,sched,"
           "cycles,energy_pj,area_mm2,speedup_vs_ref,"
@@ -364,6 +373,18 @@ DesignSearch::exportDataset(std::ostream &os) const
         prism_assert(w.lw != nullptr, "workload '%s' not loaded",
                      w.spec->name);
         const ExoResult &base = model(wl, ref_slot).baseline();
+        const TdgStatics statics(w.lw->program());
+        const BehaviorSummary sb =
+            summarizeBehavior(BehaviorAnalysis(statics));
+        std::ostringstream sbcols;
+        sbcols << sb.innermostLoops << ',' << sb.nsdfYes << ','
+               << sb.simdNo << ',' << sb.cgraNo << ','
+               << sb.tracepNo << ',' << fmt(sb.avgIlpBound, 4)
+               << ',' << fmt(sb.avgControlHeight, 4) << ','
+               << fmt(sb.avgPathsLog2, 4) << ','
+               << fmt(sb.affineFraction, 4) << ','
+               << fmt(sb.irregularFraction, 4) << ','
+               << fmt(sb.avgComputeFraction, 4);
         for (const SearchPoint &p : points) {
             const CoreParams &c = space_.cores[p.coreIdx];
             const ExoResult res =
@@ -372,6 +393,7 @@ DesignSearch::exportDataset(std::ostream &os) const
                << suiteClassName(w.spec->cls) << ','
                << w.lw->tdg().trace().size() << ','
                << w.lw->tdg().loops().numLoops() << ','
+               << sbcols.str() << ','
                << (c.inorder ? 1 : 0) << ',' << c.width << ','
                << c.robSize << ',' << c.instWindow << ','
                << c.dcachePorts << ',' << c.numAlu << ','

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Static behavior-space analysis tests: crafted kernels whose behavior
+ * coordinates are known by construction (affine streams, pointer
+ * chasing, index-array gathers, non-idiom recurrences), the soundness
+ * differential against the dynamic TDG classification on each of
+ * them and on a shipped workload, and stability of the feature-vector
+ * export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/behavior.hh"
+#include "sim/trace_gen.hh"
+#include "tdg/analyzer.hh"
+#include "tdg/constructor.hh"
+#include "workloads/kernel_util.hh"
+#include "workloads/suite.hh"
+
+namespace prism
+{
+namespace
+{
+
+/** Trace a freshly built program. */
+Tdg
+makeTdg(Program &prog, SimMemory &mem,
+        const std::vector<std::int64_t> &args)
+{
+    Trace trace(&prog);
+    generateTrace(prog, mem, args, trace);
+    return Tdg(prog, std::move(trace));
+}
+
+/** The (single) innermost loop a crafted kernel builds. */
+const LoopBehavior &
+soleInnermost(const BehaviorAnalysis &ba)
+{
+    const LoopBehavior *found = nullptr;
+    for (const LoopBehavior &lb : ba.loops()) {
+        if (!lb.innermost)
+            continue;
+        EXPECT_EQ(found, nullptr) << "kernel has several innermost loops";
+        found = &lb;
+    }
+    EXPECT_NE(found, nullptr);
+    return *found;
+}
+
+/** Streaming FP kernel: out[i] = a[i] * b[i] + c, unit structure. */
+Program
+affineStream(std::int64_t n)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 3);
+    const RegId eight = f.movi(8);
+    const RegId c = f.fmovi(0.25);
+    countedLoop(f, 0, n, 1, [&](RegId i) {
+        const RegId off = f.mul(i, eight);
+        const RegId x = f.ld(f.add(f.arg(0), off), 0);
+        const RegId y = f.ld(f.add(f.arg(1), off), 0);
+        f.st(f.add(f.arg(2), off), 0, f.fma(x, y, c));
+    });
+    f.retVoid();
+    return pb.build();
+}
+
+/** Linked-list walk: p = *p, n hops. Addresses are data. */
+Program
+pointerChase(std::int64_t n)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId p = f.reg();
+    f.movTo(p, f.arg(0));
+    const RegId sum = f.reg();
+    f.moviTo(sum, 0);
+    countedLoop(f, 0, n, 1, [&](RegId) {
+        f.movTo(p, f.ld(p, 0));
+        f.addTo(sum, sum, p);
+    });
+    f.ret(sum);
+    return pb.build();
+}
+
+/** Running max via Sel: a self-dependence that is no SIMD idiom. */
+Program
+selMax(std::int64_t n)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 1);
+    const RegId eight = f.movi(8);
+    const RegId m = f.reg();
+    f.moviTo(m, 0);
+    countedLoop(f, 0, n, 1, [&](RegId i) {
+        const RegId v = f.ld(f.add(f.arg(0), f.mul(i, eight)), 0);
+        const RegId c = f.cmplt(m, v);
+        f.selTo(m, c, v, m);
+    });
+    f.ret(m);
+    return pb.build();
+}
+
+/** Gather through an index array: out[i] = data[idx[i]]. */
+Program
+indexGather(std::int64_t n)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("main", 3);
+    const RegId eight = f.movi(8);
+    countedLoop(f, 0, n, 1, [&](RegId i) {
+        const RegId off = f.mul(i, eight);
+        const RegId j = f.ld(f.add(f.arg(0), off), 0);
+        const RegId v = f.ld(f.add(f.arg(1), f.mul(j, eight)), 0);
+        f.st(f.add(f.arg(2), off), 0, v);
+    });
+    f.retVoid();
+    return pb.build();
+}
+
+// ---------------------------------------------------------------
+// Crafted kernels: axes known by construction
+// ---------------------------------------------------------------
+
+TEST(Behavior, AffineStreamIsFullyClassified)
+{
+    Program prog = affineStream(256);
+    const TdgStatics statics(prog);
+    const BehaviorAnalysis ba(statics);
+    const LoopBehavior &lb = soleInnermost(ba);
+
+    EXPECT_FALSE(lb.containsCall);
+    EXPECT_TRUE(lb.straightLine);
+    EXPECT_EQ(lb.accesses.size(), 3u);
+    EXPECT_EQ(lb.numAffineConst, 3u);
+    EXPECT_EQ(lb.numIrregular, 0u);
+    for (const StaticAccess &a : lb.accesses) {
+        EXPECT_EQ(a.cls, AddrClass::AffineConst);
+        EXPECT_EQ(a.stride, 8);
+        EXPECT_TRUE(a.definite);
+        EXPECT_TRUE(a.everyIteration);
+    }
+    EXPECT_FALSE(lb.certainRecurrence);
+    EXPECT_GE(lb.numInductions, 1u);
+
+    // NS-DF legality is purely static: a tiny call-free nest is a
+    // definite Yes. SIMD depends on dynamic facts (trip counts), so
+    // it stays Unknown. DP-CGRA is a static No here: the compute
+    // slice is the lone fma — too small for the fabric on any trace.
+    EXPECT_EQ(lb.verdictFor(BsaKind::Nsdf), Applicability::Yes);
+    EXPECT_EQ(lb.verdictFor(BsaKind::Simd), Applicability::Unknown);
+    EXPECT_EQ(lb.verdictFor(BsaKind::DpCgra), Applicability::No);
+    EXPECT_EQ(lb.computeSliceSize, 1u);
+}
+
+TEST(Behavior, AffineStreamDifferentialIsClean)
+{
+    Program prog = affineStream(256);
+    SimMemory mem;
+    Rng rng(11);
+    fillF64(mem, 0x10000, 256, rng);
+    fillF64(mem, 0x20000, 256, rng);
+    const Tdg tdg = makeTdg(prog, mem, {0x10000, 0x20000, 0x30000});
+    const TdgAnalyzer analyzer(tdg);
+    const TdgStatics statics(prog);
+    const BehaviorAnalysis ba(statics);
+
+    EXPECT_TRUE(behaviorDifferential(tdg, analyzer, ba).empty());
+    // The verdicts agree in the concrete too: the dynamic analyzer
+    // accepts what the static Yes promised.
+    const LoopBehavior &lb = soleInnermost(ba);
+    EXPECT_TRUE(analyzer.usable(BsaKind::Nsdf, lb.loopId));
+}
+
+TEST(Behavior, PointerChaseSaysUnknownNotWrong)
+{
+    Program prog = pointerChase(64);
+    const TdgStatics statics(prog);
+    const BehaviorAnalysis ba(statics);
+    const LoopBehavior &lb = soleInnermost(ba);
+
+    // The chased load must be Irregular — any stride claim would be
+    // unsound. (No definite claims at all from this loop's memory.)
+    ASSERT_EQ(lb.accesses.size(), 1u);
+    EXPECT_EQ(lb.accesses[0].cls, AddrClass::Irregular);
+    EXPECT_FALSE(lb.accesses[0].definite);
+    EXPECT_EQ(lb.numIrregular, 1u);
+
+    // SIMD applicability must not be a definite Yes.
+    EXPECT_NE(lb.verdictFor(BsaKind::Simd), Applicability::Yes);
+
+    // ... and the dynamic cross-check agrees with whatever was said.
+    SimMemory mem;
+    const Addr base = 0x10000;
+    for (std::int64_t k = 0; k <= 64; ++k)
+        mem.writeI64(base + 8 * k, static_cast<std::int64_t>(base + 8 * (k + 1)));
+    Program traced = pointerChase(64);
+    const Tdg tdg = makeTdg(traced, mem, {static_cast<std::int64_t>(base)});
+    const TdgAnalyzer analyzer(tdg);
+    const TdgStatics tracedStatics(traced);
+    const BehaviorAnalysis tracedBa(tracedStatics);
+    EXPECT_TRUE(behaviorDifferential(tdg, analyzer, tracedBa).empty());
+    EXPECT_FALSE(analyzer.usable(BsaKind::Simd,
+                                 soleInnermost(tracedBa).loopId));
+}
+
+TEST(Behavior, NonIdiomRecurrenceIsStaticallyCertain)
+{
+    Program prog = selMax(128);
+    SimMemory mem;
+    Rng rng(23);
+    fillI64(mem, 0x10000, 128, rng, 1, 1000);
+    const Tdg tdg = makeTdg(prog, mem, {0x10000});
+    const TdgAnalyzer analyzer(tdg);
+    const TdgStatics statics(prog);
+    const BehaviorAnalysis ba(statics);
+    const LoopBehavior &lb = soleInnermost(ba);
+
+    // The Sel self-dependence runs every iteration and matches no
+    // vectorizable idiom: a static No, not merely Unknown.
+    EXPECT_TRUE(lb.certainRecurrence);
+    EXPECT_EQ(lb.verdictFor(BsaKind::Simd), Applicability::No);
+    EXPECT_EQ(lb.verdictFor(BsaKind::DpCgra), Applicability::No);
+
+    // Soundness: the dynamic analyzer indeed rejects both.
+    EXPECT_FALSE(analyzer.usable(BsaKind::Simd, lb.loopId));
+    EXPECT_FALSE(analyzer.usable(BsaKind::DpCgra, lb.loopId));
+    EXPECT_TRUE(behaviorDifferential(tdg, analyzer, ba).empty());
+}
+
+TEST(Behavior, GatherDiffersFromDynamicOnlyInPrecision)
+{
+    // idx holds 0..n-1 in order, so the *dynamic* profile of the
+    // gathered load observes a perfectly constant 8-byte stride —
+    // a fact the static lattice cannot prove. The static answer must
+    // be the imprecise-but-sound Irregular, and the differential must
+    // accept the disagreement (Unknown makes no claim).
+    const std::int64_t n = 96;
+    Program prog = indexGather(n);
+    SimMemory mem;
+    for (std::int64_t k = 0; k < n; ++k) {
+        mem.writeI64(0x10000 + 8 * k, k);     // idx[k] = k
+        mem.writeI64(0x20000 + 8 * k, 7 * k); // data
+    }
+    const Tdg tdg = makeTdg(prog, mem, {0x10000, 0x20000, 0x30000});
+    const TdgAnalyzer analyzer(tdg);
+    const TdgStatics statics(prog);
+    const BehaviorAnalysis ba(statics);
+    const LoopBehavior &lb = soleInnermost(ba);
+
+    ASSERT_EQ(lb.accesses.size(), 3u);
+    const StaticAccess *gather = nullptr;
+    std::uint32_t affine = 0;
+    for (const StaticAccess &a : lb.accesses) {
+        if (a.cls == AddrClass::Irregular)
+            gather = &a;
+        else if (a.cls == AddrClass::AffineConst && a.definite)
+            ++affine;
+    }
+    ASSERT_NE(gather, nullptr);
+    EXPECT_TRUE(gather->isLoad);
+    EXPECT_EQ(affine, 2u); // the idx load and the output store
+
+    const MemAccessPattern *dyn =
+        tdg.memProfile(lb.loopId).find(gather->sid);
+    ASSERT_NE(dyn, nullptr);
+    EXPECT_TRUE(dyn->strideKnown);
+    EXPECT_TRUE(dyn->strideSet);
+    EXPECT_EQ(dyn->stride, 8);
+
+    EXPECT_TRUE(behaviorDifferential(tdg, analyzer, ba).empty());
+}
+
+// ---------------------------------------------------------------
+// Predictions, differential and export on real workloads
+// ---------------------------------------------------------------
+
+TEST(Behavior, ShippedWorkloadDifferentialIsClean)
+{
+    const auto lw = LoadedWorkload::load(findWorkload("conv"), 20'000);
+    const TdgAnalyzer analyzer(lw->tdg());
+    const TdgStatics statics(lw->program());
+    const BehaviorAnalysis ba(statics);
+
+    EXPECT_TRUE(behaviorDifferential(lw->tdg(), analyzer, ba).empty());
+
+    // One prediction per (loop, BSA), all warning severity.
+    const auto preds = behaviorPredictions(ba);
+    EXPECT_EQ(preds.size(), ba.loops().size() * kAllBsas.size());
+    EXPECT_EQ(numErrors(preds), 0u);
+}
+
+TEST(Behavior, SummaryCountsAreConsistent)
+{
+    const auto lw = LoadedWorkload::load(findWorkload("conv"), 20'000);
+    const TdgStatics statics(lw->program());
+    const BehaviorAnalysis ba(statics);
+    const BehaviorSummary s = summarizeBehavior(ba);
+
+    EXPECT_EQ(s.loops, ba.loops().size());
+    EXPECT_GE(s.loops, 1u);
+    EXPECT_GE(s.innermostLoops, 1u);
+    EXPECT_LE(s.innermostLoops, s.loops);
+    EXPECT_LE(s.nsdfYes, s.loops);
+    EXPECT_GE(s.affineFraction, 0.0);
+    EXPECT_LE(s.affineFraction + s.irregularFraction, 1.0 + 1e-9);
+}
+
+TEST(Behavior, FeatureCsvIsStableAndWellFormed)
+{
+    const auto lw = LoadedWorkload::load(findWorkload("conv"), 20'000);
+    const TdgStatics statics(lw->program());
+    const BehaviorAnalysis ba(statics);
+
+    std::ostringstream a;
+    writeBehaviorCsv(ba, "conv", /*header=*/true, a);
+    std::ostringstream b;
+    writeBehaviorCsv(ba, "conv", /*header=*/true, b);
+    EXPECT_EQ(a.str(), b.str()); // deterministic, byte-identical
+
+    // header + one row per loop, all with the same column count.
+    std::istringstream in(a.str());
+    std::string line;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    while (std::getline(in, line)) {
+        const std::size_t c =
+            static_cast<std::size_t>(
+                std::count(line.begin(), line.end(), ',')) + 1;
+        if (rows == 0)
+            cols = c;
+        EXPECT_EQ(c, cols) << "row " << rows << ": " << line;
+        ++rows;
+    }
+    EXPECT_EQ(rows, ba.loops().size() + 1);
+}
+
+} // namespace
+} // namespace prism

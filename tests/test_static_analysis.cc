@@ -19,7 +19,9 @@
 #include "sim/memory.hh"
 #include "tdg/analyzer.hh"
 #include "tdg/constructor.hh"
+#include "tdg/search.hh"
 #include "tdg/transform.hh"
+#include "uarch/core_config.hh"
 #include "workloads/suite.hh"
 
 namespace prism
@@ -584,6 +586,154 @@ TEST(TdgVerify, CorruptedTransformOutputIsRejected)
         static_cast<std::int32_t>(out.stream.size()) - 1;
     EXPECT_TRUE(hasCheck(verifyTransformOutput(out, &lw->program()),
                          "dep-bounds"));
+}
+
+// ---------------------------------------------------------------
+// Legality re-derivation at parametric CoreParams points
+// ---------------------------------------------------------------
+
+TEST(TdgVerifyAtCore, GridAndSampledPointsVerifyClean)
+{
+    const auto lw = LoadedWorkload::load(findWorkload("conv"), 20'000);
+    const Tdg &tdg = lw->tdg();
+    const TdgAnalyzer analyzer(tdg);
+    const TdgStatics statics(lw->program());
+
+    std::vector<CoreParams> points = defaultCoreGrid();
+    const auto sampled = sampleCoreParams(8, 0xC0FFEE);
+    points.insert(points.end(), sampled.begin(), sampled.end());
+    ASSERT_GE(points.size(), 24u);
+
+    for (const CoreParams &core : points) {
+        const auto diags =
+            verifyTdgAtCore(tdg, analyzer, core, &statics);
+        EXPECT_EQ(numErrors(diags), 0u) << coreParamsName(core);
+    }
+}
+
+TEST(TdgVerifyAtCore, FixedCoreKindsVerifyClean)
+{
+    const auto lw = LoadedWorkload::load(findWorkload("conv"), 20'000);
+    const Tdg &tdg = lw->tdg();
+    const TdgAnalyzer analyzer(tdg);
+
+    for (CoreKind kind : {CoreKind::IO2, CoreKind::OOO1, CoreKind::OOO2,
+                          CoreKind::OOO4, CoreKind::OOO6,
+                          CoreKind::OOO8}) {
+        const auto diags =
+            verifyTdgAtCore(tdg, analyzer, coreParams(kind));
+        EXPECT_EQ(numErrors(diags), 0u) << coreParamsName(coreParams(kind));
+    }
+}
+
+TEST(TdgVerifyAtCore, MalformedCorePointsAreRejected)
+{
+    const auto lw = LoadedWorkload::load(findWorkload("conv"), 20'000);
+    const Tdg &tdg = lw->tdg();
+    const TdgAnalyzer analyzer(tdg);
+
+    // An in-order point must not carry ROB entries.
+    CoreParams io = coreParams(CoreKind::IO2);
+    io.robSize = 32;
+    EXPECT_TRUE(hasCheck(verifyTdgAtCore(tdg, analyzer, io),
+                         "core-params"));
+
+    // Zero-width machines cannot issue anything.
+    CoreParams zero = coreParams(CoreKind::OOO2);
+    zero.width = 0;
+    EXPECT_TRUE(hasCheck(verifyTdgAtCore(tdg, analyzer, zero),
+                         "core-params"));
+
+    // The scheduling window cannot exceed the ROB it drains into.
+    CoreParams win = coreParams(CoreKind::OOO2);
+    win.instWindow = win.robSize + 1;
+    EXPECT_TRUE(hasCheck(verifyTdgAtCore(tdg, analyzer, win),
+                         "core-params"));
+
+    // An L2 faster than the L1 in front of it is a config typo.
+    CoreParams l2 = coreParams(CoreKind::OOO4);
+    l2.l2HitLatency = l2.l1HitLatency - 1;
+    EXPECT_TRUE(hasCheck(verifyTdgAtCore(tdg, analyzer, l2),
+                         "core-params"));
+}
+
+TEST(TdgVerifyAtCore, WideSimdLanesWarnOnShortTrips)
+{
+    const auto lw = LoadedWorkload::load(findWorkload("conv"), 20'000);
+    const Tdg &tdg = lw->tdg();
+    const TdgAnalyzer analyzer(tdg);
+
+    bool anySimd = false;
+    for (const Loop &loop : tdg.loops().loops())
+        anySimd |= analyzer.usable(BsaKind::Simd, loop.id);
+    if (!anySimd)
+        GTEST_SKIP() << "conv offloads no SIMD loop at this budget";
+
+    // Absurdly wide vectors: every SIMD loop's trip count is below
+    // the lane count, so the warning must fire (still zero errors).
+    CoreParams wide = coreParams(CoreKind::OOO4);
+    wide.simdLanes = 1u << 20;
+    const auto diags = verifyTdgAtCore(tdg, analyzer, wide);
+    EXPECT_EQ(numErrors(diags), 0u);
+    EXPECT_TRUE(hasCheck(diags, "simd-lanes-trip"));
+}
+
+// ---------------------------------------------------------------
+// Machine-readable diagnostics (prism_lint --json)
+// ---------------------------------------------------------------
+
+TEST(DiagJson, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(jsonEscape("line\nfeed\ttab\rcr"),
+              "line\\nfeed\\ttab\\rcr");
+    EXPECT_EQ(jsonEscape(std::string("nul\x01") + "byte"),
+              "nul\\u0001byte");
+}
+
+TEST(DiagJson, OmitsUnknownCoordinates)
+{
+    Diag d;
+    d.severity = Diag::Severity::Warning;
+    d.check = "behavior-simd";
+    d.message = "loop 3: \"unknown\"";
+    EXPECT_EQ(toJson(d),
+              "{\"severity\":\"warning\",\"check\":\"behavior-simd\","
+              "\"message\":\"loop 3: \\\"unknown\\\"\"}");
+}
+
+TEST(DiagJson, EmitsCoordinatesAndResolvedFunctionName)
+{
+    ProgramBuilder pb;
+    auto &f = pb.func("kernel_fn", 0);
+    f.ret(f.movi(0));
+    const Program p = pb.build();
+
+    Diag d;
+    d.severity = Diag::Severity::Error;
+    d.check = "simd-legal";
+    d.func = 0;
+    d.block = 2;
+    d.instr = 5;
+    d.loop = 1;
+    d.message = "m";
+    EXPECT_EQ(toJson(d, &p),
+              "{\"severity\":\"error\",\"check\":\"simd-legal\","
+              "\"func\":0,\"func_name\":\"kernel_fn\",\"block\":2,"
+              "\"instr\":5,\"loop\":1,\"message\":\"m\"}");
+
+    // Without a program the name is absent; out-of-range func too.
+    EXPECT_EQ(toJson(d).find("func_name"), std::string::npos);
+    d.func = 7;
+    EXPECT_EQ(toJson(d, &p).find("func_name"), std::string::npos);
+
+    Diag s;
+    s.check = "dep-bounds";
+    s.streamIdx = 42;
+    s.message = "m";
+    EXPECT_NE(toJson(s).find("\"stream_idx\":42"), std::string::npos);
 }
 
 TEST(TdgVerify, MicrobenchSuiteHasNoAnalysisErrors)
